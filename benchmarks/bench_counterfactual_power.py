@@ -1,0 +1,76 @@
+"""Detection-power study: could the instruments see a real effect?
+
+The reproduction's negative results (Figures 9, 13, 14) deserve a power
+analysis: re-weight the CE stream so temperature *does* drive errors at
+several effect sizes and measure what the Figure 9 instrument reports.
+
+Two findings, both asserted:
+
+1. the instrument responds -- its correlation rises monotonically with
+   the injected coupling strength; and
+2. even couplings far stronger than the literature's (error rate
+   doubling every 2 degC instead of every 10-20) do not produce the
+   "strong correlation" signature in Astra-shaped data, because the CE
+   population is storm-dominated.  The paper's inability to see a
+   temperature effect is thus over-determined: there is no effect in its
+   data, *and* an effect of the reported sizes would have been below
+   this instrument's detection floor anyway.
+"""
+
+import numpy as np
+
+from repro._util import DAY_S
+from repro.analysis.temperature import ce_count_vs_temperature
+from repro.synth.counterfactual import apply_temperature_coupling
+
+#: Injected effect sizes: degC of temperature per error-rate doubling.
+#: Smaller is stronger; None is the uncoupled baseline.
+EFFECTS = (None, 8.0, 4.0, 2.0)
+
+
+def _analyse(campaign, n_sub: int = 120_000):
+    t0, t1 = campaign.calibration.sensor_window
+    errors = campaign.errors
+    errors = errors[(errors["time"] >= t0) & (errors["time"] < t1)]
+    rng = np.random.default_rng(5)
+    idx = np.sort(rng.choice(errors.size, min(n_sub, errors.size), replace=False))
+    sub = errors[idx]
+
+    rows = []
+    for doubling in EFFECTS:
+        stream = (
+            sub
+            if doubling is None
+            else apply_temperature_coupling(
+                sub, campaign.sensors, doubling_deg_c=doubling, seed=1
+            )
+        )
+        corr = ce_count_vs_temperature(stream, campaign.sensors, DAY_S)
+        rows.append((doubling, stream.size, corr.fit.slope, corr.fit.rvalue))
+    return rows
+
+
+def test_counterfactual_power(paper_campaign, benchmark, report_sink):
+    rows = benchmark.pedantic(
+        lambda: _analyse(paper_campaign), rounds=1, iterations=1
+    )
+    lines = ["== counterfactual detection power (Figure 9 instrument) ==", ""]
+    lines.append(f"{'doubling degC':>14} {'errors':>8} {'slope':>9} {'fit r':>7}")
+    for doubling, n, slope, r in rows:
+        label = "none" if doubling is None else f"{doubling:g}"
+        lines.append(f"{label:>14} {n:>8} {slope:>9.1f} {r:>7.3f}")
+    lines.append("")
+    lines.append(
+        "reading: r rises with the injected effect (the instrument works)"
+        "\nbut never reaches the strong-correlation bar (r > 0.5) -- in"
+        "\nstorm-dominated CE data, effects of the literature's size are"
+        "\nbelow the detection floor of this analysis."
+    )
+    report_sink("counterfactual_power", "\n".join(lines))
+
+    rs = [r for _, _, _, r in rows]
+    # Monotone response to effect strength (EFFECTS is ordered weak->strong).
+    assert all(b > a - 0.02 for a, b in zip(rs, rs[1:]))
+    assert rs[-1] > rs[0] + 0.1
+    # ... yet even the strongest injected coupling stays sub-"strong".
+    assert rs[-1] < 0.5

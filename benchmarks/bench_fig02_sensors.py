@@ -1,0 +1,5 @@
+"""Regenerate Figure 2 of the paper on the full-scale campaign."""
+
+
+def test_fig02(run_experiment):
+    run_experiment("fig02")

@@ -1,0 +1,5 @@
+"""Regenerate Figure 3 of the paper on the full-scale campaign."""
+
+
+def test_fig03(run_experiment):
+    run_experiment("fig03")

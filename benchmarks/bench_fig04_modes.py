@@ -1,0 +1,5 @@
+"""Regenerate Figure 4 of the paper on the full-scale campaign."""
+
+
+def test_fig04(run_experiment):
+    run_experiment("fig04")

@@ -1,0 +1,5 @@
+"""Regenerate Figure 5 of the paper on the full-scale campaign."""
+
+
+def test_fig05(run_experiment):
+    run_experiment("fig05")

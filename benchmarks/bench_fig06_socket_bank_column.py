@@ -1,0 +1,5 @@
+"""Regenerate Figure 6 of the paper on the full-scale campaign."""
+
+
+def test_fig06(run_experiment):
+    run_experiment("fig06")

@@ -1,0 +1,5 @@
+"""Regenerate Figure 7 of the paper on the full-scale campaign."""
+
+
+def test_fig07(run_experiment):
+    run_experiment("fig07")

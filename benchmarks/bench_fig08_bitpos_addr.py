@@ -1,0 +1,5 @@
+"""Regenerate Figure 8 of the paper on the full-scale campaign."""
+
+
+def test_fig08(run_experiment):
+    run_experiment("fig08")

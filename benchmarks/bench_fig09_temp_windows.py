@@ -1,0 +1,10 @@
+"""Regenerate Figure 9: CE count vs pre-error DIMM temperature.
+
+The window-mean evaluation is the heaviest analysis in the study; the
+bench subsamples to 150 k errors (the histogram/fit shape is stable well
+below that size).
+"""
+
+
+def test_fig09(run_experiment):
+    run_experiment("fig09", max_errors=150_000)

@@ -1,0 +1,5 @@
+"""Regenerate Figure 10 of the paper on the full-scale campaign."""
+
+
+def test_fig10(run_experiment):
+    run_experiment("fig10")

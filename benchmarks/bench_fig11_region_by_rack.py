@@ -1,0 +1,5 @@
+"""Regenerate Figure 11 of the paper on the full-scale campaign."""
+
+
+def test_fig11(run_experiment):
+    run_experiment("fig11")

@@ -1,0 +1,5 @@
+"""Regenerate Figure 12 of the paper on the full-scale campaign."""
+
+
+def test_fig12(run_experiment):
+    run_experiment("fig12")

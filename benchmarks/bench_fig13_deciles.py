@@ -1,0 +1,5 @@
+"""Regenerate Figure 13: temperature deciles vs monthly CE rate."""
+
+
+def test_fig13(run_experiment):
+    run_experiment("fig13")

@@ -1,0 +1,5 @@
+"""Regenerate Figure 14: node power vs CE rate, hot/cold split."""
+
+
+def test_fig14(run_experiment):
+    run_experiment("fig14")

@@ -1,0 +1,5 @@
+"""Regenerate Figure 15 of the paper on the full-scale campaign."""
+
+
+def test_fig15(run_experiment):
+    run_experiment("fig15")

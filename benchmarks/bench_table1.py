@@ -1,0 +1,5 @@
+"""Regenerate Table 1 of the paper on the full-scale campaign."""
+
+
+def test_table1(run_experiment):
+    run_experiment("table1")

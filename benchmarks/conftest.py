@@ -1,0 +1,55 @@
+"""Benchmark fixtures: the paper-volume campaign and report capture.
+
+Every bench regenerates one paper table/figure on the full-scale
+synthetic campaign (4.37 M CEs), times the analysis, prints the
+regenerated rows/series, and writes them under ``benchmarks/output/``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def paper_campaign():
+    """The full-volume campaign, generated once, faults pre-coalesced."""
+    from repro.synth import CampaignGenerator
+
+    campaign = CampaignGenerator(seed=7, scale=1.0).generate()
+    campaign.faults()  # warm the coalescing cache out of the timed region
+    return campaign
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Write a rendered experiment report to benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return write
+
+
+@pytest.fixture()
+def run_experiment(paper_campaign, benchmark, report_sink):
+    """Benchmark one experiment once and emit its report."""
+
+    def runner(exp_id: str, **params):
+        from repro.experiments import run
+
+        result = benchmark.pedantic(
+            lambda: run(exp_id, paper_campaign, **params),
+            rounds=1,
+            iterations=1,
+        )
+        report_sink(exp_id, result.render())
+        failed = [k for k, ok in result.checks.items() if not ok]
+        assert not failed, f"{exp_id} shape claims failed: {failed}"
+        return result
+
+    return runner

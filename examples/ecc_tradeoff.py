@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""The ECC design trade-off Astra made: SEC-DED instead of Chipkill.
+
+Section 2.2: "Unlike many HPC platforms of its size, Astra does not
+utilize Chipkill ... it uses the cheaper and less power-hungry
+single-error-correction, double-error-detection (SEC-DED) ECC."
+Section 3.2 spells out a consequence: multi-rank/multi-bank faults
+"would manifest as uncorrectable memory errors".
+
+This example injects physically motivated error patterns through both
+*real* codecs -- the Hsiao SEC-DED(72,64) that models Astra and an
+SSC-DSD chipkill-class symbol code over GF(256) -- and then sizes the
+consequence against the campaign's own fault-mode mix.
+"""
+
+from repro.analysis.ecc_study import compare_schemes, render_comparison
+from repro.faults.classify import errors_per_mode, mode_counts
+from repro.faults.types import FaultMode
+from repro.synth import CampaignGenerator
+
+
+def main() -> None:
+    print("pattern-level outcomes (2,000 Monte-Carlo trials each):\n")
+    results = compare_schemes(trials=2000, seed=7)
+    print(render_comparison(results))
+
+    chip = results["single device failure"]["secded"]
+    print(
+        f"\na failing x8 chip under SEC-DED: {chip.detected / 20:.0f}% DUEs "
+        f"and {chip.miscorrected / 20:.0f}% *silent miscorrections*;"
+        "\nunder Chipkill: 100% corrected."
+    )
+
+    print("\nsizing it against the study's fault mix (5% campaign):")
+    campaign = CampaignGenerator(seed=7, scale=0.05).generate()
+    faults = campaign.faults()
+    counts = mode_counts(faults)
+    errors = errors_per_mode(faults)
+    single_word = counts[FaultMode.SINGLE_WORD]
+    print(
+        f"  {single_word} single-word faults ({errors[FaultMode.SINGLE_WORD]:,}"
+        " errors) are multi-bit-same-device events: each CE was one bit at"
+        "\n  a time, but a double-bit read among them is a DUE under SEC-DED"
+        " and a plain correction under Chipkill."
+    )
+    print(
+        "  single-column and single-bank faults span many words; their DUE"
+        "\n  exposure scales with the fault's footprint -- the paper's page-"
+        "retirement argument applies either way."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Mitigation study: page retirement and node exclusion on Astra's faults.
+
+Section 3.2 argues that because Astra's fault population is dominated by
+small-footprint faults (single-bit/word), lightweight mitigations pay
+off.  This example sweeps both policies over a campaign and prints the
+trade-off frontier: errors avoided vs capacity given up.
+"""
+
+from repro.mitigation.exclude_list import ExcludeListPolicy, simulate_exclude_list
+from repro.mitigation.page_retirement import (
+    PageRetirementPolicy,
+    simulate_page_retirement,
+)
+from repro.synth import CampaignGenerator
+
+
+def main() -> None:
+    campaign = CampaignGenerator(seed=3, scale=0.1).generate()
+    print(f"campaign: {campaign.n_errors:,} CEs on "
+          f"{campaign.topology.n_nodes} nodes\n")
+
+    print("page retirement (retire a 4 KiB page at its k-th CE):")
+    print(f"  {'k':>3} {'errors avoided':>15} {'fraction':>9} "
+          f"{'pages':>6} {'KiB retired':>12}")
+    for threshold in (1, 2, 3, 4, 8, 16, 64):
+        report = simulate_page_retirement(
+            campaign.errors, PageRetirementPolicy(threshold=threshold)
+        )
+        print(
+            f"  {threshold:>3} {report.errors_avoided:>15,} "
+            f"{report.avoided_fraction:>9.1%} {report.pages_retired:>6} "
+            f"{report.retired_bytes / 1024:>12.0f}"
+        )
+    print("\n  (storm records carry no address and can never be retired;")
+    print("   they bound the avoidable fraction from above)")
+
+    print("\nnode exclude list (remove a node after B CEs in 7 days):")
+    print(f"  {'B':>7} {'errors avoided':>15} {'fraction':>9} "
+          f"{'nodes':>6} {'node-days lost':>15}")
+    for budget in (50, 200, 1000, 5000, 20000):
+        report = simulate_exclude_list(
+            campaign.errors,
+            ExcludeListPolicy(ce_budget=budget, window_s=7 * 86400.0),
+        )
+        print(
+            f"  {budget:>7} {report.errors_avoided:>15,} "
+            f"{report.avoided_fraction:>9.1%} {report.nodes_excluded:>6} "
+            f"{report.node_seconds_lost / 86400.0:>15.0f}"
+        )
+    print("\n  (the Figure 5b concentration is why a tiny exclude list")
+    print("   absorbs most of the fleet's error volume)")
+
+
+if __name__ == "__main__":
+    main()

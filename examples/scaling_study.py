@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Scaling study: which of the paper's conclusions need its data volume?
+
+Generates campaigns at several fractions of the paper's 4.37 M CEs and
+tracks a few shape claims across scales.  Calibrated *totals* hold at any
+scale by construction; *statistical* claims (concentration quantiles,
+region orderings, rack spikes) need volume -- a practical illustration of
+why eight months of production telemetry mattered.
+"""
+
+import numpy as np
+
+from repro.analysis.distributions import concentration_curve, per_node_counts
+from repro.analysis.positional import counts_by_rack, counts_by_region
+from repro.synth import CampaignGenerator
+
+SCALES = (0.02, 0.1, 0.4, 1.0)
+
+
+def main() -> None:
+    print(f"{'scale':>6} {'CEs':>10} {'error nodes':>12} {'top-8':>7} "
+          f"{'spike x':>8} {'regions b>t>m':>14}")
+    for scale in SCALES:
+        campaign = CampaignGenerator(seed=7, scale=scale).generate()
+        per_node = per_node_counts(campaign.errors, campaign.topology.n_nodes)
+        curve = concentration_curve(per_node)
+        racks = counts_by_rack(campaign.errors, campaign.topology)
+        others = np.delete(racks, racks.argmax())
+        spike = racks.max() / max(others.max(), 1)
+        region = counts_by_region(campaign.errors, campaign.topology)
+        ordering = region[0] > region[2] > region[1]
+        print(
+            f"{scale:>6g} {campaign.n_errors:>10,} "
+            f"{int((per_node > 0).sum()):>12} {curve.share_of_top(8):>7.2f} "
+            f"{spike:>8.2f} {str(bool(ordering)):>14}"
+        )
+    print(
+        "\ncalibrated totals scale linearly; the statistical claims "
+        "(top-8 share,\nspike factor, region ordering) stabilise only "
+        "toward full volume --\nthe acceptance suite therefore pins "
+        "scale=1.0."
+    )
+
+
+if __name__ == "__main__":
+    main()

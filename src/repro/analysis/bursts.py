@@ -1,0 +1,103 @@
+"""Temporal burst structure of the CE stream.
+
+Correctable errors do not arrive smoothly: a stuck cell under a hot access
+pattern emits packets of CEs seconds apart, separated by quiet hours.
+Burstiness is what makes the finite logging buffer of section 2.3 lossy
+and what the errors-per-fault violin (Figure 4b) integrates over; this
+module measures it directly:
+
+- :func:`interarrival_times` -- per-node gaps between consecutive CEs;
+- :func:`burst_stats` -- a summary: burst fraction, peak window load,
+  and the coefficient of variation (CV > 1 means burstier than Poisson);
+- :func:`peak_window_counts` -- the max CEs any node pushes through one
+  polling window, i.e. the buffer size a lossless logger would need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.types import ERROR_DTYPE
+
+
+def interarrival_times(errors: np.ndarray) -> np.ndarray:
+    """Gaps (seconds) between consecutive CEs on the same node.
+
+    The stream is grouped per node (the logging path is per node) and
+    sorted in time; gaps across node boundaries are excluded.
+    """
+    if errors.dtype != ERROR_DTYPE:
+        raise ValueError("expected ERROR_DTYPE")
+    if errors.size < 2:
+        return np.zeros(0, dtype=np.float64)
+    order = np.lexsort((errors["time"], errors["node"]))
+    t = errors["time"][order]
+    node = errors["node"][order]
+    gaps = np.diff(t)
+    same = node[1:] == node[:-1]
+    return gaps[same]
+
+
+def peak_window_counts(
+    errors: np.ndarray, window_s: float = 5.0
+) -> np.ndarray:
+    """Max CEs per ``window_s`` polling window, per affected node.
+
+    This is the internal CE-buffer size a node would need to log its
+    stream losslessly -- the quantity the bench_ablation_celog study
+    sweeps against.
+    """
+    if errors.dtype != ERROR_DTYPE:
+        raise ValueError("expected ERROR_DTYPE")
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    if errors.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    win = np.floor(errors["time"] / window_s).astype(np.int64)
+    node = errors["node"].astype(np.int64)
+    key = np.stack([node, win], axis=1)
+    uniq, counts = np.unique(key, axis=0, return_counts=True)
+    nodes = uniq[:, 0]
+    out = np.zeros(int(nodes.max()) + 1, dtype=np.int64)
+    np.maximum.at(out, nodes, counts)
+    return out[out > 0]
+
+
+@dataclass(frozen=True)
+class BurstSummary:
+    """Summary of the CE stream's burst structure."""
+
+    n_gaps: int
+    median_gap_s: float
+    p95_gap_s: float
+    burst_fraction: float  # gaps under the burst threshold
+    cv: float  # coefficient of variation of the gaps
+    peak_window_max: int  # worst per-node CEs in one polling window
+
+    @property
+    def burstier_than_poisson(self) -> bool:
+        """A Poisson process has CV 1; real CE streams exceed it."""
+        return self.cv > 1.0
+
+
+def burst_stats(
+    errors: np.ndarray,
+    burst_threshold_s: float = 60.0,
+    poll_window_s: float = 5.0,
+) -> BurstSummary:
+    """Compute the burst summary of a CE stream."""
+    gaps = interarrival_times(errors)
+    if gaps.size == 0:
+        raise ValueError("need at least two errors on one node")
+    peaks = peak_window_counts(errors, poll_window_s)
+    mean = gaps.mean()
+    return BurstSummary(
+        n_gaps=int(gaps.size),
+        median_gap_s=float(np.median(gaps)),
+        p95_gap_s=float(np.percentile(gaps, 95)),
+        burst_fraction=float((gaps < burst_threshold_s).mean()),
+        cv=float(gaps.std() / mean) if mean > 0 else np.inf,
+        peak_window_max=int(peaks.max()),
+    )

@@ -1,0 +1,105 @@
+"""Per-structure error and fault counting (Figures 6 and 7).
+
+All functions take either CE record arrays or fault record arrays -- the
+whole point of section 3.2 is that the two give different pictures, so
+every aggregation works identically on both.  Records whose field carries
+a sentinel (missing payload) are excluded from that field's aggregation
+and reported separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Field -> number of values, for Astra-shaped records.
+FIELD_SIZES = {
+    "socket": 2,
+    "slot": 16,
+    "rank": 2,
+    "bank": 16,
+    "column": 1024,
+}
+
+
+def counts_by(records: np.ndarray, field: str, minlength: int | None = None):
+    """Count records per value of ``field``, excluding sentinel values.
+
+    Returns ``(counts, n_excluded)``.  ``counts[i]`` is the number of
+    records with ``field == i``; records with negative (sentinel) values
+    are excluded and counted in ``n_excluded``.
+
+    Works on CE records (giving *error* counts) and on fault records
+    (giving *fault* counts) alike.
+    """
+    if field not in records.dtype.names:
+        raise ValueError(f"records have no field {field!r}")
+    if minlength is None:
+        minlength = FIELD_SIZES.get(field, 0)
+    values = records[field]
+    valid = values >= 0
+    counts = np.bincount(values[valid].astype(np.int64), minlength=minlength)
+    return counts, int((~valid).sum())
+
+
+def weighted_counts_by(
+    records: np.ndarray,
+    field: str,
+    weights: np.ndarray,
+    minlength: int | None = None,
+):
+    """Sum ``weights`` per value of ``field`` (e.g. errors per fault row).
+
+    With fault records and ``weights=faults["n_errors"]`` this gives the
+    *errors attributed to faults at each location* -- a different (and
+    often more useful) quantity than raw error counts when storm records
+    lack payload.
+    """
+    if field not in records.dtype.names:
+        raise ValueError(f"records have no field {field!r}")
+    if len(weights) != records.size:
+        raise ValueError("weights must align with records")
+    if minlength is None:
+        minlength = FIELD_SIZES.get(field, 0)
+    values = records[field]
+    valid = values >= 0
+    counts = np.bincount(
+        values[valid].astype(np.int64),
+        weights=np.asarray(weights)[valid],
+        minlength=minlength,
+    )
+    return counts, float(np.asarray(weights)[~valid].sum())
+
+
+def errors_and_faults_by(
+    errors: np.ndarray, faults: np.ndarray, field: str
+) -> dict:
+    """The paired view the paper's figures show: errors vs faults per value.
+
+    Returns ``{"errors": ..., "faults": ..., "errors_excluded": ...,
+    "faults_excluded": ...}``.
+    """
+    e_counts, e_excl = counts_by(errors, field)
+    f_counts, f_excl = counts_by(faults, field)
+    n = max(len(e_counts), len(f_counts))
+    return {
+        "errors": np.pad(e_counts, (0, n - len(e_counts))),
+        "faults": np.pad(f_counts, (0, n - len(f_counts))),
+        "errors_excluded": e_excl,
+        "faults_excluded": f_excl,
+    }
+
+
+def observed_column_axis(errors: np.ndarray, faults: np.ndarray) -> np.ndarray:
+    """Columns that appear in either stream, in ascending order.
+
+    Figure 6c/f plot only the columns observed in the data -- with ~7 k
+    faults over 1,024 columns most columns hold a handful of faults, and
+    the figure's x-axis is the observed set.
+    """
+    cols = np.concatenate(
+        [
+            errors["column"][errors["column"] >= 0],
+            faults["column"][faults["column"] >= 0],
+        ]
+    )
+    return np.unique(cols).astype(np.int64)

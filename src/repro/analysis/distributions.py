@@ -1,0 +1,134 @@
+"""Distributional analyses: per-node counts, ECDFs, concentration.
+
+Backs Figure 4b (errors per fault), Figure 5 (per-node fault counts and
+the CE concentration curve) and Figure 8 (per-bit-position and
+per-address fault counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def per_node_counts(records: np.ndarray, n_nodes: int) -> np.ndarray:
+    """Records per node over the whole system (zeros included)."""
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be positive")
+    if records.size and records["node"].max() >= n_nodes:
+        raise ValueError("record node id exceeds n_nodes")
+    return np.bincount(records["node"].astype(np.int64), minlength=n_nodes)
+
+
+def count_histogram(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Frequency-of-counts histogram (Figure 5a / Figure 8 shape).
+
+    Returns ``(values, frequency)`` over the distinct positive counts:
+    ``frequency[i]`` units had exactly ``values[i]`` records.  Zeros are
+    excluded -- the paper plots only locations that appear in the data.
+    """
+    positive = counts[counts > 0]
+    if positive.size == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    values, freq = np.unique(positive, return_counts=True)
+    return values.astype(np.int64), freq.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class ConcentrationCurve:
+    """The Figure 5b ECDF: top-x nodes carry y fraction of all CEs."""
+
+    #: Number of top nodes, 1..n (x-axis).
+    n_top: np.ndarray
+    #: Fraction of total CEs carried by the top x nodes (y-axis).
+    share: np.ndarray
+
+    def share_of_top(self, k: int) -> float:
+        """Fraction of CEs on the k highest-CE nodes."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        k = min(k, self.n_top.size)
+        return float(self.share[k - 1])
+
+    def share_of_top_fraction(self, frac: float) -> float:
+        """Fraction of CEs on the top ``frac`` of all nodes."""
+        if not 0 < frac <= 1:
+            raise ValueError("frac must be in (0, 1]")
+        k = max(1, int(round(frac * self.n_top.size)))
+        return self.share_of_top(k)
+
+    def nodes_with_zero(self) -> int:
+        """Number of nodes contributing nothing to the total."""
+        # share stops growing once all contributing nodes are included.
+        eps = 1e-12
+        growing = np.flatnonzero(np.diff(self.share) > eps)
+        contributors = (int(growing[-1]) + 2) if growing.size else 1
+        if self.share[0] <= eps:
+            return self.n_top.size  # nothing anywhere
+        return self.n_top.size - contributors
+
+
+def concentration_curve(per_node: np.ndarray) -> ConcentrationCurve:
+    """Build the CE concentration ECDF from per-node counts."""
+    total = per_node.sum()
+    if total == 0:
+        raise ValueError("no records to build a concentration curve from")
+    ordered = np.sort(per_node)[::-1]
+    share = np.cumsum(ordered) / total
+    return ConcentrationCurve(
+        n_top=np.arange(1, per_node.size + 1), share=share
+    )
+
+
+@dataclass(frozen=True)
+class ErrorsPerFaultStats:
+    """Summary statistics of the errors-per-fault distribution (Fig 4b)."""
+
+    n_faults: int
+    median: float
+    mean: float
+    p90: float
+    p99: float
+    maximum: int
+    fraction_single_error: float
+
+
+def errors_per_fault_stats(faults: np.ndarray) -> ErrorsPerFaultStats:
+    """Summarise the per-fault error counts of a fault record array."""
+    if faults.size == 0:
+        raise ValueError("no faults")
+    counts = faults["n_errors"].astype(np.float64)
+    return ErrorsPerFaultStats(
+        n_faults=int(faults.size),
+        median=float(np.median(counts)),
+        mean=float(counts.mean()),
+        p90=float(np.percentile(counts, 90)),
+        p99=float(np.percentile(counts, 99)),
+        maximum=int(counts.max()),
+        fraction_single_error=float((counts == 1).mean()),
+    )
+
+
+def per_bit_position_counts(faults: np.ndarray) -> np.ndarray:
+    """Fault counts per codeword bit position (Figure 8a input).
+
+    Only faults with a homogeneous, known bit position contribute (mixed
+    or missing bit positions carry the sentinel).
+    """
+    bits = faults["bit_pos"]
+    valid = bits >= 0
+    return np.bincount(bits[valid].astype(np.int64), minlength=72)
+
+
+def per_address_counts(faults: np.ndarray) -> np.ndarray:
+    """Fault counts per distinct physical address (Figure 8b input).
+
+    Returns the count for each distinct address observed (ascending
+    address order); addresses of unattributed faults (0) are excluded.
+    """
+    addr = faults["address"][faults["address"] > 0]
+    if addr.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    _, counts = np.unique(addr, return_counts=True)
+    return counts.astype(np.int64)

@@ -1,0 +1,133 @@
+"""Discrete power-law fitting (Clauset, Shalizi & Newman style).
+
+The paper observes that per-node fault counts, per-bit-position counts
+and per-address counts "appear to obey a power law", citing Clauset et
+al. [3].  This module implements the standard discrete machinery:
+
+- MLE of the exponent ``alpha`` for a discrete power law with lower
+  cutoff ``xmin`` (the common ``1 + n / sum(ln(x / (xmin - 1/2)))``
+  approximation, accurate for xmin >= 1);
+- the Kolmogorov-Smirnov distance between data and fit;
+- ``xmin`` selection by KS minimisation over candidate cutoffs.
+
+It is a working implementation, not a toy: exponents recovered from
+synthetic Zipf samples are accurate to a few percent (see tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import minimize_scalar
+from scipy.special import zeta
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of fitting a discrete power law."""
+
+    alpha: float
+    xmin: int
+    ks: float
+    n_tail: int
+
+    def plausible(self, ks_threshold: float = 0.12) -> bool:
+        """Loose plausibility check: decent tail size and KS distance.
+
+        This is *not* the full CSN bootstrap significance test; it is the
+        level of evidence the paper itself offers ("appears to obey a
+        power law").
+        """
+        return self.n_tail >= 10 and self.ks <= ks_threshold and self.alpha > 1.0
+
+
+def _alpha_mle(data: np.ndarray, xmin: int) -> float:
+    """Exact discrete MLE: maximise the Hurwitz-zeta log-likelihood.
+
+    The popular ``1 + n / sum(ln(x/(xmin-1/2)))`` shortcut is a
+    continuous approximation that biases alpha low for small xmin (at
+    xmin=1 the bias reaches ~30% for alpha ~3), so we maximise the true
+    discrete likelihood numerically.
+    """
+    tail = data[data >= xmin]
+    n = tail.size
+    log_sum = np.log(tail).sum()
+
+    def nll(alpha: float) -> float:
+        return n * np.log(zeta(alpha, xmin)) + alpha * log_sum
+
+    result = minimize_scalar(nll, bounds=(1.0001, 12.0), method="bounded")
+    return float(result.x)
+
+
+def _ks_distance(data: np.ndarray, alpha: float, xmin: int) -> float:
+    tail = np.sort(data[data >= xmin])
+    n = tail.size
+    if n == 0:
+        return np.inf
+    xmax = int(tail[-1])
+    xs = np.arange(xmin, xmax + 1, dtype=np.float64)
+    # Discrete power-law CDF on [xmin, xmax].
+    z = zeta(alpha, xmin)
+    pmf = xs**-alpha / z
+    cdf = np.cumsum(pmf)
+    # Empirical CDF at each integer value.
+    emp = np.searchsorted(tail, xs, side="right") / n
+    return float(np.max(np.abs(emp - cdf)))
+
+
+def fit_discrete_powerlaw(
+    data, xmin: int | None = None, max_xmin_candidates: int = 50
+) -> PowerLawFit:
+    """Fit a discrete power law; select ``xmin`` by KS minimisation.
+
+    Parameters
+    ----------
+    data:
+        Positive integer observations (e.g. faults per node, counts per
+        bit position).  Zeros are dropped.
+    xmin:
+        Fix the lower cutoff instead of scanning.
+    max_xmin_candidates:
+        Cap on candidate cutoffs scanned (smallest distinct values).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    data = data[data >= 1]
+    if data.size < 3:
+        raise ValueError("need at least 3 positive observations")
+
+    if xmin is not None:
+        alpha = _alpha_mle(data, xmin)
+        return PowerLawFit(
+            alpha=float(alpha),
+            xmin=int(xmin),
+            ks=_ks_distance(data, alpha, xmin),
+            n_tail=int((data >= xmin).sum()),
+        )
+
+    candidates = np.unique(data.astype(np.int64))[:max_xmin_candidates]
+    best: PowerLawFit | None = None
+    for cand in candidates:
+        tail_n = int((data >= cand).sum())
+        if tail_n < 5:
+            break
+        alpha = _alpha_mle(data, int(cand))
+        ks = _ks_distance(data, alpha, int(cand))
+        fit = PowerLawFit(alpha=float(alpha), xmin=int(cand), ks=ks, n_tail=tail_n)
+        if best is None or fit.ks < best.ks:
+            best = fit
+    assert best is not None
+    return best
+
+
+def sample_discrete_powerlaw(
+    rng: np.random.Generator, alpha: float, n: int, xmin: int = 1, xmax: int = 10**6
+) -> np.ndarray:
+    """Draw discrete power-law samples (for tests and ablations)."""
+    if alpha <= 1.0:
+        raise ValueError("alpha must exceed 1 for a normalisable tail")
+    xs = np.arange(xmin, xmax + 1, dtype=np.float64)
+    p = xs**-alpha
+    p /= p.sum()
+    return rng.choice(np.arange(xmin, xmax + 1), size=n, p=p)

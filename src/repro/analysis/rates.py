@@ -1,0 +1,121 @@
+"""Fault rates, persistence classes, and per-mode FIT tables.
+
+The paper reports a FIT only for DUEs (section 3.5); the companion
+studies it builds on (Sridharan & Liberty; Siddiqua et al.) report
+per-mode *fault* FIT rates and split faults into persistence classes.
+This module adds those instruments so the campaign can be compared
+against that literature:
+
+- :func:`classify_persistence` -- transient (one error, never again),
+  intermittent (recurring over a bounded span), or sustained (active
+  across a long span) -- an observational proxy for the
+  transient/intermittent/hard taxonomy;
+- :func:`fault_fit_per_device` -- faults per 10^9 device-hours, overall
+  and per mode;
+- :func:`per_mode_fit_table` -- the rendered table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+from repro._util import DAY_S
+from repro.faults.types import FAULT_DTYPE, FaultMode
+
+
+class Persistence(IntEnum):
+    """Observational persistence class of a fault."""
+
+    TRANSIENT = 0  # a single error, never repeated
+    INTERMITTENT = 1  # repeats within a bounded window (< 1 day)
+    SUSTAINED = 2  # active across days or more
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+def classify_persistence(
+    faults: np.ndarray, intermittent_span_s: float = DAY_S
+) -> np.ndarray:
+    """Assign a :class:`Persistence` class to every fault.
+
+    Single-error faults are transient; multi-error faults whose first and
+    last errors fall within ``intermittent_span_s`` are intermittent;
+    longer-lived faults are sustained.  This mirrors how field studies
+    bin faults when the underlying physics is unobservable.
+    """
+    if faults.dtype != FAULT_DTYPE:
+        raise ValueError("expected FAULT_DTYPE")
+    span = faults["last_time"] - faults["first_time"]
+    out = np.full(faults.size, Persistence.SUSTAINED, dtype=np.int8)
+    out[span < intermittent_span_s] = Persistence.INTERMITTENT
+    out[faults["n_errors"] == 1] = Persistence.TRANSIENT
+    return out
+
+
+@dataclass(frozen=True)
+class FitRate:
+    """A FIT rate (failures per 10^9 device-hours) with its inputs."""
+
+    n_events: int
+    n_devices: int
+    window_hours: float
+
+    @property
+    def fit(self) -> float:
+        exposure = self.n_devices * self.window_hours
+        return self.n_events / exposure * 1e9 if exposure else 0.0
+
+
+def fault_fit_per_device(
+    faults: np.ndarray,
+    window: tuple[float, float],
+    n_devices: int,
+) -> FitRate:
+    """Overall fault FIT per device (DIMM) over an observation window."""
+    if n_devices < 1:
+        raise ValueError("n_devices must be positive")
+    t0, t1 = window
+    if t1 <= t0:
+        raise ValueError("empty window")
+    inside = (faults["first_time"] >= t0) & (faults["first_time"] < t1)
+    return FitRate(
+        n_events=int(inside.sum()),
+        n_devices=n_devices,
+        window_hours=(t1 - t0) / 3600.0,
+    )
+
+
+def per_mode_fit_table(
+    faults: np.ndarray,
+    window: tuple[float, float],
+    n_devices: int,
+) -> list[tuple[str, int, float]]:
+    """(mode label, fault count, FIT) rows for every observed mode."""
+    rows = []
+    for mode in FaultMode:
+        sub = faults[faults["mode"] == mode]
+        if sub.size == 0:
+            continue
+        rate = fault_fit_per_device(sub, window, n_devices)
+        rows.append((mode.label, int(sub.size), rate.fit))
+    return rows
+
+
+def persistence_summary(faults: np.ndarray) -> dict[Persistence, int]:
+    """Fault counts per persistence class."""
+    classes = classify_persistence(faults)
+    counts = np.bincount(classes, minlength=len(Persistence))
+    return {p: int(counts[p]) for p in Persistence}
+
+
+def render_fit_table(rows: list[tuple[str, int, float]]) -> str:
+    """Text rendering of a per-mode FIT table."""
+    lines = [f"{'mode':<14} {'faults':>8} {'FIT/DIMM':>10}"]
+    for label, count, fit in rows:
+        lines.append(f"{label:<14} {count:>8} {fit:>10.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Replacement tallies (Table 1) and daily series (Figure 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import DAY_S
+from repro.machine.node import NodeConfig
+from repro.machine.topology import AstraTopology
+from repro.synth.replacements import REPLACEMENT_DTYPE, Component
+
+
+@dataclass(frozen=True)
+class ReplacementRow:
+    """One Table 1 row."""
+
+    component: Component
+    n_replaced: int
+    population: int
+
+    @property
+    def percent(self) -> float:
+        """Percent of the installed population replaced."""
+        return 100.0 * self.n_replaced / self.population if self.population else 0.0
+
+    def render(self) -> str:
+        return (
+            f"{self.component.label:<14} {self.n_replaced:>6} "
+            f"{self.percent:>6.1f}% of {self.population}"
+        )
+
+
+def component_population(
+    component: Component, topology: AstraTopology, config: NodeConfig
+) -> int:
+    """Installed population of a component kind (Table 1 denominators)."""
+    if component is Component.PROCESSOR:
+        return config.system_processor_count(topology.n_nodes)
+    if component is Component.MOTHERBOARD:
+        return topology.n_nodes
+    return config.system_dimm_count(topology.n_nodes)
+
+
+def replacement_table(
+    events: np.ndarray,
+    topology: AstraTopology | None = None,
+    config: NodeConfig | None = None,
+) -> list[ReplacementRow]:
+    """Regenerate Table 1 from a replacement event stream."""
+    if events.dtype != REPLACEMENT_DTYPE:
+        raise ValueError("expected REPLACEMENT_DTYPE")
+    topology = topology or AstraTopology()
+    config = config or NodeConfig()
+    counts = np.bincount(events["component"], minlength=len(Component))
+    return [
+        ReplacementRow(
+            component=kind,
+            n_replaced=int(counts[kind]),
+            population=component_population(kind, topology, config),
+        )
+        for kind in Component
+    ]
+
+
+def daily_replacement_series(
+    events: np.ndarray,
+    component: Component,
+    window: tuple[float, float],
+) -> np.ndarray:
+    """Daily replacement counts for one component kind (Figure 3)."""
+    if events.dtype != REPLACEMENT_DTYPE:
+        raise ValueError("expected REPLACEMENT_DTYPE")
+    t0, t1 = window
+    n_days = max(1, int(np.ceil((t1 - t0) / DAY_S)))
+    sel = events[events["component"] == component]
+    days = np.floor((sel["time"] - t0) / DAY_S).astype(np.int64)
+    valid = (days >= 0) & (days < n_days)
+    return np.bincount(days[valid], minlength=n_days)
+
+
+def infant_mortality_ratio(daily: np.ndarray, burn_in_days: int = 30) -> float:
+    """First-``burn_in_days`` daily replacement rate over the later rate.
+
+    Values above 1 indicate elevated early (infant mortality)
+    replacement, the section 3.1 observation.
+    """
+    if daily.size <= burn_in_days:
+        raise ValueError("series shorter than the burn-in period")
+    early = daily[:burn_in_days].mean()
+    late = daily[burn_in_days:].mean()
+    if late == 0:
+        return np.inf if early > 0 else 1.0
+    return float(early / late)

@@ -1,0 +1,115 @@
+"""Monthly series and linear trend fits (Figures 4a and 9).
+
+Monthly buckets use fixed-width average months anchored at the start of
+the error window, matching the paper's month-numbered x-axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro._util import MONTH_S, month_index
+from repro.faults.coalesce import CoalesceOptions, errors_with_fault_ids
+from repro.faults.types import REPORTED_MODES, FaultMode
+
+
+def monthly_counts(times, t0: float, n_months: int) -> np.ndarray:
+    """Event counts per month bucket; out-of-range events are dropped."""
+    if n_months < 1:
+        raise ValueError("n_months must be positive")
+    idx = month_index(times, t0)
+    idx = np.atleast_1d(idx)
+    valid = (idx >= 0) & (idx < n_months)
+    return np.bincount(idx[valid], minlength=n_months)
+
+
+def n_months_in(window: tuple[float, float]) -> int:
+    """Number of (possibly partial) month buckets covering a window."""
+    return int(np.ceil((window[1] - window[0]) / MONTH_S))
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares line fit with its correlation."""
+
+    slope: float
+    intercept: float
+    rvalue: float
+    pvalue: float
+
+    def predict(self, x) -> np.ndarray:
+        return self.slope * np.asarray(x, dtype=np.float64) + self.intercept
+
+
+def linear_fit(x, y) -> LinearFit:
+    """Least-squares fit of y on x (Figure 9's trend lines)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need two same-length arrays with >= 2 points")
+    if np.allclose(x, x[0]):
+        raise ValueError("x values are all identical")
+    result = stats.linregress(x, y)
+    return LinearFit(
+        slope=float(result.slope),
+        intercept=float(result.intercept),
+        rvalue=float(result.rvalue),
+        pvalue=float(result.pvalue),
+    )
+
+
+@dataclass(frozen=True)
+class ModeMonthlySeries:
+    """Figure 4a: total errors and per-mode errors by month."""
+
+    t0: float
+    all_errors: np.ndarray
+    by_mode: dict  # FaultMode -> monthly error counts
+
+    @property
+    def n_months(self) -> int:
+        return int(self.all_errors.size)
+
+    def declining(self) -> bool:
+        """The paper's "slightly downward trend" claim, as a slope test.
+
+        Fit a line to log-counts over the full months (the first and the
+        last bucket can be partial); declining means negative slope.
+        """
+        months = np.arange(self.n_months)
+        counts = self.all_errors
+        inner = slice(0, max(2, self.n_months - 1))
+        y = np.log10(np.maximum(counts[inner], 1))
+        return linear_fit(months[inner], y).slope < 0
+
+
+def mode_monthly_series(
+    errors: np.ndarray,
+    window: tuple[float, float],
+    options: CoalesceOptions | None = None,
+) -> ModeMonthlySeries:
+    """Build the Figure 4a series: per-month errors, total and by mode.
+
+    Each error is attributed the mode of the fault it coalesces into;
+    months follow the error window.
+    """
+    t0 = window[0]
+    n_months = n_months_in(window)
+    faults, fault_ids = errors_with_fault_ids(errors, options)
+    all_series = monthly_counts(errors["time"], t0, n_months)
+    mode_per_error = faults["mode"][fault_ids]
+    by_mode = {}
+    for mode in FaultMode:
+        sel = mode_per_error == mode
+        by_mode[mode] = monthly_counts(errors["time"][sel], t0, n_months)
+    return ModeMonthlySeries(t0=t0, all_errors=all_series, by_mode=by_mode)
+
+
+def reported_mode_totals(series: ModeMonthlySeries) -> dict:
+    """Totals for the four modes the paper reports, plus the rest."""
+    out = {mode: int(series.by_mode[mode].sum()) for mode in REPORTED_MODES}
+    out["total"] = int(series.all_errors.sum())
+    return out

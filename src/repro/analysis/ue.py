@@ -1,0 +1,85 @@
+"""Uncorrectable-error analysis (section 3.5, Figure 15).
+
+Computes the DUE rate per DIMM per year over the HET recording window and
+the corresponding FIT (failures per 10^9 device-hours), plus the daily
+per-event-type series of Figure 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import DAY_S, HOURS_PER_YEAR
+from repro.synth.het import EVENT_TYPES, HET_DTYPE
+
+
+def due_records(het: np.ndarray) -> np.ndarray:
+    """The NON-RECOVERABLE subset (Figure 15b)."""
+    if het.dtype != HET_DTYPE:
+        raise ValueError("expected HET_DTYPE")
+    return het[het["non_recoverable"]]
+
+
+@dataclass(frozen=True)
+class DueRate:
+    """DUE rate over a recording window."""
+
+    n_dues: int
+    n_dimms: int
+    window_years: float
+
+    @property
+    def per_dimm_year(self) -> float:
+        """DUEs per DIMM per year (the paper reports 0.00948)."""
+        return self.n_dues / (self.n_dimms * self.window_years)
+
+    @property
+    def fit_per_dimm(self) -> float:
+        """FIT: failures per 10^9 device-hours (~1081 in the paper)."""
+        return self.per_dimm_year / HOURS_PER_YEAR * 1e9
+
+
+def due_rate(
+    het: np.ndarray,
+    window: tuple[float, float],
+    n_dimms: int,
+) -> DueRate:
+    """Compute the DUE rate over ``window`` for a DIMM population."""
+    if n_dimms < 1:
+        raise ValueError("n_dimms must be positive")
+    t0, t1 = window
+    if t1 <= t0:
+        raise ValueError("empty window")
+    dues = due_records(het)
+    inside = (dues["time"] >= t0) & (dues["time"] < t1)
+    return DueRate(
+        n_dues=int(inside.sum()),
+        n_dimms=n_dimms,
+        window_years=(t1 - t0) / (365.0 * DAY_S),
+    )
+
+
+def daily_counts_by_event(
+    het: np.ndarray, window: tuple[float, float]
+) -> dict[str, np.ndarray]:
+    """Daily counts per event type over ``window`` (Figure 15 series)."""
+    if het.dtype != HET_DTYPE:
+        raise ValueError("expected HET_DTYPE")
+    t0, t1 = window
+    n_days = max(1, int(np.ceil((t1 - t0) / DAY_S)))
+    out = {}
+    days = np.floor((het["time"] - t0) / DAY_S).astype(np.int64)
+    valid = (days >= 0) & (days < n_days)
+    for idx, name in enumerate(EVENT_TYPES):
+        sel = valid & (het["event"] == idx)
+        out[name] = np.bincount(days[sel], minlength=n_days)
+    return out
+
+
+def recording_gap_respected(het: np.ndarray, gap_end: float) -> bool:
+    """No HET records before the firmware update (the Figure 15 gap)."""
+    if het.size == 0:
+        return True
+    return float(het["time"].min()) >= gap_end

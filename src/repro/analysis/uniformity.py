@@ -1,0 +1,75 @@
+"""Uniformity tests backing the "fairly uniform" claims of section 3.2.
+
+The paper argues that fault counts across sockets, banks, columns and
+rack regions are consistent with uniform-plus-noise, while error counts
+are not.  Chi-square goodness of fit against the uniform distribution is
+the standard instrument; relative spread (max/mean) gives the readable
+companion number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class UniformityResult:
+    """Chi-square uniformity test result."""
+
+    statistic: float
+    pvalue: float
+    cv: float  # coefficient of variation of the counts
+    max_over_mean: float
+
+    def is_uniform(self, alpha: float = 0.01) -> bool:
+        """Whether uniformity is *not rejected* at level ``alpha``."""
+        return self.pvalue >= alpha
+
+
+def chi_square_uniform(counts) -> UniformityResult:
+    """Test observed category counts against the uniform distribution."""
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim != 1 or counts.size < 2:
+        raise ValueError("need a 1-D array of at least two category counts")
+    if counts.sum() <= 0:
+        raise ValueError("counts sum to zero")
+    statistic, pvalue = stats.chisquare(counts)
+    mean = counts.mean()
+    return UniformityResult(
+        statistic=float(statistic),
+        pvalue=float(pvalue),
+        cv=float(counts.std() / mean) if mean else np.inf,
+        max_over_mean=float(counts.max() / mean) if mean else np.inf,
+    )
+
+
+def subsampled_uniformity(
+    counts, sample_size: int = 2000, seed: int = 0
+) -> UniformityResult:
+    """Uniformity test at a fixed statistical power.
+
+    With millions of observations a chi-square test rejects uniformity
+    for trivially small deviations; the paper's claim is about *practical*
+    uniformity ("variation can be explained by statistical noise" at the
+    fault scale).  Testing a multinomial subsample of fixed size asks the
+    comparable question: would a dataset the size of the fault population
+    distinguish these counts from uniform?
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        raise ValueError("counts sum to zero")
+    rng = np.random.default_rng(seed)
+    sample = rng.multinomial(min(sample_size, int(total)), counts / total)
+    return chi_square_uniform(sample)
+
+
+def relative_spread(counts) -> float:
+    """(max - min) / mean of category counts; 0 for perfectly uniform."""
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.size == 0 or counts.mean() == 0:
+        raise ValueError("need nonzero counts")
+    return float((counts.max() - counts.min()) / counts.mean())

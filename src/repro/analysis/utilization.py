@@ -1,0 +1,112 @@
+"""Utilisation (node power) versus CE rate, hot/cold split (Figure 14).
+
+Astra has no direct CPU-utilisation telemetry, so the paper uses node DC
+power as the proxy.  Each Figure 14 panel takes one temperature sensor,
+splits the (node, month) samples at that sensor's median temperature into
+a *hot* and a *cold* population, and plots mean monthly CE rate against
+monthly average node power for each -- the Schroeder et al. method for
+separating temperature effects from utilisation effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.temperature import monthly_node_sensor_means
+from repro.analysis.trends import linear_fit
+from repro.machine.sensors import NodeSensorComplement
+
+
+@dataclass(frozen=True)
+class HotColdCurves:
+    """One Figure 14 panel: CE rate vs power, hot and cold halves."""
+
+    sensor_name: str
+    power_bin_centers_hot: np.ndarray
+    rate_hot: np.ndarray
+    power_bin_centers_cold: np.ndarray
+    rate_cold: np.ndarray
+
+    def hot_shifted_right(self) -> bool:
+        """Hot samples sit at higher power (utilisation couples to heat)."""
+        return float(
+            np.average(self.power_bin_centers_hot, weights=np.maximum(self.rate_hot, 1e-9))
+        ) >= float(
+            np.average(
+                self.power_bin_centers_cold, weights=np.maximum(self.rate_cold, 1e-9)
+            )
+        ) or float(self.power_bin_centers_hot.mean()) >= float(
+            self.power_bin_centers_cold.mean()
+        )
+
+    def strong_power_trend(self) -> bool:
+        """Would this panel support "higher utilisation, more errors"?"""
+        for x, y in (
+            (self.power_bin_centers_hot, self.rate_hot),
+            (self.power_bin_centers_cold, self.rate_cold),
+        ):
+            if x.size >= 3 and not np.allclose(x, x[0]):
+                fit = linear_fit(x, y)
+                if fit.slope > 0 and fit.rvalue > 0.6:
+                    return True
+        return False
+
+
+def _binned_mean_rate(
+    power: np.ndarray, ce: np.ndarray, n_bins: int
+) -> tuple[np.ndarray, np.ndarray]:
+    lo, hi = float(power.min()), float(power.max())
+    if hi - lo < 1e-9:
+        return np.array([lo]), np.array([float(ce.mean())])
+    edges = np.linspace(lo, hi, n_bins + 1)
+    idx = np.clip(np.digitize(power, edges) - 1, 0, n_bins - 1)
+    sums = np.bincount(idx, weights=ce, minlength=n_bins)
+    counts = np.bincount(idx, minlength=n_bins)
+    populated = counts > 0
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return centers[populated], sums[populated] / counts[populated]
+
+
+def hot_cold_curves(
+    sensor_name: str,
+    temps: np.ndarray,
+    power: np.ndarray,
+    ce_counts: np.ndarray,
+    n_bins: int = 10,
+) -> HotColdCurves:
+    """Split (node, month) samples at the sensor's median temperature.
+
+    ``temps``, ``power``, ``ce_counts`` are aligned arrays (flattened
+    (node, month) grids) of monthly means / counts.
+    """
+    temps = np.asarray(temps, dtype=np.float64).ravel()
+    power = np.asarray(power, dtype=np.float64).ravel()
+    ce = np.asarray(ce_counts, dtype=np.float64).ravel()
+    if not (temps.size == power.size == ce.size) or temps.size < 4:
+        raise ValueError("need aligned arrays of at least 4 samples")
+    median = np.median(temps)
+    hot = temps >= median
+    xh, yh = _binned_mean_rate(power[hot], ce[hot], n_bins)
+    xc, yc = _binned_mean_rate(power[~hot], ce[~hot], n_bins)
+    return HotColdCurves(
+        sensor_name=sensor_name,
+        power_bin_centers_hot=xh,
+        rate_hot=yh,
+        power_bin_centers_cold=xc,
+        rate_cold=yc,
+    )
+
+
+def monthly_node_power(
+    sensor_model,
+    window: tuple[float, float],
+    n_nodes: int,
+    grid_s: float = 4 * 3600.0,
+) -> np.ndarray:
+    """Monthly average node DC power: shape (n_nodes, n_months)."""
+    power_sensor = NodeSensorComplement().power_sensor.index
+    return monthly_node_sensor_means(
+        sensor_model, power_sensor, window, n_nodes, grid_s
+    )

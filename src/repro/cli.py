@@ -1,0 +1,201 @@
+"""Command-line interface: ``astra-memrepro``.
+
+Subcommands:
+
+- ``synth``      generate a campaign and write it to a directory;
+- ``analyze``    run experiments over a stored campaign directory;
+- ``experiment`` generate in memory and run one (or all) experiments;
+- ``list``       list the registered experiments.
+
+Examples::
+
+    astra-memrepro synth --scale 0.05 --out /tmp/camp --text-logs
+    astra-memrepro analyze /tmp/camp --exp fig05 fig12
+    astra-memrepro experiment --exp fig04 --scale 0.1
+    astra-memrepro experiment --all --scale 1.0 > report.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_common_gen_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7, help="campaign RNG seed")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="volume scale; 1.0 = the paper's 4.37M CEs",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="astra-memrepro",
+        description="Reproduction of the HPDC'22 Astra memory-failure study.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_synth = sub.add_parser("synth", help="generate and store a campaign")
+    _add_common_gen_args(p_synth)
+    p_synth.add_argument("--out", required=True, help="output directory")
+    p_synth.add_argument(
+        "--text-logs", action="store_true", help="also write text logs (slower)"
+    )
+    p_synth.add_argument(
+        "--shards", action="store_true", help="write per-rack error shards"
+    )
+
+    p_analyze = sub.add_parser("analyze", help="run experiments on a stored campaign")
+    p_analyze.add_argument("directory", help="campaign directory from 'synth'")
+    p_analyze.add_argument(
+        "--exp", nargs="*", default=None, help="experiment ids (default: all)"
+    )
+
+    p_exp = sub.add_parser("experiment", help="generate in memory and run experiments")
+    _add_common_gen_args(p_exp)
+    group = p_exp.add_mutually_exclusive_group(required=True)
+    group.add_argument("--exp", nargs="*", help="experiment ids")
+    group.add_argument("--all", action="store_true", help="run every experiment")
+
+    p_mit = sub.add_parser(
+        "mitigate", help="run the mitigation simulators on a campaign"
+    )
+    _add_common_gen_args(p_mit)
+    p_mit.add_argument(
+        "--retire-threshold", type=int, default=2, help="page retirement CE threshold"
+    )
+    p_mit.add_argument(
+        "--exclude-budget", type=int, default=1000, help="exclude-list CE budget"
+    )
+
+    p_val = sub.add_parser(
+        "validate", help="check a campaign against the calibration targets"
+    )
+    _add_common_gen_args(p_val)
+
+    p_rel = sub.add_parser(
+        "release", help="write the section 2.4-shaped public data release"
+    )
+    _add_common_gen_args(p_rel)
+    p_rel.add_argument("--out", required=True, help="release directory")
+    p_rel.add_argument(
+        "--sensor-cadence", type=float, default=3600.0,
+        help="environmental sampling cadence in seconds",
+    )
+
+    sub.add_parser("list", help="list registered experiments")
+    return parser
+
+
+def _run_experiments(campaign, exp_ids) -> int:
+    from repro import experiments
+
+    if exp_ids is None:
+        exp_ids = [e for e, _ in experiments.list_experiments()]
+    failed = 0
+    for exp_id in exp_ids:
+        result = experiments.run(exp_id, campaign)
+        print(result.render())
+        print()
+        failed += not result.all_checks_pass
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        from repro.experiments import list_experiments
+
+        for exp_id, title in list_experiments(include_extensions=True):
+            print(f"{exp_id:<12} {title}")
+        return 0
+
+    if args.command == "synth":
+        from repro.logs.campaign_io import write_campaign
+        from repro.synth import CampaignGenerator
+
+        campaign = CampaignGenerator(seed=args.seed, scale=args.scale).generate()
+        directory = write_campaign(
+            campaign, args.out, text_logs=args.text_logs, shards=args.shards
+        )
+        print(
+            f"wrote campaign (seed={args.seed}, scale={args.scale}, "
+            f"{campaign.n_errors} CEs) to {directory}"
+        )
+        return 0
+
+    if args.command == "analyze":
+        from repro.logs.campaign_io import (
+            campaign_from_records,
+            load_campaign_records,
+        )
+
+        campaign = campaign_from_records(load_campaign_records(args.directory))
+        return _run_experiments(campaign, args.exp)
+
+    if args.command == "experiment":
+        from repro.synth import CampaignGenerator
+
+        campaign = CampaignGenerator(seed=args.seed, scale=args.scale).generate()
+        return _run_experiments(campaign, None if args.all else args.exp)
+
+    if args.command == "mitigate":
+        from repro.mitigation import (
+            ExcludeListPolicy,
+            PageRetirementPolicy,
+            simulate_exclude_list,
+            simulate_page_retirement,
+        )
+        from repro.synth import CampaignGenerator
+
+        campaign = CampaignGenerator(seed=args.seed, scale=args.scale).generate()
+        retire = simulate_page_retirement(
+            campaign.errors,
+            PageRetirementPolicy(threshold=args.retire_threshold),
+        )
+        exclude = simulate_exclude_list(
+            campaign.errors, ExcludeListPolicy(ce_budget=args.exclude_budget)
+        )
+        print(f"campaign: {campaign.n_errors} CEs (seed={args.seed}, scale={args.scale})")
+        print(
+            f"page retirement (k={args.retire_threshold}): avoided "
+            f"{retire.errors_avoided} CEs ({retire.avoided_fraction:.1%}), "
+            f"{retire.pages_retired} pages ({retire.retired_bytes / 1024:.0f} KiB)"
+        )
+        print(
+            f"exclude list (B={args.exclude_budget}): avoided "
+            f"{exclude.errors_avoided} CEs ({exclude.avoided_fraction:.1%}), "
+            f"{exclude.nodes_excluded} nodes, "
+            f"{exclude.node_seconds_lost / 86400.0:.0f} node-days lost"
+        )
+        return 0
+
+    if args.command == "release":
+        from repro.logs.release import write_release
+        from repro.synth import CampaignGenerator
+
+        campaign = CampaignGenerator(seed=args.seed, scale=args.scale).generate()
+        directory = write_release(
+            campaign, args.out, sensor_cadence_s=args.sensor_cadence
+        )
+        print(f"wrote release ({campaign.n_errors} CE records) to {directory}")
+        return 0
+
+    if args.command == "validate":
+        from repro.synth import CampaignGenerator, render_validation, validate_campaign
+
+        campaign = CampaignGenerator(seed=args.seed, scale=args.scale).generate()
+        checks = validate_campaign(campaign)
+        print(render_validation(checks))
+        return 0 if all(c.passed for c in checks) else 1
+
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

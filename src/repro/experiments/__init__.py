@@ -1,0 +1,29 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each module exposes ``EXP_ID``, ``TITLE`` and ``run(campaign, **params)``
+returning an :class:`repro.experiments.base.ExperimentResult` that holds
+the regenerated rows/series and the evaluated shape claims.  The registry
+(:mod:`repro.experiments.registry`) maps ids to modules; see DESIGN.md
+section 4 for the per-experiment index.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    EXTENSIONS,
+    list_experiments,
+    run,
+    run_all,
+)
+from repro.experiments.report import render_markdown, render_report
+
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "EXTENSIONS",
+    "list_experiments",
+    "run",
+    "run_all",
+    "render_report",
+    "render_markdown",
+]

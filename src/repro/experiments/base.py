@@ -1,0 +1,153 @@
+"""Experiment result containers and rendering helpers.
+
+Every experiment module exposes ``run(campaign, **params) ->
+ExperimentResult``.  A result carries:
+
+- ``series``: the numeric rows/curves the paper's table or figure shows,
+  keyed by series name (what a plotting script would consume);
+- ``checks``: named boolean *shape claims* -- the qualitative statements
+  the paper makes about this table/figure, evaluated on the regenerated
+  data (who wins, what is uniform, where the spike is);
+- ``notes``: paper-vs-measured commentary for EXPERIMENTS.md.
+
+``render()`` produces the text report printed by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of regenerating one paper table or figure."""
+
+    exp_id: str
+    title: str
+    series: dict = field(default_factory=dict)
+    checks: dict = field(default_factory=dict)
+    notes: list = field(default_factory=list)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        """Whether every shape claim held on the regenerated data."""
+        return all(bool(v) for v in self.checks.values())
+
+    def check(self, name: str, value: bool) -> None:
+        """Record one shape claim."""
+        self.checks[name] = bool(value)
+
+    def note(self, text: str) -> None:
+        """Record a paper-vs-measured note."""
+        self.notes.append(text)
+
+    # ------------------------------------------------------------------
+    def export_csv(self, directory) -> list:
+        """Write each series to ``<directory>/<exp_id>--<series>.csv``.
+
+        Arrays become one column (``index,value``); row-tuples become
+        one row per tuple; dicts become ``key,value`` pairs (array values
+        inline as one row each).  Returns the written paths -- the
+        hand-off point for any plotting tool.
+        """
+        from pathlib import Path
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = []
+        for name, values in self.series.items():
+            slug = "".join(c if c.isalnum() else "-" for c in name).strip("-")
+            path = directory / f"{self.exp_id}--{slug}.csv"
+            with open(path, "w") as fh:
+                if isinstance(values, np.ndarray):
+                    fh.write("index,value\n")
+                    for i, v in enumerate(values.ravel()):
+                        fh.write(f"{i},{v:g}\n")
+                elif isinstance(values, (list, tuple)) and values and isinstance(
+                    values[0], tuple
+                ):
+                    for row in values:
+                        fh.write(",".join(str(x) for x in row) + "\n")
+                elif isinstance(values, dict):
+                    for key, val in values.items():
+                        if isinstance(val, np.ndarray):
+                            flat = ",".join(f"{x:g}" for x in val.ravel())
+                        else:
+                            flat = str(val)
+                        fh.write(f"{key},{flat}\n")
+                else:
+                    fh.write(f"{values}\n")
+            written.append(path)
+        return written
+
+    # ------------------------------------------------------------------
+    def render(self, max_rows: int = 40) -> str:
+        """Text report: series tables, checks, notes."""
+        lines = [f"== {self.exp_id}: {self.title} ==", ""]
+        for name, values in self.series.items():
+            lines.append(f"-- {name} --")
+            lines.extend(_render_series(values, max_rows))
+            lines.append("")
+        if self.checks:
+            lines.append("-- shape checks --")
+            for name, ok in self.checks.items():
+                lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+            lines.append("")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _render_series(values, max_rows: int) -> list[str]:
+    if isinstance(values, dict):
+        out = []
+        for key, val in values.items():
+            out.append(f"  {key}: {_fmt_value(val)}")
+        return out
+    if isinstance(values, (list, tuple)) and values and isinstance(values[0], tuple):
+        return [f"  {'  '.join(str(x) for x in row)}" for row in values[:max_rows]]
+    return [f"  {_fmt_value(values)}"]
+
+
+def _fmt_value(val) -> str:
+    if isinstance(val, np.ndarray):
+        if val.size > 24:
+            head = ", ".join(f"{x:g}" for x in val.ravel()[:24])
+            body = f"[{head}, ... ({val.size} values)]"
+        else:
+            body = "[" + ", ".join(f"{x:g}" for x in val.ravel()) + "]"
+        spark = sparkline(val)
+        return f"{body}\n    {spark}" if spark else body
+    if isinstance(val, float):
+        return f"{val:g}"
+    return str(val)
+
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values, width: int = 60) -> str:
+    """ASCII sparkline of a numeric series (empty string if unsuitable).
+
+    Values are binned to ``width`` columns and mapped onto a ten-level
+    density ramp -- enough to see the Figure 3 bursts or the Figure 12
+    rack spike directly in the text report.
+    """
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size < 4 or not np.all(np.isfinite(arr)):
+        return ""
+    if arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array([arr[a:b].mean() for a, b in zip(edges[:-1], edges[1:])])
+    lo, hi = arr.min(), arr.max()
+    if hi - lo < 1e-12:
+        return _SPARK_CHARS[1] * arr.size
+    levels = ((arr - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)).astype(int)
+    return "".join(_SPARK_CHARS[l] for l in levels)
+
+
+def labelled_counts(labels, counts) -> list[tuple]:
+    """Rows of (label, count) for rendering Figure 6/7-style bars."""
+    return [(str(l), int(c)) for l, c in zip(labels, counts)]

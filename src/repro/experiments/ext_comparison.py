@@ -1,0 +1,26 @@
+"""Extension: the section 3.4 / related-work cross-study comparison."""
+
+from __future__ import annotations
+
+from repro.analysis.comparison import (
+    compare_with_prior_studies,
+    render_comparison_table,
+)
+from repro.experiments.base import ExperimentResult
+
+EXP_ID = "ext-comparison"
+TITLE = "EXT: comparison with prior large-scale reliability studies"
+
+
+def run(campaign, grid_s: float = 24 * 3600.0, **_params) -> ExperimentResult:
+    result = ExperimentResult(EXP_ID, TITLE)
+    rows = compare_with_prior_studies(campaign, grid_s=grid_s)
+    result.series["cross-study table"] = render_comparison_table(rows)
+    for row in rows:
+        verdict = "agrees" if row.finding.astra_agrees else "disagrees"
+        result.check(
+            f"Astra {verdict} with {row.finding.study}: {row.finding.claim}",
+            row.consistent_with_paper,
+        )
+        result.note(f"{row.finding.study}: measured {row.measured}")
+    return result

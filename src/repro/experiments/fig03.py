@@ -1,0 +1,66 @@
+"""Figure 3: distribution of hardware replacements by day."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.replacements import (
+    daily_replacement_series,
+    infant_mortality_ratio,
+)
+from repro.experiments.base import ExperimentResult
+from repro.synth.replacements import Component
+
+EXP_ID = "fig03"
+TITLE = "Daily hardware replacement counts (processor / motherboard / DIMM)"
+
+
+def run(campaign, **_params) -> ExperimentResult:
+    """Regenerate the three daily replacement series and their features."""
+    result = ExperimentResult(EXP_ID, TITLE)
+    window = campaign.calibration.inventory_window
+    daily = {
+        kind: daily_replacement_series(campaign.replacements, kind, window)
+        for kind in Component
+    }
+    for kind, series in daily.items():
+        result.series[f"{kind.label} daily"] = series
+        result.check(
+            f"{kind.label}: infant-mortality burst at bring-up",
+            infant_mortality_ratio(series) > 1.0,
+        )
+
+    proc = daily[Component.PROCESSOR]
+    result.check(
+        "processors: second uptick (memory-controller speed upgrade)",
+        proc[115:145].sum() > 2 * proc[55:85].sum(),
+    )
+    mb = daily[Component.MOTHERBOARD]
+    result.check(
+        "motherboards: second uptick after months of sustained use",
+        mb[155:185].sum() >= mb[55:85].sum(),
+    )
+    dimm = daily[Component.DIMM]
+    result.check(
+        "DIMMs: elevated mid-period replacements (cooling issues)",
+        dimm[85:125].sum() > dimm[40:80].sum(),
+    )
+    tail = dimm[130:195]
+    result.check(
+        "DIMMs: steady ageing tail in the later period",
+        tail.sum() > 0 and (tail > 0).mean() > 0.3,
+    )
+    # Pool components for the endgame check: motherboards replace in
+    # single digits per week, so per-kind comparisons are pure noise.
+    pooled_tail = sum(d[-10:].sum() for d in daily.values())
+    pooled_before = sum(d[-25:-15].sum() for d in daily.values())
+    result.check(
+        "end-of-period replacement burst (vendor on site)",
+        pooled_tail > pooled_before,
+    )
+    result.note(
+        "daily shapes encode section 3.1's narrative: infant mortality, "
+        "the processor speed-upgrade wave, motherboard late uptick, DIMM "
+        "cooling-issue plateau and ageing tail, final vendor visit"
+    )
+    return result

@@ -1,0 +1,82 @@
+"""Figure 4: error/fault-mode monthly series and errors-per-fault.
+
+(a) total CEs and per-mode attributed errors by month (log scale in the
+paper), with the slightly-declining trend; (b) the errors-per-fault
+distribution whose median is 1 and maximum just over 91,000.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.distributions import errors_per_fault_stats
+from repro.analysis.trends import mode_monthly_series, reported_mode_totals
+from repro.experiments.base import ExperimentResult
+from repro.faults.types import REPORTED_MODES, FaultMode
+
+EXP_ID = "fig04"
+TITLE = "DRAM error/fault modes by month; errors per fault"
+
+#: Paper error totals per mode (full scale).
+PAPER_TOTALS = {
+    FaultMode.SINGLE_BIT: 1_412_738,
+    FaultMode.SINGLE_WORD: 31_055,
+    FaultMode.SINGLE_COLUMN: 54_126,
+    FaultMode.SINGLE_BANK: 7_658,
+    "total": 4_369_731,
+}
+
+
+def run(campaign, **_params) -> ExperimentResult:
+    """Regenerate both panels from the campaign's error stream."""
+    result = ExperimentResult(EXP_ID, TITLE)
+    window = campaign.calibration.error_window
+    series = mode_monthly_series(campaign.errors, window)
+
+    result.series["all errors by month"] = series.all_errors
+    for mode in REPORTED_MODES:
+        result.series[f"{mode.label} errors by month"] = series.by_mode[mode]
+    result.series["unattributed errors by month"] = series.by_mode[
+        FaultMode.UNATTRIBUTED
+    ]
+
+    totals = reported_mode_totals(series)
+    scale = campaign.scale
+    for key in (*REPORTED_MODES, "total"):
+        paper = PAPER_TOTALS[key] * scale
+        measured = totals[key]
+        label = key.label if isinstance(key, FaultMode) else key
+        result.check(
+            f"{label}: error total within 10% of paper (x{scale:g})",
+            abs(measured - paper) <= 0.10 * paper + 5,
+        )
+        result.note(f"{label}: paper {paper:.0f}, measured {measured}")
+
+    result.check("slightly declining monthly error counts", series.declining())
+
+    faults = campaign.faults()
+    stats = errors_per_fault_stats(faults)
+    result.series["errors per fault"] = {
+        "n_faults": stats.n_faults,
+        "median": stats.median,
+        "mean": round(stats.mean, 1),
+        "p90": stats.p90,
+        "p99": stats.p99,
+        "max": stats.maximum,
+        "fraction with exactly one error": round(stats.fraction_single_error, 3),
+    }
+    result.check("median errors per fault is 1", stats.median == 1)
+    result.check(
+        "vast majority of faults produced a single error",
+        stats.fraction_single_error > 0.5,
+    )
+    paper_max = campaign.calibration.max_errors_per_fault * scale
+    result.check(
+        "maximum errors per fault just over the paper's 91,000 (scaled)",
+        0.9 * paper_max <= stats.maximum <= 1.6 * paper_max,
+    )
+    result.note(
+        f"max errors/fault: paper 'just over 91,000' (x{scale:g} -> "
+        f"{paper_max:.0f}), measured {stats.maximum}"
+    )
+    return result

@@ -1,0 +1,78 @@
+"""Figure 5: per-node fault counts and the CE concentration curve.
+
+(a) histogram of correctable-fault counts per node, a power-law-like
+shape; (b) the ECDF of CEs by node: >60% of nodes see none, the top 8
+nodes carry over half the CEs, the top 2% about 90%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.distributions import (
+    concentration_curve,
+    count_histogram,
+    per_node_counts,
+)
+from repro.analysis.powerlaw import fit_discrete_powerlaw
+from repro.experiments.base import ExperimentResult
+
+EXP_ID = "fig05"
+TITLE = "Per-node fault counts (power law) and CE concentration ECDF"
+
+
+def run(campaign, **_params) -> ExperimentResult:
+    result = ExperimentResult(EXP_ID, TITLE)
+    n_nodes = campaign.topology.n_nodes
+    faults = campaign.faults()
+
+    fault_counts = per_node_counts(faults, n_nodes)
+    values, freq = count_histogram(fault_counts)
+    result.series["fault-count histogram (count, #nodes)"] = list(
+        zip(values.tolist(), freq.tolist())
+    )
+
+    error_counts = per_node_counts(campaign.errors, n_nodes)
+    curve = concentration_curve(error_counts)
+    result.series["concentration"] = {
+        "nodes with >=1 CE": int((error_counts > 0).sum()),
+        "fraction of nodes with zero CEs": round(
+            float((error_counts == 0).mean()), 3
+        ),
+        "top-8 share": round(curve.share_of_top(8), 3),
+        "top-2% share": round(curve.share_of_top_fraction(0.02), 3),
+    }
+
+    result.check(
+        "more than 60% of nodes experienced no CEs",
+        (error_counts == 0).mean() > 0.60,
+    )
+    result.check(
+        "the 8 nodes with most CEs account for more than 50% of the total",
+        curve.share_of_top(8) > 0.50,
+    )
+    result.check(
+        "the top 2% of nodes account for ~90% of the total",
+        0.80 <= curve.share_of_top_fraction(0.02) <= 0.97,
+    )
+    result.check(
+        "most error nodes saw few faults (median <= 3)",
+        np.median(fault_counts[fault_counts > 0]) <= 3,
+    )
+
+    fit = fit_discrete_powerlaw(fault_counts[fault_counts > 0])
+    result.series["power-law fit (faults per node)"] = {
+        "alpha": round(fit.alpha, 2),
+        "xmin": fit.xmin,
+        "ks": round(fit.ks, 3),
+        "tail size": fit.n_tail,
+    }
+    result.check(
+        "per-node fault counts resemble a power law",
+        fit.plausible(ks_threshold=0.15),
+    )
+    result.note(
+        f"paper: 1013 of 2592 nodes with >=1 CE; measured "
+        f"{int((error_counts > 0).sum())} of {n_nodes}"
+    )
+    return result

@@ -1,0 +1,67 @@
+"""Figure 7: errors and faults per DRAM rank and per DIMM slot.
+
+Unlike socket/bank/column, these structures are genuinely non-uniform in
+*faults* too: rank 0 experiences more faults than rank 1, and DIMM slots
+J, E, I, P lead while A, K, L, M, N trail -- plausibly a thermal-layout
+effect (section 3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.counts import counts_by
+from repro.experiments.base import ExperimentResult, labelled_counts
+from repro.machine.node import DIMM_SLOTS
+
+EXP_ID = "fig07"
+TITLE = "Errors and faults per memory rank and per DIMM slot"
+
+HIGH_SLOTS = tuple("JEIP")
+LOW_SLOTS = tuple("AKLMN")
+
+
+def run(campaign, **_params) -> ExperimentResult:
+    result = ExperimentResult(EXP_ID, TITLE)
+    faults = campaign.faults()
+    errors = campaign.errors
+
+    e_rank, _ = counts_by(errors, "rank")
+    f_rank, _ = counts_by(faults, "rank")
+    result.series["errors per rank"] = e_rank
+    result.series["faults per rank"] = f_rank
+    result.check("rank 0 experiences more faults than rank 1",
+                 f_rank[0] > f_rank[1])
+    result.check("rank 0 experiences more errors than rank 1",
+                 e_rank[0] > e_rank[1])
+    result.check(
+        "relative rank ordering identical for faults and errors",
+        (f_rank[0] > f_rank[1]) == (e_rank[0] > e_rank[1]),
+    )
+
+    e_slot, _ = counts_by(errors, "slot")
+    f_slot, _ = counts_by(faults, "slot")
+    result.series["errors per slot"] = labelled_counts(DIMM_SLOTS, e_slot)
+    result.series["faults per slot"] = labelled_counts(DIMM_SLOTS, f_slot)
+
+    slot_rank = {letter: i for i, letter in enumerate(DIMM_SLOTS)}
+    order = np.argsort(f_slot)[::-1]
+    top5 = {DIMM_SLOTS[i] for i in order[:5]}
+    bottom6 = {DIMM_SLOTS[i] for i in order[-6:]}
+    result.check(
+        "slots J, E, I, P among the highest-fault slots",
+        sum(s in top5 for s in HIGH_SLOTS) >= 3,
+    )
+    result.check(
+        "slots A, K, L, M, N among the lowest-fault slots",
+        sum(s in bottom6 for s in LOW_SLOTS) >= 4,
+    )
+    high = np.mean([f_slot[slot_rank[s]] for s in HIGH_SLOTS])
+    low = np.mean([f_slot[slot_rank[s]] for s in LOW_SLOTS])
+    result.check("high-fault slots clearly above low-fault slots",
+                 high > 1.5 * low)
+    result.note(
+        f"fault-count slot ordering (desc): "
+        f"{''.join(DIMM_SLOTS[i] for i in order)}"
+    )
+    return result

@@ -1,0 +1,63 @@
+"""Figure 9: CE counts vs mean pre-error DIMM temperature, four windows.
+
+For each CE, the mean temperature of the errored DIMM's sensor over the
+preceding hour / day / week / month; a fitted line per window.  The
+paper's finding -- reproduced here because the synthetic error process is
+genuinely independent of the thermal field -- is that higher temperature
+does not correlate with more frequent errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import DAY_S, HOUR_S
+from repro.analysis.temperature import ce_count_vs_temperature
+from repro.experiments.base import ExperimentResult
+
+EXP_ID = "fig09"
+TITLE = "CE count vs mean errored-DIMM temperature (1h/1d/1w/1mo windows)"
+
+WINDOWS = {
+    "one hour": HOUR_S,
+    "one day": DAY_S,
+    "one week": 7 * DAY_S,
+    "one month": 30 * DAY_S,
+}
+
+
+def run(campaign, max_errors: int = 250_000, **_params) -> ExperimentResult:
+    """Regenerate the four panels.
+
+    ``max_errors`` caps the error subsample (uniformly drawn) so the
+    window-mean evaluation stays tractable; the histogram shape is
+    insensitive to the subsample at this size.
+    """
+    result = ExperimentResult(EXP_ID, TITLE)
+    # Restrict to the environmental window, as the paper does.
+    t0, t1 = campaign.calibration.sensor_window
+    errors = campaign.errors
+    inside = (errors["time"] >= t0) & (errors["time"] < t1)
+    errors = errors[inside]
+    if errors.size > max_errors:
+        rng = np.random.default_rng(campaign.seed + 99)
+        idx = rng.choice(errors.size, size=max_errors, replace=False)
+        errors = errors[np.sort(idx)]
+        result.note(f"subsampled to {max_errors} of {int(inside.sum())} errors")
+
+    for name, window_s in WINDOWS.items():
+        corr = ce_count_vs_temperature(errors, campaign.sensors, window_s)
+        result.series[f"{name} window"] = {
+            "slope (errors per degC bin)": round(corr.fit.slope, 2),
+            "r": round(corr.fit.rvalue, 3),
+            "temp range": f"{corr.bin_centers[0]:.1f}..{corr.bin_centers[-1]:.1f} degC",
+        }
+        result.check(
+            f"{name}: no strong positive temperature correlation",
+            not corr.strongly_positive(),
+        )
+    result.note(
+        "paper: 'increases in temperature is not strongly correlated with "
+        "more frequent errors' -- holds for every window length"
+    )
+    return result

@@ -1,0 +1,43 @@
+"""Figure 11: percentage of faults per region, by rack.
+
+Per rack, the fraction of its faults in each vertical region: no region
+systematically dominates, unlike the top-of-rack excess of Cielo/Jaguar.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.positional import region_fraction_by_rack, top_region_dominance
+from repro.experiments.base import ExperimentResult
+
+EXP_ID = "fig11"
+TITLE = "Fraction of faults per region, by rack"
+
+
+def run(campaign, **_params) -> ExperimentResult:
+    result = ExperimentResult(EXP_ID, TITLE)
+    faults = campaign.faults()
+    fractions = region_fraction_by_rack(faults, campaign.topology)
+    result.series["per-rack region fractions (bottom, middle, top)"] = [
+        (rack, *np.round(row, 2).tolist())
+        for rack, row in enumerate(fractions)
+        if row.sum() > 0
+    ]
+    dominance = top_region_dominance(fractions)
+    result.series["top-region plurality share"] = round(dominance, 3)
+    result.check(
+        "faults not significantly more likely near the top of the rack",
+        dominance < 0.60,
+    )
+    racks_with_faults = fractions.sum(axis=1) > 0
+    mean_top = fractions[racks_with_faults, 2].mean()
+    result.check(
+        "average top-region share near one third",
+        0.20 <= mean_top <= 0.55,
+    )
+    result.note(
+        f"top region holds the plurality in {dominance:.0%} of racks "
+        "(Cielo-style top-of-rack excess would push this toward 100%)"
+    )
+    return result

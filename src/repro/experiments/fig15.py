@@ -1,0 +1,74 @@
+"""Figure 15: Hardware Event Tracker records and uncorrectable errors.
+
+(a) daily counts of all HET-reported events; (b) the NON-RECOVERABLE
+subset.  Plus the section 3.5 headline numbers: the recording gap before
+the August firmware update, 0.00948 DUEs per DIMM per year, FIT ~1081.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.ue import (
+    daily_counts_by_event,
+    due_rate,
+    due_records,
+    recording_gap_respected,
+)
+from repro.experiments.base import ExperimentResult
+
+EXP_ID = "fig15"
+TITLE = "HET event counts; DUE rate and FIT"
+
+
+def run(campaign, **_params) -> ExperimentResult:
+    result = ExperimentResult(EXP_ID, TITLE)
+    cal = campaign.calibration
+    window = (cal.het_recording_start, cal.error_window[1])
+    het = campaign.het
+
+    series = daily_counts_by_event(het, window)
+    for name, daily in series.items():
+        if daily.sum():
+            result.series[f"daily: {name}"] = daily
+
+    dues = due_records(het)
+    rate = due_rate(
+        het, window, campaign.node_config.system_dimm_count(campaign.topology.n_nodes)
+    )
+    result.series["summary"] = {
+        "HET events": int(het.size),
+        "NON-RECOVERABLE events": int(dues.size),
+        "DUEs per DIMM per year": round(rate.per_dimm_year, 6),
+        "FIT per DIMM": round(rate.fit_per_dimm, 0),
+    }
+
+    result.check(
+        "no HET records before the firmware update (the Figure 15 gap)",
+        recording_gap_respected(het, cal.het_recording_start),
+    )
+    result.check(
+        "NON-RECOVERABLE subset is uncorrectableECC + machine checks only",
+        bool(
+            np.isin(
+                dues["event"],
+                [4, 6],  # uncorrectableECC, uncorrectableMachineCheckException
+            ).all()
+        ),
+    )
+    paper_rate = cal.due_per_dimm_year * campaign.scale
+    result.check(
+        "DUE/DIMM/year within 25% of the paper's 0.00948 (scaled)",
+        abs(rate.per_dimm_year - paper_rate) <= 0.25 * paper_rate,
+    )
+    result.check(
+        "FIT per DIMM ~1081 (scaled)",
+        abs(rate.fit_per_dimm - cal.fit_per_dimm * campaign.scale)
+        <= 0.25 * cal.fit_per_dimm * campaign.scale,
+    )
+    result.note(
+        f"paper: 0.00948 DUE/DIMM/yr, FIT ~1081; measured "
+        f"{rate.per_dimm_year:.5f} and {rate.fit_per_dimm:.0f} "
+        f"(x{campaign.scale:g} scale)"
+    )
+    return result

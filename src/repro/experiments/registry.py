@@ -1,0 +1,90 @@
+"""Registry of all experiments: Table 1, Figures 2-15, and extensions.
+
+Paper experiments regenerate a specific table/figure; extension
+experiments (ids prefixed ``ext-``) cover analyses the paper implies but
+does not print -- the omitted temperature table, FIT/persistence tables,
+survival analysis, and the SEC-DED/Chipkill matrix.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    ext_comparison,
+    ext_ecc,
+    ext_rates,
+    ext_survival,
+    ext_tempmap,
+    fig02,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    table1,
+)
+from repro.experiments.base import ExperimentResult
+
+_MODULES = (
+    table1,
+    fig02,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+)
+
+_EXTENSION_MODULES = (
+    ext_rates,
+    ext_survival,
+    ext_ecc,
+    ext_tempmap,
+    ext_comparison,
+)
+
+EXPERIMENTS = {module.EXP_ID: module for module in _MODULES}
+EXTENSIONS = {module.EXP_ID: module for module in _EXTENSION_MODULES}
+_ALL = {**EXPERIMENTS, **EXTENSIONS}
+
+
+def list_experiments(include_extensions: bool = False) -> list[tuple[str, str]]:
+    """(exp_id, title) for registered experiments, in paper order.
+
+    ``include_extensions`` appends the ``ext-*`` experiments.
+    """
+    modules = _MODULES + (_EXTENSION_MODULES if include_extensions else ())
+    return [(module.EXP_ID, module.TITLE) for module in modules]
+
+
+def run(exp_id: str, campaign, **params) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"fig05"`` or ``"ext-ecc"``)."""
+    try:
+        module = _ALL[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(_ALL))
+        raise ValueError(f"unknown experiment {exp_id!r}; known: {known}") from None
+    return module.run(campaign, **params)
+
+
+def run_all(
+    campaign, include_extensions: bool = False, **params
+) -> dict[str, ExperimentResult]:
+    """Run every experiment; returns results keyed by exp id."""
+    modules = _MODULES + (_EXTENSION_MODULES if include_extensions else ())
+    return {module.EXP_ID: module.run(campaign, **params) for module in modules}

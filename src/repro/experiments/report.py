@@ -1,0 +1,56 @@
+"""Rendering a full paper-reproduction report (text and markdown)."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+
+
+def render_report(results: dict[str, ExperimentResult]) -> str:
+    """Render all experiment results plus a pass/fail summary table."""
+    blocks = []
+    total = passed = 0
+    for exp_id, result in results.items():
+        blocks.append(result.render())
+        for ok in result.checks.values():
+            total += 1
+            passed += bool(ok)
+    header = [
+        "Astra memory-failure study: reproduction report",
+        "=" * 48,
+        f"experiments: {len(results)}   shape checks: {passed}/{total} pass",
+        "",
+    ]
+    summary = ["", "summary", "-" * 48]
+    for exp_id, result in results.items():
+        n = len(result.checks)
+        ok = sum(bool(v) for v in result.checks.values())
+        flag = "OK " if ok == n else "FAIL"
+        summary.append(f"  [{flag}] {exp_id:<8} {ok}/{n}  {result.title}")
+    return "\n".join(header) + "\n" + "\n\n".join(blocks) + "\n".join(summary)
+
+
+def render_markdown(results: dict[str, ExperimentResult]) -> str:
+    """Markdown paper-vs-measured record (EXPERIMENTS.md-shaped).
+
+    One section per experiment with a checklist of shape claims and the
+    collected paper-vs-measured notes -- suitable for regenerating the
+    reproduction record after a calibration change.
+    """
+    lines = ["# Reproduction record (auto-generated)", ""]
+    total = passed = 0
+    for result in results.values():
+        passed += sum(bool(v) for v in result.checks.values())
+        total += len(result.checks)
+    lines.append(f"Shape checks passing: **{passed}/{total}**.")
+    lines.append("")
+    for exp_id, result in results.items():
+        lines.append(f"## {exp_id} — {result.title}")
+        lines.append("")
+        for name, ok in result.checks.items():
+            lines.append(f"- {'✅' if ok else '❌'} {name}")
+        if result.notes:
+            lines.append("")
+            for note in result.notes:
+                lines.append(f"> {note}")
+        lines.append("")
+    return "\n".join(lines)

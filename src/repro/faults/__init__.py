@@ -1,0 +1,50 @@
+"""Fault and error modelling: taxonomy, record layouts, coalescing.
+
+The paper's central methodological point (section 3.2) is that *errors*
+(observed incorrect states) and *faults* (the underlying defects) have very
+different distributions, and that analyses performed on raw error streams
+reach wrong conclusions.  This subpackage implements that methodology:
+
+- :mod:`repro.faults.taxonomy` -- the Avizienis fault/error/failure
+  vocabulary used in section 2.1.
+- :mod:`repro.faults.types` -- NumPy record layouts for correctable-error
+  records and coalesced fault records, plus the :class:`FaultMode` enum
+  (single-bit / single-word / single-column / single-row / single-bank).
+- :mod:`repro.faults.coalesce` -- vectorised grouping of millions of CE
+  records into per-device-bank fault groups.
+- :mod:`repro.faults.classify` -- fault-mode classification from the
+  address structure of each group, honouring Astra's missing-row quirk.
+"""
+
+from repro.faults.types import (
+    ERROR_DTYPE,
+    FAULT_DTYPE,
+    FaultMode,
+    NO_BANK,
+    NO_BIT,
+    NO_COLUMN,
+    NO_ROW,
+    empty_errors,
+    empty_faults,
+)
+from repro.faults.taxonomy import ErrorOutcome, FaultState, classify_outcome
+from repro.faults.coalesce import CoalesceOptions, coalesce
+from repro.faults.classify import classify_group_modes
+
+__all__ = [
+    "ERROR_DTYPE",
+    "FAULT_DTYPE",
+    "FaultMode",
+    "NO_BANK",
+    "NO_BIT",
+    "NO_COLUMN",
+    "NO_ROW",
+    "empty_errors",
+    "empty_faults",
+    "ErrorOutcome",
+    "FaultState",
+    "classify_outcome",
+    "CoalesceOptions",
+    "coalesce",
+    "classify_group_modes",
+]

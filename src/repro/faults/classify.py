@@ -1,0 +1,110 @@
+"""Fault-mode classification from per-group address structure.
+
+Given the distinct-value counts of each coalesced error group, assign the
+:class:`repro.faults.types.FaultMode` per section 2.1 of the paper:
+
+- *single-bit*: all errors map to a single bit (same word, same bit);
+- *single-word*: all errors map to a single word (same address, several
+  bit positions);
+- *single-column*: all errors map to a single column;
+- *single-row*: all errors map to a single row -- only classifiable when
+  the CE records carry row information, which Astra's do not;
+- *single-bank*: all errors confined to one bank without tighter
+  structure;
+- *multi-bank*: errors spanning banks within a rank (only observable when
+  coalescing at rank granularity; a would-be DUE on SEC-DED memory);
+- *unattributed*: the positional payload needed for classification is
+  missing from the records.
+
+The cascade is strict-to-loose, so every group gets the tightest mode its
+evidence supports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.types import FaultMode
+
+
+def classify_group_modes(
+    *,
+    uniq_bits: np.ndarray,
+    uniq_words: np.ndarray,
+    uniq_cols: np.ndarray,
+    uniq_rows: np.ndarray,
+    uniq_banks: np.ndarray,
+    bank_valid: np.ndarray,
+    column_valid: np.ndarray,
+    bit_valid: np.ndarray,
+    row_valid: np.ndarray | None = None,
+    row_available: bool = False,
+) -> np.ndarray:
+    """Classify each error group into a fault mode (vectorised).
+
+    Parameters
+    ----------
+    uniq_bits, uniq_words, uniq_cols, uniq_rows, uniq_banks:
+        Per-group distinct counts of (address, bit) pairs, addresses,
+        columns, rows, and banks.
+    bank_valid, column_valid, bit_valid, row_valid:
+        Per-group flags: whether the group's records carry a usable value
+        for the field.  Groups are location-homogeneous by construction
+        (the coalescing key includes the fields), so a single flag per
+        group suffices.  ``row_valid`` defaults to all-``False`` (the
+        Astra case).
+    row_available:
+        Enable the single-row rung of the cascade.  Astra's records never
+        populate the row field (paper section 3.2), so the default is
+        ``False`` and row-shaped faults fall through to single-bank -- the
+        same limitation the paper works under.
+
+    Returns
+    -------
+    numpy.ndarray of int8
+        ``FaultMode`` values, one per group.
+    """
+    arrays = [uniq_bits, uniq_words, uniq_cols, uniq_rows, uniq_banks]
+    n = arrays[0].shape[0]
+    for a in arrays + [bank_valid, column_valid, bit_valid]:
+        if a.shape[0] != n:
+            raise ValueError("all per-group arrays must have equal length")
+
+    if row_valid is None:
+        row_valid = np.zeros(n, dtype=bool)
+    elif row_valid.shape[0] != n:
+        raise ValueError("all per-group arrays must have equal length")
+
+    modes = np.full(n, FaultMode.SINGLE_BANK, dtype=np.int8)
+
+    # Loosest first, then tighten; later assignments win.
+    if row_available:
+        modes[(uniq_rows == 1) & row_valid] = FaultMode.SINGLE_ROW
+    modes[(uniq_cols == 1) & column_valid] = FaultMode.SINGLE_COLUMN
+    modes[uniq_words == 1] = FaultMode.SINGLE_WORD
+    modes[(uniq_bits == 1) & bit_valid] = FaultMode.SINGLE_BIT
+
+    # Structural overrides.
+    modes[uniq_banks > 1] = FaultMode.MULTI_BANK
+    modes[~bank_valid] = FaultMode.UNATTRIBUTED
+    return modes
+
+
+def mode_counts(faults: np.ndarray) -> dict[FaultMode, int]:
+    """Count faults per mode from a fault record array."""
+    out: dict[FaultMode, int] = {}
+    counts = np.bincount(faults["mode"], minlength=len(FaultMode))
+    for mode in FaultMode:
+        out[mode] = int(counts[mode])
+    return out
+
+
+def errors_per_mode(faults: np.ndarray) -> dict[FaultMode, int]:
+    """Total errors attributed to faults of each mode (Figure 4a totals)."""
+    out: dict[FaultMode, int] = {}
+    sums = np.bincount(
+        faults["mode"], weights=faults["n_errors"], minlength=len(FaultMode)
+    )
+    for mode in FaultMode:
+        out[mode] = int(sums[mode])
+    return out

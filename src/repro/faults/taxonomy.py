@@ -1,0 +1,69 @@
+"""The Avizienis dependable-computing vocabulary used by the paper.
+
+Section 2.1 adopts the standard taxonomy of Avizienis et al.:
+
+- a **fault** is the underlying cause of an error (e.g. a stuck-at bit);
+  faults can be *active* (producing errors) or *dormant*;
+- an **error** is incorrect state resulting from an active fault; errors
+  may be *detected and corrected* (CE), *detected but uncorrectable*
+  (DUE), or entirely *undetected* (silent -- out of scope for the paper
+  and flagged as such here).
+
+These enums are small but load-bearing: the synthetic generator and the
+analysis code both dispatch on them, and keeping the vocabulary in one
+place prevents the fault/error conflation the paper warns about.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class FaultState(Enum):
+    """Whether a fault is currently producing errors."""
+
+    DORMANT = "dormant"
+    ACTIVE = "active"
+
+
+class ErrorOutcome(Enum):
+    """What the detection/correction machinery did with an error."""
+
+    #: Detected and corrected (CE) -- e.g. a single-bit flip under SEC-DED.
+    CORRECTED = "CE"
+    #: Detected but uncorrectable (DUE) -- e.g. a double-bit flip.
+    DETECTED_UNCORRECTABLE = "DUE"
+    #: Undetected (silent data corruption); out of the paper's scope.
+    SILENT = "SDC"
+
+
+def classify_outcome(detected: bool, corrected: bool) -> ErrorOutcome:
+    """Map (detected, corrected) observations to an :class:`ErrorOutcome`.
+
+    >>> classify_outcome(True, True)
+    <ErrorOutcome.CORRECTED: 'CE'>
+    >>> classify_outcome(True, False)
+    <ErrorOutcome.DETECTED_UNCORRECTABLE: 'DUE'>
+    >>> classify_outcome(False, False)
+    <ErrorOutcome.SILENT: 'SDC'>
+    """
+    if corrected and not detected:
+        raise ValueError("an error cannot be corrected without being detected")
+    if not detected:
+        return ErrorOutcome.SILENT
+    return ErrorOutcome.CORRECTED if corrected else ErrorOutcome.DETECTED_UNCORRECTABLE
+
+
+def outcome_of_secded_status(status: int) -> ErrorOutcome | None:
+    """Translate a :meth:`SecDed72.classify` status to an outcome.
+
+    Status 0 (clean word) has no error, returning ``None``; status 1 is a
+    CE; status 2 a DUE.
+    """
+    if status == 0:
+        return None
+    if status == 1:
+        return ErrorOutcome.CORRECTED
+    if status == 2:
+        return ErrorOutcome.DETECTED_UNCORRECTABLE
+    raise ValueError(f"unknown SEC-DED status: {status}")

@@ -1,0 +1,173 @@
+"""Record layouts and the fault-mode vocabulary.
+
+Two structured dtypes carry all reliability data through the pipeline:
+
+``ERROR_DTYPE``
+    One row per logged correctable error, mirroring the fields of the
+    Astra data release (section 2.4): timestamp, node id, socket, DIMM
+    slot, rank, bank, row, column, bit position, physical address and
+    syndrome.  On Astra the row field of CE records is not populated
+    (section 3.2), which is represented by :data:`NO_ROW`; storm records
+    whose positional payload could not be parsed carry :data:`NO_BANK` /
+    :data:`NO_COLUMN` / :data:`NO_BIT` and a zero address.
+
+``FAULT_DTYPE``
+    One row per coalesced fault, produced by :func:`repro.faults.coalesce.
+    coalesce`: the device-bank location, the classified
+    :class:`FaultMode`, the number of errors attributed to the fault and
+    the first/last error timestamps.
+
+Structured arrays keep the multi-million-record analyses fully
+vectorised, per the HPC coding guides.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+import numpy as np
+
+#: Sentinel for the unavailable DRAM row in Astra CE records.
+NO_ROW = -1
+#: Sentinel bank for records whose positional payload was unparseable.
+NO_BANK = -1
+#: Sentinel column, likewise.
+NO_COLUMN = -1
+#: Sentinel bit position, likewise.
+NO_BIT = -1
+
+
+class FaultMode(IntEnum):
+    """DRAM fault modes, following section 2.1 of the paper.
+
+    ``UNATTRIBUTED`` marks faults whose errors lack the positional payload
+    needed for mode classification (see DESIGN.md section 5: the paper's
+    per-mode error totals sum to ~1.5 M of the 4.37 M total; the remainder
+    is mode-unattributable).  ``MULTI_BANK`` can only be produced when
+    coalescing with ``split_banks=False`` (an ablation); on Astra's
+    SEC-DED memory such faults would surface as uncorrectable errors.
+    """
+
+    SINGLE_BIT = 0
+    SINGLE_WORD = 1
+    SINGLE_COLUMN = 2
+    SINGLE_ROW = 3
+    SINGLE_BANK = 4
+    MULTI_BANK = 5
+    UNATTRIBUTED = 6
+
+    @property
+    def label(self) -> str:
+        """Hyphenated label as printed in the paper's figures."""
+        return _MODE_LABELS[self]
+
+
+_MODE_LABELS = {
+    FaultMode.SINGLE_BIT: "single-bit",
+    FaultMode.SINGLE_WORD: "single-word",
+    FaultMode.SINGLE_COLUMN: "single-column",
+    FaultMode.SINGLE_ROW: "single-row",
+    FaultMode.SINGLE_BANK: "single-bank",
+    FaultMode.MULTI_BANK: "multi-bank",
+    FaultMode.UNATTRIBUTED: "unattributed",
+}
+
+#: The four modes the paper reports per-mode error totals for (Figure 4a).
+REPORTED_MODES = (
+    FaultMode.SINGLE_BIT,
+    FaultMode.SINGLE_WORD,
+    FaultMode.SINGLE_COLUMN,
+    FaultMode.SINGLE_BANK,
+)
+
+#: Correctable-error record layout.
+ERROR_DTYPE = np.dtype(
+    [
+        ("time", np.float64),  # seconds since the Unix epoch
+        ("node", np.int32),
+        ("socket", np.int8),
+        ("slot", np.int8),  # DIMM slot index 0..15 ('A'..'P')
+        ("rank", np.int8),
+        ("bank", np.int8),  # NO_BANK when unparseable
+        ("row", np.int32),  # NO_ROW on Astra (not populated)
+        ("column", np.int16),  # NO_COLUMN when unparseable
+        ("bit_pos", np.int16),  # codeword bit 0..71, NO_BIT when unparseable
+        ("address", np.uint64),
+        ("syndrome", np.uint8),
+    ]
+)
+
+#: Coalesced-fault record layout.
+FAULT_DTYPE = np.dtype(
+    [
+        ("fault_id", np.int64),
+        ("node", np.int32),
+        ("socket", np.int8),
+        ("slot", np.int8),
+        ("rank", np.int8),
+        ("bank", np.int8),
+        ("mode", np.int8),  # FaultMode value
+        ("n_errors", np.int64),
+        ("first_time", np.float64),
+        ("last_time", np.float64),
+        ("row", np.int32),  # representative row, NO_ROW if unavailable/mixed
+        ("column", np.int16),  # representative column, NO_COLUMN if mixed
+        ("bit_pos", np.int16),  # representative bit, NO_BIT if mixed
+        ("address", np.uint64),  # representative address (first error's)
+    ]
+)
+
+
+def empty_errors(n: int = 0) -> np.ndarray:
+    """Allocate an empty CE record array of length ``n``.
+
+    Positional fields are initialised to their sentinels so that records
+    filled field-by-field default to "unknown" rather than to a valid
+    location 0.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    out = np.zeros(n, dtype=ERROR_DTYPE)
+    out["row"] = NO_ROW
+    out["bank"] = NO_BANK
+    out["column"] = NO_COLUMN
+    out["bit_pos"] = NO_BIT
+    return out
+
+
+def empty_faults(n: int = 0) -> np.ndarray:
+    """Allocate an empty fault record array of length ``n``."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    out = np.zeros(n, dtype=FAULT_DTYPE)
+    out["row"] = NO_ROW
+    out["bank"] = NO_BANK
+    out["column"] = NO_COLUMN
+    out["bit_pos"] = NO_BIT
+    out["mode"] = FaultMode.UNATTRIBUTED
+    return out
+
+
+def validate_errors(errors: np.ndarray) -> None:
+    """Sanity-check a CE record array; raise ``ValueError`` on bad data.
+
+    Checks dtype identity, field ranges (allowing sentinels) and
+    monotonicity requirements are *not* imposed -- logs may interleave
+    nodes -- but times must be finite and non-negative.
+    """
+    if errors.dtype != ERROR_DTYPE:
+        raise ValueError(f"expected ERROR_DTYPE, got {errors.dtype}")
+    if errors.size == 0:
+        return
+    if not np.all(np.isfinite(errors["time"])) or np.any(errors["time"] < 0):
+        raise ValueError("error times must be finite and non-negative")
+    if np.any((errors["socket"] < 0) | (errors["socket"] > 1)):
+        raise ValueError("socket out of range")
+    if np.any((errors["slot"] < 0) | (errors["slot"] > 15)):
+        raise ValueError("slot out of range")
+    if np.any((errors["rank"] < 0) | (errors["rank"] > 1)):
+        raise ValueError("rank out of range")
+    if np.any(errors["bank"] < NO_BANK):
+        raise ValueError("bank below sentinel range")
+    if np.any(errors["bit_pos"] > 71):
+        raise ValueError("bit position above codeword width")

@@ -1,0 +1,137 @@
+"""Writing and loading whole campaign directories.
+
+``write_campaign`` lays a campaign out the way the paper's data release is
+described (section 2.4): text logs per family, plus fast binary mirrors
+and a small manifest.  ``load_campaign_records`` reads the binary mirrors
+back for analysis.
+
+Directory layout::
+
+    <dir>/manifest.txt
+    <dir>/ce.log            # syslog CE records (text)
+    <dir>/het.log           # HET records (text)
+    <dir>/errors.npy        # binary mirrors
+    <dir>/replacements.npy
+    <dir>/het.npy
+    <dir>/shards/           # per-rack error shards (optional)
+
+Sensor data is functional (the stateless field model); materialised BMC
+logs are written on demand via :func:`repro.logs.bmc.write_bmc_log`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.faults.types import ERROR_DTYPE
+from repro.logs.het import write_het_log
+from repro.logs.store import load_records, save_records, shard_by_rack
+from repro.logs.syslog import write_ce_log
+from repro.synth.campaign import Campaign
+from repro.synth.het import HET_DTYPE
+from repro.synth.replacements import REPLACEMENT_DTYPE
+
+
+def write_campaign(
+    campaign: Campaign,
+    directory: str | os.PathLike,
+    text_logs: bool = True,
+    shards: bool = False,
+) -> Path:
+    """Write a campaign to ``directory``; returns the directory path.
+
+    ``text_logs`` controls the (slower) paper-faithful text formats;
+    binary mirrors are always written.  ``shards`` additionally writes
+    per-rack error shards for the parallel engine.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    save_records(directory / "errors.npy", campaign.errors)
+    save_records(directory / "replacements.npy", campaign.replacements)
+    save_records(directory / "het.npy", campaign.het)
+
+    if text_logs:
+        write_ce_log(campaign.errors, directory / "ce.log")
+        write_het_log(campaign.het, directory / "het.log")
+    if shards:
+        shard_by_rack(campaign.errors, directory / "shards", campaign.topology)
+
+    with open(directory / "manifest.txt", "w") as fh:
+        fh.write(
+            "astra-memrepro campaign\n"
+            f"seed={campaign.seed}\n"
+            f"scale={campaign.scale}\n"
+            f"n_errors={campaign.n_errors}\n"
+            f"n_replacements={campaign.replacements.size}\n"
+            f"n_het={campaign.het.size}\n"
+        )
+    return directory
+
+
+@dataclass
+class CampaignRecords:
+    """The binary record streams of a stored campaign."""
+
+    errors: np.ndarray
+    replacements: np.ndarray
+    het: np.ndarray
+    seed: int
+    scale: float
+
+
+def campaign_from_records(records: "CampaignRecords") -> Campaign:
+    """Rebuild an analysable Campaign from stored record streams.
+
+    The sensor field is regenerated deterministically from the stored
+    seed (it is a pure function, not data); the ground-truth fault
+    population is not reconstructable from records and is left ``None``
+    -- every analysis works from the record streams alone, exactly as
+    the real study did.
+    """
+    from repro.machine.cooling import CoolingModel
+    from repro.machine.dram import AddressMap
+    from repro.machine.node import NodeConfig
+    from repro.machine.topology import AstraTopology
+    from repro.synth.config import PaperCalibration
+    from repro.synth.sensors import SensorFieldModel
+
+    topology = AstraTopology()
+    node_config = NodeConfig()
+    return Campaign(
+        seed=records.seed,
+        scale=records.scale,
+        calibration=PaperCalibration(),
+        topology=topology,
+        node_config=node_config,
+        address_map=AddressMap(),
+        population=None,
+        errors=records.errors,
+        replacements=records.replacements,
+        het=records.het,
+        sensors=SensorFieldModel(
+            seed=records.seed, cooling=CoolingModel(topology=topology)
+        ),
+    )
+
+
+def load_campaign_records(directory: str | os.PathLike) -> CampaignRecords:
+    """Load the binary mirrors of a campaign directory."""
+    directory = Path(directory)
+    manifest = {}
+    with open(directory / "manifest.txt") as fh:
+        for line in fh:
+            if "=" in line:
+                key, value = line.strip().split("=", 1)
+                manifest[key] = value
+    return CampaignRecords(
+        errors=load_records(directory / "errors.npy", ERROR_DTYPE),
+        replacements=load_records(directory / "replacements.npy", REPLACEMENT_DTYPE),
+        het=load_records(directory / "het.npy", HET_DTYPE),
+        seed=int(manifest.get("seed", -1)),
+        scale=float(manifest.get("scale", 1.0)),
+    )

@@ -1,0 +1,67 @@
+"""HET (Hardware Event Tracker) log lines.
+
+Section 3.5: uncorrectable errors and related hardware events are recorded
+in the syslog by the HET, with a severity field.  Line format::
+
+    2019-08-30T07:12:44 astra-n0123 HET severity=NON-RECOVERABLE \
+        event=uncorrectableECC
+
+Event names come from Figure 15's legend verbatim.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro._util import iso
+from repro.synth.het import EVENT_TYPES, HET_DTYPE, NON_RECOVERABLE_EVENTS
+
+
+def write_het_log(events: np.ndarray, path: str | os.PathLike) -> int:
+    """Write HET records as text lines; returns the line count."""
+    if events.dtype != HET_DTYPE:
+        raise ValueError(f"expected HET_DTYPE, got {events.dtype}")
+    with open(path, "w") as fh:
+        for rec in events:
+            severity = (
+                "NON-RECOVERABLE" if rec["non_recoverable"] else "INFORMATIONAL"
+            )
+            name = EVENT_TYPES[int(rec["event"])]
+            fh.write(
+                f"{iso(float(rec['time']))} astra-n{int(rec['node']):04d} HET "
+                f"severity={severity} event={name}\n"
+            )
+    return int(events.size)
+
+
+def read_het_log(path: str | os.PathLike) -> np.ndarray:
+    """Parse a HET log back into a HET_DTYPE array."""
+    name_to_idx = {name: i for i, name in enumerate(EVENT_TYPES)}
+    rows = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            # The event name may contain spaces ("... de-asserted"), so
+            # split on the known markers instead of naive whitespace.
+            head, _, event_part = line.partition(" event=")
+            parts = head.split()
+            if len(parts) != 4 or parts[2] != "HET" or not event_part:
+                raise ValueError(f"malformed HET line: {line!r}")
+            t = float(
+                np.datetime64(parts[0]).astype("datetime64[s]").astype(np.int64)
+            )
+            node = int(parts[1][len("astra-n") :])
+            severity = parts[3].split("=", 1)[1]
+            if event_part not in name_to_idx:
+                raise ValueError(f"unknown HET event: {event_part!r}")
+            rows.append((t, node, name_to_idx[event_part], severity))
+    out = np.zeros(len(rows), dtype=HET_DTYPE)
+    for i, (t, node, event, severity) in enumerate(rows):
+        out[i] = (t, node, event, severity == "NON-RECOVERABLE")
+        if (event in NON_RECOVERABLE_EVENTS) != out[i]["non_recoverable"]:
+            raise ValueError("severity flag inconsistent with event type")
+    return out

@@ -1,0 +1,196 @@
+"""Daily inventory scans and replacement detection by diffing.
+
+Section 3.1: "Component replacements were detected by analyzing the
+site's daily inventory scan logs."  This module implements both sides:
+
+- :class:`InventoryModel` evolves per-position serial numbers from a
+  replacement event stream, and can render the inventory snapshot for
+  any day;
+- :func:`diff_inventories` recovers replacement events by comparing two
+  snapshots -- the analysis-side operation.
+
+Snapshot line format::
+
+    2019-03-04,n0123,processor,1,SN-P-0123-1-0007
+
+The trailing serial component is a replacement counter, so serials change
+exactly when a component is swapped.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import DAY_S
+from repro.machine.node import NodeConfig
+from repro.machine.topology import AstraTopology
+from repro.synth.replacements import REPLACEMENT_DTYPE, Component
+
+#: Component kind -> positions per node.
+def _positions_per_node(kind: Component, config: NodeConfig) -> int:
+    if kind is Component.PROCESSOR:
+        return config.n_sockets
+    if kind is Component.MOTHERBOARD:
+        return 1
+    return config.dimms_per_node
+
+
+@dataclass
+class InventoryModel:
+    """Serial-number state machine driven by replacement events."""
+
+    replacements: np.ndarray
+    topology: AstraTopology
+    node_config: NodeConfig
+
+    def __post_init__(self) -> None:
+        if self.replacements.dtype != REPLACEMENT_DTYPE:
+            raise ValueError("replacements must use REPLACEMENT_DTYPE")
+
+    def _position_of_event(self, event) -> int:
+        kind = Component(int(event["component"]))
+        if kind is Component.PROCESSOR:
+            return int(event["socket"])
+        if kind is Component.DIMM:
+            return int(event["slot"])
+        return 0
+
+    def replacement_counts_before(self, t: float) -> dict:
+        """Per (component, node, position) replacement counts before ``t``.
+
+        Returns a dict mapping ``Component`` to an int array of shape
+        ``(n_nodes, positions)``.
+        """
+        out = {
+            kind: np.zeros(
+                (
+                    self.topology.n_nodes,
+                    _positions_per_node(kind, self.node_config),
+                ),
+                dtype=np.int64,
+            )
+            for kind in Component
+        }
+        early = self.replacements[self.replacements["time"] < t]
+        for kind in Component:
+            sel = early[early["component"] == kind]
+            if sel.size == 0:
+                continue
+            pos = (
+                sel["socket"]
+                if kind is Component.PROCESSOR
+                else sel["slot"]
+                if kind is Component.DIMM
+                else np.zeros(sel.size, dtype=np.int64)
+            )
+            np.add.at(out[kind], (sel["node"], np.maximum(pos, 0)), 1)
+        return out
+
+    def serial(self, kind: Component, node: int, position: int, count: int) -> str:
+        """Serial number of the ``count``-th replacement at a position."""
+        tag = {"Processors": "P", "Motherboards": "M", "DIMMs": "D"}[kind.label]
+        return f"SN-{tag}-{node:04d}-{position}-{count:04d}"
+
+    def snapshot(self, t: float) -> list[tuple[str, int, int, str]]:
+        """Inventory at time ``t``: (component, node, position, serial)."""
+        counts = self.replacement_counts_before(t)
+        lines = []
+        for kind in Component:
+            arr = counts[kind]
+            for node in range(arr.shape[0]):
+                for pos in range(arr.shape[1]):
+                    lines.append(
+                        (
+                            kind.label.lower().rstrip("s"),
+                            node,
+                            pos,
+                            self.serial(kind, node, pos, int(arr[node, pos])),
+                        )
+                    )
+        return lines
+
+
+_KIND_BY_NAME = {
+    "processor": Component.PROCESSOR,
+    "motherboard": Component.MOTHERBOARD,
+    "dimm": Component.DIMM,
+}
+
+
+def write_inventory_snapshots(
+    path: str | os.PathLike,
+    model: InventoryModel,
+    days: list[float],
+) -> int:
+    """Write one snapshot per scan time into a single file; returns lines."""
+    n = 0
+    with open(path, "w") as fh:
+        for t in days:
+            date = str(np.datetime64(int(t), "s"))[:10]
+            for component, node, pos, serial in model.snapshot(t):
+                fh.write(f"{date},n{node:04d},{component},{pos},{serial}\n")
+                n += 1
+    return n
+
+
+def read_inventory_snapshots(path: str | os.PathLike) -> dict:
+    """Parse snapshots: {date: {(component, node, position): serial}}."""
+    out: dict[str, dict] = {}
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            date, node, component, pos, serial = line.split(",")
+            if component not in _KIND_BY_NAME:
+                raise ValueError(f"unknown component kind: {component!r}")
+            key = (component, int(node[1:]), int(pos))
+            out.setdefault(date, {})[key] = serial
+    return out
+
+
+def diff_inventories(prev: dict, curr: dict) -> np.ndarray:
+    """Detect replacements between two snapshots (the section 3.1 method).
+
+    Returns REPLACEMENT_DTYPE events with time 0 -- the caller stamps the
+    scan date.  A position present in only one snapshot is ignored
+    (partial scans happen in real logs).
+    """
+    events = []
+    for key, serial in curr.items():
+        if key in prev and prev[key] != serial:
+            component, node, pos = key
+            kind = _KIND_BY_NAME[component]
+            events.append((kind, node, pos))
+    out = np.zeros(len(events), dtype=REPLACEMENT_DTYPE)
+    for i, (kind, node, pos) in enumerate(events):
+        out[i]["component"] = kind
+        out[i]["node"] = node
+        out[i]["socket"] = pos if kind is Component.PROCESSOR else -1
+        out[i]["slot"] = pos if kind is Component.DIMM else -1
+    return out
+
+
+def replacements_from_snapshot_file(path: str | os.PathLike) -> np.ndarray:
+    """Run the full diff pipeline over a snapshot file.
+
+    Snapshots are diffed in date order; each detected event is stamped
+    with its scan date (midnight).  This is the text-log-driven
+    equivalent of consuming the generator's event stream directly.
+    """
+    snaps = read_inventory_snapshots(path)
+    dates = sorted(snaps)
+    parts = []
+    for prev_date, curr_date in zip(dates[:-1], dates[1:]):
+        events = diff_inventories(snaps[prev_date], snaps[curr_date])
+        events["time"] = float(
+            np.datetime64(curr_date).astype("datetime64[s]").astype(np.int64)
+        )
+        parts.append(events)
+    if not parts:
+        return np.zeros(0, dtype=REPLACEMENT_DTYPE)
+    out = np.concatenate(parts)
+    return out[np.argsort(out["time"], kind="stable")]

@@ -1,0 +1,74 @@
+"""Binary record store with per-rack sharding.
+
+Text logs are the interchange format; repeated analysis runs want
+something faster.  ``save_records``/``load_records`` wrap ``.npy`` files
+with dtype checking, and :func:`shard_by_rack` splits an error stream
+into one file per rack -- the unit of work for the shard-parallel engine
+(:mod:`repro.parallel`).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.machine.topology import AstraTopology
+
+
+def save_records(path: str | os.PathLike, records: np.ndarray) -> None:
+    """Save a structured record array to ``.npy``."""
+    if records.dtype.names is None:
+        raise ValueError("save_records expects a structured array")
+    np.save(path, records, allow_pickle=False)
+
+
+def load_records(path: str | os.PathLike, expected_dtype=None) -> np.ndarray:
+    """Load a structured record array, optionally checking its dtype."""
+    out = np.load(path, allow_pickle=False)
+    if out.dtype.names is None:
+        raise ValueError(f"{path}: not a structured record file")
+    if expected_dtype is not None and out.dtype != expected_dtype:
+        raise ValueError(
+            f"{path}: dtype mismatch (got {out.dtype}, want {expected_dtype})"
+        )
+    return out
+
+
+def shard_by_rack(
+    errors: np.ndarray,
+    directory: str | os.PathLike,
+    topology: AstraTopology | None = None,
+    prefix: str = "errors-rack",
+) -> list[Path]:
+    """Split an error stream into one npy shard per rack.
+
+    Only racks that actually contain records get a shard.  Returns the
+    shard paths in rack order; shards concatenate back (after a time
+    sort) to the original stream.
+    """
+    topo = topology or AstraTopology()
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    racks = topo.rack_of(errors["node"]) if errors.size else np.zeros(0, np.int64)
+    paths = []
+    for rack in range(topo.n_racks):
+        shard = errors[racks == rack]
+        if shard.size == 0:
+            continue
+        path = directory / f"{prefix}{rack:02d}.npy"
+        save_records(path, shard)
+        paths.append(path)
+    return paths
+
+
+def load_shards(paths, expected_dtype=None) -> np.ndarray:
+    """Concatenate shards back into one time-ordered stream."""
+    parts = [load_records(p, expected_dtype) for p in paths]
+    if not parts:
+        if expected_dtype is None:
+            raise ValueError("no shards and no dtype to build an empty array")
+        return np.zeros(0, dtype=expected_dtype)
+    out = np.concatenate(parts)
+    return out[np.argsort(out["time"], kind="stable")]

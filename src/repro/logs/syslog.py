@@ -1,0 +1,173 @@
+"""Correctable-error records as syslog text lines.
+
+Astra's OS polls the memory controller's CE log every few seconds and
+writes each record to the syslog (section 2.3).  The fields match the
+data-release description of section 2.4: timestamp, node ID, socket, type
+of failure, DIMM slot, row, rank, bank, bit position, physical address and
+vendor-specific syndrome data.
+
+The line format used here::
+
+    2019-03-04T12:34:56 astra-n0123 kernel: EDAC CE socket=0 slot=J \
+        rank=0 bank=3 row=- col=17 bit=42 addr=0x000000012340 synd=0x2b
+
+Unavailable fields (the row on Astra; the whole positional payload for
+storm records) are written as ``-``.  The parser tolerates and counts
+malformed lines instead of failing, as any real log scraper must.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.types import ERROR_DTYPE, empty_errors
+from repro.machine.node import slot_index, slot_letter
+from repro._util import iso
+
+
+def format_ce_record(record) -> str:
+    """Format one CE record as a syslog line."""
+
+    def opt(value: int, fmt: str = "{}") -> str:
+        return "-" if value < 0 else fmt.format(value)
+
+    slot = "-" if record["slot"] < 0 else slot_letter(int(record["slot"]))
+    return (
+        f"{iso(float(record['time']))} astra-n{int(record['node']):04d} "
+        f"kernel: EDAC CE socket={int(record['socket'])} slot={slot} "
+        f"rank={int(record['rank'])} bank={opt(int(record['bank']))} "
+        f"row={opt(int(record['row']))} col={opt(int(record['column']))} "
+        f"bit={opt(int(record['bit_pos']))} "
+        f"addr=0x{int(record['address']):012x} "
+        f"synd=0x{int(record['syndrome']):02x}"
+    )
+
+
+def write_ce_log(errors: np.ndarray, path: str | os.PathLike) -> int:
+    """Write CE records to a syslog file; returns the line count.
+
+    Uses chunked formatting so multi-million-record logs stream without
+    building one giant string.
+    """
+    if errors.dtype != ERROR_DTYPE:
+        raise ValueError(f"expected ERROR_DTYPE, got {errors.dtype}")
+    n = 0
+    with open(path, "w") as fh:
+        for start in range(0, errors.size, 65536):
+            chunk = errors[start : start + 65536]
+            fh.write("\n".join(format_ce_record(r) for r in chunk))
+            if chunk.size:
+                fh.write("\n")
+            n += chunk.size
+    return n
+
+
+@dataclass
+class ParseResult:
+    """Outcome of parsing a CE log."""
+
+    errors: np.ndarray
+    n_malformed: int
+
+
+def _parse_int(token: str, default: int = -1) -> int:
+    value = token.split("=", 1)[1]
+    if value == "-":
+        return default
+    return int(value, 0)  # handles 0x prefixes
+
+
+def read_ce_log(path: str | os.PathLike, strict: bool = False) -> ParseResult:
+    """Parse a CE syslog file back into an ERROR_DTYPE array.
+
+    Malformed lines are skipped and counted unless ``strict`` is set, in
+    which case the first bad line raises ``ValueError``.
+    """
+    rows = []
+    n_bad = 0
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(_parse_line(line))
+            except (ValueError, IndexError, KeyError) as exc:
+                if strict:
+                    raise ValueError(f"malformed CE line: {line!r}") from exc
+                n_bad += 1
+    out = empty_errors(len(rows))
+    for i, row in enumerate(rows):
+        for key, value in row.items():
+            out[i][key] = value
+    return ParseResult(errors=out, n_malformed=n_bad)
+
+
+def iter_ce_log(
+    path: str | os.PathLike, chunk_records: int = 100_000, strict: bool = False
+):
+    """Stream a CE log as (chunk_array, n_malformed_in_chunk) pairs.
+
+    For archive-scale logs (the study's raw data is ~8 GiB) that should
+    not be materialised at once; each chunk is an ERROR_DTYPE array of at
+    most ``chunk_records`` records, ready for per-chunk aggregation with
+    the shard-parallel reducers.
+    """
+    if chunk_records < 1:
+        raise ValueError("chunk_records must be positive")
+    rows: list[dict] = []
+    n_bad = 0
+
+    def flush():
+        out = empty_errors(len(rows))
+        for i, row in enumerate(rows):
+            for key, value in row.items():
+                out[i][key] = value
+        return out
+
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(_parse_line(line))
+            except (ValueError, IndexError, KeyError) as exc:
+                if strict:
+                    raise ValueError(f"malformed CE line: {line!r}") from exc
+                n_bad += 1
+            if len(rows) >= chunk_records:
+                yield flush(), n_bad
+                rows, n_bad = [], 0
+    if rows or n_bad:
+        yield flush(), n_bad
+
+
+def _parse_line(line: str) -> dict:
+    parts = line.split()
+    # [timestamp, host, 'kernel:', 'EDAC', 'CE', kv...]
+    if len(parts) < 13 or parts[3] != "EDAC" or parts[4] != "CE":
+        raise ValueError("not a CE record")
+    t = float(np.datetime64(parts[0]).astype("datetime64[s]").astype(np.int64))
+    host = parts[1]
+    if not host.startswith("astra-n"):
+        raise ValueError("unknown host format")
+    node = int(host[len("astra-n") :])
+    kv = {p.split("=", 1)[0]: p for p in parts[5:]}
+    slot_tok = kv["slot"].split("=", 1)[1]
+    return dict(
+        time=t,
+        node=node,
+        socket=_parse_int(kv["socket"], 0),
+        slot=-1 if slot_tok == "-" else slot_index(slot_tok),
+        rank=_parse_int(kv["rank"], 0),
+        bank=_parse_int(kv["bank"]),
+        row=_parse_int(kv["row"]),
+        column=_parse_int(kv["col"]),
+        bit_pos=_parse_int(kv["bit"]),
+        address=_parse_int(kv["addr"], 0),
+        syndrome=_parse_int(kv["synd"], 0),
+    )

@@ -1,0 +1,69 @@
+"""Machine model of the Astra platform.
+
+This subpackage encodes the physical structure that every analysis in the
+paper is phrased against:
+
+- :mod:`repro.machine.topology` -- the rack / chassis / node hierarchy and
+  the three vertical rack regions used by the positional analysis (paper
+  section 3.4).
+- :mod:`repro.machine.node` -- node internals: two ThunderX2 sockets, eight
+  memory channels per socket, DIMM slots ``A`` .. ``P`` and their socket
+  affinity (paper section 2.2, Figure 1).
+- :mod:`repro.machine.dram` -- DDR4 device geometry, the node physical
+  address map, and a working Hsiao SEC-DED (72,64) code used to produce
+  the syndromes carried by correctable-error records (paper section 2.1).
+- :mod:`repro.machine.sensors` -- the per-node sensor complement: one CPU
+  temperature sensor per socket, one DIMM temperature sensor per group of
+  four DIMM slots, and one DC power sensor (paper section 2.2, Figure 2).
+- :mod:`repro.machine.cooling` -- the front-to-back airflow model that
+  makes the CPU1 side of a node run hotter than the CPU2 side (Figure 1,
+  section 3.3).
+
+All quantities default to Astra's published configuration but are
+parameterisable so tests can exercise miniature systems.
+"""
+
+from repro.machine.topology import (
+    AstraTopology,
+    NodeLocation,
+    REGION_BOTTOM,
+    REGION_MIDDLE,
+    REGION_TOP,
+    REGION_NAMES,
+)
+from repro.machine.node import (
+    DIMM_SLOTS,
+    NodeConfig,
+    slot_index,
+    slot_letter,
+    socket_of_slot,
+)
+from repro.machine.chipkill import ChipkillSsc
+from repro.machine.dram import DRAMGeometry, AddressMap, SecDed72
+from repro.machine.memsim import Defect, DefectKind, SimulatedRank
+from repro.machine.sensors import SensorSpec, NodeSensorComplement
+from repro.machine.cooling import CoolingModel
+
+__all__ = [
+    "AstraTopology",
+    "NodeLocation",
+    "REGION_BOTTOM",
+    "REGION_MIDDLE",
+    "REGION_TOP",
+    "REGION_NAMES",
+    "DIMM_SLOTS",
+    "NodeConfig",
+    "slot_index",
+    "slot_letter",
+    "socket_of_slot",
+    "DRAMGeometry",
+    "AddressMap",
+    "SecDed72",
+    "ChipkillSsc",
+    "Defect",
+    "DefectKind",
+    "SimulatedRank",
+    "SensorSpec",
+    "NodeSensorComplement",
+    "CoolingModel",
+]

@@ -1,0 +1,157 @@
+"""A Chipkill-class symbol-correcting code, for the SEC-DED comparison.
+
+Astra deliberately uses SEC-DED rather than Chipkill (section 2.2): it is
+cheaper and less power-hungry, at the cost that any multi-bit fault
+confined to one DRAM device -- let alone a dead device -- becomes a
+detected uncorrectable error (the paper notes multi-rank/multi-bank
+faults "would manifest as uncorrectable memory errors").
+
+To quantify that trade-off we implement a real single-symbol-correct /
+double-symbol-detect (SSC-DSD) code over GF(256): data words are 16
+8-bit symbols (one per x8 DRAM device of a rank) plus 3 check symbols,
+with the Reed-Solomon-style parity-check matrix::
+
+    H = [ alpha^(0*j) ]          j = 0 .. n-1
+        [ alpha^(1*j) ]
+        [ alpha^(2*j) ]
+
+Any error confined to one symbol yields syndromes S0 = e,
+S1 = e*alpha^j, S2 = e*alpha^(2j), which are mutually consistent
+(S1^2 == S0*S2) and locate the symbol as j = log(S1/S0).  Errors
+spanning two symbols break the consistency relation and are detected.
+This is the textbook construction behind "chipkill-correct" DIMMs,
+evaluated at pattern level exactly like :class:`SecDed72`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.gf256 import alpha, gf_div, gf_log, gf_mul
+
+#: Data symbols per codeword: one per x8 device carrying data.
+DATA_SYMBOLS = 16
+#: Check symbols (three -> minimum distance 4: SSC-DSD).
+CHECK_SYMBOLS = 3
+#: Total codeword symbols.
+CODEWORD_SYMBOLS = DATA_SYMBOLS + CHECK_SYMBOLS
+
+#: Decode outcomes, mirroring SecDed72.classify's convention.
+CLEAN = 0
+CORRECTED = 1
+DETECTED_UNCORRECTABLE = 2
+
+
+class ChipkillSsc:
+    """SSC-DSD symbol code over GF(256)."""
+
+    def __init__(self) -> None:
+        j = np.arange(CODEWORD_SYMBOLS, dtype=np.int64)
+        #: H rows: alpha^(r*j) for r = 0, 1, 2.
+        self._h = np.stack([alpha(r * j) for r in range(CHECK_SYMBOLS)])
+
+    # ------------------------------------------------------------------
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Append check symbols to data words.
+
+        ``data`` has shape (..., 16) of uint8; returns (..., 19).  The
+        check symbols are chosen so every row of H sums (XORs) to zero
+        over the codeword; solving the 3x3 system over the check
+        positions is precomputed via matrix inversion in GF(256).
+        """
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape[-1] != DATA_SYMBOLS:
+            raise ValueError(f"data must have {DATA_SYMBOLS} symbols")
+        # Partial syndromes over data positions.
+        partial = self._syndromes_at(data, np.arange(DATA_SYMBOLS))
+        checks = self._solve_checks(partial)
+        return np.concatenate([data, checks], axis=-1)
+
+    def _syndromes_at(self, symbols: np.ndarray, positions: np.ndarray):
+        """XOR-accumulated syndromes of ``symbols`` at given positions."""
+        out = np.zeros(symbols.shape[:-1] + (CHECK_SYMBOLS,), dtype=np.uint8)
+        for r in range(CHECK_SYMBOLS):
+            terms = gf_mul(symbols, self._h[r][positions])
+            out[..., r] = np.bitwise_xor.reduce(terms, axis=-1)
+        return out
+
+    def _solve_checks(self, partial: np.ndarray) -> np.ndarray:
+        """Solve H_check @ c = partial for the three check symbols."""
+        # 3x3 system over check positions 16, 17, 18; invert once.
+        if not hasattr(self, "_inv"):
+            pos = np.arange(DATA_SYMBOLS, CODEWORD_SYMBOLS)
+            m = np.stack([self._h[r][pos] for r in range(CHECK_SYMBOLS)])
+            self._inv = _gf_mat_inv(m)
+        c = np.zeros(partial.shape, dtype=np.uint8)
+        for i in range(CHECK_SYMBOLS):
+            acc = np.zeros(partial.shape[:-1], dtype=np.uint8)
+            for k in range(CHECK_SYMBOLS):
+                acc ^= gf_mul(self._inv[i, k], partial[..., k])
+            c[..., i] = acc
+        return c
+
+    # ------------------------------------------------------------------
+    def syndromes(self, codeword: np.ndarray) -> np.ndarray:
+        """Syndromes S0, S1, S2 of received codewords (..., 19)."""
+        codeword = np.asarray(codeword, dtype=np.uint8)
+        if codeword.shape[-1] != CODEWORD_SYMBOLS:
+            raise ValueError(f"codeword must have {CODEWORD_SYMBOLS} symbols")
+        return self._syndromes_at(codeword, np.arange(CODEWORD_SYMBOLS))
+
+    def decode(self, codeword: np.ndarray):
+        """Decode received codewords: (corrected, status) per word.
+
+        status: 0 clean, 1 corrected (single-symbol error), 2 detected
+        uncorrectable.  Corrections are applied in place on a copy.
+        """
+        cw = np.asarray(codeword, dtype=np.uint8)
+        scalar = cw.ndim == 1
+        cw = np.atleast_2d(cw).copy()
+        syn = self.syndromes(cw)
+        s0, s1, s2 = syn[..., 0], syn[..., 1], syn[..., 2]
+
+        status = np.full(cw.shape[0], DETECTED_UNCORRECTABLE, dtype=np.int8)
+        clean = (s0 == 0) & (s1 == 0) & (s2 == 0)
+        status[clean] = CLEAN
+
+        # Single-symbol candidates: all syndromes nonzero and consistent
+        # (S1^2 == S0*S2), location log(S1/S0) inside the codeword.
+        cand = (~clean) & (s0 != 0) & (s1 != 0) & (s2 != 0)
+        consistent = np.zeros_like(cand)
+        consistent[cand] = gf_mul(s1[cand], s1[cand]) == gf_mul(
+            s0[cand], s2[cand]
+        )
+        loc = np.zeros(cw.shape[0], dtype=np.int64)
+        ok = cand & consistent
+        if ok.any():
+            loc[ok] = (gf_log(s1[ok]).astype(np.int64) - gf_log(s0[ok])) % 255
+            in_range = ok & (loc < CODEWORD_SYMBOLS)
+            rows = np.flatnonzero(in_range)
+            cw[rows, loc[in_range]] ^= s0[in_range]
+            status[in_range] = CORRECTED
+        if scalar:
+            return cw[0], int(status[0])
+        return cw, status
+
+
+def _gf_mat_inv(m: np.ndarray) -> np.ndarray:
+    """Invert a small GF(256) matrix by Gauss-Jordan elimination."""
+    n = m.shape[0]
+    a = m.astype(np.uint8).copy()
+    inv = np.eye(n, dtype=np.uint8)
+    for col in range(n):
+        pivot = next((r for r in range(col, n) if a[r, col]), None)
+        if pivot is None:
+            raise ValueError("singular matrix over GF(256)")
+        if pivot != col:
+            a[[col, pivot]] = a[[pivot, col]]
+            inv[[col, pivot]] = inv[[pivot, col]]
+        scale = a[col, col]
+        a[col] = gf_div(a[col], scale)
+        inv[col] = gf_div(inv[col], scale)
+        for r in range(n):
+            if r != col and a[r, col]:
+                factor = a[r, col]
+                a[r] ^= gf_mul(factor, a[col])
+                inv[r] ^= gf_mul(factor, inv[col])
+    return inv

@@ -1,0 +1,131 @@
+"""Thermal model of Astra's front-to-back airflow.
+
+Unlike older bottom-to-top cooled machines (Cielo), Astra racks draw cold
+air in at the front and exhaust at the back (Figure 1).  Air passes over
+the second socket (CPU2, internally socket 1) and its DIMMs *before*
+reaching the first socket (CPU1, socket 0), so socket 0 runs measurably
+hotter (Figure 13 discussion).
+
+Two further facts from section 3.4 shape the model:
+
+- the mean temperature is nearly constant across the three vertical
+  regions of a rack (differences well under 1 degC), unlike Cielo's strong
+  bottom-to-top gradient; and
+- rack-to-rack mean temperature varies by no more than about 4.2 degC.
+
+The model produces *expected steady-state* temperatures; the synthetic
+sensor generator adds utilisation coupling and measurement noise on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.sensors import SensorKind, NodeSensorComplement
+from repro.machine.topology import AstraTopology
+
+
+@dataclass(frozen=True)
+class CoolingModel:
+    """Expected temperatures for each sensor on each node.
+
+    Parameters are calibrated so that system-wide sensor distributions
+    match Figure 2 and the decile spans of Figure 13: CPU temperatures
+    centred in the 55-75 degC band with socket 0 a few degrees above
+    socket 1, DIMM temperatures in the 35-52 degC band with the same
+    ordering, and only sub-degree region effects.
+    """
+
+    topology: AstraTopology = field(default_factory=AstraTopology)
+    #: Machine-room inlet temperature (degC).
+    inlet_temp_c: float = 18.0
+    #: CPU die temperature rise above inlet for the upstream socket (CPU2).
+    cpu_rise_c: float = 40.0
+    #: Extra rise for the downstream socket (CPU1), preheated air.
+    downstream_cpu_extra_c: float = 5.5
+    #: DIMM temperature rise above inlet for upstream-socket DIMMs.
+    dimm_rise_c: float = 22.0
+    #: Extra rise for downstream-socket DIMMs.
+    downstream_dimm_extra_c: float = 3.0
+    #: Second-group DIMM sensors sit behind the first group of four slots.
+    dimm_group_stagger_c: float = 1.0
+    #: Peak-to-peak vertical (region) variation; Astra's is sub-degree.
+    region_gradient_c: float = 0.6
+    #: Peak-to-peak rack-to-rack variation.  The paper bounds observed
+    #: rack means at < ~4.2 degC; per-node device offsets add ~0.3 degC
+    #: of per-rack-mean noise on top of this fixed pattern, so the
+    #: pattern itself stays comfortably below the bound.
+    rack_variation_c: float = 3.0
+
+    def _rack_offsets(self) -> np.ndarray:
+        """Per-rack temperature offsets, fixed by rack index.
+
+        A smooth pseudo-pattern (cosine over the rack row plus a small
+        deterministic ripple) keeps the spread within ``rack_variation_c``
+        without pretending to know the real machine-room geometry.
+        """
+        racks = np.arange(self.topology.n_racks)
+        phase = 2.0 * np.pi * racks / max(self.topology.n_racks, 1)
+        pattern = 0.5 * np.cos(phase) + 0.3 * np.cos(3.1 * phase + 1.0)
+        pattern = pattern / max(np.ptp(pattern), 1e-12)  # normalise to ptp 1
+        return pattern * self.rack_variation_c
+
+    def _region_offsets(self) -> np.ndarray:
+        """Per-region offsets (bottom, middle, top); deliberately tiny."""
+        return np.array([-0.5, 0.0, 0.5]) * self.region_gradient_c
+
+    def expected_temperature(self, node_ids, sensor_index) -> np.ndarray:
+        """Expected steady-state temperature (degC), vectorised.
+
+        ``sensor_index`` follows :class:`NodeSensorComplement` indices; the
+        power sensor (index 6) is rejected, it has no temperature.
+        """
+        complement = NodeSensorComplement()
+        nodes = np.atleast_1d(np.asarray(node_ids))
+        sens = np.atleast_1d(np.asarray(sensor_index))
+        nodes, sens = np.broadcast_arrays(nodes, sens)
+        kinds = np.array(
+            [s.kind is SensorKind.DC_POWER for s in complement.sensors], dtype=bool
+        )
+        if np.any(kinds[sens]):
+            raise ValueError("expected_temperature is undefined for the power sensor")
+
+        sockets = np.array(
+            [max(s.socket, 0) for s in complement.sensors], dtype=np.int64
+        )[sens]
+        is_cpu = np.array(
+            [s.kind is SensorKind.CPU_TEMP for s in complement.sensors], dtype=bool
+        )[sens]
+        # Within a socket, DIMM group 0 (A,C,E,G / I,K,M,O) is upstream of
+        # group 1 (H,F,D,B / J,L,N,P) by a small stagger.
+        dimm_group = np.array([0, 0, 0, 1, 0, 1, 0], dtype=np.int64)[sens]
+
+        base = np.where(
+            is_cpu,
+            self.inlet_temp_c + self.cpu_rise_c,
+            self.inlet_temp_c + self.dimm_rise_c,
+        ).astype(np.float64)
+        # Socket 0 (paper's CPU1) is downstream and hotter.
+        downstream = sockets == 0
+        base = base + np.where(
+            downstream & is_cpu, self.downstream_cpu_extra_c, 0.0
+        )
+        base = base + np.where(
+            downstream & ~is_cpu, self.downstream_dimm_extra_c, 0.0
+        )
+        base = base + np.where(~is_cpu, dimm_group * self.dimm_group_stagger_c, 0.0)
+
+        base = base + self._rack_offsets()[self.topology.rack_of(nodes)]
+        base = base + self._region_offsets()[self.topology.region_of(nodes)]
+        if np.ndim(node_ids) == 0 and np.ndim(sensor_index) == 0:
+            return float(base[0])
+        return base
+
+    def expected_spread_ok(self) -> bool:
+        """Self-check: region spread < 1 degC and rack spread <= 4.2 degC."""
+        return (
+            float(np.ptp(self._region_offsets())) < 1.0
+            and float(np.ptp(self._rack_offsets())) <= 4.2
+        )

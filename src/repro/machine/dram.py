@@ -1,0 +1,300 @@
+"""DRAM device geometry, the node physical-address map, and SEC-DED ECC.
+
+Three substrates live here:
+
+:class:`DRAMGeometry`
+    The bank/row/column shape of the DDR4 devices behind one rank, used by
+    the fault classifier to reason about which addresses share a row,
+    column, word or bank (paper section 2.1).
+
+:class:`AddressMap`
+    A documented, invertible mapping between a node-local physical address
+    and the tuple ``(socket, channel, rank, bank, row, column, offset)``.
+    Correctable-error records carry a physical address (section 2.4); the
+    analysis needs to both synthesise plausible addresses and decode them.
+
+:class:`SecDed72`
+    A working Hsiao (72,64) single-error-correct / double-error-detect
+    code.  Astra protects DRAM with SEC-DED rather than Chipkill (section
+    2.2), which is why multi-bit faults on one device surface as detected
+    uncorrectable errors.  The code is used to produce the
+    ``vendor-specific syndrome data`` field of CE records and to decide
+    CE-vs-DUE in the synthetic error generator.
+
+All hot paths are vectorised over NumPy ``uint64`` arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from itertools import combinations
+
+import numpy as np
+
+#: Number of data bits protected by one ECC word.
+DATA_BITS = 64
+#: Number of check bits in the (72,64) code.
+CHECK_BITS = 8
+#: Total codeword width; CE records report bit positions in ``[0, 72)``.
+CODEWORD_BITS = DATA_BITS + CHECK_BITS
+
+
+def _bit_length(n: int) -> int:
+    """Number of address bits needed for a field with ``n`` values."""
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"field size must be a positive power of two, got {n}")
+    return n.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class DRAMGeometry:
+    """Shape of the DRAM address space behind one rank.
+
+    Defaults approximate the 8 Gb-class DDR4 devices on Astra's 8 GB
+    dual-rank DIMMs: 16 banks (4 bank groups x 4 banks), 32 Ki rows and
+    1 Ki columns.  All sizes must be powers of two so the address map can
+    pack them into bit fields.
+    """
+
+    n_banks: int = 16
+    n_rows: int = 32768
+    n_columns: int = 1024
+
+    def __post_init__(self) -> None:
+        # _bit_length validates the power-of-two requirement.
+        _bit_length(self.n_banks)
+        _bit_length(self.n_rows)
+        _bit_length(self.n_columns)
+
+    @property
+    def bank_bits(self) -> int:
+        return _bit_length(self.n_banks)
+
+    @property
+    def row_bits(self) -> int:
+        return _bit_length(self.n_rows)
+
+    @property
+    def column_bits(self) -> int:
+        return _bit_length(self.n_columns)
+
+    @property
+    def cells_per_bank(self) -> int:
+        """Row x column positions within one bank."""
+        return self.n_rows * self.n_columns
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Invertible node-local physical address layout.
+
+    The layout, low to high bits, is::
+
+        [ offset | column | bank | row | rank | channel | socket ]
+
+    where ``offset`` addresses the byte within one 64-byte cache line.
+    Placing column below bank below row mirrors common open-page
+    interleavings (consecutive lines walk columns within a row before
+    switching banks).  The exact layout is a modelling choice -- Astra's
+    real interleaving is undocumented -- but it is fixed, documented and
+    invertible, which is what the analysis requires.
+    """
+
+    geometry: DRAMGeometry = DRAMGeometry()
+    n_sockets: int = 2
+    channels_per_socket: int = 8
+    ranks_per_dimm: int = 2
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        _bit_length(self.n_sockets)
+        _bit_length(self.channels_per_socket)
+        _bit_length(self.ranks_per_dimm)
+        _bit_length(self.line_bytes)
+
+    # Field shift amounts, low to high.
+    @cached_property
+    def _shifts(self) -> dict[str, int]:
+        g = self.geometry
+        shifts = {}
+        pos = 0
+        for name, bits in (
+            ("offset", _bit_length(self.line_bytes)),
+            ("column", g.column_bits),
+            ("bank", g.bank_bits),
+            ("row", g.row_bits),
+            ("rank", _bit_length(self.ranks_per_dimm)),
+            ("channel", _bit_length(self.channels_per_socket)),
+            ("socket", _bit_length(self.n_sockets)),
+        ):
+            shifts[name] = pos
+            pos += bits
+        shifts["_total"] = pos
+        return shifts
+
+    @property
+    def address_bits(self) -> int:
+        """Total width of an encoded address."""
+        return self._shifts["_total"]
+
+    def _field_width(self, name: str) -> int:
+        order = ["offset", "column", "bank", "row", "rank", "channel", "socket"]
+        i = order.index(name)
+        upper = (
+            self._shifts[order[i + 1]] if i + 1 < len(order) else self._shifts["_total"]
+        )
+        return upper - self._shifts[name]
+
+    def encode(self, socket, channel, rank, bank, row, column, offset=0):
+        """Pack fields into physical addresses (vectorised).
+
+        All arguments broadcast; the result dtype is ``uint64``.
+        """
+        fields = {
+            "socket": socket,
+            "channel": channel,
+            "rank": rank,
+            "bank": bank,
+            "row": row,
+            "column": column,
+            "offset": offset,
+        }
+        out = np.zeros(np.broadcast(*fields.values()).shape, dtype=np.uint64)
+        scalar = out.ndim == 0
+        for name, value in fields.items():
+            arr = np.asarray(value, dtype=np.int64)
+            width = self._field_width(name)
+            if np.any((arr < 0) | (arr >= (1 << width))):
+                raise ValueError(f"{name} out of range for {width}-bit field")
+            out = out | (arr.astype(np.uint64) << np.uint64(self._shifts[name]))
+        return int(out) if scalar else out
+
+    def decode(self, address):
+        """Unpack physical addresses into a dict of field arrays.
+
+        The inverse of :meth:`encode`: ``decode(encode(**f)) == f``.
+        """
+        arr = np.asarray(address, dtype=np.uint64)
+        if np.any(arr >> np.uint64(self.address_bits)):
+            raise ValueError("address has bits above the mapped range")
+        out = {}
+        scalar = arr.ndim == 0
+        for name in ("socket", "channel", "rank", "bank", "row", "column", "offset"):
+            width = self._field_width(name)
+            mask = np.uint64((1 << width) - 1)
+            val = (arr >> np.uint64(self._shifts[name])) & mask
+            out[name] = int(val) if scalar else val.astype(np.int64)
+        return out
+
+
+class SecDed72:
+    """Hsiao (72,64) SEC-DED code.
+
+    The parity-check matrix has 72 distinct odd-weight 8-bit columns: the
+    eight weight-1 unit vectors protect the check bits themselves, and the
+    64 data columns are the 56 weight-3 vectors plus eight weight-5
+    vectors.  Odd column weights give the Hsiao property: any single-bit
+    error produces an odd-weight syndrome, any double-bit error an
+    even-weight (nonzero) syndrome, so the two are always distinguishable.
+
+    Codeword bit positions ``0..63`` are data bits, ``64..71`` check bits;
+    this position is the ``bit position in a cache line`` field of the CE
+    records analysed in Figure 8a.
+    """
+
+    def __init__(self) -> None:
+        data_columns: list[int] = []
+        for weight in (3, 5):
+            for bits in combinations(range(CHECK_BITS), weight):
+                data_columns.append(sum(1 << b for b in bits))
+                if len(data_columns) == DATA_BITS:
+                    break
+            if len(data_columns) == DATA_BITS:
+                break
+        assert len(data_columns) == DATA_BITS
+        check_columns = [1 << i for i in range(CHECK_BITS)]
+        #: H-matrix column (an 8-bit syndrome) for every codeword position.
+        self.columns = np.array(data_columns + check_columns, dtype=np.uint8)
+        # Row masks: for check row i, the 64-bit mask of data positions
+        # participating in parity equation i.
+        masks = np.zeros(CHECK_BITS, dtype=np.uint64)
+        for j, col in enumerate(data_columns):
+            for i in range(CHECK_BITS):
+                if col >> i & 1:
+                    masks[i] |= np.uint64(1 << j)
+        self._row_masks = masks
+        # Inverse map: syndrome value -> codeword position, or -1.
+        inv = np.full(256, -1, dtype=np.int16)
+        inv[self.columns] = np.arange(CODEWORD_BITS)
+        self._position_of_syndrome = inv
+
+    # ------------------------------------------------------------------
+    def encode(self, data):
+        """Compute the 8 check bits for 64-bit data words (vectorised)."""
+        d = np.asarray(data, dtype=np.uint64)
+        scalar = d.ndim == 0
+        d = np.atleast_1d(d)
+        checks = np.zeros(d.shape, dtype=np.uint8)
+        for i in range(CHECK_BITS):
+            parity = np.bitwise_count(d & self._row_masks[i]).astype(np.uint8) & 1
+            checks |= parity << np.uint8(i)
+        return int(checks[0]) if scalar else checks
+
+    def syndrome(self, data, checks):
+        """Syndrome of received (data, checks) pairs (vectorised)."""
+        c = np.asarray(checks, dtype=np.uint8)
+        return self.encode(data) ^ c
+
+    def syndrome_of_position(self, position):
+        """Syndrome produced by flipping a single codeword bit (vectorised).
+
+        This is the value the memory controller logs in the CE record's
+        syndrome field for a single-bit error.
+        """
+        pos = np.asarray(position)
+        if np.any((pos < 0) | (pos >= CODEWORD_BITS)):
+            raise ValueError("codeword position out of range")
+        out = self.columns[pos]
+        return int(out) if np.ndim(position) == 0 else out
+
+    def position_of_syndrome(self, syndrome):
+        """Codeword position for a syndrome, or -1 if not a single-bit one."""
+        s = np.asarray(syndrome, dtype=np.uint8)
+        out = self._position_of_syndrome[s]
+        return int(out) if np.ndim(syndrome) == 0 else out
+
+    def classify(self, syndrome):
+        """Classify syndromes: 0 = clean, 1 = correctable, 2 = uncorrectable.
+
+        Per the Hsiao property: zero syndrome means no (detected) error, a
+        syndrome matching an H column is a correctable single-bit error,
+        and anything else (even-weight, or odd-weight non-column) is a
+        detected uncorrectable error.
+        """
+        s = np.atleast_1d(np.asarray(syndrome, dtype=np.uint8))
+        out = np.full(s.shape, 2, dtype=np.int8)
+        out[s == 0] = 0
+        out[self._position_of_syndrome[s] >= 0] = 1
+        return int(out[0]) if np.ndim(syndrome) == 0 else out
+
+    def correct(self, data, checks):
+        """Decode received words: return (corrected_data, status).
+
+        ``status`` follows :meth:`classify`.  Double-bit errors are
+        detected but not corrected; the data is returned unchanged for
+        them, mirroring a real SEC-DED controller that raises a machine
+        check instead of writing back.
+        """
+        d = np.atleast_1d(np.asarray(data, dtype=np.uint64))
+        c = np.atleast_1d(np.asarray(checks, dtype=np.uint8))
+        d, c = np.broadcast_arrays(d, c)
+        syn = self.encode(d) ^ c
+        status = self.classify(syn)
+        pos = self._position_of_syndrome[syn]
+        fix = (status == 1) & (pos >= 0) & (pos < DATA_BITS)
+        corrected = d.copy()
+        corrected[fix] ^= np.uint64(1) << pos[fix].astype(np.uint64)
+        if np.ndim(data) == 0 and np.ndim(checks) == 0:
+            return int(corrected[0]), int(np.atleast_1d(status)[0])
+        return corrected, status

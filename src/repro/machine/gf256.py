@@ -1,0 +1,77 @@
+"""GF(2^8) arithmetic for the symbol-level (Chipkill-class) ECC model.
+
+A tiny, table-driven Galois-field implementation: log/antilog tables over
+the AES polynomial x^8 + x^4 + x^3 + x + 1 (0x11B), with vectorised
+multiply/divide/power on NumPy ``uint8`` arrays.  Enough field to build
+the RS-style single-symbol-correct code in :mod:`repro.machine.chipkill`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Field-defining polynomial (degree-8 terms included): x^8+x^4+x^3+x+1.
+POLY = 0x11B
+#: Multiplicative generator used to build the tables.
+GENERATOR = 0x03
+
+_EXP = np.zeros(512, dtype=np.uint8)
+_LOG = np.zeros(256, dtype=np.int16)
+
+
+def _build_tables() -> None:
+    x = 1
+    for i in range(255):
+        _EXP[i] = x
+        _LOG[x] = i
+        # multiply by the generator (0x03 = x + 1): x*2 ^ x
+        hi = x << 1
+        if hi & 0x100:
+            hi ^= POLY
+        x = hi ^ x
+    _EXP[255:510] = _EXP[:255]  # wraparound for cheap modular indexing
+    _LOG[0] = -1
+
+
+_build_tables()
+
+
+def gf_mul(a, b):
+    """Multiply in GF(256), vectorised; 0 * anything = 0."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    out = _EXP[(_LOG[a] + _LOG[b]) % 255]
+    out = np.where((a == 0) | (b == 0), 0, out)
+    return out if out.ndim else np.uint8(out)
+
+
+def gf_div(a, b):
+    """Divide in GF(256); division by zero raises."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if np.any(b == 0):
+        raise ZeroDivisionError("division by zero in GF(256)")
+    out = _EXP[(_LOG[a] - _LOG[b]) % 255]
+    out = np.where(a == 0, 0, out)
+    return out if out.ndim else np.uint8(out)
+
+
+def gf_pow(base: int, exponent) -> np.ndarray:
+    """``base ** exponent`` in GF(256) for integer exponent arrays."""
+    if base == 0:
+        raise ValueError("gf_pow base must be nonzero")
+    e = np.asarray(exponent, dtype=np.int64)
+    out = _EXP[(_LOG[base] * e) % 255]
+    return out if out.ndim else np.uint8(out)
+
+
+def gf_log(a) -> np.ndarray:
+    """Discrete log base the generator; log(0) is -1 by convention."""
+    out = _LOG[np.asarray(a, dtype=np.uint8)]
+    return out if out.ndim else int(out)
+
+
+def alpha(i) -> np.ndarray:
+    """The field element alpha^i (alpha = the generator)."""
+    out = _EXP[np.asarray(i, dtype=np.int64) % 255]
+    return out if out.ndim else np.uint8(out)

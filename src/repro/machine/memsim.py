@@ -1,0 +1,219 @@
+"""A mechanistic DRAM rank simulator: defects in, CE records out.
+
+Everywhere else in this package, CE records are *sampled* from calibrated
+distributions.  This module closes the loop mechanistically: a simulated
+rank holds injected physical defects (stuck bits, flaky cells, row/column
+defects), every read runs through the real Hsiao SEC-DED codec, and
+corrections are logged as `ERROR_DTYPE` records byte-identical in schema
+to the campaign's.  It exists to demonstrate -- and test -- that the
+record format, the address map, the syndrome field and the fault-mode
+classifier all agree with an actual error-producing mechanism:
+
+    stuck bit at (bank 3, row 9, col 17, bit 42)
+        -> repeated CE records, same address, same syndrome
+        -> coalesced into one fault
+        -> classified SINGLE_BIT.
+
+Memory contents are a pure hash of the cell coordinates (nothing is
+materialised); a defect manifests only when it disagrees with the stored
+bit, which is the real reason stuck-at cells produce errors on roughly
+half their reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro._util import hash_uniform
+from repro.faults.types import NO_ROW, empty_errors
+from repro.machine.dram import AddressMap, DATA_BITS, DRAMGeometry, SecDed72
+
+
+class DefectKind(Enum):
+    """Physical defect archetypes behind the paper's fault modes."""
+
+    STUCK_BIT = "stuck-bit"  # one cell always reads a constant
+    FLAKY_BIT = "flaky-bit"  # one cell flips with probability p per read
+    ROW_DEFECT = "row"  # one bit lane stuck across every column of a row
+    COLUMN_DEFECT = "column"  # one bit lane stuck across every row of a column
+    BANK_DEFECT = "bank"  # random single-bit upsets anywhere in a bank
+
+
+@dataclass(frozen=True)
+class Defect:
+    """One injected defect.  Unused coordinates are -1 (wildcards)."""
+
+    kind: DefectKind
+    bank: int
+    row: int = -1
+    column: int = -1
+    bit: int = -1  # data bit lane 0..63
+    stuck_value: int = 1
+    flip_probability: float = 1.0
+
+    def matches(self, bank: int, row: int, column: int) -> bool:
+        """Whether this defect touches the given cell."""
+        if self.bank != bank:
+            return False
+        if self.kind is DefectKind.BANK_DEFECT:
+            return True
+        if self.kind is DefectKind.ROW_DEFECT:
+            return row == self.row
+        if self.kind is DefectKind.COLUMN_DEFECT:
+            return column == self.column
+        return row == self.row and column == self.column
+
+
+@dataclass
+class ReadResult:
+    """Outcome of one simulated read."""
+
+    data: int
+    status: int  # 0 clean, 1 corrected (CE logged), 2 uncorrectable (DUE)
+    ce_logged: bool
+
+
+class SimulatedRank:
+    """One DRAM rank with injected defects and a CE log.
+
+    The rank knows its position (node, slot, rank index) so the CE
+    records it emits carry the full campaign schema.
+    """
+
+    def __init__(
+        self,
+        node: int = 0,
+        slot: int = 0,
+        rank: int = 0,
+        geometry: DRAMGeometry | None = None,
+        address_map: AddressMap | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.node = node
+        self.slot = slot
+        self.rank = rank
+        self.geometry = geometry or DRAMGeometry()
+        self.address_map = address_map or AddressMap(geometry=self.geometry)
+        self.seed = seed
+        self._secded = SecDed72()
+        self._defects: list[Defect] = []
+        self._log: list[np.ndarray] = []
+        self._n_reads = 0
+        self._n_dues = 0
+
+    # ------------------------------------------------------------------
+    def inject(self, defect: Defect) -> None:
+        """Add a physical defect to the rank."""
+        g = self.geometry
+        if not 0 <= defect.bank < g.n_banks:
+            raise ValueError("defect bank out of range")
+        if defect.bit >= DATA_BITS:
+            raise ValueError("defect bit lane out of range")
+        self._defects.append(defect)
+
+    # ------------------------------------------------------------------
+    def _stored_word(self, bank: int, row: int, column: int) -> int:
+        """The (defect-free) stored data word for a cell: a pure hash."""
+        u = hash_uniform(
+            np.int64(bank), np.int64(row), np.int64(column), seed=self.seed
+        )
+        return int(u * (1 << 53)) * 2047 % (1 << 64)  # spread over 64 bits
+
+    def _error_bits(self, bank: int, row: int, column: int, t: float) -> list[int]:
+        """Data-bit lanes that read wrong for this access."""
+        flipped = []
+        word = self._stored_word(bank, row, column)
+        for i, d in enumerate(self._defects):
+            if not d.matches(bank, row, column):
+                continue
+            if d.kind is DefectKind.BANK_DEFECT:
+                u = hash_uniform(
+                    np.int64(i), np.int64(self._n_reads), seed=self.seed + 17
+                )
+                if u < d.flip_probability:
+                    lane = int(
+                        hash_uniform(
+                            np.int64(i),
+                            np.int64(self._n_reads),
+                            seed=self.seed + 29,
+                        )
+                        * DATA_BITS
+                    )
+                    flipped.append(lane)
+                continue
+            if d.kind is DefectKind.FLAKY_BIT:
+                u = hash_uniform(
+                    np.int64(i), np.int64(self._n_reads), seed=self.seed + 23
+                )
+                if u < d.flip_probability:
+                    flipped.append(d.bit)
+                continue
+            # Stuck-type defects disagree with the stored bit half the time.
+            stored_bit = (word >> d.bit) & 1
+            if stored_bit != d.stuck_value:
+                flipped.append(d.bit)
+        return sorted(set(flipped))
+
+    # ------------------------------------------------------------------
+    def read(self, bank: int, row: int, column: int, t: float = 0.0) -> ReadResult:
+        """Read one word through the ECC path, logging any CE."""
+        g = self.geometry
+        if not (0 <= bank < g.n_banks and 0 <= row < g.n_rows and 0 <= column < g.n_columns):
+            raise ValueError("cell coordinates out of range")
+        self._n_reads += 1
+        word = self._stored_word(bank, row, column)
+        checks = self._secded.encode(np.uint64(word))
+        bad = word
+        for lane in self._error_bits(bank, row, column, t):
+            bad ^= 1 << lane
+        fixed, status = self._secded.correct(np.uint64(bad), checks)
+
+        if status == 1:
+            syndrome = self._secded.syndrome(np.uint64(bad), checks)
+            position = self._secded.position_of_syndrome(syndrome)
+            record = empty_errors(1)
+            record["time"] = t
+            record["node"] = self.node
+            record["socket"] = self.slot // 8
+            record["slot"] = self.slot
+            record["rank"] = self.rank
+            record["bank"] = bank
+            record["row"] = NO_ROW  # Astra's records omit the row
+            record["column"] = column
+            record["bit_pos"] = position
+            record["address"] = self.address_map.encode(
+                self.slot // 8, self.slot % 8, self.rank, bank, row, column
+            )
+            record["syndrome"] = syndrome
+            self._log.append(record)
+        elif status == 2:
+            self._n_dues += 1
+        return ReadResult(data=int(fixed), status=int(status), ce_logged=status == 1)
+
+    def scrub_pass(self, bank: int, row: int, t0: float = 0.0, dt: float = 0.001):
+        """Patrol-scrub one row: read every column in order."""
+        return [
+            self.read(bank, row, col, t0 + i * dt)
+            for i, col in enumerate(range(self.geometry.n_columns))
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def ce_log(self) -> np.ndarray:
+        """All correctable-error records logged so far (time order)."""
+        if not self._log:
+            return empty_errors(0)
+        out = np.concatenate(self._log)
+        return out[np.argsort(out["time"], kind="stable")]
+
+    @property
+    def due_count(self) -> int:
+        """Detected-uncorrectable reads so far."""
+        return self._n_dues
+
+    @property
+    def read_count(self) -> int:
+        return self._n_reads

@@ -1,0 +1,140 @@
+"""Compute-node internals: sockets, memory channels and DIMM slots.
+
+Each Astra node carries two 28-core Marvell ThunderX2 sockets.  Each socket
+drives eight DDR4-2666 memory channels with one dual-rank 8 GB registered
+DIMM per channel (paper section 2.2).  The sixteen DIMM slots are lettered
+``A`` through ``P``; slots ``A``-``H`` belong to socket 0 and ``I``-``P``
+to socket 1 (Figure 7 caption).
+
+Slot letters are the unit the paper reports per-slot fault counts in
+(Figure 7c/d), so this module provides fast letter <-> index <-> socket
+conversions, vectorised over NumPy arrays where useful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: DIMM slot letters in index order.  Index ``i`` maps to socket ``i // 8``
+#: and channel ``i % 8`` on that socket.
+DIMM_SLOTS = tuple("ABCDEFGHIJKLMNOP")
+
+#: Number of DIMM slots per node.
+N_SLOTS = len(DIMM_SLOTS)
+
+_SLOT_TO_INDEX = {letter: i for i, letter in enumerate(DIMM_SLOTS)}
+
+
+def slot_index(letter: str) -> int:
+    """Return the 0-based slot index for a slot letter (``'A'`` -> 0)."""
+    try:
+        return _SLOT_TO_INDEX[letter.upper()]
+    except KeyError:
+        raise ValueError(f"unknown DIMM slot letter: {letter!r}") from None
+
+
+def slot_letter(index: int) -> str:
+    """Return the slot letter for a 0-based slot index (0 -> ``'A'``)."""
+    if not 0 <= index < N_SLOTS:
+        raise ValueError(f"slot index out of range: {index}")
+    return DIMM_SLOTS[index]
+
+
+def socket_of_slot(slot):
+    """Socket (0 or 1) owning a slot, by letter, index, or index array.
+
+    >>> socket_of_slot("A"), socket_of_slot("I")
+    (0, 1)
+    """
+    if isinstance(slot, str):
+        return slot_index(slot) // 8
+    arr = np.asarray(slot)
+    if np.any((arr < 0) | (arr >= N_SLOTS)):
+        raise ValueError("slot index out of range")
+    out = arr // 8
+    return out if out.ndim else int(out)
+
+
+def channel_of_slot(slot):
+    """Memory channel (0..7) of a slot within its socket."""
+    if isinstance(slot, str):
+        return slot_index(slot) % 8
+    arr = np.asarray(slot)
+    if np.any((arr < 0) | (arr >= N_SLOTS)):
+        raise ValueError("slot index out of range")
+    out = arr % 8
+    return out if out.ndim else int(out)
+
+
+def slots_of_socket(socket: int) -> tuple[str, ...]:
+    """The eight slot letters attached to a socket."""
+    if socket == 0:
+        return DIMM_SLOTS[:8]
+    if socket == 1:
+        return DIMM_SLOTS[8:]
+    raise ValueError(f"socket out of range: {socket}")
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Static configuration of one compute node.
+
+    Defaults describe an Astra node.  The derived properties are the
+    denominators used throughout the analysis (DIMMs per node, total
+    memory, and so on).
+    """
+
+    n_sockets: int = 2
+    cores_per_socket: int = 28
+    channels_per_socket: int = 8
+    dimms_per_channel: int = 1
+    ranks_per_dimm: int = 2
+    dimm_capacity_gib: int = 8
+    dram_generation: str = "DDR4-2666"
+    ecc_scheme: str = "SEC-DED"  # Astra uses SEC-DED, *not* Chipkill
+
+    def __post_init__(self) -> None:
+        if self.n_sockets < 1:
+            raise ValueError("n_sockets must be positive")
+        if self.channels_per_socket < 1 or self.dimms_per_channel < 1:
+            raise ValueError("memory channel configuration must be positive")
+        if self.ranks_per_dimm < 1:
+            raise ValueError("ranks_per_dimm must be positive")
+
+    @property
+    def n_cores(self) -> int:
+        """Total cores per node."""
+        return self.n_sockets * self.cores_per_socket
+
+    @property
+    def dimms_per_socket(self) -> int:
+        """DIMMs attached to one socket."""
+        return self.channels_per_socket * self.dimms_per_channel
+
+    @property
+    def dimms_per_node(self) -> int:
+        """Total DIMMs per node (16 on Astra)."""
+        return self.n_sockets * self.dimms_per_socket
+
+    @property
+    def memory_per_node_gib(self) -> int:
+        """Total DRAM capacity per node in GiB."""
+        return self.dimms_per_node * self.dimm_capacity_gib
+
+    def system_dimm_count(self, n_nodes: int) -> int:
+        """DIMM population of a system with ``n_nodes`` nodes.
+
+        For Astra (2,592 nodes) this is the 41,472 DIMM denominator used in
+        Table 1 and in the FIT computation of section 3.5.
+        """
+        if n_nodes < 0:
+            raise ValueError("n_nodes must be non-negative")
+        return n_nodes * self.dimms_per_node
+
+    def system_processor_count(self, n_nodes: int) -> int:
+        """Processor (socket) population of an ``n_nodes`` system (5,184)."""
+        if n_nodes < 0:
+            raise ValueError("n_nodes must be non-negative")
+        return n_nodes * self.n_sockets

@@ -1,0 +1,174 @@
+"""Per-node sensor complement and DIMM-slot-to-sensor wiring.
+
+Every Astra compute node exposes seven sensors sampled once per minute by
+the BMC (paper section 2.2):
+
+- one CPU temperature sensor per socket (``cpu1``, ``cpu2`` -- the paper
+  numbers sockets 1 and 2 in the airflow discussion; we keep socket ids
+  0/1 internally and expose the paper's names for reporting);
+- four DIMM temperature sensors, each covering a group of four DIMM
+  slots: ``A,C,E,G`` and ``H,F,D,B`` on socket 0, ``I,K,M,O`` and
+  ``J,L,N,P`` on socket 1;
+- one node DC power sensor.
+
+The group wiring matters: the temperature attributed to a correctable
+error (Figure 9) is read from the sensor covering the slot the error
+occurred in, so the analysis needs the exact slot -> sensor map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.machine.node import N_SLOTS, slot_index
+
+
+class SensorKind(Enum):
+    """The physical quantity a sensor measures."""
+
+    CPU_TEMP = "cpu_temp"
+    DIMM_TEMP = "dimm_temp"
+    DC_POWER = "dc_power"
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """One sensor on a node.
+
+    ``index`` is the dense per-node sensor index used in columnar sensor
+    logs; ``socket`` is the socket the sensor is physically associated
+    with (-1 for the node-level power sensor); ``slots`` is the tuple of
+    DIMM slot letters covered (empty for CPU/power sensors).
+    """
+
+    index: int
+    name: str
+    kind: SensorKind
+    socket: int
+    slots: tuple[str, ...]
+    valid_min: float
+    valid_max: float
+
+    def covers_slot(self, letter: str) -> bool:
+        """Whether this sensor covers DIMM slot ``letter``."""
+        return letter.upper() in self.slots
+
+
+#: DIMM sensor groups, in the order the paper lists them (Figure 2 legend).
+DIMM_SENSOR_GROUPS: tuple[tuple[str, ...], ...] = (
+    ("A", "C", "E", "G"),
+    ("H", "F", "D", "B"),
+    ("I", "K", "M", "O"),
+    ("J", "L", "N", "P"),
+)
+
+
+def _build_sensors() -> tuple[SensorSpec, ...]:
+    sensors = [
+        SensorSpec(0, "cpu0", SensorKind.CPU_TEMP, 0, (), 10.0, 110.0),
+        SensorSpec(1, "cpu1", SensorKind.CPU_TEMP, 1, (), 10.0, 110.0),
+    ]
+    for i, group in enumerate(DIMM_SENSOR_GROUPS):
+        socket = 0 if i < 2 else 1
+        name = "dimm_" + "".join(group).lower()
+        sensors.append(
+            SensorSpec(2 + i, name, SensorKind.DIMM_TEMP, socket, group, 5.0, 95.0)
+        )
+    sensors.append(SensorSpec(6, "dc_power", SensorKind.DC_POWER, -1, (), 50.0, 900.0))
+    return tuple(sensors)
+
+
+class NodeSensorComplement:
+    """The full set of sensors on one node, with lookup helpers."""
+
+    #: Sampling cadence of the BMC collection loop (paper: once per minute).
+    SAMPLE_PERIOD_S = 60.0
+
+    def __init__(self) -> None:
+        self.sensors = _build_sensors()
+        self._by_name = {s.name: s for s in self.sensors}
+        # slot index -> sensor index, vectorisable.
+        slot_map = np.full(N_SLOTS, -1, dtype=np.int64)
+        for s in self.sensors:
+            for letter in s.slots:
+                slot_map[slot_index(letter)] = s.index
+        self._slot_to_sensor = slot_map
+
+    def __len__(self) -> int:
+        return len(self.sensors)
+
+    def __iter__(self):
+        return iter(self.sensors)
+
+    def by_name(self, name: str) -> SensorSpec:
+        """Look a sensor up by name (e.g. ``'dimm_aceg'``)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ValueError(f"unknown sensor: {name!r}") from None
+
+    def by_index(self, index: int) -> SensorSpec:
+        """Look a sensor up by dense index."""
+        if not 0 <= index < len(self.sensors):
+            raise ValueError(f"sensor index out of range: {index}")
+        return self.sensors[index]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """All sensor names in index order."""
+        return tuple(s.name for s in self.sensors)
+
+    @property
+    def temperature_sensors(self) -> tuple[SensorSpec, ...]:
+        """The six temperature sensors (CPU + DIMM)."""
+        return tuple(s for s in self.sensors if s.kind is not SensorKind.DC_POWER)
+
+    @property
+    def dimm_sensors(self) -> tuple[SensorSpec, ...]:
+        """The four DIMM-group temperature sensors."""
+        return tuple(s for s in self.sensors if s.kind is SensorKind.DIMM_TEMP)
+
+    @property
+    def power_sensor(self) -> SensorSpec:
+        """The node DC power sensor."""
+        return self._by_name["dc_power"]
+
+    def sensor_for_slot(self, slot) -> "SensorSpec | np.ndarray":
+        """Sensor index covering a DIMM slot (letter, index, or array).
+
+        This is the join used by the temperature-correlation analysis: a
+        CE on slot ``J`` reads its temperature from ``dimm_jlnp``.
+        """
+        if isinstance(slot, str):
+            return self.sensors[self._slot_to_sensor[slot_index(slot)]]
+        arr = np.asarray(slot)
+        if np.any((arr < 0) | (arr >= N_SLOTS)):
+            raise ValueError("slot index out of range")
+        out = self._slot_to_sensor[arr]
+        return out if out.ndim else self.sensors[int(out)]
+
+    def sensor_index_for_slot(self, slot_indices) -> np.ndarray:
+        """Vectorised slot-index array -> sensor-index array."""
+        arr = np.asarray(slot_indices)
+        if np.any((arr < 0) | (arr >= N_SLOTS)):
+            raise ValueError("slot index out of range")
+        return self._slot_to_sensor[arr]
+
+    def is_valid_sample(self, sensor_index, values) -> np.ndarray:
+        """Validity mask for raw samples, per sensor range limits.
+
+        The paper excludes clearly-invalid sensor readings (stuck sensors,
+        impossible power values); fewer than 1% of samples are dropped.
+        """
+        idx = np.atleast_1d(np.asarray(sensor_index))
+        vals = np.atleast_1d(np.asarray(values, dtype=np.float64))
+        idx, vals = np.broadcast_arrays(idx, vals)
+        lo = np.array([s.valid_min for s in self.sensors])[idx]
+        hi = np.array([s.valid_max for s in self.sensors])[idx]
+        ok = np.isfinite(vals) & (vals >= lo) & (vals <= hi)
+        if np.ndim(sensor_index) == 0 and np.ndim(values) == 0:
+            return bool(ok[0])
+        return ok

@@ -1,0 +1,200 @@
+"""Rack / chassis / node topology of the Astra system.
+
+Astra consists of 36 racks, each containing 18 chassis stacked vertically,
+each chassis holding 4 compute nodes, for 2,592 nodes total (paper section
+2.2).  For the positional analysis of section 3.4 the paper divides every
+rack into three vertical *regions* of 6 chassis each -- bottom, middle and
+top -- to enable a direct comparison with the Cielo/Jaguar study of
+Sridharan et al.
+
+Node identifiers are dense integers assigned rack-major, chassis-next,
+slot-minor::
+
+    node_id = rack * (chassis_per_rack * nodes_per_chassis)
+            + chassis * nodes_per_chassis
+            + slot
+
+All location queries are vectorised: they accept scalars or NumPy integer
+arrays and return the same shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Region codes, ordered bottom-to-top so that sorting by code follows the
+#: vertical airflow axis used in the Cielo comparison.
+REGION_BOTTOM = 0
+REGION_MIDDLE = 1
+REGION_TOP = 2
+
+#: Human-readable region names indexed by region code.
+REGION_NAMES = ("bottom", "middle", "top")
+
+#: Number of regions a rack is divided into for positional analysis.
+N_REGIONS = 3
+
+
+@dataclass(frozen=True)
+class NodeLocation:
+    """Physical location of a single compute node."""
+
+    node_id: int
+    rack: int
+    chassis: int
+    slot: int
+    region: int
+
+    @property
+    def region_name(self) -> str:
+        """Return the region name (``bottom``/``middle``/``top``)."""
+        return REGION_NAMES[self.region]
+
+
+@dataclass(frozen=True)
+class AstraTopology:
+    """The rack/chassis/node hierarchy of an Astra-like system.
+
+    The defaults describe Astra itself; smaller values may be passed for
+    tests.  ``chassis_per_rack`` must be divisible by the number of regions
+    (3) so that every region contains the same number of chassis, matching
+    the paper's 6-chassis regions.
+
+    Examples
+    --------
+    >>> topo = AstraTopology()
+    >>> topo.n_nodes
+    2592
+    >>> topo.region_of(0) == REGION_BOTTOM
+    True
+    """
+
+    n_racks: int = 36
+    chassis_per_rack: int = 18
+    nodes_per_chassis: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_racks < 1 or self.chassis_per_rack < 1 or self.nodes_per_chassis < 1:
+            raise ValueError("topology dimensions must be positive")
+        if self.chassis_per_rack % N_REGIONS != 0:
+            raise ValueError(
+                f"chassis_per_rack={self.chassis_per_rack} must be divisible by "
+                f"{N_REGIONS} regions"
+            )
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def nodes_per_rack(self) -> int:
+        """Number of compute nodes in one rack."""
+        return self.chassis_per_rack * self.nodes_per_chassis
+
+    @property
+    def n_nodes(self) -> int:
+        """Total number of compute nodes in the system."""
+        return self.n_racks * self.nodes_per_rack
+
+    @property
+    def chassis_per_region(self) -> int:
+        """Number of chassis in each of the three vertical regions."""
+        return self.chassis_per_rack // N_REGIONS
+
+    @property
+    def nodes_per_region(self) -> int:
+        """Number of nodes in one region of one rack."""
+        return self.chassis_per_region * self.nodes_per_chassis
+
+    # ------------------------------------------------------------------
+    # Forward mapping: (rack, chassis, slot) -> node id
+    # ------------------------------------------------------------------
+    def node_id(self, rack, chassis, slot):
+        """Return the dense node id for ``(rack, chassis, slot)``.
+
+        Accepts scalars or broadcastable integer arrays.
+        """
+        rack = np.asarray(rack)
+        chassis = np.asarray(chassis)
+        slot = np.asarray(slot)
+        if np.any((rack < 0) | (rack >= self.n_racks)):
+            raise ValueError("rack out of range")
+        if np.any((chassis < 0) | (chassis >= self.chassis_per_rack)):
+            raise ValueError("chassis out of range")
+        if np.any((slot < 0) | (slot >= self.nodes_per_chassis)):
+            raise ValueError("slot out of range")
+        out = rack * self.nodes_per_rack + chassis * self.nodes_per_chassis + slot
+        return out if out.ndim else int(out)
+
+    # ------------------------------------------------------------------
+    # Inverse mappings: node id -> position
+    # ------------------------------------------------------------------
+    def _check_ids(self, node_ids) -> np.ndarray:
+        ids = np.asarray(node_ids)
+        if not np.issubdtype(ids.dtype, np.integer):
+            raise TypeError("node ids must be integers")
+        if np.any((ids < 0) | (ids >= self.n_nodes)):
+            raise ValueError("node id out of range")
+        return ids
+
+    def rack_of(self, node_ids):
+        """Rack index for each node id (vectorised)."""
+        ids = self._check_ids(node_ids)
+        out = ids // self.nodes_per_rack
+        return out if out.ndim else int(out)
+
+    def chassis_of(self, node_ids):
+        """Chassis index within the rack for each node id (vectorised)."""
+        ids = self._check_ids(node_ids)
+        out = (ids % self.nodes_per_rack) // self.nodes_per_chassis
+        return out if out.ndim else int(out)
+
+    def slot_of(self, node_ids):
+        """Slot index within the chassis for each node id (vectorised)."""
+        ids = self._check_ids(node_ids)
+        out = ids % self.nodes_per_chassis
+        return out if out.ndim else int(out)
+
+    def region_of(self, node_ids):
+        """Vertical region code for each node id (vectorised).
+
+        Chassis ``0 .. c/3-1`` form the bottom region, the next third the
+        middle, the top third the top -- chassis are numbered bottom-up.
+        """
+        chassis = self.chassis_of(node_ids)
+        out = np.asarray(chassis) // self.chassis_per_region
+        return out if out.ndim else int(out)
+
+    def locate(self, node_id: int) -> NodeLocation:
+        """Return the full :class:`NodeLocation` of a single node."""
+        node_id = int(node_id)
+        self._check_ids(node_id)
+        return NodeLocation(
+            node_id=node_id,
+            rack=self.rack_of(node_id),
+            chassis=self.chassis_of(node_id),
+            slot=self.slot_of(node_id),
+            region=self.region_of(node_id),
+        )
+
+    # ------------------------------------------------------------------
+    # Iteration helpers
+    # ------------------------------------------------------------------
+    def all_node_ids(self) -> np.ndarray:
+        """Dense array of every node id in the system."""
+        return np.arange(self.n_nodes, dtype=np.int64)
+
+    def nodes_in_rack(self, rack: int) -> np.ndarray:
+        """Node ids belonging to ``rack`` in ascending order."""
+        if not 0 <= rack < self.n_racks:
+            raise ValueError("rack out of range")
+        start = rack * self.nodes_per_rack
+        return np.arange(start, start + self.nodes_per_rack, dtype=np.int64)
+
+    def nodes_in_region(self, rack: int, region: int) -> np.ndarray:
+        """Node ids in one vertical region of one rack."""
+        if region not in (REGION_BOTTOM, REGION_MIDDLE, REGION_TOP):
+            raise ValueError("region out of range")
+        rack_nodes = self.nodes_in_rack(rack)
+        return rack_nodes[self.region_of(rack_nodes) == region]

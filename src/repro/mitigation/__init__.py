@@ -1,0 +1,44 @@
+"""Mitigation simulators for the implications the paper argues.
+
+Section 3.2 argues that because most faults have a tiny memory footprint,
+lightweight mitigations work well on Astra-class systems:
+
+- :mod:`repro.mitigation.page_retirement` -- OS page retirement (the
+  paper cites Tang et al. [36]): retire the 4 KiB page behind a faulting
+  address after a CE threshold, trading a little capacity for most of
+  the subsequent error volume.
+- :mod:`repro.mitigation.exclude_list` -- a scheduler exclude list for
+  the handful of storm nodes that carry the bulk of all CEs.
+- :mod:`repro.mitigation.scrub` -- patrol scrubbing and the single-bit
+  accumulation path from CEs to DUEs on SEC-DED memory.
+"""
+
+from repro.mitigation.page_retirement import (
+    PageRetirementPolicy,
+    PageRetirementReport,
+    simulate_page_retirement,
+)
+from repro.mitigation.exclude_list import (
+    ExcludeListPolicy,
+    ExcludeListReport,
+    simulate_exclude_list,
+)
+from repro.mitigation.scrub import (
+    expected_alignment_dues,
+    scrub_sensitivity,
+    simulate_accumulation,
+    upset_rate_from_campaign,
+)
+
+__all__ = [
+    "PageRetirementPolicy",
+    "PageRetirementReport",
+    "simulate_page_retirement",
+    "ExcludeListPolicy",
+    "ExcludeListReport",
+    "simulate_exclude_list",
+    "expected_alignment_dues",
+    "scrub_sensitivity",
+    "simulate_accumulation",
+    "upset_rate_from_campaign",
+]

@@ -1,0 +1,24 @@
+"""Shard-parallel execution of the analyses.
+
+The study's raw data is ~8 GiB of logs; the natural unit of parallelism
+is the rack (nodes never share faults across racks, and every positional
+aggregation is a sum of per-rack partials).  This subpackage provides:
+
+- :mod:`repro.parallel.sharding` -- splitting record streams into
+  per-rack shards and merging partial aggregates;
+- :mod:`repro.parallel.executor` -- a process-pool map-reduce over
+  shards with a serial fallback, following the guides' advice to keep
+  per-task work in vectorised NumPy and communication to small reduced
+  arrays.
+"""
+
+from repro.parallel.sharding import shard_errors, merge_counts, merge_fault_arrays
+from repro.parallel.executor import ShardMapReduce, parallel_coalesce
+
+__all__ = [
+    "shard_errors",
+    "merge_counts",
+    "merge_fault_arrays",
+    "ShardMapReduce",
+    "parallel_coalesce",
+]

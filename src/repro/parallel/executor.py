@@ -1,0 +1,76 @@
+"""Process-pool map-reduce over rack shards.
+
+The map function must be a module-level callable (pickled by name to the
+workers); each task receives one shard and returns a small reduced value
+(a fault array, a count vector), so inter-process traffic stays tiny next
+to the shard payload.  ``n_workers=0`` runs serially -- the correctness
+baseline and the fallback for restricted environments.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.faults.coalesce import CoalesceOptions, coalesce
+from repro.machine.topology import AstraTopology
+from repro.parallel.sharding import merge_fault_arrays, shard_errors
+
+
+@dataclass
+class ShardMapReduce:
+    """Map a function over per-rack shards, then reduce the partials."""
+
+    map_fn: Callable
+    reduce_fn: Callable
+    n_workers: int = 0
+
+    def run(self, errors: np.ndarray, topology: AstraTopology | None = None):
+        """Execute over the shards of ``errors``."""
+        shards = shard_errors(errors, topology)
+        if not shards:
+            return self.reduce_fn([])
+        if self.n_workers <= 0 or len(shards) == 1:
+            partials = [self.map_fn(s) for s in shards]
+        else:
+            with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+                partials = list(pool.map(self.map_fn, shards))
+        return self.reduce_fn(partials)
+
+
+def _coalesce_shard(shard: np.ndarray) -> np.ndarray:
+    return coalesce(shard)
+
+
+def parallel_coalesce(
+    errors: np.ndarray,
+    topology: AstraTopology | None = None,
+    n_workers: int = 0,
+) -> np.ndarray:
+    """Coalesce an error stream shard-parallel; equals serial coalescing.
+
+    Exactness follows from the coalescing key never spanning racks; the
+    merged fault array is re-sorted to the serial (node, slot, rank,
+    bank) order.
+    """
+    engine = ShardMapReduce(
+        map_fn=_coalesce_shard, reduce_fn=_merge_sorted, n_workers=n_workers
+    )
+    return engine.run(errors, topology)
+
+
+def _merge_sorted(partials: list[np.ndarray]) -> np.ndarray:
+    from repro.faults.types import empty_faults
+
+    if not partials:
+        return empty_faults(0)
+    merged = merge_fault_arrays(partials)
+    order = np.lexsort(
+        (merged["bank"], merged["rank"], merged["slot"], merged["node"])
+    )
+    out = merged[order]
+    out["fault_id"] = np.arange(out.size)
+    return out

@@ -1,0 +1,144 @@
+"""One-call orchestration of a full synthetic campaign.
+
+A :class:`Campaign` bundles everything the paper's analyses consume: the
+CE record stream, the planned fault population (ground truth), the
+replacement and HET event streams, the sensor field model, and the
+machine/calibration context.  :class:`CampaignGenerator` builds one from a
+seed and a scale.
+
+``scale=1.0`` reproduces the paper's full volume (4.37 M CEs); tests use
+small scales.  Generation is deterministic per (seed, scale,
+calibration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults.coalesce import CoalesceOptions, coalesce
+from repro.machine.cooling import CoolingModel
+from repro.machine.dram import AddressMap
+from repro.machine.node import NodeConfig
+from repro.machine.topology import AstraTopology
+from repro.synth.config import PaperCalibration
+from repro.synth.errors import expand_errors
+from repro.synth.het import HetGenerator
+from repro.synth.population import FaultPopulation, FaultPopulationGenerator
+from repro.synth.replacements import ReplacementGenerator
+from repro.synth.sensors import SensorFieldModel
+
+
+@dataclass
+class Campaign:
+    """A complete synthetic telemetry campaign."""
+
+    seed: int
+    scale: float
+    calibration: PaperCalibration
+    topology: AstraTopology
+    node_config: NodeConfig
+    address_map: AddressMap
+    #: Ground-truth fault population; ``None`` for campaigns rebuilt
+    #: from stored records (the analyses never need it).
+    population: FaultPopulation | None
+    errors: np.ndarray
+    replacements: np.ndarray
+    het: np.ndarray
+    sensors: SensorFieldModel
+    _faults_cache: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def n_errors(self) -> int:
+        """Number of CE records in the campaign."""
+        return int(self.errors.size)
+
+    def faults(self, options: CoalesceOptions | None = None) -> np.ndarray:
+        """Coalesced fault records (cached for the default options).
+
+        This runs the *analysis-side* coalescer over the error stream --
+        the ground-truth population is ``self.population``; comparing the
+        two is itself one of the reproduction's tests.
+        """
+        if options is None:
+            if self._faults_cache is None:
+                self._faults_cache = coalesce(self.errors)
+            return self._faults_cache
+        return coalesce(self.errors, options)
+
+
+class CampaignGenerator:
+    """Seeded, scaled generator for full campaigns."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        scale: float = 1.0,
+        calibration: PaperCalibration | None = None,
+        topology: AstraTopology | None = None,
+        node_config: NodeConfig | None = None,
+        row_fault_fraction: float = 0.0,
+    ) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.seed = seed
+        self.scale = scale
+        self.row_fault_fraction = row_fault_fraction
+        self.calibration = calibration or PaperCalibration()
+        self.topology = topology or AstraTopology()
+        self.node_config = node_config or NodeConfig()
+        self.address_map = AddressMap(
+            n_sockets=self.node_config.n_sockets,
+            channels_per_socket=self.node_config.channels_per_socket,
+            ranks_per_dimm=self.node_config.ranks_per_dimm,
+        )
+
+    def generate(self, emit_rows: bool = False) -> Campaign:
+        """Build the campaign: population, errors, replacements, HET, sensors."""
+        population = FaultPopulationGenerator(
+            seed=self.seed,
+            scale=self.scale,
+            calibration=self.calibration,
+            topology=self.topology,
+            address_map=self.address_map,
+            row_fault_fraction=self.row_fault_fraction,
+        ).generate()
+        errors = expand_errors(
+            population.faults,
+            address_map=self.address_map,
+            seed=self.seed + 1,
+            emit_rows=emit_rows,
+        )
+        replacements = ReplacementGenerator(
+            seed=self.seed,
+            scale=self.scale,
+            calibration=self.calibration,
+            topology=self.topology,
+            node_config=self.node_config,
+        ).generate()
+        het = HetGenerator(
+            seed=self.seed,
+            scale=self.scale,
+            calibration=self.calibration,
+            topology=self.topology,
+            node_config=self.node_config,
+        ).generate()
+        sensors = SensorFieldModel(
+            seed=self.seed,
+            cooling=CoolingModel(topology=self.topology),
+            calibration=self.calibration,
+        )
+        return Campaign(
+            seed=self.seed,
+            scale=self.scale,
+            calibration=self.calibration,
+            topology=self.topology,
+            node_config=self.node_config,
+            address_map=self.address_map,
+            population=population,
+            errors=errors,
+            replacements=replacements,
+            het=het,
+            sensors=sensors,
+        )

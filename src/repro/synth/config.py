@@ -1,0 +1,186 @@
+"""Calibration constants for the synthetic campaign.
+
+Every constant is a quantitative statement from the paper, cited by
+section/figure.  The generators treat these as *targets*: the synthetic
+campaign reproduces them approximately (concentration quantiles, totals,
+positional tilts), and the experiment shape-tests verify the qualitative
+claims hold on regenerated data.
+
+A ``scale`` factor shrinks the campaign proportionally for tests: event
+counts scale linearly, the topology and study windows do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import DAY_S, epoch
+
+
+@dataclass(frozen=True)
+class PaperCalibration:
+    """All paper-reported quantities the generators are fitted to."""
+
+    # ------------------------------------------------------------------
+    # Study windows (sections 2.3, 3.1, 3.3, 3.5)
+    # ------------------------------------------------------------------
+    #: CE analysis window: Jan 20 - Sep 14 2019 (section 2.3).
+    error_window: tuple[float, float] = (epoch("2019-01-20"), epoch("2019-09-14"))
+    #: Inventory/replacement window: Feb 17 - Sep 17 2019 (Table 1).
+    inventory_window: tuple[float, float] = (
+        epoch("2019-02-17"),
+        epoch("2019-09-17"),
+    )
+    #: Environmental window: May 20 - Sep 19 2019 (section 3.3, Figure 2).
+    sensor_window: tuple[float, float] = (epoch("2019-05-20"), epoch("2019-09-19"))
+    #: HET records only exist after the Aug 2019 firmware update (section 3.5).
+    het_recording_start: float = epoch("2019-08-23")
+
+    # ------------------------------------------------------------------
+    # Correctable errors and faults (section 3.2)
+    # ------------------------------------------------------------------
+    #: Total CEs over the error window ("over 4,369,731").
+    total_errors: int = 4_369_731
+    #: Errors attributed to single-bit faults.
+    errors_single_bit: int = 1_412_738
+    #: Errors attributed to single-word faults.
+    errors_single_word: int = 31_055
+    #: Errors attributed to single-column faults.
+    errors_single_column: int = 54_126
+    #: Errors attributed to single-bank faults.
+    errors_single_bank: int = 7_658
+    #: Maximum errors produced by one fault ("just over 91,000", Fig 4b).
+    max_errors_per_fault: int = 91_000
+    #: Nodes that experienced at least one CE (Figure 5).
+    n_error_nodes: int = 1_013
+    #: The 8 highest-CE nodes carry more than half the CEs (Figure 5b).
+    top8_error_share_min: float = 0.50
+    #: The top 2% of nodes carry about 90% of CEs (Figure 5b).
+    top2pct_error_share: float = 0.90
+    #: Maximum faults observed on any node (Figure 5a x-axis reach).
+    max_faults_per_node: int = 60
+
+    # Fault population sizing.  The paper does not print a total fault
+    # count; Figures 10b/12b imply roughly 7-8 k faults system-wide.
+    n_faults_single_bit: int = 4_200
+    n_faults_single_word: int = 300
+    n_faults_single_column: int = 420
+    n_faults_single_bank: int = 120
+    n_faults_unattributed: int = 2_100
+    #: Fraction of faults producing exactly one error ("the vast majority
+    #: ... resulted in only one error", Figure 4b; the median is 1).
+    singleton_fault_fraction: float = 0.70
+
+    # ------------------------------------------------------------------
+    # Positional structure (sections 3.2, 3.4)
+    # ------------------------------------------------------------------
+    #: Fault share of DRAM rank 0 vs rank 1 ("rank zero seems to
+    #: experience more faults", Figure 7a/b).
+    rank0_fault_share: float = 0.62
+    #: Relative per-slot fault weights: J, E, I, P highest; A, K, L, M, N
+    #: lowest (Figure 7d).  Keyed by slot letter; normalised by use.
+    slot_fault_weights: dict = field(
+        default_factory=lambda: {
+            "A": 0.45, "B": 1.00, "C": 0.95, "D": 1.05, "E": 1.80,
+            "F": 1.00, "G": 0.90, "H": 1.10, "I": 1.70, "J": 1.95,
+            "K": 0.50, "L": 0.45, "M": 0.50, "N": 0.55, "O": 1.00,
+            "P": 1.75,
+        }
+    )
+    #: Region fault shares (bottom, middle, top): faults mildly favour the
+    #: top of the rack (Figure 10b) but far less than errors vary.  The
+    #: tilt also offsets the bottom-heavy storm-node placement (storms
+    #: carry many faults each), keeping the *count* ordering stable.
+    region_fault_shares: tuple[float, float, float] = (0.315, 0.285, 0.40)
+    #: The rack whose error count spikes to >2x any other (Figure 12a).
+    spike_rack: int = 31
+    #: Number of "storm" nodes hosting the heaviest faults; these drive
+    #: the top-8 concentration of Figure 5b.
+    n_storm_nodes: int = 8
+    #: Regions of the storm nodes, bottom-heavy so that *errors* rank
+    #: bottom > top > middle (Figure 10a) even though faults do not.
+    storm_regions: tuple[int, ...] = (0, 0, 0, 2, 2, 0, 1, 2)
+
+    # ------------------------------------------------------------------
+    # Hardware replacements (section 3.1, Table 1, Figure 3)
+    # ------------------------------------------------------------------
+    replaced_processors: int = 836
+    replaced_motherboards: int = 46
+    replaced_dimms: int = 1_515
+
+    # ------------------------------------------------------------------
+    # Uncorrectable errors (section 3.5)
+    # ------------------------------------------------------------------
+    #: DUEs per DIMM per year over the HET recording period.
+    due_per_dimm_year: float = 0.00948
+    #: Resulting FIT per DIMM ("approximately 1081").
+    fit_per_dimm: float = 1_081.0
+
+    # ------------------------------------------------------------------
+    # Sensors (section 2.2, Figure 2, Figure 13)
+    # ------------------------------------------------------------------
+    #: Fraction of sensor samples that are invalid/unreadable (< 1%).
+    invalid_sample_fraction: float = 0.005
+    #: First-to-ninth decile span of monthly CPU temperatures (~7 degC).
+    cpu_decile_span_c: float = 7.0
+    #: First-to-ninth decile span of monthly DIMM temperatures (~4 degC).
+    dimm_decile_span_c: float = 4.0
+    #: Modal node DC power band (W), per Figure 2c / Figure 14 x-axes.
+    power_band_w: tuple[float, float] = (240.0, 380.0)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def errors_unattributed(self) -> int:
+        """Errors not attributable to the four reported modes.
+
+        The paper's per-mode totals sum to ~1.51 M of 4.37 M CEs; the
+        remainder is carried by faults whose records lack the positional
+        payload needed for classification (DESIGN.md section 5).
+        """
+        return self.total_errors - (
+            self.errors_single_bit
+            + self.errors_single_word
+            + self.errors_single_column
+            + self.errors_single_bank
+        )
+
+    @property
+    def n_faults_total(self) -> int:
+        """Total planned faults across all modes."""
+        return (
+            self.n_faults_single_bit
+            + self.n_faults_single_word
+            + self.n_faults_single_column
+            + self.n_faults_single_bank
+            + self.n_faults_unattributed
+        )
+
+    @property
+    def error_days(self) -> float:
+        """Length of the CE analysis window in days."""
+        return (self.error_window[1] - self.error_window[0]) / DAY_S
+
+    def scaled_count(self, value: int, scale: float) -> int:
+        """Scale an event count, keeping at least 1 for positive inputs."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if value == 0:
+            return 0
+        return max(1, round(value * scale))
+
+    def validate(self) -> None:
+        """Internal consistency checks; raises ``ValueError`` on failure."""
+        if self.errors_unattributed < 0:
+            raise ValueError("per-mode error totals exceed total_errors")
+        if not 0 < self.singleton_fault_fraction < 1:
+            raise ValueError("singleton_fault_fraction must be in (0, 1)")
+        if abs(sum(self.region_fault_shares) - 1.0) > 1e-9:
+            raise ValueError("region_fault_shares must sum to 1")
+        if len(self.storm_regions) != self.n_storm_nodes:
+            raise ValueError("storm_regions must list one region per storm node")
+        if len(self.slot_fault_weights) != 16:
+            raise ValueError("slot_fault_weights must cover all 16 slots")
+        if self.error_window[0] >= self.error_window[1]:
+            raise ValueError("error window is empty")

@@ -1,0 +1,118 @@
+"""Counterfactual campaigns: what if temperature *did* drive errors?
+
+The headline negative results of section 3.3 (no temperature or
+utilisation correlation) are only meaningful if the instruments could
+have detected a real effect.  This module manufactures the counterfactual:
+it re-weights a campaign's CE stream so the error rate doubles every
+``doubling_deg_c`` degrees of the errored DIMM's temperature -- the
+effect size Schroeder et al. and Hsu et al. report -- while leaving the
+fault population and positional structure untouched.
+
+Running the Figure 9/13 analyses on the coupled stream must flip their
+verdicts; ``tests/synth/test_counterfactual.py`` and
+``benchmarks/bench_counterfactual_power.py`` assert exactly that.  This
+is the detection-power control for the reproduction's negative results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.temperature import errored_dimm_sensor
+from repro.faults.types import ERROR_DTYPE
+
+
+def apply_temperature_coupling(
+    errors: np.ndarray,
+    sensor_model,
+    doubling_deg_c: float = 10.0,
+    seed: int = 0,
+    keep_fraction: float = 0.5,
+) -> np.ndarray:
+    """Thin a CE stream so retention probability rises with temperature.
+
+    Each error is kept with probability proportional to
+    ``2 ** (T / doubling_deg_c)``, where ``T`` is its DIMM sensor's
+    temperature at the error time.  Probabilities are normalised so the
+    *average* retention is ``keep_fraction`` -- the coupling reshapes the
+    stream rather than simply shrinking it.
+
+    Returns the retained records (time order preserved).  Faults remain
+    faults (thinning cannot split a group), so coalescing still works on
+    the counterfactual stream.
+    """
+    if errors.dtype != ERROR_DTYPE:
+        raise ValueError("expected ERROR_DTYPE")
+    if doubling_deg_c <= 0:
+        raise ValueError("doubling_deg_c must be positive")
+    if not 0 < keep_fraction <= 1:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    if errors.size == 0:
+        return errors.copy()
+
+    sensors = errored_dimm_sensor(errors)
+    temps = sensor_model.temperature(
+        errors["node"].astype(np.int64), sensors, errors["time"]
+    )
+    weight = np.power(2.0, temps / doubling_deg_c)
+    p = weight / weight.mean() * keep_fraction
+    p = np.clip(p, 0.0, 1.0)
+    rng = np.random.default_rng(seed)
+    kept = rng.random(errors.size) < p
+    return errors[kept]
+
+
+def coupled_campaign_errors(campaign, doubling_deg_c: float = 10.0, seed: int = 0):
+    """Convenience: the campaign's error stream with coupling applied."""
+    return apply_temperature_coupling(
+        campaign.errors, campaign.sensors, doubling_deg_c, seed=seed
+    )
+
+
+def apply_placement_coupling(
+    errors: np.ndarray,
+    sensor_model,
+    topology,
+    doubling_deg_c: float = 4.0,
+    seed: int = 0,
+    sample_time: float | None = None,
+) -> np.ndarray:
+    """Relocate error nodes toward chronically hot nodes.
+
+    The second way temperature could drive errors: hot *nodes* develop
+    more faults (the effect the Figure 13 decile instrument measures).
+    This transform permutes node identities so that nodes with errors
+    land preferentially on nodes whose static DIMM temperature offset is
+    high -- selection weight ``2 ** (T / doubling_deg_c)`` -- while the
+    per-node error streams (and hence all fault structure) move intact.
+
+    Returns a relabelled copy of the error stream.
+    """
+    if errors.dtype != ERROR_DTYPE:
+        raise ValueError("expected ERROR_DTYPE")
+    if doubling_deg_c <= 0:
+        raise ValueError("doubling_deg_c must be positive")
+    if errors.size == 0:
+        return errors.copy()
+    rng = np.random.default_rng(seed)
+    all_nodes = topology.all_node_ids()
+    # Chronic hotness: average the four DIMM sensors at a fixed instant;
+    # static per-node offsets dominate this quantity.
+    t = float(errors["time"].mean()) if sample_time is None else sample_time
+    temps = np.mean(
+        [
+            sensor_model.temperature(all_nodes, np.full(all_nodes.size, s), t)
+            for s in (2, 3, 4, 5)
+        ],
+        axis=0,
+    )
+    weight = np.power(2.0, temps / doubling_deg_c)
+    p = weight / weight.sum()
+
+    old_nodes = np.unique(errors["node"])
+    new_nodes = rng.choice(all_nodes, size=old_nodes.size, replace=False, p=p)
+    mapping = np.full(topology.n_nodes, -1, dtype=np.int64)
+    mapping[old_nodes] = new_nodes
+    out = errors.copy()
+    out["node"] = mapping[errors["node"].astype(np.int64)]
+    return out

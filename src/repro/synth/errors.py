@@ -1,0 +1,212 @@
+"""Expanding the fault population into time-stamped CE records.
+
+:func:`expand_errors` turns each planned fault into ``n_errors``
+correctable-error records whose positional payload matches the fault's
+mode:
+
+- *single-bit* errors repeat the same (address, bit);
+- *single-word* errors share the address but walk a small set of bits;
+- *single-column* errors share bank+column while the row (and hence the
+  address) varies;
+- *single-bank* errors share only the bank;
+- *unattributed* errors carry no positional payload (sentinel fields),
+  modelling records whose vendor-specific payload could not be parsed.
+
+Timestamps are drawn uniformly inside each fault's active window, which
+the population generator biased toward the start of the study to produce
+the paper's slightly declining monthly error counts (Figure 4a).
+
+:func:`apply_ce_logging` models section 2.3's logging path: correctable
+errors land in a finite internal buffer that the OS polls every few
+seconds, so bursts overflow the buffer and drop records.  The default
+campaign does *not* apply it (the paper's 4.37 M total is what survived
+logging; our calibration is to logged counts) -- it exists for the
+``bench_ablation_celog`` sensitivity study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.types import ERROR_DTYPE, NO_ROW, FaultMode, empty_errors
+from repro.machine.dram import AddressMap, SecDed72
+
+
+def expand_errors(
+    faults: np.ndarray,
+    address_map: AddressMap | None = None,
+    seed: int = 1,
+    emit_rows: bool = False,
+    sort_by_time: bool = True,
+) -> np.ndarray:
+    """Generate CE records for a planned fault population.
+
+    Parameters
+    ----------
+    faults:
+        Array with dtype ``PLANNED_FAULT_DTYPE`` from
+        :class:`repro.synth.population.FaultPopulationGenerator`.
+    address_map:
+        Address layout used to synthesise addresses for row-varying modes.
+    seed:
+        RNG seed for timestamps and per-error variation.
+    emit_rows:
+        Astra CE records do not populate the row field; pass ``True`` to
+        model a platform that does (used by the coalescing ablation).
+    sort_by_time:
+        Return records in log (time) order, as a syslog would.
+
+    Returns
+    -------
+    numpy.ndarray
+        CE records with dtype :data:`repro.faults.types.ERROR_DTYPE`.
+    """
+    amap = address_map or AddressMap()
+    secded = SecDed72()
+    rng = np.random.default_rng(seed)
+    n_faults = faults.size
+    if n_faults == 0:
+        return empty_errors(0)
+
+    counts = faults["n_errors"].astype(np.int64)
+    total = int(counts.sum())
+    fidx = np.repeat(np.arange(n_faults), counts)
+
+    errors = empty_errors(total)
+    for name in ("node", "socket", "slot", "rank", "bank", "column", "address"):
+        errors[name] = faults[name][fidx]
+    errors["bit_pos"] = faults["bit_pos"][fidx]
+    errors["syndrome"] = faults["syndrome"][fidx]
+
+    # Timestamps: bursty within each fault's active window.  Real CE
+    # streams arrive in bursts (scrub passes, hot access phases), which
+    # is what makes the finite logging buffer of section 2.3 lossy; the
+    # burst *centres* are uniform over the active window so the monthly
+    # shape is unchanged.  Each fault gets ~count/U(20,150) bursts, and
+    # errors scatter around their burst centre with a per-fault width
+    # from seconds (tight storms) to minutes.
+    start = faults["start_time"][fidx]
+    dur = faults["duration"][fidx]
+    burst_target = rng.uniform(20.0, 150.0, size=n_faults)
+    n_bursts = np.maximum(
+        1, np.round(counts / burst_target)
+    ).astype(np.int64)
+    burst_offset = np.concatenate([[0], np.cumsum(n_bursts)])
+    total_bursts = int(burst_offset[-1])
+    centers = (
+        faults["start_time"][np.repeat(np.arange(n_faults), n_bursts)]
+        + rng.random(total_bursts)
+        * faults["duration"][np.repeat(np.arange(n_faults), n_bursts)]
+    )
+    burst_width = rng.uniform(2.0, 120.0, size=n_faults)[fidx]
+    which_burst = burst_offset[fidx] + np.floor(
+        rng.random(total) * n_bursts[fidx]
+    ).astype(np.int64)
+    errors["time"] = np.clip(
+        centers[which_burst] + rng.normal(0.0, 1.0, total) * burst_width,
+        start,
+        start + dur,
+    )
+
+    modes = faults["mode"][fidx]
+    geom = amap.geometry
+
+    # single-word: walk a handful of bits around the fault's base bit.
+    word_mask = modes == FaultMode.SINGLE_WORD
+    if word_mask.any():
+        n = int(word_mask.sum())
+        base = faults["bit_pos"][fidx[word_mask]].astype(np.int64)
+        offs = rng.integers(0, 3, size=n)  # 3-bit pool per word fault
+        bits = (base + offs) % 72
+        errors["bit_pos"][word_mask] = bits
+        errors["syndrome"][word_mask] = secded.syndrome_of_position(bits)
+
+    # single-column: vary the row per error, recomputing the address.
+    col_mask = modes == FaultMode.SINGLE_COLUMN
+    # single-bank: vary row *and* column per error.
+    bank_mask = modes == FaultMode.SINGLE_BANK
+    # single-row (row-capable platforms only): vary the column per error.
+    row_mask = modes == FaultMode.SINGLE_ROW
+    for mask, vary_row, vary_column in (
+        (col_mask, True, False),
+        (bank_mask, True, True),
+        (row_mask, False, True),
+    ):
+        if not mask.any():
+            continue
+        n = int(mask.sum())
+        sub = fidx[mask]
+        rows = (
+            rng.integers(0, geom.n_rows, size=n)
+            if vary_row
+            else faults["row"][sub].astype(np.int64).clip(0)
+        )
+        cols = (
+            rng.integers(0, geom.n_columns, size=n)
+            if vary_column
+            else faults["column"][sub].astype(np.int64)
+        )
+        bits = rng.integers(0, 64, size=n)  # any data bit of the word
+        errors["row"][mask] = rows  # filled; masked out below if not emitted
+        errors["column"][mask] = cols
+        errors["bit_pos"][mask] = bits
+        errors["syndrome"][mask] = secded.syndrome_of_position(bits)
+        errors["address"][mask] = amap.encode(
+            faults["socket"][sub].astype(np.int64).clip(0),
+            faults["slot"][sub].astype(np.int64) % 8,
+            faults["rank"][sub].astype(np.int64),
+            faults["bank"][sub].astype(np.int64).clip(0),
+            rows,
+            cols,
+        )
+
+    if emit_rows:
+        attributed = modes != FaultMode.UNATTRIBUTED
+        static = attributed & ~col_mask & ~bank_mask
+        errors["row"][static] = faults["row"][fidx[static]]
+    else:
+        errors["row"] = NO_ROW
+
+    if sort_by_time:
+        errors = errors[np.argsort(errors["time"], kind="stable")]
+    return errors
+
+
+def apply_ce_logging(
+    errors: np.ndarray,
+    buffer_slots: int = 16,
+    poll_period_s: float = 5.0,
+) -> np.ndarray:
+    """Model the finite CE logging buffer of section 2.3.
+
+    Each node's memory controller stores CE details in an internal buffer
+    with ``buffer_slots`` entries; the OS drains it every
+    ``poll_period_s`` seconds.  Errors beyond the buffer capacity within
+    one polling interval are dropped.  Returns the surviving records
+    (time-ordered).
+
+    The model is per-node (Astra logs CEs through one polling path per
+    node) and conservative: it assumes the buffer is empty at each poll.
+    """
+    if errors.dtype != ERROR_DTYPE:
+        raise ValueError(f"expected ERROR_DTYPE, got {errors.dtype}")
+    if buffer_slots < 1:
+        raise ValueError("buffer_slots must be positive")
+    if poll_period_s <= 0:
+        raise ValueError("poll_period_s must be positive")
+    if errors.size == 0:
+        return errors.copy()
+
+    window = np.floor(errors["time"] / poll_period_s).astype(np.int64)
+    order = np.lexsort((errors["time"], window, errors["node"]))
+    e = errors[order]
+    w = window[order]
+
+    # Rank each error within its (node, window) group; keep the first
+    # `buffer_slots` of each group.
+    new_group = np.ones(e.size, dtype=bool)
+    new_group[1:] = (e["node"][1:] != e["node"][:-1]) | (w[1:] != w[:-1])
+    group_start = np.maximum.accumulate(np.where(new_group, np.arange(e.size), 0))
+    rank_in_group = np.arange(e.size) - group_start
+    kept = e[rank_in_group < buffer_slots]
+    return kept[np.argsort(kept["time"], kind="stable")]

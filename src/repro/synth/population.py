@@ -1,0 +1,686 @@
+"""The synthetic fault population.
+
+This module decides *what faults exist*: how many of each mode, how many
+errors each produces, and where each sits (node, DIMM slot, rank, bank,
+row, column, bit).  :mod:`repro.synth.errors` later expands the population
+into time-stamped CE records.
+
+The construction follows the paper's reported structure:
+
+- **Errors-per-fault** follow a singleton-dominated heavy tail: a fixed
+  fraction of faults produce exactly one error (median 1, Figure 4b) and
+  the rest follow a truncated power-law "ladder" whose exponent is solved
+  by bisection so each mode's error total matches the paper's Figure 4a
+  numbers, with the single largest fault pinned just over 91,000 errors.
+
+- **Node concentration** (Figure 5b) comes from a three-tier assignment:
+  the heaviest faults go to a handful of *storm* nodes (top-8 share of
+  CEs > 50%), the next tier to *hot* nodes completing the top-2% ~ 90%
+  concentration, and the rest spread over the remaining error nodes with
+  power-law per-node fault counts (Figure 5a).
+
+- **Positional structure** (sections 3.2/3.4): DIMM slots are weighted
+  (J, E, I, P high; A, K, L, M, N low), rank 0 takes a bigger fault share
+  than rank 1, banks/columns/sockets are uniform, storm nodes are placed
+  bottom-heavy in their racks so *errors* rank bottom > top > middle while
+  *faults* stay nearly uniform, and the designated spike rack hosts the
+  largest storm so its error count exceeds twice any other rack's.
+
+Within one node every fault gets a distinct (slot, rank, bank) location so
+that coalescing recovers the planned population exactly; the real-world
+possibility of two faults sharing a bank is a known limitation of the
+coalescing methodology itself, not of this generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults.types import NO_BANK, NO_BIT, NO_COLUMN, FaultMode
+from repro.machine.dram import AddressMap, SecDed72
+from repro.machine.node import DIMM_SLOTS
+from repro.machine.topology import AstraTopology
+from repro.synth.config import PaperCalibration
+
+#: Planned-fault layout: the generator's ground truth for one fault.
+PLANNED_FAULT_DTYPE = np.dtype(
+    [
+        ("node", np.int32),
+        ("socket", np.int8),
+        ("slot", np.int8),
+        ("rank", np.int8),
+        ("bank", np.int8),
+        ("row", np.int32),
+        ("column", np.int16),
+        ("bit_pos", np.int16),
+        ("address", np.uint64),
+        ("syndrome", np.uint8),
+        ("mode", np.int8),
+        ("n_errors", np.int64),
+        ("start_time", np.float64),
+        ("duration", np.float64),
+    ]
+)
+
+#: Per-mode cap on errors from one fault.  Single-bit carries the global
+#: 91 k maximum; the unattributed storms stay just below it.
+_MODE_MAX_ERRORS = {
+    FaultMode.SINGLE_BIT: 91_000,
+    FaultMode.SINGLE_WORD: 8_000,
+    FaultMode.SINGLE_COLUMN: 12_000,
+    FaultMode.SINGLE_BANK: 2_500,
+    FaultMode.UNATTRIBUTED: 80_000,
+}
+
+#: Relative error-mass weights of the storm nodes.  The first (placed in
+#: the spike rack) is ~3.5x the others, producing the Figure 12a spike.
+_STORM_WEIGHTS = np.array([4.8, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+
+#: Share of total errors carried by the storm tier / by the top-2% tier.
+_STORM_MASS_SHARE = 0.58
+_TOP2PCT_MASS_SHARE = 0.90
+
+
+def _ladder(
+    rng: np.random.Generator,
+    n_faults: int,
+    total_errors: int,
+    max_count: int,
+    singleton_frac: float,
+) -> np.ndarray:
+    """Per-fault error counts: singletons plus a truncated power-law tail.
+
+    Returns ``n_faults`` positive counts summing to ``total_errors``
+    (exactly), with the largest pinned near ``max_count`` when the budget
+    allows.  The tail exponent is solved by bisection.
+    """
+    if n_faults <= 0:
+        return np.zeros(0, dtype=np.int64)
+    if total_errors < n_faults:
+        raise ValueError("total_errors must allow one error per fault")
+
+    n_singletons = int(round(n_faults * singleton_frac))
+    n_heavy = n_faults - n_singletons
+    if n_heavy == 0:
+        n_heavy, n_singletons = 1, n_faults - 1
+    target_heavy = total_errors - n_singletons
+
+    max_count = min(max_count, target_heavy - (n_heavy - 1))
+    max_count = max(max_count, 1)
+
+    k = np.arange(1, n_heavy + 1, dtype=np.float64)
+
+    def ladder_sum(s: float) -> float:
+        return float(np.maximum(1, np.round(max_count * k**-s)).sum())
+
+    lo, hi = 0.0, 8.0
+    # ladder_sum decreases in s; bisect toward target_heavy.
+    if ladder_sum(lo) <= target_heavy:
+        s = lo
+    elif ladder_sum(hi) >= target_heavy:
+        s = hi
+    else:
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if ladder_sum(mid) > target_heavy:
+                lo = mid
+            else:
+                hi = mid
+        s = 0.5 * (lo + hi)
+
+    counts = np.maximum(1, np.round(max_count * k**-s)).astype(np.int64)
+    # Multiplicative jitter on the tail (not the pinned head), then an
+    # exact fix-up spread over the mid-ladder.
+    if n_heavy > 2:
+        jitter = np.exp(rng.normal(0.0, 0.08, n_heavy - 1))
+        counts[1:] = np.maximum(1, np.round(counts[1:] * jitter)).astype(np.int64)
+    diff = target_heavy - int(counts.sum())
+    # Distribute the residual over entries 1..10 (or all but the head).
+    spread = counts[1 : max(2, min(11, n_heavy))]
+    if spread.size:
+        per = diff // spread.size
+        spread += per
+        spread[0] += diff - per * spread.size
+        np.maximum(spread, 1, out=spread)
+    else:
+        counts[0] += diff
+    # Whatever clamping left over lands on the head (kept >= 1).
+    counts[0] += target_heavy - int(counts.sum())
+    counts[0] = max(counts[0], 1)
+
+    out = np.concatenate([counts, np.ones(n_singletons, dtype=np.int64)])
+    return out
+
+
+def _powerlaw_node_counts(
+    rng: np.random.Generator, n_nodes: int, total: int, kmax: int
+) -> np.ndarray:
+    """Per-node fault counts: >= 1 each, power-law-ish, summing to total."""
+    if n_nodes <= 0:
+        return np.zeros(0, dtype=np.int64)
+    total = max(total, n_nodes)
+    k = np.arange(1, kmax + 1, dtype=np.float64)
+
+    def mean_for(alpha: float) -> float:
+        p = k**-alpha
+        return float((k * p).sum() / p.sum())
+
+    target_mean = total / n_nodes
+    lo, hi = 0.05, 6.0
+    if mean_for(hi) >= target_mean:
+        alpha = hi
+    elif mean_for(lo) <= target_mean:
+        alpha = lo
+    else:
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if mean_for(mid) > target_mean:
+                lo = mid
+            else:
+                hi = mid
+        alpha = 0.5 * (lo + hi)
+    p = k**-alpha
+    counts = rng.choice(np.arange(1, kmax + 1), size=n_nodes, p=p / p.sum())
+    counts = counts.astype(np.int64)
+    # Exact fix-up: walk the residual into counts, clamped to [1, kmax].
+    diff = total - int(counts.sum())
+    while diff != 0:
+        idx = rng.integers(0, n_nodes)
+        step = 1 if diff > 0 else -1
+        new = counts[idx] + step
+        if 1 <= new <= kmax:
+            counts[idx] = new
+            diff -= step
+    return counts
+
+
+@dataclass
+class FaultPopulation:
+    """The generated fault population plus its tier metadata."""
+
+    faults: np.ndarray
+    storm_nodes: np.ndarray
+    hot_nodes: np.ndarray
+    normal_nodes: np.ndarray
+    calibration: PaperCalibration
+    scale: float
+
+    @property
+    def error_nodes(self) -> np.ndarray:
+        """All nodes hosting at least one fault."""
+        return np.unique(self.faults["node"])
+
+    @property
+    def total_errors(self) -> int:
+        """Total planned errors across all faults."""
+        return int(self.faults["n_errors"].sum())
+
+
+class FaultPopulationGenerator:
+    """Seeded generator for the calibrated fault population."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        scale: float = 1.0,
+        calibration: PaperCalibration | None = None,
+        topology: AstraTopology | None = None,
+        address_map: AddressMap | None = None,
+        row_fault_fraction: float = 0.0,
+    ) -> None:
+        """``row_fault_fraction`` converts that share of the single-bank
+        population into genuine single-row faults (all errors in one row,
+        columns varying).  Astra's records cannot distinguish the two --
+        the paper says so explicitly -- so the default is zero; the
+        coalescing ablation uses a nonzero value to quantify what a
+        row-reporting platform would see differently."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if not 0.0 <= row_fault_fraction <= 1.0:
+            raise ValueError("row_fault_fraction must be in [0, 1]")
+        self.seed = seed
+        self.scale = scale
+        self.row_fault_fraction = row_fault_fraction
+        self.calibration = calibration or PaperCalibration()
+        self.calibration.validate()
+        self.topology = topology or AstraTopology()
+        self.address_map = address_map or AddressMap()
+        self._secded = SecDed72()
+
+    # ------------------------------------------------------------------
+    def _mode_plan(self) -> list[tuple[FaultMode, int, int]]:
+        """(mode, n_faults, total_errors) per mode at the current scale."""
+        cal, s = self.calibration, self.scale
+        plan = [
+            (FaultMode.SINGLE_BIT, cal.n_faults_single_bit, cal.errors_single_bit),
+            (FaultMode.SINGLE_WORD, cal.n_faults_single_word, cal.errors_single_word),
+            (
+                FaultMode.SINGLE_COLUMN,
+                cal.n_faults_single_column,
+                cal.errors_single_column,
+            ),
+            (FaultMode.SINGLE_BANK, cal.n_faults_single_bank, cal.errors_single_bank),
+            (
+                FaultMode.UNATTRIBUTED,
+                cal.n_faults_unattributed,
+                cal.errors_unattributed,
+            ),
+        ]
+        out = []
+        for mode, n, total in plan:
+            n_s = cal.scaled_count(n, s)
+            total_s = max(cal.scaled_count(total, s), n_s)
+            out.append((mode, n_s, total_s))
+        return out
+
+    # ------------------------------------------------------------------
+    def _pick_node_in(self, rng, rack: int, region: int, used: set[int]) -> int:
+        candidates = self.topology.nodes_in_region(rack, region)
+        free = [int(n) for n in candidates if int(n) not in used]
+        if not free:  # tiny topologies in tests: fall back to any node
+            all_nodes = self.topology.all_node_ids()
+            free = [int(n) for n in all_nodes if int(n) not in used]
+            if not free:
+                raise ValueError("topology too small for requested node count")
+        return int(rng.choice(free))
+
+    def _choose_nodes(
+        self, rng: np.random.Generator, n_error_nodes: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Pick storm / hot / normal node ids with positional structure."""
+        cal, topo = self.calibration, self.topology
+        n_storm = min(cal.n_storm_nodes, max(1, n_error_nodes // 3))
+        n_top2 = max(n_storm, round(0.02 * topo.n_nodes))
+        n_hot = min(max(0, n_top2 - n_storm), max(0, n_error_nodes - n_storm))
+        n_normal = n_error_nodes - n_storm - n_hot
+
+        used: set[int] = set()
+        storm_nodes = []
+        other_racks = np.array(
+            [r for r in range(topo.n_racks) if r != min(cal.spike_rack, topo.n_racks - 1)]
+            or [0]
+        )
+        rng.shuffle(other_racks)
+        for i in range(n_storm):
+            rack = cal.spike_rack if i == 0 else other_racks[(i - 1) % len(other_racks)]
+            rack = min(rack, topo.n_racks - 1)
+            region = cal.storm_regions[i % len(cal.storm_regions)]
+            node = self._pick_node_in(rng, rack, region, used)
+            used.add(node)
+            storm_nodes.append(node)
+
+        storm_racks = {int(topo.rack_of(nd)) for nd in storm_nodes}
+
+        def sample_tier(count: int, rack_cap: int | None = None) -> list[int]:
+            """Sample tier nodes; ``rack_cap`` bounds the heavy nodes any
+            single rack hosts so the error-spike rack stays unique."""
+            nodes = []
+            rack_load: dict[int, int] = {}
+            regions = rng.choice(3, size=count, p=np.asarray(cal.region_fault_shares))
+            for region in regions:
+                for _ in range(64):
+                    rack = int(rng.integers(0, topo.n_racks))
+                    if rack_cap is None:
+                        break
+                    if rack not in storm_racks and rack_load.get(rack, 0) < rack_cap:
+                        break
+                node = self._pick_node_in(rng, rack, int(region), used)
+                used.add(node)
+                rack_load[rack] = rack_load.get(rack, 0) + 1
+                nodes.append(node)
+            return nodes
+
+        hot_nodes = sample_tier(n_hot, rack_cap=2)
+        normal_nodes = sample_tier(n_normal)
+        return (
+            np.array(storm_nodes, dtype=np.int64),
+            np.array(hot_nodes, dtype=np.int64),
+            np.array(normal_nodes, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    def _assign_nodes(
+        self,
+        rng: np.random.Generator,
+        counts_desc: np.ndarray,
+        unattr_mask: np.ndarray,
+        storm: np.ndarray,
+        hot: np.ndarray,
+        normal: np.ndarray,
+    ) -> np.ndarray:
+        """Assign each fault (sorted by errors desc) to a node id.
+
+        Capacity-aware: a node can host at most 32 unattributed faults
+        (one per distinct (slot, rank)) and 512 attributed faults (one
+        per distinct (slot, rank, bank)), so the location assignment that
+        follows is always feasible.
+        """
+        total = int(counts_desc.sum())
+        cum = np.cumsum(counts_desc)
+        storm_cut = int(np.searchsorted(cum, _STORM_MASS_SHARE * total)) + 1
+        top2_cut = int(np.searchsorted(cum, _TOP2PCT_MASS_SHARE * total)) + 1
+        storm_cut = min(storm_cut, counts_desc.size)
+        top2_cut = min(max(top2_cut, storm_cut), counts_desc.size)
+
+        owner = np.empty(counts_desc.size, dtype=np.int64)
+        unattr_cap = 32
+        attr_cap = 32 * self.address_map.geometry.n_banks
+        used_unattr: dict[int, int] = {}
+        used_attr: dict[int, int] = {}
+
+        def place(i: int, pool: np.ndarray, score, *fallbacks: np.ndarray) -> int:
+            """Put fault i on the best-scoring pool node with capacity.
+
+            When every node in ``pool`` is full for this fault's kind,
+            spill into the fallback pools (round-robin by capacity); the
+            tiered concentration has enough slack that spills only move
+            low-mass faults.  Returns the index within ``pool`` used for
+            load accounting, or -1 on spill.
+            """
+            used = used_unattr if unattr_mask[i] else used_attr
+            cap = unattr_cap if unattr_mask[i] else attr_cap
+            order = np.argsort(score)
+            for j in order:
+                node = int(pool[j])
+                if used.get(node, 0) < cap:
+                    used[node] = used.get(node, 0) + 1
+                    owner[i] = node
+                    return int(j)
+            for fb in fallbacks:
+                for node in fb:
+                    node = int(node)
+                    if used.get(node, 0) < cap:
+                        used[node] = used.get(node, 0) + 1
+                        owner[i] = node
+                        return -1
+            raise ValueError("fault population exceeds pool location capacity")
+
+        # Tier 1: weighted greedy bin packing onto storm nodes.
+        weights = _STORM_WEIGHTS[: storm.size].copy()
+        if weights.size < storm.size:  # more storms than weights: pad
+            weights = np.pad(
+                weights, (0, storm.size - weights.size), constant_values=1.0
+            )
+        loads = np.zeros(storm.size)
+        hot_pool = hot if hot.size else storm
+        for i in range(storm_cut):
+            j = place(i, storm, loads / weights, hot_pool, normal)
+            if j >= 0:
+                loads[j] += counts_desc[i]
+
+        # Tier 2: greedy onto hot nodes (uniform weights).
+        loads2 = np.zeros(hot_pool.size)
+        for i in range(storm_cut, top2_cut):
+            j = place(i, hot_pool, loads2, normal, storm)
+            if j >= 0:
+                loads2[j] += counts_desc[i]
+
+        # Tier 3: per-node fault-count quotas, power-law distributed.
+        n_rest = counts_desc.size - top2_cut
+        if n_rest > 0:
+            pool = normal if normal.size else hot_pool
+            quotas = _powerlaw_node_counts(
+                rng, pool.size, n_rest, self.calibration.max_faults_per_node
+            )
+            slots = np.repeat(pool, quotas)
+            rng.shuffle(slots)
+            owner[top2_cut:] = slots[:n_rest]
+            self._repair_overflow(
+                rng, owner, unattr_mask, top2_cut, unattr_cap, used_unattr
+            )
+        return owner
+
+    @staticmethod
+    def _repair_overflow(
+        rng: np.random.Generator,
+        owner: np.ndarray,
+        unattr_mask: np.ndarray,
+        start: int,
+        cap: int,
+        reserved: dict[int, int],
+    ) -> None:
+        """Swap tier-3 fault owners so no node exceeds the unattributed cap.
+
+        Excess unattributed faults on an over-full node trade owners with
+        attributed faults from under-full nodes, preserving every node's
+        total fault quota.
+        """
+        idx = np.arange(start, owner.size)
+        if idx.size == 0:
+            return
+        sub_owner = owner[idx]
+        sub_unattr = unattr_mask[idx]
+        counts: dict[int, int] = dict(reserved)
+        for node in sub_owner[sub_unattr]:
+            counts[int(node)] = counts.get(int(node), 0) + 1
+        over = {n for n, c in counts.items() if c > cap}
+        if not over:
+            return
+        attr_idx = idx[~sub_unattr]
+        rng.shuffle(attr_idx)
+        cursor = 0
+        for node in sorted(over):
+            mine = idx[sub_unattr & (sub_owner == node)]
+            excess = mine[: counts[node] - cap]
+            for e in excess:
+                while cursor < attr_idx.size:
+                    c = attr_idx[cursor]
+                    cursor += 1
+                    target = int(owner[c])
+                    if target != node and counts.get(target, 0) < cap:
+                        owner[e], owner[c] = owner[c], owner[e]
+                        counts[target] = counts.get(target, 0) + 1
+                        counts[node] -= 1
+                        break
+                else:
+                    raise ValueError(
+                        "cannot repair unattributed-fault overflow: "
+                        "population too dense for the node pool"
+                    )
+
+    # ------------------------------------------------------------------
+    def _assign_locations(
+        self, rng: np.random.Generator, faults: np.ndarray
+    ) -> None:
+        """Fill slot/rank/bank/row/column/bit/address, collision-free.
+
+        The location id space is (slot, rank, bank-code) with bank-code 0
+        reserved for unattributed faults; ids are unique per node so the
+        coalescer recovers the planned population exactly.
+        """
+        cal = self.calibration
+        n = faults.size
+        geom = self.address_map.geometry
+
+        slot_w = np.array([cal.slot_fault_weights[s] for s in DIMM_SLOTS])
+        rank_w = np.array([cal.rank0_fault_share, 1.0 - cal.rank0_fault_share])
+
+        unattr = faults["mode"] == FaultMode.UNATTRIBUTED
+
+        # Location probability over (slot, rank) pairs and over
+        # (slot, rank, bank) triples; banks are uniform (section 3.2).
+        p_sr = (slot_w[:, None] * rank_w[None, :]).ravel()
+        p_sr = p_sr / p_sr.sum()
+        p_srb = np.repeat(p_sr, geom.n_banks) / geom.n_banks
+
+        # Sample locations per node, without replacement, so coalescing
+        # recovers the planned population exactly.
+        locs = np.empty(n, dtype=np.int64)
+        order = np.argsort(faults["node"], kind="stable")
+        node_sorted = faults["node"][order]
+        starts = np.flatnonzero(
+            np.concatenate([[True], node_sorted[1:] != node_sorted[:-1]])
+        )
+        bounds = np.append(starts, n)
+        n_srb = 32 * geom.n_banks
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            idx = order[a:b]
+            un = unattr[idx]
+            k_un, k_at = int(un.sum()), int((~un).sum())
+            if k_un:
+                sr = rng.choice(32, size=k_un, replace=False, p=p_sr)
+                locs[idx[un]] = sr * (geom.n_banks + 1)  # bank code 0
+            if k_at:
+                srb = rng.choice(n_srb, size=k_at, replace=False, p=p_srb)
+                sr, bank = srb // geom.n_banks, srb % geom.n_banks
+                locs[idx[~un]] = sr * (geom.n_banks + 1) + bank + 1
+
+        bank_code = locs % (geom.n_banks + 1)
+        sr = locs // (geom.n_banks + 1)
+        faults["slot"] = sr // 2
+        faults["rank"] = sr % 2
+        faults["socket"] = faults["slot"] // 8
+
+        attributed = ~unattr
+        banks = np.where(attributed, bank_code - 1, NO_BANK)
+        rows = rng.integers(0, geom.n_rows, size=n)
+        cols = rng.integers(0, geom.n_columns, size=n)
+
+        # A small weak-cell population: ~3% of attributed faults sit at a
+        # handful of geometrically weak (bank, row, column) cells shared
+        # across devices (array edges, repair rows).  Identical cells on
+        # different devices produce identical physical addresses whenever
+        # (socket, channel, rank) also coincide, which gives Figure 8b its
+        # repeated-address tail.  The weak bank is claimed through the
+        # same per-node uniqueness bookkeeping as the original sampling,
+        # so coalescing still recovers the population exactly; faults
+        # whose weak bank is taken on their node stay where they were.
+        weak_cells = np.stack(
+            [
+                rng.integers(0, geom.n_banks, size=4),
+                rng.integers(0, geom.n_rows, size=4),
+                rng.integers(0, geom.n_columns, size=4),
+            ],
+            axis=1,
+        )
+        weak_p = np.array([0.55, 0.25, 0.12, 0.08])
+        hot_idx = np.flatnonzero(attributed & (rng.random(n) < 0.03))
+        picks = rng.choice(4, size=hot_idx.size, p=weak_p)
+        used_locs = set(
+            zip(faults["node"].tolist(), sr.tolist(), banks.tolist())
+        )
+        for i, pick in zip(hot_idx, picks):
+            weak_bank, weak_row, weak_col = (int(v) for v in weak_cells[pick])
+            key = (int(faults["node"][i]), int(sr[i]), weak_bank)
+            if banks[i] != weak_bank and key in used_locs:
+                continue  # weak bank taken on this device: stay put
+            used_locs.discard((int(faults["node"][i]), int(sr[i]), int(banks[i])))
+            used_locs.add(key)
+            banks[i] = weak_bank
+            rows[i] = weak_row
+            cols[i] = weak_col
+
+        faults["bank"] = banks
+        faults["row"] = np.where(attributed, rows, -1)
+        faults["column"] = np.where(attributed, cols, NO_COLUMN)
+
+        # Bit positions: Zipf over a seed-specific permutation of the 72
+        # codeword positions, giving the Figure 8a heavy-tailed shape.
+        perm = rng.permutation(72)
+        ranks_ = np.arange(1, 73, dtype=np.float64)
+        p_bit = ranks_**-1.2
+        bits = perm[rng.choice(72, size=n, p=p_bit / p_bit.sum())]
+        faults["bit_pos"] = np.where(attributed, bits, NO_BIT)
+
+        addr = self.address_map.encode(
+            np.asarray(faults["socket"], dtype=np.int64).clip(0),
+            np.asarray(faults["slot"], dtype=np.int64) % 8,
+            np.asarray(faults["rank"], dtype=np.int64),
+            np.asarray(faults["bank"], dtype=np.int64).clip(0),
+            np.asarray(faults["row"], dtype=np.int64).clip(0),
+            np.asarray(faults["column"], dtype=np.int64).clip(0),
+        )
+        faults["address"] = np.where(attributed, addr, 0)
+        syn = self._secded.syndrome_of_position(
+            np.asarray(faults["bit_pos"], dtype=np.int64).clip(0)
+        )
+        faults["syndrome"] = np.where(attributed, syn, 0)
+
+    # ------------------------------------------------------------------
+    def _assign_times(self, rng: np.random.Generator, faults: np.ndarray) -> None:
+        """Activation times with a pre-window warm-up and an early bias.
+
+        Astra ran before the logging window opened (Jan 20), so faults
+        may already be active at its start; activations are sampled from
+        a 45-day warm-up plus the window itself, biased early.  The
+        observable activity interval is the activation interval clipped
+        to the window, which yields the paper's steady month-0 counts and
+        the slightly declining monthly trend (Figure 4a) -- system
+        maintenance (page retirement, swaps) retires faults over time.
+        """
+        t0, t1 = self.calibration.error_window
+        warmup = 45.0 * 86400.0
+        span = (t1 - t0) + warmup
+        u = rng.beta(1.0, 1.6, size=faults.size)
+        raw_start = (t0 - warmup) + u * span
+        # Active period grows with the error count: storms burn for weeks.
+        base_days = rng.uniform(2.0, 20.0, size=faults.size)
+        log_count = np.log10(np.maximum(faults["n_errors"], 1).astype(np.float64))
+        duration = base_days * 86400.0 * (0.5 + log_count)
+        # Faults activated during the warm-up carry their full remaining
+        # activity into the window (no compression of their error budget
+        # into a clipped sliver); everything is capped at the window end.
+        start = np.clip(raw_start, t0, t1 - 3600.0)
+        end = np.clip(start + duration, start + 3600.0, t1)
+        faults["start_time"] = start
+        faults["duration"] = end - start
+
+    # ------------------------------------------------------------------
+    def generate(self) -> FaultPopulation:
+        """Build the full fault population."""
+        cal = self.calibration
+        rng = np.random.default_rng(self.seed)
+
+        parts = []
+        for mode, n_faults, total in self._mode_plan():
+            counts = _ladder(
+                rng,
+                n_faults,
+                total,
+                cal.scaled_count(_MODE_MAX_ERRORS[mode], self.scale),
+                cal.singleton_fault_fraction,
+            )
+            arr = np.zeros(counts.size, dtype=PLANNED_FAULT_DTYPE)
+            arr["mode"] = mode
+            arr["n_errors"] = counts
+            if mode == FaultMode.SINGLE_BANK and self.row_fault_fraction > 0:
+                # A random slice of the bank-footprint population is
+                # really row-confined; only row-reporting platforms can
+                # tell (random so heavy and singleton faults both split).
+                n_rows = int(round(counts.size * self.row_fault_fraction))
+                chosen = rng.choice(counts.size, size=n_rows, replace=False)
+                arr["mode"][chosen] = FaultMode.SINGLE_ROW
+            parts.append(arr)
+        faults = np.concatenate(parts)
+
+        # Heaviest first for the tiered node assignment.
+        faults = faults[np.argsort(-faults["n_errors"], kind="stable")]
+
+        n_error_nodes = min(
+            cal.scaled_count(cal.n_error_nodes, self.scale),
+            self.topology.n_nodes,
+            faults.size,
+        )
+        storm, hot, normal = self._choose_nodes(rng, n_error_nodes)
+        faults["node"] = self._assign_nodes(
+            rng,
+            faults["n_errors"],
+            faults["mode"] == FaultMode.UNATTRIBUTED,
+            storm,
+            hot,
+            normal,
+        )
+
+        self._assign_locations(rng, faults)
+        self._assign_times(rng, faults)
+
+        return FaultPopulation(
+            faults=faults,
+            storm_nodes=storm,
+            hot_nodes=hot,
+            normal_nodes=normal,
+            calibration=cal,
+            scale=self.scale,
+        )

@@ -1,0 +1,223 @@
+"""The stateless synthetic sensor field.
+
+A full-fidelity Astra sensor archive is ~10^9 samples (2,592 nodes x 7
+sensors x 1/min x 4 months) -- far too large to materialise.  Instead the
+sensor field is a *deterministic function* ``value(node, sensor, time)``
+built from:
+
+- the steady-state cooling model (socket/rack/region structure);
+- a per-node static offset (device/contact variance);
+- a utilisation process (piecewise-constant per 4-hour job block, keyed
+  by stateless hash noise) that couples into both power and temperature;
+- a small diurnal component (machine-room air handling);
+- per-sample measurement noise;
+- a sprinkling of invalid samples (stuck/unreadable sensors), < 1% as in
+  the paper.
+
+Any subset of the series can be evaluated in any order, with identical
+results, in O(requested samples) -- which is what lets the temperature
+correlation analysis of Figure 9 compute window means at scale.
+
+Deliberately, the error process does NOT feed back into this model and
+the model does not feed the error generator: on Astra, temperature and
+utilisation showed no strong correlation with correctable errors
+(section 3.3), and independence is the faithful model of that finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import hash_normalish, hash_uniform
+from repro.machine.cooling import CoolingModel
+from repro.machine.sensors import NodeSensorComplement, SensorKind
+from repro.synth.config import PaperCalibration
+
+#: Length of one utilisation "job block" in seconds.
+_BLOCK_S = 4 * 3600.0
+#: Value written by a wedged temperature sensor.
+INVALID_TEMP_VALUE = 0.0
+#: Value written by a glitched power sensor (clearly impossible).
+INVALID_POWER_VALUE = 4095.0
+
+
+@dataclass
+class SensorFieldModel:
+    """Deterministic sensor field for the whole system."""
+
+    seed: int = 0
+    cooling: CoolingModel = field(default_factory=CoolingModel)
+    calibration: PaperCalibration = field(default_factory=PaperCalibration)
+    #: degC of CPU temperature swing per unit utilisation.
+    cpu_util_coupling_c: float = 6.0
+    #: degC of DIMM temperature swing per unit utilisation.
+    dimm_util_coupling_c: float = 3.0
+    #: Peak-to-peak diurnal swing (degC).
+    diurnal_amplitude_c: float = 1.6
+    #: Per-node static temperature offset scale (degC, CPU sensors).
+    #: Sized so monthly-mean CPU temperatures span ~7 degC between the
+    #: first and ninth deciles (Figure 13a).
+    node_offset_cpu_c: float = 4.2
+    #: Per-node static temperature offset scale (degC, DIMM sensors);
+    #: gives the ~4 degC DIMM decile span of Figure 13b.
+    node_offset_dimm_c: float = 1.5
+    #: Per-sample measurement noise (degC standard deviation).
+    temp_noise_c: float = 0.5
+    #: Idle power floor and utilisation span (W).
+    power_idle_w: float = 238.0
+    power_span_w: float = 145.0
+    #: Per-sample power measurement noise (W standard deviation).
+    power_noise_w: float = 6.0
+
+    def __post_init__(self) -> None:
+        self._sensors = NodeSensorComplement()
+        self._is_power = np.array(
+            [s.kind is SensorKind.DC_POWER for s in self._sensors.sensors]
+        )
+        self._is_cpu = np.array(
+            [s.kind is SensorKind.CPU_TEMP for s in self._sensors.sensors]
+        )
+
+    # ------------------------------------------------------------------
+    def utilization(self, node_ids, times) -> np.ndarray:
+        """Node utilisation in [0, 1]: 4-hour job blocks plus idle days.
+
+        Most blocks sit in a busy 0.5-0.95 band (the machine was being
+        deliberately stressed during stabilisation); roughly one node-day
+        in ten idles near 0.15.
+        """
+        nodes = np.asarray(node_ids)
+        t = np.asarray(times, dtype=np.float64)
+        block = np.floor(t / _BLOCK_S).astype(np.int64)
+        day = np.floor(t / 86400.0).astype(np.int64)
+        busy = 0.50 + 0.45 * hash_uniform(nodes, block, seed=self.seed * 31 + 1)
+        idle_day = hash_uniform(nodes, day, seed=self.seed * 31 + 2) < 0.10
+        idle = 0.10 + 0.10 * hash_uniform(nodes, block, seed=self.seed * 31 + 3)
+        out = np.where(idle_day, idle, busy)
+        return out if out.ndim else float(out)
+
+    # ------------------------------------------------------------------
+    def _node_offset(self, node_ids, sensor_idx) -> np.ndarray:
+        scale = np.where(
+            self._is_cpu[np.asarray(sensor_idx)],
+            self.node_offset_cpu_c,
+            self.node_offset_dimm_c,
+        )
+        u = hash_uniform(node_ids, sensor_idx, seed=self.seed * 31 + 4)
+        return (u - 0.5) * 2.0 * scale
+
+    def temperature(self, node_ids, sensor_idx, times) -> np.ndarray:
+        """True temperature (degC) of a temperature sensor (vectorised)."""
+        nodes = np.asarray(node_ids)
+        sens = np.asarray(sensor_idx)
+        t = np.asarray(times, dtype=np.float64)
+        if np.any(self._is_power[sens]):
+            raise ValueError("temperature() is undefined for the power sensor")
+        base = self.cooling.expected_temperature(nodes, sens)
+        coupling = np.where(
+            self._is_cpu[sens], self.cpu_util_coupling_c, self.dimm_util_coupling_c
+        )
+        util = self.utilization(nodes, t)
+        diurnal = 0.5 * self.diurnal_amplitude_c * np.sin(
+            2.0 * np.pi * (t / 86400.0)
+        )
+        minutes = np.floor(t / 60.0).astype(np.int64)
+        noise = self.temp_noise_c * hash_normalish(
+            nodes, sens, minutes, seed=self.seed * 31 + 5
+        )
+        out = (
+            base
+            + self._node_offset(nodes, sens)
+            + coupling * (util - 0.5)
+            + diurnal
+            + noise
+        )
+        return out if np.ndim(out) else float(out)
+
+    def power(self, node_ids, times) -> np.ndarray:
+        """True node DC power draw (W), coupled to utilisation."""
+        nodes = np.asarray(node_ids)
+        t = np.asarray(times, dtype=np.float64)
+        util = self.utilization(nodes, t)
+        minutes = np.floor(t / 60.0).astype(np.int64)
+        noise = self.power_noise_w * hash_normalish(
+            nodes, minutes, seed=self.seed * 31 + 6
+        )
+        out = self.power_idle_w + self.power_span_w * util + noise
+        return out if np.ndim(out) else float(out)
+
+    def value(self, node_ids, sensor_idx, times) -> np.ndarray:
+        """True value of any sensor: temperature or power as appropriate."""
+        sens = np.atleast_1d(np.asarray(sensor_idx))
+        nodes = np.atleast_1d(np.asarray(node_ids))
+        t = np.atleast_1d(np.asarray(times, dtype=np.float64))
+        nodes, sens, t = np.broadcast_arrays(nodes, sens, t)
+        out = np.empty(nodes.shape, dtype=np.float64)
+        pw = self._is_power[sens]
+        if pw.any():
+            out[pw] = self.power(nodes[pw], t[pw])
+        if (~pw).any():
+            out[~pw] = self.temperature(nodes[~pw], sens[~pw], t[~pw])
+        if np.ndim(node_ids) == 0 and np.ndim(sensor_idx) == 0 and np.ndim(times) == 0:
+            return float(out[0])
+        return out
+
+    # ------------------------------------------------------------------
+    def invalid_mask(self, node_ids, sensor_idx, times) -> np.ndarray:
+        """Which raw samples a real BMC would have recorded as garbage."""
+        minutes = np.floor(np.asarray(times, dtype=np.float64) / 60.0).astype(
+            np.int64
+        )
+        u = hash_uniform(node_ids, sensor_idx, minutes, seed=self.seed * 31 + 7)
+        return u < self.calibration.invalid_sample_fraction
+
+    def raw_samples(self, node_ids, sensor_idx, times) -> np.ndarray:
+        """Sensor readings as logged: true values with invalids injected."""
+        vals = np.atleast_1d(self.value(node_ids, sensor_idx, times))
+        bad = np.atleast_1d(self.invalid_mask(node_ids, sensor_idx, times))
+        sens = np.atleast_1d(np.asarray(sensor_idx))
+        vals, bad, sens = np.broadcast_arrays(vals, bad, sens)
+        vals = vals.copy()
+        vals[bad & self._is_power[sens]] = INVALID_POWER_VALUE
+        vals[bad & ~self._is_power[sens]] = INVALID_TEMP_VALUE
+        return vals
+
+    # ------------------------------------------------------------------
+    def window_mean(
+        self,
+        node_ids,
+        sensor_idx,
+        t_end,
+        window_s: float,
+        max_samples: int = 256,
+    ) -> np.ndarray:
+        """Mean sensor value over ``[t_end - window_s, t_end)``.
+
+        Evaluates the field on an evenly spaced grid of at most
+        ``max_samples`` points per window (at least every 10 minutes for
+        short windows), which is exact for the piecewise components up to
+        grid resolution.  Vectorised over requests; memory is bounded by
+        ``len(requests) * max_samples`` floats, so callers with millions
+        of requests should chunk.
+        """
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        nodes = np.atleast_1d(np.asarray(node_ids))
+        sens = np.atleast_1d(np.asarray(sensor_idx))
+        ends = np.atleast_1d(np.asarray(t_end, dtype=np.float64))
+        nodes, sens, ends = np.broadcast_arrays(nodes, sens, ends)
+
+        m = int(min(max_samples, max(4, window_s / 600.0)))
+        offs = (np.arange(m, dtype=np.float64) + 0.5) * (window_s / m)
+        grid = ends[:, None] - offs[None, :]
+        vals = self.value(
+            np.repeat(nodes, m).reshape(-1, m),
+            np.repeat(sens, m).reshape(-1, m),
+            grid,
+        )
+        out = vals.mean(axis=1)
+        if np.ndim(t_end) == 0 and np.ndim(node_ids) == 0:
+            return float(out[0])
+        return out

@@ -1,0 +1,154 @@
+"""Campaign self-validation against the paper's calibration targets.
+
+Users who tweak :class:`repro.synth.config.PaperCalibration` (or write a
+new generator) need to know whether the campaign still reproduces the
+paper's quantitative anchors.  :func:`validate_campaign` runs every
+anchor programmatically and returns a structured report; the CLI's
+``validate`` subcommand and the test suite both consume it.
+
+The checks here are *calibration* checks (does the generator hit its
+targets); the *shape* claims of each figure live with their experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.distributions import concentration_curve, per_node_counts
+from repro.faults.classify import errors_per_mode
+from repro.faults.types import FaultMode
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One calibration check: target vs measured."""
+
+    name: str
+    target: float
+    measured: float
+    tolerance: float  # relative, except where target == 0
+    passed: bool
+
+    def render(self) -> str:
+        flag = "ok " if self.passed else "FAIL"
+        return (
+            f"[{flag}] {self.name:<44} target {self.target:>12g}  "
+            f"measured {self.measured:>12g}"
+        )
+
+
+def _check(name: str, target: float, measured: float, rel: float) -> CheckResult:
+    if target == 0:
+        passed = measured == 0
+    else:
+        passed = abs(measured - target) <= rel * abs(target)
+    return CheckResult(
+        name=name, target=target, measured=measured, tolerance=rel, passed=passed
+    )
+
+
+def validate_campaign(campaign) -> list[CheckResult]:
+    """Check a campaign against every scaled calibration anchor."""
+    cal = campaign.calibration
+    scale = campaign.scale
+    checks: list[CheckResult] = []
+
+    checks.append(
+        _check(
+            "total correctable errors",
+            cal.scaled_count(cal.total_errors, scale),
+            campaign.n_errors,
+            0.02,
+        )
+    )
+
+    per_node = per_node_counts(campaign.errors, campaign.topology.n_nodes)
+    n_error_nodes = min(
+        cal.scaled_count(cal.n_error_nodes, scale), campaign.topology.n_nodes
+    )
+    checks.append(
+        _check("nodes with >= 1 CE", n_error_nodes, int((per_node > 0).sum()), 0.05)
+    )
+    # The top-2% quantile is only meaningful when the error-node
+    # population comfortably exceeds 2% of the machine.
+    if n_error_nodes > 3 * 0.02 * campaign.topology.n_nodes:
+        curve = concentration_curve(per_node)
+        checks.append(
+            _check("top-2% CE share", cal.top2pct_error_share,
+                   curve.share_of_top_fraction(0.02), 0.08)
+        )
+
+    faults = campaign.faults()
+    epm = errors_per_mode(faults)
+    for mode, target in (
+        (FaultMode.SINGLE_BIT, cal.errors_single_bit),
+        (FaultMode.SINGLE_WORD, cal.errors_single_word),
+        (FaultMode.SINGLE_COLUMN, cal.errors_single_column),
+        (FaultMode.SINGLE_BANK, cal.errors_single_bank),
+        (FaultMode.UNATTRIBUTED, cal.errors_unattributed),
+    ):
+        checks.append(
+            _check(
+                f"errors attributed to {mode.label} faults",
+                cal.scaled_count(target, scale),
+                epm[mode],
+                0.12,
+            )
+        )
+    # Below ~20% scale the per-fault ladder cannot respect the scaled
+    # cap (the per-mode totals force heavier heads), so the max check is
+    # only meaningful near full volume.
+    if scale >= 0.2:
+        checks.append(
+            _check(
+                "maximum errors per fault",
+                cal.scaled_count(cal.max_errors_per_fault, scale),
+                int(faults["n_errors"].max()),
+                0.25,
+            )
+        )
+    checks.append(
+        _check("median errors per fault", 1.0, float(np.median(faults["n_errors"])), 0.0)
+    )
+
+    counts = np.bincount(campaign.replacements["component"], minlength=3)
+    for idx, (label, target) in enumerate(
+        (
+            ("processors replaced", cal.replaced_processors),
+            ("motherboards replaced", cal.replaced_motherboards),
+            ("DIMMs replaced", cal.replaced_dimms),
+        )
+    ):
+        checks.append(
+            _check(label, cal.scaled_count(target, scale), int(counts[idx]), 0.01)
+        )
+
+    dues = int(campaign.het["non_recoverable"].sum())
+    t0, t1 = cal.het_recording_start, cal.error_window[1]
+    years = (t1 - t0) / (365 * 86400.0)
+    n_dimms = campaign.node_config.system_dimm_count(campaign.topology.n_nodes)
+    expected_dues = cal.due_per_dimm_year * n_dimms * years * scale
+    # Poisson-count target with a floor of one generated event; use an
+    # absolute-one tolerance alongside the relative band.
+    due_ok = abs(dues - expected_dues) <= max(0.3 * expected_dues, 1.0)
+    checks.append(
+        CheckResult(
+            name="uncorrectable errors (DUEs)",
+            target=expected_dues,
+            measured=dues,
+            tolerance=0.3,
+            passed=due_ok,
+        )
+    )
+
+    return checks
+
+
+def render_validation(checks: list[CheckResult]) -> str:
+    """Text report of the calibration checks."""
+    passed = sum(c.passed for c in checks)
+    lines = [f"calibration checks: {passed}/{len(checks)} pass", ""]
+    lines += [c.render() for c in checks]
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Tests for CE burst-structure analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bursts import (
+    burst_stats,
+    interarrival_times,
+    peak_window_counts,
+)
+from util import bit_error, make_errors
+
+
+class TestInterarrivals:
+    def test_gaps_within_node(self):
+        errors = make_errors(
+            [bit_error(node=1, t=0.0), bit_error(node=1, t=5.0),
+             bit_error(node=1, t=20.0)]
+        )
+        gaps = interarrival_times(errors)
+        assert gaps.tolist() == [5.0, 15.0]
+
+    def test_cross_node_gaps_excluded(self):
+        errors = make_errors(
+            [bit_error(node=1, t=0.0), bit_error(node=2, t=1.0)]
+        )
+        assert interarrival_times(errors).size == 0
+
+    def test_unsorted_input(self):
+        errors = make_errors(
+            [bit_error(node=1, t=10.0), bit_error(node=1, t=0.0)]
+        )
+        assert interarrival_times(errors).tolist() == [10.0]
+
+    def test_too_few(self):
+        assert interarrival_times(make_errors([bit_error(t=1.0)])).size == 0
+
+    def test_wrong_dtype(self):
+        with pytest.raises(ValueError):
+            interarrival_times(np.zeros(3))
+
+
+class TestPeakWindows:
+    def test_counts_per_window(self):
+        errors = make_errors(
+            [bit_error(node=1, t=t) for t in (0.0, 1.0, 2.0, 10.0)]
+            + [bit_error(node=2, t=0.5)]
+        )
+        peaks = peak_window_counts(errors, window_s=5.0)
+        assert sorted(peaks.tolist()) == [1, 3]
+
+    def test_empty(self):
+        assert peak_window_counts(make_errors([]), 5.0).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            peak_window_counts(make_errors([bit_error(t=0.0)]), 0.0)
+
+
+class TestSummary:
+    def test_bursty_stream(self):
+        # Two tight bursts separated by an hour: CV >> 1.
+        times = [0.0, 0.5, 1.0, 1.5, 3600.0, 3600.5, 3601.0]
+        errors = make_errors([bit_error(node=1, t=t) for t in times])
+        stats = burst_stats(errors, burst_threshold_s=60.0)
+        assert stats.burstier_than_poisson
+        assert stats.burst_fraction > 0.7
+        assert stats.peak_window_max >= 4
+
+    def test_smooth_stream_not_bursty(self):
+        times = np.arange(0, 10_000, 100.0)
+        errors = make_errors([bit_error(node=1, t=float(t)) for t in times])
+        stats = burst_stats(errors)
+        assert not stats.burstier_than_poisson
+        assert stats.cv < 0.1
+
+    def test_needs_gaps(self):
+        with pytest.raises(ValueError):
+            burst_stats(make_errors([bit_error(t=0.0)]))
+
+    def test_campaign_is_bursty(self, small_campaign):
+        """The generator's burst structure shows up in the metric -- and
+        explains why finite CE buffers drop records (section 2.3)."""
+        stats = burst_stats(small_campaign.errors)
+        assert stats.burstier_than_poisson
+        assert stats.peak_window_max > 8  # overflows an 8-slot buffer

@@ -1,0 +1,58 @@
+"""Tests for the cross-study comparison."""
+
+import pytest
+
+from repro.analysis.comparison import (
+    PRIOR_FINDINGS,
+    compare_with_prior_studies,
+    render_comparison_table,
+)
+
+
+class TestPriorFindings:
+    def test_six_findings_encoded(self):
+        assert len(PRIOR_FINDINGS) == 6
+
+    def test_only_elsayed_agrees(self):
+        agreeing = [f for f in PRIOR_FINDINGS if f.astra_agrees]
+        assert len(agreeing) == 1
+        assert "El-Sayed" in agreeing[0].study
+
+    def test_studies_named(self):
+        studies = " ".join(f.study for f in PRIOR_FINDINGS)
+        for name in ("Sridharan", "Gupta", "Schroeder", "Hsu", "El-Sayed"):
+            assert name in studies
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def rows(self, small_campaign):
+        return compare_with_prior_studies(small_campaign, grid_s=48 * 3600.0)
+
+    def test_one_row_per_finding(self, rows):
+        assert len(rows) == len(PRIOR_FINDINGS)
+
+    def test_measured_strings_populated(self, rows):
+        for row in rows:
+            assert row.measured
+
+    def test_temperature_findings_disagree(self, rows):
+        """The campaign has no temperature effect, so the Schroeder/Hsu
+        claims must not hold and El-Sayed's must."""
+        by_study = {r.finding.study: r for r in rows}
+        assert not by_study["Schroeder et al., SIGMETRICS'09"].holds_on_campaign
+        assert by_study["El-Sayed et al., SIGMETRICS'12"].holds_on_campaign
+
+    def test_render(self, rows):
+        text = render_comparison_table(rows)
+        assert "prior study" in text
+        assert "Cielo/Jaguar" in text
+        assert text.count("\n") >= 6
+
+
+@pytest.mark.slow
+def test_full_scale_consistency(full_campaign):
+    """At paper volume the campaign reproduces every agree/disagree call."""
+    rows = compare_with_prior_studies(full_campaign)
+    wrong = [r.finding.claim for r in rows if not r.consistent_with_paper]
+    assert not wrong, wrong

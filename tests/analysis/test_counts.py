@@ -1,0 +1,85 @@
+"""Tests for per-structure counting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.counts import (
+    counts_by,
+    errors_and_faults_by,
+    observed_column_axis,
+    weighted_counts_by,
+)
+from repro.faults.coalesce import coalesce
+from util import bit_error, make_errors
+
+
+@pytest.fixture()
+def errors():
+    return make_errors(
+        [
+            bit_error(node=1, slot=0, bank=3, column=5, t=0.0),
+            bit_error(node=1, slot=0, bank=3, column=5, t=1.0),
+            bit_error(node=2, slot=9, bank=7, column=8, t=2.0),
+            # storm record: no positional payload
+            dict(time=3.0, node=3, socket=0, slot=4, rank=0, bank=-1,
+                 column=-1, bit_pos=-1, address=0),
+        ]
+    )
+
+
+class TestCountsBy:
+    def test_slot_counts(self, errors):
+        counts, excluded = counts_by(errors, "slot")
+        assert counts[0] == 2 and counts[9] == 1 and counts[4] == 1
+        assert excluded == 0
+        assert counts.size == 16
+
+    def test_bank_counts_exclude_sentinels(self, errors):
+        counts, excluded = counts_by(errors, "bank")
+        assert counts[3] == 2 and counts[7] == 1
+        assert excluded == 1
+
+    def test_socket_counts(self, errors):
+        counts, _ = counts_by(errors, "socket")
+        assert counts.tolist() == [3, 1]
+
+    def test_unknown_field(self, errors):
+        with pytest.raises(ValueError):
+            counts_by(errors, "nope")
+
+    def test_minlength_override(self, errors):
+        counts, _ = counts_by(errors, "node", minlength=10)
+        assert counts.size == 10
+
+
+class TestWeighted:
+    def test_errors_attributed_per_slot(self, errors):
+        faults = coalesce(errors)
+        counts, excluded = weighted_counts_by(
+            faults, "slot", faults["n_errors"]
+        )
+        assert counts[0] == 2 and counts[9] == 1 and counts[4] == 1
+        assert excluded == 0.0
+
+    def test_excluded_weight(self, errors):
+        faults = coalesce(errors)
+        counts, excluded = weighted_counts_by(faults, "bank", faults["n_errors"])
+        assert excluded == 1.0  # the storm fault's errors
+
+    def test_misaligned_weights(self, errors):
+        with pytest.raises(ValueError):
+            weighted_counts_by(errors, "slot", np.ones(2))
+
+
+class TestPairedView:
+    def test_errors_vs_faults(self, errors):
+        faults = coalesce(errors)
+        pair = errors_and_faults_by(errors, faults, "slot")
+        assert pair["errors"][0] == 2
+        assert pair["faults"][0] == 1  # two errors, one fault
+        assert pair["errors"].size == pair["faults"].size
+
+    def test_column_axis(self, errors):
+        faults = coalesce(errors)
+        cols = observed_column_axis(errors, faults)
+        assert cols.tolist() == [5, 8]

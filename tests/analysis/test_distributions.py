@@ -1,0 +1,142 @@
+"""Tests for distributional analyses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.distributions import (
+    concentration_curve,
+    count_histogram,
+    errors_per_fault_stats,
+    per_address_counts,
+    per_bit_position_counts,
+    per_node_counts,
+)
+from repro.faults.coalesce import coalesce
+from util import bit_error, make_errors
+
+
+class TestPerNode:
+    def test_basic(self):
+        errors = make_errors(
+            [bit_error(node=0), bit_error(node=0), bit_error(node=3)]
+        )
+        counts = per_node_counts(errors, 5)
+        assert counts.tolist() == [2, 0, 0, 1, 0]
+
+    def test_node_out_of_range(self):
+        errors = make_errors([bit_error(node=9)])
+        with pytest.raises(ValueError):
+            per_node_counts(errors, 5)
+
+    def test_bad_n_nodes(self):
+        with pytest.raises(ValueError):
+            per_node_counts(make_errors([]), 0)
+
+
+class TestHistogram:
+    def test_shape(self):
+        values, freq = count_histogram(np.array([0, 1, 1, 1, 3, 7, 7]))
+        assert values.tolist() == [1, 3, 7]
+        assert freq.tolist() == [3, 1, 2]
+
+    def test_zeros_excluded(self):
+        values, freq = count_histogram(np.zeros(5, dtype=int))
+        assert values.size == 0 and freq.size == 0
+
+
+class TestConcentration:
+    def test_curve_monotone(self):
+        counts = np.array([100, 50, 10, 0, 0])
+        curve = concentration_curve(counts)
+        assert np.all(np.diff(curve.share) >= -1e-12)
+        assert curve.share[-1] == pytest.approx(1.0)
+
+    def test_top_k(self):
+        counts = np.array([60, 30, 10, 0])
+        curve = concentration_curve(counts)
+        assert curve.share_of_top(1) == pytest.approx(0.6)
+        assert curve.share_of_top(2) == pytest.approx(0.9)
+        assert curve.share_of_top(100) == pytest.approx(1.0)  # clamped
+
+    def test_top_fraction(self):
+        counts = np.array([60, 30, 10, 0])
+        curve = concentration_curve(counts)
+        assert curve.share_of_top_fraction(0.5) == pytest.approx(0.9)
+
+    def test_nodes_with_zero(self):
+        counts = np.array([5, 0, 3, 0, 0])
+        curve = concentration_curve(counts)
+        assert curve.nodes_with_zero() == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            concentration_curve(np.zeros(3, dtype=int))
+        curve = concentration_curve(np.array([1, 2]))
+        with pytest.raises(ValueError):
+            curve.share_of_top(0)
+        with pytest.raises(ValueError):
+            curve.share_of_top_fraction(0.0)
+
+    @given(st.lists(st.integers(0, 1000), min_size=2, max_size=50).filter(
+        lambda xs: sum(xs) > 0))
+    @settings(max_examples=40)
+    def test_property_share_bounds(self, xs):
+        curve = concentration_curve(np.array(xs))
+        assert np.all((curve.share >= -1e-12) & (curve.share <= 1 + 1e-12))
+        assert curve.share[-1] == pytest.approx(1.0)
+
+
+class TestErrorsPerFault:
+    def test_stats(self):
+        errors = make_errors(
+            [bit_error(node=1, t=float(t)) for t in range(9)]
+            + [bit_error(node=2, t=0.0)]
+        )
+        faults = coalesce(errors)
+        stats = errors_per_fault_stats(faults)
+        assert stats.n_faults == 2
+        assert stats.maximum == 9
+        assert stats.fraction_single_error == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            errors_per_fault_stats(coalesce(make_errors([])))
+
+
+class TestBitAndAddress:
+    def test_bit_position_counts(self):
+        errors = make_errors(
+            [
+                bit_error(node=1, bit=5, t=0.0),
+                bit_error(node=2, bit=5, t=0.0),
+                bit_error(node=3, bit=70, t=0.0),
+            ]
+        )
+        faults = coalesce(errors)
+        counts = per_bit_position_counts(faults)
+        assert counts[5] == 2 and counts[70] == 1
+        assert counts.size == 72
+
+    def test_address_counts(self):
+        errors = make_errors(
+            [
+                bit_error(node=1, address=100, t=0.0),
+                bit_error(node=2, address=100, t=0.0),
+                bit_error(node=3, address=200, t=0.0),
+            ]
+        )
+        faults = coalesce(errors)
+        counts = per_address_counts(faults)
+        assert sorted(counts.tolist()) == [1, 2]
+
+    def test_unattributed_excluded(self):
+        errors = make_errors(
+            [
+                dict(time=0.0, node=1, socket=0, slot=0, rank=0, bank=-1,
+                     column=-1, bit_pos=-1, address=0),
+            ]
+        )
+        faults = coalesce(errors)
+        assert per_bit_position_counts(faults).sum() == 0
+        assert per_address_counts(faults).size == 0

@@ -1,0 +1,96 @@
+"""Tests for the positional (region/rack) analyses."""
+
+import numpy as np
+import pytest
+
+from repro._util import epoch
+from repro.analysis.positional import (
+    counts_by_rack,
+    counts_by_region,
+    mean_temperature_by_rack,
+    mean_temperature_by_region,
+    region_fraction_by_rack,
+    top_region_dominance,
+)
+from repro.machine.topology import AstraTopology
+from repro.synth.sensors import SensorFieldModel
+from util import bit_error, make_errors
+
+TOPO = AstraTopology()
+T0 = epoch("2019-06-01")
+
+
+def node_in(rack, chassis, slot=0):
+    return TOPO.node_id(rack, chassis, slot)
+
+
+class TestCounts:
+    def test_by_region(self):
+        errors = make_errors(
+            [
+                bit_error(node=node_in(0, 0), t=0.0),  # bottom
+                bit_error(node=node_in(0, 8), t=1.0),  # middle
+                bit_error(node=node_in(0, 15), t=2.0),  # top
+                bit_error(node=node_in(0, 16), t=3.0),  # top
+            ]
+        )
+        counts = counts_by_region(errors, TOPO)
+        assert counts.tolist() == [1, 1, 2]
+
+    def test_by_rack(self):
+        errors = make_errors(
+            [
+                bit_error(node=node_in(31, 0), t=0.0),
+                bit_error(node=node_in(31, 1), t=1.0),
+                bit_error(node=node_in(2, 0), t=2.0),
+            ]
+        )
+        counts = counts_by_rack(errors, TOPO)
+        assert counts[31] == 2 and counts[2] == 1
+        assert counts.sum() == 3
+
+    def test_region_fraction_rows_normalised(self):
+        errors = make_errors(
+            [
+                bit_error(node=node_in(5, 0), t=0.0),
+                bit_error(node=node_in(5, 17), t=1.0),
+            ]
+        )
+        frac = region_fraction_by_rack(errors, TOPO)
+        assert frac.shape == (36, 3)
+        assert frac[5].sum() == pytest.approx(1.0)
+        assert frac[0].sum() == 0.0  # no records in rack 0
+
+    def test_top_dominance(self):
+        frac = np.zeros((4, 3))
+        frac[0] = [0.2, 0.2, 0.6]
+        frac[1] = [0.6, 0.2, 0.2]
+        frac[2] = [0.2, 0.6, 0.2]
+        frac[3] = [0.1, 0.2, 0.7]
+        assert top_region_dominance(frac) == pytest.approx(0.5)
+
+    def test_top_dominance_needs_data(self):
+        with pytest.raises(ValueError):
+            top_region_dominance(np.zeros((3, 3)))
+
+
+class TestTemperatureUniformity:
+    """Astra's claims: region means within 1 degC, rack spread <= 4.2."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return SensorFieldModel(seed=1)
+
+    def test_region_means_within_one_degree(self, model):
+        means = mean_temperature_by_region(
+            model, TOPO, 0, (T0, T0 + 4 * 86400.0), grid_s=6 * 3600.0
+        )
+        assert means.shape == (3,)
+        assert np.ptp(means) < 1.0
+
+    def test_rack_spread_bounded(self, model):
+        means = mean_temperature_by_rack(
+            model, TOPO, 2, (T0, T0 + 4 * 86400.0), grid_s=6 * 3600.0
+        )
+        assert means.shape == (36,)
+        assert np.ptp(means) <= 4.2

@@ -1,0 +1,62 @@
+"""Tests for discrete power-law fitting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.powerlaw import (
+    fit_discrete_powerlaw,
+    sample_discrete_powerlaw,
+)
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("alpha", [1.8, 2.5, 3.2])
+    def test_exponent_recovered(self, alpha):
+        rng = np.random.default_rng(0)
+        data = sample_discrete_powerlaw(rng, alpha, 20_000, xmin=1, xmax=10**5)
+        fit = fit_discrete_powerlaw(data, xmin=1)
+        assert fit.alpha == pytest.approx(alpha, rel=0.06)
+
+    def test_xmin_scan_finds_cutoff(self):
+        rng = np.random.default_rng(1)
+        tail = sample_discrete_powerlaw(rng, 2.2, 5_000, xmin=5, xmax=10**5)
+        body = rng.integers(1, 5, 2_000)  # non-power-law head below xmin
+        fit = fit_discrete_powerlaw(np.concatenate([tail, body]))
+        assert 3 <= fit.xmin <= 8
+        assert fit.alpha == pytest.approx(2.2, rel=0.12)
+
+    def test_powerlaw_is_plausible(self):
+        rng = np.random.default_rng(2)
+        data = sample_discrete_powerlaw(rng, 2.0, 10_000)
+        assert fit_discrete_powerlaw(data, xmin=1).plausible()
+
+    def test_uniform_is_not_plausible(self):
+        rng = np.random.default_rng(3)
+        data = rng.integers(50, 60, 5_000)  # narrow uniform: no heavy tail
+        fit = fit_discrete_powerlaw(data, xmin=50)
+        assert not fit.plausible()
+
+
+class TestValidation:
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_discrete_powerlaw([1, 2])
+
+    def test_zeros_dropped(self):
+        rng = np.random.default_rng(4)
+        data = np.concatenate(
+            [sample_discrete_powerlaw(rng, 2.0, 1000), np.zeros(500)]
+        )
+        fit = fit_discrete_powerlaw(data, xmin=1)
+        assert fit.n_tail == 1000
+
+    def test_sampler_validates_alpha(self):
+        with pytest.raises(ValueError):
+            sample_discrete_powerlaw(np.random.default_rng(0), 1.0, 10)
+
+    def test_fixed_xmin_tail_count(self):
+        rng = np.random.default_rng(5)
+        data = sample_discrete_powerlaw(rng, 2.0, 3000)
+        fit = fit_discrete_powerlaw(data, xmin=3)
+        assert fit.n_tail == int((data >= 3).sum())
+        assert fit.xmin == 3

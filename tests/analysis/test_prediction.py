@@ -1,0 +1,85 @@
+"""Tests for node-health prediction."""
+
+import numpy as np
+import pytest
+
+from repro._util import DAY_S
+from repro.analysis.prediction import base_rate, evaluate_predictor
+from util import bit_error, make_errors
+
+
+class TestMechanics:
+    def test_perfectly_persistent_node(self):
+        errors = make_errors(
+            [bit_error(node=1, t=float(t)) for t in (0.0, 10.0, 100.0, 200.0)]
+        )
+        score, capture = evaluate_predictor(errors, 5, split_time=50.0, horizon_s=500.0)
+        assert score.true_positives == 1
+        assert score.false_negatives == 0
+        assert score.precision == 1.0 and score.recall == 1.0
+        assert capture == 1.0
+
+    def test_new_node_missed(self):
+        errors = make_errors(
+            [bit_error(node=1, t=0.0), bit_error(node=2, t=100.0)]
+        )
+        score, _ = evaluate_predictor(errors, 5, split_time=50.0, horizon_s=500.0)
+        assert score.false_negatives == 1  # node 2 appears only after split
+        assert score.recall == 0.5 if score.true_positives else score.recall == 0.0
+
+    def test_quiet_flagged_node_false_positive(self):
+        errors = make_errors([bit_error(node=3, t=0.0)])
+        score, _ = evaluate_predictor(errors, 5, split_time=50.0, horizon_s=500.0)
+        assert score.false_positives == 1
+        assert score.precision == 0.0
+
+    def test_top_k_limits_flags(self):
+        rows = []
+        for node, n in ((1, 10), (2, 5), (3, 1)):
+            rows += [bit_error(node=node, t=float(t)) for t in range(n)]
+        rows += [bit_error(node=n, t=100.0) for n in (1, 2, 3)]
+        errors = make_errors(rows)
+        score, _ = evaluate_predictor(
+            errors, 5, split_time=50.0, horizon_s=500.0, top_k=2
+        )
+        assert score.n_flagged == 2
+        assert score.true_positives == 2 and score.false_negatives == 1
+
+    def test_validation(self):
+        errors = make_errors([bit_error(t=0.0)])
+        with pytest.raises(ValueError):
+            evaluate_predictor(np.zeros(3), 5, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            evaluate_predictor(errors, 5, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            evaluate_predictor(errors, 5, 0.0, 1.0, top_k=0)
+
+    def test_base_rate(self):
+        errors = make_errors([bit_error(node=0, t=100.0)])
+        assert base_rate(errors, 10, 50.0, 500.0) == pytest.approx(0.1)
+
+
+class TestCampaignPrediction:
+    def test_history_beats_base_rate(self, small_campaign):
+        """Fault persistence makes CE history strongly predictive --
+        the statistical footing of the exclude-list suggestion."""
+        c = small_campaign
+        t0, t1 = c.calibration.error_window
+        split = t0 + 0.6 * (t1 - t0)
+        horizon = 30 * DAY_S
+        score, capture = evaluate_predictor(
+            c.errors, c.topology.n_nodes, split, horizon
+        )
+        naive = base_rate(c.errors, c.topology.n_nodes, split, horizon)
+        assert score.precision > 3 * naive
+        assert capture > 0.5
+
+    def test_small_exclude_list_captures_volume(self, small_campaign):
+        c = small_campaign
+        t0, t1 = c.calibration.error_window
+        split = t0 + 0.6 * (t1 - t0)
+        score, capture = evaluate_predictor(
+            c.errors, c.topology.n_nodes, split, 30 * DAY_S, top_k=10
+        )
+        assert score.n_flagged <= 10
+        assert capture > 0.3

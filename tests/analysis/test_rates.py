@@ -1,0 +1,119 @@
+"""Tests for fault rates, persistence classes, and FIT tables."""
+
+import numpy as np
+import pytest
+
+from repro._util import DAY_S
+from repro.analysis.rates import (
+    FitRate,
+    Persistence,
+    classify_persistence,
+    fault_fit_per_device,
+    per_mode_fit_table,
+    persistence_summary,
+    render_fit_table,
+)
+from repro.faults.coalesce import coalesce
+from repro.faults.types import FaultMode
+from util import bit_error, make_errors
+
+
+def faults_from(rows):
+    return coalesce(make_errors(rows))
+
+
+class TestPersistence:
+    def test_transient(self):
+        faults = faults_from([bit_error(t=100.0)])
+        assert classify_persistence(faults)[0] == Persistence.TRANSIENT
+
+    def test_intermittent(self):
+        faults = faults_from([bit_error(t=0.0), bit_error(t=3600.0)])
+        assert classify_persistence(faults)[0] == Persistence.INTERMITTENT
+
+    def test_sustained(self):
+        faults = faults_from([bit_error(t=0.0), bit_error(t=10 * DAY_S)])
+        assert classify_persistence(faults)[0] == Persistence.SUSTAINED
+
+    def test_custom_span(self):
+        faults = faults_from([bit_error(t=0.0), bit_error(t=3600.0)])
+        out = classify_persistence(faults, intermittent_span_s=60.0)
+        assert out[0] == Persistence.SUSTAINED
+
+    def test_summary(self):
+        faults = faults_from(
+            [bit_error(node=1, t=5.0)]
+            + [bit_error(node=2, t=0.0), bit_error(node=2, t=60.0)]
+            + [bit_error(node=3, t=0.0), bit_error(node=3, t=30 * DAY_S)]
+        )
+        summary = persistence_summary(faults)
+        assert summary[Persistence.TRANSIENT] == 1
+        assert summary[Persistence.INTERMITTENT] == 1
+        assert summary[Persistence.SUSTAINED] == 1
+
+    def test_wrong_dtype(self):
+        with pytest.raises(ValueError):
+            classify_persistence(np.zeros(3))
+
+
+class TestFit:
+    def test_fit_arithmetic(self):
+        # 1 event over 1e9 device-hours is FIT 1 by definition.
+        rate = FitRate(n_events=1, n_devices=10**6, window_hours=1000.0)
+        assert rate.fit == pytest.approx(1.0)
+
+    def test_fault_fit_window_filter(self):
+        faults = faults_from(
+            [bit_error(node=1, t=100.0), bit_error(node=2, t=10_000.0)]
+        )
+        rate = fault_fit_per_device(faults, (0.0, 1000.0), n_devices=100)
+        assert rate.n_events == 1
+
+    def test_validation(self):
+        faults = faults_from([bit_error(t=1.0)])
+        with pytest.raises(ValueError):
+            fault_fit_per_device(faults, (0.0, 1.0), 0)
+        with pytest.raises(ValueError):
+            fault_fit_per_device(faults, (1.0, 1.0), 10)
+
+    def test_per_mode_table(self):
+        faults = faults_from(
+            [bit_error(node=1, t=1.0)]
+            + [
+                bit_error(node=2, bit=1, address=0x500, t=1.0),
+                bit_error(node=2, bit=2, address=0x500, t=2.0),
+            ]
+        )
+        rows = per_mode_fit_table(faults, (0.0, 3600.0), 41472)
+        labels = [r[0] for r in rows]
+        assert "single-bit" in labels and "single-word" in labels
+
+    def test_render(self):
+        text = render_fit_table([("single-bit", 10, 123.4)])
+        assert "single-bit" in text and "123.4" in text
+
+
+class TestCampaignRates:
+    def test_paper_scale_fault_fit(self, small_campaign):
+        """Fault FIT per DIMM is consistent with the campaign's volume.
+
+        ~7,140 faults over 41,472 DIMMs in the 237-day window is a FIT
+        of roughly 30,000 per DIMM -- far above lifetime field studies
+        (Sridharan-class numbers are hundreds per DIMM) because this is
+        a stabilisation period deliberately stressing brand-new hardware
+        (section 3.1's infant-mortality framing applies to faults too).
+        """
+        c = small_campaign
+        faults = c.faults()
+        rate = fault_fit_per_device(
+            faults,
+            c.calibration.error_window,
+            c.node_config.system_dimm_count(c.topology.n_nodes),
+        )
+        full_scale_fit = rate.fit / c.scale
+        assert 10_000 < full_scale_fit < 80_000
+
+    def test_most_faults_not_sustained_storms(self, small_campaign):
+        summary = persistence_summary(small_campaign.faults())
+        total = sum(summary.values())
+        assert summary[Persistence.TRANSIENT] > 0.4 * total

@@ -1,0 +1,113 @@
+"""Tests for replacement tallies and UE analysis."""
+
+import numpy as np
+import pytest
+
+from repro._util import DAY_S
+from repro.analysis.replacements import (
+    component_population,
+    daily_replacement_series,
+    infant_mortality_ratio,
+    replacement_table,
+)
+from repro.analysis.ue import (
+    daily_counts_by_event,
+    due_rate,
+    due_records,
+    recording_gap_respected,
+)
+from repro.machine.node import NodeConfig
+from repro.machine.topology import AstraTopology
+from repro.synth.config import PaperCalibration
+from repro.synth.het import HetGenerator
+from repro.synth.replacements import Component, ReplacementGenerator
+
+
+@pytest.fixture(scope="module")
+def events():
+    return ReplacementGenerator(seed=2, scale=1.0).generate()
+
+
+@pytest.fixture(scope="module")
+def het():
+    return HetGenerator(seed=2, scale=1.0).generate()
+
+
+class TestTable1:
+    def test_populations(self):
+        topo, cfg = AstraTopology(), NodeConfig()
+        assert component_population(Component.PROCESSOR, topo, cfg) == 5184
+        assert component_population(Component.MOTHERBOARD, topo, cfg) == 2592
+        assert component_population(Component.DIMM, topo, cfg) == 41472
+
+    def test_table_matches_paper(self, events):
+        rows = {r.component: r for r in replacement_table(events)}
+        assert rows[Component.PROCESSOR].n_replaced == 836
+        assert rows[Component.PROCESSOR].percent == pytest.approx(16.1, abs=0.1)
+        assert rows[Component.MOTHERBOARD].percent == pytest.approx(1.8, abs=0.1)
+        assert rows[Component.DIMM].percent == pytest.approx(3.7, abs=0.1)
+
+    def test_render(self, events):
+        row = replacement_table(events)[0]
+        text = row.render()
+        assert "Processors" in text and "836" in text
+
+    def test_wrong_dtype(self):
+        with pytest.raises(ValueError):
+            replacement_table(np.zeros(3))
+
+
+class TestDailySeries:
+    def test_series_totals(self, events):
+        window = PaperCalibration().inventory_window
+        daily = daily_replacement_series(events, Component.DIMM, window)
+        assert daily.sum() == 1515
+
+    def test_infant_mortality(self, events):
+        window = PaperCalibration().inventory_window
+        for kind in Component:
+            daily = daily_replacement_series(events, kind, window)
+            assert infant_mortality_ratio(daily) > 1.0
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            infant_mortality_ratio(np.ones(10))
+
+    def test_wrong_dtype(self):
+        with pytest.raises(ValueError):
+            daily_replacement_series(np.zeros(1), Component.DIMM, (0.0, 1.0))
+
+
+class TestUe:
+    def test_due_subset(self, het):
+        dues = due_records(het)
+        assert dues.size > 0
+        assert np.all(dues["non_recoverable"])
+
+    def test_rate_and_fit(self, het):
+        cal = PaperCalibration()
+        window = (cal.het_recording_start, cal.error_window[1])
+        rate = due_rate(het, window, 41472)
+        assert rate.per_dimm_year == pytest.approx(0.00948, rel=0.10)
+        assert rate.fit_per_dimm == pytest.approx(1081, rel=0.10)
+
+    def test_gap_respected(self, het):
+        cal = PaperCalibration()
+        assert recording_gap_respected(het, cal.het_recording_start)
+        assert not recording_gap_respected(het, cal.error_window[1])
+
+    def test_daily_series(self, het):
+        cal = PaperCalibration()
+        window = (cal.het_recording_start, cal.error_window[1])
+        series = daily_counts_by_event(het, window)
+        assert "uncorrectableECC" in series
+        total = sum(s.sum() for s in series.values())
+        assert total == het.size
+
+    def test_validation(self, het):
+        with pytest.raises(ValueError):
+            due_rate(het, (1.0, 1.0), 100)
+        with pytest.raises(ValueError):
+            due_rate(het, (0.0, 1.0), 0)
+        with pytest.raises(ValueError):
+            due_records(np.zeros(1))

@@ -1,0 +1,150 @@
+"""Tests for the temperature-correlation analyses."""
+
+import numpy as np
+import pytest
+
+from repro._util import HOUR_S, MONTH_S, epoch
+from repro.analysis.temperature import (
+    ce_count_vs_temperature,
+    decile_curve,
+    errored_dimm_sensor,
+    monthly_ce_counts,
+    monthly_node_sensor_means,
+    window_mean_temperature,
+)
+from repro.synth.sensors import SensorFieldModel
+from util import bit_error, make_errors
+
+T0 = epoch("2019-06-01")
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SensorFieldModel(seed=5)
+
+
+class TestSensorJoin:
+    def test_slot_to_sensor(self):
+        errors = make_errors(
+            [
+                bit_error(slot=0, t=T0),  # A -> dimm_aceg (2)
+                bit_error(slot=1, t=T0),  # B -> dimm_hfdb (3)
+                bit_error(slot=9, t=T0),  # J -> dimm_jlnp (5)
+            ]
+        )
+        np.testing.assert_array_equal(errored_dimm_sensor(errors), [2, 3, 5])
+
+
+class TestWindowMeans:
+    def test_dedup_matches_direct(self, model):
+        errors = make_errors(
+            [bit_error(node=3, slot=0, t=T0 + i * 10.0) for i in range(50)]
+        )
+        means = window_mean_temperature(errors, model, HOUR_S)
+        assert means.shape == (50,)
+        # All 50 errors share one quantised window -> identical means.
+        assert np.unique(means).size <= 2
+        direct = model.window_mean(3, 2, np.ceil((T0) / HOUR_S) * HOUR_S, HOUR_S)
+        assert means[0] == pytest.approx(direct, abs=1e-9)
+
+    def test_different_nodes_differ(self, model):
+        errors = make_errors(
+            [bit_error(node=3, slot=0, t=T0), bit_error(node=900, slot=0, t=T0)]
+        )
+        means = window_mean_temperature(errors, model, HOUR_S)
+        assert means[0] != means[1]
+
+    def test_empty(self, model):
+        assert window_mean_temperature(make_errors([]), model, HOUR_S).size == 0
+
+    def test_plausible_dimm_band(self, model):
+        errors = make_errors(
+            [bit_error(node=n, slot=9, t=T0 + n * 3600.0) for n in range(40)]
+        )
+        means = window_mean_temperature(errors, model, 86400.0)
+        assert 30 < means.mean() < 55
+
+
+class TestCorrelation:
+    def test_no_strong_positive_trend(self, model):
+        """Errors placed independently of temperature: Figure 9's finding."""
+        rng = np.random.default_rng(0)
+        errors = make_errors(
+            [
+                bit_error(
+                    node=int(rng.integers(0, 2592)),
+                    slot=int(rng.integers(0, 16)),
+                    t=T0 + float(rng.uniform(0, 30 * 86400)),
+                )
+                for _ in range(600)
+            ]
+        )
+        corr = ce_count_vs_temperature(errors, model, 86400.0, n_bins=15)
+        assert not corr.strongly_positive()
+
+    def test_needs_two_errors(self, model):
+        with pytest.raises(ValueError):
+            ce_count_vs_temperature(
+                make_errors([bit_error(t=T0)]), model, HOUR_S
+            )
+
+
+class TestMonthlyStats:
+    def test_monthly_means_shape(self, model):
+        window = (T0, T0 + 2 * MONTH_S)
+        means = monthly_node_sensor_means(model, 0, window, 50, grid_s=6 * 3600.0)
+        assert means.shape == (50, 2)
+        assert 45 < means.mean() < 80  # CPU band
+
+    def test_monthly_ce_counts(self):
+        window = (T0, T0 + 2 * MONTH_S)
+        errors = make_errors(
+            [
+                bit_error(node=1, slot=0, t=T0 + 10.0),
+                bit_error(node=1, slot=0, t=T0 + MONTH_S + 10.0),
+                bit_error(node=2, slot=9, t=T0 + 20.0),
+            ]
+        )
+        counts = monthly_ce_counts(errors, window, 5)
+        assert counts[1].tolist() == [1, 1]
+        assert counts[2].tolist() == [1, 0]
+
+    def test_slot_filter(self):
+        window = (T0, T0 + MONTH_S)
+        errors = make_errors(
+            [bit_error(node=1, slot=0, t=T0 + 1.0), bit_error(node=1, slot=9, t=T0 + 2.0)]
+        )
+        counts = monthly_ce_counts(errors, window, 3, slots=(9, 11, 13, 15))
+        assert counts.sum() == 1
+
+
+class TestDeciles:
+    def test_equal_population_bins(self):
+        samples = np.arange(100, dtype=float)
+        rates = np.ones(100)
+        curve = decile_curve(samples, rates)
+        assert curve.decile_max.size == 10
+        assert curve.decile_max[-1] == 99
+        np.testing.assert_allclose(curve.mean_rate, 1.0)
+
+    def test_increasing_trend_detected(self):
+        samples = np.arange(100, dtype=float)
+        rates = samples * 2.0
+        assert decile_curve(samples, rates).increasing_trend()
+
+    def test_flat_not_increasing(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(50, 2, 200)
+        rates = rng.poisson(5, 200).astype(float)
+        assert not decile_curve(samples, rates).increasing_trend()
+
+    def test_span(self):
+        samples = np.arange(100, dtype=float)
+        curve = decile_curve(samples, samples)
+        assert curve.temperature_span() == pytest.approx(
+            curve.decile_max[-2] - curve.decile_max[0]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            decile_curve(np.arange(5), np.arange(5))

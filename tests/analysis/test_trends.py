@@ -1,0 +1,108 @@
+"""Tests for monthly series and linear fits."""
+
+import numpy as np
+import pytest
+
+from repro._util import MONTH_S, epoch
+from repro.analysis.trends import (
+    linear_fit,
+    mode_monthly_series,
+    monthly_counts,
+    n_months_in,
+    reported_mode_totals,
+)
+from repro.faults.types import FaultMode
+from util import bit_error, make_errors
+
+T0 = epoch("2019-01-20")
+
+
+class TestMonthlyCounts:
+    def test_bucketing(self):
+        times = [T0 + 1, T0 + MONTH_S + 1, T0 + MONTH_S + 2]
+        counts = monthly_counts(times, T0, 3)
+        assert counts.tolist() == [1, 2, 0]
+
+    def test_out_of_range_dropped(self):
+        counts = monthly_counts([T0 - 1, T0 + 100 * MONTH_S], T0, 2)
+        assert counts.sum() == 0
+
+    def test_n_months_in(self):
+        assert n_months_in((T0, T0 + 2.5 * MONTH_S)) == 3
+
+    def test_bad_months(self):
+        with pytest.raises(ValueError):
+            monthly_counts([T0], T0, 0)
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        x = np.arange(10, dtype=float)
+        fit = linear_fit(x, 3 * x + 2)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(2.0)
+        assert abs(fit.rvalue) == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = linear_fit([0, 1], [0, 2])
+        np.testing.assert_allclose(fit.predict([2, 3]), [4, 6])
+
+    def test_degenerate_x(self):
+        with pytest.raises(ValueError):
+            linear_fit([1, 1, 1], [1, 2, 3])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            linear_fit([1, 2], [1])
+
+
+class TestModeSeries:
+    def test_series_partition_total(self):
+        errors = make_errors(
+            [bit_error(node=1, t=T0 + i * 86400.0) for i in range(10)]
+            + [
+                bit_error(node=2, bit=1, address=0x500, t=T0 + 1.0),
+                bit_error(node=2, bit=2, address=0x500, t=T0 + 2.0),
+            ]
+        )
+        window = (T0, T0 + 3 * MONTH_S)
+        series = mode_monthly_series(errors, window)
+        total_by_mode = sum(series.by_mode[m].sum() for m in FaultMode)
+        assert total_by_mode == series.all_errors.sum() == 12
+
+    def test_mode_attribution(self):
+        errors = make_errors(
+            [
+                bit_error(node=2, bit=1, address=0x500, t=T0 + 1.0),
+                bit_error(node=2, bit=2, address=0x500, t=T0 + 2.0),
+            ]
+        )
+        series = mode_monthly_series(errors, (T0, T0 + MONTH_S))
+        assert series.by_mode[FaultMode.SINGLE_WORD].sum() == 2
+        assert series.by_mode[FaultMode.SINGLE_BIT].sum() == 0
+
+    def test_reported_totals(self):
+        errors = make_errors([bit_error(node=1, t=T0 + 5.0)])
+        series = mode_monthly_series(errors, (T0, T0 + MONTH_S))
+        totals = reported_mode_totals(series)
+        assert totals["total"] == 1
+        assert totals[FaultMode.SINGLE_BIT] == 1
+
+    def test_declining_trend_detection(self):
+        # Build a population with error counts declining month over month.
+        rows = []
+        for m, n in enumerate([100, 80, 60, 40]):
+            for i in range(n):
+                rows.append(bit_error(node=1, t=T0 + m * MONTH_S + i * 60.0))
+        series = mode_monthly_series(make_errors(rows), (T0, T0 + 4 * MONTH_S))
+        assert series.declining()
+
+
+class TestCampaignTrend:
+    def test_campaign_declines(self, small_campaign):
+        """The generator's early-biased fault starts yield the Figure 4a
+        downward trend."""
+        series = mode_monthly_series(
+            small_campaign.errors, small_campaign.calibration.error_window
+        )
+        assert series.declining()

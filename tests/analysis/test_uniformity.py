@@ -1,0 +1,67 @@
+"""Tests for uniformity testing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.uniformity import (
+    chi_square_uniform,
+    relative_spread,
+    subsampled_uniformity,
+)
+
+
+class TestChiSquare:
+    def test_uniform_accepted(self):
+        rng = np.random.default_rng(0)
+        counts = rng.multinomial(10_000, np.full(16, 1 / 16))
+        result = chi_square_uniform(counts)
+        assert result.is_uniform(alpha=0.001)
+
+    def test_skewed_rejected(self):
+        counts = np.array([1000, 10, 10, 10])
+        result = chi_square_uniform(counts)
+        assert not result.is_uniform()
+        assert result.max_over_mean > 3
+
+    def test_perfectly_uniform(self):
+        result = chi_square_uniform(np.full(8, 100))
+        assert result.pvalue == pytest.approx(1.0)
+        assert result.cv == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_uniform(np.array([5.0]))
+        with pytest.raises(ValueError):
+            chi_square_uniform(np.zeros(4))
+        with pytest.raises(ValueError):
+            chi_square_uniform(np.ones((2, 2)))
+
+
+class TestSubsampled:
+    def test_practical_uniformity_at_fault_scale(self):
+        """Counts that are uniform-plus-noise pass at subsample size."""
+        rng = np.random.default_rng(1)
+        counts = rng.multinomial(7_000, np.full(16, 1 / 16)).astype(float)
+        # Scale up 1000x: a full chi-square on 7M would reject tiny noise,
+        # the subsampled test should not.
+        result = subsampled_uniformity(counts * 1000, sample_size=2000, seed=0)
+        assert result.is_uniform(alpha=0.001)
+
+    def test_strong_skew_still_rejected(self):
+        counts = np.array([10_000.0, 100.0, 100.0, 100.0])
+        result = subsampled_uniformity(counts, sample_size=2000, seed=0)
+        assert not result.is_uniform()
+
+    def test_zero_counts_rejected(self):
+        with pytest.raises(ValueError):
+            subsampled_uniformity(np.zeros(4))
+
+
+class TestSpread:
+    def test_relative_spread(self):
+        assert relative_spread(np.array([10, 10, 10])) == 0.0
+        assert relative_spread(np.array([5, 10, 15])) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            relative_spread(np.array([]))

@@ -1,0 +1,70 @@
+"""Tests for the hot/cold utilisation analysis."""
+
+import numpy as np
+import pytest
+
+from repro._util import MONTH_S, epoch
+from repro.analysis.utilization import (
+    hot_cold_curves,
+    monthly_node_power,
+)
+from repro.synth.sensors import SensorFieldModel
+
+T0 = epoch("2019-05-20")
+
+
+class TestHotColdCurves:
+    def test_split_and_bin(self):
+        rng = np.random.default_rng(0)
+        temps = rng.normal(45, 2, 400)
+        power = rng.uniform(240, 380, 400)
+        ce = rng.poisson(3, 400).astype(float)
+        curves = hot_cold_curves("cpu0", temps, power, ce)
+        assert curves.power_bin_centers_hot.size >= 1
+        assert curves.power_bin_centers_cold.size >= 1
+        assert np.all(curves.rate_hot >= 0)
+
+    def test_hot_shifted_right_when_coupled(self):
+        """Temperature coupled to power: hot samples sit at higher power."""
+        rng = np.random.default_rng(1)
+        power = rng.uniform(240, 380, 1000)
+        temps = 30 + 0.05 * power + rng.normal(0, 0.5, 1000)
+        ce = rng.poisson(2, 1000).astype(float)
+        curves = hot_cold_curves("cpu0", temps, power, ce)
+        assert curves.hot_shifted_right()
+
+    def test_no_strong_trend_for_independent_ce(self):
+        rng = np.random.default_rng(2)
+        power = rng.uniform(240, 380, 2000)
+        temps = rng.normal(45, 2, 2000)
+        ce = rng.poisson(3, 2000).astype(float)
+        curves = hot_cold_curves("cpu0", temps, power, ce)
+        assert not curves.strong_power_trend()
+
+    def test_strong_trend_detected_when_real(self):
+        power = np.linspace(240, 380, 1000)
+        temps = np.linspace(40, 50, 1000)
+        ce = power * 0.5  # blatant utilisation effect
+        curves = hot_cold_curves("cpu0", temps, power, ce)
+        assert curves.strong_power_trend()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hot_cold_curves("x", np.ones(3), np.ones(3), np.ones(3))
+        with pytest.raises(ValueError):
+            hot_cold_curves("x", np.ones(5), np.ones(4), np.ones(5))
+
+    def test_degenerate_power_range(self):
+        curves = hot_cold_curves(
+            "x", np.arange(10, dtype=float), np.full(10, 300.0), np.ones(10)
+        )
+        assert curves.power_bin_centers_hot.size == 1
+
+
+class TestMonthlyPower:
+    def test_shape_and_band(self):
+        model = SensorFieldModel(seed=3)
+        window = (T0, T0 + MONTH_S)
+        power = monthly_node_power(model, window, 30, grid_s=6 * 3600.0)
+        assert power.shape == (30, 1)
+        assert 240 < power.mean() < 380

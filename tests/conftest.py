@@ -1,0 +1,29 @@
+"""Repository-level pytest configuration and shared campaign fixtures."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the tests/ directory importable so suites can share tests.util.
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+@pytest.fixture(scope="session")
+def small_campaign():
+    """A 2%-scale campaign: fast, for mechanics tests."""
+    from repro.synth import CampaignGenerator
+
+    return CampaignGenerator(seed=7, scale=0.02).generate()
+
+
+@pytest.fixture(scope="session")
+def full_campaign():
+    """The full-scale (paper-volume) campaign, generated once per session.
+
+    Used by the experiment shape tests; generation plus coalescing takes
+    a few seconds.
+    """
+    from repro.synth import CampaignGenerator
+
+    return CampaignGenerator(seed=7, scale=1.0).generate()

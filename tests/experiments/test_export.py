@@ -1,0 +1,43 @@
+"""Tests for experiment CSV export."""
+
+import numpy as np
+
+from repro.experiments import run
+from repro.experiments.base import ExperimentResult
+
+
+class TestExportCsv:
+    def test_array_series(self, tmp_path):
+        r = ExperimentResult("x", "t")
+        r.series["curve"] = np.array([1.0, 2.0, 3.0])
+        (path,) = r.export_csv(tmp_path)
+        text = path.read_text().splitlines()
+        assert text[0] == "index,value"
+        assert text[1] == "0,1"
+
+    def test_tuple_rows(self, tmp_path):
+        r = ExperimentResult("x", "t")
+        r.series["table"] = [("a", 1), ("b", 2)]
+        (path,) = r.export_csv(tmp_path)
+        assert path.read_text() == "a,1\nb,2\n"
+
+    def test_dict_series(self, tmp_path):
+        r = ExperimentResult("x", "t")
+        r.series["summary"] = {"k": 1.5, "arr": np.array([1, 2])}
+        (path,) = r.export_csv(tmp_path)
+        text = path.read_text()
+        assert "k,1.5" in text
+        assert "arr,1,2" in text
+
+    def test_filenames_slugged(self, tmp_path):
+        r = ExperimentResult("fig05", "t")
+        r.series["errors per node (all)"] = np.arange(3)
+        (path,) = r.export_csv(tmp_path)
+        assert path.name == "fig05--errors-per-node--all.csv"
+
+    def test_real_experiment_exports(self, tmp_path, small_campaign):
+        result = run("fig05", small_campaign)
+        paths = result.export_csv(tmp_path)
+        assert len(paths) == len(result.series)
+        for p in paths:
+            assert p.exists() and p.stat().st_size > 0

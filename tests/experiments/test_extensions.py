@@ -1,0 +1,62 @@
+"""Tests for the extension experiments (ext-*)."""
+
+import pytest
+
+from repro.experiments import EXTENSIONS, list_experiments, run, run_all
+
+EXT_IDS = sorted(EXTENSIONS)
+
+FAST_PARAMS = {
+    "ext-ecc": dict(trials=200),
+    "ext-tempmap": dict(grid_s=48 * 3600.0),
+}
+
+
+class TestRegistry:
+    def test_extension_ids(self):
+        assert EXT_IDS == [
+            "ext-comparison",
+            "ext-ecc",
+            "ext-rates",
+            "ext-survival",
+            "ext-tempmap",
+        ]
+
+    def test_hidden_by_default(self):
+        ids = [e for e, _ in list_experiments()]
+        assert not any(e.startswith("ext-") for e in ids)
+
+    def test_listed_on_request(self):
+        ids = [e for e, _ in list_experiments(include_extensions=True)]
+        for ext in EXT_IDS:
+            assert ext in ids
+
+    def test_titles_marked(self):
+        for _, title in list_experiments(include_extensions=True):
+            if title.startswith("EXT:"):
+                break
+        else:
+            pytest.fail("no extension title found")
+
+
+@pytest.mark.parametrize("exp_id", EXT_IDS)
+def test_extension_runs(small_campaign, exp_id):
+    result = run(exp_id, small_campaign, **FAST_PARAMS.get(exp_id, {}))
+    assert result.series
+    assert result.checks
+    assert exp_id in result.render()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("exp_id", EXT_IDS)
+def test_extension_claims_full_scale(full_campaign, exp_id):
+    result = run(exp_id, full_campaign, **FAST_PARAMS.get(exp_id, {}))
+    failed = [k for k, ok in result.checks.items() if not ok]
+    assert not failed, f"{exp_id} checks failed: {failed}"
+
+
+def test_run_all_with_extensions(small_campaign):
+    results = run_all(small_campaign, include_extensions=True, **{})
+    # run_all shares params across experiments, so call without params
+    # and just confirm the extensions are present.
+    assert set(EXT_IDS) <= set(results)

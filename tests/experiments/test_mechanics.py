@@ -1,0 +1,37 @@
+"""Every experiment runs end-to-end on a small campaign.
+
+Shape claims are full-scale properties (tests/experiments/test_shapes.py);
+here we assert the machinery: experiments execute, produce series, render,
+and record checks.
+"""
+
+import pytest
+
+from repro.experiments import list_experiments, run
+
+EXP_IDS = [e for e, _ in list_experiments()]
+
+# Keep the expensive sensor-driven experiments fast at test scale.
+FAST_PARAMS = {
+    "fig02": dict(n_sample_nodes=32, cadence_s=6 * 3600.0),
+    "fig09": dict(max_errors=4000),
+    "fig13": dict(grid_s=24 * 3600.0),
+    "fig14": dict(grid_s=24 * 3600.0),
+}
+
+
+@pytest.mark.parametrize("exp_id", EXP_IDS)
+def test_runs_and_renders(small_campaign, exp_id):
+    result = run(exp_id, small_campaign, **FAST_PARAMS.get(exp_id, {}))
+    assert result.exp_id == exp_id
+    assert result.series, "experiment produced no series"
+    assert result.checks, "experiment evaluated no shape checks"
+    text = result.render()
+    assert exp_id in text
+    assert "shape checks" in text
+
+
+def test_deterministic(small_campaign):
+    a = run("fig05", small_campaign)
+    b = run("fig05", small_campaign)
+    assert a.render() == b.render()

@@ -1,0 +1,86 @@
+"""Tests for the experiment registry and result containers."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    list_experiments,
+    render_report,
+    run,
+)
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        ids = [e for e, _ in list_experiments()]
+        assert ids[0] == "table1"
+        assert ids[1:] == [f"fig{i:02d}" for i in range(2, 16)]
+
+    def test_fifteen_experiments(self):
+        assert len(EXPERIMENTS) == 15
+
+    def test_unknown_id(self, small_campaign):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run("fig99", small_campaign)
+
+    def test_run_dispatches(self, small_campaign):
+        result = run("table1", small_campaign)
+        assert result.exp_id == "table1"
+
+    def test_titles_nonempty(self):
+        for exp_id, title in list_experiments():
+            assert title
+
+
+class TestResultContainer:
+    def test_checks_and_notes(self):
+        r = ExperimentResult("x", "t")
+        r.check("a", True)
+        r.check("b", 0)
+        r.note("hello")
+        assert r.checks == {"a": True, "b": False}
+        assert not r.all_checks_pass
+        assert "hello" in r.render()
+
+    def test_render_sections(self):
+        import numpy as np
+
+        r = ExperimentResult("x", "t")
+        r.series["curve"] = np.arange(100)
+        r.series["table"] = [("a", 1), ("b", 2)]
+        r.series["summary"] = {"k": 1.5}
+        text = r.render()
+        assert "curve" in text and "(100 values)" in text
+        assert "a  1" in text
+        assert "k: 1.5" in text
+
+    def test_report(self):
+        r = ExperimentResult("x", "t")
+        r.check("a", True)
+        text = render_report({"x": r})
+        assert "shape checks: 1/1" in text
+        assert "[OK ] x" in text
+
+    def test_markdown_report(self):
+        from repro.experiments import render_markdown
+
+        r = ExperimentResult("x", "t")
+        r.check("claim holds", True)
+        r.check("claim fails", False)
+        r.note("paper 5, measured 6")
+        md = render_markdown({"x": r})
+        assert "## x — t" in md
+        assert "✅ claim holds" in md
+        assert "❌ claim fails" in md
+        assert "> paper 5, measured 6" in md
+        assert "**1/2**" in md
+
+    def test_sparkline(self):
+        from repro.experiments.base import sparkline
+
+        assert sparkline([0, 1, 2, 3]) != ""
+        assert sparkline([1, 1]) == ""  # too short
+        assert len(sparkline(list(range(500)), width=40)) == 40
+        flat = sparkline([5, 5, 5, 5])
+        assert len(set(flat)) == 1

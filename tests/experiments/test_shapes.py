@@ -1,0 +1,28 @@
+"""Full-scale shape tests: the paper's qualitative claims hold.
+
+These run every experiment on the paper-volume campaign (4.37 M CEs) and
+assert each figure/table's shape checks -- who wins, what is uniform,
+where the spike is.  This is the reproduction's acceptance suite.
+"""
+
+import pytest
+
+from repro.experiments import list_experiments, run
+
+EXP_IDS = [e for e, _ in list_experiments()]
+
+#: Tamer parameters for the two heaviest sensor analyses; statistically
+#: equivalent, just smaller subsamples / coarser grids.
+PARAMS = {
+    "fig09": dict(max_errors=80_000),
+    "fig13": dict(grid_s=12 * 3600.0),
+    "fig14": dict(grid_s=12 * 3600.0),
+}
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("exp_id", EXP_IDS)
+def test_paper_shape_claims(full_campaign, exp_id):
+    result = run(exp_id, full_campaign, **PARAMS.get(exp_id, {}))
+    failed = [name for name, ok in result.checks.items() if not ok]
+    assert not failed, f"{exp_id} shape claims failed: {failed}"

@@ -1,0 +1,176 @@
+"""Tests for fault-mode classification."""
+
+import numpy as np
+import pytest
+
+from repro.faults.classify import (
+    classify_group_modes,
+    errors_per_mode,
+    mode_counts,
+)
+from repro.faults.coalesce import CoalesceOptions, coalesce
+from repro.faults.types import NO_BANK, NO_BIT, NO_COLUMN, FaultMode
+from util import bit_error, make_errors
+
+
+def classify_one(errors, **opts):
+    faults = coalesce(errors, CoalesceOptions(**opts))
+    assert faults.size == 1
+    return FaultMode(faults["mode"][0])
+
+
+class TestModesEndToEnd:
+    def test_single_bit(self):
+        errors = make_errors([bit_error(t=0.0), bit_error(t=1.0)])
+        assert classify_one(errors) is FaultMode.SINGLE_BIT
+
+    def test_single_word(self):
+        # Same address, two different bits.
+        errors = make_errors(
+            [bit_error(bit=3, t=0.0), bit_error(bit=9, t=1.0)]
+        )
+        assert classify_one(errors) is FaultMode.SINGLE_WORD
+
+    def test_single_column(self):
+        # Same column, different addresses (different rows).
+        errors = make_errors(
+            [
+                bit_error(column=5, address=0x1000, t=0.0),
+                bit_error(column=5, address=0x2000, t=1.0),
+            ]
+        )
+        assert classify_one(errors) is FaultMode.SINGLE_COLUMN
+
+    def test_single_bank_without_row_info(self):
+        # Multiple columns in the same bank: on Astra (no row field) this
+        # is single-bank -- single-row cannot be distinguished.
+        errors = make_errors(
+            [
+                bit_error(column=1, address=0x40, t=0.0),
+                bit_error(column=2, address=0x80, t=1.0),
+            ]
+        )
+        assert classify_one(errors) is FaultMode.SINGLE_BANK
+
+    def test_single_row_with_row_info(self):
+        errors = make_errors(
+            [
+                bit_error(column=1, address=0x40, row=7, t=0.0),
+                bit_error(column=2, address=0x80, row=7, t=1.0),
+            ]
+        )
+        assert classify_one(errors, row_available=True) is FaultMode.SINGLE_ROW
+
+    def test_row_flag_without_row_data_stays_bank(self):
+        # row_available=True but rows are the NO_ROW sentinel: must not
+        # misclassify as single-row.
+        errors = make_errors(
+            [
+                bit_error(column=1, address=0x40, t=0.0),
+                bit_error(column=2, address=0x80, t=1.0),
+            ]
+        )
+        assert classify_one(errors, row_available=True) is FaultMode.SINGLE_BANK
+
+    def test_multi_bank_only_when_not_splitting(self):
+        errors = make_errors([bit_error(bank=0), bit_error(bank=1)])
+        assert classify_one(errors, split_banks=False) is FaultMode.MULTI_BANK
+
+    def test_unattributed_when_payload_missing(self):
+        errors = make_errors(
+            [
+                dict(
+                    time=0.0,
+                    node=3,
+                    socket=0,
+                    slot=2,
+                    rank=0,
+                    bank=NO_BANK,
+                    column=NO_COLUMN,
+                    bit_pos=NO_BIT,
+                    address=0,
+                )
+            ]
+        )
+        assert classify_one(errors) is FaultMode.UNATTRIBUTED
+
+    def test_mixed_groups_stay_separate(self):
+        errors = make_errors(
+            [
+                bit_error(node=1, t=0.0),
+                bit_error(node=1, t=1.0),
+                bit_error(node=2, bit=1, address=0x500, t=0.0),
+                bit_error(node=2, bit=2, address=0x500, t=1.0),
+            ]
+        )
+        faults = coalesce(errors)
+        by_node = {int(f["node"]): FaultMode(f["mode"]) for f in faults}
+        assert by_node == {1: FaultMode.SINGLE_BIT, 2: FaultMode.SINGLE_WORD}
+
+
+class TestClassifierUnit:
+    def _base(self, n):
+        return dict(
+            uniq_bits=np.ones(n, dtype=np.int64),
+            uniq_words=np.ones(n, dtype=np.int64),
+            uniq_cols=np.ones(n, dtype=np.int64),
+            uniq_rows=np.ones(n, dtype=np.int64),
+            uniq_banks=np.ones(n, dtype=np.int64),
+            bank_valid=np.ones(n, dtype=bool),
+            column_valid=np.ones(n, dtype=bool),
+            bit_valid=np.ones(n, dtype=bool),
+            row_valid=np.zeros(n, dtype=bool),
+        )
+
+    def test_tightest_mode_wins(self):
+        args = self._base(1)
+        modes = classify_group_modes(**args)
+        assert modes[0] == FaultMode.SINGLE_BIT
+
+    def test_invalid_bank_overrides_everything(self):
+        args = self._base(1)
+        args["bank_valid"] = np.array([False])
+        assert classify_group_modes(**args)[0] == FaultMode.UNATTRIBUTED
+
+    def test_multi_bank_overrides_tight_modes(self):
+        args = self._base(1)
+        args["uniq_banks"] = np.array([2])
+        assert classify_group_modes(**args)[0] == FaultMode.MULTI_BANK
+
+    def test_length_mismatch_rejected(self):
+        args = self._base(2)
+        args["uniq_bits"] = np.ones(3, dtype=np.int64)
+        with pytest.raises(ValueError):
+            classify_group_modes(**args)
+
+    def test_row_valid_length_mismatch_rejected(self):
+        args = self._base(2)
+        args["row_valid"] = np.zeros(3, dtype=bool)
+        with pytest.raises(ValueError):
+            classify_group_modes(**args)
+
+    def test_column_invalid_falls_to_bank(self):
+        args = self._base(1)
+        args["uniq_bits"] = np.array([2])
+        args["uniq_words"] = np.array([2])
+        args["column_valid"] = np.array([False])
+        assert classify_group_modes(**args)[0] == FaultMode.SINGLE_BANK
+
+
+class TestAggregations:
+    def test_mode_counts_and_errors(self):
+        errors = make_errors(
+            [bit_error(node=1, t=float(t)) for t in range(5)]
+            + [
+                bit_error(node=2, bit=1, address=0x500, t=0.0),
+                bit_error(node=2, bit=2, address=0x500, t=1.0),
+            ]
+        )
+        faults = coalesce(errors)
+        counts = mode_counts(faults)
+        epm = errors_per_mode(faults)
+        assert counts[FaultMode.SINGLE_BIT] == 1
+        assert counts[FaultMode.SINGLE_WORD] == 1
+        assert epm[FaultMode.SINGLE_BIT] == 5
+        assert epm[FaultMode.SINGLE_WORD] == 2
+        assert epm[FaultMode.SINGLE_BANK] == 0

@@ -1,0 +1,189 @@
+"""Tests for error-to-fault coalescing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.coalesce import CoalesceOptions, coalesce, errors_with_fault_ids
+from repro.faults.types import ERROR_DTYPE, FaultMode, empty_errors
+from util import bit_error, make_errors
+
+
+class TestBasics:
+    def test_empty_input(self):
+        faults = coalesce(empty_errors(0))
+        assert faults.size == 0
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce(np.zeros(3, dtype=np.int64))
+
+    def test_single_error_single_fault(self):
+        faults = coalesce(make_errors([bit_error(t=5.0)]))
+        assert faults.size == 1
+        assert faults["n_errors"][0] == 1
+        assert faults["first_time"][0] == 5.0
+        assert faults["last_time"][0] == 5.0
+        assert faults["mode"][0] == FaultMode.SINGLE_BIT
+
+    def test_repeat_errors_one_fault(self):
+        errors = make_errors([bit_error(t=float(t)) for t in range(10)])
+        faults = coalesce(errors)
+        assert faults.size == 1
+        assert faults["n_errors"][0] == 10
+        assert faults["first_time"][0] == 0.0
+        assert faults["last_time"][0] == 9.0
+
+    def test_different_banks_different_faults(self):
+        errors = make_errors(
+            [bit_error(bank=0), bit_error(bank=1), bit_error(bank=2)]
+        )
+        faults = coalesce(errors)
+        assert faults.size == 3
+
+    def test_different_nodes_different_faults(self):
+        errors = make_errors([bit_error(node=0), bit_error(node=1)])
+        assert coalesce(errors).size == 2
+
+    def test_different_ranks_different_faults(self):
+        errors = make_errors([bit_error(rank=0), bit_error(rank=1)])
+        assert coalesce(errors).size == 2
+
+    def test_different_slots_different_faults(self):
+        errors = make_errors([bit_error(slot=0), bit_error(slot=9)])
+        faults = coalesce(errors)
+        assert faults.size == 2
+        # socket follows the slot
+        assert sorted(faults["socket"].tolist()) == [0, 1]
+
+    def test_unsorted_input_handled(self):
+        errors = make_errors(
+            [
+                bit_error(node=5, t=3.0),
+                bit_error(node=1, t=1.0),
+                bit_error(node=5, t=2.0),
+            ]
+        )
+        faults = coalesce(errors)
+        assert faults.size == 2
+        f5 = faults[faults["node"] == 5][0]
+        assert f5["n_errors"] == 2
+        assert f5["first_time"] == 2.0
+        assert f5["last_time"] == 3.0
+
+
+class TestRepresentativeFields:
+    def test_homogeneous_fields_kept(self):
+        errors = make_errors([bit_error(t=0.0), bit_error(t=1.0)])
+        f = coalesce(errors)[0]
+        assert f["column"] == 5
+        assert f["bit_pos"] == 3
+        assert f["bank"] == 0
+
+    def test_mixed_column_sentineled(self):
+        errors = make_errors(
+            [bit_error(column=1, address=64), bit_error(column=2, address=128)]
+        )
+        f = coalesce(errors)[0]
+        assert f["column"] == -1
+
+    def test_mixed_bit_sentineled(self):
+        errors = make_errors([bit_error(bit=1), bit_error(bit=2)])
+        f = coalesce(errors)[0]
+        assert f["bit_pos"] == -1
+
+
+class TestBankSplitting:
+    def test_rank_granularity_merges_banks(self):
+        errors = make_errors([bit_error(bank=0), bit_error(bank=1)])
+        faults = coalesce(errors, CoalesceOptions(split_banks=False))
+        assert faults.size == 1
+        assert faults["mode"][0] == FaultMode.MULTI_BANK
+
+    def test_bank_granularity_is_default(self):
+        errors = make_errors([bit_error(bank=0), bit_error(bank=1)])
+        assert coalesce(errors).size == 2
+
+
+class TestFaultIds:
+    def test_ids_align_with_errors(self):
+        errors = make_errors(
+            [
+                bit_error(node=2, t=0.0),
+                bit_error(node=1, t=1.0),
+                bit_error(node=2, t=2.0),
+            ]
+        )
+        faults, ids = errors_with_fault_ids(errors)
+        assert ids.shape == (3,)
+        assert ids[0] == ids[2]
+        assert ids[0] != ids[1]
+        # per-fault n_errors must match the label multiplicity
+        counts = np.bincount(ids, minlength=faults.size)
+        np.testing.assert_array_equal(counts, faults["n_errors"])
+
+    def test_empty(self):
+        faults, ids = errors_with_fault_ids(empty_errors(0))
+        assert faults.size == 0 and ids.size == 0
+
+    def test_wrong_dtype(self):
+        with pytest.raises(ValueError):
+            errors_with_fault_ids(np.zeros(1))
+
+
+@st.composite
+def error_batches(draw):
+    n = draw(st.integers(1, 60))
+    rows = []
+    for _ in range(n):
+        rows.append(
+            bit_error(
+                node=draw(st.integers(0, 3)),
+                slot=draw(st.integers(0, 15)),
+                rank=draw(st.integers(0, 1)),
+                bank=draw(st.integers(0, 3)),
+                column=draw(st.integers(0, 4)),
+                bit=draw(st.integers(0, 7)),
+                t=float(draw(st.integers(0, 1000))),
+            )
+        )
+    return make_errors(rows)
+
+
+@given(error_batches())
+@settings(max_examples=40, deadline=None)
+def test_property_errors_conserved(errors):
+    """Coalescing never loses or invents errors."""
+    faults = coalesce(errors)
+    assert faults["n_errors"].sum() == errors.size
+
+
+@given(error_batches())
+@settings(max_examples=40, deadline=None)
+def test_property_group_key_unique(errors):
+    """Each (node, slot, rank, bank) appears in at most one fault."""
+    faults = coalesce(errors)
+    keys = set(
+        zip(
+            faults["node"].tolist(),
+            faults["slot"].tolist(),
+            faults["rank"].tolist(),
+            faults["bank"].tolist(),
+        )
+    )
+    assert len(keys) == faults.size
+
+
+@given(error_batches())
+@settings(max_examples=40, deadline=None)
+def test_property_time_span_ordered(errors):
+    faults = coalesce(errors)
+    assert np.all(faults["first_time"] <= faults["last_time"])
+
+
+@given(error_batches())
+@settings(max_examples=40, deadline=None)
+def test_property_fault_ids_partition(errors):
+    faults, ids = errors_with_fault_ids(errors)
+    counts = np.bincount(ids, minlength=faults.size)
+    np.testing.assert_array_equal(counts, faults["n_errors"])

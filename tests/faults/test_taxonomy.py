@@ -1,0 +1,53 @@
+"""Tests for the Avizienis taxonomy helpers."""
+
+import pytest
+
+from repro.faults.taxonomy import (
+    ErrorOutcome,
+    FaultState,
+    classify_outcome,
+    outcome_of_secded_status,
+)
+
+
+class TestClassifyOutcome:
+    def test_corrected(self):
+        assert classify_outcome(True, True) is ErrorOutcome.CORRECTED
+
+    def test_due(self):
+        assert (
+            classify_outcome(True, False) is ErrorOutcome.DETECTED_UNCORRECTABLE
+        )
+
+    def test_silent(self):
+        assert classify_outcome(False, False) is ErrorOutcome.SILENT
+
+    def test_impossible_combination(self):
+        with pytest.raises(ValueError):
+            classify_outcome(False, True)
+
+
+class TestSecdedBridge:
+    def test_clean(self):
+        assert outcome_of_secded_status(0) is None
+
+    def test_ce(self):
+        assert outcome_of_secded_status(1) is ErrorOutcome.CORRECTED
+
+    def test_due(self):
+        assert (
+            outcome_of_secded_status(2) is ErrorOutcome.DETECTED_UNCORRECTABLE
+        )
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            outcome_of_secded_status(3)
+
+
+def test_fault_states():
+    assert {s.value for s in FaultState} == {"active", "dormant"}
+
+
+def test_outcome_abbreviations_match_paper():
+    assert ErrorOutcome.CORRECTED.value == "CE"
+    assert ErrorOutcome.DETECTED_UNCORRECTABLE.value == "DUE"

@@ -1,0 +1,121 @@
+"""Tests for record layouts and the FaultMode vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.faults.types import (
+    ERROR_DTYPE,
+    FAULT_DTYPE,
+    NO_BANK,
+    NO_BIT,
+    NO_COLUMN,
+    NO_ROW,
+    REPORTED_MODES,
+    FaultMode,
+    empty_errors,
+    empty_faults,
+    validate_errors,
+)
+
+
+class TestDtypes:
+    def test_error_fields(self):
+        assert set(ERROR_DTYPE.names) == {
+            "time",
+            "node",
+            "socket",
+            "slot",
+            "rank",
+            "bank",
+            "row",
+            "column",
+            "bit_pos",
+            "address",
+            "syndrome",
+        }
+
+    def test_fault_fields_include_mode_and_span(self):
+        for f in ("fault_id", "mode", "n_errors", "first_time", "last_time"):
+            assert f in FAULT_DTYPE.names
+
+    def test_empty_errors_sentinels(self):
+        e = empty_errors(3)
+        assert np.all(e["row"] == NO_ROW)
+        assert np.all(e["bank"] == NO_BANK)
+        assert np.all(e["column"] == NO_COLUMN)
+        assert np.all(e["bit_pos"] == NO_BIT)
+
+    def test_empty_faults_sentinels(self):
+        f = empty_faults(2)
+        assert np.all(f["mode"] == FaultMode.UNATTRIBUTED)
+        assert np.all(f["row"] == NO_ROW)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            empty_errors(-1)
+        with pytest.raises(ValueError):
+            empty_faults(-1)
+
+
+class TestFaultMode:
+    def test_labels_match_paper(self):
+        assert FaultMode.SINGLE_BIT.label == "single-bit"
+        assert FaultMode.SINGLE_WORD.label == "single-word"
+        assert FaultMode.SINGLE_COLUMN.label == "single-column"
+        assert FaultMode.SINGLE_ROW.label == "single-row"
+        assert FaultMode.SINGLE_BANK.label == "single-bank"
+
+    def test_reported_modes_are_the_four_from_fig4(self):
+        assert REPORTED_MODES == (
+            FaultMode.SINGLE_BIT,
+            FaultMode.SINGLE_WORD,
+            FaultMode.SINGLE_COLUMN,
+            FaultMode.SINGLE_BANK,
+        )
+
+    def test_modes_fit_int8(self):
+        assert max(FaultMode) < 127
+
+
+class TestValidation:
+    def test_valid_empty(self):
+        validate_errors(empty_errors(0))
+
+    def test_wrong_dtype(self):
+        with pytest.raises(ValueError):
+            validate_errors(np.zeros(1, dtype=np.float64))
+
+    def test_negative_time(self):
+        e = empty_errors(1)
+        e["time"] = -1.0
+        with pytest.raises(ValueError):
+            validate_errors(e)
+
+    def test_nan_time(self):
+        e = empty_errors(1)
+        e["time"] = np.nan
+        with pytest.raises(ValueError):
+            validate_errors(e)
+
+    def test_bad_socket(self):
+        e = empty_errors(1)
+        e["socket"] = 2
+        with pytest.raises(ValueError):
+            validate_errors(e)
+
+    def test_bad_slot(self):
+        e = empty_errors(1)
+        e["slot"] = 16
+        with pytest.raises(ValueError):
+            validate_errors(e)
+
+    def test_bad_bitpos(self):
+        e = empty_errors(1)
+        e["bit_pos"] = 72
+        with pytest.raises(ValueError):
+            validate_errors(e)
+
+    def test_sentinels_pass(self):
+        e = empty_errors(2)
+        e["time"] = [1.0, 2.0]
+        validate_errors(e)  # sentinels are legal values

@@ -1,0 +1,99 @@
+"""Tests for the section 2.4 data-release packager."""
+
+import numpy as np
+import pytest
+
+from repro.faults.coalesce import coalesce
+from repro.logs.release import (
+    FAILURE_HEADER,
+    read_release,
+    write_release,
+)
+
+
+@pytest.fixture(scope="module")
+def release_dir(tmp_path_factory, small_campaign):
+    directory = tmp_path_factory.mktemp("release")
+    return write_release(
+        small_campaign,
+        directory,
+        sensor_cadence_s=6 * 3600.0,
+        sensor_nodes=[0, 1, 2, 3],
+    )
+
+
+class TestLayout:
+    def test_files_present(self, release_dir):
+        assert (release_dir / "memory_failures.txt").exists()
+        assert (release_dir / "environment.txt").exists()
+        assert (release_dir / "README.txt").exists()
+
+    def test_header_matches_paper_fields(self, release_dir):
+        first = (release_dir / "memory_failures.txt").read_text().splitlines()[0]
+        assert first == FAILURE_HEADER
+        # The paper's exact field list -- note: no column (derivable).
+        for field in ("timestamp", "node", "socket", "failure_type",
+                      "dimm_slot", "row", "rank", "bank", "bit_position",
+                      "physical_address", "syndrome"):
+            assert field in first
+        assert "column" not in first
+
+    def test_readme_describes_contents(self, release_dir, small_campaign):
+        text = (release_dir / "README.txt").read_text()
+        assert str(small_campaign.n_errors) in text
+        assert "synthetic" in text
+
+
+class TestRoundTrip:
+    def test_ce_count_preserved(self, release_dir, small_campaign):
+        data = read_release(release_dir)
+        assert data.errors.size == small_campaign.n_errors
+
+    def test_due_records_preserved(self, release_dir, small_campaign):
+        data = read_release(release_dir)
+        assert data.due_times.size == int(
+            small_campaign.het["non_recoverable"].sum()
+        )
+
+    @staticmethod
+    def _aligned(data, campaign):
+        """Sort both sides on second-resolution time (what the release
+        stores) so tie-breaking is identical."""
+        original = campaign.errors.copy()
+        original["time"] = np.floor(original["time"])
+        order = ("time", "node", "address", "bit_pos")
+        return np.sort(data.errors, order=order), np.sort(original, order=order)
+
+    def test_fields_roundtrip(self, release_dir, small_campaign):
+        data = read_release(release_dir)
+        a, b = self._aligned(data, small_campaign)
+        np.testing.assert_array_equal(a["time"], b["time"])
+        for field in ("node", "socket", "slot", "rank", "bank", "bit_pos",
+                      "address", "syndrome"):
+            np.testing.assert_array_equal(a[field], b[field])
+
+    def test_column_recovered_from_address(self, release_dir, small_campaign):
+        """The release omits the column; the loader re-derives it."""
+        data = read_release(release_dir)
+        a, b = self._aligned(data, small_campaign)
+        valid = b["address"] > 0
+        np.testing.assert_array_equal(a["column"][valid], b["column"][valid])
+
+    def test_analysis_runs_on_release(self, release_dir, small_campaign):
+        """The full fault pipeline runs from the released text."""
+        data = read_release(release_dir)
+        faults = coalesce(data.errors)
+        assert faults.size == small_campaign.faults().size
+
+    def test_environment_slice(self, release_dir):
+        data = read_release(release_dir)
+        assert data.environment.size > 0
+        assert set(np.unique(data.environment["node"])) == {0, 1, 2, 3}
+
+    def test_bad_header_rejected(self, tmp_path):
+        bad = tmp_path / "r"
+        bad.mkdir()
+        (bad / "memory_failures.txt").write_text("wrong,header\n")
+        (bad / "environment.txt").write_text("timestamp,node,sensor,value\n")
+        with pytest.raises(ValueError):
+            read_release(bad)

@@ -1,0 +1,70 @@
+"""Tests for the streaming CE-log reader."""
+
+import numpy as np
+import pytest
+
+from repro.logs.syslog import iter_ce_log, read_ce_log, write_ce_log
+from util import bit_error, make_errors
+
+
+@pytest.fixture()
+def log_path(tmp_path):
+    errors = make_errors(
+        [bit_error(node=i % 7, t=float(i)) for i in range(250)]
+    )
+    path = tmp_path / "ce.log"
+    write_ce_log(errors, path)
+    return path, errors
+
+
+class TestStreaming:
+    def test_chunks_cover_log(self, log_path):
+        path, errors = log_path
+        chunks = list(iter_ce_log(path, chunk_records=100))
+        sizes = [c.size for c, _ in chunks]
+        assert sizes == [100, 100, 50]
+        merged = np.concatenate([c for c, _ in chunks])
+        np.testing.assert_array_equal(merged, read_ce_log(path).errors)
+
+    def test_single_chunk(self, log_path):
+        path, errors = log_path
+        chunks = list(iter_ce_log(path, chunk_records=10_000))
+        assert len(chunks) == 1
+        assert chunks[0][0].size == 250
+
+    def test_malformed_counted_per_chunk(self, log_path):
+        path, _ = log_path
+        with open(path, "a") as fh:
+            fh.write("garbage line\n")
+        chunks = list(iter_ce_log(path, chunk_records=10_000))
+        assert sum(bad for _, bad in chunks) == 1
+
+    def test_strict_raises(self, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_text("garbage\n")
+        with pytest.raises(ValueError):
+            list(iter_ce_log(path, strict=True))
+
+    def test_empty_log(self, tmp_path):
+        path = tmp_path / "empty.log"
+        path.write_text("")
+        assert list(iter_ce_log(path)) == []
+
+    def test_bad_chunk_size(self, log_path):
+        path, _ = log_path
+        with pytest.raises(ValueError):
+            list(iter_ce_log(path, chunk_records=0))
+
+    def test_streamed_aggregation_matches_batch(self, log_path):
+        """Per-chunk counting + merge equals whole-file counting."""
+        from repro.analysis.counts import counts_by
+        from repro.parallel.sharding import merge_counts
+
+        path, errors = log_path
+        partials = [
+            counts_by(chunk, "node", minlength=7)[0]
+            for chunk, _ in iter_ce_log(path, chunk_records=64)
+        ]
+        merged = merge_counts(partials)
+        direct, _ = counts_by(errors, "node", minlength=7)
+        np.testing.assert_array_equal(merged, direct)

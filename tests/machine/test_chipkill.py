@@ -1,0 +1,100 @@
+"""Tests for the Chipkill-class SSC-DSD symbol code."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.chipkill import (
+    CHECK_SYMBOLS,
+    CLEAN,
+    CODEWORD_SYMBOLS,
+    CORRECTED,
+    DETECTED_UNCORRECTABLE,
+    ChipkillSsc,
+)
+
+
+@pytest.fixture(scope="module")
+def code():
+    return ChipkillSsc()
+
+
+def random_words(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, (n, 16)).astype(np.uint8)
+
+
+class TestEncode:
+    def test_shape(self, code):
+        cw = code.encode(random_words(5))
+        assert cw.shape == (5, CODEWORD_SYMBOLS)
+
+    def test_clean_zero_syndromes(self, code):
+        cw = code.encode(random_words(20, seed=1))
+        assert np.all(code.syndromes(cw) == 0)
+
+    def test_wrong_width_rejected(self, code):
+        with pytest.raises(ValueError):
+            code.encode(np.zeros((2, 15), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            code.syndromes(np.zeros((2, 18), dtype=np.uint8))
+
+
+class TestDecode:
+    def test_clean_status(self, code):
+        cw = code.encode(random_words(3, seed=2))
+        fixed, status = code.decode(cw)
+        assert np.all(status == CLEAN)
+        np.testing.assert_array_equal(fixed, cw)
+
+    def test_every_single_symbol_error_corrected(self, code):
+        data = random_words(1, seed=3)
+        clean = code.encode(data)
+        for pos in range(CODEWORD_SYMBOLS):
+            for err in (0x01, 0x80, 0xFF, 0x5A):
+                bad = clean.copy()
+                bad[0, pos] ^= err
+                fixed, status = code.decode(bad)
+                assert status[0] == CORRECTED, (pos, err)
+                np.testing.assert_array_equal(fixed[0], clean[0])
+
+    def test_double_symbol_errors_detected(self, code):
+        rng = np.random.default_rng(4)
+        data = random_words(200, seed=5)
+        clean = code.encode(data)
+        bad = clean.copy()
+        for i in range(200):
+            p1, p2 = rng.choice(CODEWORD_SYMBOLS, 2, replace=False)
+            bad[i, p1] ^= rng.integers(1, 256)
+            bad[i, p2] ^= rng.integers(1, 256)
+        fixed, status = code.decode(bad)
+        # SSC-DSD guarantee: distance 4 detects every 2-symbol error.
+        assert np.all(status == DETECTED_UNCORRECTABLE)
+        np.testing.assert_array_equal(fixed, bad)  # nothing touched
+
+    def test_scalar_interface(self, code):
+        data = random_words(1, seed=6)[0]
+        clean = code.encode(data)
+        bad = clean.copy()
+        bad[4] ^= 0x0F
+        fixed, status = code.decode(bad)
+        assert status == CORRECTED
+        np.testing.assert_array_equal(fixed, clean)
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    pos=st.integers(0, CODEWORD_SYMBOLS - 1),
+    err=st.integers(1, 255),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_chipkill_corrects_any_device_corruption(seed, pos, err):
+    """Any corruption confined to one device (symbol) is corrected."""
+    code = ChipkillSsc()
+    data = random_words(1, seed=seed)
+    clean = code.encode(data)
+    bad = clean.copy()
+    bad[0, pos] ^= err
+    fixed, status = code.decode(bad)
+    assert status[0] == CORRECTED
+    np.testing.assert_array_equal(fixed[0], clean[0])

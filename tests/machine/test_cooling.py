@@ -1,0 +1,85 @@
+"""Tests for the front-to-back cooling model."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cooling import CoolingModel
+from repro.machine.sensors import NodeSensorComplement
+from repro.machine.topology import AstraTopology
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CoolingModel()
+
+
+@pytest.fixture(scope="module")
+def sensors():
+    return NodeSensorComplement()
+
+
+class TestAirflowOrdering:
+    def test_socket0_cpu_hotter(self, model):
+        """Air reaches socket 1 (CPU2) first, so socket 0 (CPU1) is hotter."""
+        t0 = model.expected_temperature(0, 0)  # cpu0 sensor
+        t1 = model.expected_temperature(0, 1)  # cpu1 sensor
+        assert t0 > t1
+
+    def test_socket0_dimms_hotter(self, model, sensors):
+        aceg = sensors.by_name("dimm_aceg").index
+        ikmo = sensors.by_name("dimm_ikmo").index
+        assert model.expected_temperature(0, aceg) > model.expected_temperature(
+            0, ikmo
+        )
+
+    def test_cpu_hotter_than_dimms(self, model):
+        for sensor in range(2, 6):
+            assert model.expected_temperature(0, 0) > model.expected_temperature(
+                0, sensor
+            )
+
+    def test_power_sensor_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.expected_temperature(0, 6)
+
+
+class TestUniformityClaims:
+    """Section 3.4: region spread < 1 degC; rack spread <= ~4.2 degC."""
+
+    def test_internal_spread_check(self, model):
+        assert model.expected_spread_ok()
+
+    def test_region_spread_below_one_degree(self, model):
+        topo = AstraTopology()
+        nodes = topo.all_node_ids()
+        temps = model.expected_temperature(nodes, np.zeros(len(nodes), dtype=int))
+        means = [temps[topo.region_of(nodes) == r].mean() for r in range(3)]
+        assert np.ptp(means) < 1.0
+
+    def test_rack_spread_bounded(self, model):
+        topo = AstraTopology()
+        nodes = topo.all_node_ids()
+        temps = model.expected_temperature(nodes, np.zeros(len(nodes), dtype=int))
+        means = [temps[topo.rack_of(nodes) == r].mean() for r in range(36)]
+        assert np.ptp(means) <= 4.2
+
+    def test_plausible_absolute_bands(self, model):
+        """CPU means in the 50-80 degC band, DIMMs in 30-55 (Figure 2)."""
+        for sensor, lo, hi in ((0, 50, 80), (1, 50, 80), (2, 30, 55), (5, 30, 55)):
+            t = model.expected_temperature(1234, sensor)
+            assert lo < t < hi
+
+
+class TestVectorisation:
+    def test_broadcast_shapes(self, model):
+        nodes = np.arange(10)
+        out = model.expected_temperature(nodes, 0)
+        assert out.shape == (10,)
+
+    def test_scalar_returns_float(self, model):
+        assert isinstance(model.expected_temperature(0, 0), float)
+
+    def test_deterministic(self, model):
+        a = model.expected_temperature(np.arange(100), 3)
+        b = model.expected_temperature(np.arange(100), 3)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,214 @@
+"""Tests for DRAM geometry, the address map, and the SEC-DED code."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.dram import (
+    CHECK_BITS,
+    CODEWORD_BITS,
+    DATA_BITS,
+    AddressMap,
+    DRAMGeometry,
+    SecDed72,
+)
+
+
+class TestGeometry:
+    def test_defaults(self):
+        g = DRAMGeometry()
+        assert g.n_banks == 16
+        assert g.bank_bits == 4
+        assert g.row_bits == 15
+        assert g.column_bits == 10
+        assert g.cells_per_bank == 32768 * 1024
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            DRAMGeometry(n_banks=12)
+        with pytest.raises(ValueError):
+            DRAMGeometry(n_rows=1000)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            DRAMGeometry(n_columns=0)
+
+
+class TestAddressMap:
+    @pytest.fixture(scope="class")
+    def amap(self):
+        return AddressMap()
+
+    def test_address_bits(self, amap):
+        # 6 offset + 10 col + 4 bank + 15 row + 1 rank + 3 chan + 1 socket
+        assert amap.address_bits == 40
+
+    def test_scalar_roundtrip(self, amap):
+        addr = amap.encode(1, 5, 1, 9, 123, 77, 8)
+        fields = amap.decode(addr)
+        assert fields == {
+            "socket": 1,
+            "channel": 5,
+            "rank": 1,
+            "bank": 9,
+            "row": 123,
+            "column": 77,
+            "offset": 8,
+        }
+
+    def test_vector_roundtrip(self, amap):
+        rng = np.random.default_rng(0)
+        n = 1000
+        f = {
+            "socket": rng.integers(0, 2, n),
+            "channel": rng.integers(0, 8, n),
+            "rank": rng.integers(0, 2, n),
+            "bank": rng.integers(0, 16, n),
+            "row": rng.integers(0, 32768, n),
+            "column": rng.integers(0, 1024, n),
+            "offset": rng.integers(0, 64, n),
+        }
+        addr = amap.encode(**f)
+        out = amap.decode(addr)
+        for k in f:
+            np.testing.assert_array_equal(out[k], f[k])
+
+    def test_field_range_check(self, amap):
+        with pytest.raises(ValueError):
+            amap.encode(2, 0, 0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            amap.encode(0, 0, 0, 16, 0, 0)
+
+    def test_decode_range_check(self, amap):
+        with pytest.raises(ValueError):
+            amap.decode(np.uint64(1) << np.uint64(63))
+
+    def test_distinct_fields_distinct_addresses(self, amap):
+        a = amap.encode(0, 0, 0, 0, 0, 0)
+        b = amap.encode(0, 0, 0, 0, 0, 1)
+        c = amap.encode(0, 0, 0, 1, 0, 0)
+        assert len({a, b, c}) == 3
+
+    def test_offset_is_low_bits(self, amap):
+        assert amap.encode(0, 0, 0, 0, 0, 0, 63) == 63
+
+
+class TestSecDed:
+    @pytest.fixture(scope="class")
+    def code(self):
+        return SecDed72()
+
+    def test_columns_distinct_odd_weight(self, code):
+        cols = code.columns
+        assert len(cols) == CODEWORD_BITS
+        assert len(set(cols.tolist())) == CODEWORD_BITS
+        weights = np.bitwise_count(cols)
+        assert np.all(weights % 2 == 1)
+
+    def test_clean_word_zero_syndrome(self, code):
+        data = np.uint64(0xDEADBEEFCAFEF00D)
+        checks = code.encode(data)
+        assert code.syndrome(data, checks) == 0
+
+    def test_single_bit_error_corrected(self, code):
+        data = np.uint64(0x0123456789ABCDEF)
+        checks = code.encode(data)
+        for pos in (0, 17, 63):
+            bad = data ^ (np.uint64(1) << np.uint64(pos))
+            fixed, status = code.correct(bad, checks)
+            assert status == 1
+            assert fixed == data
+
+    def test_check_bit_error_detected_correctable(self, code):
+        data = np.uint64(42)
+        checks = code.encode(data)
+        bad_checks = checks ^ (1 << 3)
+        fixed, status = code.correct(data, bad_checks)
+        assert status == 1
+        assert fixed == data  # data was never wrong
+
+    def test_double_bit_error_detected_not_corrected(self, code):
+        data = np.uint64(0xFFFF0000FFFF0000)
+        checks = code.encode(data)
+        bad = data ^ np.uint64(0b11)  # flip bits 0 and 1
+        fixed, status = code.correct(bad, checks)
+        assert status == 2
+        assert fixed == bad  # returned unmodified
+
+    def test_syndrome_of_position_matches_column(self, code):
+        pos = np.arange(CODEWORD_BITS)
+        np.testing.assert_array_equal(code.syndrome_of_position(pos), code.columns)
+
+    def test_syndrome_of_position_range(self, code):
+        with pytest.raises(ValueError):
+            code.syndrome_of_position(72)
+
+    def test_position_of_syndrome_inverse(self, code):
+        for pos in range(CODEWORD_BITS):
+            syn = code.syndrome_of_position(pos)
+            assert code.position_of_syndrome(syn) == pos
+
+    def test_position_of_syndrome_unknown(self, code):
+        # weight-2 syndromes are never single-bit columns
+        assert code.position_of_syndrome(0b11) == -1
+
+    def test_classify_values(self, code):
+        assert code.classify(0) == 0
+        assert code.classify(int(code.columns[0])) == 1
+        assert code.classify(0b11) == 2
+
+    def test_vectorised_encode(self, code):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 2**63, 500, dtype=np.uint64)
+        checks = code.encode(data)
+        syn = code.syndrome(data, checks)
+        assert np.all(syn == 0)
+
+    def test_vectorised_correct(self, code):
+        rng = np.random.default_rng(2)
+        n = 300
+        data = rng.integers(0, 2**63, n, dtype=np.uint64)
+        checks = code.encode(data)
+        flips = rng.integers(0, DATA_BITS, n)
+        bad = data ^ (np.uint64(1) << flips.astype(np.uint64))
+        fixed, status = code.correct(bad, checks)
+        assert np.all(status == 1)
+        np.testing.assert_array_equal(fixed, data)
+
+
+@given(
+    data=st.integers(0, 2**64 - 1),
+    pos=st.integers(0, DATA_BITS - 1),
+)
+@settings(max_examples=60)
+def test_property_any_single_data_flip_corrects(data, pos):
+    code = SecDed72()
+    d = np.uint64(data)
+    checks = code.encode(d)
+    bad = d ^ (np.uint64(1) << np.uint64(pos))
+    fixed, status = code.correct(bad, checks)
+    assert status == 1
+    assert fixed == d
+
+
+@given(
+    data=st.integers(0, 2**64 - 1),
+    p1=st.integers(0, CODEWORD_BITS - 1),
+    p2=st.integers(0, CODEWORD_BITS - 1),
+)
+@settings(max_examples=60)
+def test_property_double_flips_never_miscorrect_silently(data, p1, p2):
+    """Any two distinct codeword flips must be detected (status != 0)."""
+    if p1 == p2:
+        return
+    code = SecDed72()
+    d = np.uint64(data)
+    checks = code.encode(d)
+    bad_d, bad_c = d, int(checks)
+    for p in (p1, p2):
+        if p < DATA_BITS:
+            bad_d = bad_d ^ (np.uint64(1) << np.uint64(p))
+        else:
+            bad_c ^= 1 << (p - DATA_BITS)
+    syn = code.syndrome(bad_d, np.uint8(bad_c))
+    assert code.classify(syn) == 2  # Hsiao: even-weight syndrome, a DUE

@@ -1,0 +1,74 @@
+"""Tests for GF(256) arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.gf256 import alpha, gf_div, gf_log, gf_mul, gf_pow
+
+elements = st.integers(0, 255)
+nonzero = st.integers(1, 255)
+
+
+class TestBasics:
+    def test_multiplicative_identity(self):
+        for a in (1, 7, 255):
+            assert gf_mul(a, 1) == a
+
+    def test_zero_annihilates(self):
+        assert gf_mul(0, 123) == 0
+        assert gf_mul(123, 0) == 0
+
+    def test_known_product(self):
+        # 0x53 * 0xCA = 0x01 in the AES field (classic inverse pair).
+        assert gf_mul(0x53, 0xCA) == 0x01
+
+    def test_div_inverse_of_mul(self):
+        assert gf_div(gf_mul(77, 99), 99) == 77
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    def test_alpha_powers_distinct(self):
+        powers = alpha(np.arange(255))
+        assert len(set(powers.tolist())) == 255
+
+    def test_log_exp_roundtrip(self):
+        for a in (1, 2, 17, 254):
+            assert alpha(gf_log(a)) == a
+
+    def test_log_zero_convention(self):
+        assert gf_log(0) == -1
+
+    def test_pow(self):
+        g = int(alpha(1))
+        assert gf_pow(g, 2) == gf_mul(g, g)
+        with pytest.raises(ValueError):
+            gf_pow(0, 3)
+
+    def test_vectorised(self):
+        a = np.arange(256, dtype=np.uint8)
+        out = gf_mul(a, a)
+        assert out.shape == (256,)
+        assert out[0] == 0
+
+
+@given(a=elements, b=elements, c=elements)
+@settings(max_examples=80)
+def test_property_mul_commutative_associative(a, b, c):
+    assert gf_mul(a, b) == gf_mul(b, a)
+    assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+
+@given(a=elements, b=elements, c=elements)
+@settings(max_examples=80)
+def test_property_distributive_over_xor(a, b, c):
+    assert gf_mul(a, b ^ c) == (gf_mul(a, b) ^ gf_mul(a, c))
+
+
+@given(a=nonzero)
+@settings(max_examples=60)
+def test_property_inverse_exists(a):
+    inv = gf_div(1, a)
+    assert gf_mul(a, inv) == 1

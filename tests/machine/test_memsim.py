@@ -1,0 +1,152 @@
+"""Tests for the mechanistic rank simulator."""
+
+import numpy as np
+import pytest
+
+from repro.faults.coalesce import coalesce
+from repro.faults.types import FaultMode
+from repro.machine.dram import DRAMGeometry
+from repro.machine.memsim import Defect, DefectKind, SimulatedRank
+
+SMALL = DRAMGeometry(n_banks=4, n_rows=64, n_columns=16)
+
+
+@pytest.fixture()
+def rank():
+    return SimulatedRank(node=42, slot=9, rank=1, geometry=SMALL, seed=3)
+
+
+class TestCleanMemory:
+    def test_clean_reads_no_errors(self, rank):
+        for col in range(16):
+            out = rank.read(0, 0, col)
+            assert out.status == 0
+        assert rank.ce_log.size == 0
+        assert rank.read_count == 16
+
+    def test_reads_deterministic(self, rank):
+        a = rank.read(1, 2, 3).data
+        b = rank.read(1, 2, 3).data
+        assert a == b
+
+    def test_out_of_range(self, rank):
+        with pytest.raises(ValueError):
+            rank.read(4, 0, 0)
+        with pytest.raises(ValueError):
+            rank.read(0, 64, 0)
+
+
+class TestStuckBit:
+    def test_errors_on_disagreeing_reads(self, rank):
+        rank.inject(Defect(DefectKind.STUCK_BIT, bank=0, row=5, column=7, bit=13))
+        results = [rank.read(0, 5, 7, t=float(t)) for t in range(10)]
+        statuses = {r.status for r in results}
+        # The stored bit either agrees (always clean) or disagrees
+        # (always CE); with this seed it disagrees.
+        assert statuses <= {0, 1}
+        log = rank.ce_log
+        if log.size:
+            assert np.all(log["bit_pos"] == 13)
+            assert np.unique(log["address"]).size == 1
+
+    def test_other_cells_untouched(self, rank):
+        rank.inject(Defect(DefectKind.STUCK_BIT, bank=0, row=5, column=7, bit=13))
+        assert rank.read(0, 5, 8).status == 0
+        assert rank.read(1, 5, 7).status == 0
+
+    def test_record_schema_matches_campaign(self, rank):
+        rank.inject(
+            Defect(DefectKind.STUCK_BIT, bank=2, row=1, column=3, bit=0, stuck_value=0)
+        )
+        # Find a disagreeing parity: try both stuck values.
+        rank.inject(
+            Defect(DefectKind.STUCK_BIT, bank=2, row=1, column=4, bit=0, stuck_value=1)
+        )
+        rank.read(2, 1, 3, t=5.0)
+        rank.read(2, 1, 4, t=6.0)
+        log = rank.ce_log
+        assert log.size >= 1
+        assert np.all(log["node"] == 42)
+        assert np.all(log["slot"] == 9)
+        assert np.all(log["socket"] == 1)
+        assert np.all(log["rank"] == 1)
+        assert np.all(log["row"] == -1)  # Astra-style: no row in records
+
+    def test_syndrome_consistent_with_bit(self, rank):
+        from repro.machine.dram import SecDed72
+
+        rank.inject(Defect(DefectKind.FLAKY_BIT, bank=0, row=0, column=0, bit=7))
+        for t in range(5):
+            rank.read(0, 0, 0, t=float(t))
+        log = rank.ce_log
+        code = SecDed72()
+        for rec in log:
+            assert rec["syndrome"] == code.syndrome_of_position(int(rec["bit_pos"]))
+
+    def test_invalid_injections(self, rank):
+        with pytest.raises(ValueError):
+            rank.inject(Defect(DefectKind.STUCK_BIT, bank=9, row=0, column=0, bit=0))
+        with pytest.raises(ValueError):
+            rank.inject(Defect(DefectKind.STUCK_BIT, bank=0, row=0, column=0, bit=64))
+
+
+class TestEndToEndClassification:
+    """The simulator's records drive the coalescer to the right modes."""
+
+    def test_stuck_bit_classifies_single_bit(self, rank):
+        rank.inject(Defect(DefectKind.FLAKY_BIT, bank=0, row=3, column=2, bit=5))
+        for t in range(20):
+            rank.read(0, 3, 2, t=float(t))
+        faults = coalesce(rank.ce_log)
+        assert faults.size == 1
+        assert faults["mode"][0] == FaultMode.SINGLE_BIT
+
+    def test_column_defect_classifies_single_column(self, rank):
+        rank.inject(Defect(DefectKind.COLUMN_DEFECT, bank=1, column=6, bit=9))
+        for row in range(20):
+            rank.read(1, row, 6, t=float(row))
+        faults = coalesce(rank.ce_log)
+        assert faults.size == 1
+        assert faults["mode"][0] == FaultMode.SINGLE_COLUMN
+
+    def test_row_defect_classifies_single_bank_without_rows(self, rank):
+        """A row defect spans columns; with Astra-style records (no row
+        field) the classifier can only call it single-bank -- exactly the
+        limitation the paper describes."""
+        rank.inject(Defect(DefectKind.ROW_DEFECT, bank=2, row=8, bit=1))
+        rank.scrub_pass(2, 8, t0=0.0)
+        faults = coalesce(rank.ce_log)
+        assert faults.size == 1
+        assert faults["mode"][0] == FaultMode.SINGLE_BANK
+
+    def test_bank_defect_classifies_single_bank(self, rank):
+        rank.inject(
+            Defect(DefectKind.BANK_DEFECT, bank=3, flip_probability=1.0)
+        )
+        rng = np.random.default_rng(0)
+        for t in range(30):
+            rank.read(3, int(rng.integers(0, 64)), int(rng.integers(0, 16)), float(t))
+        faults = coalesce(rank.ce_log)
+        assert faults.size == 1
+        assert faults["mode"][0] in (FaultMode.SINGLE_BANK, FaultMode.SINGLE_COLUMN)
+
+
+class TestDue:
+    def test_two_stuck_bits_in_one_word_due(self, rank):
+        """Two disagreeing cells in the same word defeat SEC-DED."""
+        produced_due = False
+        for bit_a, bit_b in ((0, 1), (2, 3), (4, 5), (6, 7)):
+            r = SimulatedRank(geometry=SMALL, seed=3)
+            r.inject(Defect(DefectKind.FLAKY_BIT, bank=0, row=0, column=0, bit=bit_a))
+            r.inject(Defect(DefectKind.FLAKY_BIT, bank=0, row=0, column=0, bit=bit_b))
+            r.read(0, 0, 0)
+            produced_due |= r.due_count > 0
+        assert produced_due
+
+    def test_due_not_logged_as_ce(self):
+        r = SimulatedRank(geometry=SMALL, seed=3)
+        r.inject(Defect(DefectKind.FLAKY_BIT, bank=0, row=0, column=0, bit=0))
+        r.inject(Defect(DefectKind.FLAKY_BIT, bank=0, row=0, column=0, bit=1))
+        r.read(0, 0, 0)
+        assert r.due_count == 1
+        assert r.ce_log.size == 0

@@ -1,0 +1,116 @@
+"""Tests for node internals: DIMM slots, sockets, channels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine.node import (
+    DIMM_SLOTS,
+    N_SLOTS,
+    NodeConfig,
+    channel_of_slot,
+    slot_index,
+    slot_letter,
+    slots_of_socket,
+    socket_of_slot,
+)
+
+
+class TestSlots:
+    def test_sixteen_slots(self):
+        assert N_SLOTS == 16
+        assert DIMM_SLOTS == tuple("ABCDEFGHIJKLMNOP")
+
+    def test_slot_index_roundtrip(self):
+        for i, letter in enumerate(DIMM_SLOTS):
+            assert slot_index(letter) == i
+            assert slot_letter(i) == letter
+
+    def test_slot_index_lowercase(self):
+        assert slot_index("j") == 9
+
+    def test_slot_index_unknown(self):
+        with pytest.raises(ValueError):
+            slot_index("Q")
+
+    def test_slot_letter_range(self):
+        with pytest.raises(ValueError):
+            slot_letter(16)
+        with pytest.raises(ValueError):
+            slot_letter(-1)
+
+
+class TestSocketAffinity:
+    def test_paper_assignment(self):
+        # "Slots A-H are associated with socket 0, and I-P with socket 1."
+        for letter in "ABCDEFGH":
+            assert socket_of_slot(letter) == 0
+        for letter in "IJKLMNOP":
+            assert socket_of_slot(letter) == 1
+
+    def test_vectorised_socket(self):
+        out = socket_of_slot(np.arange(16))
+        np.testing.assert_array_equal(out, np.repeat([0, 1], 8))
+
+    def test_socket_range_check(self):
+        with pytest.raises(ValueError):
+            socket_of_slot(np.array([16]))
+
+    def test_channels_cover_each_socket(self):
+        for socket in (0, 1):
+            chans = sorted(channel_of_slot(s) for s in slots_of_socket(socket))
+            assert chans == list(range(8))
+
+    def test_channel_by_letter(self):
+        assert channel_of_slot("A") == 0
+        assert channel_of_slot("H") == 7
+        assert channel_of_slot("I") == 0
+
+    def test_channel_range_check(self):
+        with pytest.raises(ValueError):
+            channel_of_slot(np.array([-1]))
+
+    def test_slots_of_socket_invalid(self):
+        with pytest.raises(ValueError):
+            slots_of_socket(2)
+
+
+class TestNodeConfig:
+    def test_astra_defaults(self):
+        cfg = NodeConfig()
+        assert cfg.n_cores == 56
+        assert cfg.dimms_per_socket == 8
+        assert cfg.dimms_per_node == 16
+        assert cfg.memory_per_node_gib == 128
+        assert cfg.ecc_scheme == "SEC-DED"
+
+    def test_table1_denominators(self):
+        cfg = NodeConfig()
+        assert cfg.system_dimm_count(2592) == 41472
+        assert cfg.system_processor_count(2592) == 5184
+
+    def test_astra_total_cores(self):
+        assert NodeConfig().n_cores * 2592 == 145152  # paper section 2.2
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            NodeConfig(n_sockets=0)
+        with pytest.raises(ValueError):
+            NodeConfig(channels_per_socket=0)
+        with pytest.raises(ValueError):
+            NodeConfig(ranks_per_dimm=0)
+
+    def test_negative_counts_rejected(self):
+        cfg = NodeConfig()
+        with pytest.raises(ValueError):
+            cfg.system_dimm_count(-1)
+        with pytest.raises(ValueError):
+            cfg.system_processor_count(-1)
+
+
+@given(st.integers(0, N_SLOTS - 1))
+def test_property_slot_consistency(idx):
+    letter = slot_letter(idx)
+    assert slot_index(letter) == idx
+    assert socket_of_slot(letter) == idx // 8
+    assert channel_of_slot(letter) == idx % 8

@@ -1,0 +1,120 @@
+"""Tests for the node sensor complement and slot->sensor wiring."""
+
+import numpy as np
+import pytest
+
+from repro.machine.node import DIMM_SLOTS, slot_index
+from repro.machine.sensors import (
+    DIMM_SENSOR_GROUPS,
+    NodeSensorComplement,
+    SensorKind,
+)
+
+
+@pytest.fixture(scope="module")
+def sensors():
+    return NodeSensorComplement()
+
+
+class TestComplement:
+    def test_seven_sensors(self, sensors):
+        assert len(sensors) == 7
+
+    def test_names(self, sensors):
+        assert sensors.names == (
+            "cpu0",
+            "cpu1",
+            "dimm_aceg",
+            "dimm_hfdb",
+            "dimm_ikmo",
+            "dimm_jlnp",
+            "dc_power",
+        )
+
+    def test_six_temperature_sensors(self, sensors):
+        assert len(sensors.temperature_sensors) == 6
+
+    def test_four_dimm_sensors(self, sensors):
+        assert len(sensors.dimm_sensors) == 4
+
+    def test_power_sensor(self, sensors):
+        p = sensors.power_sensor
+        assert p.kind is SensorKind.DC_POWER
+        assert p.socket == -1
+
+    def test_lookup_by_name_and_index(self, sensors):
+        s = sensors.by_name("dimm_jlnp")
+        assert sensors.by_index(s.index) is s
+
+    def test_unknown_name(self, sensors):
+        with pytest.raises(ValueError):
+            sensors.by_name("nope")
+
+    def test_bad_index(self, sensors):
+        with pytest.raises(ValueError):
+            sensors.by_index(7)
+
+
+class TestWiring:
+    def test_paper_groups(self):
+        # Section 2.2: A,C,E,G | H,F,D,B | I,K,M,O | J,L,N,P
+        assert DIMM_SENSOR_GROUPS == (
+            ("A", "C", "E", "G"),
+            ("H", "F", "D", "B"),
+            ("I", "K", "M", "O"),
+            ("J", "L", "N", "P"),
+        )
+
+    def test_groups_partition_slots(self):
+        covered = sorted(l for g in DIMM_SENSOR_GROUPS for l in g)
+        assert covered == sorted(DIMM_SLOTS)
+
+    def test_sensor_for_slot_letter(self, sensors):
+        assert sensors.sensor_for_slot("A").name == "dimm_aceg"
+        assert sensors.sensor_for_slot("B").name == "dimm_hfdb"
+        assert sensors.sensor_for_slot("O").name == "dimm_ikmo"
+        assert sensors.sensor_for_slot("P").name == "dimm_jlnp"
+
+    def test_sensor_socket_affinity(self, sensors):
+        for letter in DIMM_SLOTS:
+            s = sensors.sensor_for_slot(letter)
+            assert s.socket == slot_index(letter) // 8
+
+    def test_vectorised_slot_lookup(self, sensors):
+        idx = sensors.sensor_index_for_slot(np.arange(16))
+        # every DIMM sensor covers exactly four slots
+        counts = np.bincount(idx, minlength=7)
+        assert counts[2:6].tolist() == [4, 4, 4, 4]
+        assert counts[:2].sum() == 0 and counts[6] == 0
+
+    def test_slot_lookup_range(self, sensors):
+        with pytest.raises(ValueError):
+            sensors.sensor_index_for_slot(np.array([16]))
+
+    def test_covers_slot(self, sensors):
+        s = sensors.by_name("dimm_aceg")
+        assert s.covers_slot("a")
+        assert not s.covers_slot("B")
+
+
+class TestValidity:
+    def test_valid_temperature(self, sensors):
+        assert sensors.is_valid_sample(0, 65.0)
+
+    def test_invalid_temperature(self, sensors):
+        assert not sensors.is_valid_sample(0, 250.0)
+        assert not sensors.is_valid_sample(0, -5.0)
+
+    def test_invalid_power(self, sensors):
+        assert not sensors.is_valid_sample(6, 5000.0)
+        assert sensors.is_valid_sample(6, 300.0)
+
+    def test_nan_invalid(self, sensors):
+        assert not sensors.is_valid_sample(3, float("nan"))
+
+    def test_vectorised_validity(self, sensors):
+        idx = np.array([0, 0, 6, 6])
+        vals = np.array([60.0, 200.0, 300.0, 10.0])
+        np.testing.assert_array_equal(
+            sensors.is_valid_sample(idx, vals), [True, False, True, False]
+        )

@@ -1,0 +1,148 @@
+"""Tests for the rack/chassis/node topology model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine.topology import (
+    REGION_BOTTOM,
+    REGION_MIDDLE,
+    REGION_NAMES,
+    REGION_TOP,
+    AstraTopology,
+)
+
+
+@pytest.fixture(scope="module")
+def astra():
+    return AstraTopology()
+
+
+class TestSizes:
+    def test_astra_node_count(self, astra):
+        assert astra.n_nodes == 2592
+
+    def test_nodes_per_rack(self, astra):
+        assert astra.nodes_per_rack == 72
+
+    def test_chassis_per_region(self, astra):
+        assert astra.chassis_per_region == 6
+
+    def test_nodes_per_region(self, astra):
+        assert astra.nodes_per_region == 24
+
+    def test_custom_topology(self):
+        topo = AstraTopology(n_racks=2, chassis_per_rack=3, nodes_per_chassis=2)
+        assert topo.n_nodes == 12
+        assert topo.chassis_per_region == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            AstraTopology(n_racks=0)
+
+    def test_rejects_indivisible_chassis(self):
+        with pytest.raises(ValueError):
+            AstraTopology(chassis_per_rack=16)
+
+
+class TestMapping:
+    def test_node_id_zero(self, astra):
+        assert astra.node_id(0, 0, 0) == 0
+
+    def test_node_id_last(self, astra):
+        assert astra.node_id(35, 17, 3) == 2591
+
+    def test_node_id_vectorised(self, astra):
+        ids = astra.node_id(np.array([0, 1]), np.array([0, 0]), np.array([0, 0]))
+        assert list(ids) == [0, 72]
+
+    def test_node_id_range_checks(self, astra):
+        with pytest.raises(ValueError):
+            astra.node_id(36, 0, 0)
+        with pytest.raises(ValueError):
+            astra.node_id(0, 18, 0)
+        with pytest.raises(ValueError):
+            astra.node_id(0, 0, 4)
+
+    def test_inverse_scalar(self, astra):
+        node = astra.node_id(7, 11, 2)
+        assert astra.rack_of(node) == 7
+        assert astra.chassis_of(node) == 11
+        assert astra.slot_of(node) == 2
+
+    def test_roundtrip_all_nodes(self, astra):
+        ids = astra.all_node_ids()
+        back = astra.node_id(
+            astra.rack_of(ids), astra.chassis_of(ids), astra.slot_of(ids)
+        )
+        np.testing.assert_array_equal(back, ids)
+
+    def test_id_out_of_range(self, astra):
+        with pytest.raises(ValueError):
+            astra.rack_of(2592)
+        with pytest.raises(ValueError):
+            astra.rack_of(-1)
+
+    def test_non_integer_ids_rejected(self, astra):
+        with pytest.raises(TypeError):
+            astra.rack_of(np.array([0.5]))
+
+
+class TestRegions:
+    def test_region_boundaries(self, astra):
+        # chassis 0-5 bottom, 6-11 middle, 12-17 top
+        assert astra.region_of(astra.node_id(0, 0, 0)) == REGION_BOTTOM
+        assert astra.region_of(astra.node_id(0, 5, 3)) == REGION_BOTTOM
+        assert astra.region_of(astra.node_id(0, 6, 0)) == REGION_MIDDLE
+        assert astra.region_of(astra.node_id(0, 11, 3)) == REGION_MIDDLE
+        assert astra.region_of(astra.node_id(0, 12, 0)) == REGION_TOP
+        assert astra.region_of(astra.node_id(0, 17, 3)) == REGION_TOP
+
+    def test_regions_partition_evenly(self, astra):
+        regions = astra.region_of(astra.all_node_ids())
+        counts = np.bincount(regions, minlength=3)
+        assert counts.tolist() == [864, 864, 864]
+
+    def test_region_names(self):
+        assert REGION_NAMES == ("bottom", "middle", "top")
+
+    def test_nodes_in_region(self, astra):
+        bottom = astra.nodes_in_region(0, REGION_BOTTOM)
+        assert len(bottom) == astra.nodes_per_region
+        assert np.all(astra.region_of(bottom) == REGION_BOTTOM)
+        assert np.all(astra.rack_of(bottom) == 0)
+
+    def test_nodes_in_region_rejects_bad_region(self, astra):
+        with pytest.raises(ValueError):
+            astra.nodes_in_region(0, 3)
+
+
+class TestLocate:
+    def test_locate_fields(self, astra):
+        loc = astra.locate(astra.node_id(3, 13, 1))
+        assert (loc.rack, loc.chassis, loc.slot) == (3, 13, 1)
+        assert loc.region == REGION_TOP
+        assert loc.region_name == "top"
+
+    def test_nodes_in_rack(self, astra):
+        nodes = astra.nodes_in_rack(35)
+        assert len(nodes) == 72
+        assert np.all(astra.rack_of(nodes) == 35)
+
+    def test_nodes_in_rack_range(self, astra):
+        with pytest.raises(ValueError):
+            astra.nodes_in_rack(36)
+
+
+@given(
+    rack=st.integers(0, 35),
+    chassis=st.integers(0, 17),
+    slot=st.integers(0, 3),
+)
+def test_property_roundtrip(rack, chassis, slot):
+    topo = AstraTopology()
+    node = topo.node_id(rack, chassis, slot)
+    assert 0 <= node < topo.n_nodes
+    loc = topo.locate(node)
+    assert (loc.rack, loc.chassis, loc.slot) == (rack, chassis, slot)
+    assert loc.region == chassis // 6

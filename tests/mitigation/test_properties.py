@@ -1,0 +1,75 @@
+"""Property-based tests for the mitigation simulators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mitigation.exclude_list import ExcludeListPolicy, simulate_exclude_list
+from repro.mitigation.page_retirement import (
+    PageRetirementPolicy,
+    simulate_page_retirement,
+)
+from util import bit_error, make_errors
+
+
+@st.composite
+def error_streams(draw):
+    n = draw(st.integers(2, 120))
+    rows = []
+    t = 0.0
+    for _ in range(n):
+        t += draw(st.floats(0.1, 5000.0))
+        rows.append(
+            bit_error(
+                node=draw(st.integers(0, 4)),
+                slot=draw(st.integers(0, 3)),
+                bank=draw(st.integers(0, 3)),
+                column=draw(st.integers(0, 3)),
+                address=draw(st.sampled_from([0x1000, 0x2000, 0x90000, 0xA0000])),
+                t=t,
+            )
+        )
+    return make_errors(rows)
+
+
+@given(error_streams(), st.integers(1, 8))
+@settings(max_examples=30, deadline=None)
+def test_property_retirement_monotone_in_threshold(errors, threshold):
+    """A lower threshold never avoids fewer errors."""
+    low = simulate_page_retirement(errors, PageRetirementPolicy(threshold=threshold))
+    high = simulate_page_retirement(
+        errors, PageRetirementPolicy(threshold=threshold + 1)
+    )
+    assert low.errors_avoided >= high.errors_avoided
+    assert low.pages_retired >= high.pages_retired
+
+
+@given(error_streams())
+@settings(max_examples=30, deadline=None)
+def test_property_retirement_accounting(errors):
+    report = simulate_page_retirement(errors)
+    assert 0 <= report.errors_avoided <= report.total_errors
+    assert report.retired_bytes == report.pages_retired * report.policy.page_bytes
+    assert 0.0 <= report.avoided_fraction <= 1.0
+
+
+@given(error_streams(), st.integers(1, 30))
+@settings(max_examples=30, deadline=None)
+def test_property_exclude_monotone_in_budget(errors, budget):
+    """A smaller CE budget never avoids fewer errors."""
+    tight = simulate_exclude_list(
+        errors, ExcludeListPolicy(ce_budget=budget, window_s=1e9)
+    )
+    loose = simulate_exclude_list(
+        errors, ExcludeListPolicy(ce_budget=budget + 5, window_s=1e9)
+    )
+    assert tight.errors_avoided >= loose.errors_avoided
+    assert tight.nodes_excluded >= loose.nodes_excluded
+
+
+@given(error_streams())
+@settings(max_examples=30, deadline=None)
+def test_property_exclude_accounting(errors):
+    report = simulate_exclude_list(errors)
+    assert 0 <= report.errors_avoided <= report.total_errors
+    assert report.node_seconds_lost >= 0.0

@@ -1,0 +1,86 @@
+"""Tests for the shard-parallel engine."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.counts import counts_by
+from repro.faults.coalesce import coalesce
+from repro.machine.topology import AstraTopology
+from repro.parallel.executor import ShardMapReduce, parallel_coalesce
+from repro.parallel.sharding import merge_counts, merge_fault_arrays, shard_errors
+
+
+class TestSharding:
+    def test_shards_partition_records(self, small_campaign):
+        shards = shard_errors(small_campaign.errors, small_campaign.topology)
+        assert sum(s.size for s in shards) == small_campaign.errors.size
+
+    def test_shards_pure_by_rack(self, small_campaign):
+        topo = small_campaign.topology
+        for shard in shard_errors(small_campaign.errors, topo):
+            assert np.unique(topo.rack_of(shard["node"])).size == 1
+
+    def test_empty_stream(self):
+        from repro.faults.types import empty_errors
+
+        assert shard_errors(empty_errors(0)) == []
+
+    def test_merge_counts(self):
+        out = merge_counts([np.array([1, 2]), np.array([3, 4, 5])])
+        assert out.tolist() == [4, 6, 5]
+
+    def test_merge_validation(self):
+        with pytest.raises(ValueError):
+            merge_counts([])
+        with pytest.raises(ValueError):
+            merge_fault_arrays([])
+
+
+class TestParallelCoalesce:
+    def test_serial_equals_whole_stream(self, small_campaign):
+        serial = coalesce(small_campaign.errors)
+        sharded = parallel_coalesce(
+            small_campaign.errors, small_campaign.topology, n_workers=0
+        )
+        assert sharded.size == serial.size
+        # Same ordering convention: compare everything except fault_id.
+        for field in serial.dtype.names:
+            if field == "fault_id":
+                continue
+            np.testing.assert_array_equal(sharded[field], serial[field])
+
+    def test_process_pool_equals_serial(self, small_campaign):
+        serial = parallel_coalesce(
+            small_campaign.errors, small_campaign.topology, n_workers=0
+        )
+        parallel = parallel_coalesce(
+            small_campaign.errors, small_campaign.topology, n_workers=2
+        )
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_fault_ids_dense(self, small_campaign):
+        out = parallel_coalesce(small_campaign.errors, small_campaign.topology)
+        np.testing.assert_array_equal(out["fault_id"], np.arange(out.size))
+
+
+class TestMapReduce:
+    def test_custom_aggregation(self, small_campaign):
+        """Per-slot error counts via map-reduce equal the direct count."""
+        engine = ShardMapReduce(
+            map_fn=_slot_counts, reduce_fn=merge_counts, n_workers=0
+        )
+        out = engine.run(small_campaign.errors, small_campaign.topology)
+        direct, _ = counts_by(small_campaign.errors, "slot")
+        np.testing.assert_array_equal(out, direct)
+
+    def test_empty_input(self):
+        from repro.faults.types import empty_errors
+
+        engine = ShardMapReduce(
+            map_fn=_slot_counts, reduce_fn=lambda ps: ps, n_workers=0
+        )
+        assert engine.run(empty_errors(0)) == []
+
+
+def _slot_counts(shard):
+    return counts_by(shard, "slot")[0]

@@ -1,0 +1,101 @@
+"""Integration tests for campaign generation (small scale)."""
+
+import numpy as np
+import pytest
+
+from repro.faults.coalesce import CoalesceOptions
+from repro.faults.types import validate_errors
+from repro.synth import CampaignGenerator
+
+
+class TestCampaign:
+    def test_components_present(self, small_campaign):
+        c = small_campaign
+        assert c.errors.size > 0
+        assert c.replacements.size > 0
+        assert c.het.size > 0
+        assert c.population.faults.size > 0
+
+    def test_errors_validate(self, small_campaign):
+        validate_errors(small_campaign.errors)
+
+    def test_n_errors_property(self, small_campaign):
+        assert small_campaign.n_errors == small_campaign.errors.size
+
+    def test_faults_cached(self, small_campaign):
+        a = small_campaign.faults()
+        b = small_campaign.faults()
+        assert a is b
+
+    def test_faults_custom_options_not_cached(self, small_campaign):
+        a = small_campaign.faults()
+        b = small_campaign.faults(CoalesceOptions(split_banks=False))
+        assert a is not b
+        assert b.size <= a.size
+
+    def test_deterministic(self):
+        a = CampaignGenerator(seed=3, scale=0.01).generate()
+        b = CampaignGenerator(seed=3, scale=0.01).generate()
+        np.testing.assert_array_equal(a.errors, b.errors)
+        np.testing.assert_array_equal(a.replacements, b.replacements)
+        np.testing.assert_array_equal(a.het, b.het)
+
+    def test_coalescing_recovers_population(self, small_campaign):
+        faults = small_campaign.faults()
+        assert faults.size == small_campaign.population.faults.size
+
+    def test_sensor_model_attached(self, small_campaign):
+        from repro._util import epoch
+
+        v = small_campaign.sensors.value(0, 0, epoch("2019-06-01"))
+        assert 40 < v < 90
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            CampaignGenerator(scale=0)
+
+
+@pytest.mark.slow
+class TestFullScaleCalibration:
+    """The paper's headline quantities, on the full-volume campaign."""
+
+    def test_total_errors(self, full_campaign):
+        assert full_campaign.n_errors == 4_369_731
+
+    def test_error_node_count(self, full_campaign):
+        nodes = np.unique(full_campaign.errors["node"])
+        assert nodes.size == 1013
+
+    def test_zero_node_fraction(self, full_campaign):
+        per_node = np.bincount(full_campaign.errors["node"], minlength=2592)
+        assert (per_node == 0).mean() > 0.60
+
+    def test_top8_concentration(self, full_campaign):
+        per_node = np.bincount(full_campaign.errors["node"], minlength=2592)
+        top = np.sort(per_node)[::-1]
+        assert top[:8].sum() / top.sum() > 0.50
+
+    def test_top2pct_concentration(self, full_campaign):
+        per_node = np.bincount(full_campaign.errors["node"], minlength=2592)
+        top = np.sort(per_node)[::-1]
+        share = top[:52].sum() / top.sum()
+        assert 0.85 < share < 0.95
+
+    def test_max_errors_per_fault(self, full_campaign):
+        faults = full_campaign.faults()
+        assert 88_000 <= faults["n_errors"].max() <= 95_000
+
+    def test_median_errors_per_fault_is_one(self, full_campaign):
+        faults = full_campaign.faults()
+        assert np.median(faults["n_errors"]) == 1
+
+    def test_mode_error_totals(self, full_campaign):
+        from repro.faults.classify import errors_per_mode
+        from repro.faults.types import FaultMode
+
+        epm = errors_per_mode(full_campaign.faults())
+        assert epm[FaultMode.SINGLE_BIT] == pytest.approx(1_412_738, rel=0.02)
+        assert epm[FaultMode.SINGLE_WORD] == pytest.approx(31_055, rel=0.05)
+        assert epm[FaultMode.SINGLE_COLUMN] == pytest.approx(54_126, rel=0.05)
+        assert epm[FaultMode.SINGLE_BANK] == pytest.approx(7_658, rel=0.10)
+        assert epm[FaultMode.UNATTRIBUTED] == pytest.approx(2_864_154, rel=0.01)

@@ -1,0 +1,105 @@
+"""Tests for the calibration constants."""
+
+import dataclasses
+
+import pytest
+
+from repro._util import DAY_S
+from repro.synth.config import PaperCalibration
+
+
+@pytest.fixture(scope="module")
+def cal():
+    return PaperCalibration()
+
+
+class TestPaperNumbers:
+    def test_total_errors(self, cal):
+        assert cal.total_errors == 4_369_731
+
+    def test_mode_totals(self, cal):
+        assert cal.errors_single_bit == 1_412_738
+        assert cal.errors_single_word == 31_055
+        assert cal.errors_single_column == 54_126
+        assert cal.errors_single_bank == 7_658
+
+    def test_unattributed_remainder(self, cal):
+        assert cal.errors_unattributed == 4_369_731 - (
+            1_412_738 + 31_055 + 54_126 + 7_658
+        )
+        assert cal.errors_unattributed > 0
+
+    def test_concentration_targets(self, cal):
+        assert cal.n_error_nodes == 1013
+        assert cal.top8_error_share_min == 0.50
+        assert cal.top2pct_error_share == 0.90
+        assert cal.max_errors_per_fault == 91_000
+
+    def test_replacement_totals(self, cal):
+        assert cal.replaced_processors == 836
+        assert cal.replaced_motherboards == 46
+        assert cal.replaced_dimms == 1515
+
+    def test_due_rate_and_fit(self, cal):
+        assert cal.due_per_dimm_year == pytest.approx(0.00948)
+        # FIT = failures per 1e9 device-hours.
+        fit = cal.due_per_dimm_year / (24 * 365) * 1e9
+        assert fit == pytest.approx(cal.fit_per_dimm, rel=0.01)
+
+    def test_windows_ordered(self, cal):
+        for w in (cal.error_window, cal.inventory_window, cal.sensor_window):
+            assert w[0] < w[1]
+        # HET recording starts inside the error window.
+        assert cal.error_window[0] < cal.het_recording_start < cal.error_window[1]
+
+    def test_error_window_length(self, cal):
+        # Jan 20 to Sep 14 2019 is 237 days.
+        assert cal.error_days == pytest.approx(237.0)
+
+    def test_errors_per_node_day(self, cal):
+        # Paper: "around six per node per day, on average".
+        per_node_day = cal.total_errors / (2592 * cal.error_days)
+        assert 5.0 < per_node_day < 8.0
+
+    def test_sensor_window_inside_error_handling(self, cal):
+        assert cal.sensor_window[0] > cal.error_window[0]
+
+
+class TestScaling:
+    def test_scaled_count_identity(self, cal):
+        assert cal.scaled_count(100, 1.0) == 100
+
+    def test_scaled_count_floor_one(self, cal):
+        assert cal.scaled_count(5, 0.01) == 1
+
+    def test_scaled_zero_stays_zero(self, cal):
+        assert cal.scaled_count(0, 0.5) == 0
+
+    def test_scale_must_be_positive(self, cal):
+        with pytest.raises(ValueError):
+            cal.scaled_count(10, 0.0)
+
+
+class TestValidation:
+    def test_default_is_valid(self, cal):
+        cal.validate()
+
+    def test_mode_overflow_rejected(self, cal):
+        bad = dataclasses.replace(cal, errors_single_bit=5_000_000)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_region_shares_must_sum(self, cal):
+        bad = dataclasses.replace(cal, region_fault_shares=(0.5, 0.5, 0.5))
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_storm_regions_length(self, cal):
+        bad = dataclasses.replace(cal, storm_regions=(0, 1))
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_singleton_fraction_bounds(self, cal):
+        bad = dataclasses.replace(cal, singleton_fault_fraction=1.0)
+        with pytest.raises(ValueError):
+            bad.validate()

@@ -1,0 +1,117 @@
+"""Tests for the counterfactual temperature-coupled campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.temperature import errored_dimm_sensor
+from repro.synth.counterfactual import (
+    apply_placement_coupling,
+    apply_temperature_coupling,
+)
+from repro.faults.coalesce import coalesce
+
+
+class TestTemporalCoupling:
+    def test_thins_stream(self, small_campaign):
+        kept = apply_temperature_coupling(
+            small_campaign.errors, small_campaign.sensors, keep_fraction=0.5
+        )
+        assert 0 < kept.size < small_campaign.errors.size
+        assert kept.size == pytest.approx(0.5 * small_campaign.errors.size, rel=0.1)
+
+    def test_retention_biased_toward_heat(self, small_campaign):
+        """Surviving errors sit at hotter instants than dropped ones."""
+        c = small_campaign
+        kept = apply_temperature_coupling(
+            c.errors, c.sensors, doubling_deg_c=2.0, seed=0
+        )
+        all_temps = c.sensors.temperature(
+            c.errors["node"].astype(np.int64),
+            errored_dimm_sensor(c.errors),
+            c.errors["time"],
+        )
+        kept_temps = c.sensors.temperature(
+            kept["node"].astype(np.int64),
+            errored_dimm_sensor(kept),
+            kept["time"],
+        )
+        assert kept_temps.mean() > all_temps.mean() + 0.2
+
+    def test_time_order_preserved(self, small_campaign):
+        kept = apply_temperature_coupling(
+            small_campaign.errors, small_campaign.sensors
+        )
+        assert np.all(np.diff(kept["time"]) >= 0)
+
+    def test_coalescable(self, small_campaign):
+        kept = apply_temperature_coupling(
+            small_campaign.errors, small_campaign.sensors
+        )
+        faults = coalesce(kept)
+        assert 0 < faults.size <= small_campaign.faults().size
+
+    def test_deterministic(self, small_campaign):
+        a = apply_temperature_coupling(
+            small_campaign.errors, small_campaign.sensors, seed=4
+        )
+        b = apply_temperature_coupling(
+            small_campaign.errors, small_campaign.sensors, seed=4
+        )
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self, small_campaign):
+        with pytest.raises(ValueError):
+            apply_temperature_coupling(np.zeros(3), small_campaign.sensors)
+        with pytest.raises(ValueError):
+            apply_temperature_coupling(
+                small_campaign.errors, small_campaign.sensors, doubling_deg_c=0
+            )
+        with pytest.raises(ValueError):
+            apply_temperature_coupling(
+                small_campaign.errors, small_campaign.sensors, keep_fraction=0
+            )
+
+
+class TestPlacementCoupling:
+    def test_streams_move_intact(self, small_campaign):
+        c = small_campaign
+        moved = apply_placement_coupling(c.errors, c.sensors, c.topology, seed=2)
+        assert moved.size == c.errors.size
+        # The multiset of per-node error counts is preserved.
+        old = np.sort(np.unique(c.errors["node"], return_counts=True)[1])
+        new = np.sort(np.unique(moved["node"], return_counts=True)[1])
+        np.testing.assert_array_equal(old, new)
+
+    def test_new_nodes_hotter(self, small_campaign):
+        c = small_campaign
+        moved = apply_placement_coupling(
+            c.errors, c.sensors, c.topology, doubling_deg_c=1.0, seed=2
+        )
+        t = float(c.errors["time"].mean())
+
+        def mean_dimm_temp(nodes):
+            nodes = np.unique(nodes)
+            return float(
+                np.mean(
+                    [
+                        c.sensors.temperature(nodes, np.full(nodes.size, s), t)
+                        for s in (2, 3, 4, 5)
+                    ]
+                )
+            )
+
+        assert mean_dimm_temp(moved["node"]) > mean_dimm_temp(c.errors["node"]) + 0.2
+
+    def test_fault_count_preserved(self, small_campaign):
+        c = small_campaign
+        moved = apply_placement_coupling(c.errors, c.sensors, c.topology, seed=2)
+        assert coalesce(moved).size == c.faults().size
+
+    def test_validation(self, small_campaign):
+        c = small_campaign
+        with pytest.raises(ValueError):
+            apply_placement_coupling(np.zeros(3), c.sensors, c.topology)
+        with pytest.raises(ValueError):
+            apply_placement_coupling(
+                c.errors, c.sensors, c.topology, doubling_deg_c=-1
+            )

@@ -1,0 +1,143 @@
+"""Tests for error expansion and the CE logging model."""
+
+import numpy as np
+import pytest
+
+from repro.faults.coalesce import CoalesceOptions, coalesce
+from repro.faults.types import NO_ROW, FaultMode, empty_errors, validate_errors
+from repro.synth.errors import apply_ce_logging, expand_errors
+from repro.synth.population import FaultPopulationGenerator
+
+
+@pytest.fixture(scope="module")
+def population():
+    return FaultPopulationGenerator(seed=5, scale=0.03).generate()
+
+
+@pytest.fixture(scope="module")
+def errors(population):
+    return expand_errors(population.faults, seed=11)
+
+
+class TestExpansion:
+    def test_counts_match_plan(self, population, errors):
+        assert errors.size == population.total_errors
+
+    def test_records_validate(self, errors):
+        validate_errors(errors)
+
+    def test_time_ordered(self, errors):
+        assert np.all(np.diff(errors["time"]) >= 0)
+
+    def test_rows_absent_by_default(self, errors):
+        assert np.all(errors["row"] == NO_ROW)
+
+    def test_rows_emitted_on_request(self, population):
+        e = expand_errors(population.faults, seed=11, emit_rows=True)
+        attributed = e["bank"] >= 0
+        assert np.all(e["row"][attributed] >= 0)
+        assert np.all(e["row"][~attributed] == NO_ROW)
+
+    def test_deterministic(self, population):
+        a = expand_errors(population.faults, seed=11)
+        b = expand_errors(population.faults, seed=11)
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_population(self):
+        out = expand_errors(np.zeros(0, dtype=FaultPopulationGenerator(seed=0).generate().faults.dtype))
+        assert out.size == 0
+
+    def test_coalescing_recovers_population(self, population, errors):
+        faults = coalesce(errors)
+        assert faults.size == population.faults.size
+        assert faults["n_errors"].sum() == errors.size
+
+    def test_mode_error_totals_survive_coalescing(self, population, errors):
+        """Classified per-mode error totals approximate the planned ones.
+
+        Singleton faults of looser modes legitimately classify as
+        single-bit (one error carries no structure), so single-bit may
+        gain a little and the others lose their singletons.
+        """
+        faults = coalesce(errors)
+        planned = {
+            m: int(
+                population.faults["n_errors"][
+                    population.faults["mode"] == m
+                ].sum()
+            )
+            for m in FaultMode
+        }
+        got = {
+            m: int(faults["n_errors"][faults["mode"] == m].sum())
+            for m in FaultMode
+        }
+        # Unattributed totals must match exactly (no drift possible).
+        assert got[FaultMode.UNATTRIBUTED] == planned[FaultMode.UNATTRIBUTED]
+        # Heavy-mode totals within 5%.
+        for m in (FaultMode.SINGLE_BIT, FaultMode.SINGLE_COLUMN):
+            assert got[m] == pytest.approx(planned[m], rel=0.05)
+
+    def test_single_column_errors_share_column(self, population, errors):
+        faults = coalesce(errors)
+        col_faults = faults[faults["mode"] == FaultMode.SINGLE_COLUMN]
+        assert col_faults.size > 0
+        assert np.all(col_faults["column"] >= 0)
+
+    def test_syndromes_match_bits(self, errors):
+        from repro.machine.dram import SecDed72
+
+        code = SecDed72()
+        valid = errors["bit_pos"] >= 0
+        expected = code.syndrome_of_position(
+            errors["bit_pos"][valid].astype(np.int64)
+        )
+        np.testing.assert_array_equal(errors["syndrome"][valid], expected)
+
+
+class TestCeLogging:
+    def _burst(self, n, t0=0.0, dt=0.01, node=0):
+        e = empty_errors(n)
+        e["time"] = t0 + np.arange(n) * dt
+        e["node"] = node
+        return e
+
+    def test_burst_truncated_to_buffer(self):
+        burst = self._burst(100)  # 1 second burst, one poll window
+        kept = apply_ce_logging(burst, buffer_slots=16, poll_period_s=5.0)
+        assert kept.size == 16
+
+    def test_slow_errors_all_kept(self):
+        slow = self._burst(20, dt=10.0)  # one error per poll window
+        kept = apply_ce_logging(slow, buffer_slots=16, poll_period_s=5.0)
+        assert kept.size == 20
+
+    def test_nodes_independent(self):
+        a = self._burst(100, node=1)
+        b = self._burst(100, node=2)
+        both = np.concatenate([a, b])
+        kept = apply_ce_logging(both, buffer_slots=16, poll_period_s=5.0)
+        assert kept.size == 32
+
+    def test_empty(self):
+        assert apply_ce_logging(empty_errors(0)).size == 0
+
+    def test_keeps_earliest_of_each_window(self):
+        burst = self._burst(10)
+        kept = apply_ce_logging(burst, buffer_slots=3, poll_period_s=5.0)
+        np.testing.assert_array_equal(kept["time"], burst["time"][:3])
+
+    def test_parameter_validation(self):
+        e = self._burst(1)
+        with pytest.raises(ValueError):
+            apply_ce_logging(e, buffer_slots=0)
+        with pytest.raises(ValueError):
+            apply_ce_logging(e, poll_period_s=0)
+        with pytest.raises(ValueError):
+            apply_ce_logging(np.zeros(3))
+
+    def test_monotone_in_buffer_size(self):
+        burst = self._burst(50)
+        k8 = apply_ce_logging(burst, buffer_slots=8).size
+        k32 = apply_ce_logging(burst, buffer_slots=32).size
+        assert k8 <= k32

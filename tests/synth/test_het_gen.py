@@ -1,0 +1,96 @@
+"""Tests for the HET (uncorrectable error) generator."""
+
+import numpy as np
+import pytest
+
+from repro._util import DAY_S
+from repro.synth.config import PaperCalibration
+from repro.synth.het import (
+    EVENT_TYPES,
+    NON_RECOVERABLE_EVENTS,
+    HetGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return HetGenerator(seed=4, scale=1.0)
+
+
+@pytest.fixture(scope="module")
+def events(gen):
+    return gen.generate()
+
+
+class TestFirmwareGap:
+    def test_no_events_before_recording_start(self, gen, events):
+        assert events["time"].min() >= gen.recording_window[0]
+
+    def test_recording_window_matches_calibration(self, gen):
+        cal = PaperCalibration()
+        assert gen.recording_window == (
+            cal.het_recording_start,
+            cal.error_window[1],
+        )
+
+
+class TestDueRate:
+    def test_expected_due_count(self, gen):
+        # 41,472 DIMMs x 0.00948/yr x (22/365) yr ~ 23.7
+        assert gen.expected_dues() == pytest.approx(23.7, rel=0.05)
+
+    def test_generated_due_count_near_expectation(self, events, gen):
+        dues = events[events["non_recoverable"]]
+        assert dues.size == round(gen.expected_dues())
+
+    def test_due_rate_recovers_paper_value(self, gen, events):
+        dues = int(events["non_recoverable"].sum())
+        t0, t1 = gen.recording_window
+        years = (t1 - t0) / (365 * DAY_S)
+        n_dimms = 41472
+        rate = dues / (n_dimms * years)
+        assert rate == pytest.approx(0.00948, rel=0.10)
+
+
+class TestEventVocabulary:
+    def test_paper_legend(self):
+        assert "redundacyLost" in EVENT_TYPES  # vendor spelling, verbatim
+        assert "uncorrectableECC" in EVENT_TYPES
+        assert "uncorrectableMachineCheckException" in EVENT_TYPES
+        assert len(EVENT_TYPES) == 8
+
+    def test_non_recoverable_subset(self):
+        names = {EVENT_TYPES[i] for i in NON_RECOVERABLE_EVENTS}
+        assert names == {
+            "uncorrectableECC",
+            "uncorrectableMachineCheckException",
+        }
+
+    def test_severity_flag_matches_event_type(self, events):
+        nr = np.isin(events["event"], NON_RECOVERABLE_EVENTS)
+        np.testing.assert_array_equal(nr, events["non_recoverable"])
+
+    def test_recoverable_events_present(self, events):
+        assert (~events["non_recoverable"]).sum() > 0
+
+
+class TestMechanics:
+    def test_time_ordered(self, events):
+        assert np.all(np.diff(events["time"]) >= 0)
+
+    def test_nodes_in_range(self, events):
+        assert np.all((events["node"] >= 0) & (events["node"] < 2592))
+
+    def test_deterministic(self):
+        a = HetGenerator(seed=4).generate()
+        b = HetGenerator(seed=4).generate()
+        np.testing.assert_array_equal(a, b)
+
+    def test_scale(self):
+        small = HetGenerator(seed=4, scale=0.1).generate()
+        big = HetGenerator(seed=4, scale=1.0).generate()
+        assert small.size < big.size
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            HetGenerator(scale=0)

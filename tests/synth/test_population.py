@@ -1,0 +1,173 @@
+"""Tests for the fault population generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.types import FaultMode
+from repro.machine.topology import AstraTopology
+from repro.synth.config import PaperCalibration
+from repro.synth.population import (
+    FaultPopulationGenerator,
+    _ladder,
+    _powerlaw_node_counts,
+)
+
+
+@pytest.fixture(scope="module")
+def pop():
+    return FaultPopulationGenerator(seed=3, scale=0.05).generate()
+
+
+class TestLadder:
+    def test_exact_total(self):
+        rng = np.random.default_rng(0)
+        counts = _ladder(rng, 100, 5000, 1000, 0.7)
+        assert counts.sum() == 5000
+        assert counts.size == 100
+
+    def test_all_positive(self):
+        rng = np.random.default_rng(1)
+        counts = _ladder(rng, 50, 200, 80, 0.7)
+        assert np.all(counts >= 1)
+
+    def test_median_is_one(self):
+        rng = np.random.default_rng(2)
+        counts = _ladder(rng, 200, 20000, 5000, 0.7)
+        assert np.median(counts) == 1
+
+    def test_head_near_max(self):
+        rng = np.random.default_rng(3)
+        counts = _ladder(rng, 1000, 500_000, 91_000, 0.7)
+        assert 0.8 * 91_000 <= counts.max() <= 1.3 * 91_000
+
+    def test_single_fault(self):
+        rng = np.random.default_rng(4)
+        counts = _ladder(rng, 1, 42, 91, 0.7)
+        assert counts.tolist() == [42]
+
+    def test_zero_faults(self):
+        rng = np.random.default_rng(5)
+        assert _ladder(rng, 0, 0, 10, 0.7).size == 0
+
+    def test_infeasible_rejected(self):
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError):
+            _ladder(rng, 10, 5, 100, 0.7)
+
+    @given(
+        n=st.integers(2, 300),
+        mult=st.floats(1.0, 50.0),
+        frac=st.floats(0.1, 0.9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_total_and_positivity(self, n, mult, frac):
+        rng = np.random.default_rng(7)
+        total = int(n * mult)
+        counts = _ladder(rng, n, total, max(total // 2, 2), frac)
+        assert counts.sum() == total
+        assert np.all(counts >= 1)
+
+
+class TestPowerlawNodeCounts:
+    def test_exact_total(self):
+        rng = np.random.default_rng(0)
+        counts = _powerlaw_node_counts(rng, 100, 700, 60)
+        assert counts.sum() == 700
+        assert np.all((counts >= 1) & (counts <= 60))
+
+    def test_skewed_shape(self):
+        rng = np.random.default_rng(1)
+        counts = _powerlaw_node_counts(rng, 500, 3500, 60)
+        # power-law-ish: the median is well under the mean
+        assert np.median(counts) < counts.mean()
+
+    def test_empty(self):
+        rng = np.random.default_rng(2)
+        assert _powerlaw_node_counts(rng, 0, 0, 60).size == 0
+
+
+class TestPopulation:
+    def test_deterministic(self):
+        a = FaultPopulationGenerator(seed=3, scale=0.05).generate()
+        b = FaultPopulationGenerator(seed=3, scale=0.05).generate()
+        np.testing.assert_array_equal(a.faults, b.faults)
+
+    def test_seed_changes_output(self):
+        a = FaultPopulationGenerator(seed=3, scale=0.05).generate()
+        b = FaultPopulationGenerator(seed=4, scale=0.05).generate()
+        assert not np.array_equal(a.faults, b.faults)
+
+    def test_total_errors_match_scaled_target(self, pop):
+        cal = PaperCalibration()
+        expected = sum(
+            max(cal.scaled_count(t, 0.05), cal.scaled_count(n, 0.05))
+            for n, t in [
+                (cal.n_faults_single_bit, cal.errors_single_bit),
+                (cal.n_faults_single_word, cal.errors_single_word),
+                (cal.n_faults_single_column, cal.errors_single_column),
+                (cal.n_faults_single_bank, cal.errors_single_bank),
+                (cal.n_faults_unattributed, cal.errors_unattributed),
+            ]
+        )
+        assert pop.total_errors == expected
+
+    def test_locations_unique_per_node(self, pop):
+        f = pop.faults
+        keys = set(
+            zip(
+                f["node"].tolist(),
+                f["slot"].tolist(),
+                f["rank"].tolist(),
+                f["bank"].tolist(),
+            )
+        )
+        assert len(keys) == f.size
+
+    def test_unattributed_payload_sentinels(self, pop):
+        un = pop.faults[pop.faults["mode"] == FaultMode.UNATTRIBUTED]
+        assert un.size > 0
+        assert np.all(un["bank"] == -1)
+        assert np.all(un["column"] == -1)
+        assert np.all(un["bit_pos"] == -1)
+        assert np.all(un["address"] == 0)
+
+    def test_attributed_payload_ranges(self, pop):
+        at = pop.faults[pop.faults["mode"] != FaultMode.UNATTRIBUTED]
+        assert np.all((at["bank"] >= 0) & (at["bank"] < 16))
+        assert np.all((at["column"] >= 0) & (at["column"] < 1024))
+        assert np.all((at["bit_pos"] >= 0) & (at["bit_pos"] < 72))
+
+    def test_socket_follows_slot(self, pop):
+        f = pop.faults
+        np.testing.assert_array_equal(f["socket"], f["slot"] // 8)
+
+    def test_times_inside_window(self, pop):
+        cal = PaperCalibration()
+        f = pop.faults
+        assert np.all(f["start_time"] >= cal.error_window[0])
+        assert np.all(f["start_time"] + f["duration"] <= cal.error_window[1] + 1e-6)
+
+    def test_storm_node_tiers_disjoint(self, pop):
+        tiers = (
+            set(pop.storm_nodes.tolist()),
+            set(pop.hot_nodes.tolist()),
+            set(pop.normal_nodes.tolist()),
+        )
+        assert not (tiers[0] & tiers[1])
+        assert not (tiers[0] & tiers[2])
+        assert not (tiers[1] & tiers[2])
+
+    def test_spike_rack_hosts_first_storm(self, pop):
+        topo = AstraTopology()
+        assert topo.rack_of(int(pop.storm_nodes[0])) == 31
+
+    def test_small_topology_supported(self):
+        topo = AstraTopology(n_racks=2, chassis_per_rack=6, nodes_per_chassis=2)
+        gen = FaultPopulationGenerator(seed=0, scale=0.01, topology=topo)
+        population = gen.generate()
+        assert np.all(population.faults["node"] < topo.n_nodes)
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPopulationGenerator(scale=0.0)

@@ -1,0 +1,107 @@
+"""Cross-cutting property-based tests of the synth -> analysis pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.coalesce import coalesce, errors_with_fault_ids
+from repro.machine.dram import AddressMap
+from repro.synth.errors import apply_ce_logging, expand_errors
+from repro.synth.population import FaultPopulationGenerator
+
+
+@st.composite
+def tiny_populations(draw):
+    seed = draw(st.integers(0, 200))
+    scale = draw(st.sampled_from([0.002, 0.005, 0.01]))
+    return FaultPopulationGenerator(seed=seed, scale=scale).generate()
+
+
+@given(tiny_populations())
+@settings(max_examples=15, deadline=None)
+def test_property_coalescing_inverts_generation(population):
+    """coalesce(expand(plan)) recovers the planned population exactly:
+    same fault count, same per-location error counts."""
+    errors = expand_errors(population.faults, seed=1)
+    faults = coalesce(errors)
+    assert faults.size == population.faults.size
+    key = lambda f: (f["node"], f["slot"], f["rank"], f["bank"])
+    planned = {}
+    for f in population.faults:
+        planned[(int(f["node"]), int(f["slot"]), int(f["rank"]), int(f["bank"]))] = int(
+            f["n_errors"]
+        )
+    for f in faults:
+        k = (int(f["node"]), int(f["slot"]), int(f["rank"]), int(f["bank"]))
+        assert planned[k] == int(f["n_errors"])
+
+
+@given(tiny_populations(), st.integers(0, 50))
+@settings(max_examples=15, deadline=None)
+def test_property_expansion_respects_windows(population, seed):
+    errors = expand_errors(population.faults, seed=seed)
+    start = population.faults["start_time"].min()
+    end = (population.faults["start_time"] + population.faults["duration"]).max()
+    assert errors["time"].min() >= start - 1e-6
+    assert errors["time"].max() <= end + 1e-6
+
+
+@given(tiny_populations())
+@settings(max_examples=10, deadline=None)
+def test_property_coalescing_permutation_invariant(population):
+    """Shuffling the log does not change the recovered faults."""
+    errors = expand_errors(population.faults, seed=2)
+    rng = np.random.default_rng(0)
+    shuffled = errors[rng.permutation(errors.size)]
+    a = coalesce(errors)
+    b = coalesce(shuffled)
+    np.testing.assert_array_equal(a, b)
+
+
+@given(
+    tiny_populations(),
+    st.integers(2, 64),
+    st.sampled_from([1.0, 5.0, 30.0]),
+)
+@settings(max_examples=10, deadline=None)
+def test_property_ce_logging_is_subset_and_idempotent(population, slots, poll):
+    errors = expand_errors(population.faults, seed=3)
+    kept = apply_ce_logging(errors, buffer_slots=slots, poll_period_s=poll)
+    assert kept.size <= errors.size
+    again = apply_ce_logging(kept, buffer_slots=slots, poll_period_s=poll)
+    assert again.size == kept.size  # surviving stream passes untouched
+
+
+@given(tiny_populations())
+@settings(max_examples=10, deadline=None)
+def test_property_fault_ids_consistent_with_locations(population):
+    errors = expand_errors(population.faults, seed=4)
+    faults, ids = errors_with_fault_ids(errors)
+    # Every error's location fields match its assigned fault's.
+    for field in ("node", "slot", "rank"):
+        np.testing.assert_array_equal(errors[field], faults[field][ids])
+
+
+@given(
+    socket=st.integers(0, 1),
+    channel=st.integers(0, 7),
+    rank=st.integers(0, 1),
+    bank=st.integers(0, 15),
+    row=st.integers(0, 32767),
+    column=st.integers(0, 1023),
+    offset=st.integers(0, 63),
+)
+@settings(max_examples=80)
+def test_property_address_roundtrip(socket, channel, rank, bank, row, column, offset):
+    amap = AddressMap()
+    addr = amap.encode(socket, channel, rank, bank, row, column, offset)
+    out = amap.decode(addr)
+    assert out == dict(
+        socket=socket,
+        channel=channel,
+        rank=rank,
+        bank=bank,
+        row=row,
+        column=column,
+        offset=offset,
+    )

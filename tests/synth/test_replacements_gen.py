@@ -1,0 +1,112 @@
+"""Tests for the hardware replacement generator."""
+
+import numpy as np
+import pytest
+
+from repro._util import DAY_S
+from repro.synth.config import PaperCalibration
+from repro.synth.replacements import Component, ReplacementGenerator
+
+
+@pytest.fixture(scope="module")
+def events():
+    return ReplacementGenerator(seed=1, scale=1.0).generate()
+
+
+class TestTotals:
+    def test_table1_totals(self, events):
+        counts = np.bincount(events["component"], minlength=3)
+        assert counts[Component.PROCESSOR] == 836
+        assert counts[Component.MOTHERBOARD] == 46
+        assert counts[Component.DIMM] == 1515
+
+    def test_scaled_totals(self):
+        ev = ReplacementGenerator(seed=1, scale=0.1).generate()
+        counts = np.bincount(ev["component"], minlength=3)
+        assert counts[Component.PROCESSOR] == 84
+        assert counts[Component.DIMM] == 152
+
+    def test_time_ordered_and_in_window(self, events):
+        cal = PaperCalibration()
+        assert np.all(np.diff(events["time"]) >= 0)
+        assert events["time"].min() >= cal.inventory_window[0]
+        assert events["time"].max() <= cal.inventory_window[1]
+
+    def test_deterministic(self):
+        a = ReplacementGenerator(seed=1).generate()
+        b = ReplacementGenerator(seed=1).generate()
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFieldSemantics:
+    def test_sockets_only_for_processors(self, events):
+        procs = events[events["component"] == Component.PROCESSOR]
+        others = events[events["component"] != Component.PROCESSOR]
+        assert np.all(procs["socket"] >= 0)
+        assert np.all(others["socket"] == -1)
+
+    def test_slots_only_for_dimms(self, events):
+        dimms = events[events["component"] == Component.DIMM]
+        others = events[events["component"] != Component.DIMM]
+        assert np.all((dimms["slot"] >= 0) & (dimms["slot"] < 16))
+        assert np.all(others["slot"] == -1)
+
+    def test_nodes_in_range(self, events):
+        assert np.all((events["node"] >= 0) & (events["node"] < 2592))
+
+    def test_labels(self):
+        assert Component.PROCESSOR.label == "Processors"
+        assert Component.DIMM.label == "DIMMs"
+
+
+class TestTemporalShape:
+    """Figure 3's qualitative features."""
+
+    def _daily(self, events, component):
+        cal = PaperCalibration()
+        sel = events[events["component"] == component]
+        days = ((sel["time"] - cal.inventory_window[0]) // DAY_S).astype(int)
+        n_days = int((cal.inventory_window[1] - cal.inventory_window[0]) // DAY_S)
+        return np.bincount(days, minlength=n_days)
+
+    def test_infant_mortality_everywhere(self, events):
+        for component in Component:
+            daily = self._daily(events, component)
+            first_month = daily[:30].sum()
+            third_month = daily[60:90].sum()
+            assert first_month > third_month
+
+    def test_processor_upgrade_uptick(self, events):
+        daily = self._daily(events, Component.PROCESSOR)
+        # The upgrade window (~day 130) beats the quiet period before it.
+        assert daily[118:142].sum() > 2 * daily[60:84].sum()
+
+    def test_motherboard_late_uptick(self, events):
+        daily = self._daily(events, Component.MOTHERBOARD)
+        assert daily[160:180].sum() >= daily[60:80].sum()
+
+    def test_dimm_midperiod_elevation(self, events):
+        daily = self._daily(events, Component.DIMM)
+        assert daily[85:125].sum() > daily[40:80].sum()
+
+    def test_dimm_steady_tail(self, events):
+        daily = self._daily(events, Component.DIMM)
+        tail = daily[130:190]
+        assert tail.sum() > 0
+        # steady: no 20-day gap in the tail
+        assert max(np.diff(np.flatnonzero(np.append(tail, 1)))) < 20
+
+    def test_endgame_burst(self, events):
+        daily = self._daily(events, Component.PROCESSOR)
+        assert daily[-10:].sum() > daily[-30:-20].sum()
+
+    def test_weights_normalised(self):
+        gen = ReplacementGenerator(seed=0)
+        for component in Component:
+            w = gen.daily_weights(component)
+            assert w.sum() == pytest.approx(1.0)
+            assert np.all(w >= 0)
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            ReplacementGenerator(scale=-1)

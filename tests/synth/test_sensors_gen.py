@@ -1,0 +1,141 @@
+"""Tests for the stateless sensor field model."""
+
+import numpy as np
+import pytest
+
+from repro._util import epoch
+from repro.synth.sensors import (
+    INVALID_POWER_VALUE,
+    INVALID_TEMP_VALUE,
+    SensorFieldModel,
+)
+
+T0 = epoch("2019-06-01")
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SensorFieldModel(seed=9)
+
+
+class TestDeterminism:
+    def test_same_query_same_answer(self, model):
+        t = T0 + np.arange(100) * 60.0
+        a = model.temperature(5, 0, t)
+        b = model.temperature(5, 0, t)
+        np.testing.assert_array_equal(a, b)
+
+    def test_subset_consistency(self, model):
+        """Evaluating a subset gives the same values as the full query."""
+        t = T0 + np.arange(50) * 60.0
+        full = model.value(np.full(50, 7), np.full(50, 3), t)
+        part = model.value(np.full(10, 7), np.full(10, 3), t[20:30])
+        np.testing.assert_array_equal(full[20:30], part)
+
+    def test_seed_changes_values(self):
+        a = SensorFieldModel(seed=1).temperature(0, 0, T0)
+        b = SensorFieldModel(seed=2).temperature(0, 0, T0)
+        assert a != b
+
+
+class TestPhysicalStructure:
+    def test_cpu_band(self, model):
+        t = T0 + np.arange(0, 86400 * 7, 600.0)
+        temps = model.temperature(np.full(t.size, 100), np.zeros(t.size, int), t)
+        assert 45 < temps.mean() < 80
+        assert temps.std() < 6
+
+    def test_dimm_band(self, model):
+        t = T0 + np.arange(0, 86400 * 7, 600.0)
+        temps = model.temperature(np.full(t.size, 100), np.full(t.size, 2), t)
+        assert 30 < temps.mean() < 55
+
+    def test_socket0_hotter_on_average(self, model):
+        t = T0 + np.arange(0, 86400 * 14, 3600.0)
+        cpu0 = model.temperature(np.full(t.size, 42), np.zeros(t.size, int), t)
+        cpu1 = model.temperature(np.full(t.size, 42), np.ones(t.size, int), t)
+        assert cpu0.mean() > cpu1.mean()
+
+    def test_power_band(self, model):
+        t = T0 + np.arange(0, 86400 * 7, 600.0)
+        p = model.power(np.full(t.size, 9), t)
+        assert 230 < p.mean() < 390
+        assert p.min() > 150
+        assert p.max() < 450
+
+    def test_power_tracks_utilization(self, model):
+        t = T0 + np.arange(0, 86400 * 30, 3600.0)
+        u = model.utilization(np.full(t.size, 9), t)
+        p = model.power(np.full(t.size, 9), t)
+        assert np.corrcoef(u, p)[0, 1] > 0.9
+
+    def test_temperature_tracks_utilization(self, model):
+        t = T0 + np.arange(0, 86400 * 30, 3600.0)
+        u = model.utilization(np.full(t.size, 9), t)
+        temp = model.temperature(np.full(t.size, 9), np.zeros(t.size, int), t)
+        assert np.corrcoef(u, temp)[0, 1] > 0.5
+
+    def test_utilization_bounds(self, model):
+        t = T0 + np.arange(0, 86400 * 30, 3600.0)
+        u = model.utilization(np.arange(t.size) % 100, t)
+        assert np.all((u >= 0) & (u <= 1))
+
+    def test_power_sensor_rejected_for_temperature(self, model):
+        with pytest.raises(ValueError):
+            model.temperature(0, 6, T0)
+
+
+class TestValueDispatch:
+    def test_value_routes_power(self, model):
+        v = model.value(3, 6, T0)
+        assert 150 < v < 450  # watts, not degrees
+
+    def test_value_routes_temperature(self, model):
+        v = model.value(3, 0, T0)
+        assert 40 < v < 90
+
+    def test_mixed_sensor_array(self, model):
+        sens = np.array([0, 6, 2, 6])
+        v = model.value(np.zeros(4, int), sens, np.full(4, T0))
+        assert v[1] > 100 and v[3] > 100  # power
+        assert v[0] < 100 and v[2] < 100  # temperatures
+
+
+class TestInvalidSamples:
+    def test_invalid_fraction_below_one_percent(self, model):
+        t = T0 + np.arange(100_000) * 60.0
+        bad = model.invalid_mask(np.arange(100_000) % 500, np.zeros(100_000, int), t)
+        assert 0 < bad.mean() < 0.01
+
+    def test_raw_samples_inject_sentinels(self, model):
+        t = T0 + np.arange(200_000) * 60.0
+        nodes = np.arange(200_000) % 2592
+        temps = model.raw_samples(nodes, np.zeros(t.size, int), t)
+        powers = model.raw_samples(nodes, np.full(t.size, 6), t)
+        assert (temps == INVALID_TEMP_VALUE).any()
+        assert (powers == INVALID_POWER_VALUE).any()
+
+
+class TestWindowMean:
+    def test_matches_direct_average(self, model):
+        t_end = T0 + 86400.0
+        direct = model.temperature(
+            np.full(2000, 17), np.full(2000, 2), t_end - np.arange(2000) * 30.0
+        ).mean()
+        wm = model.window_mean(17, 2, t_end, 86400.0 * 0.694)  # ~span of samples
+        # Same field, different grids: agree within noise.
+        assert wm == pytest.approx(direct, abs=1.5)
+
+    def test_vectorised(self, model):
+        ends = T0 + np.arange(5) * 3600.0
+        out = model.window_mean(np.full(5, 3), np.full(5, 2), ends, 3600.0)
+        assert out.shape == (5,)
+
+    def test_window_must_be_positive(self, model):
+        with pytest.raises(ValueError):
+            model.window_mean(0, 0, T0, 0.0)
+
+    def test_long_window_bounded_grid(self, model):
+        # A one-month window must not blow memory: capped sample count.
+        out = model.window_mean(1, 2, T0 + 86400 * 30, 86400.0 * 30)
+        assert np.isfinite(out)

@@ -1,0 +1,83 @@
+"""Smoke tests: every example script runs and tells the paper's story."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "coalesced into" in out
+    assert "single-bit" in out
+    assert "top-8 nodes hold" in out
+
+
+def test_log_pipeline():
+    out = run_example("log_pipeline.py")
+    assert "0 malformed" in out
+    assert "replacements recovered by diffing" in out
+    assert "NON-RECOVERABLE" in out
+
+
+def test_mitigation_study():
+    out = run_example("mitigation_study.py")
+    assert "page retirement" in out
+    assert "node exclude list" in out
+
+
+def test_temperature_study():
+    out = run_example("temperature_study.py")
+    assert "NOT correlated" in out
+    assert "decile span" in out
+
+
+def test_ecc_tradeoff():
+    out = run_example("ecc_tradeoff.py")
+    assert "chipkill" in out
+    assert "miscorrect" in out
+
+
+def test_mechanistic_demo():
+    out = run_example("mechanistic_demo.py")
+    assert "coalesced into 3 faults" in out
+    assert "single-bank" in out
+
+
+def test_fleet_triage():
+    out = run_example("fleet_triage.py")
+    assert "rack heat map" in out
+    assert "exclude-list candidates" in out
+    assert "DIMM slots by fault count" in out
+
+
+@pytest.mark.slow
+def test_scaling_study():
+    out = run_example("scaling_study.py")
+    assert "error nodes" in out
+    assert "stabilise" in out
+
+
+@pytest.mark.slow
+def test_full_reproduction_paper_scale():
+    """The flagship example exits 0 (every shape claim holds) at full
+    volume; reduced scales are demo-only (some claims are statistical
+    and need the paper's data volume)."""
+    out = run_example("full_reproduction.py", "--scale", "1.0")
+    assert "reproduction report" in out
+    assert "fig15" in out
+    assert "[FAIL]" not in out

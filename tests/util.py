@@ -1,0 +1,39 @@
+"""Shared helpers for building small record arrays in tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.types import empty_errors
+
+
+def make_errors(rows: list[dict]) -> np.ndarray:
+    """Build a CE record array from a list of field dicts.
+
+    Unspecified fields keep the defaults from ``empty_errors`` (sentinels
+    for positional fields, zeros elsewhere).
+    """
+    out = empty_errors(len(rows))
+    for i, row in enumerate(rows):
+        for key, value in row.items():
+            out[i][key] = value
+    return out
+
+
+def bit_error(node=0, slot=0, rank=0, bank=0, column=5, bit=3, address=None, t=0.0, row=-1):
+    """One CE record dict for a specific bit; address defaults per-column."""
+    if address is None:
+        address = 1000 + column * 64
+    return dict(
+        time=t,
+        node=node,
+        socket=slot // 8,
+        slot=slot,
+        rank=rank,
+        bank=bank,
+        row=row,
+        column=column,
+        bit_pos=bit,
+        address=address,
+        syndrome=0,
+    )
