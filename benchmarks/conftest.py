@@ -14,11 +14,16 @@ OUTPUT_DIR = Path(__file__).parent / "output"
 
 @pytest.fixture(scope="session")
 def paper_campaign():
-    """The full-volume campaign, generated once, faults pre-coalesced."""
-    from repro.synth import CampaignGenerator
+    """The full-volume campaign with faults pre-coalesced.
 
-    campaign = CampaignGenerator(seed=7, scale=1.0).generate()
-    campaign.faults()  # warm the coalescing cache out of the timed region
+    Served through the persistent campaign cache: the first benchmark
+    session generates and stores it; subsequent sessions load the binary
+    mirrors (faults included) and start timing immediately.
+    """
+    from repro.run import CampaignCache
+
+    campaign, _ = CampaignCache().get_or_generate(seed=7, scale=1.0)
+    campaign.faults()  # already warm on a cache hit; no-op then
     return campaign
 
 

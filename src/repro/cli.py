@@ -13,6 +13,11 @@ Examples::
     astra-memrepro analyze /tmp/camp --exp fig05 fig12
     astra-memrepro experiment --exp fig04 --scale 0.1
     astra-memrepro experiment --all --scale 1.0 > report.txt
+    astra-memrepro experiment --all --jobs 4 --json-report run.json
+
+Repeated ``experiment``/``analyze`` invocations reuse the campaign
+cache (``--cache-dir``, default ``~/.cache/astra-memrepro`` or
+``$ASTRA_MEMREPRO_CACHE_DIR``); ``--no-cache`` disables it.
 """
 
 from __future__ import annotations
@@ -28,6 +33,32 @@ def _add_common_gen_args(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=1.0,
         help="volume scale; 1.0 = the paper's 4.37M CEs",
+    )
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="run experiments in N parallel worker processes (0/1 = serial)",
+    )
+    parser.add_argument(
+        "--json-report",
+        metavar="PATH",
+        default=None,
+        help="also write a machine-readable JSON run report to PATH",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="campaign cache directory (default: $ASTRA_MEMREPRO_CACHE_DIR "
+        "or ~/.cache/astra-memrepro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the campaign cache entirely",
     )
 
 
@@ -53,12 +84,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument(
         "--exp", nargs="*", default=None, help="experiment ids (default: all)"
     )
+    _add_run_args(p_analyze)
 
     p_exp = sub.add_parser("experiment", help="generate in memory and run experiments")
     _add_common_gen_args(p_exp)
     group = p_exp.add_mutually_exclusive_group(required=True)
-    group.add_argument("--exp", nargs="*", help="experiment ids")
+    group.add_argument("--exp", nargs="*", help="experiment ids (empty = all)")
     group.add_argument("--all", action="store_true", help="run every experiment")
+    _add_run_args(p_exp)
 
     p_mit = sub.add_parser(
         "mitigate", help="run the mitigation simulators on a campaign"
@@ -90,18 +123,88 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_experiments(campaign, exp_ids) -> int:
+def _resolve_exp_ids(exp_ids):
+    """Normalise a CLI ``--exp`` value to a concrete id list.
+
+    ``None`` *and* an empty list mean "run all paper experiments"
+    (matching the help-text default; a bare ``--exp`` no longer silently
+    runs nothing).  Unknown ids raise ``SystemExit(2)`` with a friendly
+    message instead of a traceback.
+    """
     from repro import experiments
 
-    if exp_ids is None:
-        exp_ids = [e for e, _ in experiments.list_experiments()]
-    failed = 0
+    if not exp_ids:
+        return [e for e, _ in experiments.list_experiments()]
+    known = {e for e, _ in experiments.list_experiments(include_extensions=True)}
+    unknown = [e for e in exp_ids if e not in known]
+    if unknown:
+        print(
+            f"error: unknown experiment id(s): {', '.join(unknown)}\n"
+            f"known ids: {', '.join(sorted(known))}\n"
+            "hint: 'astra-memrepro list' shows every registered experiment",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return list(exp_ids)
+
+
+def _validate_json_report(json_report) -> None:
+    """Fail fast (exit 2) on an unwritable --json-report destination."""
+    from pathlib import Path
+
+    if not json_report:
+        return
+    parent = Path(json_report).resolve().parent
+    if not parent.is_dir():
+        print(
+            f"error: --json-report directory does not exist: {parent}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+
+
+def _make_cache(cache_dir):
+    """Build a CampaignCache, rejecting a path that is not a directory."""
+    from repro.run import CampaignCache
+
+    cache = CampaignCache(cache_dir)
+    if cache.directory.exists() and not cache.directory.is_dir():
+        print(
+            f"error: cache dir exists and is not a directory: {cache.directory}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return cache
+
+
+def _run_experiments(
+    campaign,
+    exp_ids,
+    jobs: int = 0,
+    json_report=None,
+    cache_outcome=None,
+    campaign_dir=None,
+) -> int:
+    from repro.run import ExperimentRunner
+
+    _validate_json_report(json_report)
+    exp_ids = _resolve_exp_ids(exp_ids)
+    runner = ExperimentRunner(jobs=jobs, campaign_dir=campaign_dir)
+    results, report = runner.run(campaign, exp_ids)
+    if cache_outcome is not None:
+        report.cache = cache_outcome.to_dict()
     for exp_id in exp_ids:
-        result = experiments.run(exp_id, campaign)
-        print(result.render())
+        if exp_id in results:
+            print(results[exp_id].render())
+        else:
+            metric = next(m for m in report.experiments if m.exp_id == exp_id)
+            print(f"== {exp_id} ==\n  ERROR: {metric.error}")
         print()
-        failed += not result.all_checks_pass
-    return 1 if failed else 0
+    print(report.summary())
+    if json_report:
+        report.write(json_report)
+        print(f"wrote JSON run report to {json_report}")
+    return 0 if report.all_pass else 1
 
 
 def main(argv=None) -> int:
@@ -135,14 +238,49 @@ def main(argv=None) -> int:
             load_campaign_records,
         )
 
-        campaign = campaign_from_records(load_campaign_records(args.directory))
-        return _run_experiments(campaign, args.exp)
+        # Validate cheap things (ids, report path) before the expensive
+        # campaign load / fault coalescing.
+        exp_ids = _resolve_exp_ids(args.exp)
+        _validate_json_report(args.json_report)
+        records = load_campaign_records(args.directory)
+        outcome = None
+        if args.no_cache:
+            campaign = campaign_from_records(records)
+        else:
+            campaign, outcome = _make_cache(args.cache_dir).warm_from_records(
+                records
+            )
+        return _run_experiments(
+            campaign,
+            exp_ids,
+            jobs=args.jobs,
+            json_report=args.json_report,
+            cache_outcome=outcome,
+            campaign_dir=args.directory,
+        )
 
     if args.command == "experiment":
-        from repro.synth import CampaignGenerator
+        exp_ids = _resolve_exp_ids(None if args.all else args.exp)
+        _validate_json_report(args.json_report)
+        outcome = None
+        campaign_dir = None
+        if args.no_cache:
+            from repro.synth import CampaignGenerator
 
-        campaign = CampaignGenerator(seed=args.seed, scale=args.scale).generate()
-        return _run_experiments(campaign, None if args.all else args.exp)
+            campaign = CampaignGenerator(seed=args.seed, scale=args.scale).generate()
+        else:
+            campaign, outcome = _make_cache(args.cache_dir).get_or_generate(
+                seed=args.seed, scale=args.scale
+            )
+            campaign_dir = outcome.path
+        return _run_experiments(
+            campaign,
+            exp_ids,
+            jobs=args.jobs,
+            json_report=args.json_report,
+            cache_outcome=outcome,
+            campaign_dir=campaign_dir,
+        )
 
     if args.command == "mitigate":
         from repro.mitigation import (

@@ -64,7 +64,7 @@ class ExperimentResult:
                 if isinstance(values, np.ndarray):
                     fh.write("index,value\n")
                     for i, v in enumerate(values.ravel()):
-                        fh.write(f"{i},{v:g}\n")
+                        fh.write(f"{i},{_fmt_scalar(v)}\n")
                 elif isinstance(values, (list, tuple)) and values and isinstance(
                     values[0], tuple
                 ):
@@ -73,7 +73,7 @@ class ExperimentResult:
                 elif isinstance(values, dict):
                     for key, val in values.items():
                         if isinstance(val, np.ndarray):
-                            flat = ",".join(f"{x:g}" for x in val.ravel())
+                            flat = ",".join(_fmt_scalar(x) for x in val.ravel())
                         else:
                             flat = str(val)
                         fh.write(f"{key},{flat}\n")
@@ -111,13 +111,21 @@ def _render_series(values, max_rows: int) -> list[str]:
     return [f"  {_fmt_value(values)}"]
 
 
+def _fmt_scalar(x) -> str:
+    """``:g`` for anything float-convertible, ``str()`` otherwise."""
+    try:
+        return format(float(x), "g")
+    except (TypeError, ValueError):
+        return str(x)
+
+
 def _fmt_value(val) -> str:
     if isinstance(val, np.ndarray):
         if val.size > 24:
-            head = ", ".join(f"{x:g}" for x in val.ravel()[:24])
+            head = ", ".join(_fmt_scalar(x) for x in val.ravel()[:24])
             body = f"[{head}, ... ({val.size} values)]"
         else:
-            body = "[" + ", ".join(f"{x:g}" for x in val.ravel()) + "]"
+            body = "[" + ", ".join(_fmt_scalar(x) for x in val.ravel()) + "]"
         spark = sparkline(val)
         return f"{body}\n    {spark}" if spark else body
     if isinstance(val, float):
@@ -135,7 +143,10 @@ def sparkline(values, width: int = 60) -> str:
     density ramp -- enough to see the Figure 3 bursts or the Figure 12
     rack spike directly in the text report.
     """
-    arr = np.asarray(values, dtype=np.float64).ravel()
+    try:
+        arr = np.asarray(values, dtype=np.float64).ravel()
+    except (TypeError, ValueError):
+        return ""  # non-numeric series have no sparkline
     if arr.size < 4 or not np.all(np.isfinite(arr)):
         return ""
     if arr.size > width:

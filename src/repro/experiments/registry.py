@@ -83,8 +83,19 @@ def run(exp_id: str, campaign, **params) -> ExperimentResult:
 
 
 def run_all(
-    campaign, include_extensions: bool = False, **params
+    campaign, include_extensions: bool = False, jobs: int = 0, **params
 ) -> dict[str, ExperimentResult]:
-    """Run every experiment; returns results keyed by exp id."""
+    """Run every experiment; returns results keyed by exp id.
+
+    ``jobs > 1`` delegates to :class:`repro.run.ExperimentRunner` for a
+    process-parallel fan-out with serial fallback.  Per-experiment
+    ``params`` force the serial path (the runner runs defaults only).
+    """
     modules = _MODULES + (_EXTENSION_MODULES if include_extensions else ())
+    if jobs > 1 and not params:
+        from repro.run.runner import ExperimentRunner
+
+        runner = ExperimentRunner(jobs=jobs, include_extensions=include_extensions)
+        results, _ = runner.run(campaign)
+        return results
     return {module.EXP_ID: module.run(campaign, **params) for module in modules}

@@ -52,23 +52,33 @@ def shard_by_rack(
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     racks = topo.rack_of(errors["node"]) if errors.size else np.zeros(0, np.int64)
+    # Pad rack numbers to the topology's width so shards past rack 99
+    # still list lexicographically in rack order.
+    width = max(2, len(str(topo.n_racks - 1)))
     paths = []
     for rack in range(topo.n_racks):
         shard = errors[racks == rack]
         if shard.size == 0:
             continue
-        path = directory / f"{prefix}{rack:02d}.npy"
+        path = directory / f"{prefix}{rack:0{width}d}.npy"
         save_records(path, shard)
         paths.append(path)
     return paths
 
 
 def load_shards(paths, expected_dtype=None) -> np.ndarray:
-    """Concatenate shards back into one time-ordered stream."""
+    """Concatenate shards back into one stream.
+
+    Streams with a ``"time"`` field come back time-ordered; structured
+    arrays without one (e.g. derived or aggregate records) concatenate
+    in shard order.
+    """
     parts = [load_records(p, expected_dtype) for p in paths]
     if not parts:
         if expected_dtype is None:
             raise ValueError("no shards and no dtype to build an empty array")
         return np.zeros(0, dtype=expected_dtype)
     out = np.concatenate(parts)
-    return out[np.argsort(out["time"], kind="stable")]
+    if "time" in (out.dtype.names or ()):
+        return out[np.argsort(out["time"], kind="stable")]
+    return out

@@ -1,0 +1,38 @@
+"""Run subsystem: campaign caching, parallel experiment execution, run reports.
+
+Sridharan-style coalescing studies are repeated batch analyses over a
+fixed telemetry corpus; this subpackage makes that shape fast:
+
+- :mod:`repro.run.cache` -- a content-addressed :class:`CampaignCache`
+  keyed on (seed, scale, calibration fingerprint, package version) that
+  persists generated campaigns (including the coalesced fault stream)
+  via the :mod:`repro.logs.campaign_io` binary mirrors, so repeated CLI
+  runs, benchmarks, and tests skip minutes of regeneration;
+- :mod:`repro.run.runner` -- an :class:`ExperimentRunner` that executes
+  registered experiments concurrently with a process pool (experiments
+  are independent read-only consumers of the campaign arrays), with a
+  graceful serial fallback when workers fail;
+- :mod:`repro.run.report` -- per-experiment wall-time/record-count
+  metrics and a machine-readable JSON :class:`RunReport`.
+"""
+
+from repro.run.cache import (
+    CacheOutcome,
+    CampaignCache,
+    calibration_fingerprint,
+    campaign_key,
+    default_cache_dir,
+)
+from repro.run.report import ExperimentMetrics, RunReport
+from repro.run.runner import ExperimentRunner
+
+__all__ = [
+    "CacheOutcome",
+    "CampaignCache",
+    "ExperimentMetrics",
+    "ExperimentRunner",
+    "RunReport",
+    "calibration_fingerprint",
+    "campaign_key",
+    "default_cache_dir",
+]

@@ -1,0 +1,337 @@
+"""Content-addressed campaign cache.
+
+A cache entry is keyed on everything that determines a generated
+campaign bit-for-bit: the RNG seed, the volume scale, a fingerprint of
+the calibration constants, and the package version.  Entries are stored
+as ordinary campaign directories (the :mod:`repro.logs.campaign_io`
+binary mirrors -- an entry is itself loadable with ``astra-memrepro
+analyze``), plus the coalesced fault stream (``faults.npy``) and a
+``meta.json`` provenance record.
+
+Invalidation is purely by key: changing the seed, the scale, any
+calibration constant, or upgrading the package lands on a different
+entry and regenerates.  Corrupt or truncated entries (checksum mismatch,
+missing files) are treated as misses and rewritten.
+
+Entries carry a provenance flag: ``"generated"`` entries were produced
+by :class:`repro.synth.CampaignGenerator` inside this cache and may
+satisfy :meth:`CampaignCache.get_or_generate`; ``"adopted"`` entries
+were copied from a user-supplied campaign directory by
+:meth:`CampaignCache.warm_from_records` and are only served back after
+their record streams are verified equal to that directory's -- they
+never masquerade as freshly generated data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import time
+import uuid
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.synth.config import PaperCalibration
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "ASTRA_MEMREPRO_CACHE_DIR"
+
+_META_NAME = "meta.json"
+_FAULTS_NAME = "faults.npy"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$ASTRA_MEMREPRO_CACHE_DIR``, else XDG cache."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "astra-memrepro"
+
+
+def calibration_fingerprint(calibration: PaperCalibration | None = None) -> str:
+    """Stable short hash of every calibration constant.
+
+    Any edit to a :class:`PaperCalibration` field changes the
+    fingerprint and therefore invalidates cached campaigns.
+    """
+    calibration = calibration or PaperCalibration()
+    payload = {
+        f.name: repr(getattr(calibration, f.name)) for f in fields(calibration)
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def campaign_key(
+    seed: int, scale: float, calibration: PaperCalibration | None = None
+) -> str:
+    """Content-address for a generated campaign.
+
+    Covers (seed, scale, calibration fingerprint, package version) --
+    the full input surface of :class:`repro.synth.CampaignGenerator`
+    under default machine config.
+    """
+    blob = json.dumps(
+        {
+            "seed": int(seed),
+            "scale": repr(float(scale)),
+            "calibration": calibration_fingerprint(calibration),
+            "version": repro.__version__,
+        },
+        sort_keys=True,
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()[:24]
+
+
+@dataclass
+class CacheOutcome:
+    """What the cache did for one request (reported in the JSON report)."""
+
+    key: str
+    path: str
+    hit: bool
+    generate_s: float = 0.0
+    load_s: float = 0.0
+    store_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def _errors_checksum(errors: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(errors).tobytes()).hexdigest()
+
+
+class CampaignCache:
+    """Persistent store of generated campaigns under a cache directory."""
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+
+    # ------------------------------------------------------------------
+    def entry_path(self, key: str) -> Path:
+        """Directory holding the entry for ``key`` (may not exist)."""
+        return self.directory / key
+
+    # ------------------------------------------------------------------
+    def get_or_generate(
+        self,
+        seed: int = 0,
+        scale: float = 1.0,
+        calibration: PaperCalibration | None = None,
+    ):
+        """Return ``(campaign, outcome)``, generating and storing on miss.
+
+        A hit rebuilds a fully analysable campaign: record streams come
+        from the entry's binary mirrors, the coalesced fault stream is
+        pre-warmed from ``faults.npy``, and the ground-truth population
+        and sensor field are regenerated deterministically from the seed
+        (both are cheap next to error expansion and coalescing).
+        """
+        key = campaign_key(seed, scale, calibration)
+        t0 = time.perf_counter()
+        campaign = self._load(key, seed, scale, calibration)
+        if campaign is not None:
+            outcome = CacheOutcome(
+                key=key,
+                path=str(self.entry_path(key)),
+                hit=True,
+                load_s=time.perf_counter() - t0,
+            )
+            return campaign, outcome
+
+        from repro.synth import CampaignGenerator
+
+        t0 = time.perf_counter()
+        campaign = CampaignGenerator(
+            seed=seed, scale=scale, calibration=calibration
+        ).generate()
+        campaign.faults()  # warm the coalesced stream so it persists
+        generate_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        path = self._store(campaign, key, provenance="generated")
+        store_s = time.perf_counter() - t0
+        outcome = CacheOutcome(
+            key=key,
+            path=str(path),
+            hit=False,
+            generate_s=generate_s,
+            store_s=store_s,
+        )
+        return campaign, outcome
+
+    # ------------------------------------------------------------------
+    def warm_from_records(self, records):
+        """Cache-accelerate a campaign loaded from a stored directory.
+
+        ``records`` is a :class:`repro.logs.campaign_io.CampaignRecords`.
+        If an entry exists whose record streams equal these records, the
+        campaign is served with the persisted coalesced fault stream
+        pre-warmed (the expensive part of repeated ``analyze`` runs).
+        Otherwise the campaign is built from ``records``, its faults are
+        coalesced once, and the result is stored (provenance
+        ``"adopted"``) for the next run.
+        """
+        from repro.logs.campaign_io import campaign_from_records
+
+        key = campaign_key(records.seed, records.scale)
+        entry = self.entry_path(key)
+        t0 = time.perf_counter()
+        cached = self._read_entry(key)
+        if cached is not None and all(
+            np.array_equal(getattr(cached[0], name), getattr(records, name))
+            for name in ("errors", "replacements", "het")
+        ):
+            stored, faults = cached
+            campaign = campaign_from_records(stored)
+            campaign._faults_cache = faults
+            outcome = CacheOutcome(
+                key=key,
+                path=str(entry),
+                hit=True,
+                load_s=time.perf_counter() - t0,
+            )
+            return campaign, outcome
+
+        t0 = time.perf_counter()
+        campaign = campaign_from_records(records)
+        campaign.faults()
+        generate_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        path = self._store(campaign, key, provenance="adopted")
+        store_s = time.perf_counter() - t0
+        outcome = CacheOutcome(
+            key=key,
+            path=str(path),
+            hit=False,
+            generate_s=generate_s,
+            store_s=store_s,
+        )
+        return campaign, outcome
+
+    # ------------------------------------------------------------------
+    def evict(self, key: str) -> bool:
+        """Remove one entry; returns whether anything was deleted."""
+        entry = self.entry_path(key)
+        if entry.is_dir():
+            shutil.rmtree(entry)
+            return True
+        return False
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        if not self.directory.is_dir():
+            return 0
+        removed = 0
+        for child in self.directory.iterdir():
+            if child.is_dir() and (child / _META_NAME).exists():
+                shutil.rmtree(child)
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _store(self, campaign, key: str, provenance: str) -> Path:
+        """Atomically write one entry (tmp directory + rename)."""
+        from repro.logs.campaign_io import write_campaign
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = self.directory / f".tmp-{key}-{uuid.uuid4().hex[:8]}"
+        try:
+            write_campaign(campaign, tmp, text_logs=False)
+            faults = campaign.faults()
+            np.save(tmp / _FAULTS_NAME, faults, allow_pickle=False)
+            meta = {
+                "key": key,
+                "seed": int(campaign.seed),
+                "scale": float(campaign.scale),
+                "version": repro.__version__,
+                "calibration": calibration_fingerprint(campaign.calibration),
+                "n_errors": int(campaign.n_errors),
+                "provenance": provenance,
+                "sha256_errors": _errors_checksum(campaign.errors),
+                "created": time.time(),
+            }
+            (tmp / _META_NAME).write_text(json.dumps(meta, indent=2) + "\n")
+            final = self.entry_path(key)
+            if final.exists():
+                shutil.rmtree(final)
+            os.replace(tmp, final)
+            return final
+        finally:
+            if tmp.exists():
+                shutil.rmtree(tmp, ignore_errors=True)
+
+    def _read_entry(self, key: str):
+        """Load an entry's (records, faults); ``None`` on miss/corruption."""
+        from repro.faults.types import FAULT_DTYPE
+        from repro.logs.campaign_io import load_campaign_records
+
+        entry = self.entry_path(key)
+        if not (entry / _META_NAME).exists():
+            return None
+        try:
+            meta = json.loads((entry / _META_NAME).read_text())
+            records = load_campaign_records(entry)
+            faults = np.load(entry / _FAULTS_NAME, allow_pickle=False)
+            if faults.dtype != FAULT_DTYPE:
+                raise ValueError("fault dtype mismatch")
+            if meta.get("sha256_errors") != _errors_checksum(records.errors):
+                raise ValueError("errors checksum mismatch")
+            records._provenance = meta.get("provenance", "generated")
+            return records, faults
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            return None
+
+    def _load(self, key: str, seed: int, scale: float, calibration):
+        """Rebuild a generated-provenance campaign; ``None`` on miss."""
+        cached = self._read_entry(key)
+        if cached is None:
+            return None
+        records, faults = cached
+        if getattr(records, "_provenance", None) != "generated":
+            return None
+        if records.seed != seed or records.scale != float(scale):
+            return None
+
+        from repro.synth import CampaignGenerator
+        from repro.synth.campaign import Campaign
+        from repro.synth.population import FaultPopulationGenerator
+        from repro.synth.sensors import SensorFieldModel
+        from repro.machine.cooling import CoolingModel
+
+        gen = CampaignGenerator(seed=seed, scale=scale, calibration=calibration)
+        population = FaultPopulationGenerator(
+            seed=gen.seed,
+            scale=gen.scale,
+            calibration=gen.calibration,
+            topology=gen.topology,
+            address_map=gen.address_map,
+        ).generate()
+        return Campaign(
+            seed=gen.seed,
+            scale=gen.scale,
+            calibration=gen.calibration,
+            topology=gen.topology,
+            node_config=gen.node_config,
+            address_map=gen.address_map,
+            population=population,
+            errors=records.errors,
+            replacements=records.replacements,
+            het=records.het,
+            sensors=SensorFieldModel(
+                seed=gen.seed,
+                cooling=CoolingModel(topology=gen.topology),
+                calibration=gen.calibration,
+            ),
+            _faults_cache=faults,
+        )

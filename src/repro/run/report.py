@@ -1,0 +1,153 @@
+"""Machine-readable run reports: per-experiment metrics and JSON output.
+
+The JSON report sits next to the text report and carries what a CI job
+or dashboard needs without parsing rendered text: per-experiment wall
+times, execution mode (parallel / serial / serial-fallback), record
+counts, the evaluated shape checks, notes, and the campaign-cache
+outcome (hit/miss and the generate/load/store timings that make cache
+behaviour observable).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+#: Bumped when the JSON layout changes incompatibly.
+REPORT_SCHEMA_VERSION = 1
+
+
+def _series_record_count(series: dict) -> int:
+    """Total number of data points across a result's series."""
+    total = 0
+    for values in series.values():
+        if isinstance(values, np.ndarray):
+            total += int(values.size)
+        elif isinstance(values, (list, tuple, dict)):
+            total += len(values)
+        else:
+            total += 1
+    return total
+
+
+@dataclass
+class ExperimentMetrics:
+    """Timing and outcome of one experiment within a run."""
+
+    exp_id: str
+    title: str
+    wall_s: float
+    #: ``"parallel"``, ``"serial"``, or ``"serial-fallback"`` (the worker
+    #: failed and the experiment was re-run in the parent process).
+    mode: str
+    n_series: int = 0
+    n_records: int = 0
+    n_checks: int = 0
+    checks_passed: int = 0
+    checks: dict = field(default_factory=dict)
+    notes: list = field(default_factory=list)
+    #: Exception text when the experiment failed even serially.
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Ran to completion with every shape check passing."""
+        return self.error is None and self.checks_passed == self.n_checks
+
+    @classmethod
+    def from_result(cls, result, wall_s: float, mode: str) -> "ExperimentMetrics":
+        """Build metrics from an :class:`ExperimentResult`."""
+        return cls(
+            exp_id=result.exp_id,
+            title=result.title,
+            wall_s=wall_s,
+            mode=mode,
+            n_series=len(result.series),
+            n_records=_series_record_count(result.series),
+            n_checks=len(result.checks),
+            checks_passed=sum(bool(v) for v in result.checks.values()),
+            checks={k: bool(v) for k, v in result.checks.items()},
+            notes=list(result.notes),
+        )
+
+    @classmethod
+    def from_error(cls, exp_id: str, wall_s: float, mode: str, exc) -> "ExperimentMetrics":
+        """Build metrics for an experiment that raised."""
+        return cls(
+            exp_id=exp_id,
+            title="",
+            wall_s=wall_s,
+            mode=mode,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+@dataclass
+class RunReport:
+    """One full run: campaign context, cache outcome, per-experiment metrics."""
+
+    seed: int
+    scale: float
+    n_errors: int
+    jobs: int
+    total_wall_s: float = 0.0
+    #: Time spent warming the coalesced fault stream before the fan-out.
+    setup_s: float = 0.0
+    #: ``CacheOutcome.to_dict()`` when a campaign cache was consulted.
+    cache: dict | None = None
+    experiments: list = field(default_factory=list)
+    created: float = field(default_factory=time.time)
+
+    @property
+    def all_pass(self) -> bool:
+        """Every experiment completed with all shape checks passing."""
+        return all(m.ok for m in self.experiments)
+
+    @property
+    def n_failed(self) -> int:
+        """Experiments with an error or at least one failed check."""
+        return sum(not m.ok for m in self.experiments)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "seed": self.seed,
+            "scale": self.scale,
+            "n_errors": self.n_errors,
+            "jobs": self.jobs,
+            "total_wall_s": self.total_wall_s,
+            "setup_s": self.setup_s,
+            "cache": self.cache,
+            "all_pass": self.all_pass,
+            "n_failed": self.n_failed,
+            "created": self.created,
+            "experiments": [asdict(m) for m in self.experiments],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def write(self, path: str | os.PathLike) -> None:
+        """Write the JSON report to ``path``."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")
+
+    def summary(self) -> str:
+        """One-paragraph human summary for the CLI footer."""
+        lines = [
+            f"ran {len(self.experiments)} experiments in "
+            f"{self.total_wall_s:.2f}s (jobs={self.jobs})"
+        ]
+        if self.cache is not None:
+            state = "hit" if self.cache.get("hit") else "miss"
+            lines.append(
+                f"campaign cache: {state} {self.cache.get('key', '?')} "
+                f"({self.cache.get('path', '?')})"
+            )
+        if self.n_failed:
+            lines.append(f"experiments failing checks or erroring: {self.n_failed}")
+        return "\n".join(lines)

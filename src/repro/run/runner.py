@@ -1,0 +1,176 @@
+"""Concurrent experiment execution with a graceful serial fallback.
+
+Experiments are independent read-only consumers of the campaign arrays,
+so a full regeneration run is embarrassingly parallel across
+experiments.  The runner fans registered experiment ids out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`; each task ships only
+its id string, and workers obtain the campaign either by fork
+inheritance (free on Linux), by unpickling it once per worker at
+initialisation, or by loading a campaign directory's binary mirrors.
+
+Any worker or pool failure degrades to re-running the affected
+experiments serially in the parent (mode ``"serial-fallback"`` in the
+metrics) -- a failed worker never loses an experiment, it only loses
+the speedup.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.run.report import ExperimentMetrics, RunReport
+
+# Campaign handed to pool workers. Under the ``fork`` start method the
+# worker inherits the parent's module state, so the campaign (and its
+# warmed fault cache) is shared copy-on-write with no serialisation.
+_WORKER_CAMPAIGN = None
+
+
+def _worker_init(campaign, campaign_dir) -> None:
+    """Pool initializer: bind the campaign in this worker process."""
+    global _WORKER_CAMPAIGN
+    if campaign is not None:
+        _WORKER_CAMPAIGN = campaign
+    elif campaign_dir is not None:
+        from repro.logs.campaign_io import (
+            campaign_from_records,
+            load_campaign_records,
+        )
+
+        _WORKER_CAMPAIGN = campaign_from_records(
+            load_campaign_records(campaign_dir)
+        )
+    else:  # pragma: no cover - defensive; triggers the serial fallback
+        raise RuntimeError("worker has no campaign source")
+
+
+def _worker_run(exp_id: str):
+    """Run one experiment in a worker; returns (exp_id, result, wall_s)."""
+    from repro import experiments
+
+    t0 = time.perf_counter()
+    result = experiments.run(exp_id, _WORKER_CAMPAIGN)
+    return exp_id, result, time.perf_counter() - t0
+
+
+@dataclass
+class ExperimentRunner:
+    """Run registered experiments, optionally ``jobs``-way in parallel.
+
+    ``jobs <= 1`` runs serially (the correctness baseline); ``jobs > 1``
+    uses a process pool with serial fallback.  ``campaign_dir`` lets
+    workers load the campaign from a stored directory's binary mirrors
+    instead of receiving a pickled copy -- preferred under the ``spawn``
+    start method where fork inheritance is unavailable.
+    """
+
+    jobs: int = 0
+    campaign_dir: str | os.PathLike | None = None
+    include_extensions: bool = False
+
+    # ------------------------------------------------------------------
+    def run(self, campaign, exp_ids=None):
+        """Execute experiments; returns ``(results, report)``.
+
+        ``results`` maps exp id to :class:`ExperimentResult` in the
+        requested order (experiments that raised are omitted); the
+        :class:`RunReport` carries per-experiment metrics for every id,
+        including failures.
+        """
+        from repro import experiments
+
+        if exp_ids is None:
+            exp_ids = [
+                e
+                for e, _ in experiments.list_experiments(
+                    include_extensions=self.include_extensions
+                )
+            ]
+        exp_ids = list(exp_ids)
+        known = dict(experiments.list_experiments(include_extensions=True))
+        unknown = [e for e in exp_ids if e not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown experiment ids: {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+
+        report = RunReport(
+            seed=int(campaign.seed),
+            scale=float(campaign.scale),
+            n_errors=int(campaign.n_errors),
+            jobs=int(self.jobs),
+        )
+        t_total = time.perf_counter()
+        metrics: dict[str, ExperimentMetrics] = {}
+        results: dict = {}
+
+        if self.jobs > 1 and len(exp_ids) > 1:
+            # Warm the coalesced fault stream once in the parent so forked
+            # workers share it instead of each re-coalescing the stream.
+            t0 = time.perf_counter()
+            campaign.faults()
+            report.setup_s = time.perf_counter() - t0
+            pending = self._run_parallel(campaign, exp_ids, metrics, results)
+        else:
+            pending = exp_ids
+
+        for exp_id in pending:
+            mode = "serial" if self.jobs <= 1 or len(exp_ids) <= 1 else "serial-fallback"
+            t0 = time.perf_counter()
+            try:
+                result = experiments.run(exp_id, campaign)
+            except Exception as exc:
+                metrics[exp_id] = ExperimentMetrics.from_error(
+                    exp_id, time.perf_counter() - t0, mode, exc
+                )
+                continue
+            wall = time.perf_counter() - t0
+            results[exp_id] = result
+            metrics[exp_id] = ExperimentMetrics.from_result(result, wall, mode)
+
+        report.total_wall_s = time.perf_counter() - t_total
+        report.experiments = [metrics[e] for e in exp_ids if e in metrics]
+        ordered = {e: results[e] for e in exp_ids if e in results}
+        return ordered, report
+
+    # ------------------------------------------------------------------
+    def _run_parallel(self, campaign, exp_ids, metrics, results) -> list:
+        """Fan out over a process pool; returns ids needing a serial run."""
+        if multiprocessing.get_start_method() == "fork":
+            # Fork shares the campaign (initargs are not serialised).
+            initargs = (campaign, None)
+        elif self.campaign_dir is not None:
+            initargs = (None, str(self.campaign_dir))
+        else:
+            initargs = (campaign, None)  # pickled once per worker
+
+        pending: list = []
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(exp_ids)),
+                initializer=_worker_init,
+                initargs=initargs,
+            ) as pool:
+                futures = {pool.submit(_worker_run, e): e for e in exp_ids}
+                for future in as_completed(futures):
+                    exp_id = futures[future]
+                    try:
+                        _, result, wall = future.result()
+                    except Exception:
+                        pending.append(exp_id)
+                        continue
+                    results[exp_id] = result
+                    metrics[exp_id] = ExperimentMetrics.from_result(
+                        result, wall, "parallel"
+                    )
+        except (BrokenProcessPool, OSError):
+            # Pool never came up (restricted environment): run everything
+            # not yet finished serially.
+            pending = [e for e in exp_ids if e not in metrics]
+        return pending

@@ -11,19 +11,27 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 @pytest.fixture(scope="session")
 def small_campaign():
-    """A 2%-scale campaign: fast, for mechanics tests."""
-    from repro.synth import CampaignGenerator
+    """A 2%-scale campaign: fast, for mechanics tests.
 
-    return CampaignGenerator(seed=7, scale=0.02).generate()
+    Served through the persistent campaign cache so repeated test runs
+    skip regeneration; the cache key covers seed, scale, calibration
+    fingerprint, and package version, so stale entries cannot leak in.
+    """
+    from repro.run import CampaignCache
+
+    campaign, _ = CampaignCache().get_or_generate(seed=7, scale=0.02)
+    return campaign
 
 
 @pytest.fixture(scope="session")
 def full_campaign():
-    """The full-scale (paper-volume) campaign, generated once per session.
+    """The full-scale (paper-volume) campaign, loaded from the campaign
+    cache (first run generates and stores it; later runs skip the
+    minutes of expansion and coalescing).
 
-    Used by the experiment shape tests; generation plus coalescing takes
-    a few seconds.
+    Used by the experiment shape tests.
     """
-    from repro.synth import CampaignGenerator
+    from repro.run import CampaignCache
 
-    return CampaignGenerator(seed=7, scale=1.0).generate()
+    campaign, _ = CampaignCache().get_or_generate(seed=7, scale=1.0)
+    return campaign

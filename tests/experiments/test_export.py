@@ -35,9 +35,39 @@ class TestExportCsv:
         (path,) = r.export_csv(tmp_path)
         assert path.name == "fig05--errors-per-node--all.csv"
 
+    def test_non_numeric_array_series(self, tmp_path):
+        """String-valued series export via str() instead of crashing on :g."""
+        r = ExperimentResult("x", "t")
+        r.series["labels"] = np.array(["alpha", "beta"])
+        (path,) = r.export_csv(tmp_path)
+        text = path.read_text().splitlines()
+        assert text[0] == "index,value"
+        assert text[1] == "0,alpha" and text[2] == "1,beta"
+
+    def test_non_numeric_dict_array(self, tmp_path):
+        r = ExperimentResult("x", "t")
+        r.series["summary"] = {"slots": np.array(["J", "E"]), "n": 2}
+        (path,) = r.export_csv(tmp_path)
+        text = path.read_text()
+        assert "slots,J,E" in text
+        assert "n,2" in text
+
     def test_real_experiment_exports(self, tmp_path, small_campaign):
         result = run("fig05", small_campaign)
         paths = result.export_csv(tmp_path)
         assert len(paths) == len(result.series)
         for p in paths:
             assert p.exists() and p.stat().st_size > 0
+
+
+class TestRenderNonNumeric:
+    def test_render_string_array(self):
+        r = ExperimentResult("x", "t")
+        r.series["labels"] = np.array(["alpha", "beta", "gamma", "delta"])
+        out = r.render()
+        assert "alpha" in out  # no crash, values present
+
+    def test_sparkline_rejects_strings(self):
+        from repro.experiments.base import sparkline
+
+        assert sparkline(np.array(["a", "b", "c", "d"])) == ""

@@ -1,0 +1,73 @@
+"""Regression tests for the record store's sharding fixes."""
+
+import numpy as np
+
+from repro.faults.types import ERROR_DTYPE, empty_errors
+from repro.logs.store import load_shards, save_records, shard_by_rack
+from repro.machine.topology import AstraTopology
+
+#: A structured layout with no "time" field (like aggregate records).
+_TIMELESS_DTYPE = np.dtype([("node", np.int32), ("count", np.int64)])
+
+
+class TestLoadShardsWithoutTime:
+    def test_concatenates_in_shard_order(self, tmp_path):
+        a = np.array([(1, 10), (2, 20)], dtype=_TIMELESS_DTYPE)
+        b = np.array([(3, 30)], dtype=_TIMELESS_DTYPE)
+        save_records(tmp_path / "a.npy", a)
+        save_records(tmp_path / "b.npy", b)
+        out = load_shards([tmp_path / "a.npy", tmp_path / "b.npy"])
+        assert out["node"].tolist() == [1, 2, 3]
+        assert out["count"].tolist() == [10, 20, 30]
+
+    def test_timed_streams_still_sorted(self, tmp_path):
+        errors = empty_errors(4)
+        errors["time"] = [4.0, 1.0, 3.0, 2.0]
+        errors["node"] = [0, 0, 1, 1]
+        save_records(tmp_path / "a.npy", errors[:2])
+        save_records(tmp_path / "b.npy", errors[2:])
+        out = load_shards([tmp_path / "a.npy", tmp_path / "b.npy"])
+        assert out["time"].tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_empty_with_dtype(self):
+        out = load_shards([], expected_dtype=_TIMELESS_DTYPE)
+        assert out.size == 0 and out.dtype == _TIMELESS_DTYPE
+
+
+class TestShardFilenamePadding:
+    def _errors_on_racks(self, topo, racks):
+        errors = empty_errors(len(racks))
+        errors["node"] = [topo.node_id(r, 0, 0) for r in racks]
+        errors["time"] = np.arange(len(racks), dtype=np.float64)
+        return errors
+
+    def test_default_topology_keeps_two_digits(self, tmp_path):
+        topo = AstraTopology()
+        errors = self._errors_on_racks(topo, [0, 35])
+        paths = shard_by_rack(errors, tmp_path, topo)
+        assert [p.name for p in paths] == [
+            "errors-rack00.npy",
+            "errors-rack35.npy",
+        ]
+
+    def test_large_topology_pads_past_rack_99(self, tmp_path):
+        topo = AstraTopology(n_racks=120)
+        errors = self._errors_on_racks(topo, [5, 99, 100, 119])
+        paths = shard_by_rack(errors, tmp_path, topo)
+        names = [p.name for p in paths]
+        assert names == [
+            "errors-rack005.npy",
+            "errors-rack099.npy",
+            "errors-rack100.npy",
+            "errors-rack119.npy",
+        ]
+        # Lexicographic order equals rack order past rack 99.
+        assert sorted(names) == names
+
+    def test_shards_roundtrip(self, tmp_path):
+        topo = AstraTopology(n_racks=120)
+        errors = self._errors_on_racks(topo, [100, 5, 119])
+        paths = shard_by_rack(errors, tmp_path, topo)
+        out = load_shards(paths, expected_dtype=ERROR_DTYPE)
+        assert out.size == errors.size
+        np.testing.assert_array_equal(np.sort(out["node"]), np.sort(errors["node"]))

@@ -58,6 +58,15 @@ class TestParallelCoalesce:
         )
         np.testing.assert_array_equal(serial, parallel)
 
+    def test_more_workers_than_shards_equals_serial(self, small_campaign):
+        """Oversubscribed pools (n_workers > busy racks) stay bit-for-bit."""
+        topo = small_campaign.topology
+        racks = topo.rack_of(small_campaign.errors["node"])
+        two_racks = small_campaign.errors[np.isin(racks, [0, 1])]
+        serial = parallel_coalesce(two_racks, topo, n_workers=0)
+        parallel = parallel_coalesce(two_racks, topo, n_workers=8)
+        np.testing.assert_array_equal(serial, parallel)
+
     def test_fault_ids_dense(self, small_campaign):
         out = parallel_coalesce(small_campaign.errors, small_campaign.topology)
         np.testing.assert_array_equal(out["fault_id"], np.arange(out.size))

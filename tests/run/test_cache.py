@@ -1,0 +1,144 @@
+"""Tests for the content-addressed campaign cache."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.run import CampaignCache, calibration_fingerprint, campaign_key
+from repro.run.cache import CACHE_DIR_ENV, default_cache_dir
+
+SEED, SCALE = 11, 0.01
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return CampaignCache(tmp_path / "cache")
+
+
+class TestKeying:
+    def test_key_stable(self):
+        assert campaign_key(3, 0.5) == campaign_key(3, 0.5)
+
+    def test_key_covers_seed_and_scale(self):
+        base = campaign_key(3, 0.5)
+        assert campaign_key(4, 0.5) != base
+        assert campaign_key(3, 0.25) != base
+
+    def test_key_covers_calibration(self):
+        from repro.synth.config import PaperCalibration
+
+        tweaked = PaperCalibration(spike_rack=7)
+        assert calibration_fingerprint(tweaked) != calibration_fingerprint()
+        assert campaign_key(3, 0.5, tweaked) != campaign_key(3, 0.5)
+
+    def test_env_var_overrides_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+        assert CampaignCache().directory == tmp_path / "elsewhere"
+
+
+class TestGetOrGenerate:
+    def test_miss_then_hit_bit_for_bit(self, cache):
+        c1, o1 = cache.get_or_generate(seed=SEED, scale=SCALE)
+        assert o1.hit is False and o1.generate_s > 0
+        c2, o2 = cache.get_or_generate(seed=SEED, scale=SCALE)
+        assert o2.hit is True and o2.load_s > 0
+        for name in ("errors", "replacements", "het"):
+            np.testing.assert_array_equal(getattr(c1, name), getattr(c2, name))
+        np.testing.assert_array_equal(c1.faults(), c2.faults())
+
+    def test_hit_prewarms_faults(self, cache):
+        cache.get_or_generate(seed=SEED, scale=SCALE)
+        campaign, outcome = cache.get_or_generate(seed=SEED, scale=SCALE)
+        assert outcome.hit
+        assert campaign._faults_cache is not None
+
+    def test_hit_rebuilds_population_and_sensors(self, cache):
+        from repro._util import epoch
+
+        c1, _ = cache.get_or_generate(seed=SEED, scale=SCALE)
+        c2, o2 = cache.get_or_generate(seed=SEED, scale=SCALE)
+        assert o2.hit
+        assert c2.population is not None
+        assert c2.population.faults.size == c1.population.faults.size
+        t = epoch("2019-06-01")
+        assert c2.sensors.value(5, 0, t) == c1.sensors.value(5, 0, t)
+
+    def test_seed_change_invalidates(self, cache):
+        cache.get_or_generate(seed=SEED, scale=SCALE)
+        _, outcome = cache.get_or_generate(seed=SEED + 1, scale=SCALE)
+        assert outcome.hit is False
+
+    def test_scale_change_invalidates(self, cache):
+        cache.get_or_generate(seed=SEED, scale=SCALE)
+        _, outcome = cache.get_or_generate(seed=SEED, scale=SCALE / 2)
+        assert outcome.hit is False
+
+    def test_corrupt_entry_regenerates(self, cache):
+        _, o1 = cache.get_or_generate(seed=SEED, scale=SCALE)
+        entry = cache.entry_path(o1.key)
+        (entry / "errors.npy").write_bytes(b"garbage")
+        campaign, o2 = cache.get_or_generate(seed=SEED, scale=SCALE)
+        assert o2.hit is False
+        assert campaign.n_errors > 0
+        # The rewritten entry is healthy again.
+        _, o3 = cache.get_or_generate(seed=SEED, scale=SCALE)
+        assert o3.hit is True
+
+    def test_checksum_mismatch_is_a_miss(self, cache):
+        _, o1 = cache.get_or_generate(seed=SEED, scale=SCALE)
+        entry = cache.entry_path(o1.key)
+        meta = json.loads((entry / "meta.json").read_text())
+        meta["sha256_errors"] = "0" * 64
+        (entry / "meta.json").write_text(json.dumps(meta))
+        _, o2 = cache.get_or_generate(seed=SEED, scale=SCALE)
+        assert o2.hit is False
+
+    def test_entry_is_a_loadable_campaign_dir(self, cache):
+        from repro.logs.campaign_io import load_campaign_records
+
+        _, outcome = cache.get_or_generate(seed=SEED, scale=SCALE)
+        records = load_campaign_records(outcome.path)
+        assert records.seed == SEED
+        assert records.errors.size > 0
+
+    def test_evict_and_clear(self, cache):
+        _, o1 = cache.get_or_generate(seed=SEED, scale=SCALE)
+        assert cache.evict(o1.key) is True
+        assert cache.evict(o1.key) is False
+        cache.get_or_generate(seed=SEED, scale=SCALE)
+        cache.get_or_generate(seed=SEED + 1, scale=SCALE)
+        assert cache.clear() == 2
+
+
+class TestWarmFromRecords:
+    def _records(self, tmp_path, seed=SEED):
+        from repro.logs.campaign_io import load_campaign_records, write_campaign
+        from repro.synth import CampaignGenerator
+
+        campaign = CampaignGenerator(seed=seed, scale=SCALE).generate()
+        directory = write_campaign(campaign, tmp_path / f"camp{seed}", text_logs=False)
+        return load_campaign_records(directory)
+
+    def test_adopt_then_hit(self, cache, tmp_path):
+        records = self._records(tmp_path)
+        c1, o1 = cache.warm_from_records(records)
+        assert o1.hit is False
+        c2, o2 = cache.warm_from_records(records)
+        assert o2.hit is True
+        assert c2._faults_cache is not None  # the point of warming
+        np.testing.assert_array_equal(c1.faults(), c2.faults())
+
+    def test_adopted_entries_never_serve_generate(self, cache, tmp_path):
+        records = self._records(tmp_path)
+        cache.warm_from_records(records)
+        _, outcome = cache.get_or_generate(seed=SEED, scale=SCALE)
+        assert outcome.hit is False  # provenance guard
+
+    def test_modified_records_invalidate(self, cache, tmp_path):
+        records = self._records(tmp_path)
+        cache.warm_from_records(records)
+        records.errors = records.errors[:-1].copy()
+        _, outcome = cache.warm_from_records(records)
+        assert outcome.hit is False

@@ -1,0 +1,169 @@
+"""Tests for the parallel experiment runner and its run reports."""
+
+import json
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.base import ExperimentResult
+from repro.run import ExperimentRunner
+
+IDS = ["table1", "fig05", "fig12"]
+
+
+def _assert_results_equal(a: ExperimentResult, b: ExperimentResult) -> None:
+    assert a.checks == b.checks
+    assert set(a.series) == set(b.series)
+    for name in a.series:
+        va, vb = a.series[name], b.series[name]
+        if isinstance(va, np.ndarray):
+            np.testing.assert_array_equal(va, vb)
+        else:
+            assert str(va) == str(vb)
+
+
+class TestSerial:
+    def test_matches_direct_registry_calls(self, small_campaign):
+        results, report = ExperimentRunner(jobs=0).run(small_campaign, IDS)
+        assert list(results) == IDS
+        for exp_id in IDS:
+            _assert_results_equal(results[exp_id], registry.run(exp_id, small_campaign))
+        assert all(m.mode == "serial" for m in report.experiments)
+
+    def test_default_ids_cover_registry(self, small_campaign):
+        results, _ = ExperimentRunner(jobs=0).run(small_campaign)
+        assert list(results) == [e for e, _ in registry.list_experiments()]
+
+    def test_unknown_id_raises(self, small_campaign):
+        with pytest.raises(ValueError, match="unknown experiment ids"):
+            ExperimentRunner(jobs=0).run(small_campaign, ["nope"])
+
+
+class TestParallel:
+    def test_parallel_equals_serial(self, small_campaign):
+        serial, _ = ExperimentRunner(jobs=0).run(small_campaign, IDS)
+        parallel, report = ExperimentRunner(jobs=2).run(small_campaign, IDS)
+        assert list(parallel) == IDS
+        for exp_id in IDS:
+            _assert_results_equal(serial[exp_id], parallel[exp_id])
+        assert all(m.mode == "parallel" for m in report.experiments)
+
+    def test_metrics_populated(self, small_campaign):
+        _, report = ExperimentRunner(jobs=2).run(small_campaign, IDS)
+        assert report.jobs == 2
+        assert report.total_wall_s > 0
+        assert [m.exp_id for m in report.experiments] == IDS
+        for metric in report.experiments:
+            assert metric.wall_s >= 0
+            assert metric.n_checks == len(metric.checks)
+            assert metric.checks_passed == sum(metric.checks.values())
+            assert metric.n_series > 0
+            assert metric.n_records > 0
+            assert metric.error is None
+
+    def test_single_experiment_stays_serial(self, small_campaign):
+        _, report = ExperimentRunner(jobs=4).run(small_campaign, ["table1"])
+        assert report.experiments[0].mode == "serial"
+
+    def test_run_all_delegates_to_runner(self, small_campaign):
+        serial = registry.run_all(small_campaign)
+        parallel = registry.run_all(small_campaign, jobs=2)
+        assert list(serial) == list(parallel)
+        for exp_id in serial:
+            _assert_results_equal(serial[exp_id], parallel[exp_id])
+
+
+_PARENT_PID = os.getpid()
+
+
+class _FlakyModule:
+    """Fake experiment that fails in workers but succeeds in the parent."""
+
+    EXP_ID = "flaky"
+    TITLE = "worker-only failure"
+
+    @staticmethod
+    def run(campaign, **params):
+        if os.getpid() != _PARENT_PID:
+            raise RuntimeError("worker crash")
+        result = ExperimentResult("flaky", "worker-only failure")
+        result.check("recovered", True)
+        return result
+
+
+class _BrokenModule:
+    """Fake experiment that always fails."""
+
+    EXP_ID = "broken"
+    TITLE = "always fails"
+
+    @staticmethod
+    def run(campaign, **params):
+        raise RuntimeError("always broken")
+
+
+def _inject_experiment(monkeypatch, module) -> None:
+    """Register a fake experiment module for the duration of a test.
+
+    The runner resolves ids via ``repro.experiments.list_experiments``
+    (the package re-export) and runs them via ``registry._ALL``; both
+    must know the fake.  Forked pool workers inherit the patched state.
+    """
+    import repro.experiments as experiments_pkg
+
+    listing = [(module.EXP_ID, module.TITLE), ("table1", "Table 1")]
+    monkeypatch.setitem(registry._ALL, module.EXP_ID, module)
+    monkeypatch.setattr(
+        experiments_pkg, "list_experiments", lambda include_extensions=False: listing
+    )
+
+
+@pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="worker-failure injection relies on fork inheritance",
+)
+class TestSerialFallback:
+    def test_worker_failure_falls_back_serially(self, small_campaign, monkeypatch):
+        _inject_experiment(monkeypatch, _FlakyModule)
+        results, report = ExperimentRunner(jobs=2).run(
+            small_campaign, ["flaky", "table1"]
+        )
+        assert "flaky" in results and results["flaky"].checks == {"recovered": True}
+        modes = {m.exp_id: m.mode for m in report.experiments}
+        assert modes["flaky"] == "serial-fallback"
+        assert modes["table1"] == "parallel"
+
+    def test_failure_everywhere_recorded_not_raised(self, small_campaign, monkeypatch):
+        _inject_experiment(monkeypatch, _BrokenModule)
+        results, report = ExperimentRunner(jobs=2).run(
+            small_campaign, ["broken", "table1"]
+        )
+        assert "broken" not in results and "table1" in results
+        broken = next(m for m in report.experiments if m.exp_id == "broken")
+        assert broken.error is not None and "always broken" in broken.error
+        assert not report.all_pass and report.n_failed == 1
+
+
+class TestJsonReport:
+    def test_report_roundtrip(self, small_campaign, tmp_path):
+        _, report = ExperimentRunner(jobs=2).run(small_campaign, IDS)
+        path = tmp_path / "report.json"
+        report.write(path)
+        loaded = json.loads(path.read_text())
+        assert loaded["schema_version"] == 1
+        assert loaded["seed"] == small_campaign.seed
+        assert loaded["n_errors"] == small_campaign.n_errors
+        assert [e["exp_id"] for e in loaded["experiments"]] == IDS
+        for entry in loaded["experiments"]:
+            assert set(entry["checks"].values()) <= {True, False}
+            assert entry["wall_s"] >= 0
+
+    def test_summary_mentions_cache(self, small_campaign):
+        from repro.run import CacheOutcome
+
+        _, report = ExperimentRunner(jobs=0).run(small_campaign, ["table1"])
+        report.cache = CacheOutcome(key="abc", path="/x", hit=True).to_dict()
+        assert "cache: hit abc" in report.summary()

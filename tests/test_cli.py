@@ -64,6 +64,105 @@ class TestExperimentCommand:
             main(["experiment", "--scale", "0.01"])
 
 
+class TestExpSelection:
+    """Empty/unknown ``--exp`` handling (previously ran nothing / crashed)."""
+
+    @pytest.fixture()
+    def campaign_dir(self, tmp_path):
+        out_dir = tmp_path / "camp"
+        main(["synth", "--seed", "3", "--scale", "0.01", "--out", str(out_dir)])
+        return str(out_dir)
+
+    def test_empty_exp_runs_all(self, campaign_dir, capsys):
+        code = main(["analyze", campaign_dir, "--exp", "--no-cache"])
+        out = capsys.readouterr().out
+        # Every paper experiment ran, not zero of them.
+        assert "table1" in out and "fig02" in out and "fig15" in out
+        assert "ran 15 experiments" in out
+        assert code in (0, 1)  # small-scale campaigns may fail shape checks
+
+    def test_unknown_exp_friendly_error(self, campaign_dir, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", campaign_dir, "--exp", "bogus", "--no-cache"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment id(s): bogus" in err
+        assert "known ids:" in err
+
+    def test_known_and_unknown_mixed(self, campaign_dir, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["analyze", campaign_dir, "--exp", "table1", "nope", "--no-cache"]
+            )
+        assert excinfo.value.code == 2
+
+
+class TestRunnerCli:
+    """--jobs / --json-report / --cache-dir round trips."""
+
+    def test_json_report_and_cache_roundtrip(self, tmp_path, capsys):
+        import json
+
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "experiment",
+            "--exp",
+            "table1",
+            "fig05",
+            "--seed",
+            "3",
+            "--scale",
+            "0.01",
+            "--jobs",
+            "2",
+            "--cache-dir",
+            cache_dir,
+        ]
+        code1 = main(argv + ["--json-report", str(tmp_path / "r1.json")])
+        capsys.readouterr()
+        code2 = main(argv + ["--json-report", str(tmp_path / "r2.json")])
+        capsys.readouterr()
+        r1 = json.loads((tmp_path / "r1.json").read_text())
+        r2 = json.loads((tmp_path / "r2.json").read_text())
+        # First run generates and stores; second hits the campaign cache.
+        assert r1["cache"]["hit"] is False and r1["cache"]["generate_s"] > 0
+        assert r2["cache"]["hit"] is True and r2["cache"]["load_s"] > 0
+        # Identical outcome either way.
+        assert code1 == code2
+        assert [e["exp_id"] for e in r1["experiments"]] == ["table1", "fig05"]
+        assert [e["checks"] for e in r1["experiments"]] == [
+            e["checks"] for e in r2["experiments"]
+        ]
+
+    def test_jobs_output_matches_serial(self, tmp_path, capsys):
+        argv = ["experiment", "--exp", "table1", "--seed", "3", "--scale",
+                "0.01", "--no-cache"]
+        code_serial = main(argv)
+        out_serial = capsys.readouterr().out
+        code_parallel = main(argv + ["--jobs", "2"])
+        out_parallel = capsys.readouterr().out
+        assert code_serial == code_parallel
+        # The rendered experiment block is identical; only the run
+        # summary footer (timings) differs.
+        block = out_serial.split("== table1")[1].split("ran 1 experiments")[0]
+        assert block in out_parallel
+
+    def test_analyze_cache_warms_faults(self, tmp_path, capsys):
+        import json
+
+        out_dir = tmp_path / "camp"
+        cache_dir = str(tmp_path / "cache")
+        main(["synth", "--seed", "3", "--scale", "0.01", "--out", str(out_dir)])
+        capsys.readouterr()
+        argv = ["analyze", str(out_dir), "--exp", "table1", "--cache-dir", cache_dir]
+        main(argv + ["--json-report", str(tmp_path / "a1.json")])
+        main(argv + ["--json-report", str(tmp_path / "a2.json")])
+        a1 = json.loads((tmp_path / "a1.json").read_text())
+        a2 = json.loads((tmp_path / "a2.json").read_text())
+        assert a1["cache"]["hit"] is False
+        assert a2["cache"]["hit"] is True
+
+
 class TestMitigate:
     def test_runs_both_simulators(self, capsys):
         code = main(["mitigate", "--scale", "0.01", "--seed", "3"])
