@@ -14,6 +14,16 @@ Examples::
     astra-memrepro experiment --exp fig04 --scale 0.1
     astra-memrepro experiment --all --scale 1.0 > report.txt
     astra-memrepro experiment --all --jobs 4 --json-report run.json
+    astra-memrepro experiment --all --scale 0.05 --inject moderate \
+        --ingest-policy repair --min-coverage 0.5 --json-report dirty.json
+    astra-memrepro analyze /tmp/camp --ingest-policy repair --timeout 120
+
+``--inject PROFILE`` runs the harness self-test loop: corrupt a
+disposable copy of the campaign artifacts (``light``/``moderate``/
+``hostile``), re-ingest them under ``--ingest-policy``, and report
+per-family coverage plus per-experiment degradation status
+(``pass-degraded`` / ``skipped-insufficient-data``) instead of crashing
+on dirty telemetry.
 
 Repeated ``experiment``/``analyze`` invocations reuse the campaign
 cache (``--cache-dir``, default ``~/.cache/astra-memrepro`` or
@@ -59,6 +69,52 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="bypass the campaign cache entirely",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-experiment wall-time budget in the parallel path; a "
+        "wedged worker is abandoned instead of stalling the run",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="re-attempts for a failing or timed-out experiment "
+        "(exponential backoff; default 1)",
+    )
+    parser.add_argument(
+        "--min-coverage",
+        type=float,
+        default=0.5,
+        metavar="FRACTION",
+        help="skip experiments whose input telemetry coverage is below "
+        "this fraction (status skipped-insufficient-data; default 0.5)",
+    )
+    parser.add_argument(
+        "--ingest-policy",
+        choices=("strict", "repair", "skip"),
+        default="strict",
+        help="how to treat unparseable telemetry: strict raises a typed "
+        "error, repair salvages and re-sorts what it can, skip "
+        "quarantines silently (default strict)",
+    )
+    parser.add_argument(
+        "--inject",
+        choices=("light", "moderate", "hostile"),
+        default=None,
+        metavar="PROFILE",
+        help="harness self-test: corrupt a copy of the campaign "
+        "artifacts with the named fault-injection profile before "
+        "ingesting them",
+    )
+    parser.add_argument(
+        "--inject-seed",
+        type=int,
+        default=0,
+        help="RNG seed for --inject (same seed = identical corruption)",
     )
 
 
@@ -177,6 +233,42 @@ def _make_cache(cache_dir):
     return cache
 
 
+def _inject_campaign(source, profile: str, inject_seed: int, policy: str):
+    """Corrupt a disposable copy of the campaign and re-ingest it.
+
+    ``source`` is either an in-memory campaign (written out first, with
+    text logs so the fallback path has something to chew on) or an
+    existing campaign directory (copied; the original is never touched).
+    Returns ``(campaign, manifest)``.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.inject import LogCorruptor
+    from repro.logs.campaign_io import (
+        campaign_from_records,
+        load_campaign_records,
+        write_campaign,
+    )
+
+    workdir = Path(tempfile.mkdtemp(prefix="astra-inject-"))
+    if isinstance(source, (str, Path)):
+        shutil.copytree(source, workdir, dirs_exist_ok=True)
+    else:
+        write_campaign(source, workdir, text_logs=True)
+    manifest = LogCorruptor(profile=profile, seed=inject_seed).corrupt_campaign(
+        workdir
+    )
+    records = load_campaign_records(workdir, policy=policy)
+    campaign = campaign_from_records(records)
+    print(
+        f"injected profile={manifest.profile} seed={manifest.seed} "
+        f"({len(manifest.events)} fault events) into {workdir}"
+    )
+    return campaign, manifest
+
+
 def _run_experiments(
     campaign,
     exp_ids,
@@ -184,15 +276,29 @@ def _run_experiments(
     json_report=None,
     cache_outcome=None,
     campaign_dir=None,
+    timeout=None,
+    retries: int = 1,
+    min_coverage: float = 0.0,
+    ingest_policy: str | None = None,
+    injection=None,
 ) -> int:
     from repro.run import ExperimentRunner
 
     _validate_json_report(json_report)
     exp_ids = _resolve_exp_ids(exp_ids)
-    runner = ExperimentRunner(jobs=jobs, campaign_dir=campaign_dir)
+    runner = ExperimentRunner(
+        jobs=jobs,
+        campaign_dir=campaign_dir,
+        timeout_s=timeout,
+        retries=retries,
+        min_coverage=min_coverage,
+    )
     results, report = runner.run(campaign, exp_ids)
     if cache_outcome is not None:
         report.cache = cache_outcome.to_dict()
+    report.ingest_policy = ingest_policy
+    if injection is not None:
+        report.injection = injection.to_dict()
     for exp_id in exp_ids:
         if exp_id in results:
             print(results[exp_id].render())
@@ -211,6 +317,19 @@ def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
 
+    from repro.logs.ingest import IngestError
+
+    try:
+        return _dispatch(args)
+    except IngestError as exc:
+        # Typed telemetry failures (malformed records under --ingest-policy
+        # strict, unrecoverable campaign directories) exit cleanly instead
+        # of dumping a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args) -> int:
     if args.command == "list":
         from repro.experiments import list_experiments
 
@@ -242,27 +361,49 @@ def main(argv=None) -> int:
         # campaign load / fault coalescing.
         exp_ids = _resolve_exp_ids(args.exp)
         _validate_json_report(args.json_report)
-        records = load_campaign_records(args.directory)
         outcome = None
-        if args.no_cache:
-            campaign = campaign_from_records(records)
-        else:
-            campaign, outcome = _make_cache(args.cache_dir).warm_from_records(
-                records
+        injection = None
+        campaign_dir = args.directory
+        if args.inject:
+            campaign, injection = _inject_campaign(
+                args.directory, args.inject, args.inject_seed, args.ingest_policy
             )
+            # Workers re-loading the corrupted directory under the default
+            # strict policy would fail; ship the repaired campaign instead.
+            campaign_dir = None
+        else:
+            records = load_campaign_records(args.directory, policy=args.ingest_policy)
+            clean = all(s.source == "binary" for s in records.ingest.values())
+            if not clean:
+                campaign_dir = None
+            if args.no_cache or not clean:
+                # Degraded loads stay out of the campaign cache: an entry
+                # keyed only by (seed, scale) must never serve partial data
+                # to a later clean run.
+                campaign = campaign_from_records(records)
+            else:
+                campaign, outcome = _make_cache(args.cache_dir).warm_from_records(
+                    records
+                )
         return _run_experiments(
             campaign,
             exp_ids,
             jobs=args.jobs,
             json_report=args.json_report,
             cache_outcome=outcome,
-            campaign_dir=args.directory,
+            campaign_dir=campaign_dir,
+            timeout=args.timeout,
+            retries=args.retries,
+            min_coverage=args.min_coverage,
+            ingest_policy=args.ingest_policy,
+            injection=injection,
         )
 
     if args.command == "experiment":
         exp_ids = _resolve_exp_ids(None if args.all else args.exp)
         _validate_json_report(args.json_report)
         outcome = None
+        injection = None
         campaign_dir = None
         if args.no_cache:
             from repro.synth import CampaignGenerator
@@ -273,6 +414,13 @@ def main(argv=None) -> int:
                 seed=args.seed, scale=args.scale
             )
             campaign_dir = outcome.path
+        if args.inject:
+            # Harness self-test: write the campaign out (text logs and
+            # all), corrupt the copy, and re-ingest it under the policy.
+            campaign, injection = _inject_campaign(
+                campaign, args.inject, args.inject_seed, args.ingest_policy
+            )
+            campaign_dir = None
         return _run_experiments(
             campaign,
             exp_ids,
@@ -280,6 +428,11 @@ def main(argv=None) -> int:
             json_report=args.json_report,
             cache_outcome=outcome,
             campaign_dir=campaign_dir,
+            timeout=args.timeout,
+            retries=args.retries,
+            min_coverage=args.min_coverage,
+            ingest_policy=args.ingest_policy,
+            injection=injection,
         )
 
     if args.command == "mitigate":

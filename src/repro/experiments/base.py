@@ -11,6 +11,12 @@ ExperimentResult``.  A result carries:
 - ``notes``: paper-vs-measured commentary for EXPERIMENTS.md.
 
 ``render()`` produces the text report printed by the benchmarks.
+
+Results are degradation-aware: when the campaign was ingested from
+dirty telemetry, per-family ``coverage`` fractions ride along and the
+``status`` property reports ``pass`` / ``pass-degraded`` / ``fail`` /
+``skipped-insufficient-data`` instead of letting partial data silently
+pass (or crash) the shape checks.
 """
 
 from __future__ import annotations
@@ -29,11 +35,40 @@ class ExperimentResult:
     series: dict = field(default_factory=dict)
     checks: dict = field(default_factory=dict)
     notes: list = field(default_factory=list)
+    #: Per-family usable-data fraction for the families this experiment
+    #: consumed (empty means full coverage -- clean or in-memory data).
+    coverage: dict = field(default_factory=dict)
+    #: Set when the harness refused to run the experiment because a
+    #: consumed family's coverage fell below the requested floor.
+    skipped_reason: str | None = None
 
     @property
     def all_checks_pass(self) -> bool:
         """Whether every shape claim held on the regenerated data."""
         return all(bool(v) for v in self.checks.values())
+
+    @property
+    def degraded(self) -> bool:
+        """Ran on partial data (some consumed family under 100%)."""
+        return any(c < 1.0 for c in self.coverage.values())
+
+    @property
+    def status(self) -> str:
+        """Degradation-aware verdict for this experiment.
+
+        ``skipped-insufficient-data`` when the harness refused to run on
+        too little data; ``fail`` when a shape check failed; otherwise
+        ``pass-degraded`` on partial data and ``pass`` on full data.  A
+        check failure on degraded data still reports ``fail`` -- the
+        coverage context travels with it rather than excusing it.
+        """
+        if self.skipped_reason is not None:
+            return "skipped-insufficient-data"
+        if not self.all_checks_pass:
+            return "fail"
+        if self.degraded:
+            return "pass-degraded"
+        return "pass"
 
     def check(self, name: str, value: bool) -> None:
         """Record one shape claim."""
@@ -86,6 +121,15 @@ class ExperimentResult:
     def render(self, max_rows: int = 40) -> str:
         """Text report: series tables, checks, notes."""
         lines = [f"== {self.exp_id}: {self.title} ==", ""]
+        if self.skipped_reason is not None:
+            lines.append(f"  [SKIPPED] {self.skipped_reason}")
+            lines.append("")
+        elif self.degraded:
+            cov = ", ".join(
+                f"{family}={frac:.1%}" for family, frac in sorted(self.coverage.items())
+            )
+            lines.append(f"  [DEGRADED] running on partial data: {cov}")
+            lines.append("")
         for name, values in self.series.items():
             lines.append(f"-- {name} --")
             lines.extend(_render_series(values, max_rows))

@@ -10,6 +10,8 @@ from repro.experiments.base import ExperimentResult
 
 EXP_ID = "ext-comparison"
 TITLE = "EXT: comparison with prior large-scale reliability studies"
+#: Record families this experiment consumes (for coverage gating).
+FAMILIES = ()
 
 
 def run(campaign, grid_s: float = 24 * 3600.0, **_params) -> ExperimentResult:

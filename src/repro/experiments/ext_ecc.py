@@ -7,6 +7,8 @@ from repro.experiments.base import ExperimentResult
 
 EXP_ID = "ext-ecc"
 TITLE = "EXT: SEC-DED (Astra) vs Chipkill outcome matrix"
+#: Record families this experiment consumes (for coverage gating).
+FAMILIES = ()
 
 
 def run(campaign, trials: int = 1500, **_params) -> ExperimentResult:

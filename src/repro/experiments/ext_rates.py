@@ -17,6 +17,8 @@ from repro.experiments.base import ExperimentResult
 
 EXP_ID = "ext-rates"
 TITLE = "EXT: fault FIT per DIMM and persistence classes"
+#: Record families this experiment consumes (for coverage gating).
+FAMILIES = ('errors',)
 
 
 def run(campaign, **_params) -> ExperimentResult:

@@ -12,6 +12,8 @@ from repro.synth.replacements import Component
 
 EXP_ID = "ext-survival"
 TITLE = "EXT: Weibull / Kaplan-Meier survival of replaced components"
+#: Record families this experiment consumes (for coverage gating).
+FAMILIES = ('replacements',)
 
 
 def run(campaign, **_params) -> ExperimentResult:

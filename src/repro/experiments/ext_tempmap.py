@@ -20,6 +20,8 @@ from repro.machine.topology import REGION_NAMES
 
 EXP_ID = "ext-tempmap"
 TITLE = "EXT: mean temperature per rack region, per sensor (omitted table)"
+#: Record families this experiment consumes (for coverage gating).
+FAMILIES = ()
 
 
 def run(campaign, grid_s: float = 24 * 3600.0, **_params) -> ExperimentResult:

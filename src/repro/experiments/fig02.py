@@ -14,6 +14,8 @@ from repro.machine.sensors import NodeSensorComplement
 
 EXP_ID = "fig02"
 TITLE = "Histograms of sensor values (environmental window)"
+#: Record families this experiment consumes (for coverage gating).
+FAMILIES = ()
 
 
 def run(

@@ -13,6 +13,8 @@ from repro.synth.replacements import Component
 
 EXP_ID = "fig03"
 TITLE = "Daily hardware replacement counts (processor / motherboard / DIMM)"
+#: Record families this experiment consumes (for coverage gating).
+FAMILIES = ('replacements',)
 
 
 def run(campaign, **_params) -> ExperimentResult:

@@ -16,6 +16,8 @@ from repro.faults.types import REPORTED_MODES, FaultMode
 
 EXP_ID = "fig04"
 TITLE = "DRAM error/fault modes by month; errors per fault"
+#: Record families this experiment consumes (for coverage gating).
+FAMILIES = ('errors',)
 
 #: Paper error totals per mode (full scale).
 PAPER_TOTALS = {

@@ -19,6 +19,8 @@ from repro.experiments.base import ExperimentResult
 
 EXP_ID = "fig05"
 TITLE = "Per-node fault counts (power law) and CE concentration ECDF"
+#: Record families this experiment consumes (for coverage gating).
+FAMILIES = ('errors',)
 
 
 def run(campaign, **_params) -> ExperimentResult:

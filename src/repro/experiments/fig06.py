@@ -19,6 +19,8 @@ from repro.experiments.base import ExperimentResult
 
 EXP_ID = "fig06"
 TITLE = "Errors vs faults per socket, bank, and column"
+#: Record families this experiment consumes (for coverage gating).
+FAMILIES = ('errors',)
 
 #: Structures plotted by the figure and their uniformity expectations.
 STRUCTURES = ("socket", "bank", "column")

@@ -16,6 +16,8 @@ from repro.machine.node import DIMM_SLOTS
 
 EXP_ID = "fig07"
 TITLE = "Errors and faults per memory rank and per DIMM slot"
+#: Record families this experiment consumes (for coverage gating).
+FAMILIES = ('errors',)
 
 HIGH_SLOTS = tuple("JEIP")
 LOW_SLOTS = tuple("AKLMN")

@@ -20,6 +20,8 @@ from repro.experiments.base import ExperimentResult
 
 EXP_ID = "fig08"
 TITLE = "Fault counts per cacheline bit position and per physical address"
+#: Record families this experiment consumes (for coverage gating).
+FAMILIES = ('errors',)
 
 
 def run(campaign, **_params) -> ExperimentResult:

@@ -17,6 +17,8 @@ from repro.experiments.base import ExperimentResult
 
 EXP_ID = "fig09"
 TITLE = "CE count vs mean errored-DIMM temperature (1h/1d/1w/1mo windows)"
+#: Record families this experiment consumes (for coverage gating).
+FAMILIES = ('errors',)
 
 WINDOWS = {
     "one hour": HOUR_S,

@@ -19,6 +19,8 @@ from repro.machine.topology import REGION_NAMES
 
 EXP_ID = "fig10"
 TITLE = "Errors and faults per rack region"
+#: Record families this experiment consumes (for coverage gating).
+FAMILIES = ('errors',)
 
 
 def run(campaign, **_params) -> ExperimentResult:

@@ -13,6 +13,8 @@ from repro.experiments.base import ExperimentResult
 
 EXP_ID = "fig11"
 TITLE = "Fraction of faults per region, by rack"
+#: Record families this experiment consumes (for coverage gating).
+FAMILIES = ('errors',)
 
 
 def run(campaign, **_params) -> ExperimentResult:

@@ -15,6 +15,8 @@ from repro.experiments.base import ExperimentResult
 
 EXP_ID = "fig12"
 TITLE = "Errors and faults per rack"
+#: Record families this experiment consumes (for coverage gating).
+FAMILIES = ('errors',)
 
 
 def run(campaign, **_params) -> ExperimentResult:

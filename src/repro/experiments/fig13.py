@@ -22,6 +22,8 @@ from repro.machine.sensors import NodeSensorComplement
 
 EXP_ID = "fig13"
 TITLE = "Monthly temperature deciles vs CE rate (CPU and DIMM sensors)"
+#: Record families this experiment consumes (for coverage gating).
+FAMILIES = ('errors',)
 
 #: Figure legend name -> our sensor name.
 SERIES = {

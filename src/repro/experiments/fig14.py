@@ -22,6 +22,8 @@ from repro.machine.sensors import NodeSensorComplement
 
 EXP_ID = "fig14"
 TITLE = "Monthly node power vs CE rate, split hot/cold per sensor"
+#: Record families this experiment consumes (for coverage gating).
+FAMILIES = ('errors',)
 
 
 def run(campaign, grid_s: float = 6 * 3600.0, **_params) -> ExperimentResult:

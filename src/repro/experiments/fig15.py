@@ -19,6 +19,8 @@ from repro.experiments.base import ExperimentResult
 
 EXP_ID = "fig15"
 TITLE = "HET event counts; DUE rate and FIT"
+#: Record families this experiment consumes (for coverage gating).
+FAMILIES = ('het',)
 
 
 def run(campaign, **_params) -> ExperimentResult:

@@ -72,14 +72,53 @@ def list_experiments(include_extensions: bool = False) -> list[tuple[str, str]]:
     return [(module.EXP_ID, module.TITLE) for module in modules]
 
 
-def run(exp_id: str, campaign, **params) -> ExperimentResult:
-    """Run one experiment by id (e.g. ``"fig05"`` or ``"ext-ecc"``)."""
+def run(
+    exp_id: str, campaign, min_coverage: float = 0.0, **params
+) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"fig05"`` or ``"ext-ecc"``).
+
+    When the campaign was ingested from dirty telemetry, the coverage of
+    the record families the experiment consumes (its ``FAMILIES``
+    attribute) is threaded into the result: an experiment whose input
+    coverage falls below ``min_coverage`` is not run at all and returns
+    a ``skipped-insufficient-data`` result; one that runs on partial
+    data reports ``pass-degraded`` instead of a clean ``pass``.
+    """
     try:
         module = _ALL[exp_id]
     except KeyError:
         known = ", ".join(sorted(_ALL))
         raise ValueError(f"unknown experiment {exp_id!r}; known: {known}") from None
-    return module.run(campaign, **params)
+
+    campaign_coverage = dict(getattr(campaign, "coverage", None) or {})
+    families = getattr(module, "FAMILIES", None)
+    if families is None:
+        relevant = campaign_coverage
+    else:
+        relevant = {
+            family: campaign_coverage.get(family, 1.0) for family in families
+        }
+    starved = {
+        family: frac for family, frac in relevant.items() if frac < min_coverage
+    }
+    if starved:
+        result = ExperimentResult(exp_id=exp_id, title=module.TITLE)
+        result.coverage = relevant
+        detail = ", ".join(
+            f"{family}={frac:.1%}" for family, frac in sorted(starved.items())
+        )
+        result.skipped_reason = (
+            f"coverage below --min-coverage={min_coverage:.0%}: {detail}"
+        )
+        result.note(
+            f"skipped: insufficient telemetry coverage ({detail}); "
+            "quarantined records are listed in the ingest sidecars"
+        )
+        return result
+
+    result = module.run(campaign, **params)
+    result.coverage = relevant
+    return result
 
 
 def run_all(

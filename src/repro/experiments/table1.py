@@ -8,6 +8,8 @@ from repro.synth.replacements import Component
 
 EXP_ID = "table1"
 TITLE = "Astra component replacements, Feb 17 - Sep 17 2019"
+#: Record families this experiment consumes (for coverage gating).
+FAMILIES = ('replacements',)
 
 #: Paper-reported percentages per component.
 PAPER_PERCENT = {

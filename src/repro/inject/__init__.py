@@ -1,0 +1,35 @@
+"""Telemetry fault injection: seeded corruption of campaign artifacts.
+
+The study's input was eight months of *production* telemetry --
+truncated syslog lines, BMC dropouts, inventory gaps -- so the ingest
+layer must be tested against dirty data, not just clean round-trips.
+This package provides the dirt:
+
+- :mod:`repro.inject.profiles` -- ``light`` / ``moderate`` / ``hostile``
+  intensity presets (:class:`InjectionProfile`);
+- :mod:`repro.inject.corruptor` -- the deterministic, seeded
+  :class:`LogCorruptor` that applies line faults (truncate, garble,
+  duplicate, reorder, drop, clock skew, sensor dropout) and binary
+  mirror faults (corrupt, delete) to a campaign directory;
+- :mod:`repro.inject.manifest` -- the :class:`InjectionManifest`
+  recording exactly what was injected, written alongside the corrupted
+  data for auditability.
+
+The CLI exposes it as ``--inject PROFILE --inject-seed N`` for harness
+self-tests: generate, corrupt, re-ingest under a policy, and check the
+experiments degrade instead of crash.
+"""
+
+from repro.inject.corruptor import LogCorruptor
+from repro.inject.manifest import MANIFEST_NAME, InjectionEvent, InjectionManifest
+from repro.inject.profiles import PROFILES, InjectionProfile, get_profile
+
+__all__ = [
+    "LogCorruptor",
+    "InjectionEvent",
+    "InjectionManifest",
+    "MANIFEST_NAME",
+    "InjectionProfile",
+    "PROFILES",
+    "get_profile",
+]

@@ -1,0 +1,281 @@
+"""Deterministic, seeded corruption of campaign telemetry artifacts.
+
+:class:`LogCorruptor` mutates a stored campaign directory the way eight
+months of production operation mutate real logs: truncated and garbled
+syslog lines, duplicated records (log-daemon retries), reordered and
+clock-skewed windows (interleaved writers, NTP steps), dropped line
+ranges (rotation races), BMC sensor dropout windows, and binary mirrors
+that are missing or unreadable (forcing the text-log fallback).
+
+Everything is driven by one seed and an
+:class:`~repro.inject.profiles.InjectionProfile`; the same (seed,
+profile, input bytes) always produces the same corruption, and every
+applied fault is recorded in an
+:class:`~repro.inject.manifest.InjectionManifest` so tests can assert
+the ingest layer accounts for each injected record.
+"""
+
+from __future__ import annotations
+
+import os
+import string
+from pathlib import Path
+
+import numpy as np
+
+from repro.inject.manifest import InjectionManifest
+from repro.inject.profiles import InjectionProfile, get_profile
+
+#: Characters used when garbling lines -- printable noise, no newlines.
+_NOISE = string.ascii_letters + string.digits + "#?*~^|"
+
+
+class LogCorruptor:
+    """Applies one profile's faults to telemetry files, deterministically."""
+
+    def __init__(self, profile: str | InjectionProfile = "moderate", seed: int = 0):
+        self.profile = get_profile(profile)
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------
+    def _rng(self, name: str) -> np.random.Generator:
+        """Per-file generator: stable under file-visit order changes."""
+        return np.random.default_rng([self.seed, *name.encode()])
+
+    # ------------------------------------------------------------------
+    def corrupt_campaign(self, directory: str | os.PathLike) -> InjectionManifest:
+        """Corrupt a campaign directory in place; returns the manifest.
+
+        Touches the text logs (``ce.log``, ``het.log``, any
+        ``inventory*`` and ``bmc*`` files present) and the binary
+        mirrors named by the profile, then writes
+        ``injection-manifest.json`` into the directory.
+        """
+        directory = Path(directory)
+        manifest = InjectionManifest(profile=self.profile.name, seed=self.seed)
+
+        for name in ("ce.log", "het.log"):
+            path = directory / name
+            if path.exists():
+                self.corrupt_text_file(path, manifest)
+        for pattern in ("inventory*", "bmc*"):
+            for path in sorted(directory.glob(pattern)):
+                if path.name.endswith(".quarantine"):
+                    continue
+                dropout = self.profile.bmc_dropout_windows if "bmc" in path.name else 0
+                self.corrupt_text_file(
+                    path, manifest,
+                    has_header=path.suffix == ".csv",
+                    dropout_windows=dropout,
+                )
+
+        for name in self.profile.corrupt_mirrors:
+            path = directory / name
+            if path.exists():
+                self.corrupt_binary(path, manifest)
+        for name in self.profile.drop_mirrors:
+            path = directory / name
+            if path.exists():
+                path.unlink()
+                manifest.record(name, "mirror-dropped", 1)
+
+        manifest.write(directory)
+        return manifest
+
+    # ------------------------------------------------------------------
+    def corrupt_text_file(
+        self,
+        path: str | os.PathLike,
+        manifest: InjectionManifest | None = None,
+        has_header: bool = False,
+        dropout_windows: int = 0,
+    ) -> InjectionManifest:
+        """Apply the profile's line faults to one text log, in place."""
+        path = Path(path)
+        if manifest is None:
+            manifest = InjectionManifest(profile=self.profile.name, seed=self.seed)
+        rng = self._rng(path.name)
+        with open(path) as fh:
+            lines = fh.read().splitlines()
+        header = lines[:1] if has_header else []
+        body = lines[len(header):]
+        name = path.name
+
+        body = self._clock_skew(body, rng, manifest, name)
+        body = self._reorder(body, rng, manifest, name)
+        body = self._duplicate(body, rng, manifest, name)
+        body = self._truncate(body, rng, manifest, name)
+        body = self._garble(body, rng, manifest, name)
+        body = self._drop_ranges(body, rng, manifest, name)
+        body = self._dropout(body, rng, manifest, name, dropout_windows)
+
+        with open(path, "w") as fh:
+            for line in header + body:
+                fh.write(line + "\n")
+        return manifest
+
+    # -- line faults ---------------------------------------------------
+    def _pick_lines(self, n: int, rate: float, rng) -> np.ndarray:
+        k = int(round(n * rate))
+        if k == 0 or n == 0:
+            return np.zeros(0, dtype=np.int64)
+        return rng.choice(n, size=min(k, n), replace=False)
+
+    def _clock_skew(self, lines, rng, manifest, name):
+        p = self.profile
+        n = len(lines)
+        skewed = 0
+        windows = []
+        for _ in range(p.clock_skew_windows):
+            if n < 2:
+                break
+            span = min(p.clock_skew_span, n)
+            start = int(rng.integers(0, n - span + 1))
+            for i in range(start, start + span):
+                shifted = _shift_timestamp(lines[i], -p.clock_skew_s)
+                if shifted is not None:
+                    lines[i] = shifted
+                    skewed += 1
+            windows.append([start, start + span])
+        manifest.record(
+            name, "clock-skew", skewed,
+            windows=windows, skew_s=-p.clock_skew_s,
+        )
+        return lines
+
+    def _reorder(self, lines, rng, manifest, name):
+        p = self.profile
+        n = len(lines)
+        moved = 0
+        windows = []
+        for _ in range(p.reorder_windows):
+            if n < 2:
+                break
+            span = min(p.reorder_span, n)
+            start = int(rng.integers(0, n - span + 1))
+            window = lines[start : start + span]
+            perm = rng.permutation(span)
+            lines[start : start + span] = [window[j] for j in perm]
+            moved += int(np.sum(perm != np.arange(span)))
+            windows.append([start, start + span])
+        manifest.record(name, "reordered", moved, windows=windows)
+        return lines
+
+    def _duplicate(self, lines, rng, manifest, name):
+        idx = set(self._pick_lines(len(lines), self.profile.duplicate_rate, rng).tolist())
+        if not idx:
+            manifest.record(name, "duplicated", 0)
+            return lines
+        out = []
+        for i, line in enumerate(lines):
+            out.append(line)
+            if i in idx:
+                out.append(line)
+        manifest.record(name, "duplicated", len(idx), lines=sorted(idx))
+        return out
+
+    def _truncate(self, lines, rng, manifest, name):
+        idx = self._pick_lines(len(lines), self.profile.truncate_rate, rng)
+        for i in idx:
+            line = lines[i]
+            if len(line) < 8:
+                continue
+            cut = int(rng.integers(len(line) // 3, max(len(line) - 1, len(line) // 3 + 1)))
+            lines[i] = line[:cut]
+        manifest.record(name, "truncated", len(idx), lines=sorted(idx.tolist()))
+        return lines
+
+    def _garble(self, lines, rng, manifest, name):
+        idx = self._pick_lines(len(lines), self.profile.garble_rate, rng)
+        for i in idx:
+            line = list(lines[i])
+            if not line:
+                continue
+            k = max(1, len(line) // 10)
+            positions = rng.integers(0, len(line), size=k)
+            for pos in positions:
+                line[int(pos)] = _NOISE[int(rng.integers(0, len(_NOISE)))]
+            lines[i] = "".join(line)
+        manifest.record(name, "garbled", len(idx), lines=sorted(idx.tolist()))
+        return lines
+
+    def _drop_ranges(self, lines, rng, manifest, name):
+        p = self.profile
+        dropped: set[int] = set()
+        ranges = []
+        for _ in range(p.drop_ranges):
+            n = len(lines)
+            if n < 2:
+                break
+            span = int(rng.integers(1, min(p.drop_span, n) + 1))
+            start = int(rng.integers(0, n - span + 1))
+            ranges.append([start, start + span])
+            dropped.update(range(start, start + span))
+        if dropped:
+            lines = [line for i, line in enumerate(lines) if i not in dropped]
+        manifest.record(name, "dropped-range", len(dropped), ranges=ranges)
+        return lines
+
+    def _dropout(self, lines, rng, manifest, name, windows: int):
+        """BMC-style sensor dropout: contiguous silence windows."""
+        if not windows:
+            return lines
+        p = self.profile
+        dropped: set[int] = set()
+        spans = []
+        for _ in range(windows):
+            n = len(lines)
+            if n < 4:
+                break
+            span = max(1, int(n * p.bmc_dropout_fraction))
+            start = int(rng.integers(0, n - span + 1))
+            spans.append([start, start + span])
+            dropped.update(range(start, start + span))
+        if dropped:
+            lines = [line for i, line in enumerate(lines) if i not in dropped]
+        manifest.record(name, "sensor-dropout", len(dropped), windows=spans)
+        return lines
+
+    # -- binary faults -------------------------------------------------
+    def corrupt_binary(
+        self, path: str | os.PathLike, manifest: InjectionManifest | None = None
+    ) -> InjectionManifest:
+        """Make a binary mirror unreadable: garble its header, truncate it.
+
+        ``.npy`` files carry no checksum, so damage must hit the header
+        to be *detectable*; this stands in for the checksum-mismatch
+        case a production object store would report.
+        """
+        path = Path(path)
+        if manifest is None:
+            manifest = InjectionManifest(profile=self.profile.name, seed=self.seed)
+        rng = self._rng(path.name)
+        data = bytearray(path.read_bytes())
+        garble_span = min(64, len(data))
+        data[:garble_span] = rng.integers(0, 256, size=garble_span, dtype=np.uint8).tobytes()
+        keep = max(garble_span, int(len(data) * 3 // 4))
+        path.write_bytes(bytes(data[:keep]))
+        manifest.record(
+            path.name, "mirror-corrupted", 1,
+            garbled_bytes=garble_span, truncated_to=keep,
+        )
+        return manifest
+
+
+def _shift_timestamp(line: str, delta_s: float) -> str | None:
+    """Shift a line's leading ISO timestamp by ``delta_s`` seconds.
+
+    Handles both space-separated syslog lines and comma-separated CSV
+    rows; returns None when the line has no parseable leading timestamp.
+    """
+    for sep in (" ", ","):
+        head, mid, rest = line.partition(sep)
+        if not mid:
+            continue
+        try:
+            t = np.datetime64(head, "s")
+        except ValueError:
+            continue
+        shifted = t + np.timedelta64(int(delta_s), "s")
+        return f"{shifted}{sep}{rest}"
+    return None

@@ -1,0 +1,91 @@
+"""Injection manifests: an exact record of what was corrupted.
+
+Fault injection is only useful when it is reproducible and auditable,
+so every :class:`~repro.inject.corruptor.LogCorruptor` pass emits an
+:class:`InjectionManifest`: the profile and seed (replaying both yields
+byte-identical corruption) plus one :class:`InjectionEvent` per applied
+fault with enough detail (line numbers, spans, byte offsets) to verify
+downstream accounting -- e.g. that every dropped line shows up as
+missing coverage and every garbled one in a quarantine sidecar.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+#: File name the corruptor writes inside a corrupted campaign directory.
+MANIFEST_NAME = "injection-manifest.json"
+
+
+@dataclass
+class InjectionEvent:
+    """One applied fault: what, where, and how much."""
+
+    file: str
+    fault: str
+    count: int
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass
+class InjectionManifest:
+    """Everything one corruption pass did to a directory."""
+
+    profile: str
+    seed: int
+    events: list = field(default_factory=list)
+
+    def record(self, file: str, fault: str, count: int, **detail) -> None:
+        """Append one fault application (zero-count events are elided)."""
+        if count:
+            self.events.append(
+                InjectionEvent(file=file, fault=fault, count=count, detail=detail)
+            )
+
+    def faults_applied(self) -> set:
+        """The distinct fault kinds that actually fired."""
+        return {event.fault for event in self.events}
+
+    def total(self, fault: str | None = None) -> int:
+        """Total affected records, optionally for one fault kind."""
+        return sum(
+            event.count
+            for event in self.events
+            if fault is None or event.fault == fault
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "profile": self.profile,
+            "seed": self.seed,
+            "n_events": len(self.events),
+            "events": [asdict(event) for event in self.events],
+        }
+
+    def write(self, directory: str | os.PathLike) -> Path:
+        """Write the manifest JSON into ``directory``; returns its path."""
+        path = Path(directory) / MANIFEST_NAME
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+            fh.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, directory: str | os.PathLike) -> "InjectionManifest":
+        """Read a manifest back from a corrupted directory."""
+        path = Path(directory) / MANIFEST_NAME
+        data = json.loads(path.read_text())
+        manifest = cls(profile=data["profile"], seed=data["seed"])
+        for event in data["events"]:
+            manifest.events.append(
+                InjectionEvent(
+                    file=event["file"],
+                    fault=event["fault"],
+                    count=event["count"],
+                    detail=event.get("detail", {}),
+                )
+            )
+        return manifest

@@ -1,0 +1,117 @@
+"""Injection profiles: how dirty should the telemetry get?
+
+A profile fixes the per-fault intensities the
+:class:`~repro.inject.corruptor.LogCorruptor` applies.  Three presets
+ladder from the annoyances every production scraper sees to an actively
+hostile corpus:
+
+- ``light``    -- a sprinkle of truncated/garbled lines; mirrors intact.
+- ``moderate`` -- the paper's reality: percent-level line damage,
+  duplicated and reordered records, a dropped line range, a clock-skew
+  window, and checksum-corrupt binary mirrors (forcing the text-log
+  fallback path).
+- ``hostile``  -- everything above, harder, plus a deleted
+  ``replacements.npy`` (a family with *no* text fallback) and BMC
+  sensor dropout windows.
+
+Rates are fractions of lines; counts are whole occurrences per file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class InjectionProfile:
+    """Fault intensities for one corruption pass."""
+
+    name: str
+    #: Fraction of lines whose tail is chopped mid-field.
+    truncate_rate: float = 0.0
+    #: Fraction of lines with random characters overwritten.
+    garble_rate: float = 0.0
+    #: Fraction of lines emitted twice (log daemon retry storms).
+    duplicate_rate: float = 0.0
+    #: Number of line windows shuffled out of order.
+    reorder_windows: int = 0
+    #: Lines per reordered window.
+    reorder_span: int = 32
+    #: Number of contiguous line ranges dropped outright.
+    drop_ranges: int = 0
+    #: Maximum lines per dropped range.
+    drop_span: int = 200
+    #: Number of windows whose timestamps are skewed backwards.
+    clock_skew_windows: int = 0
+    #: Seconds of backwards skew applied to a skewed window.
+    clock_skew_s: float = 3600.0
+    #: Lines per clock-skew window.
+    clock_skew_span: int = 64
+    #: Binary mirrors to overwrite with garbage bytes (checksum corrupt).
+    corrupt_mirrors: tuple = field(default=())
+    #: Binary mirrors to delete outright.
+    drop_mirrors: tuple = field(default=())
+    #: Number of BMC sensor dropout windows (applies to sensor CSVs).
+    bmc_dropout_windows: int = 0
+    #: Fraction of the sensor time span each dropout window covers.
+    bmc_dropout_fraction: float = 0.02
+
+    def line_faults_active(self) -> bool:
+        return any(
+            (
+                self.truncate_rate,
+                self.garble_rate,
+                self.duplicate_rate,
+                self.reorder_windows,
+                self.drop_ranges,
+                self.clock_skew_windows,
+            )
+        )
+
+
+PROFILES: dict[str, InjectionProfile] = {
+    "light": InjectionProfile(
+        name="light",
+        truncate_rate=0.001,
+        garble_rate=0.001,
+        duplicate_rate=0.0005,
+    ),
+    "moderate": InjectionProfile(
+        name="moderate",
+        truncate_rate=0.005,
+        garble_rate=0.005,
+        duplicate_rate=0.002,
+        reorder_windows=2,
+        drop_ranges=1,
+        clock_skew_windows=1,
+        corrupt_mirrors=("errors.npy", "het.npy"),
+        bmc_dropout_windows=1,
+    ),
+    "hostile": InjectionProfile(
+        name="hostile",
+        truncate_rate=0.02,
+        garble_rate=0.03,
+        duplicate_rate=0.01,
+        reorder_windows=5,
+        drop_ranges=3,
+        drop_span=500,
+        clock_skew_windows=3,
+        corrupt_mirrors=("errors.npy", "het.npy"),
+        drop_mirrors=("replacements.npy",),
+        bmc_dropout_windows=3,
+        bmc_dropout_fraction=0.05,
+    ),
+}
+
+
+def get_profile(profile: "str | InjectionProfile") -> InjectionProfile:
+    """Resolve a profile by name (or pass a custom one through)."""
+    if isinstance(profile, InjectionProfile):
+        return profile
+    try:
+        return PROFILES[str(profile).lower()]
+    except KeyError:
+        names = ", ".join(sorted(PROFILES))
+        raise ValueError(
+            f"unknown injection profile {profile!r}; known: {names}"
+        ) from None

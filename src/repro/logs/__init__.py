@@ -15,28 +15,62 @@ study did, plus a fast binary store for repeated analysis runs.
 - :mod:`repro.logs.store` -- binary (npy) record store with per-rack
   sharding for the parallel engine.
 - :mod:`repro.logs.campaign_io` -- write/load a whole campaign directory.
+- :mod:`repro.logs.ingest` -- the shared ingest policy machinery
+  (strict/repair/skip), per-family :class:`IngestStats` accounting, and
+  the quarantine sidecar format for unparseable records.
 """
 
-from repro.logs.syslog import write_ce_log, read_ce_log, format_ce_record
+from repro.logs.ingest import (
+    CampaignFormatError,
+    IngestError,
+    IngestPolicy,
+    IngestStats,
+    MalformedRecordError,
+    coverage_map,
+    quarantine_path,
+    read_quarantine,
+)
+from repro.logs.syslog import (
+    write_ce_log,
+    read_ce_log,
+    ingest_ce_log,
+    format_ce_record,
+)
 from repro.logs.bmc import (
     SENSOR_SAMPLE_DTYPE,
     write_bmc_log,
     read_bmc_log,
+    ingest_bmc_log,
     filter_valid_samples,
+    sensor_dropout_windows,
 )
 from repro.logs.inventory import (
     InventoryModel,
     write_inventory_snapshots,
     read_inventory_snapshots,
+    ingest_inventory_snapshots,
     diff_inventories,
 )
-from repro.logs.het import write_het_log, read_het_log
+from repro.logs.het import write_het_log, read_het_log, ingest_het_log
 from repro.logs.release import write_release, read_release
 from repro.logs.store import save_records, load_records, shard_by_rack
 
 __all__ = [
+    "CampaignFormatError",
+    "IngestError",
+    "IngestPolicy",
+    "IngestStats",
+    "MalformedRecordError",
+    "coverage_map",
+    "quarantine_path",
+    "read_quarantine",
     "write_ce_log",
     "read_ce_log",
+    "ingest_ce_log",
+    "ingest_bmc_log",
+    "ingest_het_log",
+    "ingest_inventory_snapshots",
+    "sensor_dropout_windows",
     "format_ce_record",
     "SENSOR_SAMPLE_DTYPE",
     "write_bmc_log",

@@ -19,6 +19,14 @@ import os
 import numpy as np
 
 from repro._util import iso
+from repro.logs.ingest import (
+    IngestPolicy,
+    IngestStats,
+    MalformedRecordError,
+    Quarantine,
+    ingest_lines,
+    resort_by_time,
+)
 from repro.machine.sensors import NodeSensorComplement
 
 #: One sensor sample.
@@ -74,32 +82,76 @@ def write_bmc_log(
     return n
 
 
-def read_bmc_log(path: str | os.PathLike) -> np.ndarray:
-    """Parse a BMC CSV into a SENSOR_SAMPLE_DTYPE array."""
+def _parse_sample_line(line: str, name_to_idx: dict) -> tuple:
+    ts, node, name, value = line.split(",")
+    t = float(np.datetime64(ts).astype("datetime64[s]").astype(np.int64))
+    return (t, int(node), name_to_idx[name], float(value))
+
+
+def ingest_bmc_log(
+    path: str | os.PathLike,
+    policy: IngestPolicy | str = IngestPolicy.REPAIR,
+    quarantine: bool = True,
+) -> tuple[np.ndarray, IngestStats]:
+    """Parse a BMC CSV under an ingest policy; returns (samples, stats).
+
+    A missing header raises under ``strict``; the lenient policies fall
+    back to treating the first line as data (the header itself fails to
+    parse and is quarantined, so it still shows up in the accounting).
+    """
+    policy = IngestPolicy.coerce(policy)
     complement = NodeSensorComplement()
     name_to_idx = {name: i for i, name in enumerate(complement.names)}
-    times, nodes, sensors, values = [], [], [], []
+    stats = IngestStats(family="sensors", source="text")
+    sidecar = Quarantine(path) if quarantine else None
+
+    def parse(line: str) -> tuple:
+        return _parse_sample_line(line, name_to_idx)
+
     with open(path) as fh:
         header = fh.readline()
         if not header.startswith("timestamp,"):
-            raise ValueError("not a BMC sensor log (missing header)")
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            ts, node, name, value = line.split(",")
-            times.append(
-                float(np.datetime64(ts).astype("datetime64[s]").astype(np.int64))
-            )
-            nodes.append(int(node))
-            sensors.append(name_to_idx[name])
-            values.append(float(value))
-    out = np.zeros(len(times), dtype=SENSOR_SAMPLE_DTYPE)
-    out["time"] = times
-    out["node"] = nodes
-    out["sensor"] = sensors
-    out["value"] = values
-    return out
+            if policy is IngestPolicy.STRICT:
+                raise MalformedRecordError(
+                    "sensors", path, 1, header.strip(), "missing header"
+                )
+            fh.seek(0)
+        rows = list(ingest_lines(fh, parse, stats, policy, sidecar))
+    if sidecar is not None:
+        sidecar.flush()
+    out = np.zeros(len(rows), dtype=SENSOR_SAMPLE_DTYPE)
+    for i, row in enumerate(rows):
+        out[i] = row
+    out = resort_by_time(out, stats, policy)
+    stats.check_invariant()
+    return out, stats
+
+
+def read_bmc_log(path: str | os.PathLike) -> np.ndarray:
+    """Parse a BMC CSV into a SENSOR_SAMPLE_DTYPE array (strict)."""
+    samples, _ = ingest_bmc_log(path, policy=IngestPolicy.STRICT, quarantine=False)
+    return samples
+
+
+def sensor_dropout_windows(
+    samples: np.ndarray, cadence_s: float = 60.0, min_gap: float = 3.0
+) -> list[tuple[float, float]]:
+    """Detect BMC reporting gaps: windows with no samples from any node.
+
+    A gap longer than ``min_gap`` cadences between consecutive distinct
+    sample timestamps is reported as a ``(start, end)`` dropout window --
+    the sensor-side analogue of the syslog truncations the ingest layer
+    quarantines.  Experiments can subtract these windows from their
+    denominator instead of treating silence as healthy telemetry.
+    """
+    if samples.size == 0:
+        return []
+    times = np.unique(samples["time"])
+    if times.size < 2:
+        return []
+    gaps = np.diff(times)
+    idx = np.nonzero(gaps > min_gap * cadence_s)[0]
+    return [(float(times[i]), float(times[i + 1])) for i in idx]
 
 
 def filter_valid_samples(samples: np.ndarray) -> tuple[np.ndarray, float]:

@@ -3,7 +3,10 @@
 ``write_campaign`` lays a campaign out the way the paper's data release is
 described (section 2.4): text logs per family, plus fast binary mirrors
 and a small manifest.  ``load_campaign_records`` reads the binary mirrors
-back for analysis.
+back for analysis; when a mirror is missing or corrupt it falls back to
+re-parsing the text log (under the caller's ingest policy), and raises a
+typed :class:`~repro.logs.ingest.CampaignFormatError` -- naming the file
+and the expected layout -- when no recovery path exists.
 
 Directory layout::
 
@@ -22,15 +25,16 @@ logs are written on demand via :func:`repro.logs.bmc.write_bmc_log`.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 from repro.faults.types import ERROR_DTYPE
-from repro.logs.het import write_het_log
+from repro.logs.het import ingest_het_log, write_het_log
+from repro.logs.ingest import CampaignFormatError, IngestPolicy, IngestStats
 from repro.logs.store import load_records, save_records, shard_by_rack
-from repro.logs.syslog import write_ce_log
+from repro.logs.syslog import ingest_ce_log, write_ce_log
 from repro.synth.campaign import Campaign
 from repro.synth.het import HET_DTYPE
 from repro.synth.replacements import REPLACEMENT_DTYPE
@@ -82,6 +86,9 @@ class CampaignRecords:
     het: np.ndarray
     seed: int
     scale: float
+    #: Per-family :class:`IngestStats` describing how each stream was
+    #: recovered (binary mirror, text fallback, or missing).
+    ingest: dict = field(default_factory=dict)
 
 
 def campaign_from_records(records: "CampaignRecords") -> Campaign:
@@ -116,22 +123,122 @@ def campaign_from_records(records: "CampaignRecords") -> Campaign:
         sensors=SensorFieldModel(
             seed=records.seed, cooling=CoolingModel(topology=topology)
         ),
+        ingest=dict(records.ingest),
     )
 
 
-def load_campaign_records(directory: str | os.PathLike) -> CampaignRecords:
-    """Load the binary mirrors of a campaign directory."""
+def _load_family(
+    directory: Path,
+    npy_name: str,
+    dtype,
+    family: str,
+    text_loader,
+    policy: IngestPolicy,
+) -> tuple[np.ndarray, IngestStats]:
+    """Load one record family: binary mirror, else text log, else policy.
+
+    Returns ``(records, stats)``.  A healthy mirror counts every record
+    as parsed; a corrupt/missing mirror falls back to re-parsing the
+    text log when one exists.  With neither source, ``strict`` raises
+    :class:`CampaignFormatError` and the lenient policies return an
+    empty stream flagged ``missing`` (zero coverage) so downstream
+    experiments degrade instead of crashing.
+    """
+    npy_path = directory / npy_name
+    mirror_problem = None
+    try:
+        records = load_records(npy_path, dtype)
+        stats = IngestStats(
+            family=family, seen=int(records.size), parsed=int(records.size),
+            source="binary",
+        )
+        return records, stats
+    except (OSError, ValueError, EOFError) as exc:
+        mirror_problem = f"{type(exc).__name__}: {exc}"
+
+    if text_loader is not None:
+        text_path, loader = text_loader
+        if (directory / text_path).exists():
+            records, stats = loader(directory / text_path, policy)
+            stats.source = "text-fallback"
+            return records, stats
+
+    if policy is IngestPolicy.STRICT:
+        fallback = (
+            f"no {text_loader[0]} text fallback" if text_loader is not None
+            else "no text fallback exists for this family"
+        )
+        raise CampaignFormatError(
+            npy_path,
+            f"binary mirror for {family!r} unreadable ({mirror_problem}; "
+            f"{fallback})",
+        )
+    stats = IngestStats(family=family, missing=True, source="missing")
+    return np.zeros(0, dtype=dtype), stats
+
+
+def _ce_text_loader(path, policy):
+    result = ingest_ce_log(path, policy=policy)
+    return result.errors, result.stats
+
+
+def _het_text_loader(path, policy):
+    return ingest_het_log(path, policy=policy)
+
+
+def load_campaign_records(
+    directory: str | os.PathLike,
+    policy: IngestPolicy | str | None = None,
+) -> CampaignRecords:
+    """Load the binary mirrors of a campaign directory.
+
+    ``policy`` governs what happens when a mirror is missing or corrupt:
+    under ``strict`` (the default) a typed :class:`CampaignFormatError`
+    names the offending file and the expected layout, after trying the
+    text-log fallback; ``repair``/``skip`` additionally tolerate
+    families with no source at all, returning empty streams with zero
+    coverage.  Per-family :class:`IngestStats` ride along on the
+    returned records.
+    """
     directory = Path(directory)
+    policy = IngestPolicy.coerce(policy)
+    manifest_path = directory / "manifest.txt"
+    if not manifest_path.exists():
+        raise CampaignFormatError(
+            manifest_path,
+            "not a campaign directory (manifest.txt missing)",
+        )
     manifest = {}
-    with open(directory / "manifest.txt") as fh:
+    with open(manifest_path) as fh:
         for line in fh:
             if "=" in line:
                 key, value = line.strip().split("=", 1)
                 manifest[key] = value
+
+    errors, e_stats = _load_family(
+        directory, "errors.npy", ERROR_DTYPE, "errors",
+        ("ce.log", _ce_text_loader), policy,
+    )
+    replacements, r_stats = _load_family(
+        directory, "replacements.npy", REPLACEMENT_DTYPE, "replacements",
+        None, policy,
+    )
+    het, h_stats = _load_family(
+        directory, "het.npy", HET_DTYPE, "het",
+        ("het.log", _het_text_loader), policy,
+    )
+    try:
+        seed = int(manifest.get("seed", -1))
+        scale = float(manifest.get("scale", 1.0))
+    except ValueError as exc:
+        raise CampaignFormatError(
+            manifest_path, f"unreadable seed/scale ({exc})"
+        ) from exc
     return CampaignRecords(
-        errors=load_records(directory / "errors.npy", ERROR_DTYPE),
-        replacements=load_records(directory / "replacements.npy", REPLACEMENT_DTYPE),
-        het=load_records(directory / "het.npy", HET_DTYPE),
-        seed=int(manifest.get("seed", -1)),
-        scale=float(manifest.get("scale", 1.0)),
+        errors=errors,
+        replacements=replacements,
+        het=het,
+        seed=seed,
+        scale=scale,
+        ingest={"errors": e_stats, "replacements": r_stats, "het": h_stats},
     )

@@ -6,7 +6,11 @@ in the syslog by the HET, with a severity field.  Line format::
     2019-08-30T07:12:44 astra-n0123 HET severity=NON-RECOVERABLE \
         event=uncorrectableECC
 
-Event names come from Figure 15's legend verbatim.
+Event names come from Figure 15's legend verbatim.  Parsing goes
+through the shared :mod:`repro.logs.ingest` policy machinery: the
+legacy :func:`read_het_log` stays strict (any malformed record raises a
+typed error), while :func:`ingest_het_log` can quarantine garbage and
+repair records whose severity flag contradicts their event type.
 """
 
 from __future__ import annotations
@@ -16,6 +20,13 @@ import os
 import numpy as np
 
 from repro._util import iso
+from repro.logs.ingest import (
+    IngestPolicy,
+    IngestStats,
+    Quarantine,
+    ingest_lines,
+    resort_by_time,
+)
 from repro.synth.het import EVENT_TYPES, HET_DTYPE, NON_RECOVERABLE_EVENTS
 
 
@@ -36,32 +47,78 @@ def write_het_log(events: np.ndarray, path: str | os.PathLike) -> int:
     return int(events.size)
 
 
-def read_het_log(path: str | os.PathLike) -> np.ndarray:
-    """Parse a HET log back into a HET_DTYPE array."""
-    name_to_idx = {name: i for i, name in enumerate(EVENT_TYPES)}
-    rows = []
+_NAME_TO_IDX = {name: i for i, name in enumerate(EVENT_TYPES)}
+
+
+def _parse_line(line: str) -> tuple:
+    # The event name may contain spaces ("... de-asserted"), so split on
+    # the known markers instead of naive whitespace.
+    head, _, event_part = line.partition(" event=")
+    parts = head.split()
+    if len(parts) != 4 or parts[2] != "HET" or not event_part:
+        raise ValueError("not a HET record")
+    t = float(np.datetime64(parts[0]).astype("datetime64[s]").astype(np.int64))
+    if not parts[1].startswith("astra-n"):
+        raise ValueError("unknown host format")
+    node = int(parts[1][len("astra-n") :])
+    severity = parts[3].split("=", 1)[1]
+    if event_part not in _NAME_TO_IDX:
+        raise ValueError(f"unknown HET event: {event_part!r}")
+    event = _NAME_TO_IDX[event_part]
+    non_recoverable = severity == "NON-RECOVERABLE"
+    if (event in NON_RECOVERABLE_EVENTS) != non_recoverable:
+        raise ValueError("severity flag inconsistent with event type")
+    return (t, node, event, non_recoverable)
+
+
+def _repair_line(line: str) -> tuple:
+    """Repair a HET record whose severity contradicts its event type.
+
+    The event vocabulary is authoritative (Figure 15b fixes which events
+    are NON-RECOVERABLE), so a garbled severity field is recoverable as
+    long as the rest of the line parses.
+    """
+    head, _, event_part = line.partition(" event=")
+    parts = head.split()
+    if len(parts) != 4 or parts[2] != "HET" or not event_part:
+        raise ValueError("not a repairable HET record")
+    t = float(np.datetime64(parts[0]).astype("datetime64[s]").astype(np.int64))
+    if not parts[1].startswith("astra-n"):
+        raise ValueError("unknown host format")
+    node = int(parts[1][len("astra-n") :])
+    if event_part not in _NAME_TO_IDX:
+        raise ValueError(f"unknown HET event: {event_part!r}")
+    event = _NAME_TO_IDX[event_part]
+    return (t, node, event, event in NON_RECOVERABLE_EVENTS)
+
+
+def ingest_het_log(
+    path: str | os.PathLike,
+    policy: IngestPolicy | str = IngestPolicy.REPAIR,
+    quarantine: bool = True,
+) -> tuple[np.ndarray, IngestStats]:
+    """Parse a HET log under an ingest policy; returns (events, stats).
+
+    Quarantined lines land in ``<path>.quarantine`` unless ``quarantine``
+    is False.
+    """
+    policy = IngestPolicy.coerce(policy)
+    stats = IngestStats(family="het", source="text")
+    sidecar = Quarantine(path) if quarantine else None
+    repair = _repair_line if policy is IngestPolicy.REPAIR else None
     with open(path) as fh:
-        for line in fh:
-            line = line.rstrip("\n")
-            if not line:
-                continue
-            # The event name may contain spaces ("... de-asserted"), so
-            # split on the known markers instead of naive whitespace.
-            head, _, event_part = line.partition(" event=")
-            parts = head.split()
-            if len(parts) != 4 or parts[2] != "HET" or not event_part:
-                raise ValueError(f"malformed HET line: {line!r}")
-            t = float(
-                np.datetime64(parts[0]).astype("datetime64[s]").astype(np.int64)
-            )
-            node = int(parts[1][len("astra-n") :])
-            severity = parts[3].split("=", 1)[1]
-            if event_part not in name_to_idx:
-                raise ValueError(f"unknown HET event: {event_part!r}")
-            rows.append((t, node, name_to_idx[event_part], severity))
+        rows = list(ingest_lines(fh, _parse_line, stats, policy, sidecar, repair))
+    if sidecar is not None:
+        sidecar.flush()
     out = np.zeros(len(rows), dtype=HET_DTYPE)
-    for i, (t, node, event, severity) in enumerate(rows):
-        out[i] = (t, node, event, severity == "NON-RECOVERABLE")
-        if (event in NON_RECOVERABLE_EVENTS) != out[i]["non_recoverable"]:
-            raise ValueError("severity flag inconsistent with event type")
-    return out
+    for i, row in enumerate(rows):
+        out[i] = row
+    out = resort_by_time(out, stats, policy)
+    stats.check_invariant()
+    return out, stats
+
+
+def read_het_log(path: str | os.PathLike) -> np.ndarray:
+    """Parse a HET log back into a HET_DTYPE array (strict)."""
+    events, _ = ingest_het_log(path, policy=IngestPolicy.STRICT, quarantine=False)
+    return events

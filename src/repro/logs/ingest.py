@@ -1,0 +1,264 @@
+"""Shared ingest policy, statistics and quarantine for dirty telemetry.
+
+The study's eight months of Astra telemetry were production logs:
+truncated syslog lines, BMC sensor dropouts, inventory gaps.  Every
+parser in :mod:`repro.logs` therefore takes an :class:`IngestPolicy`:
+
+- ``strict`` -- the first unparseable record raises a typed
+  :class:`MalformedRecordError` naming the file, line and reason;
+- ``repair`` -- salvage what can be salvaged (fill truncated fields
+  with sentinels, re-sort out-of-order timestamps) and quarantine the
+  rest to a sidecar file;
+- ``skip`` -- quarantine every unparseable record, repair nothing.
+
+Each ingest returns an :class:`IngestStats` that accounts for every
+input record: ``seen == parsed + repaired + quarantined`` always holds,
+and ``coverage`` is the fraction of records that made it through.  The
+experiment harness uses coverage to downgrade its verdicts
+(``pass-degraded`` / ``skipped-insufficient-data``) instead of silently
+passing on partial data.
+
+Quarantined records go to ``<log>.quarantine`` as tab-separated
+``line_no<TAB>reason<TAB>raw-line`` rows so no byte of telemetry is
+ever silently discarded.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+
+import numpy as np
+
+
+class IngestPolicy(str, Enum):
+    """How a parser treats records it cannot parse."""
+
+    STRICT = "strict"
+    REPAIR = "repair"
+    SKIP = "skip"
+
+    @classmethod
+    def coerce(cls, value) -> "IngestPolicy":
+        """Accept an IngestPolicy, its string name, or None (-> STRICT)."""
+        if value is None:
+            return cls.STRICT
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            names = ", ".join(p.value for p in cls)
+            raise ValueError(
+                f"unknown ingest policy {value!r}; expected one of: {names}"
+            ) from None
+
+
+class IngestError(ValueError):
+    """Base class for typed ingest failures.
+
+    Subclasses ``ValueError`` so existing callers (and the campaign
+    cache's corruption handling) keep working unchanged.
+    """
+
+
+class MalformedRecordError(IngestError):
+    """A record could not be parsed under the ``strict`` policy."""
+
+    def __init__(self, family: str, source, line_no: int, line: str, reason: str):
+        self.family = family
+        self.source = str(source)
+        self.line_no = line_no
+        self.line = line
+        self.reason = reason
+        super().__init__(
+            f"{self.source}:{line_no}: malformed {family} record "
+            f"({reason}): {line!r}"
+        )
+
+
+class CampaignFormatError(IngestError):
+    """A campaign directory is missing or corrupt beyond recovery.
+
+    Raised with the offending file and the expected directory layout so
+    the user sees what is wrong instead of an opaque numpy traceback.
+    """
+
+    LAYOUT = (
+        "manifest.txt, errors.npy (+ optional ce.log text mirror), "
+        "replacements.npy, het.npy (+ optional het.log text mirror)"
+    )
+
+    def __init__(self, path, reason: str):
+        self.path = str(path)
+        self.reason = reason
+        super().__init__(
+            f"{self.path}: {reason} (expected campaign layout: {self.LAYOUT})"
+        )
+
+
+@dataclass
+class IngestStats:
+    """Accounting for one record family's ingest.
+
+    The invariant ``seen == parsed + repaired + quarantined`` holds for
+    every policy; ``coverage`` is the usable fraction.  A family whose
+    source is entirely missing sets ``missing`` and reports zero
+    coverage even though no lines were seen.
+    """
+
+    family: str
+    seen: int = 0
+    parsed: int = 0
+    repaired: int = 0
+    quarantined: int = 0
+    #: The family's source files were absent or unrecoverable.
+    missing: bool = False
+    #: Where the source was read from (``"binary"``, ``"text"``, ...).
+    source: str = ""
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of seen records that were parsed or repaired."""
+        if self.missing:
+            return 0.0
+        if self.seen == 0:
+            return 1.0
+        return (self.parsed + self.repaired) / self.seen
+
+    def check_invariant(self) -> None:
+        """Raise if the accounting does not balance."""
+        if self.seen != self.parsed + self.repaired + self.quarantined:
+            raise AssertionError(
+                f"{self.family}: seen={self.seen} != parsed={self.parsed} "
+                f"+ repaired={self.repaired} + quarantined={self.quarantined}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "seen": self.seen,
+            "parsed": self.parsed,
+            "repaired": self.repaired,
+            "quarantined": self.quarantined,
+            "missing": self.missing,
+            "source": self.source,
+            "coverage": self.coverage,
+        }
+
+
+def coverage_map(ingest: dict) -> dict:
+    """``{family: coverage}`` from a ``{family: IngestStats}`` mapping."""
+    return {family: stats.coverage for family, stats in (ingest or {}).items()}
+
+
+# ----------------------------------------------------------------------
+def quarantine_path(path: str | os.PathLike) -> Path:
+    """Sidecar path holding a log's quarantined records."""
+    return Path(f"{path}.quarantine")
+
+
+class Quarantine:
+    """Collects unparseable records and writes the sidecar file.
+
+    The sidecar is only written when at least one record was
+    quarantined, so clean ingests leave no droppings.
+    """
+
+    def __init__(self, source: str | os.PathLike):
+        self.source = source
+        self.entries: list[tuple[int, str, str]] = []
+
+    def add(self, line_no: int, reason: str, line: str) -> None:
+        self.entries.append((line_no, reason, line))
+
+    def flush(self) -> Path | None:
+        """Write the sidecar; returns its path (None when empty)."""
+        if not self.entries:
+            return None
+        path = quarantine_path(self.source)
+        with open(path, "w") as fh:
+            for line_no, reason, line in self.entries:
+                fh.write(f"{line_no}\t{reason}\t{line}\n")
+        return path
+
+
+def read_quarantine(path: str | os.PathLike) -> list[tuple[int, str, str]]:
+    """Parse a quarantine sidecar back into (line_no, reason, line) rows."""
+    out = []
+    with open(path) as fh:
+        for row in fh:
+            row = row.rstrip("\n")
+            if not row:
+                continue
+            line_no, reason, line = row.split("\t", 2)
+            out.append((int(line_no), reason, line))
+    return out
+
+
+# ----------------------------------------------------------------------
+def ingest_lines(fh, parse_line, stats: IngestStats, policy: IngestPolicy,
+                 quarantine: Quarantine | None = None, repair_line=None):
+    """Yield parsed rows from a text stream under an ingest policy.
+
+    ``parse_line`` maps a stripped line to a parsed row (raising
+    ``ValueError``/``IndexError``/``KeyError`` on garbage); the optional
+    ``repair_line`` is tried under the ``repair`` policy before
+    quarantining.  Tallies every outcome into ``stats`` and records
+    drops in ``quarantine``.  This is the single lenient/strict code
+    path shared by every text parser (the logic previously duplicated
+    between ``read_ce_log`` and ``iter_ce_log``).
+    """
+    for line_no, raw in enumerate(fh, 1):
+        line = raw.strip()
+        if not line:
+            continue
+        stats.seen += 1
+        try:
+            row = parse_line(line)
+        except (ValueError, IndexError, KeyError) as exc:
+            if policy is IngestPolicy.STRICT:
+                raise MalformedRecordError(
+                    stats.family, getattr(fh, "name", "<stream>"),
+                    line_no, line, str(exc),
+                ) from exc
+            if policy is IngestPolicy.REPAIR and repair_line is not None:
+                try:
+                    row = repair_line(line)
+                except (ValueError, IndexError, KeyError):
+                    row = None
+                if row is not None:
+                    stats.repaired += 1
+                    yield row
+                    continue
+            stats.quarantined += 1
+            if quarantine is not None:
+                quarantine.add(line_no, str(exc), line)
+            continue
+        stats.parsed += 1
+        yield row
+
+
+def resort_by_time(records: np.ndarray, stats: IngestStats,
+                   policy: IngestPolicy) -> np.ndarray:
+    """Repair out-of-order timestamps by a stable re-sort.
+
+    Under ``repair``, records that arrived behind an already-seen later
+    timestamp (clock skew, interleaved writers) are re-sorted into place
+    and re-counted from ``parsed`` to ``repaired``.  Other policies
+    return the stream untouched -- order was never a parse error.
+    """
+    if policy is not IngestPolicy.REPAIR or records.size == 0:
+        return records
+    if "time" not in (records.dtype.names or ()):
+        return records
+    times = records["time"]
+    out_of_order = int(np.sum(times < np.maximum.accumulate(times) - 1e-9))
+    if out_of_order == 0:
+        return records
+    moved = min(out_of_order, stats.parsed)
+    stats.parsed -= moved
+    stats.repaired += moved
+    return records[np.argsort(times, kind="stable")]

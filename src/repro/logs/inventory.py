@@ -136,19 +136,61 @@ def write_inventory_snapshots(
     return n
 
 
-def read_inventory_snapshots(path: str | os.PathLike) -> dict:
-    """Parse snapshots: {date: {(component, node, position): serial}}."""
+def _parse_snapshot_line(line: str) -> tuple:
+    date, node, component, pos, serial = line.split(",")
+    if component not in _KIND_BY_NAME:
+        raise ValueError(f"unknown component kind: {component!r}")
+    if not node.startswith("n"):
+        raise ValueError(f"unknown node format: {node!r}")
+    return date, (component, int(node[1:]), int(pos)), serial
+
+
+def ingest_inventory_snapshots(
+    path: str | os.PathLike,
+    policy=None,
+    quarantine: bool = True,
+) -> tuple[dict, "IngestStats"]:
+    """Parse snapshots under an ingest policy; returns (snapshots, stats).
+
+    Snapshots map ``{date: {(component, node, position): serial}}``.
+    Inventory rows have no salvageable partial form (a serial without
+    its position is useless), so ``repair`` behaves like ``skip`` here:
+    bad rows are quarantined with a reason.  Partial scans are already
+    tolerated downstream by :func:`diff_inventories`.
+    """
+    from repro.logs.ingest import (
+        IngestPolicy,
+        IngestStats,
+        Quarantine,
+        ingest_lines,
+    )
+
+    policy = IngestPolicy.coerce(policy)
+    stats = IngestStats(family="inventory", source="text")
+    sidecar = Quarantine(path) if quarantine else None
     out: dict[str, dict] = {}
     with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            date, node, component, pos, serial = line.split(",")
-            if component not in _KIND_BY_NAME:
-                raise ValueError(f"unknown component kind: {component!r}")
-            key = (component, int(node[1:]), int(pos))
+        for date, key, serial in ingest_lines(
+            fh, _parse_snapshot_line, stats, policy, sidecar
+        ):
             out.setdefault(date, {})[key] = serial
+    if sidecar is not None:
+        sidecar.flush()
+    stats.check_invariant()
+    return out, stats
+
+
+def read_inventory_snapshots(path: str | os.PathLike) -> dict:
+    """Parse snapshots: {date: {(component, node, position): serial}}.
+
+    Strict legacy entry point; :func:`ingest_inventory_snapshots`
+    exposes the lenient policies and quarantine accounting.
+    """
+    from repro.logs.ingest import IngestPolicy
+
+    out, _ = ingest_inventory_snapshots(
+        path, policy=IngestPolicy.STRICT, quarantine=False
+    )
     return out
 
 

@@ -12,8 +12,12 @@ The line format used here::
         rank=0 bank=3 row=- col=17 bit=42 addr=0x000000012340 synd=0x2b
 
 Unavailable fields (the row on Astra; the whole positional payload for
-storm records) are written as ``-``.  The parser tolerates and counts
-malformed lines instead of failing, as any real log scraper must.
+storm records) are written as ``-``.  Parsing goes through the shared
+:mod:`repro.logs.ingest` machinery: ``strict`` raises a typed error on
+the first bad line, ``skip`` quarantines garbage with a per-line reason,
+and ``repair`` additionally salvages truncated lines (filling the
+missing trailing fields with sentinels, as the real payload-less storm
+records already do) and re-sorts out-of-order timestamps.
 """
 
 from __future__ import annotations
@@ -24,6 +28,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.faults.types import ERROR_DTYPE, empty_errors
+from repro.logs.ingest import (
+    IngestPolicy,
+    IngestStats,
+    Quarantine,
+    ingest_lines,
+    resort_by_time,
+)
 from repro.machine.node import slot_index, slot_letter
 from repro._util import iso
 
@@ -70,7 +81,12 @@ class ParseResult:
     """Outcome of parsing a CE log."""
 
     errors: np.ndarray
-    n_malformed: int
+    stats: IngestStats
+
+    @property
+    def n_malformed(self) -> int:
+        """Records neither parsed nor repaired (back-compat alias)."""
+        return self.stats.quarantined
 
 
 def _parse_int(token: str, default: int = -1) -> int:
@@ -80,70 +96,90 @@ def _parse_int(token: str, default: int = -1) -> int:
     return int(value, 0)  # handles 0x prefixes
 
 
-def read_ce_log(path: str | os.PathLike, strict: bool = False) -> ParseResult:
-    """Parse a CE syslog file back into an ERROR_DTYPE array.
-
-    Malformed lines are skipped and counted unless ``strict`` is set, in
-    which case the first bad line raises ``ValueError``.
-    """
-    rows = []
-    n_bad = 0
-    with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                rows.append(_parse_line(line))
-            except (ValueError, IndexError, KeyError) as exc:
-                if strict:
-                    raise ValueError(f"malformed CE line: {line!r}") from exc
-                n_bad += 1
+def _rows_to_array(rows: list[dict]) -> np.ndarray:
     out = empty_errors(len(rows))
     for i, row in enumerate(rows):
         for key, value in row.items():
             out[i][key] = value
-    return ParseResult(errors=out, n_malformed=n_bad)
+    return out
+
+
+def ingest_ce_log(
+    path: str | os.PathLike,
+    policy: IngestPolicy | str = IngestPolicy.REPAIR,
+    quarantine: bool = True,
+) -> ParseResult:
+    """Parse a CE syslog file under an ingest policy.
+
+    ``strict`` raises :class:`~repro.logs.ingest.MalformedRecordError`
+    on the first bad line; ``skip`` quarantines bad lines; ``repair``
+    additionally salvages truncated lines and re-sorts out-of-order
+    timestamps.  Quarantined lines land in ``<path>.quarantine`` unless
+    ``quarantine`` is False.
+    """
+    policy = IngestPolicy.coerce(policy)
+    stats = IngestStats(family="errors", source="text")
+    sidecar = Quarantine(path) if quarantine else None
+    repair = _repair_line if policy is IngestPolicy.REPAIR else None
+    with open(path) as fh:
+        rows = list(ingest_lines(fh, _parse_line, stats, policy, sidecar, repair))
+    if sidecar is not None:
+        sidecar.flush()
+    out = resort_by_time(_rows_to_array(rows), stats, policy)
+    stats.check_invariant()
+    return ParseResult(errors=out, stats=stats)
+
+
+def read_ce_log(path: str | os.PathLike, strict: bool = False) -> ParseResult:
+    """Parse a CE syslog file back into an ERROR_DTYPE array.
+
+    Malformed lines are skipped and counted unless ``strict`` is set, in
+    which case the first bad line raises a typed ``ValueError``.  This
+    is the legacy entry point; :func:`ingest_ce_log` exposes the full
+    policy surface (repair, quarantine sidecars).
+    """
+    policy = IngestPolicy.STRICT if strict else IngestPolicy.SKIP
+    return ingest_ce_log(path, policy=policy, quarantine=False)
 
 
 def iter_ce_log(
-    path: str | os.PathLike, chunk_records: int = 100_000, strict: bool = False
+    path: str | os.PathLike,
+    chunk_records: int = 100_000,
+    strict: bool = False,
+    policy: IngestPolicy | str | None = None,
 ):
     """Stream a CE log as (chunk_array, n_malformed_in_chunk) pairs.
 
     For archive-scale logs (the study's raw data is ~8 GiB) that should
     not be materialised at once; each chunk is an ERROR_DTYPE array of at
     most ``chunk_records`` records, ready for per-chunk aggregation with
-    the shard-parallel reducers.
+    the shard-parallel reducers.  ``policy`` overrides the boolean
+    ``strict`` switch; note the streaming reader never re-sorts across
+    chunk boundaries (repair applies per line only).
     """
     if chunk_records < 1:
         raise ValueError("chunk_records must be positive")
+    if policy is None:
+        policy = IngestPolicy.STRICT if strict else IngestPolicy.SKIP
+    policy = IngestPolicy.coerce(policy)
+    repair = _repair_line if policy is IngestPolicy.REPAIR else None
+
     rows: list[dict] = []
-    n_bad = 0
-
-    def flush():
-        out = empty_errors(len(rows))
-        for i, row in enumerate(rows):
-            for key, value in row.items():
-                out[i][key] = value
-        return out
-
+    stats = IngestStats(family="errors", source="text")
+    quarantined_flushed = 0
     with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                rows.append(_parse_line(line))
-            except (ValueError, IndexError, KeyError) as exc:
-                if strict:
-                    raise ValueError(f"malformed CE line: {line!r}") from exc
-                n_bad += 1
+        for row in ingest_lines(fh, _parse_line, stats, policy, None, repair):
+            rows.append(row)
             if len(rows) >= chunk_records:
-                yield flush(), n_bad
-                rows, n_bad = [], 0
-    if rows or n_bad:
-        yield flush(), n_bad
+                yield _rows_to_array(rows), stats.quarantined - quarantined_flushed
+                rows = []
+                quarantined_flushed = stats.quarantined
+    if rows or stats.quarantined > quarantined_flushed:
+        yield _rows_to_array(rows), stats.quarantined - quarantined_flushed
+
+
+#: Fields a complete CE line must carry (strict mode requires them all).
+_REQUIRED_KEYS = ("socket", "slot", "rank", "bank", "row", "col", "bit", "addr", "synd")
 
 
 def _parse_line(line: str) -> dict:
@@ -151,23 +187,48 @@ def _parse_line(line: str) -> dict:
     # [timestamp, host, 'kernel:', 'EDAC', 'CE', kv...]
     if len(parts) < 13 or parts[3] != "EDAC" or parts[4] != "CE":
         raise ValueError("not a CE record")
+    return _parse_fields(parts, require=True)
+
+
+def _repair_line(line: str) -> dict:
+    """Salvage a truncated CE line: present fields win, the rest default.
+
+    A line qualifies for repair when its head (timestamp, host, EDAC CE
+    marker) survived; missing trailing key=value fields take the same
+    sentinels payload-less storm records already use.
+    """
+    parts = line.split()
+    if len(parts) < 5 or parts[3] != "EDAC" or parts[4] != "CE":
+        raise ValueError("not a repairable CE record")
+    return _parse_fields(parts)
+
+
+def _parse_fields(parts: list[str], require: bool = False) -> dict:
     t = float(np.datetime64(parts[0]).astype("datetime64[s]").astype(np.int64))
     host = parts[1]
     if not host.startswith("astra-n"):
         raise ValueError("unknown host format")
     node = int(host[len("astra-n") :])
-    kv = {p.split("=", 1)[0]: p for p in parts[5:]}
-    slot_tok = kv["slot"].split("=", 1)[1]
+    kv = {p.split("=", 1)[0]: p for p in parts[5:] if "=" in p}
+    if require:
+        missing = [k for k in _REQUIRED_KEYS if k not in kv]
+        if missing:
+            raise ValueError(f"missing fields: {', '.join(missing)}")
+
+    def get_int(key: str, default: int = -1) -> int:
+        return _parse_int(kv[key], default) if key in kv else default
+
+    slot_tok = kv["slot"].split("=", 1)[1] if "slot" in kv else "-"
     return dict(
         time=t,
         node=node,
-        socket=_parse_int(kv["socket"], 0),
+        socket=get_int("socket", 0),
         slot=-1 if slot_tok == "-" else slot_index(slot_tok),
-        rank=_parse_int(kv["rank"], 0),
-        bank=_parse_int(kv["bank"]),
-        row=_parse_int(kv["row"]),
-        column=_parse_int(kv["col"]),
-        bit_pos=_parse_int(kv["bit"]),
-        address=_parse_int(kv["addr"], 0),
-        syndrome=_parse_int(kv["synd"], 0),
+        rank=get_int("rank", 0),
+        bank=get_int("bank"),
+        row=get_int("row"),
+        column=get_int("col"),
+        bit_pos=get_int("bit"),
+        address=get_int("addr", 0),
+        syndrome=get_int("synd", 0),
     )

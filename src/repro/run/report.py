@@ -6,6 +6,14 @@ times, execution mode (parallel / serial / serial-fallback), record
 counts, the evaluated shape checks, notes, and the campaign-cache
 outcome (hit/miss and the generate/load/store timings that make cache
 behaviour observable).
+
+Schema version 2 adds the dirty-telemetry fields: per-experiment
+degradation ``status`` (pass / pass-degraded / fail /
+skipped-insufficient-data / error / timeout), per-family input
+``coverage``, retry ``attempts`` and ``timed_out`` flags, and run-level
+``ingest`` (per-family IngestStats), ``injection`` (the fault-injection
+manifest, when --inject was used), ``ingest_policy`` and
+``min_coverage``.
 """
 
 from __future__ import annotations
@@ -18,7 +26,7 @@ from dataclasses import asdict, dataclass, field
 import numpy as np
 
 #: Bumped when the JSON layout changes incompatibly.
-REPORT_SCHEMA_VERSION = 1
+REPORT_SCHEMA_VERSION = 2
 
 
 def _series_record_count(series: dict) -> int:
@@ -50,6 +58,15 @@ class ExperimentMetrics:
     checks_passed: int = 0
     checks: dict = field(default_factory=dict)
     notes: list = field(default_factory=list)
+    #: Degradation-aware verdict: ``pass`` / ``pass-degraded`` / ``fail``
+    #: / ``skipped-insufficient-data`` / ``error`` / ``timeout``.
+    status: str = "pass"
+    #: Per-family input coverage for the families this experiment reads.
+    coverage: dict = field(default_factory=dict)
+    #: Execution attempts (1 = first try; >1 means retries happened).
+    attempts: int = 1
+    #: The experiment exceeded the per-experiment timeout.
+    timed_out: bool = False
     #: Exception text when the experiment failed even serially.
     error: str | None = None
 
@@ -59,7 +76,9 @@ class ExperimentMetrics:
         return self.error is None and self.checks_passed == self.n_checks
 
     @classmethod
-    def from_result(cls, result, wall_s: float, mode: str) -> "ExperimentMetrics":
+    def from_result(
+        cls, result, wall_s: float, mode: str, attempts: int = 1
+    ) -> "ExperimentMetrics":
         """Build metrics from an :class:`ExperimentResult`."""
         return cls(
             exp_id=result.exp_id,
@@ -72,16 +91,30 @@ class ExperimentMetrics:
             checks_passed=sum(bool(v) for v in result.checks.values()),
             checks={k: bool(v) for k, v in result.checks.items()},
             notes=list(result.notes),
+            status=getattr(result, "status", "pass"),
+            coverage=dict(getattr(result, "coverage", {}) or {}),
+            attempts=attempts,
         )
 
     @classmethod
-    def from_error(cls, exp_id: str, wall_s: float, mode: str, exc) -> "ExperimentMetrics":
-        """Build metrics for an experiment that raised."""
+    def from_error(
+        cls,
+        exp_id: str,
+        wall_s: float,
+        mode: str,
+        exc,
+        attempts: int = 1,
+        timed_out: bool = False,
+    ) -> "ExperimentMetrics":
+        """Build metrics for an experiment that raised (or timed out)."""
         return cls(
             exp_id=exp_id,
             title="",
             wall_s=wall_s,
             mode=mode,
+            status="timeout" if timed_out else "error",
+            attempts=attempts,
+            timed_out=timed_out,
             error=f"{type(exc).__name__}: {exc}",
         )
 
@@ -99,6 +132,15 @@ class RunReport:
     setup_s: float = 0.0
     #: ``CacheOutcome.to_dict()`` when a campaign cache was consulted.
     cache: dict | None = None
+    #: Per-family ``IngestStats.to_dict()`` when the campaign came from
+    #: stored (possibly dirty) telemetry.
+    ingest: dict | None = None
+    #: ``InjectionManifest.to_dict()`` when --inject corrupted the input.
+    injection: dict | None = None
+    #: Ingest policy the telemetry was loaded under (strict/repair/skip).
+    ingest_policy: str | None = None
+    #: Coverage floor below which experiments were skipped.
+    min_coverage: float = 0.0
     experiments: list = field(default_factory=list)
     created: float = field(default_factory=time.time)
 
@@ -122,6 +164,10 @@ class RunReport:
             "total_wall_s": self.total_wall_s,
             "setup_s": self.setup_s,
             "cache": self.cache,
+            "ingest": self.ingest,
+            "injection": self.injection,
+            "ingest_policy": self.ingest_policy,
+            "min_coverage": self.min_coverage,
             "all_pass": self.all_pass,
             "n_failed": self.n_failed,
             "created": self.created,
@@ -148,6 +194,30 @@ class RunReport:
                 f"campaign cache: {state} {self.cache.get('key', '?')} "
                 f"({self.cache.get('path', '?')})"
             )
+        if self.injection is not None:
+            lines.append(
+                f"fault injection: profile={self.injection.get('profile', '?')} "
+                f"seed={self.injection.get('seed', '?')} "
+                f"({self.injection.get('n_events', 0)} fault events)"
+            )
+        if self.ingest:
+            cov = ", ".join(
+                f"{family}={stats.get('coverage', 1.0):.1%}"
+                for family, stats in sorted(self.ingest.items())
+            )
+            policy = f" (policy={self.ingest_policy})" if self.ingest_policy else ""
+            lines.append(f"telemetry coverage: {cov}{policy}")
+        degraded = sum(m.status == "pass-degraded" for m in self.experiments)
+        skipped = sum(
+            m.status == "skipped-insufficient-data" for m in self.experiments
+        )
+        timeouts = sum(m.timed_out for m in self.experiments)
+        if degraded:
+            lines.append(f"experiments passing on degraded data: {degraded}")
+        if skipped:
+            lines.append(f"experiments skipped for insufficient coverage: {skipped}")
+        if timeouts:
+            lines.append(f"experiments timed out: {timeouts}")
         if self.n_failed:
             lines.append(f"experiments failing checks or erroring: {self.n_failed}")
         return "\n".join(lines)

@@ -1,4 +1,4 @@
-"""Concurrent experiment execution with a graceful serial fallback.
+"""Concurrent experiment execution with timeouts, retries and fallback.
 
 Experiments are independent read-only consumers of the campaign arrays,
 so a full regeneration run is embarrassingly parallel across
@@ -8,10 +8,18 @@ its id string, and workers obtain the campaign either by fork
 inheritance (free on Linux), by unpickling it once per worker at
 initialisation, or by loading a campaign directory's binary mirrors.
 
-Any worker or pool failure degrades to re-running the affected
-experiments serially in the parent (mode ``"serial-fallback"`` in the
-metrics) -- a failed worker never loses an experiment, it only loses
-the speedup.
+Robustness model:
+
+- a worker that *raises* degrades to re-running the experiment serially
+  in the parent (mode ``"serial-fallback"``), with bounded
+  retry-with-backoff on top;
+- a worker that *wedges* past the per-experiment ``timeout_s`` is
+  abandoned (its slot is written off, its process terminated at
+  shutdown) and the experiment is re-submitted up to ``retries`` times
+  before being reported as ``timeout`` -- one stuck experiment costs
+  its own result, never the whole parallel run;
+- a pool that never comes up (restricted environments) runs everything
+  serially, as before.
 """
 
 from __future__ import annotations
@@ -19,7 +27,8 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
@@ -49,12 +58,12 @@ def _worker_init(campaign, campaign_dir) -> None:
         raise RuntimeError("worker has no campaign source")
 
 
-def _worker_run(exp_id: str):
+def _worker_run(exp_id: str, min_coverage: float = 0.0):
     """Run one experiment in a worker; returns (exp_id, result, wall_s)."""
     from repro import experiments
 
     t0 = time.perf_counter()
-    result = experiments.run(exp_id, _WORKER_CAMPAIGN)
+    result = experiments.run(exp_id, _WORKER_CAMPAIGN, min_coverage=min_coverage)
     return exp_id, result, time.perf_counter() - t0
 
 
@@ -67,11 +76,22 @@ class ExperimentRunner:
     workers load the campaign from a stored directory's binary mirrors
     instead of receiving a pickled copy -- preferred under the ``spawn``
     start method where fork inheritance is unavailable.
+
+    ``timeout_s`` bounds each experiment's wall time in the parallel
+    path (a wedged worker is abandoned, not waited on); ``retries``
+    bounds how often a failing or timed-out experiment is re-attempted,
+    with exponential backoff starting at ``backoff_s`` for in-process
+    retries.  ``min_coverage`` is forwarded to the experiment registry,
+    which skips experiments whose input telemetry coverage is below it.
     """
 
     jobs: int = 0
     campaign_dir: str | os.PathLike | None = None
     include_extensions: bool = False
+    timeout_s: float | None = None
+    retries: int = 0
+    backoff_s: float = 0.25
+    min_coverage: float = 0.0
 
     # ------------------------------------------------------------------
     def run(self, campaign, exp_ids=None):
@@ -80,7 +100,7 @@ class ExperimentRunner:
         ``results`` maps exp id to :class:`ExperimentResult` in the
         requested order (experiments that raised are omitted); the
         :class:`RunReport` carries per-experiment metrics for every id,
-        including failures.
+        including failures and timeouts.
         """
         from repro import experiments
 
@@ -105,7 +125,13 @@ class ExperimentRunner:
             scale=float(campaign.scale),
             n_errors=int(campaign.n_errors),
             jobs=int(self.jobs),
+            min_coverage=float(self.min_coverage),
         )
+        ingest = getattr(campaign, "ingest", None)
+        if ingest:
+            report.ingest = {
+                family: stats.to_dict() for family, stats in ingest.items()
+            }
         t_total = time.perf_counter()
         metrics: dict[str, ExperimentMetrics] = {}
         results: dict = {}
@@ -122,17 +148,7 @@ class ExperimentRunner:
 
         for exp_id in pending:
             mode = "serial" if self.jobs <= 1 or len(exp_ids) <= 1 else "serial-fallback"
-            t0 = time.perf_counter()
-            try:
-                result = experiments.run(exp_id, campaign)
-            except Exception as exc:
-                metrics[exp_id] = ExperimentMetrics.from_error(
-                    exp_id, time.perf_counter() - t0, mode, exc
-                )
-                continue
-            wall = time.perf_counter() - t0
-            results[exp_id] = result
-            metrics[exp_id] = ExperimentMetrics.from_result(result, wall, mode)
+            self._run_serial_one(campaign, exp_id, mode, metrics, results)
 
         report.total_wall_s = time.perf_counter() - t_total
         report.experiments = [metrics[e] for e in exp_ids if e in metrics]
@@ -140,8 +156,43 @@ class ExperimentRunner:
         return ordered, report
 
     # ------------------------------------------------------------------
+    def _run_serial_one(self, campaign, exp_id, mode, metrics, results) -> None:
+        """Run one experiment in-process with bounded retry-with-backoff."""
+        from repro import experiments
+
+        attempts = 0
+        while True:
+            attempts += 1
+            t0 = time.perf_counter()
+            try:
+                result = experiments.run(
+                    exp_id, campaign, min_coverage=self.min_coverage
+                )
+            except Exception as exc:
+                if attempts <= self.retries:
+                    time.sleep(self.backoff_s * (2 ** (attempts - 1)))
+                    continue
+                metrics[exp_id] = ExperimentMetrics.from_error(
+                    exp_id, time.perf_counter() - t0, mode, exc, attempts=attempts
+                )
+                return
+            results[exp_id] = result
+            metrics[exp_id] = ExperimentMetrics.from_result(
+                result, time.perf_counter() - t0, mode, attempts=attempts
+            )
+            return
+
+    # ------------------------------------------------------------------
     def _run_parallel(self, campaign, exp_ids, metrics, results) -> list:
-        """Fan out over a process pool; returns ids needing a serial run."""
+        """Fan out over a process pool; returns ids needing a serial run.
+
+        Tasks are fed to the pool at most ``max_workers`` at a time so a
+        per-experiment deadline measures *run* time, not queue time.  A
+        future past its deadline is abandoned: the experiment is
+        re-queued (up to ``retries`` times) and the wedged worker's slot
+        is written off; if slots run out, the remainder falls back to
+        the serial path.
+        """
         if multiprocessing.get_start_method() == "fork":
             # Fork shares the campaign (initargs are not serialised).
             initargs = (campaign, None)
@@ -150,27 +201,96 @@ class ExperimentRunner:
         else:
             initargs = (campaign, None)  # pickled once per worker
 
-        pending: list = []
+        max_workers = min(self.jobs, len(exp_ids))
+        pending_serial: list = []
+        abandoned = 0
+        pool = None
         try:
-            with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(exp_ids)),
+            pool = ProcessPoolExecutor(
+                max_workers=max_workers,
                 initializer=_worker_init,
                 initargs=initargs,
-            ) as pool:
-                futures = {pool.submit(_worker_run, e): e for e in exp_ids}
-                for future in as_completed(futures):
-                    exp_id = futures[future]
+            )
+            queue = deque((e, 1) for e in exp_ids)
+            in_flight: dict = {}  # future -> (exp_id, attempt, deadline)
+
+            while queue or in_flight:
+                capacity = max_workers - abandoned
+                if capacity <= 0:
+                    # Every slot is wedged; the rest runs serially.
+                    pending_serial.extend(e for e, _ in queue)
+                    queue.clear()
+                    break
+                while queue and len(in_flight) < capacity:
+                    exp_id, attempt = queue.popleft()
+                    future = pool.submit(_worker_run, exp_id, self.min_coverage)
+                    deadline = (
+                        time.monotonic() + self.timeout_s
+                        if self.timeout_s
+                        else None
+                    )
+                    in_flight[future] = (exp_id, attempt, deadline)
+                if not in_flight:
+                    continue
+
+                poll = 0.05 if self.timeout_s else None
+                done, _ = wait(
+                    list(in_flight), timeout=poll, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    exp_id, attempt, _ = in_flight.pop(future)
                     try:
                         _, result, wall = future.result()
                     except Exception:
-                        pending.append(exp_id)
+                        # Worker raised or died: the serial fallback (with
+                        # its own retry budget) picks this experiment up.
+                        pending_serial.append(exp_id)
                         continue
                     results[exp_id] = result
                     metrics[exp_id] = ExperimentMetrics.from_result(
-                        result, wall, "parallel"
+                        result, wall, "parallel", attempts=attempt
                     )
+
+                now = time.monotonic()
+                for future, (exp_id, attempt, deadline) in list(in_flight.items()):
+                    if deadline is None or now <= deadline or future.done():
+                        continue
+                    # Past deadline: abandon the future (the worker may be
+                    # wedged; it is terminated at shutdown) and either
+                    # retry in a fresh slot or report the timeout.
+                    del in_flight[future]
+                    abandoned += 1
+                    if attempt <= self.retries:
+                        queue.append((exp_id, attempt + 1))
+                    else:
+                        metrics[exp_id] = ExperimentMetrics.from_error(
+                            exp_id,
+                            self.timeout_s,
+                            "parallel",
+                            TimeoutError(
+                                f"experiment exceeded --timeout={self.timeout_s}s"
+                            ),
+                            attempts=attempt,
+                            timed_out=True,
+                        )
         except (BrokenProcessPool, OSError):
             # Pool never came up (restricted environment): run everything
             # not yet finished serially.
-            pending = [e for e in exp_ids if e not in metrics]
-        return pending
+            pending_serial = [
+                e for e in exp_ids if e not in metrics and e not in results
+            ]
+        finally:
+            if pool is not None:
+                if abandoned:
+                    # Waiting would block on wedged workers; cut them loose
+                    # and terminate whatever is still running.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    processes = getattr(pool, "_processes", None) or {}
+                    for proc in list(processes.values()):
+                        try:
+                            proc.terminate()
+                        except (OSError, AttributeError):  # pragma: no cover
+                            pass
+                else:
+                    pool.shutdown(wait=True)
+        return pending_serial

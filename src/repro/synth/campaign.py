@@ -47,12 +47,25 @@ class Campaign:
     replacements: np.ndarray
     het: np.ndarray
     sensors: SensorFieldModel
+    #: Per-family ingest accounting (``{family: IngestStats}``) when the
+    #: campaign was loaded from stored telemetry; empty for campaigns
+    #: generated in memory (perfect coverage).
+    ingest: dict = field(default_factory=dict, repr=False)
     _faults_cache: np.ndarray | None = field(default=None, repr=False)
 
     @property
     def n_errors(self) -> int:
         """Number of CE records in the campaign."""
         return int(self.errors.size)
+
+    @property
+    def coverage(self) -> dict:
+        """``{family: usable fraction}`` from the ingest accounting.
+
+        Empty when the campaign carries no ingest history, which every
+        consumer should read as full coverage.
+        """
+        return {family: stats.coverage for family, stats in self.ingest.items()}
 
     def faults(self, options: CoalesceOptions | None = None) -> np.ndarray:
         """Coalesced fault records (cached for the default options).

@@ -1,0 +1,27 @@
+"""Shared fixtures for the fault-injection suite.
+
+``stored_campaign_dir`` is a pristine on-disk campaign (binary mirrors
+plus text logs) written once per session; tests that corrupt it copy it
+to a per-test directory first.
+"""
+
+import shutil
+
+import pytest
+
+from repro.logs.campaign_io import write_campaign
+
+
+@pytest.fixture(scope="session")
+def stored_campaign_dir(small_campaign, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("clean-campaign") / "campaign"
+    write_campaign(small_campaign, directory, text_logs=True)
+    return directory
+
+
+@pytest.fixture()
+def campaign_dir(stored_campaign_dir, tmp_path):
+    """A throwaway copy of the clean campaign, safe to corrupt."""
+    directory = tmp_path / "campaign"
+    shutil.copytree(stored_campaign_dir, directory)
+    return directory

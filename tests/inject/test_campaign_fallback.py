@@ -1,0 +1,88 @@
+"""Loading corrupted campaign directories: fallbacks and typed errors."""
+
+import numpy as np
+import pytest
+
+from repro.inject import LogCorruptor
+from repro.logs.campaign_io import (
+    campaign_from_records,
+    load_campaign_records,
+)
+from repro.logs.ingest import CampaignFormatError, IngestPolicy
+
+
+class TestCleanLoad:
+    def test_binary_mirrors_full_coverage(self, campaign_dir):
+        records = load_campaign_records(campaign_dir)
+        assert set(records.ingest) == {"errors", "replacements", "het"}
+        for stats in records.ingest.values():
+            assert stats.source == "binary"
+            assert stats.coverage == 1.0
+            stats.check_invariant()
+        campaign = campaign_from_records(records)
+        assert campaign.coverage == {"errors": 1.0, "replacements": 1.0, "het": 1.0}
+
+
+class TestTextFallback:
+    def test_corrupt_mirror_falls_back_to_text(self, campaign_dir, small_campaign):
+        corruptor = LogCorruptor("light", seed=0)
+        corruptor.corrupt_binary(campaign_dir / "errors.npy")
+        records = load_campaign_records(campaign_dir, policy=IngestPolicy.REPAIR)
+        stats = records.ingest["errors"]
+        assert stats.source == "text-fallback"
+        assert stats.coverage > 0.99  # light profile barely dents the log
+        assert records.errors.size > 0.99 * small_campaign.errors.size
+        # Untouched families still come from their mirrors.
+        assert records.ingest["het"].source == "binary"
+
+    def test_corrupt_mirror_no_text_strict_raises(self, campaign_dir):
+        (campaign_dir / "ce.log").unlink()
+        LogCorruptor("light", seed=0).corrupt_binary(campaign_dir / "errors.npy")
+        with pytest.raises(CampaignFormatError) as err:
+            load_campaign_records(campaign_dir)
+        assert "errors.npy" in str(err.value)
+        assert "manifest.txt" in str(err.value)  # names the expected layout
+
+    def test_missing_mirror_lenient_zero_coverage(self, campaign_dir):
+        (campaign_dir / "replacements.npy").unlink()  # no text fallback exists
+        records = load_campaign_records(campaign_dir, policy=IngestPolicy.REPAIR)
+        stats = records.ingest["replacements"]
+        assert stats.missing and stats.source == "missing"
+        assert stats.coverage == 0.0
+        assert records.replacements.size == 0
+
+    def test_missing_mirror_strict_raises(self, campaign_dir):
+        (campaign_dir / "replacements.npy").unlink()
+        with pytest.raises(CampaignFormatError, match="replacements"):
+            load_campaign_records(campaign_dir)
+
+
+class TestDirectoryErrors:
+    def test_not_a_campaign_dir(self, tmp_path):
+        with pytest.raises(CampaignFormatError, match="manifest.txt"):
+            load_campaign_records(tmp_path)
+
+    def test_error_is_a_valueerror(self, tmp_path):
+        # Back-compat: callers catching ValueError keep working.
+        with pytest.raises(ValueError):
+            load_campaign_records(tmp_path)
+
+
+class TestModerateEndToEnd:
+    def test_acceptance_accounting(self, campaign_dir, small_campaign):
+        """ISSUE acceptance: moderate + repair loads, accounts, degrades."""
+        manifest = LogCorruptor("moderate", seed=0).corrupt_campaign(campaign_dir)
+        assert manifest.total() > 0
+        records = load_campaign_records(campaign_dir, policy=IngestPolicy.REPAIR)
+        for stats in records.ingest.values():
+            stats.check_invariant()
+        # Both corrupted mirrors fell back to their text logs.
+        assert records.ingest["errors"].source == "text-fallback"
+        assert records.ingest["het"].source == "text-fallback"
+        assert records.ingest["replacements"].source == "binary"
+        campaign = campaign_from_records(records)
+        cov = campaign.coverage
+        assert 0.9 < cov["errors"] < 1.0  # dented but usable
+        # Most records survived the moderate profile.
+        assert records.errors.size > 0.9 * small_campaign.errors.size
+        assert np.all(np.diff(records.errors["time"]) >= 0)  # repaired order

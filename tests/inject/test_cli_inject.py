@@ -1,0 +1,106 @@
+"""End-to-end CLI runs with --inject / --ingest-policy."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def tiny_campaign_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli-inject") / "camp"
+    assert main(
+        ["synth", "--seed", "3", "--scale", "0.005", "--out", str(directory),
+         "--text-logs"]
+    ) == 0
+    return directory
+
+
+class TestInjectRepair:
+    def test_moderate_repair_completes(self, tiny_campaign_dir, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main(
+            ["analyze", str(tiny_campaign_dir), "--exp", "table1", "fig05",
+             "--inject", "moderate", "--ingest-policy", "repair",
+             "--json-report", str(report_path)]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)  # shape checks may fail at tiny scale; no crash
+        assert "injected profile=moderate" in out
+        assert "telemetry coverage" in out
+
+        report = json.loads(report_path.read_text())
+        assert report["schema_version"] == 2
+        assert report["ingest_policy"] == "repair"
+        assert report["injection"]["profile"] == "moderate"
+        assert report["injection"]["n_events"] > 0
+        for family in ("errors", "replacements", "het"):
+            stats = report["ingest"][family]
+            assert stats["seen"] == (
+                stats["parsed"] + stats["repaired"] + stats["quarantined"]
+            )
+            assert 0.0 <= stats["coverage"] <= 1.0
+        for metric in report["experiments"]:
+            assert metric["error"] is None  # completed, never crashed
+            assert metric["status"] in ("pass", "pass-degraded", "fail")
+            assert metric["coverage"]  # families threaded through
+
+    def test_original_directory_untouched(self, tiny_campaign_dir):
+        # --inject corrupts a disposable copy, never the input.
+        assert (tiny_campaign_dir / "errors.npy").exists()
+        assert not (tiny_campaign_dir / "injection-manifest.json").exists()
+
+    def test_inject_deterministic_across_runs(self, tiny_campaign_dir, tmp_path, capsys):
+        reports = []
+        for name in ("a.json", "b.json"):
+            path = tmp_path / name
+            main(
+                ["analyze", str(tiny_campaign_dir), "--exp", "table1",
+                 "--inject", "moderate", "--inject-seed", "9",
+                 "--ingest-policy", "repair", "--json-report", str(path)]
+            )
+            reports.append(json.loads(path.read_text()))
+        capsys.readouterr()
+        assert reports[0]["ingest"] == reports[1]["ingest"]
+        assert reports[0]["injection"]["events"] == reports[1]["injection"]["events"]
+
+
+class TestInjectStrict:
+    def test_strict_exits_2_with_typed_error(self, tiny_campaign_dir, capsys):
+        code = main(
+            ["analyze", str(tiny_campaign_dir), "--exp", "table1",
+             "--inject", "moderate", "--ingest-policy", "strict"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: ")
+        assert "malformed" in captured.err or "campaign" in captured.err
+
+    def test_unrecoverable_directory_exits_2(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path / "nowhere"), "--exp", "table1"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "manifest.txt" in captured.err
+
+
+class TestSkipPolicy:
+    def test_skip_quarantines_without_repair(self, tiny_campaign_dir, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main(
+            ["analyze", str(tiny_campaign_dir), "--exp", "table1",
+             "--inject", "hostile", "--ingest-policy", "skip",
+             "--min-coverage", "0.5", "--json-report", str(report_path)]
+        )
+        capsys.readouterr()
+        assert code in (0, 1)
+        report = json.loads(report_path.read_text())
+        stats = report["ingest"]["errors"]
+        assert stats["repaired"] == 0  # skip never repairs
+        assert stats["quarantined"] > 0
+        # hostile deletes replacements.npy (no text fallback): zero coverage.
+        assert report["ingest"]["replacements"]["missing"]
+        assert report["ingest"]["replacements"]["coverage"] == 0.0
+        # table1 consumes replacements and must be skipped, not crashed.
+        metric = report["experiments"][0]
+        assert metric["status"] == "skipped-insufficient-data"

@@ -1,0 +1,186 @@
+"""Tests for the seeded LogCorruptor and its injection manifest."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.inject import (
+    InjectionManifest,
+    InjectionProfile,
+    LogCorruptor,
+    get_profile,
+)
+from repro.inject.manifest import MANIFEST_NAME
+
+
+def _profile(**kw) -> InjectionProfile:
+    return InjectionProfile(name="custom", **kw)
+
+
+def _write_log(path, n=200):
+    with open(path, "w") as fh:
+        for i in range(n):
+            fh.write(f"2019-01-01T00:{i // 60:02d}:{i % 60:02d} astra-n{i:04d} line={i}\n")
+    return path
+
+
+class TestDeterminism:
+    def test_same_seed_same_bytes(self, campaign_dir, tmp_path):
+        import shutil
+
+        other = tmp_path / "other"
+        shutil.copytree(campaign_dir, other)
+        m1 = LogCorruptor("moderate", seed=42).corrupt_campaign(campaign_dir)
+        m2 = LogCorruptor("moderate", seed=42).corrupt_campaign(other)
+        assert m1.to_dict() == m2.to_dict()
+        for name in ("ce.log", "het.log", "errors.npy"):
+            assert (campaign_dir / name).read_bytes() == (other / name).read_bytes()
+
+    def test_different_seed_different_output(self, campaign_dir, tmp_path):
+        import shutil
+
+        other = tmp_path / "other"
+        shutil.copytree(campaign_dir, other)
+        LogCorruptor("moderate", seed=1).corrupt_campaign(campaign_dir)
+        LogCorruptor("moderate", seed=2).corrupt_campaign(other)
+        assert (campaign_dir / "ce.log").read_bytes() != (other / "ce.log").read_bytes()
+
+    def test_rng_keyed_by_filename(self, tmp_path):
+        a = _write_log(tmp_path / "a.log")
+        b = _write_log(tmp_path / "b.log")
+        corruptor = LogCorruptor(_profile(garble_rate=0.2), seed=0)
+        corruptor.corrupt_text_file(a)
+        corruptor.corrupt_text_file(b)
+        # Same content, same seed, different file name -> different damage.
+        assert a.read_bytes() != b.read_bytes()
+
+
+class TestLineFaults:
+    def test_truncate(self, tmp_path):
+        path = _write_log(tmp_path / "x.log")
+        before = path.read_text().splitlines()
+        m = LogCorruptor(_profile(truncate_rate=0.1), seed=0).corrupt_text_file(path)
+        after = path.read_text().splitlines()
+        assert len(after) == len(before)
+        shorter = sum(len(a) < len(b) for a, b in zip(after, before))
+        assert shorter == m.total("truncated") > 0
+
+    def test_garble(self, tmp_path):
+        path = _write_log(tmp_path / "x.log")
+        before = path.read_text().splitlines()
+        m = LogCorruptor(_profile(garble_rate=0.1), seed=0).corrupt_text_file(path)
+        after = path.read_text().splitlines()
+        changed = sum(a != b for a, b in zip(after, before))
+        assert 0 < changed <= m.total("garbled")
+        assert all(len(a) == len(b) for a, b in zip(after, before))
+
+    def test_duplicate(self, tmp_path):
+        path = _write_log(tmp_path / "x.log")
+        n_before = len(path.read_text().splitlines())
+        m = LogCorruptor(_profile(duplicate_rate=0.05), seed=0).corrupt_text_file(path)
+        after = path.read_text().splitlines()
+        assert len(after) == n_before + m.total("duplicated")
+        assert m.total("duplicated") > 0
+
+    def test_drop_ranges(self, tmp_path):
+        path = _write_log(tmp_path / "x.log")
+        n_before = len(path.read_text().splitlines())
+        m = LogCorruptor(
+            _profile(drop_ranges=2, drop_span=20), seed=0
+        ).corrupt_text_file(path)
+        after = path.read_text().splitlines()
+        assert len(after) == n_before - m.total("dropped-range")
+        assert m.total("dropped-range") > 0
+
+    def test_reorder_permutes_only(self, tmp_path):
+        path = _write_log(tmp_path / "x.log")
+        before = sorted(path.read_text().splitlines())
+        m = LogCorruptor(
+            _profile(reorder_windows=2, reorder_span=16), seed=0
+        ).corrupt_text_file(path)
+        after = path.read_text().splitlines()
+        assert sorted(after) == before  # nothing lost, nothing invented
+        assert m.total("reordered") > 0
+
+    def test_clock_skew_shifts_timestamps(self, tmp_path):
+        path = _write_log(tmp_path / "x.log")
+        m = LogCorruptor(
+            _profile(clock_skew_windows=1, clock_skew_s=3600.0, clock_skew_span=8),
+            seed=0,
+        ).corrupt_text_file(path)
+        assert m.total("clock-skew") > 0
+        # Skewed lines moved a whole hour backwards: some timestamps now
+        # precede the log's original start.
+        assert any(
+            line.split(" ")[0] < "2019-01-01T00:00:00"
+            for line in path.read_text().splitlines()
+        )
+
+    def test_dropout_windows(self, tmp_path):
+        path = _write_log(tmp_path / "x.log", n=500)
+        m = LogCorruptor(
+            _profile(bmc_dropout_windows=1, bmc_dropout_fraction=0.1), seed=0
+        ).corrupt_text_file(path, dropout_windows=1)
+        assert m.total("sensor-dropout") >= 50
+        assert len(path.read_text().splitlines()) == 500 - m.total("sensor-dropout")
+
+    def test_csv_header_preserved(self, tmp_path):
+        path = tmp_path / "bmc.csv"
+        with open(path, "w") as fh:
+            fh.write("timestamp,node,sensor,value\n")
+            for i in range(100):
+                fh.write(f"2019-01-01T00:00:{i % 60:02d},{i:04d},CPU1_TEMP,41.5\n")
+        LogCorruptor(_profile(drop_ranges=1, drop_span=50), seed=0).corrupt_text_file(
+            path, has_header=True
+        )
+        assert path.read_text().splitlines()[0] == "timestamp,node,sensor,value"
+
+
+class TestBinaryFaults:
+    def test_corrupt_mirror_unloadable(self, campaign_dir):
+        LogCorruptor("moderate", seed=0).corrupt_binary(campaign_dir / "errors.npy")
+        with pytest.raises((ValueError, OSError, EOFError)):
+            np.load(campaign_dir / "errors.npy")
+
+    def test_hostile_drops_replacements(self, campaign_dir):
+        m = LogCorruptor("hostile", seed=0).corrupt_campaign(campaign_dir)
+        assert not (campaign_dir / "replacements.npy").exists()
+        assert m.total("mirror-dropped") == 1
+
+
+class TestManifest:
+    def test_written_and_loadable(self, campaign_dir):
+        m = LogCorruptor("moderate", seed=5).corrupt_campaign(campaign_dir)
+        assert (campaign_dir / MANIFEST_NAME).exists()
+        back = InjectionManifest.load(campaign_dir)
+        assert back.to_dict() == m.to_dict()
+        assert back.profile == "moderate" and back.seed == 5
+
+    def test_records_applied_faults(self, campaign_dir):
+        m = LogCorruptor("moderate", seed=0).corrupt_campaign(campaign_dir)
+        assert "mirror-corrupted" in m.faults_applied()
+        assert m.total() > 0
+        data = json.loads((campaign_dir / MANIFEST_NAME).read_text())
+        assert data["profile"] == "moderate"
+        assert data["n_events"] == len(data["events"]) > 0
+
+    def test_zero_count_faults_elided(self, tmp_path):
+        path = _write_log(tmp_path / "x.log")
+        m = LogCorruptor(_profile(), seed=0).corrupt_text_file(path)
+        assert m.total() == 0
+        assert m.faults_applied() == set()
+
+
+class TestProfiles:
+    def test_known_profiles(self):
+        for name in ("light", "moderate", "hostile"):
+            assert get_profile(name).name == name
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ValueError, match="unknown injection profile"):
+            get_profile("apocalyptic")
+
+    def test_passthrough(self):
+        p = _profile(garble_rate=0.5)
+        assert get_profile(p) is p

@@ -1,0 +1,108 @@
+"""Coverage-aware experiment verdicts: pass / pass-degraded / skipped."""
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.base import ExperimentResult
+from repro.logs.ingest import IngestStats
+
+
+def _stats(family, seen=100, parsed=100, **kw):
+    quarantined = seen - parsed - kw.pop("repaired", 0)
+    return IngestStats(
+        family=family, seen=seen, parsed=parsed, quarantined=quarantined, **kw
+    )
+
+
+@pytest.fixture()
+def degraded_campaign(small_campaign):
+    """The small campaign re-labelled as 70%-coverage errors telemetry."""
+    import copy
+
+    campaign = copy.copy(small_campaign)
+    campaign.ingest = {
+        "errors": _stats("errors", seen=100, parsed=70),
+        "replacements": _stats("replacements"),
+        "het": _stats("het"),
+    }
+    return campaign
+
+
+class TestResultStatus:
+    def test_pass(self):
+        r = ExperimentResult("x", "t")
+        r.check("ok", True)
+        assert r.status == "pass" and not r.degraded
+
+    def test_pass_degraded(self):
+        r = ExperimentResult("x", "t", coverage={"errors": 0.7})
+        r.check("ok", True)
+        assert r.status == "pass-degraded" and r.degraded
+
+    def test_fail_beats_degraded(self):
+        r = ExperimentResult("x", "t", coverage={"errors": 0.7})
+        r.check("ok", False)
+        assert r.status == "fail"
+
+    def test_skipped(self):
+        r = ExperimentResult("x", "t", skipped_reason="coverage below floor")
+        assert r.status == "skipped-insufficient-data"
+
+    def test_render_banners(self):
+        r = ExperimentResult("x", "t", coverage={"errors": 0.7})
+        assert "[DEGRADED]" in r.render() and "70.0%" in r.render()
+        r = ExperimentResult("x", "t", skipped_reason="nope")
+        assert "[SKIPPED] nope" in r.render()
+
+
+class TestRegistryGating:
+    def test_clean_campaign_plain_pass(self, small_campaign):
+        result = registry.run("table1", small_campaign)
+        assert result.status in ("pass", "fail")  # never degraded
+        assert not result.degraded
+
+    def test_degraded_pass(self, degraded_campaign):
+        result = registry.run("fig05", degraded_campaign, min_coverage=0.5)
+        assert result.coverage == {"errors": pytest.approx(0.7)}
+        assert result.skipped_reason is None
+        assert result.status in ("pass-degraded", "fail")
+
+    def test_skip_below_floor(self, degraded_campaign):
+        result = registry.run("fig05", degraded_campaign, min_coverage=0.9)
+        assert result.status == "skipped-insufficient-data"
+        assert "min-coverage" in result.skipped_reason
+        assert result.series == {} and result.checks == {}
+
+    def test_unrelated_family_not_gated(self, degraded_campaign):
+        # table1 consumes replacements (full coverage); the starved
+        # errors family must not block it.
+        result = registry.run("table1", degraded_campaign, min_coverage=0.9)
+        assert result.skipped_reason is None
+        assert result.coverage == {"replacements": 1.0}
+
+    def test_every_module_declares_families(self):
+        for exp_id, module in registry._ALL.items():
+            assert hasattr(module, "FAMILIES"), exp_id
+            assert all(
+                f in ("errors", "replacements", "het") for f in module.FAMILIES
+            ), exp_id
+
+
+class TestReportPlumbing:
+    def test_metrics_carry_status_and_coverage(self, degraded_campaign):
+        from repro.run import ExperimentRunner
+
+        runner = ExperimentRunner(jobs=0, min_coverage=0.9)
+        results, report = runner.run(degraded_campaign, ["fig05", "table1"])
+        by_id = {m.exp_id: m for m in report.experiments}
+        assert by_id["fig05"].status == "skipped-insufficient-data"
+        assert by_id["table1"].status in ("pass", "fail")
+        assert by_id["fig05"].coverage == {"errors": pytest.approx(0.7)}
+        assert report.min_coverage == 0.9
+        assert set(report.ingest) == {"errors", "replacements", "het"}
+        data = report.to_dict()
+        assert data["schema_version"] == 2
+        assert data["ingest"]["errors"]["coverage"] == pytest.approx(0.7)
+        summary = report.summary()
+        assert "skipped for insufficient coverage: 1" in summary
+        assert "telemetry coverage" in summary

@@ -1,0 +1,143 @@
+"""Tests for the shared ingest policy / stats / quarantine layer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.logs.ingest import (
+    IngestPolicy,
+    IngestStats,
+    MalformedRecordError,
+    Quarantine,
+    coverage_map,
+    ingest_lines,
+    quarantine_path,
+    read_quarantine,
+    resort_by_time,
+)
+
+
+def _parse(line: str) -> int:
+    return int(line)
+
+
+def _repair(line: str) -> int:
+    digits = "".join(c for c in line if c.isdigit())
+    if not digits:
+        raise ValueError("nothing to salvage")
+    return int(digits)
+
+
+DIRTY = "1\n2\n\nx7\n3\njunk\n4\n"
+
+
+class TestPolicy:
+    def test_coerce(self):
+        assert IngestPolicy.coerce(None) is IngestPolicy.STRICT
+        assert IngestPolicy.coerce("repair") is IngestPolicy.REPAIR
+        assert IngestPolicy.coerce(IngestPolicy.SKIP) is IngestPolicy.SKIP
+
+    def test_coerce_unknown(self):
+        with pytest.raises(ValueError, match="unknown ingest policy"):
+            IngestPolicy.coerce("yolo")
+
+
+class TestIngestLines:
+    def test_strict_raises_typed(self):
+        stats = IngestStats(family="test")
+        with pytest.raises(MalformedRecordError) as err:
+            list(ingest_lines(io.StringIO(DIRTY), _parse, stats, IngestPolicy.STRICT))
+        assert err.value.line_no == 4
+        assert err.value.family == "test"
+        assert isinstance(err.value, ValueError)  # back-compat contract
+
+    def test_skip_quarantines(self):
+        stats = IngestStats(family="test")
+        rows = list(
+            ingest_lines(io.StringIO(DIRTY), _parse, stats, IngestPolicy.SKIP)
+        )
+        assert rows == [1, 2, 3, 4]
+        assert (stats.seen, stats.parsed, stats.repaired, stats.quarantined) == (
+            6, 4, 0, 2,
+        )
+        stats.check_invariant()
+
+    def test_repair_salvages(self):
+        stats = IngestStats(family="test")
+        rows = list(
+            ingest_lines(
+                io.StringIO(DIRTY), _parse, stats, IngestPolicy.REPAIR,
+                repair_line=_repair,
+            )
+        )
+        assert rows == [1, 2, 7, 3, 4]  # "x7" salvaged, "junk" dropped
+        assert (stats.parsed, stats.repaired, stats.quarantined) == (4, 1, 1)
+        stats.check_invariant()
+
+    def test_blank_lines_not_counted(self):
+        stats = IngestStats(family="test")
+        list(ingest_lines(io.StringIO("1\n\n\n2\n"), _parse, stats, IngestPolicy.SKIP))
+        assert stats.seen == 2
+
+    def test_coverage(self):
+        assert IngestStats(family="x").coverage == 1.0  # empty stream
+        assert IngestStats(family="x", missing=True).coverage == 0.0
+        stats = IngestStats(family="x", seen=10, parsed=8, repaired=1, quarantined=1)
+        assert stats.coverage == pytest.approx(0.9)
+        assert coverage_map({"x": stats}) == {"x": pytest.approx(0.9)}
+
+    def test_invariant_violation_detected(self):
+        stats = IngestStats(family="x", seen=3, parsed=1)
+        with pytest.raises(AssertionError, match="seen=3"):
+            stats.check_invariant()
+
+
+class TestQuarantine:
+    def test_round_trip(self, tmp_path):
+        log = tmp_path / "x.log"
+        q = Quarantine(log)
+        q.add(3, "not a CE record", "garbage\tline")
+        q.add(9, "missing fields", "EDAC CE trunc")
+        path = q.flush()
+        assert path == quarantine_path(log)
+        back = read_quarantine(path)
+        assert back == [
+            (3, "not a CE record", "garbage\tline"),
+            (9, "missing fields", "EDAC CE trunc"),
+        ]
+
+    def test_clean_ingest_leaves_no_sidecar(self, tmp_path):
+        q = Quarantine(tmp_path / "x.log")
+        assert q.flush() is None
+        assert not quarantine_path(tmp_path / "x.log").exists()
+
+
+class TestResort:
+    def _records(self, times):
+        arr = np.zeros(len(times), dtype=[("time", "f8"), ("tag", "i8")])
+        arr["time"] = times
+        arr["tag"] = np.arange(len(times))
+        return arr
+
+    def test_repair_resorts(self):
+        stats = IngestStats(family="x", seen=4, parsed=4)
+        out = resort_by_time(
+            self._records([1.0, 5.0, 2.0, 6.0]), stats, IngestPolicy.REPAIR
+        )
+        assert list(out["time"]) == [1.0, 2.0, 5.0, 6.0]
+        assert stats.repaired == 1 and stats.parsed == 3
+        stats.check_invariant()
+
+    def test_other_policies_untouched(self):
+        stats = IngestStats(family="x", seen=3, parsed=3)
+        out = resort_by_time(
+            self._records([3.0, 1.0, 2.0]), stats, IngestPolicy.SKIP
+        )
+        assert list(out["time"]) == [3.0, 1.0, 2.0]
+        assert stats.repaired == 0
+
+    def test_sorted_input_no_repairs(self):
+        stats = IngestStats(family="x", seen=3, parsed=3)
+        resort_by_time(self._records([1.0, 2.0, 3.0]), stats, IngestPolicy.REPAIR)
+        assert stats.repaired == 0

@@ -1,0 +1,178 @@
+"""Runner timeout and retry behaviour under misbehaving experiments.
+
+Fake experiment modules are patched into the registry; under the fork
+start method pool workers inherit the patched state, so worker-side
+behaviour (sleeping past the deadline) is controlled from the tests.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.base import ExperimentResult
+from repro.run import ExperimentRunner
+
+pytestmark = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="fake experiments reach pool workers via fork inheritance",
+)
+
+
+class _DummyCampaign:
+    seed = 0
+    scale = 1.0
+    n_errors = 0
+    ingest: dict = {}
+
+    def faults(self):
+        return None
+
+
+def _result(exp_id):
+    result = ExperimentResult(exp_id, f"fake {exp_id}")
+    result.check("ok", True)
+    return result
+
+
+def _install(monkeypatch, modules) -> None:
+    import repro.experiments as experiments_pkg
+
+    listing = [(m.EXP_ID, m.TITLE) for m in modules]
+    for module in modules:
+        monkeypatch.setitem(registry._ALL, module.EXP_ID, module)
+    monkeypatch.setattr(
+        experiments_pkg,
+        "list_experiments",
+        lambda include_extensions=False: listing,
+    )
+
+
+class _Quick:
+    EXP_ID = "quick"
+    TITLE = "returns immediately"
+
+    @staticmethod
+    def run(campaign, **params):
+        return _result("quick")
+
+
+def _sleepy_module(marker_path):
+    """Sleeps forever on its first run, succeeds once the marker exists."""
+
+    class _Sleepy:
+        EXP_ID = "sleepy"
+        TITLE = "wedges on first attempt"
+
+        @staticmethod
+        def run(campaign, **params):
+            if not os.path.exists(marker_path):
+                with open(marker_path, "w") as fh:
+                    fh.write(str(os.getpid()))
+                time.sleep(60)
+            return _result("sleepy")
+
+    return _Sleepy
+
+
+class _AlwaysSleepy:
+    EXP_ID = "sleepy"
+    TITLE = "always wedges"
+
+    @staticmethod
+    def run(campaign, **params):
+        time.sleep(60)
+
+
+class TestTimeout:
+    def test_wedged_experiment_reported_not_fatal(self, monkeypatch):
+        _install(monkeypatch, [_AlwaysSleepy, _Quick])
+        runner = ExperimentRunner(jobs=2, timeout_s=1.0, retries=0)
+        t0 = time.monotonic()
+        results, report = runner.run(_DummyCampaign(), ["sleepy", "quick"])
+        assert time.monotonic() - t0 < 30  # never waits out the sleep
+        by_id = {m.exp_id: m for m in report.experiments}
+        assert by_id["sleepy"].timed_out
+        assert by_id["sleepy"].status == "timeout"
+        assert "--timeout=1.0s" in by_id["sleepy"].error
+        assert "sleepy" not in results
+        assert results["quick"].all_checks_pass
+        assert by_id["quick"].error is None
+
+    def test_timeout_retry_succeeds(self, monkeypatch, tmp_path):
+        marker = tmp_path / "first-attempt"
+        _install(monkeypatch, [_sleepy_module(str(marker)), _Quick])
+        runner = ExperimentRunner(jobs=2, timeout_s=1.0, retries=1, backoff_s=0.0)
+        results, report = runner.run(_DummyCampaign(), ["sleepy", "quick"])
+        assert marker.exists()  # first attempt really started and wedged
+        assert "sleepy" in results
+        by_id = {m.exp_id: m for m in report.experiments}
+        assert not by_id["sleepy"].timed_out
+        assert by_id["sleepy"].attempts >= 2 or by_id["sleepy"].mode == "serial-fallback"
+
+    def test_no_timeout_configured_waits(self, monkeypatch):
+        _install(monkeypatch, [_Quick])
+        runner = ExperimentRunner(jobs=2, retries=0)
+        results, report = runner.run(_DummyCampaign(), ["quick"])
+        assert results["quick"].all_checks_pass
+
+
+class TestSerialRetry:
+    def test_flaky_experiment_retried(self, monkeypatch):
+        calls = {"n": 0}
+
+        class _Flaky:
+            EXP_ID = "flaky"
+            TITLE = "fails twice then passes"
+
+            @staticmethod
+            def run(campaign, **params):
+                calls["n"] += 1
+                if calls["n"] < 3:
+                    raise RuntimeError("transient")
+                return _result("flaky")
+
+        _install(monkeypatch, [_Flaky])
+        runner = ExperimentRunner(jobs=0, retries=2, backoff_s=0.0)
+        results, report = runner.run(_DummyCampaign(), ["flaky"])
+        assert calls["n"] == 3
+        assert results["flaky"].all_checks_pass
+        assert report.experiments[0].attempts == 3
+
+    def test_retries_exhausted_reports_error(self, monkeypatch):
+        class _Broken:
+            EXP_ID = "broken"
+            TITLE = "always fails"
+
+            @staticmethod
+            def run(campaign, **params):
+                raise RuntimeError("permanently broken")
+
+        _install(monkeypatch, [_Broken])
+        runner = ExperimentRunner(jobs=0, retries=1, backoff_s=0.0)
+        results, report = runner.run(_DummyCampaign(), ["broken"])
+        assert results == {}
+        metric = report.experiments[0]
+        assert metric.status == "error"
+        assert metric.attempts == 2
+        assert "permanently broken" in metric.error
+
+    def test_backoff_is_exponential(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(time, "sleep", sleeps.append)
+
+        class _Broken:
+            EXP_ID = "broken"
+            TITLE = "always fails"
+
+            @staticmethod
+            def run(campaign, **params):
+                raise RuntimeError("nope")
+
+        _install(monkeypatch, [_Broken])
+        ExperimentRunner(jobs=0, retries=3, backoff_s=0.1).run(
+            _DummyCampaign(), ["broken"]
+        )
+        assert sleeps == pytest.approx([0.1, 0.2, 0.4])

@@ -152,8 +152,10 @@ class TestJsonReport:
         _, report = ExperimentRunner(jobs=2).run(small_campaign, IDS)
         path = tmp_path / "report.json"
         report.write(path)
+        from repro.run.report import REPORT_SCHEMA_VERSION
+
         loaded = json.loads(path.read_text())
-        assert loaded["schema_version"] == 1
+        assert loaded["schema_version"] == REPORT_SCHEMA_VERSION
         assert loaded["seed"] == small_campaign.seed
         assert loaded["n_errors"] == small_campaign.n_errors
         assert [e["exp_id"] for e in loaded["experiments"]] == IDS
