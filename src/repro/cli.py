@@ -116,6 +116,27 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
         default=0,
         help="RNG seed for --inject (same seed = identical corruption)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="enable tracing and write the span tree (ingest, coalesce, "
+        "cache, per-experiment spans with wall/CPU time and record "
+        "counts) as JSON to PATH",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the metrics registry (counters, gauges, latency "
+        "histograms) as JSON to PATH",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="wrap each experiment body in cProfile and print per-"
+        "experiment hotspot tables (adds overhead; off by default)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -281,7 +302,10 @@ def _run_experiments(
     min_coverage: float = 0.0,
     ingest_policy: str | None = None,
     injection=None,
+    trace_out=None,
+    metrics_out=None,
 ) -> int:
+    from repro import obs
     from repro.run import ExperimentRunner
 
     _validate_json_report(json_report)
@@ -299,6 +323,14 @@ def _run_experiments(
     report.ingest_policy = ingest_policy
     if injection is not None:
         report.injection = injection.to_dict()
+    # Observability section (report schema v3): the metrics snapshot is
+    # always cheap to carry; the trace tree rides along when tracing was
+    # enabled, with any worker-process spans already merged in.
+    report.metrics = obs.get_metrics().export()
+    if obs.tracing_enabled():
+        report.trace = obs.get_tracer().export()
+    if obs.profiles():
+        report.profiles = obs.profiles()
     for exp_id in exp_ids:
         if exp_id in results:
             print(results[exp_id].render())
@@ -306,10 +338,19 @@ def _run_experiments(
             metric = next(m for m in report.experiments if m.exp_id == exp_id)
             print(f"== {exp_id} ==\n  ERROR: {metric.error}")
         print()
+    if obs.profiles():
+        print(obs.render_profiles())
+        print()
     print(report.summary())
     if json_report:
         report.write(json_report)
         print(f"wrote JSON run report to {json_report}")
+    if trace_out:
+        obs.write_trace(trace_out)
+        print(f"wrote trace to {trace_out}")
+    if metrics_out:
+        obs.write_metrics(metrics_out)
+        print(f"wrote metrics to {metrics_out}")
     return 0 if report.all_pass else 1
 
 
@@ -330,6 +371,19 @@ def main(argv=None) -> int:
 
 
 def _dispatch(args) -> int:
+    from repro import obs
+
+    # Configure observability before any campaign load or generation so
+    # ingest/cache spans land in the trace.
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    obs.configure(
+        trace=bool(trace_out),
+        profile=bool(getattr(args, "profile", False)),
+    )
+    for path in (trace_out, metrics_out):
+        _validate_json_report(path)
+
     if args.command == "list":
         from repro.experiments import list_experiments
 
@@ -397,6 +451,8 @@ def _dispatch(args) -> int:
             min_coverage=args.min_coverage,
             ingest_policy=args.ingest_policy,
             injection=injection,
+            trace_out=trace_out,
+            metrics_out=metrics_out,
         )
 
     if args.command == "experiment":
@@ -433,6 +489,8 @@ def _dispatch(args) -> int:
             min_coverage=args.min_coverage,
             ingest_policy=args.ingest_policy,
             injection=injection,
+            trace_out=trace_out,
+            metrics_out=metrics_out,
         )
 
     if args.command == "mitigate":

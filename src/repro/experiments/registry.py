@@ -84,6 +84,10 @@ def run(
     a ``skipped-insufficient-data`` result; one that runs on partial
     data reports ``pass-degraded`` instead of a clean ``pass``.
     """
+    from repro import obs
+    from repro.obs.profile import profiled
+    from repro.run.report import series_record_count
+
     try:
         module = _ALL[exp_id]
     except KeyError:
@@ -98,26 +102,46 @@ def run(
         relevant = {
             family: campaign_coverage.get(family, 1.0) for family in families
         }
-    starved = {
-        family: frac for family, frac in relevant.items() if frac < min_coverage
-    }
-    if starved:
-        result = ExperimentResult(exp_id=exp_id, title=module.TITLE)
-        result.coverage = relevant
-        detail = ", ".join(
-            f"{family}={frac:.1%}" for family, frac in sorted(starved.items())
-        )
-        result.skipped_reason = (
-            f"coverage below --min-coverage={min_coverage:.0%}: {detail}"
-        )
-        result.note(
-            f"skipped: insufficient telemetry coverage ({detail}); "
-            "quarantined records are listed in the ingest sidecars"
-        )
-        return result
+    with obs.span(f"experiment.{exp_id}") as sp:
+        starved = {
+            family: frac
+            for family, frac in relevant.items()
+            if frac < min_coverage
+        }
+        if starved:
+            result = ExperimentResult(exp_id=exp_id, title=module.TITLE)
+            result.coverage = relevant
+            detail = ", ".join(
+                f"{family}={frac:.1%}" for family, frac in sorted(starved.items())
+            )
+            result.skipped_reason = (
+                f"coverage below --min-coverage={min_coverage:.0%}: {detail}"
+            )
+            result.note(
+                f"skipped: insufficient telemetry coverage ({detail}); "
+                "quarantined records are listed in the ingest sidecars"
+            )
+            sp.add(records=0, series=0, checks=0)
+            sp.set("status", result.status)
+            obs.count("experiment.skipped")
+            return result
 
-    result = module.run(campaign, **params)
-    result.coverage = relevant
+        if obs.profiling_enabled():
+            with profiled(obs.profile_top_n()) as hotspot_rows:
+                result = module.run(campaign, **params)
+            obs.add_profile(exp_id, hotspot_rows)
+        else:
+            result = module.run(campaign, **params)
+        result.coverage = relevant
+        n_records = series_record_count(result.series)
+        sp.add(
+            records=n_records,
+            series=len(result.series),
+            checks=len(result.checks),
+        )
+        sp.set("status", result.status)
+        obs.count(f"experiment.records.{exp_id}", n_records)
+        obs.count("experiment.completed")
     return result
 
 

@@ -75,18 +75,27 @@ def classify_group_modes(
     elif row_valid.shape[0] != n:
         raise ValueError("all per-group arrays must have equal length")
 
-    modes = np.full(n, FaultMode.SINGLE_BANK, dtype=np.int8)
+    from repro import obs
 
-    # Loosest first, then tighten; later assignments win.
-    if row_available:
-        modes[(uniq_rows == 1) & row_valid] = FaultMode.SINGLE_ROW
-    modes[(uniq_cols == 1) & column_valid] = FaultMode.SINGLE_COLUMN
-    modes[uniq_words == 1] = FaultMode.SINGLE_WORD
-    modes[(uniq_bits == 1) & bit_valid] = FaultMode.SINGLE_BIT
+    with obs.span("coalesce.classify", transient=True) as sp:
+        modes = np.full(n, FaultMode.SINGLE_BANK, dtype=np.int8)
 
-    # Structural overrides.
-    modes[uniq_banks > 1] = FaultMode.MULTI_BANK
-    modes[~bank_valid] = FaultMode.UNATTRIBUTED
+        # Loosest first, then tighten; later assignments win.
+        if row_available:
+            modes[(uniq_rows == 1) & row_valid] = FaultMode.SINGLE_ROW
+        modes[(uniq_cols == 1) & column_valid] = FaultMode.SINGLE_COLUMN
+        modes[uniq_words == 1] = FaultMode.SINGLE_WORD
+        modes[(uniq_bits == 1) & bit_valid] = FaultMode.SINGLE_BIT
+
+        # Structural overrides.
+        modes[uniq_banks > 1] = FaultMode.MULTI_BANK
+        modes[~bank_valid] = FaultMode.UNATTRIBUTED
+
+        sp.add(groups=n)
+        per_mode = np.bincount(modes, minlength=len(FaultMode))
+        for mode in FaultMode:
+            if per_mode[mode]:
+                obs.count(f"coalesce.mode.{mode.name.lower()}", int(per_mode[mode]))
     return modes
 
 

@@ -88,6 +88,8 @@ def coalesce(
         unique value where the group is homogeneous in that field and the
         sentinel where it is not.
     """
+    from repro import obs
+
     if errors.dtype != ERROR_DTYPE:
         raise ValueError(f"expected ERROR_DTYPE, got {errors.dtype}")
     options = options or CoalesceOptions()
@@ -95,6 +97,19 @@ def coalesce(
     if n == 0:
         return empty_faults(0)
 
+    # Transient: whether coalescing runs here (cache miss, first
+    # experiment) or not at all (pre-warmed fault cache) depends on the
+    # environment, so the span is elided from the stable trace view.
+    with obs.span("coalesce.errors_to_faults", transient=True) as sp:
+        faults = _coalesce(errors, options)
+        sp.add(errors_seen=n, faults_emitted=faults.size)
+    obs.count("coalesce.errors_seen", n)
+    obs.count("coalesce.faults_emitted", faults.size)
+    return faults
+
+
+def _coalesce(errors: np.ndarray, options: CoalesceOptions) -> np.ndarray:
+    n = errors.size
     if options.split_banks:
         key_fields = ("node", "slot", "rank", "bank")
     else:

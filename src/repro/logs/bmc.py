@@ -99,6 +99,8 @@ def ingest_bmc_log(
     back to treating the first line as data (the header itself fails to
     parse and is quarantined, so it still shows up in the accounting).
     """
+    from repro import obs
+
     policy = IngestPolicy.coerce(policy)
     complement = NodeSensorComplement()
     name_to_idx = {name: i for i, name in enumerate(complement.names)}
@@ -108,22 +110,24 @@ def ingest_bmc_log(
     def parse(line: str) -> tuple:
         return _parse_sample_line(line, name_to_idx)
 
-    with open(path) as fh:
-        header = fh.readline()
-        if not header.startswith("timestamp,"):
-            if policy is IngestPolicy.STRICT:
-                raise MalformedRecordError(
-                    "sensors", path, 1, header.strip(), "missing header"
-                )
-            fh.seek(0)
-        rows = list(ingest_lines(fh, parse, stats, policy, sidecar))
-    if sidecar is not None:
-        sidecar.flush()
-    out = np.zeros(len(rows), dtype=SENSOR_SAMPLE_DTYPE)
-    for i, row in enumerate(rows):
-        out[i] = row
-    out = resort_by_time(out, stats, policy)
-    stats.check_invariant()
+    with obs.span("ingest.sensors", attrs={"policy": policy.value}) as sp:
+        with open(path) as fh:
+            header = fh.readline()
+            if not header.startswith("timestamp,"):
+                if policy is IngestPolicy.STRICT:
+                    raise MalformedRecordError(
+                        "sensors", path, 1, header.strip(), "missing header"
+                    )
+                fh.seek(0)
+            rows = list(ingest_lines(fh, parse, stats, policy, sidecar))
+        if sidecar is not None:
+            sidecar.flush()
+        out = np.zeros(len(rows), dtype=SENSOR_SAMPLE_DTYPE)
+        for i, row in enumerate(rows):
+            out[i] = row
+        out = resort_by_time(out, stats, policy)
+        stats.check_invariant()
+        sp.add(**obs.record_ingest(stats))
     return out, stats
 
 

@@ -144,17 +144,24 @@ def _load_family(
     empty stream flagged ``missing`` (zero coverage) so downstream
     experiments degrade instead of crashing.
     """
+    from repro import obs
+
     npy_path = directory / npy_name
     mirror_problem = None
-    try:
-        records = load_records(npy_path, dtype)
-        stats = IngestStats(
-            family=family, seen=int(records.size), parsed=int(records.size),
-            source="binary",
-        )
-        return records, stats
-    except (OSError, ValueError, EOFError) as exc:
-        mirror_problem = f"{type(exc).__name__}: {exc}"
+    with obs.span(f"ingest.{family}") as sp:
+        try:
+            records = load_records(npy_path, dtype)
+        except (OSError, ValueError, EOFError) as exc:
+            mirror_problem = f"{type(exc).__name__}: {exc}"
+            sp.set("error", mirror_problem)
+        else:
+            stats = IngestStats(
+                family=family, seen=int(records.size), parsed=int(records.size),
+                source="binary",
+            )
+            sp.set("source", "binary")
+            sp.add(**obs.record_ingest(stats))
+            return records, stats
 
     if text_loader is not None:
         text_path, loader = text_loader
@@ -174,6 +181,7 @@ def _load_family(
             f"{fallback})",
         )
     stats = IngestStats(family=family, missing=True, source="missing")
+    obs.record_ingest(stats)
     return np.zeros(0, dtype=dtype), stats
 
 
@@ -215,18 +223,23 @@ def load_campaign_records(
                 key, value = line.strip().split("=", 1)
                 manifest[key] = value
 
-    errors, e_stats = _load_family(
-        directory, "errors.npy", ERROR_DTYPE, "errors",
-        ("ce.log", _ce_text_loader), policy,
-    )
-    replacements, r_stats = _load_family(
-        directory, "replacements.npy", REPLACEMENT_DTYPE, "replacements",
-        None, policy,
-    )
-    het, h_stats = _load_family(
-        directory, "het.npy", HET_DTYPE, "het",
-        ("het.log", _het_text_loader), policy,
-    )
+    from repro import obs
+
+    with obs.span(
+        "ingest.campaign", attrs={"dir": str(directory), "policy": policy.value}
+    ):
+        errors, e_stats = _load_family(
+            directory, "errors.npy", ERROR_DTYPE, "errors",
+            ("ce.log", _ce_text_loader), policy,
+        )
+        replacements, r_stats = _load_family(
+            directory, "replacements.npy", REPLACEMENT_DTYPE, "replacements",
+            None, policy,
+        )
+        het, h_stats = _load_family(
+            directory, "het.npy", HET_DTYPE, "het",
+            ("het.log", _het_text_loader), policy,
+        )
     try:
         seed = int(manifest.get("seed", -1))
         scale = float(manifest.get("scale", 1.0))

@@ -102,19 +102,25 @@ def ingest_het_log(
     Quarantined lines land in ``<path>.quarantine`` unless ``quarantine``
     is False.
     """
+    from repro import obs
+
     policy = IngestPolicy.coerce(policy)
     stats = IngestStats(family="het", source="text")
     sidecar = Quarantine(path) if quarantine else None
     repair = _repair_line if policy is IngestPolicy.REPAIR else None
-    with open(path) as fh:
-        rows = list(ingest_lines(fh, _parse_line, stats, policy, sidecar, repair))
-    if sidecar is not None:
-        sidecar.flush()
-    out = np.zeros(len(rows), dtype=HET_DTYPE)
-    for i, row in enumerate(rows):
-        out[i] = row
-    out = resort_by_time(out, stats, policy)
-    stats.check_invariant()
+    with obs.span("ingest.het", attrs={"policy": policy.value}) as sp:
+        with open(path) as fh:
+            rows = list(
+                ingest_lines(fh, _parse_line, stats, policy, sidecar, repair)
+            )
+        if sidecar is not None:
+            sidecar.flush()
+        out = np.zeros(len(rows), dtype=HET_DTYPE)
+        for i, row in enumerate(rows):
+            out[i] = row
+        out = resort_by_time(out, stats, policy)
+        stats.check_invariant()
+        sp.add(**obs.record_ingest(stats))
     return out, stats
 
 

@@ -158,6 +158,7 @@ def ingest_inventory_snapshots(
     bad rows are quarantined with a reason.  Partial scans are already
     tolerated downstream by :func:`diff_inventories`.
     """
+    from repro import obs
     from repro.logs.ingest import (
         IngestPolicy,
         IngestStats,
@@ -169,14 +170,16 @@ def ingest_inventory_snapshots(
     stats = IngestStats(family="inventory", source="text")
     sidecar = Quarantine(path) if quarantine else None
     out: dict[str, dict] = {}
-    with open(path) as fh:
-        for date, key, serial in ingest_lines(
-            fh, _parse_snapshot_line, stats, policy, sidecar
-        ):
-            out.setdefault(date, {})[key] = serial
-    if sidecar is not None:
-        sidecar.flush()
-    stats.check_invariant()
+    with obs.span("ingest.inventory", attrs={"policy": policy.value}) as sp:
+        with open(path) as fh:
+            for date, key, serial in ingest_lines(
+                fh, _parse_snapshot_line, stats, policy, sidecar
+            ):
+                out.setdefault(date, {})[key] = serial
+        if sidecar is not None:
+            sidecar.flush()
+        stats.check_invariant()
+        sp.add(**obs.record_ingest(stats))
     return out, stats
 
 

@@ -117,16 +117,22 @@ def ingest_ce_log(
     timestamps.  Quarantined lines land in ``<path>.quarantine`` unless
     ``quarantine`` is False.
     """
+    from repro import obs
+
     policy = IngestPolicy.coerce(policy)
     stats = IngestStats(family="errors", source="text")
     sidecar = Quarantine(path) if quarantine else None
     repair = _repair_line if policy is IngestPolicy.REPAIR else None
-    with open(path) as fh:
-        rows = list(ingest_lines(fh, _parse_line, stats, policy, sidecar, repair))
-    if sidecar is not None:
-        sidecar.flush()
-    out = resort_by_time(_rows_to_array(rows), stats, policy)
-    stats.check_invariant()
+    with obs.span("ingest.errors", attrs={"policy": policy.value}) as sp:
+        with open(path) as fh:
+            rows = list(
+                ingest_lines(fh, _parse_line, stats, policy, sidecar, repair)
+            )
+        if sidecar is not None:
+            sidecar.flush()
+        out = resort_by_time(_rows_to_array(rows), stats, policy)
+        stats.check_invariant()
+        sp.add(**obs.record_ingest(stats))
     return ParseResult(errors=out, stats=stats)
 
 

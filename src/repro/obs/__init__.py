@@ -1,0 +1,300 @@
+"""Pipeline observability: tracing spans, metrics, profiling hooks.
+
+One process-global :class:`~repro.obs.trace.Tracer` and
+:class:`~repro.obs.metrics.MetricsRegistry` serve the whole pipeline;
+instrumented code calls the module-level helpers::
+
+    from repro import obs
+
+    with obs.span("ingest.errors") as sp:
+        ...
+        sp.add(records=n)
+    obs.count("ingest.quarantined", stats.quarantined)
+
+Metrics are always on (a handful of dict updates per file or
+experiment); tracing is off by default and enabled by ``--trace-out``
+or :func:`configure`; profiling is strictly opt-in (``--profile``).
+
+Worker processes wrap their work in :func:`capture`, which swaps in a
+fresh tracer/registry/profile store, and ship the resulting payload
+back; the parent folds it in with :func:`merge_payload`, so one trace
+tree and one metrics registry describe the whole run regardless of
+``--jobs``.
+
+Span naming scheme and the metric catalog are documented in DESIGN.md
+section 8.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import DEFAULT_TOP_N, profiled, render_profile
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    attach_tree,
+    span_wall_invariant,
+    stable_trace,
+    stable_view,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "MetricsRegistry",
+    "span",
+    "count",
+    "gauge",
+    "observe",
+    "record_ingest",
+    "configure",
+    "tracing_enabled",
+    "profiling_enabled",
+    "profile_top_n",
+    "add_profile",
+    "profiles",
+    "render_profiles",
+    "capture",
+    "merge_payload",
+    "export_trace",
+    "export_metrics",
+    "write_trace",
+    "write_metrics",
+    "reset",
+    "get_tracer",
+    "get_metrics",
+    "attach_tree",
+    "stable_trace",
+    "stable_view",
+    "span_wall_invariant",
+    "profiled",
+    "TRACE_SCHEMA_VERSION",
+    "METRICS_SCHEMA_VERSION",
+]
+
+#: Bumped when the ``--trace-out`` artifact layout changes.
+TRACE_SCHEMA_VERSION = 1
+#: Bumped when the ``--metrics-out`` artifact layout changes.
+METRICS_SCHEMA_VERSION = 1
+
+_TRACER = Tracer(enabled=False)
+_METRICS = MetricsRegistry()
+_PROFILES: dict[str, list[dict]] = {}
+_PROFILE_ENABLED = False
+_PROFILE_TOP_N = DEFAULT_TOP_N
+
+
+# ----------------------------------------------------------------------
+# Instrumentation entry points
+# ----------------------------------------------------------------------
+def span(
+    name: str,
+    counts: dict | None = None,
+    attrs: dict | None = None,
+    transient: bool = False,
+    prune: bool = False,
+):
+    """Open a span on the current tracer (see :meth:`Tracer.span`)."""
+    return _TRACER.span(
+        name, counts=counts, attrs=attrs, transient=transient, prune=prune
+    )
+
+
+def count(name: str, n: float = 1) -> None:
+    """Increment a counter on the current registry."""
+    _METRICS.count(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge on the current registry."""
+    _METRICS.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation on the current registry."""
+    _METRICS.observe(name, value)
+
+
+def record_ingest(stats) -> dict:
+    """Publish one :class:`~repro.logs.ingest.IngestStats` as metrics.
+
+    Emits per-family counters (``ingest.<family>.seen`` ...), the
+    aggregate record-accounting counters (``ingest.seen``,
+    ``ingest.quarantined``, ...), and a per-family ``ingest.coverage``
+    gauge.  Returns the span-count dict so callers can do
+    ``sp.add(**obs.record_ingest(stats))``.
+    """
+    counts = {
+        "seen": stats.seen,
+        "parsed": stats.parsed,
+        "repaired": stats.repaired,
+        "quarantined": stats.quarantined,
+    }
+    for key, value in counts.items():
+        _METRICS.count(f"ingest.{stats.family}.{key}", value)
+        _METRICS.count(f"ingest.{key}", value)
+    _METRICS.gauge(f"ingest.coverage.{stats.family}", stats.coverage)
+    return counts
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+def configure(
+    trace: bool | None = None,
+    profile: bool | None = None,
+    profile_top_n: int | None = None,
+) -> None:
+    """Turn tracing / profiling on or off (None leaves a knob alone)."""
+    global _PROFILE_ENABLED, _PROFILE_TOP_N
+    if trace is not None:
+        _TRACER.enabled = bool(trace)
+    if profile is not None:
+        _PROFILE_ENABLED = bool(profile)
+    if profile_top_n is not None:
+        _PROFILE_TOP_N = int(profile_top_n)
+
+
+def tracing_enabled() -> bool:
+    return _TRACER.enabled
+
+
+def profiling_enabled() -> bool:
+    return _PROFILE_ENABLED
+
+
+def profile_top_n() -> int:
+    return _PROFILE_TOP_N
+
+
+def get_tracer() -> Tracer:
+    return _TRACER
+
+
+def get_metrics() -> MetricsRegistry:
+    return _METRICS
+
+
+def reset() -> None:
+    """Clear all recorded traces, metrics and profiles (tests)."""
+    _TRACER.reset()
+    _METRICS.reset()
+    _PROFILES.clear()
+
+
+# ----------------------------------------------------------------------
+# Profiles
+# ----------------------------------------------------------------------
+def add_profile(exp_id: str, rows: list[dict]) -> None:
+    _PROFILES[exp_id] = list(rows)
+
+
+def profiles() -> dict[str, list[dict]]:
+    return dict(_PROFILES)
+
+
+def render_profiles() -> str:
+    """All collected hotspot tables, ready to print."""
+    return "\n\n".join(
+        render_profile(exp_id, rows) for exp_id, rows in sorted(_PROFILES.items())
+    )
+
+
+# ----------------------------------------------------------------------
+# Cross-process capture and merge
+# ----------------------------------------------------------------------
+class Capture:
+    """Handle yielded by :func:`capture`; snapshot via :meth:`payload`."""
+
+    def __init__(self, tracer: Tracer, metrics: MetricsRegistry, profiles: dict):
+        self.tracer = tracer
+        self.metrics = metrics
+        self.profiles = profiles
+
+    def payload(self) -> dict:
+        return {
+            "trace": self.tracer.export(),
+            "metrics": self.metrics.export(),
+            "profiles": dict(self.profiles),
+        }
+
+
+@contextmanager
+def capture(trace: bool = True):
+    """Record into a fresh tracer/registry for the enclosed block.
+
+    Used by pool workers (so their spans and counts ship back as a
+    payload instead of mutating inherited state) and by tests that need
+    isolated observability state.  The previous global state -- whatever
+    a fork inherited -- is restored on exit.
+    """
+    global _TRACER, _METRICS, _PROFILES
+    prev = (_TRACER, _METRICS, _PROFILES)
+    cap = Capture(Tracer(enabled=trace), MetricsRegistry(), {})
+    _TRACER, _METRICS, _PROFILES = cap.tracer, cap.metrics, cap.profiles
+    try:
+        yield cap
+    finally:
+        _TRACER, _METRICS, _PROFILES = prev
+
+
+def merge_payload(payload: dict | None) -> list[dict]:
+    """Fold a worker capture payload into the current global state.
+
+    Metrics and profiles merge immediately; the trace roots are
+    *returned* so the caller can attach them at a deterministic place
+    in its own tree (see ``ExperimentRunner``).
+    """
+    if not payload:
+        return []
+    _METRICS.merge(payload.get("metrics", {}))
+    for exp_id, rows in payload.get("profiles", {}).items():
+        _PROFILES[exp_id] = list(rows)
+    return list(payload.get("trace", {}).get("roots", ()))
+
+
+# ----------------------------------------------------------------------
+# Artifact export
+# ----------------------------------------------------------------------
+def _iso_utc(t: float) -> str:
+    from repro._util import iso
+
+    return iso(t) + "Z"
+
+
+def export_trace() -> dict:
+    """The ``--trace-out`` artifact as a dict."""
+    now = time.time()
+    return {
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "created": now,
+        "created_iso": _iso_utc(now),
+        **_TRACER.export(),
+    }
+
+
+def export_metrics() -> dict:
+    """The ``--metrics-out`` artifact as a dict."""
+    now = time.time()
+    return {
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "created": now,
+        "created_iso": _iso_utc(now),
+        **_METRICS.export(),
+    }
+
+
+def write_trace(path) -> None:
+    with open(path, "w") as fh:
+        json.dump(export_trace(), fh, indent=2)
+        fh.write("\n")
+
+
+def write_metrics(path) -> None:
+    with open(path, "w") as fh:
+        json.dump(export_metrics(), fh, indent=2)
+        fh.write("\n")

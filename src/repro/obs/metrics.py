@@ -1,0 +1,167 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms.
+
+The registry is the record-accounting side of the observability layer:
+every parser, the coalescer, the campaign cache and the experiment
+runner publish what they saw (``ingest.quarantined``, ``cache.hit``,
+``coalesce.faults_emitted``, per-experiment latency histograms, ...)
+into one process-global :class:`MetricsRegistry`
+(:data:`repro.obs.METRICS`).
+
+Counters are additive, gauges are last-write-wins, histograms bucket
+observations into fixed log-spaced latency bounds so that histograms
+from different processes merge deterministically (bucket counts add).
+Worker processes capture their own registry and ship
+:meth:`MetricsRegistry.export` dicts back to the parent, which
+:meth:`MetricsRegistry.merge`\\ s them -- counter totals therefore
+reconcile exactly between ``--jobs 1`` and parallel runs.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+#: Upper bounds (seconds) of the fixed latency histogram buckets; the
+#: implicit final bucket is +inf.  Fixed bounds make cross-process
+#: merging exact.
+DEFAULT_BOUNDS: tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact count/sum/min/max."""
+
+    __slots__ = ("bounds", "buckets", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BOUNDS) -> None:
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                idx = i
+                break
+        self.buckets[idx] += 1
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+        }
+
+    def merge_dict(self, other: dict) -> None:
+        if tuple(other.get("bounds", ())) != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        self.buckets = [a + b for a, b in zip(self.buckets, other["buckets"])]
+        other_count = int(other.get("count", 0))
+        self.count += other_count
+        self.sum += float(other.get("sum", 0.0))
+        if other_count:
+            self.min = min(self.min, float(other["min"]))
+            self.max = max(self.max, float(other["max"]))
+
+
+class MetricsRegistry:
+    """Thread-safe named counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def count(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.observe(value)
+
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str, default: float = 0) -> float:
+        with self._lock:
+            return self._counters.get(name, default)
+
+    def export(self) -> dict:
+        """Plain-dict snapshot: ``{"counters", "gauges", "histograms"}``.
+
+        Counters that hold whole numbers export as ints so record
+        accounting stays exact across JSON round-trips.
+        """
+        with self._lock:
+            counters = {
+                k: int(v) if float(v).is_integer() else v
+                for k, v in sorted(self._counters.items())
+            }
+            return {
+                "counters": counters,
+                "gauges": dict(sorted(self._gauges.items())),
+                "histograms": {
+                    k: h.to_dict() for k, h in sorted(self._histograms.items())
+                },
+            }
+
+    def merge(self, exported: dict) -> None:
+        """Fold another registry's :meth:`export` into this one."""
+        with self._lock:
+            for name, value in exported.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            self._gauges.update(exported.get("gauges", {}))
+        for name, payload in exported.get("histograms", {}).items():
+            with self._lock:
+                hist = self._histograms.get(name)
+                if hist is None:
+                    hist = self._histograms[name] = Histogram(
+                        tuple(payload.get("bounds", DEFAULT_BOUNDS))
+                    )
+            hist.merge_dict(payload)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

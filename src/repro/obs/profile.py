@@ -1,0 +1,70 @@
+"""Opt-in cProfile hooks: per-experiment top-N hotspot tables.
+
+``--profile`` turns the hooks on; the experiment registry then wraps
+each experiment body in a :class:`cProfile.Profile` and records the
+top-N functions by cumulative time through :func:`repro.obs.add_profile`.
+Worker processes ship their hotspot rows back with the capture payload,
+so parallel runs profile exactly like serial ones.
+
+Profiling is never on by default -- cProfile's tracing overhead would
+invalidate the trace/metrics timings it rides alongside.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from contextlib import contextmanager
+
+#: Rows kept per profiled experiment.
+DEFAULT_TOP_N = 15
+
+
+def hotspots(profile: cProfile.Profile, top_n: int = DEFAULT_TOP_N) -> list[dict]:
+    """Top-N functions by cumulative time as plain dict rows."""
+    stats = pstats.Stats(profile)
+    rows: list[dict] = []
+    entries = sorted(
+        stats.stats.items(),  # type: ignore[attr-defined]
+        key=lambda item: item[1][3],  # cumulative time
+        reverse=True,
+    )
+    for (filename, lineno, funcname), (cc, nc, tottime, cumtime, _) in entries:
+        if funcname.startswith("<built-in method builtins.exec"):
+            continue
+        rows.append(
+            {
+                "func": f"{filename}:{lineno}({funcname})",
+                "ncalls": int(nc),
+                "tottime_s": float(tottime),
+                "cumtime_s": float(cumtime),
+            }
+        )
+        if len(rows) >= top_n:
+            break
+    return rows
+
+
+@contextmanager
+def profiled(top_n: int = DEFAULT_TOP_N):
+    """Profile the enclosed block; yields a list filled with hotspot rows."""
+    rows: list[dict] = []
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield rows
+    finally:
+        profile.disable()
+        rows.extend(hotspots(profile, top_n))
+
+
+def render_profile(exp_id: str, rows: list[dict]) -> str:
+    """Human-readable hotspot table for one experiment."""
+    lines = [f"-- profile: {exp_id} (top {len(rows)} by cumulative time) --"]
+    lines.append(f"  {'cumtime':>9}  {'tottime':>9}  {'ncalls':>8}  function")
+    for row in rows:
+        lines.append(
+            f"  {row['cumtime_s']:>8.4f}s  {row['tottime_s']:>8.4f}s  "
+            f"{row['ncalls']:>8}  {row['func']}"
+        )
+    return "\n".join(lines)

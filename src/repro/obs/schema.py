@@ -1,0 +1,126 @@
+"""Minimal JSON-Schema validation for the observability artifacts.
+
+The trace and metrics files written by ``--trace-out``/``--metrics-out``
+are validated -- in tests and in the CI ``obs-smoke`` job -- against the
+checked-in schemas under ``schemas/``.  The container has no
+``jsonschema`` package, so this module implements the small subset the
+artifact schemas use:
+
+``type`` (single or union list), ``properties``, ``required``,
+``additionalProperties`` (bool or schema), ``items``, ``enum``,
+``minimum``, and ``$ref`` into ``$defs`` of the same document.
+
+Usage as a CLI (what CI runs)::
+
+    python -m repro.obs.schema schemas/trace.schema.json trace.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _resolve_ref(ref: str, root: dict) -> dict:
+    if not ref.startswith("#/"):
+        raise ValueError(f"unsupported $ref: {ref!r} (only local refs)")
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def validate(instance, schema: dict, root: dict | None = None, path: str = "$") -> list[str]:
+    """Validate ``instance`` against ``schema``; returns error strings.
+
+    An empty list means the instance conforms.  Errors name the failing
+    JSON path so CI logs point at the offending field.
+    """
+    root = root if root is not None else schema
+    errors: list[str] = []
+
+    if "$ref" in schema:
+        schema = _resolve_ref(schema["$ref"], root)
+
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](instance) for t in types):
+            errors.append(
+                f"{path}: expected type {'/'.join(types)}, "
+                f"got {type(instance).__name__}"
+            )
+            return errors  # structural checks below would just cascade
+
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in enum {schema['enum']}")
+
+    if "minimum" in schema and isinstance(instance, (int, float)) and not isinstance(
+        instance, bool
+    ):
+        if instance < schema["minimum"]:
+            errors.append(f"{path}: {instance} below minimum {schema['minimum']}")
+
+    if isinstance(instance, dict):
+        props = schema.get("properties", {})
+        for key in schema.get("required", ()):
+            if key not in instance:
+                errors.append(f"{path}: missing required property {key!r}")
+        additional = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            if key in props:
+                errors.extend(validate(value, props[key], root, f"{path}.{key}"))
+            elif additional is False:
+                errors.append(f"{path}: unexpected property {key!r}")
+            elif isinstance(additional, dict):
+                errors.extend(validate(value, additional, root, f"{path}.{key}"))
+
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            errors.extend(validate(item, schema["items"], root, f"{path}[{i}]"))
+
+    return errors
+
+
+def schema_dir() -> Path:
+    """The repository's ``schemas/`` directory (dev checkouts)."""
+    return Path(__file__).resolve().parents[3] / "schemas"
+
+
+def validate_file(schema_path: str | Path, artifact_path: str | Path) -> list[str]:
+    """Validate one JSON artifact file against one schema file."""
+    schema = json.loads(Path(schema_path).read_text())
+    instance = json.loads(Path(artifact_path).read_text())
+    return validate(instance, schema)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print(
+            "usage: python -m repro.obs.schema <schema.json> <artifact.json>",
+            file=sys.stderr,
+        )
+        return 2
+    errors = validate_file(argv[0], argv[1])
+    if errors:
+        for err in errors:
+            print(f"SCHEMA VIOLATION: {err}", file=sys.stderr)
+        return 1
+    print(f"{argv[1]}: valid against {argv[0]}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,267 @@
+"""Hierarchical tracing spans for the analysis pipeline.
+
+A :class:`Span` measures one named region of work -- wall time, CPU
+time, record counts and free-form attributes -- and nests under
+whatever span is open on the same thread, forming a trace tree.  The
+:class:`Tracer` owns the per-thread span stacks and the finished roots;
+:func:`repro.obs.span` is the module-level entry point the rest of the
+codebase uses.
+
+Design constraints (see DESIGN.md section 8):
+
+- **Always timed, conditionally recorded.**  A span measures wall/CPU
+  time even when tracing is disabled, so call sites can use
+  ``sp.wall_s`` / ``sp.elapsed()`` in place of the old ad-hoc
+  ``time.perf_counter()`` blocks; the *tree* is only built when the
+  tracer is enabled, keeping the disabled path to a couple of clock
+  reads per span.
+- **Thread-safe.**  Span stacks are thread-local; the shared roots
+  list is lock-guarded.  Spans opened on a thread with no open parent
+  become roots.
+- **Process-safe by merging.**  A child process captures its own trace
+  (:func:`repro.obs.capture`) and ships the exported dict back; the
+  parent re-attaches it with :func:`attach_tree`, so ``--jobs N`` runs
+  produce one tree, not N.
+- **Deterministic shape.**  Spans whose *presence* depends on
+  environment state rather than on the inputs (cache hits, pool warm-up,
+  retry wrappers) are flagged ``transient``; :func:`stable_view`
+  projects a trace onto the (names, nesting, counts) skeleton that the
+  golden-trace regression tests compare, eliding transient spans and
+  promoting their stable children.  A ``prune`` span goes further: its
+  entire subtree is dropped from the stable view -- used for cache
+  internals, whose nested loads only exist on a hit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+
+class Span:
+    """One timed, counted region of the pipeline."""
+
+    __slots__ = (
+        "name",
+        "counts",
+        "attrs",
+        "transient",
+        "prune",
+        "children",
+        "wall_s",
+        "cpu_s",
+        "_t0",
+        "_c0",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        counts: dict | None = None,
+        attrs: dict | None = None,
+        transient: bool = False,
+        prune: bool = False,
+    ) -> None:
+        self.name = name
+        self.counts = dict(counts) if counts else {}
+        self.attrs = dict(attrs) if attrs else {}
+        self.transient = bool(transient)
+        self.prune = bool(prune)
+        self.children: list[Span] = []
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+
+    # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        """Wall seconds since the span opened (final value after close)."""
+        return self.wall_s if self.wall_s else time.perf_counter() - self._t0
+
+    def add(self, **counts: int) -> None:
+        """Increment record counters on this span."""
+        for key, value in counts.items():
+            self.counts[key] = self.counts.get(key, 0) + int(value)
+
+    def set(self, key: str, value) -> None:
+        """Set a free-form attribute (not compared by the golden tests)."""
+        self.attrs[key] = value
+
+    def close(self) -> None:
+        self.wall_s = time.perf_counter() - self._t0
+        self.cpu_s = time.process_time() - self._c0
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "counts": dict(self.counts),
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+        if self.transient:
+            out["transient"] = True
+        if self.prune:
+            out["prune"] = True
+        return out
+
+
+def attach_tree(parent: Span, tree: dict) -> Span:
+    """Rebuild an exported span dict as a live child of ``parent``.
+
+    Used to merge a worker process's captured trace into the parent
+    run's tree; timings and counts are preserved verbatim.
+    """
+    sp = Span(
+        tree["name"],
+        counts=tree.get("counts"),
+        attrs=tree.get("attrs"),
+        transient=tree.get("transient", False),
+        prune=tree.get("prune", False),
+    )
+    sp.wall_s = float(tree.get("wall_s", 0.0))
+    sp.cpu_s = float(tree.get("cpu_s", 0.0))
+    for child in tree.get("children", ()):
+        attach_tree(sp, child)
+    parent.children.append(sp)
+    return sp
+
+
+class Tracer:
+    """Owns the per-thread span stacks and the finished trace roots."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.roots: list[Span] = []
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread (None outside spans)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        counts: dict | None = None,
+        attrs: dict | None = None,
+        transient: bool = False,
+        prune: bool = False,
+    ):
+        sp = Span(name, counts=counts, attrs=attrs, transient=transient, prune=prune)
+        recorded = self.enabled
+        if recorded:
+            stack = self._stack()
+            if stack:
+                stack[-1].children.append(sp)
+            else:
+                with self._lock:
+                    self.roots.append(sp)
+            stack.append(sp)
+        try:
+            yield sp
+        finally:
+            sp.close()
+            if recorded:
+                stack = self._stack()
+                if stack and stack[-1] is sp:
+                    stack.pop()
+                elif sp in stack:  # pragma: no cover - unbalanced exits
+                    stack.remove(sp)
+
+    # ------------------------------------------------------------------
+    def export(self) -> dict:
+        """The trace tree as plain dicts: ``{"roots": [...]}``."""
+        with self._lock:
+            return {"roots": [sp.to_dict() for sp in self.roots]}
+
+    def reset(self) -> None:
+        with self._lock:
+            self.roots = []
+        self._local = threading.local()
+
+
+# ----------------------------------------------------------------------
+def stable_view(node: dict) -> dict | None:
+    """Project a span dict onto its deterministic skeleton.
+
+    Keeps name, record counts and nesting; drops timings and attributes.
+    A ``transient`` span is elided: it contributes nothing itself and
+    its stable children are promoted into its parent's child list.  A
+    ``prune`` span is dropped together with its entire subtree.
+    Returns ``None`` for a transient or pruned node (callers use
+    :func:`stable_children` to collect promotions).
+    """
+    if node.get("transient") or node.get("prune"):
+        return None
+    return {
+        "name": node["name"],
+        "counts": {k: int(v) for k, v in sorted(node.get("counts", {}).items())},
+        "children": stable_children(node),
+    }
+
+
+def stable_children(node: dict) -> list[dict]:
+    """Stable views of a node's children, with transient spans elided."""
+    out: list[dict] = []
+    for child in node.get("children", ()):
+        if child.get("prune"):
+            continue
+        view = stable_view(child)
+        if view is None:
+            out.extend(stable_children(child))
+        else:
+            out.append(view)
+    return out
+
+
+def stable_trace(trace: dict) -> dict:
+    """Stable projection of a full exported trace (golden-test input)."""
+    roots: list[dict] = []
+    for root in trace.get("roots", ()):
+        if root.get("prune"):
+            continue
+        view = stable_view(root)
+        if view is None:
+            roots.extend(stable_children(root))
+        else:
+            roots.append(view)
+    return {"roots": roots}
+
+
+def span_wall_invariant(node: dict, tolerance: float = 0.05) -> list[str]:
+    """Check that child wall times sum to no more than the parent's.
+
+    Returns human-readable violations (empty when the invariant holds).
+    Only meaningful for traces produced by a single process -- children
+    merged from concurrent workers legitimately overlap their parent.
+    """
+    violations: list[str] = []
+
+    def walk(n: dict) -> None:
+        children = n.get("children", ())
+        child_sum = sum(c.get("wall_s", 0.0) for c in children)
+        parent_wall = n.get("wall_s", 0.0)
+        if child_sum > parent_wall * (1 + tolerance) + 1e-6:
+            violations.append(
+                f"{n['name']}: child wall sum {child_sum:.6f}s exceeds "
+                f"parent wall {parent_wall:.6f}s"
+            )
+        for c in children:
+            walk(c)
+
+    walk(node)
+    return violations

@@ -36,6 +36,7 @@ from pathlib import Path
 import numpy as np
 
 import repro
+from repro import obs
 from repro.synth.config import PaperCalibration
 
 #: Environment variable overriding the default cache directory.
@@ -136,35 +137,36 @@ class CampaignCache:
         (both are cheap next to error expansion and coalescing).
         """
         key = campaign_key(seed, scale, calibration)
-        t0 = time.perf_counter()
-        campaign = self._load(key, seed, scale, calibration)
+        with obs.span("cache.lookup", prune=True, attrs={"key": key}) as sp:
+            campaign = self._load(key, seed, scale, calibration)
         if campaign is not None:
+            obs.count("cache.hit")
             outcome = CacheOutcome(
                 key=key,
                 path=str(self.entry_path(key)),
                 hit=True,
-                load_s=time.perf_counter() - t0,
+                load_s=sp.wall_s,
             )
             return campaign, outcome
+        obs.count("cache.miss")
 
         from repro.synth import CampaignGenerator
 
-        t0 = time.perf_counter()
-        campaign = CampaignGenerator(
-            seed=seed, scale=scale, calibration=calibration
-        ).generate()
-        campaign.faults()  # warm the coalesced stream so it persists
-        generate_s = time.perf_counter() - t0
+        with obs.span("campaign.generate", prune=True) as gen_sp:
+            campaign = CampaignGenerator(
+                seed=seed, scale=scale, calibration=calibration
+            ).generate()
+            campaign.faults()  # warm the coalesced stream so it persists
+            gen_sp.add(records=int(campaign.n_errors))
 
-        t0 = time.perf_counter()
-        path = self._store(campaign, key, provenance="generated")
-        store_s = time.perf_counter() - t0
+        with obs.span("cache.store", prune=True, attrs={"key": key}) as st_sp:
+            path = self._store(campaign, key, provenance="generated")
         outcome = CacheOutcome(
             key=key,
             path=str(path),
             hit=False,
-            generate_s=generate_s,
-            store_s=store_s,
+            generate_s=gen_sp.wall_s,
+            store_s=st_sp.wall_s,
         )
         return campaign, outcome
 
@@ -184,12 +186,14 @@ class CampaignCache:
 
         key = campaign_key(records.seed, records.scale)
         entry = self.entry_path(key)
-        t0 = time.perf_counter()
-        cached = self._read_entry(key)
-        if cached is not None and all(
-            np.array_equal(getattr(cached[0], name), getattr(records, name))
-            for name in ("errors", "replacements", "het")
-        ):
+        with obs.span("cache.lookup", prune=True, attrs={"key": key}) as sp:
+            cached = self._read_entry(key)
+            verified = cached is not None and all(
+                np.array_equal(getattr(cached[0], name), getattr(records, name))
+                for name in ("errors", "replacements", "het")
+            )
+        if verified:
+            obs.count("cache.hit")
             stored, faults = cached
             campaign = campaign_from_records(stored)
             campaign._faults_cache = faults
@@ -197,23 +201,22 @@ class CampaignCache:
                 key=key,
                 path=str(entry),
                 hit=True,
-                load_s=time.perf_counter() - t0,
+                load_s=sp.wall_s,
             )
             return campaign, outcome
+        obs.count("cache.miss")
 
-        t0 = time.perf_counter()
-        campaign = campaign_from_records(records)
-        campaign.faults()
-        generate_s = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        path = self._store(campaign, key, provenance="adopted")
-        store_s = time.perf_counter() - t0
+        with obs.span("campaign.coalesce_warm", prune=True) as gen_sp:
+            campaign = campaign_from_records(records)
+            campaign.faults()
+        with obs.span("cache.store", prune=True, attrs={"key": key}) as st_sp:
+            path = self._store(campaign, key, provenance="adopted")
         outcome = CacheOutcome(
             key=key,
             path=str(path),
             hit=False,
-            generate_s=generate_s,
-            store_s=store_s,
+            generate_s=gen_sp.wall_s,
+            store_s=st_sp.wall_s,
         )
         return campaign, outcome
 

@@ -14,6 +14,13 @@ skipped-insufficient-data / error / timeout), per-family input
 ``ingest`` (per-family IngestStats), ``injection`` (the fault-injection
 manifest, when --inject was used), ``ingest_policy`` and
 ``min_coverage``.
+
+Schema version 3 adds the observability section: ``created_iso``
+(ISO-8601 UTC alongside the float ``created`` epoch), ``trace`` (the
+span tree, with child-process spans merged in, when ``--trace-out``
+tracing was on), ``metrics`` (the counters/gauges/histograms snapshot),
+and ``profiles`` (per-experiment cProfile hotspot rows under
+``--profile``).
 """
 
 from __future__ import annotations
@@ -26,10 +33,10 @@ from dataclasses import asdict, dataclass, field
 import numpy as np
 
 #: Bumped when the JSON layout changes incompatibly.
-REPORT_SCHEMA_VERSION = 2
+REPORT_SCHEMA_VERSION = 3
 
 
-def _series_record_count(series: dict) -> int:
+def series_record_count(series: dict) -> int:
     """Total number of data points across a result's series."""
     total = 0
     for values in series.values():
@@ -40,6 +47,10 @@ def _series_record_count(series: dict) -> int:
         else:
             total += 1
     return total
+
+
+#: Back-compat alias for the pre-v3 private name.
+_series_record_count = series_record_count
 
 
 @dataclass
@@ -143,6 +154,20 @@ class RunReport:
     min_coverage: float = 0.0
     experiments: list = field(default_factory=list)
     created: float = field(default_factory=time.time)
+    #: Span tree from :mod:`repro.obs` (child-process spans merged in),
+    #: populated when tracing was enabled for the run.
+    trace: dict | None = None
+    #: ``MetricsRegistry.export()`` snapshot taken at the end of the run.
+    metrics: dict | None = None
+    #: Per-experiment cProfile hotspot rows (``--profile`` only).
+    profiles: dict | None = None
+
+    @property
+    def created_iso(self) -> str:
+        """ISO-8601 UTC rendering of :attr:`created` (second resolution)."""
+        from repro._util import iso
+
+        return iso(self.created) + "Z"
 
     @property
     def all_pass(self) -> bool:
@@ -171,7 +196,11 @@ class RunReport:
             "all_pass": self.all_pass,
             "n_failed": self.n_failed,
             "created": self.created,
+            "created_iso": self.created_iso,
             "experiments": [asdict(m) for m in self.experiments],
+            "trace": self.trace,
+            "metrics": self.metrics,
+            "profiles": self.profiles,
         }
 
     def to_json(self, indent: int = 2) -> str:

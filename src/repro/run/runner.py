@@ -32,6 +32,8 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
+from repro import obs
+from repro.obs.trace import attach_tree
 from repro.run.report import ExperimentMetrics, RunReport
 
 # Campaign handed to pool workers. Under the ``fork`` start method the
@@ -58,13 +60,31 @@ def _worker_init(campaign, campaign_dir) -> None:
         raise RuntimeError("worker has no campaign source")
 
 
-def _worker_run(exp_id: str, min_coverage: float = 0.0):
-    """Run one experiment in a worker; returns (exp_id, result, wall_s)."""
-    from repro import experiments
+def _worker_run(
+    exp_id: str,
+    min_coverage: float = 0.0,
+    want_trace: bool = False,
+    want_profile: bool = False,
+):
+    """Run one experiment in a worker.
+
+    Returns ``(exp_id, result, wall_s, obs_payload)``: the worker
+    captures its own spans/metrics/profiles into a fresh store (never
+    the state a fork inherited) and ships them back for the parent to
+    merge, so parallel runs produce one trace tree and one registry.
+    """
+    from repro import experiments, obs
 
     t0 = time.perf_counter()
-    result = experiments.run(exp_id, _WORKER_CAMPAIGN, min_coverage=min_coverage)
-    return exp_id, result, time.perf_counter() - t0
+    with obs.capture(trace=want_trace) as cap:
+        obs.configure(profile=want_profile)
+        try:
+            result = experiments.run(
+                exp_id, _WORKER_CAMPAIGN, min_coverage=min_coverage
+            )
+        finally:
+            obs.configure(profile=False)
+    return exp_id, result, time.perf_counter() - t0, cap.payload()
 
 
 @dataclass
@@ -132,25 +152,40 @@ class ExperimentRunner:
             report.ingest = {
                 family: stats.to_dict() for family, stats in ingest.items()
             }
-        t_total = time.perf_counter()
         metrics: dict[str, ExperimentMetrics] = {}
         results: dict = {}
+        worker_traces: dict[str, list] = {}
 
-        if self.jobs > 1 and len(exp_ids) > 1:
-            # Warm the coalesced fault stream once in the parent so forked
-            # workers share it instead of each re-coalescing the stream.
-            t0 = time.perf_counter()
-            campaign.faults()
-            report.setup_s = time.perf_counter() - t0
-            pending = self._run_parallel(campaign, exp_ids, metrics, results)
-        else:
-            pending = exp_ids
+        with obs.span("run", attrs={"jobs": int(self.jobs)}) as run_sp:
+            run_sp.add(experiments=len(exp_ids))
+            if self.jobs > 1 and len(exp_ids) > 1:
+                # Warm the coalesced fault stream once in the parent so
+                # forked workers share it instead of each re-coalescing.
+                with obs.span("runner.setup", transient=True) as setup_sp:
+                    campaign.faults()
+                report.setup_s = setup_sp.wall_s
+                pending = self._run_parallel(
+                    campaign, exp_ids, metrics, results, worker_traces
+                )
+            else:
+                pending = exp_ids
 
-        for exp_id in pending:
-            mode = "serial" if self.jobs <= 1 or len(exp_ids) <= 1 else "serial-fallback"
-            self._run_serial_one(campaign, exp_id, mode, metrics, results)
+            for exp_id in pending:
+                mode = (
+                    "serial"
+                    if self.jobs <= 1 or len(exp_ids) <= 1
+                    else "serial-fallback"
+                )
+                self._run_serial_one(campaign, exp_id, mode, metrics, results)
 
-        report.total_wall_s = time.perf_counter() - t_total
+            # Merge child-process spans under the run span in *requested*
+            # order -- never completion order -- so the trace tree shape
+            # is identical between serial and parallel runs.
+            for exp_id in exp_ids:
+                for root in worker_traces.get(exp_id, ()):
+                    attach_tree(run_sp, root)
+
+        report.total_wall_s = run_sp.wall_s
         report.experiments = [metrics[e] for e in exp_ids if e in metrics]
         ordered = {e: results[e] for e in exp_ids if e in results}
         return ordered, report
@@ -163,27 +198,42 @@ class ExperimentRunner:
         attempts = 0
         while True:
             attempts += 1
-            t0 = time.perf_counter()
-            try:
-                result = experiments.run(
-                    exp_id, campaign, min_coverage=self.min_coverage
-                )
-            except Exception as exc:
+            # Transient wrapper: the retry structure is environment-driven
+            # noise in the trace; the experiment span inside it (opened by
+            # the registry) is the stable node.
+            with obs.span(
+                "runner.attempt",
+                transient=True,
+                attrs={"exp_id": exp_id, "mode": mode, "attempt": attempts},
+            ) as sp:
+                try:
+                    result = experiments.run(
+                        exp_id, campaign, min_coverage=self.min_coverage
+                    )
+                except Exception as exc:
+                    failure = exc
+                else:
+                    failure = None
+            if failure is not None:
                 if attempts <= self.retries:
                     time.sleep(self.backoff_s * (2 ** (attempts - 1)))
                     continue
+                obs.observe(f"experiment.wall_s.{exp_id}", sp.wall_s)
                 metrics[exp_id] = ExperimentMetrics.from_error(
-                    exp_id, time.perf_counter() - t0, mode, exc, attempts=attempts
+                    exp_id, sp.wall_s, mode, failure, attempts=attempts
                 )
                 return
             results[exp_id] = result
+            obs.observe(f"experiment.wall_s.{exp_id}", sp.wall_s)
             metrics[exp_id] = ExperimentMetrics.from_result(
-                result, time.perf_counter() - t0, mode, attempts=attempts
+                result, sp.wall_s, mode, attempts=attempts
             )
             return
 
     # ------------------------------------------------------------------
-    def _run_parallel(self, campaign, exp_ids, metrics, results) -> list:
+    def _run_parallel(
+        self, campaign, exp_ids, metrics, results, worker_traces
+    ) -> list:
         """Fan out over a process pool; returns ids needing a serial run.
 
         Tasks are fed to the pool at most ``max_workers`` at a time so a
@@ -223,7 +273,13 @@ class ExperimentRunner:
                     break
                 while queue and len(in_flight) < capacity:
                     exp_id, attempt = queue.popleft()
-                    future = pool.submit(_worker_run, exp_id, self.min_coverage)
+                    future = pool.submit(
+                        _worker_run,
+                        exp_id,
+                        self.min_coverage,
+                        obs.tracing_enabled(),
+                        obs.profiling_enabled(),
+                    )
                     deadline = (
                         time.monotonic() + self.timeout_s
                         if self.timeout_s
@@ -240,13 +296,17 @@ class ExperimentRunner:
                 for future in done:
                     exp_id, attempt, _ = in_flight.pop(future)
                     try:
-                        _, result, wall = future.result()
+                        _, result, wall, payload = future.result()
                     except Exception:
                         # Worker raised or died: the serial fallback (with
                         # its own retry budget) picks this experiment up.
                         pending_serial.append(exp_id)
                         continue
+                    roots = obs.merge_payload(payload)
+                    if roots:
+                        worker_traces[exp_id] = roots
                     results[exp_id] = result
+                    obs.observe(f"experiment.wall_s.{exp_id}", wall)
                     metrics[exp_id] = ExperimentMetrics.from_result(
                         result, wall, "parallel", attempts=attempt
                     )

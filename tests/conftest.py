@@ -9,6 +9,15 @@ import pytest
 sys.path.insert(0, str(Path(__file__).parent))
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/obs/golden_trace.json from the current run",
+    )
+
+
 @pytest.fixture(scope="session")
 def small_campaign():
     """A 2%-scale campaign: fast, for mechanics tests.

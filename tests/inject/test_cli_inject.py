@@ -31,7 +31,7 @@ class TestInjectRepair:
         assert "telemetry coverage" in out
 
         report = json.loads(report_path.read_text())
-        assert report["schema_version"] == 2
+        assert report["schema_version"] == 3
         assert report["ingest_policy"] == "repair"
         assert report["injection"]["profile"] == "moderate"
         assert report["injection"]["n_events"] > 0

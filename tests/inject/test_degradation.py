@@ -101,7 +101,7 @@ class TestReportPlumbing:
         assert report.min_coverage == 0.9
         assert set(report.ingest) == {"errors", "replacements", "het"}
         data = report.to_dict()
-        assert data["schema_version"] == 2
+        assert data["schema_version"] == 3
         assert data["ingest"]["errors"]["coverage"] == pytest.approx(0.7)
         summary = report.summary()
         assert "skipped for insufficient coverage: 1" in summary

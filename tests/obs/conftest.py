@@ -1,0 +1,38 @@
+"""Shared fixtures for the observability suite.
+
+Observability state is process-global (one tracer, one registry), so
+every test here runs against a clean slate and restores the disabled
+defaults afterwards -- a test that flips tracing on must not leak it
+into the rest of the session.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.reset()
+    obs.configure(trace=False, profile=False)
+    yield
+    obs.configure(trace=False, profile=False)
+    obs.reset()
+
+
+@pytest.fixture()
+def campaign_dir(small_campaign, tmp_path):
+    """A stored campaign directory (binary mirrors) to load back."""
+    from repro.logs.campaign_io import write_campaign
+
+    directory = tmp_path / "campaign"
+    write_campaign(small_campaign, directory, text_logs=False)
+    return directory
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    """An isolated campaign-cache directory (cold on first use)."""
+    directory = tmp_path / "cache"
+    monkeypatch.setenv("ASTRA_MEMREPRO_CACHE_DIR", str(directory))
+    return directory

@@ -1,0 +1,177 @@
+"""Conservation property tests: metrics reconcile with ingest stats.
+
+For every text parser and every lenient ingest policy, against clean
+and corrupted logs, three independent accountings of the same file must
+agree exactly:
+
+- the parser's :class:`IngestStats` (``seen == parsed + repaired +
+  quarantined``),
+- the observability layer: the ``ingest.<family>.*`` counters and the
+  record counts on the ``ingest.<family>`` span,
+- the ``.quarantine`` sidecar's line count.
+
+Records are conserved: nothing the observability layer reports can
+drift from what the parser actually did.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.inject import InjectionProfile, LogCorruptor
+from repro.logs.bmc import ingest_bmc_log
+from repro.logs.het import ingest_het_log, write_het_log
+from repro.logs.ingest import IngestPolicy, quarantine_path, read_quarantine
+from repro.logs.inventory import ingest_inventory_snapshots
+from repro.logs.syslog import ingest_ce_log, write_ce_log
+from repro.machine.sensors import NodeSensorComplement
+from repro.synth.het import HET_DTYPE
+from util import bit_error, make_errors
+
+N_RECORDS = 90
+
+
+def _write_ce(path):
+    errors = make_errors(
+        [
+            bit_error(node=i % 40, slot=i % 16, bank=i % 16, t=60.0 * i)
+            for i in range(N_RECORDS)
+        ]
+    )
+    write_ce_log(errors, path)
+
+
+def _write_het(path):
+    events = np.zeros(N_RECORDS, dtype=HET_DTYPE)
+    events["time"] = 60.0 * np.arange(N_RECORDS)
+    events["node"] = np.arange(N_RECORDS) % 40
+    events["event"] = np.arange(N_RECORDS) % 8
+    events["non_recoverable"] = np.isin(events["event"], (4, 6))
+    write_het_log(events, path)
+
+
+def _write_bmc(path):
+    name = NodeSensorComplement().names[0]
+    with open(path, "w") as fh:
+        fh.write("timestamp,node,sensor,value\n")
+        for i in range(N_RECORDS):
+            t = np.datetime64("2019-01-01T00:00:00") + np.timedelta64(60 * i, "s")
+            fh.write(f"{t},{i % 40:04d},{name},{40 + i % 7}.50\n")
+
+
+def _write_inventory(path):
+    with open(path, "w") as fh:
+        for i in range(N_RECORDS):
+            kind = ("processor", "motherboard", "dimm")[i % 3]
+            fh.write(
+                f"2019-01-{1 + i // 60:02d},n{i % 40:04d},{kind},{i % 4},SN{i:06d}\n"
+            )
+
+
+PARSERS = {
+    "errors": (_write_ce, lambda p, pol: ingest_ce_log(p, policy=pol).stats, "ce.log"),
+    "het": (_write_het, lambda p, pol: ingest_het_log(p, policy=pol)[1], "het.log"),
+    "sensors": (_write_bmc, lambda p, pol: ingest_bmc_log(p, policy=pol)[1], "bmc.csv"),
+    "inventory": (
+        _write_inventory,
+        lambda p, pol: ingest_inventory_snapshots(p, policy=pol)[1],
+        "inventory.log",
+    ),
+}
+
+CORRUPTION = {
+    "clean": None,
+    "truncate": dict(truncate_rate=0.25),
+    "garble": dict(garble_rate=0.25),
+    "drop-range": dict(drop_ranges=1, drop_span=15),
+}
+
+
+@pytest.mark.parametrize("policy", [IngestPolicy.REPAIR, IngestPolicy.SKIP])
+@pytest.mark.parametrize("corruption", sorted(CORRUPTION))
+@pytest.mark.parametrize("family", sorted(PARSERS))
+class TestEveryParserEveryPolicy:
+    def _ingest(self, family, corruption, policy, tmp_path):
+        writer, ingest, filename = PARSERS[family]
+        path = tmp_path / filename
+        writer(path)
+        if CORRUPTION[corruption] is not None:
+            profile = InjectionProfile(
+                name=f"only-{corruption}", **CORRUPTION[corruption]
+            )
+            LogCorruptor(profile, seed=11).corrupt_text_file(
+                path, has_header=path.suffix == ".csv"
+            )
+        with obs.capture(trace=True) as cap:
+            stats = ingest(path, policy)
+        return path, stats, cap
+
+    def test_metrics_reconcile_with_stats_and_sidecar(
+        self, family, corruption, policy, tmp_path
+    ):
+        path, stats, cap = self._ingest(family, corruption, policy, tmp_path)
+        stats.check_invariant()
+        counters = cap.metrics.export()["counters"]
+
+        # Counters mirror IngestStats field for field.
+        for key in ("seen", "parsed", "repaired", "quarantined"):
+            assert counters.get(f"ingest.{family}.{key}", 0) == getattr(stats, key)
+            assert counters.get(f"ingest.{key}", 0) == getattr(stats, key)
+
+        # Counter-level conservation: seen == parsed + repaired + quarantined.
+        assert counters.get(f"ingest.{family}.seen", 0) == (
+            counters.get(f"ingest.{family}.parsed", 0)
+            + counters.get(f"ingest.{family}.repaired", 0)
+            + counters.get(f"ingest.{family}.quarantined", 0)
+        )
+
+        # The quarantine sidecar holds exactly the quarantined records.
+        sidecar = quarantine_path(path)
+        if stats.quarantined:
+            assert len(read_quarantine(sidecar)) == counters[
+                f"ingest.{family}.quarantined"
+            ]
+        else:
+            assert not sidecar.exists()
+
+    def test_span_counts_match_stats(self, family, corruption, policy, tmp_path):
+        _, stats, cap = self._ingest(family, corruption, policy, tmp_path)
+        roots = cap.tracer.export()["roots"]
+        (span,) = [r for r in roots if r["name"] == f"ingest.{family}"]
+        assert span["counts"] == {
+            "seen": stats.seen,
+            "parsed": stats.parsed,
+            "repaired": stats.repaired,
+            "quarantined": stats.quarantined,
+        }
+        assert span["attrs"]["policy"] == policy.value
+
+    def test_coverage_gauge_matches_stats(self, family, corruption, policy, tmp_path):
+        _, stats, cap = self._ingest(family, corruption, policy, tmp_path)
+        gauges = cap.metrics.export()["gauges"]
+        assert gauges[f"ingest.coverage.{family}"] == pytest.approx(stats.coverage)
+
+
+class TestCampaignLoadConservation:
+    def test_binary_loads_emit_per_family_ingest_metrics(self, campaign_dir):
+        from repro.logs.campaign_io import load_campaign_records
+
+        with obs.capture(trace=True) as cap:
+            records = load_campaign_records(campaign_dir)
+        counters = cap.metrics.export()["counters"]
+        for family, arr in [
+            ("errors", records.errors),
+            ("replacements", records.replacements),
+            ("het", records.het),
+        ]:
+            assert counters[f"ingest.{family}.seen"] == arr.size
+            assert counters[f"ingest.{family}.parsed"] == arr.size
+            assert counters[f"ingest.{family}.quarantined"] == 0
+        assert counters["ingest.seen"] == (
+            records.errors.size + records.replacements.size + records.het.size
+        )
+
+        roots = cap.tracer.export()["roots"]
+        (campaign_span,) = [r for r in roots if r["name"] == "ingest.campaign"]
+        names = [c["name"] for c in campaign_span["children"]]
+        assert names == ["ingest.errors", "ingest.replacements", "ingest.het"]

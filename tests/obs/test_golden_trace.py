@@ -1,0 +1,87 @@
+"""Golden-trace regression tests.
+
+The stable projection of a seeded run's trace -- span names, nesting
+and record counts, with timings and environment-dependent (transient /
+pruned) spans stripped -- must be byte-identical to the checked-in
+``golden_trace.json`` fixture, regardless of parallelism (``--jobs 1``
+vs ``--jobs 4``) and campaign-cache state (cold vs warm).  Any change
+to the span naming scheme, the instrumentation points, or the
+experiments' record accounting shows up here as a fixture diff.
+
+Regenerate the fixture after an intentional change with::
+
+    PYTHONPATH=src python -m pytest tests/obs/test_golden_trace.py \
+        --regen-golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import stable_trace
+from repro.run.cache import CampaignCache
+from repro.run.runner import ExperimentRunner
+
+GOLDEN_PATH = Path(__file__).parent / "golden_trace.json"
+SEED, SCALE = 7, 0.02
+EXPS = ["table1", "fig04", "fig12"]
+
+
+def _canonical(view: dict) -> str:
+    return json.dumps(view, indent=2, sort_keys=True) + "\n"
+
+
+def _stable_run(jobs: int):
+    """One seeded run under an isolated capture; returns (bytes, hit)."""
+    with obs.capture(trace=True) as cap:
+        campaign, outcome = CampaignCache().get_or_generate(seed=SEED, scale=SCALE)
+        results, report = ExperimentRunner(jobs=jobs).run(campaign, EXPS)
+        trace = cap.tracer.export()
+    assert set(results) == set(EXPS)
+    return _canonical(stable_trace(trace)), outcome.hit
+
+
+class TestGoldenTrace:
+    def test_stable_trace_matches_fixture_across_jobs_and_cache_state(
+        self, cache_dir, request
+    ):
+        scenarios = {}
+        for label, jobs in [
+            ("cold-jobs1", 1),
+            ("warm-jobs1", 1),
+            ("warm-jobs4", 4),
+        ]:
+            scenarios[label], hit = _stable_run(jobs)
+            assert hit == label.startswith("warm")
+
+        # A cold parallel run too: evict and regenerate under jobs=4.
+        CampaignCache().clear()
+        scenarios["cold-jobs4"], hit = _stable_run(4)
+        assert not hit
+
+        first = scenarios["cold-jobs1"]
+        for label, view in scenarios.items():
+            assert view == first, f"stable trace diverged in scenario {label}"
+
+        if request.config.getoption("--regen-golden"):
+            GOLDEN_PATH.write_text(first)
+            pytest.skip("golden fixture regenerated")
+        assert first == GOLDEN_PATH.read_text(), (
+            "stable trace does not match tests/obs/golden_trace.json; "
+            "if the instrumentation change is intentional, regenerate "
+            "with --regen-golden"
+        )
+
+    def test_fixture_contains_the_expected_spans(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        (run,) = golden["roots"]
+        assert run["name"] == "run"
+        assert run["counts"] == {"experiments": len(EXPS)}
+        assert [c["name"] for c in run["children"]] == [
+            f"experiment.{e}" for e in EXPS
+        ]
+        for child in run["children"]:
+            assert set(child["counts"]) == {"checks", "records", "series"}
+            assert all(v > 0 for v in child["counts"].values())

@@ -1,0 +1,124 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BOUNDS, Histogram, MetricsRegistry
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        reg = MetricsRegistry()
+        reg.count("hits")
+        reg.count("hits", 4)
+        assert reg.counter_value("hits") == 5
+
+    def test_missing_counter_defaults_to_zero(self):
+        assert MetricsRegistry().counter_value("nope") == 0
+
+    def test_whole_counters_export_as_ints(self):
+        reg = MetricsRegistry()
+        reg.count("records", 3.0)
+        exported = reg.export()["counters"]["records"]
+        assert exported == 3 and isinstance(exported, int)
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("coverage", 0.5)
+        reg.gauge("coverage", 0.9)
+        assert reg.export()["gauges"]["coverage"] == 0.9
+
+
+class TestHistograms:
+    def test_observe_tracks_count_sum_min_max(self):
+        h = Histogram()
+        for v in (0.002, 0.2, 7.0):
+            h.observe(v)
+        d = h.to_dict()
+        assert d["count"] == 3
+        assert d["sum"] == pytest.approx(7.202)
+        assert d["min"] == 0.002 and d["max"] == 7.0
+
+    def test_buckets_are_upper_bound_inclusive_with_overflow(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        assert h.buckets == [2, 1, 1]  # <=1.0, <=10.0, +inf
+
+    def test_default_bounds_are_sorted_and_fixed(self):
+        assert list(DEFAULT_BOUNDS) == sorted(DEFAULT_BOUNDS)
+        assert len(Histogram().buckets) == len(DEFAULT_BOUNDS) + 1
+
+    def test_merge_adds_bucket_counts_exactly(self):
+        a, b = Histogram(), Histogram()
+        a.observe(0.01)
+        b.observe(0.01)
+        b.observe(30.0)
+        a.merge_dict(b.to_dict())
+        d = a.to_dict()
+        assert d["count"] == 3
+        assert sum(d["buckets"]) == 3
+        assert d["max"] == 30.0
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = Histogram(bounds=(1.0,))
+        with pytest.raises(ValueError, match="different bounds"):
+            a.merge_dict(Histogram(bounds=(2.0,)).to_dict())
+
+    def test_empty_histogram_exports_finite_min_max(self):
+        d = Histogram().to_dict()
+        assert d["min"] == 0.0 and d["max"] == 0.0
+        json.dumps(d)  # must be JSON-serialisable (no inf)
+
+
+class TestRegistryMergeAndExport:
+    def test_merge_reconciles_counters_exactly(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.count("ingest.seen", 10)
+        worker.count("ingest.seen", 7)
+        worker.count("cache.hit")
+        worker.observe("experiment.wall_s.x", 0.1)
+        parent.merge(worker.export())
+        out = parent.export()
+        assert out["counters"]["ingest.seen"] == 17
+        assert out["counters"]["cache.hit"] == 1
+        assert out["histograms"]["experiment.wall_s.x"]["count"] == 1
+
+    def test_export_is_sorted_and_deterministic(self):
+        reg = MetricsRegistry()
+        reg.count("b")
+        reg.count("a")
+        reg.gauge("z", 1.0)
+        reg.gauge("y", 2.0)
+        out = reg.export()
+        assert list(out["counters"]) == ["a", "b"]
+        assert list(out["gauges"]) == ["y", "z"]
+        assert json.dumps(out, sort_keys=True) == json.dumps(
+            reg.export(), sort_keys=True
+        )
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.count("c")
+        reg.gauge("g", 1.0)
+        reg.observe("h", 0.5)
+        reg.reset()
+        assert reg.export() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_concurrent_counts_do_not_lose_increments(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                reg.count("n")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter_value("n") == 4000

@@ -1,0 +1,63 @@
+"""Serial/parallel parity and timing-invariant property tests.
+
+A parallel run must be observationally identical to a serial run up to
+timing: the same counters with the same exact values (worker registries
+merge into the parent), the same gauge values, and the same histogram
+populations (observation counts; the observed latencies themselves
+differ run to run).  Separately, in a single-process trace the wall
+times of a span's children can never sum past their parent's.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import span_wall_invariant, stable_trace
+from repro.run.runner import ExperimentRunner
+
+EXPS = ["table1", "fig04", "fig12"]
+
+
+def _run(campaign, jobs):
+    with obs.capture(trace=True) as cap:
+        results, report = ExperimentRunner(jobs=jobs).run(campaign, EXPS)
+    assert set(results) == set(EXPS)
+    return cap.metrics.export(), cap.tracer.export()
+
+
+class TestSerialParallelParity:
+    @pytest.fixture(scope="class")
+    def serial_and_parallel(self, small_campaign):
+        small_campaign.faults()  # pre-warm so both modes coalesce zero times
+        serial = _run(small_campaign, jobs=1)
+        parallel = _run(small_campaign, jobs=4)
+        return serial, parallel
+
+    def test_counters_identical(self, serial_and_parallel):
+        (serial, _), (parallel, _) = serial_and_parallel
+        assert serial["counters"] == parallel["counters"]
+        assert serial["counters"]["experiment.completed"] == len(EXPS)
+
+    def test_gauges_identical(self, serial_and_parallel):
+        (serial, _), (parallel, _) = serial_and_parallel
+        assert serial["gauges"] == parallel["gauges"]
+
+    def test_histogram_populations_identical(self, serial_and_parallel):
+        (serial, _), (parallel, _) = serial_and_parallel
+        assert sorted(serial["histograms"]) == sorted(parallel["histograms"])
+        for name, hist in serial["histograms"].items():
+            other = parallel["histograms"][name]
+            assert hist["count"] == other["count"]
+            assert hist["bounds"] == other["bounds"]
+
+    def test_stable_traces_identical(self, serial_and_parallel):
+        (_, serial_trace), (_, parallel_trace) = serial_and_parallel
+        assert stable_trace(serial_trace) == stable_trace(parallel_trace)
+
+
+class TestWallInvariant:
+    def test_serial_trace_children_never_exceed_parent(self, small_campaign):
+        small_campaign.faults()
+        _, trace = _run(small_campaign, jobs=1)
+        assert trace["roots"], "tracing produced no spans"
+        for root in trace["roots"]:
+            assert span_wall_invariant(root) == []

@@ -1,0 +1,59 @@
+"""Report schema v3: created_iso and the observability sections."""
+
+import json
+import time
+
+from repro.run.report import REPORT_SCHEMA_VERSION, ExperimentMetrics, RunReport
+
+
+def _report(**kwargs) -> RunReport:
+    defaults = dict(seed=7, scale=0.02, n_errors=100, jobs=1)
+    defaults.update(kwargs)
+    return RunReport(**defaults)
+
+
+class TestCreatedIso:
+    def test_created_iso_matches_created_epoch(self):
+        report = _report(created=1565184000.0)  # 2019-08-07T13:20:00Z
+        assert report.created_iso == "2019-08-07T13:20:00Z"
+
+    def test_created_defaults_to_now(self):
+        before = time.time()
+        report = _report()
+        assert before - 1 <= report.created <= time.time() + 1
+        assert report.created_iso.endswith("Z")
+
+    def test_json_roundtrip_preserves_both_forms(self, tmp_path):
+        report = _report(created=1565184000.5)
+        report.experiments = [
+            ExperimentMetrics(exp_id="x", title="X", wall_s=0.1, mode="serial")
+        ]
+        path = tmp_path / "report.json"
+        report.write(path)
+        loaded = json.loads(path.read_text())
+        assert loaded["schema_version"] == REPORT_SCHEMA_VERSION == 3
+        assert loaded["created"] == 1565184000.5
+        assert loaded["created_iso"] == "2019-08-07T13:20:00Z"
+        # The ISO form is derived, never drifts from the float epoch.
+        rebuilt = _report(created=loaded["created"])
+        assert rebuilt.created_iso == loaded["created_iso"]
+
+
+class TestObservabilitySections:
+    def test_default_sections_are_null(self):
+        data = _report().to_dict()
+        assert data["trace"] is None
+        assert data["metrics"] is None
+        assert data["profiles"] is None
+
+    def test_sections_serialise_when_populated(self, tmp_path):
+        report = _report()
+        report.trace = {"roots": [{"name": "run", "children": []}]}
+        report.metrics = {"counters": {"cache.hit": 1}, "gauges": {}, "histograms": {}}
+        report.profiles = {"table1": [{"func": "f", "ncalls": 1}]}
+        path = tmp_path / "report.json"
+        report.write(path)
+        loaded = json.loads(path.read_text())
+        assert loaded["trace"]["roots"][0]["name"] == "run"
+        assert loaded["metrics"]["counters"]["cache.hit"] == 1
+        assert loaded["profiles"]["table1"][0]["func"] == "f"

@@ -1,0 +1,143 @@
+"""Tests for the zero-dependency schema validator and the checked-in
+trace/metrics artifact schemas."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.schema import main, schema_dir, validate, validate_file
+
+
+class TestValidatorSubset:
+    def test_type_single(self):
+        assert validate(3, {"type": "integer"}) == []
+        assert validate("x", {"type": "integer"}) != []
+
+    def test_bool_is_not_integer_or_number(self):
+        assert validate(True, {"type": "integer"}) != []
+        assert validate(True, {"type": "number"}) != []
+
+    def test_type_union(self):
+        schema = {"type": ["integer", "number"]}
+        assert validate(1, schema) == []
+        assert validate(1.5, schema) == []
+        assert validate("x", schema) != []
+
+    def test_required_and_properties(self):
+        schema = {
+            "type": "object",
+            "required": ["a"],
+            "properties": {"a": {"type": "string"}},
+        }
+        assert validate({"a": "x"}, schema) == []
+        assert any("missing required" in e for e in validate({}, schema))
+        assert any(".a" in e for e in validate({"a": 1}, schema))
+
+    def test_additional_properties_false(self):
+        schema = {"type": "object", "properties": {}, "additionalProperties": False}
+        assert any("unexpected" in e for e in validate({"x": 1}, schema))
+
+    def test_additional_properties_schema(self):
+        schema = {"type": "object", "additionalProperties": {"type": "integer"}}
+        assert validate({"a": 1}, schema) == []
+        assert validate({"a": "s"}, schema) != []
+
+    def test_items_reports_index(self):
+        errors = validate([1, "x"], {"type": "array", "items": {"type": "integer"}})
+        assert len(errors) == 1 and "[1]" in errors[0]
+
+    def test_enum_and_minimum(self):
+        assert validate("a", {"enum": ["a", "b"]}) == []
+        assert validate("c", {"enum": ["a", "b"]}) != []
+        assert validate(-1, {"type": "integer", "minimum": 0}) != []
+
+    def test_ref_into_defs_recurses(self):
+        schema = {
+            "type": "object",
+            "properties": {"child": {"$ref": "#/$defs/node"}},
+            "$defs": {
+                "node": {
+                    "type": "object",
+                    "required": ["name"],
+                    "properties": {
+                        "name": {"type": "string"},
+                        "child": {"$ref": "#/$defs/node"},
+                    },
+                }
+            },
+        }
+        good = {"child": {"name": "a", "child": {"name": "b"}}}
+        bad = {"child": {"name": "a", "child": {}}}
+        assert validate(good, schema) == []
+        assert any("child.child" in e for e in validate(bad, schema))
+
+    def test_non_local_ref_rejected(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            validate({}, {"$ref": "http://example.com/s"})
+
+
+class TestArtifactSchemas:
+    def test_schema_dir_has_both_schemas(self):
+        assert (schema_dir() / "trace.schema.json").exists()
+        assert (schema_dir() / "metrics.schema.json").exists()
+
+    def test_exported_trace_validates(self):
+        obs.configure(trace=True)
+        with obs.span("ingest.errors", prune=False) as sp:
+            sp.add(records=3)
+            with obs.span("inner", transient=True):
+                pass
+        artifact = obs.export_trace()
+        schema = json.loads((schema_dir() / "trace.schema.json").read_text())
+        assert validate(artifact, schema) == []
+
+    def test_exported_metrics_validates(self):
+        obs.count("ingest.seen", 5)
+        obs.gauge("ingest.coverage.errors", 1.0)
+        obs.observe("experiment.wall_s.x", 0.01)
+        artifact = obs.export_metrics()
+        schema = json.loads((schema_dir() / "metrics.schema.json").read_text())
+        assert validate(artifact, schema) == []
+
+    def test_trace_schema_rejects_unknown_span_field(self):
+        schema = json.loads((schema_dir() / "trace.schema.json").read_text())
+        artifact = obs.export_trace()
+        artifact["roots"] = [
+            {
+                "name": "x",
+                "wall_s": 0.0,
+                "cpu_s": 0.0,
+                "counts": {},
+                "attrs": {},
+                "children": [],
+                "bogus": 1,
+            }
+        ]
+        assert any("bogus" in e for e in validate(artifact, schema))
+
+
+class TestSchemaCli:
+    def test_valid_artifact_exits_zero(self, tmp_path, capsys):
+        artifact = tmp_path / "metrics.json"
+        artifact.write_text(json.dumps(obs.export_metrics()))
+        code = main([str(schema_dir() / "metrics.schema.json"), str(artifact)])
+        assert code == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_invalid_artifact_exits_one(self, tmp_path, capsys):
+        artifact = tmp_path / "bad.json"
+        artifact.write_text("{}")
+        code = main([str(schema_dir() / "trace.schema.json"), str(artifact)])
+        assert code == 1
+        assert "SCHEMA VIOLATION" in capsys.readouterr().err
+
+    def test_usage_error_exits_two(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_validate_file_roundtrip(self, tmp_path):
+        artifact = tmp_path / "trace.json"
+        artifact.write_text(json.dumps(obs.export_trace()))
+        errors = validate_file(schema_dir() / "trace.schema.json", artifact)
+        assert errors == []

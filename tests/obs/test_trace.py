@@ -1,0 +1,198 @@
+"""Unit tests for the tracing span machinery."""
+
+import threading
+
+from repro import obs
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    attach_tree,
+    span_wall_invariant,
+    stable_trace,
+    stable_view,
+)
+
+
+class TestSpanBasics:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                inner.add(records=3)
+            outer.add(records=1)
+        assert [sp.name for sp in tracer.roots] == ["outer"]
+        assert [sp.name for sp in tracer.roots[0].children] == ["inner"]
+        assert tracer.roots[0].children[0].counts == {"records": 3}
+
+    def test_sibling_spans_share_a_parent(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("parent"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert [c.name for c in tracer.roots[0].children] == ["a", "b"]
+
+    def test_add_accumulates_counts(self):
+        sp = Span("s")
+        sp.add(records=2)
+        sp.add(records=3, other=1)
+        assert sp.counts == {"records": 5, "other": 1}
+
+    def test_close_records_wall_and_cpu(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("timed") as sp:
+            sum(range(1000))
+        assert sp.wall_s > 0.0
+        assert sp.cpu_s >= 0.0
+
+    def test_disabled_tracer_still_times_spans(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("quiet") as sp:
+            sum(range(1000))
+        assert sp.wall_s > 0.0
+        assert tracer.roots == []  # nothing recorded
+
+    def test_exception_inside_span_still_closes_it(self):
+        tracer = Tracer(enabled=True)
+        try:
+            with tracer.span("boom") as sp:
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert sp.wall_s > 0.0
+        assert tracer.current() is None  # stack unwound
+
+    def test_module_level_span_respects_enablement(self):
+        with obs.span("off") as sp:
+            pass
+        assert sp.wall_s >= 0.0
+        assert obs.get_tracer().roots == []
+        obs.configure(trace=True)
+        with obs.span("on"):
+            pass
+        assert [sp.name for sp in obs.get_tracer().roots] == ["on"]
+
+
+class TestThreadSafety:
+    def test_each_thread_gets_its_own_stack(self):
+        tracer = Tracer(enabled=True)
+        errors = []
+
+        def work(i):
+            try:
+                with tracer.span(f"t{i}") as sp:
+                    with tracer.span(f"t{i}.child"):
+                        pass
+                    assert [c.name for c in sp.children] == [f"t{i}.child"]
+            except AssertionError as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert sorted(sp.name for sp in tracer.roots) == [f"t{i}" for i in range(8)]
+        for root in tracer.roots:
+            assert len(root.children) == 1
+
+
+class TestStableView:
+    def test_keeps_names_counts_nesting_drops_timings(self):
+        node = {
+            "name": "a",
+            "wall_s": 1.5,
+            "cpu_s": 0.5,
+            "counts": {"z": 1, "a": 2},
+            "attrs": {"path": "/tmp/x"},
+            "children": [],
+        }
+        view = stable_view(node)
+        assert view == {"name": "a", "counts": {"a": 2, "z": 1}, "children": []}
+
+    def test_transient_span_promotes_stable_children(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root"):
+            with tracer.span("retry", transient=True):
+                with tracer.span("work") as sp:
+                    sp.add(records=7)
+        view = stable_trace(tracer.export())
+        assert view["roots"][0]["children"] == [
+            {"name": "work", "counts": {"records": 7}, "children": []}
+        ]
+
+    def test_pruned_span_drops_entire_subtree(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root"):
+            with tracer.span("cache.lookup", prune=True):
+                with tracer.span("ingest.campaign") as sp:
+                    sp.add(records=5)
+        view = stable_trace(tracer.export())
+        assert view["roots"][0]["children"] == []
+
+    def test_transient_root_promotes_children_to_roots(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("wrapper", transient=True):
+            with tracer.span("real"):
+                pass
+        view = stable_trace(tracer.export())
+        assert [r["name"] for r in view["roots"]] == ["real"]
+
+    def test_pruned_root_disappears(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("gone", prune=True):
+            with tracer.span("also-gone"):
+                pass
+        assert stable_trace(tracer.export()) == {"roots": []}
+
+
+class TestAttachTree:
+    def test_rebuilds_exported_dict_verbatim(self):
+        worker = Tracer(enabled=True)
+        with worker.span("experiment.x", attrs={"k": "v"}) as sp:
+            sp.add(records=9)
+            with worker.span("inner", transient=True):
+                pass
+        exported = worker.export()["roots"][0]
+
+        parent = Span("run")
+        attach_tree(parent, exported)
+        child = parent.children[0]
+        assert child.name == "experiment.x"
+        assert child.counts == {"records": 9}
+        assert child.attrs == {"k": "v"}
+        assert child.wall_s == exported["wall_s"]
+        assert child.children[0].name == "inner"
+        assert child.children[0].transient
+
+    def test_preserves_prune_flag(self):
+        parent = Span("run")
+        attach_tree(parent, {"name": "cache.lookup", "prune": True})
+        assert parent.children[0].prune
+
+
+class TestWallInvariant:
+    def test_holds_for_well_nested_spans(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                sum(range(10_000))
+            with tracer.span("b"):
+                sum(range(10_000))
+        root = tracer.export()["roots"][0]
+        assert span_wall_invariant(root) == []
+
+    def test_flags_impossible_child_sums(self):
+        root = {
+            "name": "p",
+            "wall_s": 1.0,
+            "children": [
+                {"name": "c1", "wall_s": 0.8, "children": []},
+                {"name": "c2", "wall_s": 0.9, "children": []},
+            ],
+        }
+        violations = span_wall_invariant(root)
+        assert len(violations) == 1
+        assert "p" in violations[0]
