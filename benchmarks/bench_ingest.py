@@ -1,0 +1,286 @@
+"""Ingest/emit throughput benchmark for the text fast path.
+
+Measures, for each text family (CE syslog, HET, BMC CSV, inventory):
+
+- emit: writing the clean log, fast (column-wise) vs slow (per-record);
+- ingest-clean: parsing the writer's own output, fast vs slow;
+- ingest-corrupted: parsing a :mod:`repro.inject`-corrupted copy under
+  the ``repair`` policy, fast vs slow.
+
+Writes a JSON report (default ``BENCH_ingest.json``) consumable by
+``python -m repro.logs.bench_compare old.json new.json``.  The committed
+baseline must show the CE clean-ingest speedup >= 5x at 1,000,000 lines
+(the PR's acceptance criterion); ``--check`` makes this script fail
+loudly if the fast path did not engage or was slower than the per-line
+path, which is what the CI perf-smoke job runs at a reduced size.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py --lines 1000000
+    PYTHONPATH=src python benchmarks/bench_ingest.py --lines 20000 --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro._util import DAY_S, epoch
+from repro.faults.types import empty_errors
+from repro.inject.corruptor import LogCorruptor
+from repro.logs.bmc import ingest_bmc_log, write_bmc_log
+from repro.logs.het import ingest_het_log, write_het_log
+from repro.logs.inventory import (
+    InventoryModel,
+    ingest_inventory_snapshots,
+    write_inventory_snapshots,
+)
+from repro.logs.syslog import ingest_ce_log, write_ce_log
+from repro.machine.node import NodeConfig
+from repro.machine.topology import AstraTopology
+from repro.synth.het import EVENT_TYPES, HET_DTYPE, NON_RECOVERABLE_EVENTS
+from repro.synth.replacements import REPLACEMENT_DTYPE, Component
+from repro.synth.sensors import SensorFieldModel
+
+T0 = epoch("2019-03-04")
+
+#: Corrupted-variant line cap: corruption itself is per-line Python, so
+#: the dirty measurement uses a bounded prefix of the clean log.
+CORRUPT_CAP = 200_000
+
+#: Ops where ``--check`` requires the fast gear to strictly win.  The
+#: remaining ops only have to stay within ``SLACK`` of the per-line
+#: gear: inventory ingest feeds a dict of per-row Python objects, so
+#: column parsing can at best tie it -- and on heavily corrupted files
+#: it pays the two-gear tax (vectorised triage plus per-line fallback)
+#: with no vectorised win to fund it (see DESIGN.md section 9).  The
+#: slack is a backstop against accidental quadratic behaviour, not a
+#: perf target.
+STRICT_WIN = {
+    "ce": ("emit", "ingest-clean", "ingest-corrupted"),
+    "het": ("ingest-clean",),
+    "bmc": ("ingest-clean",),
+}
+SLACK = 2.0
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def _slow_env(on: bool):
+    if on:
+        os.environ["ASTRA_MEMREPRO_SLOW_INGEST"] = "1"
+    else:
+        os.environ.pop("ASTRA_MEMREPRO_SLOW_INGEST", None)
+
+
+# ----------------------------------------------------------------------
+# Per-family data generators and (write, ingest) drivers
+# ----------------------------------------------------------------------
+def _ce_records(n: int) -> np.ndarray:
+    rng = np.random.default_rng(11)
+    e = empty_errors(n)
+    e["time"] = T0 + np.sort(rng.integers(0, 30 * DAY_S, n)).astype(float)
+    e["node"] = rng.integers(0, 2592, n)
+    e["socket"] = rng.integers(0, 2, n)
+    e["slot"] = rng.integers(-1, 16, n)
+    e["rank"] = rng.integers(0, 2, n)
+    e["bank"] = np.where(rng.random(n) < 0.1, -1, rng.integers(0, 8, n))
+    e["row"] = np.where(rng.random(n) < 0.8, -1, rng.integers(0, 1 << 17, n))
+    e["column"] = np.where(rng.random(n) < 0.1, -1, rng.integers(0, 1024, n))
+    e["bit_pos"] = np.where(rng.random(n) < 0.1, -1, rng.integers(0, 72, n))
+    e["address"] = rng.integers(0, 1 << 40, n).astype(np.uint64)
+    e["syndrome"] = rng.integers(0, 256, n)
+    return e
+
+
+def _het_records(n: int) -> np.ndarray:
+    rng = np.random.default_rng(12)
+    h = np.zeros(n, dtype=HET_DTYPE)
+    h["time"] = T0 + np.sort(rng.integers(0, 30 * DAY_S, n)).astype(float)
+    h["node"] = rng.integers(0, 2592, n)
+    h["event"] = rng.integers(0, len(EVENT_TYPES), n)
+    h["non_recoverable"] = np.isin(h["event"], sorted(NON_RECOVERABLE_EVENTS))
+    return h
+
+
+def _family_specs(lines: int) -> dict:
+    """{family: (write(path), ingest(path))} scaled to ``lines``."""
+    ce = _ce_records(lines)
+    het = _het_records(max(lines // 4, 100))
+
+    sensors = SensorFieldModel(seed=2)
+    bmc_nodes = list(range(16))
+    # samples = minutes x nodes x 7 sensors
+    bmc_minutes = max(lines // (len(bmc_nodes) * 7 * 4), 10)
+    bmc_t1 = T0 + 60.0 * bmc_minutes
+
+    topo = AstraTopology()
+    events = np.zeros(1, dtype=REPLACEMENT_DTYPE)
+    events[0] = (T0 + 0.5 * DAY_S, Component.DIMM, 2, -1, 9)
+    inv_model = InventoryModel(events, topo, NodeConfig())
+    rows_per_day = topo.n_nodes * (
+        NodeConfig().n_sockets + 1 + NodeConfig().dimms_per_node
+    )
+    inv_days = [
+        T0 + i * DAY_S for i in range(max(lines // (4 * rows_per_day), 1))
+    ]
+
+    return {
+        "ce": (
+            lambda p: write_ce_log(ce, p),
+            lambda p: ingest_ce_log(p, policy="repair").stats,
+        ),
+        "het": (
+            lambda p: write_het_log(het, p),
+            lambda p: ingest_het_log(p, policy="repair")[1],
+        ),
+        "bmc": (
+            lambda p: write_bmc_log(p, sensors, bmc_nodes, T0, bmc_t1),
+            lambda p: ingest_bmc_log(p, policy="repair")[1],
+        ),
+        "inventory": (
+            lambda p: write_inventory_snapshots(p, inv_model, inv_days),
+            lambda p: ingest_inventory_snapshots(p, policy="repair")[1],
+        ),
+    }
+
+
+def _count_lines(path: Path, has_header: bool) -> int:
+    with open(path, "rb") as fh:
+        n = sum(buf.count(b"\n") for buf in iter(lambda: fh.read(1 << 20), b""))
+    return n - (1 if has_header else 0)
+
+
+def _truncate_lines(src: Path, dst: Path, cap: int) -> None:
+    with open(src, "rb") as fin, open(dst, "wb") as fout:
+        for i, line in enumerate(fin):
+            if i >= cap:
+                break
+            fout.write(line)
+
+
+def bench_family(family: str, write, ingest, workdir: Path) -> dict:
+    clean = workdir / f"{family}.log"
+    out: dict = {}
+
+    # --- emit ---
+    _slow_env(False)
+    _, fast_s = _timed(lambda: write(clean))
+    slow_path = workdir / f"{family}-slow.log"
+    _slow_env(True)
+    _, slow_s = _timed(lambda: write(slow_path))
+    _slow_env(False)
+    if clean.read_bytes() != slow_path.read_bytes():
+        raise AssertionError(f"{family}: fast/slow writers disagree")
+    slow_path.unlink()
+    has_header = family == "bmc"
+    n_lines = _count_lines(clean, has_header)
+    out["emit"] = {
+        "lines": n_lines,
+        "bytes": clean.stat().st_size,
+        "fast_s": round(fast_s, 4),
+        "slow_s": round(slow_s, 4),
+        "speedup": round(slow_s / fast_s, 2),
+    }
+
+    # --- ingest, clean and corrupted ---
+    dirty = workdir / f"{family}-dirty.log"
+    _truncate_lines(clean, dirty, CORRUPT_CAP + (1 if has_header else 0))
+    LogCorruptor("moderate", seed=5).corrupt_text_file(
+        dirty, has_header=has_header
+    )
+    for variant, path in (("clean", clean), ("corrupted", dirty)):
+        _slow_env(False)
+        stats, fast_s = _timed(lambda: ingest(path))
+        _slow_env(True)
+        slow_stats, slow_s = _timed(lambda: ingest(path))
+        _slow_env(False)
+        out[f"ingest-{variant}"] = {
+            "lines": stats.seen,
+            "fast_s": round(fast_s, 4),
+            "slow_s": round(slow_s, 4),
+            "speedup": round(slow_s / fast_s, 2),
+            "mlines_per_s": round(stats.seen / fast_s / 1e6, 3),
+            "fastpath_lines": stats.fast_lines,
+            "fastpath_fraction": round(stats.fast_lines / max(stats.seen, 1), 4),
+            "slow_fastpath_lines": slow_stats.fast_lines,
+        }
+    return out
+
+
+def run(lines: int, out_path: Path, check: bool) -> int:
+    results: dict = {}
+    with tempfile.TemporaryDirectory(prefix="bench-ingest-") as tmp:
+        workdir = Path(tmp)
+        for family, (write, ingest) in _family_specs(lines).items():
+            results[family] = bench_family(family, write, ingest, workdir)
+            ing = results[family]["ingest-clean"]
+            print(
+                f"{family:10s} emit {results[family]['emit']['speedup']:5.2f}x   "
+                f"ingest-clean {ing['speedup']:5.2f}x "
+                f"({ing['mlines_per_s']:.2f} Mlines/s, "
+                f"fastpath {ing['fastpath_fraction']:.0%})   "
+                f"ingest-corrupted "
+                f"{results[family]['ingest-corrupted']['speedup']:5.2f}x",
+                flush=True,
+            )
+
+    report = {
+        "schema": 1,
+        "lines": lines,
+        "numpy": np.__version__,
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+
+    if check:
+        failures = []
+        for family, ops in results.items():
+            clean = ops["ingest-clean"]
+            if clean["fastpath_fraction"] < 1.0:
+                failures.append(f"{family}: fast path did not cover clean log")
+            if clean["slow_fastpath_lines"] != 0:
+                failures.append(f"{family}: escape hatch failed to disable fast path")
+            for op, r in ops.items():
+                strict = op in STRICT_WIN.get(family, ())
+                bound = r["slow_s"] * (1.0 if strict else SLACK)
+                if r["fast_s"] > bound:
+                    failures.append(
+                        f"{family}/{op}: fast {r['fast_s']}s vs slow "
+                        f"{r['slow_s']}s (limit {round(bound, 4)}s)"
+                    )
+        if failures:
+            print("PERF-SMOKE FAILURES:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print("perf smoke OK: fast path engaged, no op outside its bound")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--lines", type=int, default=1_000_000,
+                    help="CE log size; other families scale down from it")
+    ap.add_argument("--out", type=Path, default=Path("BENCH_ingest.json"))
+    ap.add_argument("--check", action="store_true",
+                    help="exit non-zero unless the fast path engaged and won")
+    args = ap.parse_args(argv)
+    return run(args.lines, args.out, args.check)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

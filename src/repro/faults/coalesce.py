@@ -8,7 +8,9 @@ error addresses (:mod:`repro.faults.classify`).
 
 Grouping millions of records is done with one ``lexsort`` plus
 boundary-detection, never a Python loop over records.  Distinct-value
-counts within groups use a combined-key ``np.unique`` reduction.
+counts within groups use a combined-key ``np.unique`` reduction, with a
+sort-based per-group fallback when the combined key would overflow
+int64.
 
 Two knobs exist for ablation studies:
 
@@ -49,21 +51,31 @@ def _distinct_per_group(
 
     Builds a combined ``group * base + value`` key and counts unique keys
     per group.  ``values`` may contain small negative sentinels; they are
-    shifted to non-negative before combining.
+    shifted to non-negative before combining.  When the combined key
+    would overflow int64 (huge value spans, pathological group counts)
+    the count falls back to a sort-based per-group unique reduction
+    instead of failing the whole coalesce.
     """
     if gid.size == 0:
         return np.zeros(n_groups, dtype=np.int64)
     v = values.astype(np.int64)
-    vmin = v.min()
-    v = v - vmin  # shift sentinels into the non-negative range
-    base = int(v.max()) + 1
-    # Guard the combined key against int64 overflow; with plausible data
-    # (groups < 2**20, values < 2**41) this cannot trip.
-    if n_groups * base >= np.iinfo(np.int64).max:
-        raise OverflowError("combined group/value key would overflow int64")
-    key = gid.astype(np.int64) * base + v
-    uniq = np.unique(key)
-    return np.bincount(uniq // base, minlength=n_groups)
+    # Span arithmetic in Python ints: v.max() - v.min() itself can exceed
+    # int64 when sentinels sit near one extreme and data near the other.
+    vmin = int(v.min())
+    base = int(v.max()) - vmin + 1
+    if n_groups * base < np.iinfo(np.int64).max:
+        key = gid.astype(np.int64) * base + (v - vmin)
+        uniq = np.unique(key)
+        return np.bincount(uniq // base, minlength=n_groups)
+    # Overflow fallback: sort by (group, value) and count the positions
+    # where either changes -- each is the first occurrence of a distinct
+    # value within its group.  No combined key, no shift, same result.
+    order = np.lexsort((v, gid))
+    g = gid[order].astype(np.int64)
+    vv = v[order]
+    first = np.ones(g.size, dtype=bool)
+    first[1:] = (g[1:] != g[:-1]) | (vv[1:] != vv[:-1])
+    return np.bincount(g[first], minlength=n_groups)
 
 
 def coalesce(

@@ -1,0 +1,81 @@
+"""Compare two ingest benchmark reports and flag regressions.
+
+Usage::
+
+    python -m repro.logs.bench_compare old.json new.json [--threshold 0.10]
+
+Reads two reports written by ``benchmarks/bench_ingest.py`` and compares
+the fast-gear wall time of every (family, op) present in both.  A new
+time more than ``threshold`` above the old one is a regression; any
+regression exits 1 so CI can gate on it.  Ops present in only one
+report are listed but never fail the comparison (families and measured
+ops may legitimately change between baselines).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_times(path: Path) -> dict:
+    """{(family, op): fast seconds} from a bench_ingest report."""
+    report = json.loads(path.read_text())
+    out = {}
+    for family, ops in report.get("results", {}).items():
+        for op, r in ops.items():
+            if isinstance(r, dict) and "fast_s" in r:
+                out[(family, op)] = float(r["fast_s"])
+    return out
+
+
+def compare(old: dict, new: dict, threshold: float) -> tuple[list, list, list]:
+    """Returns (regressions, improvements, uncompared) row tuples."""
+    regressions, improvements, uncompared = [], [], []
+    for key in sorted(old.keys() | new.keys()):
+        if key not in old or key not in new:
+            uncompared.append((key, "old only" if key in old else "new only"))
+            continue
+        o, n = old[key], new[key]
+        ratio = n / o if o > 0 else float("inf")
+        if ratio > 1.0 + threshold:
+            regressions.append((key, o, n, ratio))
+        elif ratio < 1.0 - threshold:
+            improvements.append((key, o, n, ratio))
+    return regressions, improvements, uncompared
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("old", type=Path, help="baseline BENCH_ingest.json")
+    ap.add_argument("new", type=Path, help="candidate BENCH_ingest.json")
+    ap.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="relative slowdown that counts as a regression (default 0.10)",
+    )
+    args = ap.parse_args(argv)
+
+    regressions, improvements, uncompared = compare(
+        load_times(args.old), load_times(args.new), args.threshold
+    )
+    for (family, op), o, n, ratio in regressions:
+        print(f"REGRESSION  {family}/{op}: {o:.4f}s -> {n:.4f}s "
+              f"({(ratio - 1) * 100:+.1f}%)")
+    for (family, op), o, n, ratio in improvements:
+        print(f"improved    {family}/{op}: {o:.4f}s -> {n:.4f}s "
+              f"({(ratio - 1) * 100:+.1f}%)")
+    for (family, op), side in uncompared:
+        print(f"uncompared  {family}/{op} ({side})")
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}", file=sys.stderr)
+        return 1
+    print(f"no regressions beyond {args.threshold:.0%} "
+          f"({len(improvements)} improved)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

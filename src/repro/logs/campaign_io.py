@@ -45,12 +45,14 @@ def write_campaign(
     directory: str | os.PathLike,
     text_logs: bool = True,
     shards: bool = False,
+    fast: bool = True,
 ) -> Path:
     """Write a campaign to ``directory``; returns the directory path.
 
     ``text_logs`` controls the (slower) paper-faithful text formats;
     binary mirrors are always written.  ``shards`` additionally writes
-    per-rack error shards for the parallel engine.
+    per-rack error shards for the parallel engine.  ``fast`` selects the
+    column-wise text emitters (identical bytes).
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -60,8 +62,8 @@ def write_campaign(
     save_records(directory / "het.npy", campaign.het)
 
     if text_logs:
-        write_ce_log(campaign.errors, directory / "ce.log")
-        write_het_log(campaign.het, directory / "het.log")
+        write_ce_log(campaign.errors, directory / "ce.log", fast=fast)
+        write_het_log(campaign.het, directory / "het.log", fast=fast)
     if shards:
         shard_by_rack(campaign.errors, directory / "shards", campaign.topology)
 
@@ -134,6 +136,7 @@ def _load_family(
     family: str,
     text_loader,
     policy: IngestPolicy,
+    fast: bool = True,
 ) -> tuple[np.ndarray, IngestStats]:
     """Load one record family: binary mirror, else text log, else policy.
 
@@ -166,7 +169,7 @@ def _load_family(
     if text_loader is not None:
         text_path, loader = text_loader
         if (directory / text_path).exists():
-            records, stats = loader(directory / text_path, policy)
+            records, stats = loader(directory / text_path, policy, fast)
             stats.source = "text-fallback"
             return records, stats
 
@@ -185,18 +188,19 @@ def _load_family(
     return np.zeros(0, dtype=dtype), stats
 
 
-def _ce_text_loader(path, policy):
-    result = ingest_ce_log(path, policy=policy)
+def _ce_text_loader(path, policy, fast=True):
+    result = ingest_ce_log(path, policy=policy, fast=fast)
     return result.errors, result.stats
 
 
-def _het_text_loader(path, policy):
-    return ingest_het_log(path, policy=policy)
+def _het_text_loader(path, policy, fast=True):
+    return ingest_het_log(path, policy=policy, fast=fast)
 
 
 def load_campaign_records(
     directory: str | os.PathLike,
     policy: IngestPolicy | str | None = None,
+    fast: bool = True,
 ) -> CampaignRecords:
     """Load the binary mirrors of a campaign directory.
 
@@ -230,15 +234,15 @@ def load_campaign_records(
     ):
         errors, e_stats = _load_family(
             directory, "errors.npy", ERROR_DTYPE, "errors",
-            ("ce.log", _ce_text_loader), policy,
+            ("ce.log", _ce_text_loader), policy, fast,
         )
         replacements, r_stats = _load_family(
             directory, "replacements.npy", REPLACEMENT_DTYPE, "replacements",
-            None, policy,
+            None, policy, fast,
         )
         het, h_stats = _load_family(
             directory, "het.npy", HET_DTYPE, "het",
-            ("het.log", _het_text_loader), policy,
+            ("het.log", _het_text_loader), policy, fast,
         )
     try:
         seed = int(manifest.get("seed", -1))

@@ -1,0 +1,554 @@
+"""Vectorised primitives for the text-ingest/emit fast path.
+
+The slow ingest path hands every line to a Python ``parse_line``
+callback; at the study's data volumes (multi-million-line CE syslogs)
+the interpreter loop dominates the cost of turning text into columns.
+This module provides the building blocks for the chunked fast path the
+parsers in :mod:`repro.logs` share:
+
+- a block reader that slices a binary stream into newline-aligned
+  byte chunks with per-line extents (no per-line Python objects);
+- ASCII stripping / empty-line / non-ASCII triage over whole chunks;
+- vectorised field splitting (space- or comma-separated tokens),
+  fixed-prefix and vocabulary matching;
+- vectorised decimal, hexadecimal, fixed-point and ISO-8601 parsing
+  whose accept/reject behaviour is a strict *subset* of the per-line
+  parsers' -- a line the fast grammar accepts always produces exactly
+  the row ``parse_line`` would have produced, and everything else is
+  routed back through the per-line machinery (see DESIGN.md section 9);
+- the symmetric emit side: per-column digit/hex/choice byte matrices
+  assembled into one contiguous byte buffer per chunk
+  (:func:`build_lines`), replacing per-record f-strings.
+
+Nothing in here knows about ingest policies, quarantine or stats; the
+drivers in :mod:`repro.logs.ingest` own those semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Default block size for chunked reads (bytes).
+DEFAULT_CHUNK_BYTES = 4 << 20
+
+#: ASCII whitespace bytes that ``str.strip`` would also remove.
+_WS = np.zeros(256, dtype=bool)
+_WS[[9, 10, 11, 12, 13, 28, 29, 30, 31, 32]] = True
+
+_HEXCHARS = np.frombuffer(b"0123456789abcdef", dtype=np.uint8)
+
+#: Hex digit value per byte (-1 for non-hex bytes).
+_HEXVAL = np.full(256, -1, dtype=np.int8)
+for _c in b"0123456789":
+    _HEXVAL[_c] = _c - ord("0")
+for _c in b"abcdef":
+    _HEXVAL[_c] = _c - ord("a") + 10
+for _c in b"ABCDEF":
+    _HEXVAL[_c] = _c - ord("A") + 10
+
+
+class Chunk:
+    """One block's fast-path candidate lines.
+
+    ``data`` is the whole block as a uint8 array; ``starts``/``ends``
+    bound each candidate line (already ASCII-stripped, non-empty,
+    ASCII-only, in file order).
+    """
+
+    __slots__ = ("data", "starts", "ends")
+
+    def __init__(self, data: np.ndarray, starts: np.ndarray, ends: np.ndarray):
+        self.data = data
+        self.starts = starts
+        self.ends = ends
+
+    @property
+    def n_lines(self) -> int:
+        return int(self.starts.size)
+
+
+# ----------------------------------------------------------------------
+# Reading: blocks -> line extents -> cleaned candidate spans
+# ----------------------------------------------------------------------
+def iter_blocks(fh, chunk_bytes: int = DEFAULT_CHUNK_BYTES):
+    """Yield ``(data, starts, ends)`` newline-aligned blocks from ``fh``.
+
+    ``fh`` must be a binary stream.  ``starts``/``ends`` cover *every*
+    line in the block (including empty ones) so callers can keep global
+    line numbers; ``ends`` excludes the newline itself.  A final line
+    without a trailing newline is still yielded.
+    """
+    carry = b""
+    while True:
+        block = fh.read(chunk_bytes)
+        if not block:
+            break
+        block = carry + block
+        # Match text mode's universal newlines: \r\n and lone \r both end
+        # a line.  A trailing \r is held back in case the next read opens
+        # with the \n of a split \r\n pair.
+        hold_cr = block.endswith(b"\r")
+        if hold_cr:
+            block = block[:-1]
+        block = _translate_newlines(block)
+        cut = block.rfind(b"\n")
+        if cut < 0:
+            carry = block + (b"\r" if hold_cr else b"")
+            continue
+        carry = block[cut + 1:] + (b"\r" if hold_cr else b"")
+        yield _block_lines(block[: cut + 1])
+    if carry:
+        # A held-back \r at EOF is a real newline (text mode translates
+        # it), so only add the synthetic terminator when the translated
+        # remainder does not already end with one -- otherwise the last
+        # line would grow a spurious empty sibling.
+        final = _translate_newlines(carry)
+        if not final.endswith(b"\n"):
+            final += b"\n"
+        yield _block_lines(final)
+
+
+def _translate_newlines(block: bytes) -> bytes:
+    if b"\r" in block:
+        block = block.replace(b"\r\n", b"\n").replace(b"\r", b"\n")
+    return block
+
+
+def _block_lines(block: bytes):
+    data = np.frombuffer(block, dtype=np.uint8)
+    nl = np.flatnonzero(data == 10)
+    starts = np.concatenate([[0], nl[:-1] + 1]).astype(np.int64)
+    return data, starts, nl.astype(np.int64)
+
+
+def clean_spans(data: np.ndarray, starts: np.ndarray, ends: np.ndarray,
+                max_rounds: int = 8):
+    """ASCII-strip all line spans; triage empty and non-fast lines.
+
+    Returns ``(cs, ce, empty, dirty)``: stripped bounds, a mask of lines
+    that stripped to nothing, and a mask of lines the fast path must not
+    touch (non-ASCII content, or whitespace runs longer than
+    ``max_rounds`` that were not fully stripped).  ``empty`` and
+    ``dirty`` are disjoint; everything else is a fast-path candidate.
+    """
+    cs = starts.copy()
+    ce = ends.copy()
+    guard = max(data.size - 1, 0)
+    for _ in range(max_rounds):
+        lead = (cs < ce) & _WS[data[np.minimum(cs, guard)]]
+        trail = (cs < ce) & _WS[data[np.maximum(ce - 1, 0)]]
+        if not (lead.any() or trail.any()):
+            break
+        cs[lead] += 1
+        ce[trail] -= 1
+    empty = cs >= ce
+    # Unconverged strips (pathological whitespace runs) stay dirty.
+    dirty = ~empty & (
+        _WS[data[np.minimum(cs, guard)]] | _WS[data[np.maximum(ce - 1, 0)]]
+    )
+    if int(data.max(initial=0)) >= 128:
+        hi = np.concatenate([[0], np.cumsum(data >= 128)])
+        dirty |= ~empty & ((hi[ce] - hi[cs]) > 0)
+    return cs, ce, empty, dirty
+
+
+# ----------------------------------------------------------------------
+# Field splitting and matching
+# ----------------------------------------------------------------------
+def _gather(data: np.ndarray, pos: np.ndarray, ok: np.ndarray) -> np.ndarray:
+    """``data[pos]`` with out-of-bounds entries clamped into range.
+
+    Rows outside the caller's ``ok`` mask may carry unspecified (even
+    negative) positions; ``take(mode="clip")`` reads a deterministic
+    in-range byte for them without materialising a masked index array,
+    and the caller's mask discards whatever was read.
+    """
+    return np.take(data, pos, mode="clip")
+
+
+def split_tokens(data: np.ndarray, starts: np.ndarray, ends: np.ndarray,
+                 n_tokens: int, sep: int = 32):
+    """Bounds of exactly ``n_tokens`` non-empty ``sep``-separated tokens.
+
+    Returns ``(tok_starts, tok_ends, ok)`` of shape ``(n, n_tokens)``;
+    rows where the line does not have exactly ``n_tokens - 1``
+    separators, or where any token is empty, have ``ok`` False (their
+    bounds are unspecified).
+    """
+    n = starts.size
+    sep_pos = np.flatnonzero(data == sep)
+    # Separator count per line by rank difference -- no full-chunk cumsum.
+    first = np.searchsorted(sep_pos, starts)
+    ok = (np.searchsorted(sep_pos, ends) - first) == (n_tokens - 1)
+    idx = first[:, None] + np.arange(n_tokens - 1)[None, :]
+    if sep_pos.size:
+        sp = np.take(sep_pos, idx, mode="clip")
+    else:
+        sp = np.zeros((n, max(n_tokens - 1, 1)), dtype=np.int64)[:, : n_tokens - 1]
+    tok_starts = np.concatenate([starts[:, None], sp + 1], axis=1)
+    tok_ends = np.concatenate([sp, ends[:, None]], axis=1)
+    ok &= np.all(tok_ends - tok_starts >= 1, axis=1)
+    return tok_starts, tok_ends, ok
+
+
+def split_head_tokens(data: np.ndarray, starts: np.ndarray, ends: np.ndarray,
+                      n_head: int, sep: int = 32):
+    """Like :func:`split_tokens` but with a free-form tail.
+
+    Splits off ``n_head`` leading tokens at the first ``n_head``
+    separators; the remainder of the line (which may itself contain
+    separators) is the final token.  Returns bounds of shape
+    ``(n, n_head + 1)`` plus the ``ok`` mask.
+    """
+    n = starts.size
+    sep_pos = np.flatnonzero(data == sep)
+    first = np.searchsorted(sep_pos, starts)
+    ok = (np.searchsorted(sep_pos, ends) - first) >= n_head
+    idx = first[:, None] + np.arange(n_head)[None, :]
+    if sep_pos.size:
+        sp = np.take(sep_pos, idx, mode="clip")
+    else:
+        sp = np.zeros((n, n_head), dtype=np.int64)
+    tok_starts = np.concatenate([starts[:, None], sp + 1], axis=1)
+    tok_ends = np.concatenate([sp, ends[:, None]], axis=1)
+    ok &= np.all(tok_ends - tok_starts >= 1, axis=1)
+    return tok_starts, tok_ends, ok
+
+
+def has_prefix(data: np.ndarray, starts: np.ndarray, ends: np.ndarray,
+               prefix: bytes) -> np.ndarray:
+    """Mask of spans beginning with ``prefix``."""
+    p = np.frombuffer(prefix, dtype=np.uint8)
+    ok = (ends - starts) >= p.size
+    pos = starts[:, None] + np.arange(p.size)[None, :]
+    ch = _gather(data, pos, ok)
+    return ok & np.all(ch == p[None, :], axis=1)
+
+
+def token_equals(data: np.ndarray, starts: np.ndarray, ends: np.ndarray,
+                 word: bytes) -> np.ndarray:
+    """Mask of spans exactly equal to ``word``."""
+    return has_prefix(data, starts, ends, word) & ((ends - starts) == len(word))
+
+
+def compile_prefixes(prefixes):
+    """Precompile a prefix table for :func:`has_prefixes`.
+
+    Returns ``(pattern, wild, lengths)``: a ``(k, pmax)`` expected-byte
+    matrix, a wildcard mask marking the padding cells of short prefixes,
+    and per-column prefix lengths.  Compile once at import time; the
+    per-chunk work in :func:`has_prefixes` is then a single broadcast
+    gather (fancy per-cell index arrays measure slower than the padded
+    broadcast, so padding wins despite the wasted cells).
+    """
+    k = len(prefixes)
+    pmax = max(len(p) for p in prefixes)
+    pattern = np.zeros((k, pmax), dtype=np.uint8)
+    wild = np.ones((k, pmax), dtype=bool)
+    lengths = np.zeros(k, dtype=np.int64)
+    for i, p in enumerate(prefixes):
+        b = np.frombuffer(bytes(p), dtype=np.uint8)
+        pattern[i, : b.size] = b
+        wild[i, : b.size] = False
+        lengths[i] = b.size
+    return pattern, wild, lengths
+
+
+def has_prefixes(data: np.ndarray, starts: np.ndarray, ends: np.ndarray,
+                 table) -> np.ndarray:
+    """Mask of rows whose span ``k`` begins with the ``k``-th prefix.
+
+    ``starts``/``ends`` are ``(n, k)`` column bounds and ``table`` comes
+    from :func:`compile_prefixes`.  One fused gather replaces ``k``
+    separate :func:`has_prefix` passes -- the difference is pure call
+    and temporary-allocation overhead, which dominates at fourteen
+    columns per line.
+    """
+    pattern, wild, lengths = table
+    ok = np.all((ends - starts) >= lengths[None, :], axis=1)
+    pos = starts[:, :, None] + np.arange(pattern.shape[1])[None, None, :]
+    ch = np.take(data, pos, mode="clip")
+    hit = (ch == pattern[None, :, :]) | wild[None, :, :]
+    return ok & np.all(hit.reshape(hit.shape[0], -1), axis=1)
+
+
+def match_vocab(data: np.ndarray, starts: np.ndarray, ends: np.ndarray,
+                options):
+    """Match each span against a small vocabulary.
+
+    Returns ``(idx, ok)``; ``idx`` is the option index (0 where no
+    option matched -- gate on ``ok``).  One padded gather covers every
+    option at once instead of a :func:`token_equals` pass per word.
+    """
+    pattern, wild, lengths = compile_prefixes(options)
+    pos = starts[:, None] + np.arange(pattern.shape[1])[None, :]
+    ch = np.take(data, pos, mode="clip")
+    hit = (ch[:, None, :] == pattern[None, :, :]) | wild[None, :, :]
+    match = np.all(hit, axis=2) & ((ends - starts)[:, None] == lengths[None, :])
+    ok = match.any(axis=1)
+    return np.argmax(match, axis=1), ok
+
+
+# ----------------------------------------------------------------------
+# Vectorised scalar parsing
+# ----------------------------------------------------------------------
+def parse_uint(data: np.ndarray, starts: np.ndarray, ends: np.ndarray,
+               max_width: int = 18):
+    """Base-10 unsigned parse of ``[start, end)`` spans.
+
+    Returns ``(values, ok)``; ``ok`` requires 1..``max_width`` decimal
+    digits (leading zeros allowed -- callers mimicking ``int(x, 0)``
+    must reject those themselves via :func:`leading_zero`).
+    """
+    w = ends - starts
+    ok = (w >= 1) & (w <= max_width)
+    if not ok.any():
+        return np.zeros(starts.size, dtype=np.int64), ok
+    mw = int(np.max(np.where(ok, w, 1)))
+    offs = np.arange(mw)
+    pos = ends[:, None] - 1 - offs[None, :]
+    used = offs[None, :] < w[:, None]
+    # Stay in uint8 until the final digit extraction: subtraction wraps
+    # for non-digit bytes, so one <= 9 compare both validates and masks.
+    d8 = np.take(data, pos, mode="clip") - np.uint8(48)
+    good = d8 <= 9
+    ok &= ~np.any(~good & used, axis=1)
+    digit = np.where(good & used, d8, 0).astype(np.int64)
+    return digit @ (10 ** offs.astype(np.int64)), ok
+
+
+def leading_zero(data: np.ndarray, starts: np.ndarray, ends: np.ndarray
+                 ) -> np.ndarray:
+    """Mask of multi-character spans starting with ``'0'``.
+
+    ``int(x, 0)`` (the per-line parsers' decimal grammar) rejects
+    ``"042"``; the fast grammar must too.
+    """
+    guard = max(data.size - 1, 0)
+    return ((ends - starts) > 1) & (data[np.minimum(starts, guard)] == 48)
+
+
+def parse_hex(data: np.ndarray, starts: np.ndarray, ends: np.ndarray,
+              max_width: int = 15):
+    """Base-16 unsigned parse (no ``0x`` prefix) of spans."""
+    w = ends - starts
+    ok = (w >= 1) & (w <= max_width)
+    if not ok.any():
+        return np.zeros(starts.size, dtype=np.int64), ok
+    mw = int(np.max(np.where(ok, w, 1)))
+    offs = np.arange(mw)
+    pos = ends[:, None] - 1 - offs[None, :]
+    used = offs[None, :] < w[:, None]
+    d = _HEXVAL[np.take(data, pos, mode="clip")]
+    good = d >= 0
+    ok &= ~np.any(~good & used, axis=1)
+    digit = np.where(good & used, d, 0).astype(np.int64)
+    return digit @ (np.int64(1) << (4 * offs.astype(np.int64))), ok
+
+
+def parse_decimal(data: np.ndarray, starts: np.ndarray, ends: np.ndarray):
+    """Parse fixed-point decimals (``[-]digits.digits``) as float64.
+
+    The accepted grammar keeps the total digit count small enough that
+    the value is assembled exactly in int64 and divided by an exact
+    power of ten, so the result is bit-identical to ``float(str)``.
+    Scientific notation, inf/nan and bare integers are rejected
+    (``ok`` False) and fall back to the per-line parser.
+    """
+    guard = max(data.size - 1, 0)
+    neg = (ends - starts >= 1) & (data[np.minimum(starts, guard)] == 45)
+    s = starts + neg
+    dot_pos = np.flatnonzero(data == 46)
+    first = np.searchsorted(dot_pos, s)
+    ok = (np.searchsorted(dot_pos, ends) - first) == 1
+    if dot_pos.size:
+        dp = np.take(dot_pos, first, mode="clip")
+    else:
+        dp = np.zeros(starts.size, dtype=np.int64)
+    ipart, ok_i = parse_uint(data, s, dp, max_width=15)
+    fpart, ok_f = parse_uint(data, dp + 1, ends, max_width=8)
+    flen = ends - dp - 1
+    ok &= ok_i & ok_f & ((dp - s) + flen <= 15)
+    scale = np.power(10.0, np.where(ok, flen, 0))
+    mantissa = ipart * (10 ** np.where(ok, flen, 0)) + fpart
+    value = mantissa / scale
+    return np.where(neg, -value, value), ok
+
+
+#: Cumulative days at the start of each month (non-leap).
+_MDAYS = np.array([31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31])
+
+
+def parse_iso_seconds(data: np.ndarray, starts: np.ndarray, ends: np.ndarray):
+    """Parse 19-char ``YYYY-MM-DDTHH:MM:SS`` spans to epoch seconds.
+
+    Range-validates exactly like ``np.datetime64`` (months 1-12, days
+    within the month including leap years, H<24, M<60, S<60), so a span
+    this accepts is guaranteed to parse identically on the slow path.
+    Returns ``(seconds, ok)`` as int64.
+    """
+    ok = (ends - starts) == 19
+    pos = starts[:, None] + np.arange(19)[None, :]
+    ch = np.take(data, pos, mode="clip")
+    sep_idx = np.array([4, 7, 10, 13, 16])
+    sep_val = np.array([45, 45, 84, 58, 58], dtype=np.uint8)  # - - T : :
+    ok &= np.all(ch[:, sep_idx] == sep_val[None, :], axis=1)
+    dig_idx = np.array([0, 1, 2, 3, 5, 6, 8, 9, 11, 12, 14, 15, 17, 18])
+    d8 = ch[:, dig_idx] - np.uint8(48)  # wraps for non-digits
+    ok &= np.all(d8 <= 9, axis=1)
+    d = np.where(ok[:, None], d8, 0).astype(np.int64)
+    year = d[:, 0] * 1000 + d[:, 1] * 100 + d[:, 2] * 10 + d[:, 3]
+    month = d[:, 4] * 10 + d[:, 5]
+    day = d[:, 6] * 10 + d[:, 7]
+    hour = d[:, 8] * 10 + d[:, 9]
+    minute = d[:, 10] * 10 + d[:, 11]
+    sec = d[:, 12] * 10 + d[:, 13]
+    leap = ((year % 4 == 0) & (year % 100 != 0)) | (year % 400 == 0)
+    month_c = np.clip(month, 1, 12)
+    mdays = _MDAYS[month_c - 1] + ((month_c == 2) & leap)
+    ok &= (
+        (month >= 1) & (month <= 12)
+        & (day >= 1) & (day <= mdays)
+        & (hour <= 23) & (minute <= 59) & (sec <= 59)
+    )
+    # Howard Hinnant's days-from-civil, vectorised (proleptic Gregorian,
+    # matching numpy's datetime64 exactly).
+    y = year - (month <= 2)
+    era = np.floor_divide(y, 400)
+    yoe = y - era * 400
+    doy = (153 * (month + np.where(month > 2, -3, 9)) + 2) // 5 + day - 1
+    doe = yoe * 365 + yoe // 4 - yoe // 100 + doy
+    days = era * 146097 + doe - 719468
+    return days * 86400 + hour * 3600 + minute * 60 + sec, ok
+
+
+# ----------------------------------------------------------------------
+# Emit: per-column byte matrices -> one contiguous buffer per chunk
+# ----------------------------------------------------------------------
+def uint_digits(values, min_width: int = 1):
+    """Right-aligned decimal digit matrix for non-negative ints.
+
+    Returns ``(mat, widths)``; widths below ``min_width`` are
+    zero-padded, matching ``%0<min_width>d``.
+    """
+    v = np.asarray(values).astype(np.int64)
+    nd = np.ones(v.size, dtype=np.int64)
+    p = 10
+    while p <= 10 ** 18:
+        nd += v >= p
+        p *= 10
+    widths = np.maximum(nd, min_width)
+    wmax = int(widths.max(initial=min_width))
+    pw = 10 ** np.arange(wmax - 1, -1, -1, dtype=np.int64)
+    mat = ((v[:, None] // pw[None, :]) % 10 + 48).astype(np.uint8)
+    return mat, widths
+
+
+def opt_uint_digits(values, min_width: int = 1):
+    """Like :func:`uint_digits` but negative values render as ``"-"``.
+
+    Mirrors the writers' ``opt()`` convention for sentinel fields.
+    """
+    v = np.asarray(values).astype(np.int64)
+    neg = v < 0
+    mat, widths = uint_digits(np.where(neg, 0, v), min_width)
+    widths = np.where(neg, 1, widths)
+    mat[neg, -1] = 45
+    return mat, widths
+
+
+def hex_digits(values, width: int = 12):
+    """Fixed-width lowercase hex digit matrix (``%0<width>x``)."""
+    v = np.asarray(values).astype(np.uint64)
+    shifts = (4 * np.arange(width - 1, -1, -1)).astype(np.uint64)
+    mat = _HEXCHARS[((v[:, None] >> shifts[None, :]) & np.uint64(15)).astype(np.int64)]
+    return mat, np.full(v.size, width, dtype=np.int64)
+
+
+def choice_bytes(idx, options):
+    """Right-aligned byte matrix selecting ``options[idx]`` per row."""
+    idx = np.asarray(idx)
+    opts = [np.frombuffer(bytes(o), dtype=np.uint8) for o in options]
+    lens = np.array([o.size for o in opts], dtype=np.int64)
+    widths = lens[idx]
+    wmax = int(lens.max(initial=1))
+    mat = np.zeros((idx.size, wmax), dtype=np.uint8)
+    for k, o in enumerate(opts):
+        rows = idx == k
+        if rows.any() and o.size:
+            mat[rows, wmax - o.size:] = o[None, :]
+    return mat, widths
+
+
+def iso_bytes(times):
+    """19-char ISO-8601 byte matrix for epoch-second times.
+
+    Callers must pre-mask times to ``[0, 253402300800)`` (years
+    1970-9999) so every rendered string is exactly 19 bytes.
+    """
+    t = np.asarray(times).astype(np.int64)
+    s = np.datetime_as_string(t.astype("datetime64[s]")).astype("S19")
+    mat = np.frombuffer(s.tobytes(), dtype=np.uint8).reshape(t.size, 19)
+    return mat, np.full(t.size, 19, dtype=np.int64)
+
+
+def str_matrix(strings):
+    """Left-aligned byte matrix + widths from a sequence of ASCII strings."""
+    arr = np.asarray(strings, dtype="S")
+    width = arr.dtype.itemsize
+    mat = np.frombuffer(arr.tobytes(), dtype=np.uint8).reshape(arr.size, width)
+    widths = (mat != 0).sum(axis=1).astype(np.int64)
+    # Embedded NUL would break the width computation; callers pass
+    # printable formatter output only.
+    return mat, widths
+
+
+def build_lines(n: int, segments) -> bytes:
+    """Assemble ``n`` newline-terminated lines from column segments.
+
+    Each segment is either a constant ``bytes`` run or a tuple
+    ``(mat, widths[, align])`` with a per-row byte matrix: right-aligned
+    (digit matrices; the default) or left-aligned (string matrices).
+    Returns the concatenated buffer, one ``\\n`` after each line.
+    """
+    if n == 0:
+        return b""
+    rendered = []
+    total = np.ones(n, dtype=np.int64)  # the newline
+    for seg in segments:
+        if isinstance(seg, (bytes, bytearray)):
+            b = np.frombuffer(bytes(seg), dtype=np.uint8)
+            rendered.append((b, None, "const"))
+            total += b.size
+        else:
+            mat, widths = seg[0], seg[1]
+            align = seg[2] if len(seg) > 2 else "right"
+            widths = np.asarray(widths)
+            if widths.ndim == 0:
+                widths = np.full(n, int(widths), dtype=np.int64)
+            rendered.append((mat, widths.astype(np.int64), align))
+            total += widths
+    starts = np.concatenate([[0], np.cumsum(total)[:-1]])
+    buf = np.empty(int(total.sum()), dtype=np.uint8)
+    cursor = starts.copy()
+    for mat, widths, align in rendered:
+        if align == "const":
+            buf[cursor[:, None] + np.arange(mat.size)[None, :]] = mat[None, :]
+            cursor += mat.size
+            continue
+        wmax = mat.shape[1]
+        for j in range(wmax):
+            if align == "right":
+                use = widths > (wmax - 1 - j)
+                if not use.any():
+                    continue
+                pos = cursor[use] + (j - (wmax - widths[use]))
+            else:
+                use = widths > j
+                if not use.any():
+                    continue
+                pos = cursor[use] + j
+            buf[pos] = mat[use, j]
+        cursor += widths
+    buf[cursor] = 10
+    return buf.tobytes()

@@ -21,6 +21,17 @@ passing on partial data.
 Quarantined records go to ``<log>.quarantine`` as tab-separated
 ``line_no<TAB>reason<TAB>raw-line`` rows so no byte of telemetry is
 ever silently discarded.
+
+Parsing itself has two gears (DESIGN.md section 9).  The *fast path*
+reads the file in large binary blocks, parses lines that match the
+writer's exact grammar column-wise with the :mod:`repro.logs.fastpath`
+primitives, and routes every other line -- garbled, truncated,
+non-ASCII, or merely unusual -- through the same per-line
+``parse_line``/``repair_line`` machinery the slow path uses, in file
+order.  Policies, stats, quarantine sidecars and error messages are
+byte-for-byte identical either way; ``fast=False`` or the
+``ASTRA_MEMREPRO_SLOW_INGEST`` environment variable force the per-line
+path everywhere.
 """
 
 from __future__ import annotations
@@ -31,6 +42,19 @@ from enum import Enum
 from pathlib import Path
 
 import numpy as np
+
+from repro.logs import fastpath
+
+
+def fastpath_enabled(fast: bool = True) -> bool:
+    """Whether the vectorised fast path should run.
+
+    ``fast`` is the per-call switch; the ``ASTRA_MEMREPRO_SLOW_INGEST``
+    environment variable is the global escape hatch (any non-empty
+    value forces the per-line path, for debugging and for the
+    differential parity suite).
+    """
+    return bool(fast) and not os.environ.get("ASTRA_MEMREPRO_SLOW_INGEST")
 
 
 class IngestPolicy(str, Enum):
@@ -118,6 +142,9 @@ class IngestStats:
     missing: bool = False
     #: Where the source was read from (``"binary"``, ``"text"``, ...).
     source: str = ""
+    #: Lines parsed by the vectorised fast path (a subset of ``parsed``;
+    #: zero on the per-line path).  Excluded from parity comparisons.
+    fast_lines: int = 0
 
     @property
     def coverage(self) -> float:
@@ -146,6 +173,7 @@ class IngestStats:
             "missing": self.missing,
             "source": self.source,
             "coverage": self.coverage,
+            "fast_lines": self.fast_lines,
         }
 
 
@@ -199,6 +227,41 @@ def read_quarantine(path: str | os.PathLike) -> list[tuple[int, str, str]]:
 
 
 # ----------------------------------------------------------------------
+def ingest_one(line_no: int, line: str, parse_line, stats: IngestStats,
+               policy: IngestPolicy, quarantine: Quarantine | None,
+               repair_line, source) -> object | None:
+    """Run one stripped, non-empty line through the policy machinery.
+
+    Returns the parsed row, or ``None`` when the line was quarantined.
+    This is the single strict/repair/skip decision point shared by the
+    per-line generator (:func:`ingest_lines`) and the fast path's
+    fallback routing -- both gears account records identically because
+    they run the same code.
+    """
+    stats.seen += 1
+    try:
+        row = parse_line(line)
+    except (ValueError, IndexError, KeyError) as exc:
+        if policy is IngestPolicy.STRICT:
+            raise MalformedRecordError(
+                stats.family, source, line_no, line, str(exc),
+            ) from exc
+        if policy is IngestPolicy.REPAIR and repair_line is not None:
+            try:
+                row = repair_line(line)
+            except (ValueError, IndexError, KeyError):
+                row = None
+            if row is not None:
+                stats.repaired += 1
+                return row
+        stats.quarantined += 1
+        if quarantine is not None:
+            quarantine.add(line_no, str(exc), line)
+        return None
+    stats.parsed += 1
+    return row
+
+
 def ingest_lines(fh, parse_line, stats: IngestStats, policy: IngestPolicy,
                  quarantine: Quarantine | None = None, repair_line=None):
     """Yield parsed rows from a text stream under an ingest policy.
@@ -211,34 +274,99 @@ def ingest_lines(fh, parse_line, stats: IngestStats, policy: IngestPolicy,
     path shared by every text parser (the logic previously duplicated
     between ``read_ce_log`` and ``iter_ce_log``).
     """
+    source = getattr(fh, "name", "<stream>")
     for line_no, raw in enumerate(fh, 1):
         line = raw.strip()
         if not line:
             continue
-        stats.seen += 1
-        try:
-            row = parse_line(line)
-        except (ValueError, IndexError, KeyError) as exc:
-            if policy is IngestPolicy.STRICT:
-                raise MalformedRecordError(
-                    stats.family, getattr(fh, "name", "<stream>"),
-                    line_no, line, str(exc),
-                ) from exc
-            if policy is IngestPolicy.REPAIR and repair_line is not None:
-                try:
-                    row = repair_line(line)
-                except (ValueError, IndexError, KeyError):
-                    row = None
+        row = ingest_one(line_no, line, parse_line, stats, policy,
+                         quarantine, repair_line, source)
+        if row is not None:
+            yield row
+
+
+def _merge_ordered(fast_out, fast_pos, slow_out, slow_pos):
+    """Interleave fast-parsed and fallback rows back into file order."""
+    if not len(slow_out):
+        return fast_out
+    if isinstance(fast_out, np.ndarray):
+        if not len(fast_out):
+            return slow_out
+        pos = np.concatenate([fast_pos, slow_pos])
+        order = np.argsort(pos, kind="stable")
+        return np.concatenate([fast_out, slow_out])[order]
+    pairs = sorted(
+        zip(list(fast_pos) + list(slow_pos), list(fast_out) + list(slow_out))
+    )
+    return [row for _, row in pairs]
+
+
+def ingest_stream_fast(
+    fh,
+    parse_line,
+    stats: IngestStats,
+    policy: IngestPolicy,
+    quarantine: Quarantine | None = None,
+    repair_line=None,
+    *,
+    fast_chunk,
+    rows_to_records,
+    first_line_no: int = 1,
+    chunk_bytes: int = fastpath.DEFAULT_CHUNK_BYTES,
+):
+    """Chunked fast-path ingest driver; yields per-block record batches.
+
+    ``fh`` must be a *binary* stream.  ``fast_chunk`` maps a
+    :class:`~repro.logs.fastpath.Chunk` of candidate lines to
+    ``(records, ok)`` -- the column-parsed records for the lines whose
+    grammar matched, and the mask saying which.  Everything else (plus
+    non-ASCII and pathological-whitespace lines) goes through
+    :func:`ingest_one` with its original line number, and
+    ``rows_to_records`` lifts those rows into the same container type
+    so each batch comes back in exact file order.
+
+    The fast path never quarantines and never repairs: any line it
+    cannot prove conforming is the slow path's to judge, which is what
+    keeps the two gears byte-for-byte equivalent.
+    """
+    source = getattr(fh, "name", "<stream>")
+    line_no0 = first_line_no
+    for data, l_starts, l_ends in fastpath.iter_blocks(fh, chunk_bytes):
+        cs, ce, empty, dirty = fastpath.clean_spans(data, l_starts, l_ends)
+        cand = ~empty & ~dirty
+        cand_idx = np.flatnonzero(cand)
+        if cand_idx.size:
+            chunk = fastpath.Chunk(data, cs[cand_idx], ce[cand_idx])
+            records, ok = fast_chunk(chunk)
+        else:
+            records, ok = rows_to_records([]), np.zeros(0, dtype=bool)
+        fast_pos = cand_idx[ok]
+        fallback = np.sort(
+            np.concatenate([cand_idx[~ok], np.flatnonzero(dirty)])
+        )
+        slow_rows: list = []
+        slow_pos: list[int] = []
+        if fallback.size:
+            raw = data.tobytes()
+            for i in fallback.tolist():
+                if cand[i]:
+                    line = raw[cs[i]:ce[i]].decode("utf-8")
+                else:
+                    line = raw[l_starts[i]:l_ends[i]].decode("utf-8").strip()
+                    if not line:
+                        continue
+                row = ingest_one(line_no0 + i, line, parse_line, stats,
+                                 policy, quarantine, repair_line, source)
                 if row is not None:
-                    stats.repaired += 1
-                    yield row
-                    continue
-            stats.quarantined += 1
-            if quarantine is not None:
-                quarantine.add(line_no, str(exc), line)
-            continue
-        stats.parsed += 1
-        yield row
+                    slow_rows.append(row)
+                    slow_pos.append(i)
+        n_fast = int(fast_pos.size)
+        stats.seen += n_fast
+        stats.parsed += n_fast
+        stats.fast_lines += n_fast
+        yield _merge_ordered(records, fast_pos,
+                             rows_to_records(slow_rows), slow_pos)
+        line_no0 += l_starts.size
 
 
 def resort_by_time(records: np.ndarray, stats: IngestStats,
@@ -255,7 +383,15 @@ def resort_by_time(records: np.ndarray, stats: IngestStats,
     if "time" not in (records.dtype.names or ()):
         return records
     times = records["time"]
-    out_of_order = int(np.sum(times < np.maximum.accumulate(times) - 1e-9))
+    # Tolerance is one unit-in-the-last-place of the largest magnitude in
+    # the stream: anything the time dtype itself cannot resolve (float32
+    # round-trip jitter, accumulated float error) is not an inversion.
+    # Integer time dtypes resolve everything, so their tolerance is zero.
+    if times.dtype.kind == "f":
+        tol = np.finfo(times.dtype).eps * max(float(np.max(np.abs(times))), 1.0)
+    else:
+        tol = 0
+    out_of_order = int(np.sum(times < np.maximum.accumulate(times) - tol))
     if out_of_order == 0:
         return records
     moved = min(out_of_order, stats.parsed)

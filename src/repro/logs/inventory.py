@@ -120,19 +120,89 @@ _KIND_BY_NAME = {
 }
 
 
+_SERIAL_TAGS = {"Processors": "P", "Motherboards": "M", "DIMMs": "D"}
+
+
+def _emit_inventory_day(date: str, counts: dict) -> tuple[bytes, int]:
+    """Render one day's snapshot straight from the replacement counts.
+
+    The per-row ``serial()`` f-strings are fully structured
+    (``SN-<tag>-<node:04d>-<pos>-<count:04d>``), so the whole day's
+    lines come out of digit matrices without ever materialising the
+    tuple snapshot -- the snapshot loop itself, not the serialisation,
+    dominated the slow writer.
+    """
+    from repro.logs import fastpath
+
+    parts = []
+    n = 0
+    for kind in Component:
+        arr = counts[kind]
+        n_nodes, p = arr.shape
+        comp = kind.label.lower().rstrip("s").encode("ascii")
+        tag = _SERIAL_TAGS[kind.label].encode("ascii")
+        node_mat = fastpath.uint_digits(
+            np.repeat(np.arange(n_nodes, dtype=np.int64), p), 4
+        )
+        pos_mat = fastpath.uint_digits(
+            np.tile(np.arange(p, dtype=np.int64), n_nodes)
+        )
+        parts.append(
+            fastpath.build_lines(
+                arr.size,
+                [
+                    date.encode("ascii") + b",n",
+                    node_mat,
+                    b"," + comp + b",",
+                    pos_mat,
+                    b",SN-" + tag + b"-",
+                    node_mat,
+                    b"-",
+                    pos_mat,
+                    b"-",
+                    fastpath.uint_digits(arr.ravel(), 4),
+                ],
+            )
+        )
+        n += arr.size
+    return b"".join(parts), n
+
+
 def write_inventory_snapshots(
     path: str | os.PathLike,
     model: InventoryModel,
     days: list[float],
+    fast: bool = True,
 ) -> int:
     """Write one snapshot per scan time into a single file; returns lines."""
+    from repro.logs.ingest import fastpath_enabled
+
+    # The count-driven fast writer re-derives what snapshot()/serial()
+    # render, so a model overriding either must take the per-row path.
+    use_fast = (
+        fastpath_enabled(fast)
+        and type(model).snapshot is InventoryModel.snapshot
+        and type(model).serial is InventoryModel.serial
+        and type(model).replacement_counts_before
+        is InventoryModel.replacement_counts_before
+    )
     n = 0
-    with open(path, "w") as fh:
+    with open(path, "wb") as fh:
         for t in days:
             date = str(np.datetime64(int(t), "s"))[:10]
-            for component, node, pos, serial in model.snapshot(t):
-                fh.write(f"{date},n{node:04d},{component},{pos},{serial}\n")
-                n += 1
+            if use_fast:
+                payload, rows = _emit_inventory_day(
+                    date, model.replacement_counts_before(t)
+                )
+            else:
+                snap = model.snapshot(t)
+                payload = "".join(
+                    f"{date},n{node:04d},{component},{pos},{serial}\n"
+                    for component, node, pos, serial in snap
+                ).encode("utf-8")
+                rows = len(snap)
+            fh.write(payload)
+            n += rows
     return n
 
 
@@ -145,10 +215,113 @@ def _parse_snapshot_line(line: str) -> tuple:
     return date, (component, int(node[1:]), int(pos)), serial
 
 
+_COMP_NAMES = tuple(_KIND_BY_NAME)
+_COMP_VOCAB = [name.encode() for name in _COMP_NAMES]
+
+
+class _SnapshotBatch:
+    """Column-parsed snapshot rows with a bulk dict-insertion path.
+
+    Iterating yields the same ``(date, key, serial)`` tuples the
+    per-line parser emits (the merge path materialises them when a
+    chunk mixes fast and fallback rows), but on all-fast chunks the
+    consumer calls :meth:`apply` instead, which inserts each run of
+    equal dates with one C-level ``dict.update``.  Row tuples are the
+    dominant cost of this family -- its output is a dict of Python
+    objects -- so skipping them on the hot path is the entire win.
+    """
+
+    __slots__ = ("runs", "keys", "serials")
+
+    def __init__(self, runs, keys, serials):
+        self.runs = runs          # [(date, start, end)] over keys/serials
+        self.keys = keys          # [(component, node, position)]
+        self.serials = serials
+
+    def __len__(self):
+        return len(self.serials)
+
+    def __iter__(self):
+        dates: list[str] = []
+        for d, a, b in self.runs:
+            dates.extend([d] * (b - a))
+        return zip(dates, self.keys, self.serials)
+
+    def apply(self, out: dict) -> None:
+        for d, a, b in self.runs:
+            out.setdefault(d, {}).update(
+                zip(self.keys[a:b], self.serials[a:b])
+            )
+
+
+def _fast_snapshot_chunk(chunk):
+    """Column-validate snapshot lines; returns ``(batch, ok)``.
+
+    The output rows feed a dict of dicts, so beyond vectorising the
+    validation the fast gear must also dodge per-row Python work: dates
+    are decoded once per run of equal tokens and key tuples come out of
+    a single C-level ``zip``; see :class:`_SnapshotBatch`.
+    """
+    from repro.logs import fastpath
+
+    data = chunk.data
+    ts, te, ok = fastpath.split_tokens(data, chunk.starts, chunk.ends, 5, sep=44)
+    ok &= fastpath.has_prefix(data, ts[:, 1], te[:, 1], b"n")
+    node, ok_n = fastpath.parse_uint(data, ts[:, 1] + 1, te[:, 1])
+    ok &= ok_n
+    comp, ok_c = fastpath.match_vocab(data, ts[:, 2], te[:, 2], _COMP_VOCAB)
+    ok &= ok_c
+    pos, ok_p = fastpath.parse_uint(data, ts[:, 3], te[:, 3])
+    ok &= ok_p
+
+    if not ok.any():
+        return _SnapshotBatch([], [], []), ok
+    s = data.tobytes().decode("ascii")
+    sel = np.flatnonzero(ok)
+    runs = _date_runs(data, ts[sel, 0], te[sel, 0], s)
+    comps = [_COMP_NAMES[c] for c in comp[sel].tolist()]
+    serials = [
+        s[u:v] for u, v in zip(ts[sel, 4].tolist(), te[sel, 4].tolist())
+    ]
+    keys = list(zip(comps, node[sel].tolist(), pos[sel].tolist()))
+    return _SnapshotBatch(runs, keys, serials), ok
+
+
+def _date_runs(data, d0, d1, s: str) -> list[tuple[str, int, int]]:
+    """Runs of equal date tokens, decoding each run's string once.
+
+    Snapshot files hold one scan per day, so the date column is constant
+    for tens of thousands of consecutive rows; a chunk yields a handful
+    of runs instead of one string slice per row.
+    """
+    if d0.size == 0:
+        return []
+    w = d1 - d0
+    if np.any(w != w[0]):
+        # Irregular token widths: slice per row, then group neighbours.
+        toks = [s[a:b] for a, b in zip(d0.tolist(), d1.tolist())]
+        runs = []
+        prev, start = toks[0], 0
+        for i in range(1, len(toks)):
+            if toks[i] != prev:
+                runs.append((prev, start, i))
+                prev, start = toks[i], i
+        runs.append((prev, start, len(toks)))
+        return runs
+    mat = data[d0[:, None] + np.arange(int(w[0]))[None, :]]
+    diff = np.any(mat[1:] != mat[:-1], axis=1)
+    starts = np.concatenate(([0], np.flatnonzero(diff) + 1, [mat.shape[0]]))
+    return [
+        (mat[a].tobytes().decode("ascii"), a, b)
+        for a, b in zip(starts[:-1].tolist(), starts[1:].tolist())
+    ]
+
+
 def ingest_inventory_snapshots(
     path: str | os.PathLike,
     policy=None,
     quarantine: bool = True,
+    fast: bool = True,
 ) -> tuple[dict, "IngestStats"]:
     """Parse snapshots under an ingest policy; returns (snapshots, stats).
 
@@ -156,14 +329,18 @@ def ingest_inventory_snapshots(
     Inventory rows have no salvageable partial form (a serial without
     its position is useless), so ``repair`` behaves like ``skip`` here:
     bad rows are quarantined with a reason.  Partial scans are already
-    tolerated downstream by :func:`diff_inventories`.
+    tolerated downstream by :func:`diff_inventories`.  ``fast`` selects
+    the chunked column-wise validator (identical results; see DESIGN.md
+    section 9).
     """
     from repro import obs
     from repro.logs.ingest import (
         IngestPolicy,
         IngestStats,
         Quarantine,
+        fastpath_enabled,
         ingest_lines,
+        ingest_stream_fast,
     )
 
     policy = IngestPolicy.coerce(policy)
@@ -171,11 +348,24 @@ def ingest_inventory_snapshots(
     sidecar = Quarantine(path) if quarantine else None
     out: dict[str, dict] = {}
     with obs.span("ingest.inventory", attrs={"policy": policy.value}) as sp:
-        with open(path) as fh:
-            for date, key, serial in ingest_lines(
-                fh, _parse_snapshot_line, stats, policy, sidecar
-            ):
-                out.setdefault(date, {})[key] = serial
+        if fastpath_enabled(fast):
+            with open(path, "rb") as fh:
+                for batch in ingest_stream_fast(
+                    fh, _parse_snapshot_line, stats, policy, sidecar,
+                    fast_chunk=_fast_snapshot_chunk,
+                    rows_to_records=list,
+                ):
+                    if isinstance(batch, _SnapshotBatch):
+                        batch.apply(out)
+                    else:
+                        for date, key, serial in batch:
+                            out.setdefault(date, {})[key] = serial
+        else:
+            with open(path) as fh:
+                for date, key, serial in ingest_lines(
+                    fh, _parse_snapshot_line, stats, policy, sidecar
+                ):
+                    out.setdefault(date, {})[key] = serial
         if sidecar is not None:
             sidecar.flush()
         stats.check_invariant()

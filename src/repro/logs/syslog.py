@@ -28,14 +28,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.faults.types import ERROR_DTYPE, empty_errors
+from repro.logs import fastpath
 from repro.logs.ingest import (
     IngestPolicy,
     IngestStats,
     Quarantine,
+    fastpath_enabled,
     ingest_lines,
+    ingest_stream_fast,
     resort_by_time,
 )
-from repro.machine.node import slot_index, slot_letter
+from repro.machine.node import DIMM_SLOTS, slot_index, slot_letter
 from repro._util import iso
 
 
@@ -57,21 +60,88 @@ def format_ce_record(record) -> str:
     )
 
 
-def write_ce_log(errors: np.ndarray, path: str | os.PathLike) -> int:
+#: Writer-side slot vocabulary: index -1 renders as ``-``, 0..15 as A..P.
+_SLOT_CHOICES = [b"-"] + [letter.encode() for letter in DIMM_SLOTS]
+
+#: Last epoch second that renders as a 19-char ISO timestamp (year 9999).
+_ISO_MAX_S = 253402300800
+
+
+def _emit_ce_chunk(chunk: np.ndarray) -> bytes | None:
+    """Render a record chunk column-wise; None -> use the per-record path.
+
+    Bails out (returning None) whenever any record would not format the
+    way the column assembler assumes -- non-finite or out-of-ISO-range
+    times, negative direct-printed ints, addresses wider than 12 hex
+    digits, slot indices past P -- so abnormal chunks fall back to
+    :func:`format_ce_record` and keep its exact behaviour, including its
+    exceptions.
+    """
+    t = chunk["time"]
+    if not np.all(np.isfinite(t)):
+        return None
+    t64 = t.astype(np.int64)
+    if (
+        np.any(t64 < 0)
+        or np.any(t64 >= _ISO_MAX_S)
+        or np.any(chunk["node"] < 0)
+        or np.any(chunk["socket"] < 0)
+        or np.any(chunk["rank"] < 0)
+        or np.any(chunk["slot"] >= len(DIMM_SLOTS))
+        or np.any(chunk["address"] >= np.uint64(16) ** np.uint64(12))
+    ):
+        return None
+    slot_idx = chunk["slot"].astype(np.int64)
+    slot_idx = np.where(slot_idx < 0, 0, slot_idx + 1)
+    return fastpath.build_lines(
+        int(chunk.size),
+        [
+            fastpath.iso_bytes(t64),
+            b" astra-n",
+            fastpath.uint_digits(chunk["node"], 4),
+            b" kernel: EDAC CE socket=",
+            fastpath.uint_digits(chunk["socket"]),
+            b" slot=",
+            fastpath.choice_bytes(slot_idx, _SLOT_CHOICES),
+            b" rank=",
+            fastpath.uint_digits(chunk["rank"]),
+            b" bank=",
+            fastpath.opt_uint_digits(chunk["bank"]),
+            b" row=",
+            fastpath.opt_uint_digits(chunk["row"]),
+            b" col=",
+            fastpath.opt_uint_digits(chunk["column"]),
+            b" bit=",
+            fastpath.opt_uint_digits(chunk["bit_pos"]),
+            b" addr=0x",
+            fastpath.hex_digits(chunk["address"], 12),
+            b" synd=0x",
+            fastpath.hex_digits(chunk["syndrome"], 2),
+        ],
+    )
+
+
+def write_ce_log(errors: np.ndarray, path: str | os.PathLike,
+                 fast: bool = True) -> int:
     """Write CE records to a syslog file; returns the line count.
 
     Uses chunked formatting so multi-million-record logs stream without
-    building one giant string.
+    building one giant string.  ``fast`` selects the column-wise byte
+    assembler (same output, per chunk) with automatic per-record
+    fallback for abnormal chunks.
     """
     if errors.dtype != ERROR_DTYPE:
         raise ValueError(f"expected ERROR_DTYPE, got {errors.dtype}")
     n = 0
-    with open(path, "w") as fh:
+    with open(path, "wb") as fh:
+        use_fast = fastpath_enabled(fast)
         for start in range(0, errors.size, 65536):
             chunk = errors[start : start + 65536]
-            fh.write("\n".join(format_ce_record(r) for r in chunk))
-            if chunk.size:
-                fh.write("\n")
+            payload = _emit_ce_chunk(chunk) if use_fast and chunk.size else None
+            if payload is None:
+                text = "\n".join(format_ce_record(r) for r in chunk)
+                payload = text.encode("utf-8") + (b"\n" if chunk.size else b"")
+            fh.write(payload)
             n += chunk.size
     return n
 
@@ -104,10 +174,105 @@ def _rows_to_array(rows: list[dict]) -> np.ndarray:
     return out
 
 
+#: Fused prefix table for tokens 1..13 of a canonical CE line (token 0,
+#: the timestamp, is validated by :func:`fastpath.parse_iso_seconds`).
+_CE_PREFIX_TABLE = fastpath.compile_prefixes(
+    [
+        b"astra-n", b"kernel:", b"EDAC", b"CE",
+        b"socket=", b"slot=", b"rank=", b"bank=",
+        b"row=", b"col=", b"bit=", b"addr=0x", b"synd=0x",
+    ]
+)
+
+#: The six ``key=<decimal|->`` fields, batched into one parse pass:
+#: token column, prefix length, dash default, and dtype ceiling (so the
+#: eventual array assignment cannot overflow differently from the slow
+#: path's Python ints).
+_KV_COLS = np.array([5, 7, 8, 9, 10, 11])
+_KV_PLEN = np.array([7, 5, 5, 4, 4, 4])  # socket= rank= bank= row= col= bit=
+_KV_DEFAULT = np.array([0, 0, -1, -1, -1, -1], dtype=np.int64)
+_KV_HI = np.array(
+    [
+        np.iinfo(np.int8).max, np.iinfo(np.int8).max, np.iinfo(np.int8).max,
+        np.iinfo(np.int32).max, np.iinfo(np.int16).max, np.iinfo(np.int16).max,
+    ],
+    dtype=np.int64,
+)
+
+#: slot= value byte -> slot index (-1 for ``-``, -2 for anything else).
+_SLOT_LUT = np.full(256, -2, dtype=np.int64)
+_SLOT_LUT[ord("-")] = -1
+for _i, _letter in enumerate(DIMM_SLOTS):
+    _SLOT_LUT[ord(_letter)] = _i
+
+
+def _fast_ce_chunk(chunk: "fastpath.Chunk"):
+    """Column-parse canonical CE lines; returns ``(records, ok)``.
+
+    The accepted grammar is exactly the writer's output: 14 single-space
+    tokens, 19-char ISO timestamp, ``astra-n<digits>`` host, the literal
+    ``kernel: EDAC CE`` marker, and the nine key=value fields in
+    canonical order with in-range values.  Anything else -- reordered
+    keys, extra whitespace, truncations, out-of-range values -- gets
+    ``ok`` False and is re-parsed by the per-line machinery.
+    """
+    data = chunk.data
+    ts, te, ok = fastpath.split_tokens(data, chunk.starts, chunk.ends, 14)
+    ok &= fastpath.has_prefixes(data, ts[:, 1:], te[:, 1:], _CE_PREFIX_TABLE)
+    w = te - ts
+    # The three literal tokens must match exactly, not just by prefix.
+    ok &= (w[:, 2] == 7) & (w[:, 3] == 4) & (w[:, 4] == 2)
+    t_sec, ok_t = fastpath.parse_iso_seconds(data, ts[:, 0], te[:, 0])
+    ok &= ok_t
+    node, ok_n = fastpath.parse_uint(data, ts[:, 1] + 7, te[:, 1])
+    ok &= ok_n & (node <= np.iinfo(np.int32).max)
+
+    # slot= carries exactly one byte from the letter vocabulary (or -).
+    slot = _SLOT_LUT[np.take(data, ts[:, 6] + 5, mode="clip")]
+    ok &= (w[:, 6] == 6) & (slot > -2)
+
+    # One batched parse over the six decimal fields (field-major): a
+    # value is either the literal dash (taking the field's default) or
+    # leading-zero-free decimal digits within the target dtype's range,
+    # mirroring the slow path's ``int(x, 0)`` grammar exactly.
+    n = ts.shape[0]
+    vs = (ts[:, _KV_COLS] + _KV_PLEN[None, :]).T.ravel()
+    ve = te[:, _KV_COLS].T.ravel()
+    val, ok_v = fastpath.parse_uint(data, vs, ve)
+    ok_v &= ~fastpath.leading_zero(data, vs, ve)
+    dash = ((ve - vs) == 1) & (np.take(data, vs, mode="clip") == 45)
+    val = val.reshape(len(_KV_COLS), n)
+    ok_v = ok_v.reshape(len(_KV_COLS), n) & (val <= _KV_HI[:, None])
+    dash = dash.reshape(len(_KV_COLS), n)
+    ok &= np.all(dash | ok_v, axis=0)
+    val = np.where(dash, _KV_DEFAULT[:, None], val)
+    socket, rank, bank, row, col, bit = val
+
+    addr, ok_a = fastpath.parse_hex(data, ts[:, 12] + 7, te[:, 12])
+    ok &= ok_a & (addr <= (1 << 60) - 1)
+    synd, ok_s = fastpath.parse_hex(data, ts[:, 13] + 7, te[:, 13])
+    ok &= ok_s & (synd <= 255)
+
+    out = empty_errors(int(np.count_nonzero(ok)))
+    out["time"] = t_sec[ok]
+    out["node"] = node[ok]
+    out["socket"] = socket[ok]
+    out["slot"] = slot[ok]
+    out["rank"] = rank[ok]
+    out["bank"] = bank[ok]
+    out["row"] = row[ok]
+    out["column"] = col[ok]
+    out["bit_pos"] = bit[ok]
+    out["address"] = addr[ok]
+    out["syndrome"] = synd[ok]
+    return out, ok
+
+
 def ingest_ce_log(
     path: str | os.PathLike,
     policy: IngestPolicy | str = IngestPolicy.REPAIR,
     quarantine: bool = True,
+    fast: bool = True,
 ) -> ParseResult:
     """Parse a CE syslog file under an ingest policy.
 
@@ -115,7 +280,8 @@ def ingest_ce_log(
     on the first bad line; ``skip`` quarantines bad lines; ``repair``
     additionally salvages truncated lines and re-sorts out-of-order
     timestamps.  Quarantined lines land in ``<path>.quarantine`` unless
-    ``quarantine`` is False.
+    ``quarantine`` is False.  ``fast`` selects the chunked column-wise
+    parser (identical results; see DESIGN.md section 9).
     """
     from repro import obs
 
@@ -124,13 +290,25 @@ def ingest_ce_log(
     sidecar = Quarantine(path) if quarantine else None
     repair = _repair_line if policy is IngestPolicy.REPAIR else None
     with obs.span("ingest.errors", attrs={"policy": policy.value}) as sp:
-        with open(path) as fh:
-            rows = list(
-                ingest_lines(fh, _parse_line, stats, policy, sidecar, repair)
-            )
+        if fastpath_enabled(fast):
+            with open(path, "rb") as fh:
+                batches = list(
+                    ingest_stream_fast(
+                        fh, _parse_line, stats, policy, sidecar, repair,
+                        fast_chunk=_fast_ce_chunk,
+                        rows_to_records=_rows_to_array,
+                    )
+                )
+            arr = np.concatenate(batches) if batches else empty_errors(0)
+        else:
+            with open(path) as fh:
+                rows = list(
+                    ingest_lines(fh, _parse_line, stats, policy, sidecar, repair)
+                )
+            arr = _rows_to_array(rows)
         if sidecar is not None:
             sidecar.flush()
-        out = resort_by_time(_rows_to_array(rows), stats, policy)
+        out = resort_by_time(arr, stats, policy)
         stats.check_invariant()
         sp.add(**obs.record_ingest(stats))
     return ParseResult(errors=out, stats=stats)
@@ -161,7 +339,10 @@ def iter_ce_log(
     most ``chunk_records`` records, ready for per-chunk aggregation with
     the shard-parallel reducers.  ``policy`` overrides the boolean
     ``strict`` switch; note the streaming reader never re-sorts across
-    chunk boundaries (repair applies per line only).
+    chunk boundaries (repair applies per line only).  The streaming
+    reader keeps the per-line path: its per-chunk malformed-count
+    attribution depends on exactly when each line is judged, which
+    block-granular parsing would shift.
     """
     if chunk_records < 1:
         raise ValueError("chunk_records must be positive")

@@ -137,6 +137,11 @@ def record_ingest(stats) -> dict:
     for key, value in counts.items():
         _METRICS.count(f"ingest.{stats.family}.{key}", value)
         _METRICS.count(f"ingest.{key}", value)
+    if getattr(stats, "fast_lines", 0):
+        # Only emitted when the vectorised fast path engaged, so the
+        # counter's absence is meaningful (and parity comparisons against
+        # the per-line path exclude it).
+        _METRICS.count(f"ingest.{stats.family}.fastpath_lines", stats.fast_lines)
     _METRICS.gauge(f"ingest.coverage.{stats.family}", stats.coverage)
     return counts
 

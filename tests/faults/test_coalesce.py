@@ -131,6 +131,48 @@ class TestFaultIds:
             errors_with_fault_ids(np.zeros(1))
 
 
+class TestDistinctCountOverflow:
+    """Huge value spans must not overflow the combined unique key."""
+
+    def _spread_addresses(self):
+        # Two groups; addresses span nearly the whole uint64 range, so
+        # n_groups * (max - min + 1) cannot fit in an int64 key.
+        errors = make_errors(
+            [
+                bit_error(bank=0, address=1, t=0.0),
+                bit_error(bank=0, address=(1 << 62), t=1.0),
+                bit_error(bank=0, address=(1 << 62), t=2.0),
+                bit_error(bank=1, address=7, t=3.0),
+            ]
+        )
+        return errors
+
+    def test_wide_address_span_does_not_overflow(self):
+        # Regression: this raised OverflowError ("Python int too large")
+        # in the combined-key path before the sort-based fallback.
+        faults = coalesce(self._spread_addresses())
+        assert faults.size == 2
+        np.testing.assert_array_equal(np.sort(faults["n_errors"]), [1, 3])
+
+    def test_fallback_matches_combined_key(self):
+        from repro.faults.coalesce import _distinct_per_group
+
+        rng = np.random.default_rng(0)
+        gid = rng.integers(0, 5, 200)
+        values = rng.integers(-3, 40, 200)
+        small = _distinct_per_group(gid, values, 5)
+        # Shift one value to the int64 edge to force the fallback; the
+        # distinct counts must not change for untouched groups.
+        wide = values.astype(np.int64)
+        wide[0] = np.iinfo(np.int64).max - 1
+        forced = _distinct_per_group(gid, wide, 5)
+        expected = [
+            len(set(wide[gid == g].tolist())) for g in range(5)
+        ]
+        np.testing.assert_array_equal(forced, expected)
+        assert small[gid[0]] <= forced[gid[0]] + 1
+
+
 @st.composite
 def error_batches(draw):
     n = draw(st.integers(1, 60))

@@ -1,0 +1,242 @@
+"""Differential parity: vectorised fast-path ingest vs the per-line gear.
+
+Every text family (CE syslog, HET, BMC CSV, inventory) is run through
+both gears under every ingest policy, on clean logs and on logs
+corrupted by each :mod:`repro.inject` profile.  The two gears must be
+indistinguishable: identical parsed records, identical
+:class:`IngestStats` (minus the fast path's own ``fast_lines`` field),
+identical quarantine sidecar bytes, identical obs counters (minus
+``*.fastpath_lines``), and identical strict-mode errors.
+"""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro._util import DAY_S, epoch
+from repro.faults.types import empty_errors
+from repro.inject.corruptor import LogCorruptor
+from repro.logs.bmc import ingest_bmc_log, write_bmc_log
+from repro.logs.het import ingest_het_log, write_het_log
+from repro.logs.ingest import MalformedRecordError, quarantine_path
+from repro.logs.inventory import (
+    InventoryModel,
+    ingest_inventory_snapshots,
+    write_inventory_snapshots,
+)
+from repro.logs.syslog import ingest_ce_log, write_ce_log
+from repro.machine.node import NodeConfig
+from repro.machine.topology import AstraTopology
+from repro.synth.het import EVENT_TYPES, HET_DTYPE, NON_RECOVERABLE_EVENTS
+from repro.synth.replacements import REPLACEMENT_DTYPE, Component
+from repro.synth.sensors import SensorFieldModel
+
+T0 = epoch("2019-03-04")
+PROFILES = ["clean", "light", "moderate", "hostile"]
+POLICIES = ["strict", "repair", "skip"]
+
+
+# ----------------------------------------------------------------------
+# Clean log builders (one per family)
+# ----------------------------------------------------------------------
+def _build_ce(path):
+    rng = np.random.default_rng(42)
+    n = 3000
+    e = empty_errors(n)
+    e["time"] = T0 + np.sort(rng.integers(0, 86400, n)).astype(float)
+    e["node"] = rng.integers(0, 2592, n)
+    e["socket"] = rng.integers(0, 2, n)
+    e["slot"] = rng.integers(-1, 16, n)
+    e["rank"] = rng.integers(0, 2, n)
+    e["bank"] = np.where(rng.random(n) < 0.1, -1, rng.integers(0, 8, n))
+    e["row"] = np.where(rng.random(n) < 0.8, -1, rng.integers(0, 1 << 17, n))
+    e["column"] = np.where(rng.random(n) < 0.1, -1, rng.integers(0, 1024, n))
+    e["bit_pos"] = np.where(rng.random(n) < 0.1, -1, rng.integers(0, 72, n))
+    e["address"] = rng.integers(0, 1 << 40, n).astype(np.uint64)
+    e["syndrome"] = rng.integers(0, 256, n)
+    write_ce_log(e, path)
+
+
+def _build_het(path):
+    rng = np.random.default_rng(43)
+    n = 2000
+    h = np.zeros(n, dtype=HET_DTYPE)
+    h["time"] = T0 + np.sort(rng.integers(0, 86400, n)).astype(float)
+    h["node"] = rng.integers(0, 2592, n)
+    h["event"] = rng.integers(0, len(EVENT_TYPES), n)
+    h["non_recoverable"] = np.isin(h["event"], sorted(NON_RECOVERABLE_EVENTS))
+    write_het_log(h, path)
+
+
+def _build_bmc(path):
+    model = SensorFieldModel(seed=2)
+    write_bmc_log(path, model, [1, 2, 3], T0, T0 + 1800.0)
+
+
+def _build_inventory(path):
+    tiny = AstraTopology(n_racks=1, chassis_per_rack=3, nodes_per_chassis=2)
+    events = np.zeros(3, dtype=REPLACEMENT_DTYPE)
+    events[0] = (T0 + 0.5 * DAY_S, Component.PROCESSOR, 1, 0, -1)
+    events[1] = (T0 + 1.5 * DAY_S, Component.DIMM, 2, -1, 9)
+    events[2] = (T0 + 2.5 * DAY_S, Component.MOTHERBOARD, 3, -1, -1)
+    model = InventoryModel(events, tiny, NodeConfig())
+    write_inventory_snapshots(path, model, [T0 + i * DAY_S for i in range(4)])
+
+
+def _ingest_ce(path, policy):
+    r = ingest_ce_log(path, policy=policy)
+    return r.errors, r.stats
+
+
+FAMILIES = {
+    "ce": ("ce.log", _build_ce, _ingest_ce, False),
+    "het": ("het.log", _build_het, ingest_het_log, False),
+    "bmc": ("bmc.csv", _build_bmc, ingest_bmc_log, True),
+    "inventory": ("inventory.log", _build_inventory,
+                  ingest_inventory_snapshots, False),
+}
+
+
+@pytest.fixture(scope="module")
+def log_files(tmp_path_factory):
+    """{(family, profile): pristine log path}, built once."""
+    root = tmp_path_factory.mktemp("parity-logs")
+    paths = {}
+    for family, (filename, build, _, has_header) in FAMILIES.items():
+        clean = root / f"clean-{filename}"
+        build(clean)
+        paths[(family, "clean")] = clean
+        for profile in PROFILES[1:]:
+            corrupted = root / f"{profile}-{filename}"
+            shutil.copyfile(clean, corrupted)
+            LogCorruptor(profile, seed=7).corrupt_text_file(
+                corrupted, has_header=has_header
+            )
+            paths[(family, profile)] = corrupted
+    return paths
+
+
+def _run_gear(ingest, path, policy, slow, monkeypatch):
+    """One ingest run; returns (result, stats_dict, error, sidecar, counters)."""
+    if slow:
+        monkeypatch.setenv("ASTRA_MEMREPRO_SLOW_INGEST", "1")
+    else:
+        monkeypatch.delenv("ASTRA_MEMREPRO_SLOW_INGEST", raising=False)
+    sidecar = quarantine_path(path)
+    if sidecar.exists():
+        sidecar.unlink()
+    obs.reset()
+    result, stats, error = None, None, None
+    try:
+        result, stats = ingest(path, policy)
+    except MalformedRecordError as exc:
+        error = str(exc)
+    counters = {
+        k: v
+        for k, v in obs.get_metrics().export()["counters"].items()
+        if "fastpath" not in k
+    }
+    sidecar_bytes = sidecar.read_bytes() if sidecar.exists() else None
+    stats_dict = None
+    if stats is not None:
+        stats_dict = stats.to_dict()
+        stats_dict.pop("fast_lines")
+    monkeypatch.delenv("ASTRA_MEMREPRO_SLOW_INGEST", raising=False)
+    return result, stats_dict, error, sidecar_bytes, counters
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("profile", PROFILES)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_gears_indistinguishable(family, profile, policy, log_files,
+                                 tmp_path, monkeypatch):
+    _, _, ingest, _ = FAMILIES[family]
+    path = tmp_path / log_files[(family, profile)].name
+    shutil.copyfile(log_files[(family, profile)], path)
+
+    fast = _run_gear(ingest, path, policy, slow=False, monkeypatch=monkeypatch)
+    slow = _run_gear(ingest, path, policy, slow=True, monkeypatch=monkeypatch)
+
+    f_result, f_stats, f_error, f_sidecar, f_counters = fast
+    s_result, s_stats, s_error, s_sidecar, s_counters = slow
+
+    assert f_error == s_error
+    assert f_stats == s_stats
+    assert f_sidecar == s_sidecar
+    assert f_counters == s_counters
+    if isinstance(s_result, np.ndarray):
+        assert np.array_equal(f_result, s_result)
+    else:
+        assert f_result == s_result
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_fast_path_engages_on_clean_logs(family, log_files, tmp_path,
+                                         monkeypatch):
+    """Every line of a writer-produced log takes the vectorised path."""
+    _, _, ingest, _ = FAMILIES[family]
+    path = tmp_path / log_files[(family, "clean")].name
+    shutil.copyfile(log_files[(family, "clean")], path)
+    monkeypatch.delenv("ASTRA_MEMREPRO_SLOW_INGEST", raising=False)
+    obs.reset()
+    _, stats = ingest(path, "strict")
+    assert stats.fast_lines == stats.seen > 0
+    counter = f"ingest.{stats.family}.fastpath_lines"
+    assert obs.get_metrics().counter_value(counter) == stats.fast_lines
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_slow_gear_reports_no_fast_lines(family, log_files, tmp_path,
+                                         monkeypatch):
+    _, _, ingest, _ = FAMILIES[family]
+    path = tmp_path / log_files[(family, "clean")].name
+    shutil.copyfile(log_files[(family, "clean")], path)
+    monkeypatch.setenv("ASTRA_MEMREPRO_SLOW_INGEST", "1")
+    obs.reset()
+    _, stats = ingest(path, "strict")
+    assert stats.fast_lines == 0
+    counter = f"ingest.{stats.family}.fastpath_lines"
+    assert obs.get_metrics().counter_value(counter) == 0
+
+
+# ----------------------------------------------------------------------
+# Writer byte parity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_writers_emit_identical_bytes(family, tmp_path, monkeypatch):
+    _, build, _, _ = FAMILIES[family]
+    fast_path = tmp_path / "fast.log"
+    slow_path = tmp_path / "slow.log"
+    monkeypatch.delenv("ASTRA_MEMREPRO_SLOW_INGEST", raising=False)
+    build(fast_path)
+    monkeypatch.setenv("ASTRA_MEMREPRO_SLOW_INGEST", "1")
+    build(slow_path)
+    assert fast_path.read_bytes() == slow_path.read_bytes()
+
+
+def test_ce_writer_falls_back_on_abnormal_records(tmp_path, monkeypatch):
+    """Records outside the column assembler's domain still match."""
+    e = empty_errors(3)
+    e["time"] = [T0, T0 + 1, T0 + 2]
+    e["node"] = [1, 2, 3]
+    # 13-hex-digit address: wider than the %012x fast column.
+    e["address"][1] = np.uint64(1) << np.uint64(49)
+    fast_path = tmp_path / "fast.log"
+    slow_path = tmp_path / "slow.log"
+    monkeypatch.delenv("ASTRA_MEMREPRO_SLOW_INGEST", raising=False)
+    write_ce_log(e, fast_path)
+    monkeypatch.setenv("ASTRA_MEMREPRO_SLOW_INGEST", "1")
+    write_ce_log(e, slow_path)
+    assert fast_path.read_bytes() == slow_path.read_bytes()
+
+
+def test_strict_error_identifies_same_line(log_files, tmp_path, monkeypatch):
+    """Both gears point strict failures at the same line and reason."""
+    path = tmp_path / "bad-ce.log"
+    shutil.copyfile(log_files[("ce", "moderate")], path)
+    fast = _run_gear(_ingest_ce, path, "strict", False, monkeypatch)
+    slow = _run_gear(_ingest_ce, path, "strict", True, monkeypatch)
+    assert fast[2] is not None
+    assert fast[2] == slow[2]

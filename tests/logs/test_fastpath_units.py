@@ -1,0 +1,247 @@
+"""Unit tests for the vectorised fast-path primitives.
+
+Each parser primitive's accept/reject behaviour must be a strict subset
+of the per-line grammar it mirrors (``int``, ``float``,
+``np.datetime64``, ``str.strip``), and each emit primitive must render
+byte-for-byte what the f-string writers would.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.logs import fastpath
+
+
+def _spans(*tokens):
+    """Pack byte tokens into one buffer; returns (data, starts, ends)."""
+    buf = b"\x00".join(tokens)
+    starts, ends, pos = [], [], 0
+    for t in tokens:
+        starts.append(pos)
+        ends.append(pos + len(t))
+        pos += len(t) + 1
+    return (
+        np.frombuffer(buf, dtype=np.uint8),
+        np.array(starts, dtype=np.int64),
+        np.array(ends, dtype=np.int64),
+    )
+
+
+class TestIterBlocks:
+    @pytest.mark.parametrize("chunk_bytes", [3, 7, 64, 1 << 20])
+    @pytest.mark.parametrize(
+        "content",
+        [
+            b"alpha\nbeta\ngamma\n",
+            b"no trailing newline",
+            b"crlf\r\nlines\r\n",
+            b"lone\rcarriage\rreturns",
+            b"\r\nsplit\r\npair\r",
+            b"\n\nblank\n\n\nlines\n",
+            b"",
+        ],
+    )
+    def test_matches_text_mode(self, tmp_path, content, chunk_bytes):
+        """Line splitting matches text-mode universal newlines exactly."""
+        path = tmp_path / "log"
+        path.write_bytes(content)
+        with open(path) as fh:
+            expected = [line.rstrip("\n") for line in fh]
+        got = []
+        with open(path, "rb") as fh:
+            for data, starts, ends in fastpath.iter_blocks(fh, chunk_bytes):
+                raw = data.tobytes()
+                got.extend(
+                    raw[s:e].decode() for s, e in zip(starts, ends)
+                )
+        assert got == expected
+
+    def test_split_crlf_across_reads(self):
+        """A \\r\\n pair cut by the read boundary is still one newline."""
+        content = b"ab\r\ncd\r\nef"
+        for chunk_bytes in range(2, len(content) + 1):
+            got = []
+            for data, starts, ends in fastpath.iter_blocks(
+                io.BytesIO(content), chunk_bytes
+            ):
+                raw = data.tobytes()
+                got.extend(raw[s:e] for s, e in zip(starts, ends))
+            assert got == [b"ab", b"cd", b"ef"], chunk_bytes
+
+
+class TestCleanSpans:
+    def test_strip_and_triage(self):
+        data, starts, ends = _spans(
+            b"  padded  ", b"", b"\ttabs\t", b"ok", b"non-ascii \xc3\xa9", b"   "
+        )
+        cs, ce, empty, dirty = fastpath.clean_spans(data, starts, ends)
+        raw = data.tobytes()
+        assert raw[cs[0]:ce[0]] == b"padded"
+        assert raw[cs[2]:ce[2]] == b"tabs"
+        assert raw[cs[3]:ce[3]] == b"ok"
+        assert list(empty) == [False, True, False, False, False, True]
+        assert list(dirty) == [False, False, False, False, True, False]
+
+    def test_pathological_whitespace_goes_dirty(self):
+        data, starts, ends = _spans(b" " * 40 + b"x" + b" " * 40)
+        _, _, empty, dirty = fastpath.clean_spans(data, starts, ends)
+        assert not empty[0] and dirty[0]
+
+
+class TestSplitTokens:
+    def test_exact_token_count(self):
+        data, starts, ends = _spans(b"a b c", b"a b", b"a  b c", b"a b c d")
+        ts, te, ok = fastpath.split_tokens(data, starts, ends, 3)
+        assert list(ok) == [True, False, False, False]
+        raw = data.tobytes()
+        assert [raw[ts[0, k]:te[0, k]] for k in range(3)] == [b"a", b"b", b"c"]
+
+    def test_head_tokens_free_tail(self):
+        data, starts, ends = _spans(b"a b tail with spaces", b"a b", b"one")
+        ts, te, ok = fastpath.split_head_tokens(data, starts, ends, 2)
+        assert list(ok) == [True, False, False]
+        raw = data.tobytes()
+        assert raw[ts[0, 2]:te[0, 2]] == b"tail with spaces"
+
+    def test_no_separators_anywhere(self):
+        data, starts, ends = _spans(b"abc", b"def")
+        _, _, ok = fastpath.split_tokens(data, starts, ends, 2)
+        assert not ok.any()
+
+
+class TestMatching:
+    def test_prefix_vocab_equals(self):
+        data, starts, ends = _spans(b"socket=1", b"sock", b"socket=", b"x")
+        ok = fastpath.has_prefix(data, starts, ends, b"socket=")
+        assert list(ok) == [True, False, True, False]
+        eq = fastpath.token_equals(data, starts, ends, b"sock")
+        assert list(eq) == [False, True, False, False]
+        idx, okv = fastpath.match_vocab(data, starts, ends, [b"x", b"sock"])
+        assert list(okv) == [False, True, False, True]
+        assert idx[1] == 1 and idx[3] == 0
+
+    def test_has_prefixes_table(self):
+        table = fastpath.compile_prefixes([b"row=", b"addr=0x"])
+        data, s, e = _spans(b"row=1 addr=0x2", b"row=1 addr=1")
+        ts, te, _ = fastpath.split_tokens(data, s, e, 2)
+        ok = fastpath.has_prefixes(data, ts, te, table)
+        assert list(ok) == [True, False]
+
+
+class TestParsers:
+    def test_uint_matches_int(self):
+        tokens = [b"0", b"7", b"042", b"123456", b"", b"12a", b"-3",
+                  b"9" * 18, b"9" * 19]
+        data, s, e = _spans(*tokens)
+        val, ok = fastpath.parse_uint(data, s, e)
+        for i, t in enumerate(tokens):
+            valid = t.isdigit() and len(t) <= 18
+            assert ok[i] == valid, t
+            if valid:
+                assert val[i] == int(t)
+
+    def test_leading_zero(self):
+        data, s, e = _spans(b"042", b"0", b"40", b"")
+        assert list(fastpath.leading_zero(data, s, e)) == [
+            True, False, False, False,
+        ]
+
+    def test_hex_matches_int(self):
+        tokens = [b"0", b"ff", b"00012345678a", b"xyz", b"", b"ABC"]
+        data, s, e = _spans(*tokens)
+        val, ok = fastpath.parse_hex(data, s, e)
+        for i, t in enumerate(tokens):
+            try:
+                expected = int(t, 16)
+            except ValueError:
+                expected = None
+            assert ok[i] == (expected is not None), t
+            if expected is not None:
+                assert val[i] == expected
+
+    def test_decimal_bit_identical_to_float(self):
+        # (token, fast-grammar accepts).  The accepted set is a strict
+        # subset of float(): ".5" and "3." parse on the slow path but
+        # the fast grammar requires digits on both sides of the dot.
+        cases = [
+            (b"41.50", True), (b"-0.25", True), (b"123456.78", True),
+            (b"0.00", True), (b"1e3", False), (b"nan", False),
+            (b"12", False), (b".5", False), (b"3.", False),
+            (b"1.2.3", False),
+        ]
+        data, s, e = _spans(*[t for t, _ in cases])
+        val, ok = fastpath.parse_decimal(data, s, e)
+        for i, (t, accepted) in enumerate(cases):
+            assert ok[i] == accepted, t
+            if accepted:
+                assert val[i] == float(t.decode())  # exact, not approximate
+
+    def test_iso_matches_datetime64(self):
+        # (token, fast-grammar accepts).  Rejections are a superset of
+        # datetime64's: the space-separated form parses on the slow path
+        # but the fast grammar requires the canonical T separator.
+        cases = [
+            (b"2019-03-04T12:34:56", True),
+            (b"2020-02-29T00:00:00", True),   # leap day
+            (b"2019-02-29T00:00:00", False),  # not a leap year
+            (b"2100-02-29T00:00:00", False),  # century non-leap
+            (b"2000-02-29T23:59:59", True),   # 400-year leap
+            (b"2019-13-01T00:00:00", False),
+            (b"2019-00-01T00:00:00", False),
+            (b"2019-04-31T00:00:00", False),
+            (b"2019-01-01T24:00:00", False),
+            (b"2019-01-01T00:60:00", False),
+            (b"2019-01-01", False),
+            (b"2019-01-01 00:00:00", False),
+        ]
+        data, s, e = _spans(*[t for t, _ in cases])
+        val, ok = fastpath.parse_iso_seconds(data, s, e)
+        for i, (t, accepted) in enumerate(cases):
+            assert ok[i] == accepted, t
+            if accepted:
+                expected = int(np.datetime64(t.decode(), "s").astype(np.int64))
+                assert val[i] == expected
+
+
+class TestEmit:
+    def test_uint_digits(self):
+        mat, widths = fastpath.uint_digits([0, 7, 123, 4567], 4)
+        assert list(widths) == [4, 4, 4, 4]
+        lines = fastpath.build_lines(4, [(mat, widths)])
+        assert lines == b"0000\n0007\n0123\n4567\n"
+
+    def test_opt_uint_digits_dash(self):
+        mat, widths = fastpath.opt_uint_digits([-1, 5])
+        assert fastpath.build_lines(2, [(mat, widths)]) == b"-\n5\n"
+
+    def test_hex_digits(self):
+        mat, widths = fastpath.hex_digits([0x2B, 0], 2)
+        assert fastpath.build_lines(2, [(mat, widths)]) == b"2b\n00\n"
+
+    def test_choice_bytes(self):
+        mat, widths = fastpath.choice_bytes([0, 2, 1], [b"-", b"A", b"BB"])
+        assert fastpath.build_lines(3, [(mat, widths)]) == b"-\nBB\nA\n"
+
+    def test_iso_bytes_round_trip(self):
+        times = [0, 1551702896, 253402300799]
+        mat, widths = fastpath.iso_bytes(times)
+        rendered = fastpath.build_lines(3, [(mat, widths)]).split(b"\n")[:3]
+        for t, line in zip(times, rendered):
+            assert line.decode() == str(np.datetime64(int(t), "s"))
+
+    def test_str_matrix_left_align(self):
+        mat, widths = fastpath.str_matrix(np.asarray(["ab", "c", ""], dtype="S"))
+        out = fastpath.build_lines(
+            3, [b"<", (mat, widths, "left"), b">"]
+        )
+        assert out == b"<ab>\n<c>\n<>\n"
+
+    def test_build_lines_mixed_segments(self):
+        umat, uw = fastpath.uint_digits([5, 42])
+        out = fastpath.build_lines(2, [b"n=", (umat, uw), b"!"])
+        assert out == b"n=5!\nn=42!\n"
+
+    def test_build_lines_empty(self):
+        assert fastpath.build_lines(0, [b"x"]) == b""

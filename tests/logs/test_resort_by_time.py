@@ -1,0 +1,77 @@
+"""Regression tests for the repair policy's out-of-order re-sort.
+
+The inversion tolerance must derive from the time dtype's resolution:
+a fixed absolute epsilon (the old hardcoded 1e-9) flags one-ulp float
+round-trip jitter as inversions on large epochs, silently reclassifying
+parsed records as repaired.
+"""
+
+import numpy as np
+
+from repro.logs.ingest import IngestPolicy, IngestStats, resort_by_time
+
+
+def _records(times, dtype):
+    out = np.zeros(len(times), dtype=np.dtype([("time", dtype), ("v", np.int32)]))
+    out["time"] = times
+    out["v"] = np.arange(len(times))
+    return out
+
+
+def _stats(n):
+    return IngestStats(family="test", seen=n, parsed=n)
+
+
+class TestTolerance:
+    def test_one_ulp_float32_jitter_is_not_an_inversion(self):
+        # 2**30 epoch seconds: one float32 ulp is 64 whole seconds, far
+        # above any fixed nanosecond-scale epsilon.
+        t0 = np.float32(2**30)
+        t1 = np.nextafter(t0, np.float32(0))  # one ulp earlier
+        records = _records([t0, t1], np.float32)
+        stats = _stats(2)
+        out = resort_by_time(records, stats, IngestPolicy.REPAIR)
+        assert stats.repaired == 0
+        np.testing.assert_array_equal(out["v"], [0, 1])
+
+    def test_genuine_inversion_still_repaired(self):
+        records = _records([2**30, 2**30 - 4000.0, 2**30 + 1], np.float32)
+        stats = _stats(3)
+        out = resort_by_time(records, stats, IngestPolicy.REPAIR)
+        assert stats.repaired == 1
+        assert stats.parsed == 2
+        assert np.all(np.diff(out["time"]) >= 0)
+
+    def test_integer_times_have_zero_tolerance(self):
+        records = _records([100, 99, 101], np.int64)
+        stats = _stats(3)
+        out = resort_by_time(records, stats, IngestPolicy.REPAIR)
+        assert stats.repaired == 1
+        np.testing.assert_array_equal(out["time"], [99, 100, 101])
+
+    def test_float64_epoch_second_inversions_detected(self):
+        # At float64 resolution the tolerance stays far below 1 second
+        # for any realistic epoch, so whole-second inversions repair.
+        records = _records([1.5e9, 1.5e9 - 1.0], np.float64)
+        stats = _stats(2)
+        out = resort_by_time(records, stats, IngestPolicy.REPAIR)
+        assert stats.repaired == 1
+        assert np.all(np.diff(out["time"]) >= 0)
+
+
+class TestPolicyGating:
+    def test_only_repair_resorts(self):
+        for policy in (IngestPolicy.STRICT, IngestPolicy.SKIP):
+            records = _records([5.0, 1.0], np.float64)
+            stats = _stats(2)
+            out = resort_by_time(records, stats, policy)
+            np.testing.assert_array_equal(out["time"], [5.0, 1.0])
+            assert stats.repaired == 0
+
+    def test_empty_and_timeless_records_untouched(self):
+        stats = _stats(0)
+        empty = _records([], np.float64)
+        assert resort_by_time(empty, stats, IngestPolicy.REPAIR).size == 0
+        plain = np.zeros(3, dtype=np.dtype([("v", np.int32)]))
+        out = resort_by_time(plain, stats, IngestPolicy.REPAIR)
+        assert out is plain
