@@ -70,6 +70,16 @@ STRICT_WIN = {
 }
 SLACK = 2.0
 
+#: Environment override for the ``--tolerance`` default, so CI lanes on
+#: noisy shared runners can relax the strict-win bound without editing
+#: every workflow invocation (see EXPERIMENTS.md).
+TOLERANCE_ENV = "ASTRA_MEMREPRO_BENCH_TOLERANCE"
+
+
+def default_tolerance() -> float:
+    raw = os.environ.get(TOLERANCE_ENV, "").strip()
+    return float(raw) if raw else 0.0
+
 
 def _timed(fn):
     t0 = time.perf_counter()
@@ -219,7 +229,7 @@ def bench_family(family: str, write, ingest, workdir: Path) -> dict:
     return out
 
 
-def run(lines: int, out_path: Path, check: bool) -> int:
+def run(lines: int, out_path: Path, check: bool, tolerance: float = 0.0) -> int:
     results: dict = {}
     with tempfile.TemporaryDirectory(prefix="bench-ingest-") as tmp:
         workdir = Path(tmp)
@@ -256,7 +266,9 @@ def run(lines: int, out_path: Path, check: bool) -> int:
                 failures.append(f"{family}: escape hatch failed to disable fast path")
             for op, r in ops.items():
                 strict = op in STRICT_WIN.get(family, ())
-                bound = r["slow_s"] * (1.0 if strict else SLACK)
+                # ``tolerance`` relaxes the strict-win bound (timing noise
+                # on shared CI runners); the SLACK backstop stays as-is.
+                bound = r["slow_s"] * ((1.0 + tolerance) if strict else SLACK)
                 if r["fast_s"] > bound:
                     failures.append(
                         f"{family}/{op}: fast {r['fast_s']}s vs slow "
@@ -278,8 +290,14 @@ def main(argv=None) -> int:
     ap.add_argument("--out", type=Path, default=Path("BENCH_ingest.json"))
     ap.add_argument("--check", action="store_true",
                     help="exit non-zero unless the fast path engaged and won")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="relative slack on the strict-win bound under "
+                         f"--check (default 0.0, or ${TOLERANCE_ENV})")
     args = ap.parse_args(argv)
-    return run(args.lines, args.out, args.check)
+    tolerance = default_tolerance() if args.tolerance is None else args.tolerance
+    if tolerance < 0:
+        ap.error("--tolerance must be >= 0")
+    return run(args.lines, args.out, args.check, tolerance)
 
 
 if __name__ == "__main__":

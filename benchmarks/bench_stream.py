@@ -1,0 +1,211 @@
+"""Streaming-pipeline throughput benchmark vs one-shot batch ingest.
+
+Measures, over a synthetic CE log (plus a proportional HET log):
+
+- ``batch``: ``ingest_ce_log`` + ``coalesce`` in one shot -- the cost
+  of the offline answer;
+- ``stream``: :class:`repro.stream.StreamPipeline` driven to
+  completion with no checkpointing -- the pure incremental-processing
+  tax (tailer batching + online coalescing + alert rules);
+- ``stream-ckpt``: the same with ``checkpoint_every=1`` against a real
+  checkpoint directory -- isolating the durability overhead of the
+  atomic write-rename snapshot per batch.
+
+Writes a JSON report (default ``BENCH_stream.json``).  ``--check``
+additionally asserts the correctness contract (streamed faults and
+ingest accounting byte-identical to batch) and a generous backstop on
+the streaming tax, which is what the CI perf-smoke job runs at a
+reduced size.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py --lines 200000
+    PYTHONPATH=src python benchmarks/bench_stream.py --lines 20000 --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.faults.coalesce import coalesce
+from repro.logs.het import write_het_log
+from repro.logs.syslog import ingest_ce_log, write_ce_log
+from repro.stream import StreamPipeline, faults_snapshot
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_ingest import _ce_records, _het_records  # noqa: E402
+
+#: Distinct faults generating the benchmark's CE traffic.  bench_ingest's
+#: fully random records barely coalesce (nearly one group per record),
+#: which would make checkpoint size -- and thus the overhead number --
+#: scale with telemetry volume instead of live faults, the opposite of
+#: production behaviour.
+N_FAULTS = 256
+
+
+def _stream_ce_records(n: int) -> np.ndarray:
+    """CE records drawn from a bounded fault population."""
+    rng = np.random.default_rng(13)
+    e = _ce_records(n)
+    which = rng.integers(0, N_FAULTS, n)
+    for field, values in (
+        ("node", rng.integers(0, 2592, N_FAULTS)),
+        ("socket", rng.integers(0, 2, N_FAULTS)),
+        ("slot", rng.integers(0, 16, N_FAULTS)),
+        ("rank", rng.integers(0, 2, N_FAULTS)),
+        ("bank", rng.integers(0, 8, N_FAULTS)),
+        ("row", rng.integers(0, 1 << 17, N_FAULTS)),
+        ("column", rng.integers(0, 1024, N_FAULTS)),
+        ("bit_pos", rng.integers(0, 72, N_FAULTS)),
+        ("address", rng.integers(0, 1 << 40, N_FAULTS).astype(np.uint64)),
+    ):
+        e[field] = values[which]
+    return e
+
+#: Backstop on the incremental tax: streaming to completion may cost at
+#: most this many times the one-shot batch answer.  The online
+#: coalescer folds records one at a time by design (memory stays
+#: proportional to live faults, not telemetry volume), so it cannot
+#: match the vectorised batch kernel -- this bound only catches
+#: accidental quadratic behaviour.
+STREAM_TAX_LIMIT = 30.0
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def _run_pipeline(files, batch_bytes, checkpoint_dir=None):
+    pipe = StreamPipeline(
+        files=files,
+        policy="repair",
+        checkpoint_dir=checkpoint_dir,
+        batch_bytes=batch_bytes,
+        checkpoint_every=1,
+        resume=False,
+    )
+    pipe.run()
+    return pipe
+
+
+def run(lines: int, batch_bytes: int, out_path: Path, check: bool) -> int:
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="bench-stream-") as tmp:
+        workdir = Path(tmp)
+        ce_path = workdir / "ce.log"
+        het_path = workdir / "het.log"
+        write_ce_log(_stream_ce_records(lines), ce_path)
+        write_het_log(_het_records(max(lines // 4, 100)), het_path)
+        files = [ce_path, het_path]
+
+        # --- batch: one-shot ingest + coalesce ---
+        def batch():
+            res = ingest_ce_log(ce_path, policy="repair")
+            return res.stats, coalesce(res.errors)
+
+        (batch_stats, batch_faults), batch_s = _timed(batch)
+
+        # --- stream: incremental, no durability ---
+        pipe, stream_s = _timed(lambda: _run_pipeline(files, batch_bytes))
+        stream_summary = pipe.finalize()
+        stream_faults = faults_snapshot(pipe)
+
+        # --- stream-ckpt: checkpoint after every batch ---
+        ckpt_dir = workdir / "ckpt"
+        ckpt_dir.mkdir()
+        ckpt_pipe, ckpt_s = _timed(
+            lambda: _run_pipeline(files, batch_bytes, checkpoint_dir=ckpt_dir)
+        )
+        ckpt_pipe.finalize()
+        ckpt_bytes = (ckpt_dir / "checkpoint.json").stat().st_size
+
+        if check:
+            if stream_faults.tobytes() != batch_faults.tobytes():
+                failures.append("streamed faults differ from batch coalesce")
+            stream_stats = pipe.final_ingest()["errors"]
+            if stream_stats.to_dict() != batch_stats.to_dict():
+                failures.append(
+                    f"streamed CE ingest stats {stream_stats.to_dict()} != "
+                    f"batch {batch_stats.to_dict()}"
+                )
+            if stream_s > batch_s * STREAM_TAX_LIMIT:
+                failures.append(
+                    f"stream {stream_s:.3f}s vs batch {batch_s:.3f}s "
+                    f"exceeds the {STREAM_TAX_LIMIT}x backstop"
+                )
+
+    n_lines = int(batch_stats.seen)
+    report = {
+        "schema": 1,
+        "lines": lines,
+        "batch_bytes": batch_bytes,
+        "numpy": np.__version__,
+        "python": sys.version.split()[0],
+        "results": {
+            "batch": {
+                "lines": n_lines,
+                "fast_s": round(batch_s, 4),
+                "mlines_per_s": round(n_lines / batch_s / 1e6, 3),
+            },
+            "stream": {
+                "lines": n_lines,
+                "fast_s": round(stream_s, 4),
+                "mlines_per_s": round(n_lines / stream_s / 1e6, 3),
+                "batches": stream_summary["batches"],
+                "faults": stream_summary["faults"],
+                "tax_vs_batch": round(stream_s / batch_s, 2),
+            },
+            "stream-ckpt": {
+                "lines": n_lines,
+                "fast_s": round(ckpt_s, 4),
+                "mlines_per_s": round(n_lines / ckpt_s / 1e6, 3),
+                "checkpoint_bytes": ckpt_bytes,
+                "overhead_vs_stream": round(ckpt_s / stream_s - 1.0, 3),
+            },
+        },
+    }
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    r = report["results"]
+    print(
+        f"batch {r['batch']['mlines_per_s']:.2f} Mlines/s   "
+        f"stream {r['stream']['mlines_per_s']:.2f} Mlines/s "
+        f"({r['stream']['tax_vs_batch']:.1f}x tax, "
+        f"{r['stream']['batches']} batches)   "
+        f"checkpointing {r['stream-ckpt']['overhead_vs_stream']:+.1%}"
+    )
+    print(f"wrote {out_path}")
+
+    if check:
+        if failures:
+            print("STREAM-BENCH FAILURES:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print("stream bench OK: batch parity holds, tax within backstop")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--lines", type=int, default=200_000,
+                    help="CE log size; HET scales down from it")
+    ap.add_argument("--batch-bytes", type=int, default=1 << 18,
+                    help="bytes consumed per file per pipeline step")
+    ap.add_argument("--out", type=Path, default=Path("BENCH_stream.json"))
+    ap.add_argument("--check", action="store_true",
+                    help="assert batch parity and the streaming-tax backstop")
+    args = ap.parse_args(argv)
+    return run(args.lines, args.batch_bytes, args.out, args.check)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,12 +5,17 @@ Subcommands:
 - ``synth``      generate a campaign and write it to a directory;
 - ``analyze``    run experiments over a stored campaign directory;
 - ``experiment`` generate in memory and run one (or all) experiments;
+- ``stream``     tail a campaign's text logs incrementally (live faults,
+  alerts, checkpoint/resume; see DESIGN.md section 10);
 - ``list``       list the registered experiments.
 
 Examples::
 
     astra-memrepro synth --scale 0.05 --out /tmp/camp --text-logs
     astra-memrepro analyze /tmp/camp --exp fig05 fig12
+    astra-memrepro stream /tmp/camp --follow --checkpoint-dir /tmp/ckpt \
+        --alerts-out /tmp/alerts.jsonl
+    astra-memrepro stream /tmp/camp --max-batches 8 --batch-bytes 65536
     astra-memrepro experiment --exp fig04 --scale 0.1
     astra-memrepro experiment --all --scale 1.0 > report.txt
     astra-memrepro experiment --all --jobs 4 --json-report run.json
@@ -139,10 +144,23 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+#: Every registered subcommand, shared by the parser and the friendly
+#: unknown-command pre-check in :func:`main`.
+_COMMANDS = (
+    "synth", "analyze", "experiment", "stream", "mitigate", "validate",
+    "release", "list",
+)
+
+
 def _build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="astra-memrepro",
         description="Reproduction of the HPDC'22 Astra memory-failure study.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -169,6 +187,73 @@ def _build_parser() -> argparse.ArgumentParser:
     group.add_argument("--exp", nargs="*", help="experiment ids (empty = all)")
     group.add_argument("--all", action="store_true", help="run every experiment")
     _add_run_args(p_exp)
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="tail a campaign's text logs incrementally (live faults, "
+        "alerts, checkpoint/resume)",
+    )
+    p_stream.add_argument(
+        "directory", help="directory holding ce.log/het.log/bmc*/inventory*"
+    )
+    p_stream.add_argument(
+        "--follow", action="store_true",
+        help="keep polling for appended data instead of stopping at EOF",
+    )
+    p_stream.add_argument(
+        "--poll-interval", type=float, default=1.0, metavar="SECONDS",
+        help="idle sleep between empty polls under --follow (default 1.0)",
+    )
+    p_stream.add_argument(
+        "--max-batches", type=int, default=None, metavar="N",
+        help="stop after N consuming batches (bounded mode for tests/CI)",
+    )
+    p_stream.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write crash-safe checkpoints here; an existing checkpoint "
+        "is resumed from unless --no-resume",
+    )
+    p_stream.add_argument(
+        "--no-resume", action="store_true",
+        help="ignore an existing checkpoint and start from byte zero",
+    )
+    p_stream.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="checkpoint after every N consuming batches (default 1)",
+    )
+    p_stream.add_argument(
+        "--alerts-out", default=None, metavar="PATH",
+        help="append structured JSONL alert events to PATH",
+    )
+    p_stream.add_argument(
+        "--batch-bytes", type=int, default=1 << 20, metavar="BYTES",
+        help="bytes consumed per file per batch (default 1 MiB)",
+    )
+    p_stream.add_argument(
+        "--faults-out", default=None, metavar="PATH",
+        help="write the final live fault array to PATH as .npy",
+    )
+    p_stream.add_argument(
+        "--ingest-policy", choices=("strict", "repair", "skip"),
+        default="repair",
+        help="how to treat unparseable telemetry (default repair)",
+    )
+    p_stream.add_argument(
+        "--ce-rate-threshold", type=int, default=100, metavar="N",
+        help="CE count per node per window that trips the ce_rate alert",
+    )
+    p_stream.add_argument(
+        "--ce-rate-window", type=float, default=3600.0, metavar="SECONDS",
+        help="epoch-aligned window width for the ce_rate alert",
+    )
+    p_stream.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="enable tracing and write stream.* spans as JSON to PATH",
+    )
+    p_stream.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write stream counters/gauges as JSON to PATH",
+    )
 
     p_mit = sub.add_parser(
         "mitigate", help="run the mitigation simulators on a campaign"
@@ -356,6 +441,19 @@ def _run_experiments(
 
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Friendly unknown-subcommand handling (same convention as unknown
+    # experiment ids): a clear error plus the known vocabulary, exit 2,
+    # instead of argparse's bare usage dump.
+    first = next((a for a in argv if not a.startswith("-")), None)
+    if first is not None and first not in _COMMANDS:
+        print(
+            f"error: unknown command {first!r}\n"
+            f"known commands: {', '.join(_COMMANDS)}\n"
+            "hint: 'astra-memrepro --help' shows usage",
+            file=sys.stderr,
+        )
+        return 2
     args = _build_parser().parse_args(argv)
 
     from repro.logs.ingest import IngestError
@@ -368,6 +466,82 @@ def main(argv=None) -> int:
         # of dumping a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def _run_stream(args, trace_out, metrics_out) -> int:
+    """The ``stream`` verb: drive a StreamPipeline over a directory."""
+    import numpy as np
+
+    from repro import obs
+    from repro.stream import StreamPipeline
+    from repro.stream.alerts import AlertRules
+    from repro.stream.checkpoint import CheckpointError
+
+    for path in (args.alerts_out, args.faults_out):
+        _validate_json_report(path)
+    try:
+        pipeline = StreamPipeline(
+            directory=args.directory,
+            policy=args.ingest_policy,
+            checkpoint_dir=args.checkpoint_dir,
+            alerts_out=args.alerts_out,
+            batch_bytes=args.batch_bytes,
+            checkpoint_every=args.checkpoint_every,
+            rules=AlertRules(
+                ce_rate_threshold=args.ce_rate_threshold,
+                ce_rate_window_s=args.ce_rate_window,
+            ),
+            resume=not args.no_resume,
+        )
+    except (ValueError, CheckpointError) as exc:
+        # No tailable files, or an incompatible checkpoint: exit cleanly
+        # instead of dumping a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if pipeline.batches:
+        print(f"resumed from checkpoint at batch {pipeline.batches}")
+
+    def progress(p, summary):
+        consumed = ", ".join(
+            f"{family}+{n}" for family, n in summary["consumed"].items()
+        )
+        line = f"batch {p.batches - 1}: {consumed or 'idle'}"
+        if summary["alerts"]:
+            line += f"; {len(summary['alerts'])} alert(s)"
+        print(line)
+
+    run_info = pipeline.run(
+        max_batches=args.max_batches,
+        follow=args.follow,
+        poll_interval=args.poll_interval,
+        progress=progress,
+    )
+    summary = pipeline.finalize()
+    print(
+        f"streamed {run_info['steps']} batch(es): "
+        f"{summary['faults']} live fault(s), {summary['alerts']} alert(s)"
+    )
+    for family, s in sorted(summary["ingest"].items()):
+        print(
+            f"  {family}: seen={s['seen']} parsed={s['parsed']} "
+            f"repaired={s['repaired']} quarantined={s['quarantined']} "
+            f"coverage={s['coverage']:.3f}"
+        )
+    if summary["mode_counts"]:
+        modes = ", ".join(
+            f"{label}={n}" for label, n in sorted(summary["mode_counts"].items())
+        )
+        print(f"  modes: {modes}")
+    if args.faults_out:
+        np.save(args.faults_out, pipeline.coalescer.faults())
+        print(f"wrote faults to {args.faults_out}")
+    if trace_out:
+        obs.write_trace(trace_out)
+        print(f"wrote trace to {trace_out}")
+    if metrics_out:
+        obs.write_metrics(metrics_out)
+        print(f"wrote metrics to {metrics_out}")
+    return 0
 
 
 def _dispatch(args) -> int:
@@ -492,6 +666,9 @@ def _dispatch(args) -> int:
             trace_out=trace_out,
             metrics_out=metrics_out,
         )
+
+    if args.command == "stream":
+        return _run_stream(args, trace_out, metrics_out)
 
     if args.command == "mitigate":
         from repro.mitigation import (

@@ -2,22 +2,38 @@
 
 Usage::
 
-    python -m repro.logs.bench_compare old.json new.json [--threshold 0.10]
+    python -m repro.logs.bench_compare old.json new.json [--tolerance 0.10]
 
 Reads two reports written by ``benchmarks/bench_ingest.py`` and compares
 the fast-gear wall time of every (family, op) present in both.  A new
-time more than ``threshold`` above the old one is a regression; any
+time more than the tolerance above the old one is a regression; any
 regression exits 1 so CI can gate on it.  Ops present in only one
 report are listed but never fail the comparison (families and measured
 ops may legitimately change between baselines).
+
+The tolerance defaults to ``$ASTRA_MEMREPRO_BENCH_TOLERANCE`` if set,
+else 0.10; ``--threshold`` is accepted as a legacy alias of
+``--tolerance``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
+
+#: Environment override for the default tolerance (shared with
+#: ``benchmarks/bench_ingest.py --check``).
+TOLERANCE_ENV = "ASTRA_MEMREPRO_BENCH_TOLERANCE"
+
+DEFAULT_TOLERANCE = 0.10
+
+
+def default_tolerance() -> float:
+    raw = os.environ.get(TOLERANCE_ENV, "").strip()
+    return float(raw) if raw else DEFAULT_TOLERANCE
 
 
 def load_times(path: Path) -> dict:
@@ -52,13 +68,18 @@ def main(argv=None) -> int:
     ap.add_argument("old", type=Path, help="baseline BENCH_ingest.json")
     ap.add_argument("new", type=Path, help="candidate BENCH_ingest.json")
     ap.add_argument(
-        "--threshold", type=float, default=0.10,
-        help="relative slowdown that counts as a regression (default 0.10)",
+        "--tolerance", "--threshold", dest="tolerance", type=float,
+        default=None,
+        help="relative slowdown that counts as a regression (default "
+             f"${TOLERANCE_ENV} if set, else {DEFAULT_TOLERANCE})",
     )
     args = ap.parse_args(argv)
+    tolerance = default_tolerance() if args.tolerance is None else args.tolerance
+    if tolerance < 0:
+        ap.error("--tolerance must be >= 0")
 
     regressions, improvements, uncompared = compare(
-        load_times(args.old), load_times(args.new), args.threshold
+        load_times(args.old), load_times(args.new), tolerance
     )
     for (family, op), o, n, ratio in regressions:
         print(f"REGRESSION  {family}/{op}: {o:.4f}s -> {n:.4f}s "
@@ -70,9 +91,9 @@ def main(argv=None) -> int:
         print(f"uncompared  {family}/{op} ({side})")
     if regressions:
         print(f"{len(regressions)} regression(s) beyond "
-              f"{args.threshold:.0%}", file=sys.stderr)
+              f"{tolerance:.0%}", file=sys.stderr)
         return 1
-    print(f"no regressions beyond {args.threshold:.0%} "
+    print(f"no regressions beyond {tolerance:.0%} "
           f"({len(improvements)} improved)")
     return 0
 

@@ -13,6 +13,10 @@ artifact schemas use:
 Usage as a CLI (what CI runs)::
 
     python -m repro.obs.schema schemas/trace.schema.json trace.json
+    python -m repro.obs.schema --jsonl schemas/alerts.schema.json alerts.jsonl
+
+With ``--jsonl`` the artifact is a JSON-Lines stream and every
+non-empty line is validated independently against the schema.
 """
 
 from __future__ import annotations
@@ -105,15 +109,45 @@ def validate_file(schema_path: str | Path, artifact_path: str | Path) -> list[st
     return validate(instance, schema)
 
 
+def validate_jsonl(schema_path: str | Path, artifact_path: str | Path) -> list[str]:
+    """Validate each non-empty line of a JSONL stream against a schema."""
+    schema = json.loads(Path(schema_path).read_text())
+    errors: list[str] = []
+    with open(artifact_path) as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                instance = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {line_no}: invalid JSON: {exc}")
+                continue
+            errors.extend(
+                validate(instance, schema, path=f"line {line_no}: $")
+            )
+    return errors
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    jsonl = False
+    if argv and argv[0] == "--jsonl":
+        jsonl = True
+        argv = argv[1:]
     if len(argv) != 2:
         print(
-            "usage: python -m repro.obs.schema <schema.json> <artifact.json>",
+            "usage: python -m repro.obs.schema [--jsonl] "
+            "<schema.json> <artifact.json>",
             file=sys.stderr,
         )
         return 2
-    errors = validate_file(argv[0], argv[1])
+    check = validate_jsonl if jsonl else validate_file
+    try:
+        errors = check(argv[0], argv[1])
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"SCHEMA VIOLATION: {argv[1]}: {exc}", file=sys.stderr)
+        return 1
     if errors:
         for err in errors:
             print(f"SCHEMA VIOLATION: {err}", file=sys.stderr)

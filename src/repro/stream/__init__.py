@@ -1,0 +1,48 @@
+"""Streaming telemetry: incremental ingest, online coalescing, alerting.
+
+The batch pipeline answers "what happened over eight months"; this
+package answers "what is happening now".  It tails append-only log
+files as they grow, maintains live per-DIMM fault state that is
+*differentially identical* to the batch coalescer when a campaign is
+streamed to completion, snapshots everything to crash-safe checkpoints,
+and evaluates a small alert-rule catalog over the live state.
+
+Pieces (DESIGN.md section 10):
+
+- :mod:`repro.stream.tailer` -- offset-tracked incremental readers over
+  growing files, reusing the vectorised fast path for complete lines
+  and holding back partial trailing lines;
+- :mod:`repro.stream.online_coalesce` -- the incremental error-to-fault
+  coalescer;
+- :mod:`repro.stream.checkpoint` -- atomic, versioned snapshots of the
+  whole pipeline state;
+- :mod:`repro.stream.alerts` -- the rule engine and JSONL alert sink;
+- :mod:`repro.stream.pipeline` -- the loop tying them together, driven
+  by the ``astra-memrepro stream`` CLI verb.
+"""
+
+from repro.stream.alerts import AlertEngine, AlertRules, AlertSink
+from repro.stream.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointError,
+    CheckpointStore,
+)
+from repro.stream.online_coalesce import OnlineCoalescer
+from repro.stream.pipeline import StreamPipeline, discover_files, faults_snapshot
+from repro.stream.tailer import FAMILY_SPECS, LogTailer, TailError
+
+__all__ = [
+    "AlertEngine",
+    "AlertRules",
+    "AlertSink",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointError",
+    "CheckpointStore",
+    "FAMILY_SPECS",
+    "LogTailer",
+    "OnlineCoalescer",
+    "StreamPipeline",
+    "TailError",
+    "discover_files",
+    "faults_snapshot",
+]

@@ -1,0 +1,476 @@
+"""Offset-tracked incremental readers over growing telemetry files.
+
+A :class:`LogTailer` owns one append-only log file and one family's
+parsing machinery.  Each :meth:`~LogTailer.poll` reads the bytes
+appended since the last poll, cuts the read at the final line
+terminator (a partial trailing line stays on disk, unconsumed, until
+its newline arrives), and runs the complete region through exactly the
+same two-gear machinery batch ingest uses: the vectorised fast path of
+:func:`repro.logs.ingest.ingest_stream_fast` with per-line
+``ingest_one`` fallback, or the pure per-line gear when
+``ASTRA_MEMREPRO_SLOW_INGEST`` forces it.  Policies, line numbers,
+quarantine entries and :class:`~repro.logs.ingest.IngestStats` are
+byte-for-byte what a batch ingest of the same file would have produced
+-- the differential suite holds the tailer to that.
+
+The one batch behaviour that cannot run incrementally is the ``repair``
+policy's out-of-order re-sort: it needs the whole stream.  The tailer
+instead tracks, per record, the margin by which it arrived behind the
+running time maximum, and :meth:`~LogTailer.final_stats` applies the
+batch path's exact tolerance arithmetic at the end, so the final
+accounting still matches (live consumers -- the online coalescer, the
+alert rules -- are arrival-order-insensitive by design).
+
+Family specifics (parser, repairer, fast-path chunk parser, container
+type, header handling) come from the :data:`FAMILY_SPECS` registry.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.faults.types import empty_errors
+from repro.logs import bmc, het, inventory, syslog
+from repro.logs.ingest import (
+    IngestPolicy,
+    IngestStats,
+    MalformedRecordError,
+    Quarantine,
+    fastpath_enabled,
+    ingest_one,
+    ingest_stream_fast,
+)
+from repro.machine.sensors import NodeSensorComplement
+from repro.synth.het import HET_DTYPE
+
+
+class TailError(RuntimeError):
+    """A tailed file did something an append-only log must not.
+
+    Raised when a file shrinks below the consumed offset (rotation or
+    truncation), which would silently desynchronise line numbers and
+    offsets; the operator must restart the tailer (or resume from a
+    checkpoint taken before the rotation).
+    """
+
+
+def _concat_arrays(empty):
+    def concat(batches: list) -> np.ndarray:
+        batches = [b for b in batches if len(b)]
+        if not batches:
+            return empty(0)
+        if len(batches) == 1:
+            return batches[0]
+        return np.concatenate(batches)
+    return concat
+
+
+def _bmc_parse_line():
+    name_to_idx = {
+        name: i for i, name in enumerate(NodeSensorComplement().names)
+    }
+
+    def parse(line: str) -> tuple:
+        return bmc._parse_sample_line(line, name_to_idx)
+
+    return parse
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """Everything the tailer needs to ingest one record family."""
+
+    family: str
+    #: Build the per-line parser (factories, because some parsers close
+    #: over machine vocabulary built at ingest time).
+    make_parse_line: callable
+    #: Build the repair callable used under ``repair`` (None: the
+    #: family has no salvageable partial form, repair behaves as skip).
+    make_repair_line: callable | None
+    #: Build the fast-path column parser for ``ingest_stream_fast``.
+    make_fast_chunk: callable
+    #: Lift fallback rows into the family's container type.
+    rows_to_records: callable
+    #: Merge per-block containers into one poll result.
+    concat: callable
+    #: The file opens with a ``timestamp,...`` header line (BMC CSV).
+    has_header: bool = False
+    #: Records carry a ``time`` field the repair policy re-sorts on.
+    time_ordered: bool = True
+
+
+def _sensors_empty(n: int) -> np.ndarray:
+    return np.zeros(n, dtype=bmc.SENSOR_SAMPLE_DTYPE)
+
+
+def _het_empty(n: int) -> np.ndarray:
+    return np.zeros(n, dtype=HET_DTYPE)
+
+
+#: Registry of tailable text families, keyed by family name.
+FAMILY_SPECS: dict[str, FamilySpec] = {
+    "errors": FamilySpec(
+        family="errors",
+        make_parse_line=lambda: syslog._parse_line,
+        make_repair_line=lambda: syslog._repair_line,
+        make_fast_chunk=lambda: syslog._fast_ce_chunk,
+        rows_to_records=syslog._rows_to_array,
+        concat=_concat_arrays(empty_errors),
+    ),
+    "het": FamilySpec(
+        family="het",
+        make_parse_line=lambda: het._parse_line,
+        make_repair_line=lambda: het._repair_line,
+        make_fast_chunk=lambda: het._fast_het_chunk,
+        rows_to_records=het._rows_to_het,
+        concat=_concat_arrays(_het_empty),
+    ),
+    "sensors": FamilySpec(
+        family="sensors",
+        make_parse_line=_bmc_parse_line,
+        make_repair_line=None,
+        make_fast_chunk=lambda: bmc._make_fast_bmc_chunk(
+            NodeSensorComplement().names
+        ),
+        rows_to_records=bmc._rows_to_samples,
+        concat=_concat_arrays(_sensors_empty),
+        has_header=True,
+    ),
+    "inventory": FamilySpec(
+        family="inventory",
+        make_parse_line=lambda: inventory._parse_snapshot_line,
+        make_repair_line=None,
+        make_fast_chunk=lambda: inventory._fast_snapshot_chunk,
+        rows_to_records=list,
+        # Inventory batches stay as-is: _SnapshotBatch carries a bulk
+        # dict-insertion path the consumer wants to keep using.
+        concat=lambda batches: [b for b in batches if len(b)],
+        time_ordered=False,
+    ),
+}
+
+
+def spec_for_path(path: str | Path) -> FamilySpec | None:
+    """Map a telemetry file name to its family spec (None: not ours)."""
+    name = Path(path).name
+    if name.endswith(".quarantine"):
+        return None
+    if name == "ce.log":
+        return FAMILY_SPECS["errors"]
+    if name == "het.log":
+        return FAMILY_SPECS["het"]
+    if name.startswith("bmc"):
+        return FAMILY_SPECS["sensors"]
+    if name.startswith("inventory"):
+        return FAMILY_SPECS["inventory"]
+    return None
+
+
+class _NamedBytesIO(io.BytesIO):
+    """BytesIO carrying the tailed file's name, so strict-mode errors
+    and quarantine sources point at the real path, not ``<stream>``."""
+
+    def __init__(self, data: bytes, name: str):
+        super().__init__(data)
+        self.name = name
+
+
+class LogTailer:
+    """Incrementally ingest one growing log file.
+
+    Parameters
+    ----------
+    path:
+        The file to tail; it may not exist yet (polls return None until
+        it appears).
+    spec:
+        Family machinery, usually from :data:`FAMILY_SPECS`.
+    policy:
+        Ingest policy, exactly as batch ingest interprets it.
+    quarantine:
+        Collect unparseable lines for the ``<path>.quarantine`` sidecar
+        (written by :meth:`flush_quarantine`, not on every poll).
+    batch_bytes:
+        Target bytes consumed per poll.  Reads extend past this only
+        when no line terminator fits inside it.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        spec: FamilySpec,
+        policy: IngestPolicy | str = IngestPolicy.REPAIR,
+        quarantine: bool = True,
+        batch_bytes: int = 1 << 20,
+        fast: bool = True,
+    ):
+        if batch_bytes < 1:
+            raise ValueError("batch_bytes must be positive")
+        self.path = Path(path)
+        self.spec = spec
+        self.policy = IngestPolicy.coerce(policy)
+        self.batch_bytes = int(batch_bytes)
+        self.fast = bool(fast)
+        self.stats = IngestStats(family=spec.family, source="text")
+        self.quarantine = Quarantine(self.path) if quarantine else None
+        self._parse = spec.make_parse_line()
+        self._repair = (
+            spec.make_repair_line()
+            if spec.make_repair_line is not None
+            and self.policy is IngestPolicy.REPAIR
+            else None
+        )
+        self._fast_chunk = spec.make_fast_chunk()
+        #: Bytes of the file fully consumed (always a line boundary,
+        #: except for the held-back partial tail which is simply not
+        #: consumed yet).
+        self.offset = 0
+        #: Line number the next consumed line will carry.
+        self.line_no = 1
+        self.header_done = not spec.has_header
+        # Deferred repair-policy re-sort accounting: the margin by
+        # which each record arrived behind the running time maximum,
+        # plus the running maxima the batch tolerance derives from.
+        self._time_cummax: float | None = None
+        self._time_max_abs = 0.0
+        self._late_margins: list[float] = []
+
+    # ------------------------------------------------------------------
+    def lag_bytes(self) -> int:
+        """Unconsumed bytes currently sitting in the file."""
+        try:
+            return max(self.path.stat().st_size - self.offset, 0)
+        except FileNotFoundError:
+            return 0
+
+    def _read_region(self, eof_flush: bool) -> tuple[bytes, int] | None:
+        """Read the next consumable region; None when nothing is ready.
+
+        Returns ``(region, consumed)`` where ``region`` ends at a line
+        terminator unless ``eof_flush`` forced out an unterminated
+        final line.
+        """
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:
+            # Batch parity: a file that never appeared reports missing.
+            if self.offset == 0 and self.stats.seen == 0:
+                self.stats.missing = True
+            return None
+        if size < self.offset:
+            raise TailError(
+                f"{self.path}: file shrank below consumed offset "
+                f"({size} < {self.offset}); rotated or truncated?"
+            )
+        self.stats.missing = False
+        if size == self.offset:
+            return None
+        with open(self.path, "rb") as fh:
+            fh.seek(self.offset)
+            data = fh.read(self.batch_bytes)
+            # A line longer than batch_bytes must still be consumable:
+            # keep doubling the read until a terminator shows up.
+            want = self.batch_bytes
+            while (
+                b"\n" not in data and b"\r" not in data
+                and self.offset + len(data) < size
+            ):
+                want *= 2
+                more = fh.read(want)
+                if not more:
+                    break
+                data += more
+        at_eof = self.offset + len(data) >= size
+        flush = eof_flush and at_eof
+        # A trailing \r may be the first half of a split \r\n pair, so
+        # it cannot terminate a line yet -- unless we are flushing at
+        # EOF, where text mode would translate it to a newline.
+        search = data[:-1] if data.endswith(b"\r") and not flush else data
+        if flush:
+            return (data, len(data)) if data else None
+        cut = max(search.rfind(b"\n"), search.rfind(b"\r"))
+        if cut < 0:
+            return None
+        return data[: cut + 1], cut + 1
+
+    def _take_header(self, region: bytes) -> tuple[bytes, int]:
+        """Consume (or judge) the leading header line of a BMC CSV."""
+        nl = region.find(b"\n")
+        cr = region.find(b"\r")
+        end = min(x for x in (nl, cr, len(region)) if x >= 0)
+        header = region[:end]
+        if header.startswith(b"timestamp,"):
+            tlen = 2 if region[end : end + 2] == b"\r\n" else 1
+            skip = min(end + tlen, len(region))
+            self.header_done = True
+            return region[skip:], skip
+        if self.policy is IngestPolicy.STRICT:
+            raise MalformedRecordError(
+                "sensors", self.path, 1,
+                header.decode("utf-8").strip(), "missing header",
+            )
+        # Lenient: the first line is data (it will fail to parse and be
+        # quarantined, keeping it in the accounting -- batch behaviour).
+        self.header_done = True
+        return region, 0
+
+    def _track_order(self, records) -> None:
+        """Accumulate deferred re-sort accounting for this poll."""
+        if (
+            self.policy is not IngestPolicy.REPAIR
+            or not self.spec.time_ordered
+            or not isinstance(records, np.ndarray)
+            or records.size == 0
+        ):
+            return
+        times = records["time"]
+        prefix = np.maximum.accumulate(times)
+        before = np.empty_like(prefix)
+        before[0] = self._time_cummax if self._time_cummax is not None else -np.inf
+        before[1:] = prefix[:-1]
+        np.maximum(before, before[0], out=before)  # carry-in vs prefix
+        margins = before - times
+        late = margins > 0
+        if late.any():
+            self._late_margins.extend(margins[late].tolist())
+        self._time_cummax = float(max(before[-1], times[-1]))
+        self._time_max_abs = max(
+            self._time_max_abs, float(np.max(np.abs(times)))
+        )
+
+    def poll(self, eof_flush: bool = False):
+        """Consume newly appended complete lines; returns the records.
+
+        Returns ``None`` when nothing new was consumable (file absent,
+        unchanged, or holding only a partial line).  ``eof_flush``
+        additionally consumes an unterminated final line -- batch
+        parity for a file that will not grow any more.
+        """
+        got = self._read_region(eof_flush)
+        if got is None:
+            return None
+        region, consumed = got
+        if not self.header_done:
+            region, _ = self._take_header(region)
+        self.offset += consumed
+        if not region:
+            return self.spec.concat([])
+        translated = region.replace(b"\r\n", b"\n").replace(b"\r", b"\n")
+        n_lines = translated.count(b"\n")
+        if not translated.endswith(b"\n"):
+            n_lines += 1  # eof-flushed unterminated final line
+
+        if fastpath_enabled(self.fast):
+            fh = _NamedBytesIO(region, str(self.path))
+            batches = list(
+                ingest_stream_fast(
+                    fh, self._parse, self.stats, self.policy,
+                    self.quarantine, self._repair,
+                    fast_chunk=self._fast_chunk,
+                    rows_to_records=self.spec.rows_to_records,
+                    first_line_no=self.line_no,
+                )
+            )
+        else:
+            # Mirror ingest_lines exactly, with our running line_no.
+            lines = translated.decode("utf-8").split("\n")
+            if lines and lines[-1] == "":
+                lines.pop()
+            rows = []
+            source = str(self.path)
+            for ln, raw in enumerate(lines, self.line_no):
+                line = raw.strip()
+                if not line:
+                    continue
+                row = ingest_one(
+                    ln, line, self._parse, self.stats, self.policy,
+                    self.quarantine, self._repair, source,
+                )
+                if row is not None:
+                    rows.append(row)
+            batches = [self.spec.rows_to_records(rows)]
+        self.line_no += n_lines
+        records = self.spec.concat(batches)
+        self._track_order(records)
+        return records
+
+    # ------------------------------------------------------------------
+    def final_stats(self) -> IngestStats:
+        """Stats as batch ingest would report them at this point.
+
+        Applies the deferred ``repair`` re-sort accounting with the
+        batch path's exact tolerance (one ulp of the largest time
+        magnitude seen); the live ``stats`` attribute is left raw so
+        polling can continue.
+        """
+        out = replace(self.stats)
+        if self.policy is IngestPolicy.REPAIR and self._late_margins:
+            tol = np.finfo(np.float64).eps * max(self._time_max_abs, 1.0)
+            out_of_order = sum(1 for m in self._late_margins if m > tol)
+            moved = min(out_of_order, out.parsed)
+            out.parsed -= moved
+            out.repaired += moved
+        out.check_invariant()
+        return out
+
+    def flush_quarantine(self) -> Path | None:
+        """(Re)write the sidecar from all entries so far; idempotent."""
+        if self.quarantine is None:
+            return None
+        return self.quarantine.flush()
+
+    # -- checkpoint (de)serialisation ----------------------------------
+    def to_state(self) -> dict:
+        s = self.stats
+        return {
+            "path": str(self.path),
+            "family": self.spec.family,
+            "offset": self.offset,
+            "line_no": self.line_no,
+            "header_done": self.header_done,
+            "stats": {
+                "seen": s.seen, "parsed": s.parsed,
+                "repaired": s.repaired, "quarantined": s.quarantined,
+                "missing": s.missing, "source": s.source,
+                "fast_lines": s.fast_lines,
+            },
+            "order": {
+                "cummax": self._time_cummax,
+                "max_abs": self._time_max_abs,
+                "margins": self._late_margins,
+            },
+            "quarantine": (
+                [list(e) for e in self.quarantine.entries]
+                if self.quarantine is not None else None
+            ),
+        }
+
+    def restore(self, state: dict) -> None:
+        if state["family"] != self.spec.family:
+            raise ValueError(
+                f"checkpoint family {state['family']!r} does not match "
+                f"tailer family {self.spec.family!r}"
+            )
+        self.offset = int(state["offset"])
+        self.line_no = int(state["line_no"])
+        self.header_done = bool(state["header_done"])
+        st = state["stats"]
+        self.stats = IngestStats(
+            family=self.spec.family, seen=int(st["seen"]),
+            parsed=int(st["parsed"]), repaired=int(st["repaired"]),
+            quarantined=int(st["quarantined"]), missing=bool(st["missing"]),
+            source=str(st["source"]), fast_lines=int(st["fast_lines"]),
+        )
+        order = state["order"]
+        self._time_cummax = order["cummax"]
+        self._time_max_abs = float(order["max_abs"])
+        self._late_margins = [float(m) for m in order["margins"]]
+        if self.quarantine is not None:
+            self.quarantine.entries = [
+                (int(ln), reason, line)
+                for ln, reason, line in (state["quarantine"] or [])
+            ]

@@ -141,3 +141,51 @@ class TestSchemaCli:
         artifact.write_text(json.dumps(obs.export_trace()))
         errors = validate_file(schema_dir() / "trace.schema.json", artifact)
         assert errors == []
+
+    def test_unreadable_artifact_exits_one(self, tmp_path, capsys):
+        artifact = tmp_path / "broken.json"
+        artifact.write_text("{not json")
+        code = main([str(schema_dir() / "trace.schema.json"), str(artifact)])
+        assert code == 1
+        assert "SCHEMA VIOLATION" in capsys.readouterr().err
+
+
+class TestJsonlMode:
+    def alert(self, **overrides):
+        doc = {
+            "seq": 0, "rule": "new_fault", "time": 1.0, "batch": 0,
+            "node": 3, "detail": {"slot": 1, "rank": 0, "bank": 2,
+                                  "mode": "single-bit"},
+        }
+        doc.update(overrides)
+        return doc
+
+    def test_valid_stream_exits_zero(self, tmp_path, capsys):
+        artifact = tmp_path / "alerts.jsonl"
+        lines = [json.dumps(self.alert(seq=i)) for i in range(3)]
+        artifact.write_text("\n".join(lines) + "\n\n")  # blank line ok
+        code = main([
+            "--jsonl", str(schema_dir() / "alerts.schema.json"), str(artifact)
+        ])
+        assert code == 0
+
+    def test_bad_line_named_in_error(self, tmp_path, capsys):
+        artifact = tmp_path / "alerts.jsonl"
+        artifact.write_text(
+            json.dumps(self.alert()) + "\n"
+            + json.dumps(self.alert(rule="nonsense")) + "\n"
+        )
+        code = main([
+            "--jsonl", str(schema_dir() / "alerts.schema.json"), str(artifact)
+        ])
+        assert code == 1
+        assert "line 2" in capsys.readouterr().err
+
+    def test_invalid_json_line_reported(self, tmp_path, capsys):
+        artifact = tmp_path / "alerts.jsonl"
+        artifact.write_text(json.dumps(self.alert()) + "\n{oops\n")
+        code = main([
+            "--jsonl", str(schema_dir() / "alerts.schema.json"), str(artifact)
+        ])
+        assert code == 1
+        assert "invalid JSON" in capsys.readouterr().err

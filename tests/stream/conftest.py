@@ -1,0 +1,55 @@
+"""Shared fixtures for the streaming-subsystem suite.
+
+``stream_campaign_dir`` is a pristine campaign directory holding all
+four text telemetry families, written once per session; tests that
+corrupt or grow it copy it to a per-test directory first.
+"""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro._util import DAY_S, epoch
+from repro.logs.bmc import write_bmc_log
+from repro.logs.campaign_io import write_campaign
+from repro.logs.inventory import InventoryModel, write_inventory_snapshots
+from repro.machine.node import NodeConfig
+from repro.machine.topology import AstraTopology
+from repro.synth.replacements import REPLACEMENT_DTYPE, Component
+from repro.synth.sensors import SensorFieldModel
+
+T0 = epoch("2019-06-01")
+
+
+@pytest.fixture(scope="session")
+def stream_campaign_dir(tmp_path_factory):
+    from repro.run import CampaignCache
+
+    campaign, _ = CampaignCache().get_or_generate(seed=3, scale=0.005)
+    directory = tmp_path_factory.mktemp("stream-campaign") / "campaign"
+    write_campaign(campaign, directory, text_logs=True)
+    # Campaign IO only emits CE + HET text; add the other two families
+    # so the pipeline suite exercises every tailer spec.
+    write_bmc_log(
+        directory / "bmc.csv",
+        SensorFieldModel(seed=2),
+        list(range(8)),
+        T0,
+        T0 + 3 * 3600.0,
+    )
+    events = np.zeros(1, dtype=REPLACEMENT_DTYPE)
+    events[0] = (T0 + 0.5 * DAY_S, Component.DIMM, 2, -1, 9)
+    model = InventoryModel(events, AstraTopology(), NodeConfig())
+    write_inventory_snapshots(directory / "inventory.tsv", model, [T0])
+    return directory
+
+
+@pytest.fixture()
+def campaign_copy(stream_campaign_dir, tmp_path):
+    """A throwaway copy of the campaign, safe to corrupt or append to."""
+    directory = tmp_path / "campaign"
+    shutil.copytree(stream_campaign_dir, directory)
+    return directory
+
+

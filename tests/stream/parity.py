@@ -1,0 +1,29 @@
+"""Batch-pipeline ground truth the streaming suite compares against."""
+
+
+def batch_reference(directory, policy="repair"):
+    """Batch-pipeline ground truth for one campaign directory.
+
+    Returns ``(faults, {family: IngestStats}, snapshots)`` exactly as
+    the offline readers would compute them -- what a streamed-to-
+    completion pipeline must reproduce byte for byte.
+    """
+    from repro.faults.coalesce import coalesce
+    from repro.logs.bmc import ingest_bmc_log
+    from repro.logs.het import ingest_het_log
+    from repro.logs.inventory import ingest_inventory_snapshots
+    from repro.logs.syslog import ingest_ce_log
+
+    res = ingest_ce_log(directory / "ce.log", policy=policy)
+    _, het_stats = ingest_het_log(directory / "het.log", policy=policy)
+    stats = {"errors": res.stats, "het": het_stats}
+    snapshots = None
+    if (directory / "bmc.csv").exists():
+        _, stats["sensors"] = ingest_bmc_log(
+            directory / "bmc.csv", policy=policy
+        )
+    if (directory / "inventory.tsv").exists():
+        snapshots, stats["inventory"] = ingest_inventory_snapshots(
+            directory / "inventory.tsv", policy=policy
+        )
+    return coalesce(res.errors), stats, snapshots

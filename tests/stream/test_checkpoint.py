@@ -1,0 +1,66 @@
+"""CheckpointStore: atomic snapshots, versioning, corruption handling."""
+
+import json
+
+import pytest
+
+from repro.stream.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointError,
+    CheckpointStore,
+)
+
+
+class TestCheckpointStore:
+    def test_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert not store.exists()
+        assert store.load() is None
+        store.save({"batches": 3, "payload": [1, 2.5, None, "x"]})
+        assert store.exists()
+        state = store.load()
+        assert state["batches"] == 3
+        assert state["payload"] == [1, 2.5, None, "x"]
+        assert state["schema_version"] == CHECKPOINT_SCHEMA_VERSION
+
+    def test_save_leaves_no_tmp_file(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"a": 1})
+        store.save({"a": 2})
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == ["checkpoint.json"]
+        assert store.load()["a"] == 2
+
+    def test_float_round_trip_is_exact(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        values = [0.1 + 0.2, 1e300, 1559347200.000001, -0.0]
+        store.save({"floats": values})
+        assert store.load()["floats"] == values
+
+    def test_version_mismatch_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"a": 1})
+        doc = json.loads(store.path.read_text())
+        doc["schema_version"] = CHECKPOINT_SCHEMA_VERSION + 1
+        store.path.write_text(json.dumps(doc))
+        with pytest.raises(CheckpointError, match="schema_version"):
+            store.load()
+
+    def test_corrupt_json_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"a": 1})
+        store.path.write_text(store.path.read_text()[:-10])
+        with pytest.raises(CheckpointError):
+            store.load()
+
+    def test_non_object_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        store.path.write_text("[1, 2, 3]")
+        with pytest.raises(CheckpointError):
+            store.load()
+
+    def test_creates_directory(self, tmp_path):
+        store = CheckpointStore(tmp_path / "nested" / "ckpt")
+        store.save({"a": 1})
+        assert store.load()["a"] == 1

@@ -1,0 +1,105 @@
+"""Differential tests: OnlineCoalescer == batch coalesce, always."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults.coalesce import CoalesceOptions, coalesce
+from repro.faults.types import empty_errors
+from repro.stream.online_coalesce import OnlineCoalescer
+
+OPTION_SETS = [
+    CoalesceOptions(),
+    CoalesceOptions(split_banks=False),
+    CoalesceOptions(row_available=True),
+]
+
+
+def random_errors(n: int, seed: int) -> np.ndarray:
+    """CE records over a bounded population so groups actually form."""
+    rng = np.random.default_rng(seed)
+    e = empty_errors(n)
+    e["time"] = np.sort(rng.uniform(0, 1e6, n))
+    e["node"] = rng.integers(0, 6, n)
+    e["socket"] = rng.integers(0, 2, n)
+    e["slot"] = rng.integers(-1, 4, n)
+    e["rank"] = rng.integers(0, 2, n)
+    e["bank"] = np.where(rng.random(n) < 0.1, -1, rng.integers(0, 4, n))
+    e["row"] = np.where(rng.random(n) < 0.7, -1, rng.integers(0, 64, n))
+    e["column"] = np.where(rng.random(n) < 0.1, -1, rng.integers(0, 16, n))
+    e["bit_pos"] = np.where(rng.random(n) < 0.1, -1, rng.integers(0, 72, n))
+    # A few huge addresses exercise the int64 wrap in the bit key.
+    addr = rng.integers(0, 1 << 20, n).astype(np.uint64)
+    huge = rng.random(n) < 0.05
+    offsets = rng.integers(0, 4, int(huge.sum())).astype(np.uint64)
+    addr[huge] = np.iinfo(np.uint64).max - offsets
+    e["address"] = addr
+    e["syndrome"] = rng.integers(0, 256, n)
+    return e
+
+
+def feed_in_splits(errors, options, rng) -> OnlineCoalescer:
+    oc = OnlineCoalescer(options)
+    cuts = np.sort(rng.integers(0, errors.size + 1, rng.integers(1, 8)))
+    for chunk in np.split(errors, cuts):
+        oc.add(chunk)
+    return oc
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("options", OPTION_SETS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_batch(self, options, seed):
+        errors = random_errors(1500, seed)
+        rng = np.random.default_rng(seed + 100)
+        oc = feed_in_splits(errors, options, rng)
+        np.testing.assert_array_equal(oc.faults(), coalesce(errors, options))
+
+    def test_split_invariance(self):
+        """Any batching of the same records yields the same faults."""
+        errors = random_errors(800, 7)
+        rng = np.random.default_rng(8)
+        ref = feed_in_splits(errors, None, rng).faults()
+        for seed in range(3):
+            oc = feed_in_splits(errors, None, np.random.default_rng(seed))
+            np.testing.assert_array_equal(oc.faults(), ref)
+
+    def test_empty_and_incremental(self):
+        oc = OnlineCoalescer()
+        created, touched = oc.add(empty_errors(0))
+        assert created == [] and touched == []
+        assert oc.faults().size == 0
+        errors = random_errors(100, 3)
+        created, touched = oc.add(errors)
+        assert set(created) <= set(touched)
+        created2, touched2 = oc.add(errors)  # same keys again
+        assert created2 == []
+        assert set(touched2) == set(touched)
+
+    def test_mode_counts_match_faults(self):
+        oc = OnlineCoalescer()
+        oc.add(random_errors(1000, 5))
+        faults = oc.faults()
+        from repro.faults.types import FaultMode
+
+        expect = {}
+        for m in faults["mode"]:
+            label = FaultMode(m).label
+            expect[label] = expect.get(label, 0) + 1
+        assert oc.mode_counts() == expect
+
+
+class TestState:
+    def test_round_trip_through_json(self):
+        errors = random_errors(600, 9)
+        oc = OnlineCoalescer(CoalesceOptions(split_banks=False))
+        oc.add(errors[:250])
+        state = json.loads(json.dumps(oc.to_state()))
+        restored = OnlineCoalescer.from_state(state)
+        oc.add(errors[250:])
+        restored.add(errors[250:])
+        np.testing.assert_array_equal(restored.faults(), oc.faults())
+        np.testing.assert_array_equal(
+            oc.faults(), coalesce(errors, CoalesceOptions(split_banks=False))
+        )
