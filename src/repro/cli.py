@@ -7,11 +7,16 @@ Subcommands:
 - ``experiment`` generate in memory and run one (or all) experiments;
 - ``stream``     tail a campaign's text logs incrementally (live faults,
   alerts, checkpoint/resume; see DESIGN.md section 10);
+- ``fleet``      synthesise and analyse a fleet of Astra-sized clusters
+  through the sharded campaign engine (DESIGN.md section 11);
 - ``list``       list the registered experiments.
 
 Examples::
 
     astra-memrepro synth --scale 0.05 --out /tmp/camp --text-logs
+    astra-memrepro fleet --shard-dir /tmp/fleet --clusters 4 --scale 0.02 \
+        --jobs 4 --check --fleet-report fleet.json
+    astra-memrepro fleet --shard-dir /tmp/fleet --exp fig04 fig05
     astra-memrepro analyze /tmp/camp --exp fig05 fig12
     astra-memrepro stream /tmp/camp --follow --checkpoint-dir /tmp/ckpt \
         --alerts-out /tmp/alerts.jsonl
@@ -147,8 +152,8 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
 #: Every registered subcommand, shared by the parser and the friendly
 #: unknown-command pre-check in :func:`main`.
 _COMMANDS = (
-    "synth", "analyze", "experiment", "stream", "mitigate", "validate",
-    "release", "list",
+    "synth", "analyze", "experiment", "stream", "fleet", "mitigate",
+    "validate", "release", "list",
 )
 
 
@@ -253,6 +258,81 @@ def _build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument(
         "--metrics-out", metavar="PATH", default=None,
         help="write stream counters/gauges as JSON to PATH",
+    )
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="synthesise and analyse a fleet of Astra-sized clusters "
+        "through the sharded campaign engine",
+    )
+    p_fleet.add_argument(
+        "--shard-dir", required=True, metavar="DIR",
+        help="fleet directory (one campaign dir per cluster plus "
+        "fleet.json); synthesised here when missing",
+    )
+    p_fleet.add_argument(
+        "--clusters", type=int, default=None, metavar="N",
+        help="number of Astra-sized clusters when synthesising "
+        "(default 2; an existing fleet.json fixes the value)",
+    )
+    p_fleet.add_argument("--seed", type=int, default=7, help="fleet RNG seed")
+    p_fleet.add_argument(
+        "--scale", type=float, default=1.0,
+        help="per-cluster volume scale; 1.0 = the paper's 4.37M CEs "
+        "per cluster",
+    )
+    p_fleet.add_argument(
+        "--jobs", type=int, default=0,
+        help="process shards in N parallel workers (0/1 = serial)",
+    )
+    p_fleet.add_argument(
+        "--source", choices=("auto", "shards", "binary", "text"),
+        default="auto",
+        help="shard source: per-rack binary shards, whole-cluster binary "
+        "mirrors, or text logs (auto prefers the finest binary form)",
+    )
+    p_fleet.add_argument(
+        "--text-logs", action="store_true",
+        help="when synthesising, also write per-cluster ce.log/het.log "
+        "(required later for --source text; slower)",
+    )
+    p_fleet.add_argument(
+        "--force-synth", action="store_true",
+        help="re-synthesise every cluster even if the fleet exists",
+    )
+    p_fleet.add_argument(
+        "--check", action="store_true",
+        help="verify the sharded result byte-identical to the "
+        "single-process whole-stream path (exit 1 on mismatch)",
+    )
+    p_fleet.add_argument(
+        "--exp", nargs="*", default=None,
+        help="also run experiments over the fleet-wide campaign "
+        "(empty = all registered experiments)",
+    )
+    p_fleet.add_argument(
+        "--fleet-report", metavar="PATH", default=None,
+        help="write a machine-readable fleet report (schemas/"
+        "fleet.schema.json) to PATH",
+    )
+    p_fleet.add_argument(
+        "--ingest-policy", choices=("strict", "repair", "skip"),
+        default="repair",
+        help="ingest policy for --source text (default repair)",
+    )
+    for flag, help_text in (
+        ("--json-report", "also write a JSON run report for --exp to PATH"),
+        ("--trace-out", "enable tracing and write the span tree to PATH"),
+        ("--metrics-out", "write the metrics registry as JSON to PATH"),
+    ):
+        p_fleet.add_argument(flag, metavar="PATH", default=None, help=help_text)
+    p_fleet.add_argument(
+        "--cache-dir", default=None,
+        help="campaign cache directory used during synthesis",
+    )
+    p_fleet.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the campaign cache during synthesis",
     )
 
     p_mit = sub.add_parser(
@@ -544,6 +624,172 @@ def _run_stream(args, trace_out, metrics_out) -> int:
     return 0
 
 
+def _fleet_reference_faults(fleet, source: str, policy: str):
+    """The single-process whole-stream answer the shard engine must match.
+
+    Binary sources compare against coalescing the concatenated binary
+    mirrors; the text source compares against serially re-parsing every
+    cluster's ``ce.log`` (text timestamps carry second resolution, so the
+    binary mirrors are not its ground truth).
+    """
+    import numpy as np
+
+    from repro.faults.coalesce import coalesce
+    from repro.fleet import fleet_errors
+    from repro.logs.syslog import ingest_ce_log
+
+    if source != "text":
+        return coalesce(fleet_errors(fleet))
+    parts = []
+    for i, cdir in enumerate(fleet.cluster_dirs):
+        errors = ingest_ce_log(cdir / "ce.log", policy=policy).errors.copy()
+        errors["node"] += fleet.spec.node_offset(i)
+        parts.append(errors)
+    merged = np.concatenate(parts)
+    return coalesce(merged[np.argsort(merged["time"], kind="stable")])
+
+
+def _run_fleet(args, trace_out, metrics_out) -> int:
+    """The ``fleet`` verb: synthesise, shard-process, check, analyse."""
+    import time
+
+    import numpy as np
+
+    from repro import obs
+    from repro.fleet import (
+        Fleet,
+        FleetFormatError,
+        FleetSpec,
+        fleet_campaign,
+        process_fleet,
+        synth_fleet,
+    )
+
+    for path in (args.fleet_report, args.json_report):
+        _validate_json_report(path)
+
+    from pathlib import Path
+
+    shard_dir = Path(args.shard_dir)
+    try:
+        existing = Fleet.load(shard_dir) if shard_dir.exists() else None
+    except FleetFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if existing is not None and not args.force_synth:
+        if args.clusters is not None and args.clusters != existing.spec.n_clusters:
+            print(
+                f"error: {shard_dir} already holds a "
+                f"{existing.spec.n_clusters}-cluster fleet; pass "
+                "--force-synth to re-synthesise it",
+                file=sys.stderr,
+            )
+            return 2
+        spec = existing.spec
+    else:
+        spec = FleetSpec(
+            n_clusters=args.clusters if args.clusters is not None else 2,
+            seed=args.seed,
+            scale=args.scale,
+        )
+    cache = None if args.no_cache else _make_cache(args.cache_dir)
+    fleet = synth_fleet(
+        spec,
+        shard_dir,
+        text_logs=args.text_logs or args.source == "text",
+        shards=True,
+        cache=cache,
+        force=args.force_synth,
+    )
+    print(
+        f"fleet: {spec.n_clusters} cluster(s), seed={spec.seed}, "
+        f"scale={spec.scale}, {fleet.spec.fleet_topology().n_nodes} nodes "
+        f"at {shard_dir}"
+    )
+
+    try:
+        result = process_fleet(
+            fleet, jobs=args.jobs, source=args.source,
+            policy=args.ingest_policy,
+        )
+    except FleetFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    modes = ", ".join(
+        f"{label}={n}" for label, n in sorted(result.mode_histogram().items())
+        if n
+    )
+    print(
+        f"processed {len(result.per_shard)} shard(s) with jobs={args.jobs}: "
+        f"{result.n_errors} CEs -> {result.n_faults} fault(s) "
+        f"in {result.wall_s:.2f}s"
+    )
+    if modes:
+        print(f"  modes: {modes}")
+
+    check = None
+    exit_code = 0
+    if args.check:
+        reference = _fleet_reference_faults(fleet, args.source, args.ingest_policy)
+        identical = (
+            result.faults.dtype == reference.dtype
+            and result.faults.tobytes() == reference.tobytes()
+        )
+        check = {
+            "identical": bool(identical),
+            "reference": "text" if args.source == "text" else "binary",
+            "n_faults_reference": int(reference.size),
+        }
+        if identical:
+            print(f"check: sharded result identical to whole-stream path "
+                  f"({reference.size} faults)")
+        else:
+            print(
+                f"check FAILED: sharded faults differ from the "
+                f"whole-stream path ({result.n_faults} vs {reference.size})",
+                file=sys.stderr,
+            )
+            exit_code = 1
+
+    if args.fleet_report:
+        import json
+
+        from repro._util import iso
+
+        now = time.time()
+        doc = {
+            "schema_version": 1,
+            "created": now,
+            "created_iso": iso(now) + "Z",
+            "fleet": fleet.to_dict(),
+            "result": result.to_dict(),
+            "check": check,
+        }
+        Path(args.fleet_report).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote fleet report to {args.fleet_report}")
+
+    if args.exp is not None:
+        campaign = fleet_campaign(fleet, result=result)
+        exp_code = _run_experiments(
+            campaign,
+            args.exp,
+            jobs=args.jobs,
+            json_report=args.json_report,
+            ingest_policy=args.ingest_policy,
+            trace_out=trace_out,
+            metrics_out=metrics_out,
+        )
+        return exit_code or exp_code
+
+    if trace_out:
+        obs.write_trace(trace_out)
+        print(f"wrote trace to {trace_out}")
+    if metrics_out:
+        obs.write_metrics(metrics_out)
+        print(f"wrote metrics to {metrics_out}")
+    return exit_code
+
+
 def _dispatch(args) -> int:
     from repro import obs
 
@@ -669,6 +915,9 @@ def _dispatch(args) -> int:
 
     if args.command == "stream":
         return _run_stream(args, trace_out, metrics_out)
+
+    if args.command == "fleet":
+        return _run_fleet(args, trace_out, metrics_out)
 
     if args.command == "mitigate":
         from repro.mitigation import (

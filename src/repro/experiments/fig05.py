@@ -36,12 +36,16 @@ def run(campaign, **_params) -> ExperimentResult:
 
     error_counts = per_node_counts(campaign.errors, n_nodes)
     curve = concentration_curve(error_counts)
+    # The paper's "top 8 nodes" is a per-machine statement; a fleet has
+    # one such hot set per machine.  The fraction-based checks are
+    # intensive and carry over unchanged.
+    top_n = 8 * getattr(campaign, "machines", 1)
     result.series["concentration"] = {
         "nodes with >=1 CE": int((error_counts > 0).sum()),
         "fraction of nodes with zero CEs": round(
             float((error_counts == 0).mean()), 3
         ),
-        "top-8 share": round(curve.share_of_top(8), 3),
+        f"top-{top_n} share": round(curve.share_of_top(top_n), 3),
         "top-2% share": round(curve.share_of_top_fraction(0.02), 3),
     }
 
@@ -50,8 +54,9 @@ def run(campaign, **_params) -> ExperimentResult:
         (error_counts == 0).mean() > 0.60,
     )
     result.check(
-        "the 8 nodes with most CEs account for more than 50% of the total",
-        curve.share_of_top(8) > 0.50,
+        f"the {top_n} nodes with most CEs account for more than 50% "
+        "of the total",
+        curve.share_of_top(top_n) > 0.50,
     )
     result.check(
         "the top 2% of nodes account for ~90% of the total",

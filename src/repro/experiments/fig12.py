@@ -29,6 +29,17 @@ def run(campaign, **_params) -> ExperimentResult:
     result.series["errors per rack"] = e_rack
     result.series["faults per rack"] = f_rack
 
+    # The spike narrative is per machine: every Astra-sized machine in a
+    # fleet has its own designated spike rack at the same local index,
+    # so fold the global rack axis to machine-local racks (machines own
+    # contiguous rack ranges) before the spike checks.
+    machines = getattr(campaign, "machines", 1)
+    if machines > 1:
+        e_rack = e_rack.reshape(machines, -1).sum(axis=0)
+        f_rack = f_rack.reshape(machines, -1).sum(axis=0)
+        result.series["errors per machine-local rack"] = e_rack
+        result.series["faults per machine-local rack"] = f_rack
+
     spike = int(np.argmax(e_rack))
     others = np.delete(e_rack, spike)
     result.series["error spike"] = {

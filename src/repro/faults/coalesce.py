@@ -223,3 +223,26 @@ def errors_with_fault_ids(
     out = np.empty(errors.size, dtype=np.int64)
     out[order] = faults["fault_id"][gid_sorted]
     return faults, out
+
+
+def merge_shard_faults(partials: list) -> np.ndarray:
+    """Exactly merge per-shard fault arrays into the whole-stream answer.
+
+    The reducer side of shard-parallel coalescing (racks within one
+    system, clusters within a fleet): when the sharding key partitions
+    the coalescing key space -- no (node, slot, rank, bank) group spans
+    two shards -- concatenating the per-shard fault arrays, re-sorting
+    by the group key and renumbering ``fault_id`` is byte-identical to
+    coalescing the concatenated error stream.  The lexsort is stable,
+    but with disjoint keys no ties exist for order to matter.
+    """
+    parts = [p for p in partials if p is not None and p.size]
+    if not parts:
+        return empty_faults(0)
+    merged = np.concatenate(parts)
+    order = np.lexsort(
+        (merged["bank"], merged["rank"], merged["slot"], merged["node"])
+    )
+    out = merged[order]
+    out["fault_id"] = np.arange(out.size)
+    return out

@@ -1,0 +1,46 @@
+"""Fleet-scale sharded campaign engine.
+
+Scales the single-Astra pipeline (synthesis -> ingest -> coalesce ->
+experiments) to dozens of Astra-sized clusters analysed as one system:
+
+- :mod:`repro.fleet.spec` -- the fleet layout (clusters, seeds, node
+  offsets) and its on-disk ``fleet.json`` manifest;
+- :mod:`repro.fleet.synth` -- materialising per-cluster campaign
+  directories (cache-aware);
+- :mod:`repro.fleet.engine` -- the process-parallel shard scheduler
+  with memory-mapped shards and exact cross-shard reduction;
+- :mod:`repro.fleet.handle` -- the fleet as a single analysable
+  :class:`~repro.synth.campaign.Campaign`, so every registered
+  experiment runs unchanged.
+"""
+
+from repro.fleet.spec import (
+    FLEET_SCHEMA_VERSION,
+    Fleet,
+    FleetFormatError,
+    FleetSpec,
+    MANIFEST_NAME,
+)
+from repro.fleet.synth import synth_fleet
+from repro.fleet.engine import (
+    FleetResult,
+    merge_ingest_stats,
+    process_fleet,
+    shard_tasks,
+)
+from repro.fleet.handle import fleet_campaign, fleet_errors
+
+__all__ = [
+    "FLEET_SCHEMA_VERSION",
+    "MANIFEST_NAME",
+    "Fleet",
+    "FleetFormatError",
+    "FleetSpec",
+    "FleetResult",
+    "fleet_campaign",
+    "fleet_errors",
+    "merge_ingest_stats",
+    "process_fleet",
+    "shard_tasks",
+    "synth_fleet",
+]

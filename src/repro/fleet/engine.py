@@ -1,0 +1,290 @@
+"""The sharded campaign engine: per-shard workers, exact reduction.
+
+One task = one shard of one cluster's error stream (a per-rack
+``shards/errors-rackNN.npy``, a whole ``errors.npy``, or a ``ce.log``).
+Workers never materialise more than their shard: binary shards are
+memory-mapped read-only and coalesced in place; text shards stream
+through the block-granular two-gear reader into an
+:class:`~repro.stream.online_coalesce.OnlineCoalescer`.  Each worker
+returns only the reduced artefacts -- the shard's fault array (node ids
+already lifted to fleet-global), a per-mode count vector, and ingest
+accounting -- so inter-process traffic stays tiny next to the shard
+payload.
+
+Reduction is exact, not approximate (DESIGN.md section 11): the
+coalescing key (node, slot, rank, bank) never spans a rack, so
+per-shard coalescing followed by
+:func:`~repro.faults.coalesce.merge_shard_faults` and element-wise
+count merging reproduces the whole-stream answer byte for byte.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.faults.coalesce import coalesce, merge_shard_faults
+from repro.faults.types import ERROR_DTYPE, FaultMode
+from repro.fleet.spec import Fleet, FleetFormatError
+from repro.logs.ingest import IngestPolicy, IngestStats
+from repro.logs.store import load_records
+from repro.parallel.executor import map_tasks
+from repro.parallel.sharding import merge_counts
+
+#: ``source`` values accepted by :func:`process_fleet`.
+SOURCES = ("auto", "shards", "binary", "text")
+
+
+def merge_ingest_stats(parts: list) -> IngestStats:
+    """Exact sum of per-shard ingest accounting (one family)."""
+    parts = [p for p in parts if p is not None]
+    if not parts:
+        return IngestStats(family="errors", missing=True, source="missing")
+    sources = {p.source for p in parts}
+    out = IngestStats(
+        family=parts[0].family,
+        source=sources.pop() if len(sources) == 1 else "mixed",
+    )
+    for p in parts:
+        out.seen += p.seen
+        out.parsed += p.parsed
+        out.repaired += p.repaired
+        out.quarantined += p.quarantined
+        out.fast_lines += p.fast_lines
+    out.missing = all(p.missing for p in parts)
+    out.check_invariant()
+    return out
+
+
+def _process_shard(task: dict) -> dict:
+    """Worker: ingest + coalesce one shard, return reduced artefacts.
+
+    Module-level so the process pool can pickle it by name; runs under
+    ``obs.capture`` so worker spans and counters ship back as a payload
+    the parent merges deterministically (never mutating forked state).
+    """
+    from repro import obs
+    from repro.logs.syslog import stream_ce_batches
+    from repro.stream.online_coalesce import OnlineCoalescer
+
+    t0 = time.perf_counter()
+    with obs.capture(trace=task.get("trace", False)) as cap:
+        with obs.span(
+            "fleet.shard",
+            attrs={"cluster": task["cluster"], "shard": task["shard"]},
+        ):
+            if task["kind"] == "binary":
+                records = load_records(task["path"], ERROR_DTYPE, mmap=True)
+                n_errors = int(records.size)
+                faults = coalesce(records)
+                del records  # drop the mmap view before pickling results
+                stats = IngestStats(
+                    family="errors", seen=n_errors, parsed=n_errors,
+                    source="binary",
+                )
+            else:
+                stats = IngestStats(family="errors", source="text")
+                coal = OnlineCoalescer()
+                n_errors = 0
+                for batch in stream_ce_batches(
+                    task["path"],
+                    policy=task["policy"],
+                    quarantine=task["quarantine"],
+                    stats=stats,
+                ):
+                    n_errors += int(batch.size)
+                    coal.add(batch)
+                faults = coal.faults()
+            offset = int(task["node_offset"])
+            if offset:
+                faults["node"] += offset
+            obs.count("fleet.shard.errors", n_errors)
+            obs.count("fleet.shard.faults", int(faults.size))
+    return {
+        "cluster": task["cluster"],
+        "shard": task["shard"],
+        "n_errors": n_errors,
+        "faults": faults,
+        "mode_counts": np.bincount(
+            faults["mode"], minlength=len(FaultMode)
+        ).astype(np.int64),
+        "stats": stats,
+        "wall_s": time.perf_counter() - t0,
+        "obs": cap.payload(),
+    }
+
+
+@dataclass
+class FleetResult:
+    """Fleet-wide aggregation: exact, order-independent reductions."""
+
+    #: Coalesced fault records over the whole fleet, in the canonical
+    #: (node, slot, rank, bank) order with renumbered ``fault_id`` --
+    #: byte-identical to coalescing the concatenated stream whole.
+    faults: np.ndarray
+    #: Fault counts per :class:`FaultMode` value (index = mode value).
+    mode_counts: np.ndarray
+    n_errors: int
+    ingest: IngestStats
+    #: Per-shard rows: cluster, shard, n_errors, n_faults, wall_s.
+    per_shard: list = field(default_factory=list)
+    source: str = "auto"
+    jobs: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def n_faults(self) -> int:
+        return int(self.faults.size)
+
+    def mode_histogram(self) -> dict:
+        """``{mode name: fault count}`` over the fleet."""
+        return {
+            mode.name.lower(): int(self.mode_counts[mode.value])
+            for mode in FaultMode
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "n_errors": int(self.n_errors),
+            "n_faults": self.n_faults,
+            "n_shards": len(self.per_shard),
+            "source": self.source,
+            "jobs": int(self.jobs),
+            "wall_s": float(self.wall_s),
+            "mode_counts": self.mode_histogram(),
+            "ingest": self.ingest.to_dict(),
+            "per_shard": [dict(row) for row in self.per_shard],
+        }
+
+
+def shard_tasks(
+    fleet: Fleet,
+    source: str = "auto",
+    policy: IngestPolicy | str = IngestPolicy.REPAIR,
+    quarantine: bool = False,
+) -> list[dict]:
+    """Plan the shard task list for ``fleet``.
+
+    ``auto`` prefers, per cluster: per-rack binary shards (finest
+    granularity), then the whole-cluster binary mirror, then the text
+    log.  Forcing ``shards``/``binary``/``text`` raises
+    :class:`FleetFormatError` when a cluster lacks that source.
+    """
+    from repro import obs
+
+    if source not in SOURCES:
+        raise ValueError(f"source must be one of {SOURCES}, got {source!r}")
+    policy = IngestPolicy.coerce(policy)
+    want_trace = obs.tracing_enabled()
+    tasks = []
+    for i in range(fleet.spec.n_clusters):
+        cdir = fleet.cluster_dir(i)
+        common = dict(
+            cluster=fleet.spec.cluster_name(i),
+            node_offset=fleet.spec.node_offset(i),
+            policy=policy.value,
+            quarantine=quarantine,
+            trace=want_trace,
+        )
+        shard_paths = sorted((cdir / "shards").glob("errors-rack*.npy"))
+        kind = source
+        if source == "auto":
+            if shard_paths:
+                kind = "shards"
+            elif (cdir / "errors.npy").exists():
+                kind = "binary"
+            elif (cdir / "ce.log").exists():
+                kind = "text"
+            else:
+                raise FleetFormatError(
+                    cdir, "no shards/, errors.npy or ce.log to process"
+                )
+        if kind == "shards":
+            if not shard_paths:
+                raise FleetFormatError(
+                    cdir / "shards", "no errors-rack*.npy shards"
+                )
+            for p in shard_paths:
+                tasks.append(
+                    dict(common, shard=p.name, path=str(p), kind="binary")
+                )
+        else:
+            name = "errors.npy" if kind == "binary" else "ce.log"
+            path = cdir / name
+            if not path.exists():
+                raise FleetFormatError(path, f"{name} missing")
+            tasks.append(
+                dict(
+                    common, shard=name, path=str(path),
+                    kind="binary" if kind == "binary" else "text",
+                )
+            )
+    return tasks
+
+
+def process_fleet(
+    fleet: Fleet,
+    jobs: int = 0,
+    source: str = "auto",
+    policy: IngestPolicy | str = IngestPolicy.REPAIR,
+    quarantine: bool = False,
+) -> FleetResult:
+    """Ingest and coalesce every shard of ``fleet``, ``jobs``-way parallel.
+
+    The reduction is exact: the returned fault stream and per-mode
+    counts equal what a single process would compute over the
+    concatenated (node-offset) error stream, byte for byte, for any
+    ``jobs`` and any shard granularity.
+    """
+    from repro import obs
+    from repro.obs.trace import attach_tree
+
+    t0 = time.perf_counter()
+    with obs.span(
+        "fleet.process",
+        attrs={
+            "jobs": jobs,
+            "source": source,
+            "n_clusters": fleet.spec.n_clusters,
+        },
+    ) as sp:
+        tasks = shard_tasks(fleet, source, policy, quarantine)
+        sp.set("n_shards", len(tasks))
+        results = [
+            r for r in map_tasks(_process_shard, tasks, jobs) if r is not None
+        ]
+        for r in results:
+            for root in obs.merge_payload(r.pop("obs", None)):
+                attach_tree(sp, root)
+        faults = merge_shard_faults([r["faults"] for r in results])
+        if results:
+            mode_counts = merge_counts([r["mode_counts"] for r in results])
+        else:
+            mode_counts = np.zeros(len(FaultMode), dtype=np.int64)
+        result = FleetResult(
+            faults=faults,
+            mode_counts=mode_counts,
+            n_errors=sum(r["n_errors"] for r in results),
+            ingest=merge_ingest_stats([r["stats"] for r in results]),
+            per_shard=[
+                {
+                    "cluster": r["cluster"],
+                    "shard": r["shard"],
+                    "n_errors": int(r["n_errors"]),
+                    "n_faults": int(r["faults"].size),
+                    "wall_s": float(r["wall_s"]),
+                }
+                for r in results
+            ],
+            source=source,
+            jobs=jobs,
+            wall_s=time.perf_counter() - t0,
+        )
+        obs.count("fleet.shards_processed", len(results))
+        obs.count("fleet.errors_processed", result.n_errors)
+        obs.count("fleet.faults_merged", result.n_faults)
+        sp.add(errors=result.n_errors, faults=result.n_faults)
+    return result

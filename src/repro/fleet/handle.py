@@ -1,0 +1,114 @@
+"""A fleet as one analysable Campaign.
+
+``fleet_campaign`` builds a *real* :class:`~repro.synth.campaign.Campaign`
+over the whole fleet -- the topology is the fleet-wide rack-major
+:class:`AstraTopology`, the record streams are the per-cluster binary
+mirrors with node ids lifted to fleet-global and re-sorted by time --
+so every experiment in :mod:`repro.experiments.registry` runs unchanged
+over a fleet handle.  When a :class:`~repro.fleet.engine.FleetResult`
+is supplied, its exactly-merged fault stream pre-warms the campaign's
+fault cache, so no experiment ever re-coalesces the concatenated
+stream.
+
+Record streams are read through ``load_records(mmap=True)`` by default:
+each cluster's mirror is a read-only view until the single fleet-wide
+concatenation copies it, so peak memory is one fleet-wide array, not
+two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.types import ERROR_DTYPE
+from repro.fleet.spec import Fleet
+from repro.logs.ingest import IngestStats
+from repro.logs.store import load_records
+from repro.synth.het import HET_DTYPE
+from repro.synth.replacements import REPLACEMENT_DTYPE
+
+
+def _concat_offset(fleet: Fleet, npy_name: str, dtype, mmap: bool = True):
+    """Concatenate one family across clusters: offset nodes, sort by time."""
+    views = []
+    for i, cdir in enumerate(fleet.cluster_dirs):
+        views.append(
+            (
+                load_records(cdir / npy_name, dtype, mmap=mmap),
+                fleet.spec.node_offset(i),
+            )
+        )
+    out = np.empty(sum(v.size for v, _ in views), dtype=dtype)
+    pos = 0
+    for view, offset in views:
+        out[pos : pos + view.size] = view
+        if offset and view.size:
+            out["node"][pos : pos + view.size] += offset
+        pos += view.size
+    return out[np.argsort(out["time"], kind="stable")]
+
+
+def fleet_errors(fleet: Fleet, mmap: bool = True) -> np.ndarray:
+    """The fleet-wide CE stream: node-offset, time-ordered."""
+    return _concat_offset(fleet, "errors.npy", ERROR_DTYPE, mmap=mmap)
+
+
+def _binary_stats(family: str, size: int) -> IngestStats:
+    return IngestStats(
+        family=family, seen=int(size), parsed=int(size), source="binary"
+    )
+
+
+def fleet_campaign(fleet: Fleet, result=None, mmap: bool = True):
+    """Build the fleet-wide Campaign handle.
+
+    ``result`` (a :class:`~repro.fleet.engine.FleetResult`) pre-warms
+    the fault cache with the shard-merged stream and carries the error
+    family's ingest accounting (which, for text-sourced fleets, records
+    quarantine counts the binary mirrors cannot).  The campaign keeps
+    the *per-machine* ``scale`` and sets ``machines = n_clusters``: the
+    fleet is ``n_clusters`` Astra-sized machines each carrying
+    ``scale`` of the paper's volume, so intensive paper checks
+    (fractions, per-DIMM rates) apply unchanged and extensive totals
+    multiply by ``machines``.
+    """
+    from repro.machine.cooling import CoolingModel
+    from repro.machine.dram import AddressMap
+    from repro.machine.node import NodeConfig
+    from repro.synth.campaign import Campaign
+    from repro.synth.config import PaperCalibration
+    from repro.synth.sensors import SensorFieldModel
+
+    errors = _concat_offset(fleet, "errors.npy", ERROR_DTYPE, mmap=mmap)
+    replacements = _concat_offset(
+        fleet, "replacements.npy", REPLACEMENT_DTYPE, mmap=mmap
+    )
+    het = _concat_offset(fleet, "het.npy", HET_DTYPE, mmap=mmap)
+    topology = fleet.spec.fleet_topology()
+    campaign = Campaign(
+        seed=fleet.spec.seed,
+        scale=fleet.spec.scale,
+        machines=fleet.spec.n_clusters,
+        calibration=PaperCalibration(),
+        topology=topology,
+        node_config=NodeConfig(),
+        address_map=AddressMap(),
+        population=None,
+        errors=errors,
+        replacements=replacements,
+        het=het,
+        sensors=SensorFieldModel(
+            seed=fleet.spec.seed, cooling=CoolingModel(topology=topology)
+        ),
+        ingest={
+            "errors": (
+                result.ingest if result is not None
+                else _binary_stats("errors", errors.size)
+            ),
+            "replacements": _binary_stats("replacements", replacements.size),
+            "het": _binary_stats("het", het.size),
+        },
+    )
+    if result is not None:
+        campaign._faults_cache = result.faults
+    return campaign

@@ -1,0 +1,121 @@
+"""Synthesising a fleet directory: one campaign per cluster.
+
+Each cluster is generated with its own deterministic seed (see
+:meth:`FleetSpec.cluster_seed`) at the fleet's common scale, and written
+as an ordinary campaign directory -- so every cluster remains
+analysable on its own with the single-machine tooling.  Generation can
+go through a :class:`~repro.run.cache.CampaignCache` (the per-cluster
+(seed, scale, calibration) key is exactly the cache's key), which makes
+re-synthesising a fleet after deleting its directory a pure cache read.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.fleet.spec import Fleet, FleetFormatError, FleetSpec
+from repro.logs.campaign_io import write_campaign
+from repro.machine.topology import AstraTopology
+from repro.synth.campaign import CampaignGenerator
+
+
+def _backfill_text_logs(fleet: Fleet) -> None:
+    """Write missing ce.log/het.log from a cluster's binary mirrors.
+
+    Lets ``--source text`` work on a fleet originally synthesised
+    binary-only without re-generating any campaign: the text emitters
+    take the record arrays directly, so the logs are identical to what
+    synthesis with ``text_logs=True`` would have written.
+    """
+    from repro.faults.types import ERROR_DTYPE
+    from repro.logs.het import write_het_log
+    from repro.logs.store import load_records
+    from repro.logs.syslog import write_ce_log
+    from repro.synth.het import HET_DTYPE
+
+    for cdir in fleet.cluster_dirs:
+        if not (cdir / "ce.log").exists():
+            write_ce_log(
+                load_records(cdir / "errors.npy", ERROR_DTYPE, mmap=True),
+                cdir / "ce.log",
+            )
+        if not (cdir / "het.log").exists():
+            write_het_log(
+                load_records(cdir / "het.npy", HET_DTYPE, mmap=True),
+                cdir / "het.log",
+            )
+
+
+def synth_fleet(
+    spec: FleetSpec,
+    directory: str | os.PathLike,
+    text_logs: bool = False,
+    shards: bool = True,
+    cache=None,
+    force: bool = False,
+) -> Fleet:
+    """Materialise ``spec`` under ``directory``; returns the Fleet handle.
+
+    An existing manifest matching the spec short-circuits (the fleet is
+    already on disk) unless ``force`` re-synthesises every cluster.
+    ``shards`` additionally writes per-rack error shards inside each
+    cluster directory -- the finer task granularity the fleet engine
+    prefers.  ``text_logs`` writes the paper-faithful ``ce.log`` /
+    ``het.log`` per cluster (slow at fleet sizes; needed only for the
+    text-ingest path).  ``cache`` is an optional ``CampaignCache``;
+    cache reuse requires the spec's per-cluster topology to be the stock
+    Astra shape, since the cache keys campaigns by (seed, scale,
+    calibration) only.
+    """
+    from repro import obs
+
+    directory = Path(directory)
+    if not force:
+        try:
+            existing = Fleet.load(directory)
+        except FleetFormatError:
+            pass
+        else:
+            if existing.spec == spec and all(
+                (d / "manifest.txt").exists() for d in existing.cluster_dirs
+            ):
+                if text_logs:
+                    _backfill_text_logs(existing)
+                obs.count("fleet.synth.reused")
+                return existing
+
+    use_cache = cache is not None and spec.base_topology == AstraTopology()
+    fleet = Fleet(spec=spec, directory=directory)
+    with obs.span(
+        "fleet.synth",
+        attrs={"n_clusters": spec.n_clusters, "scale": spec.scale},
+    ):
+        for i in range(spec.n_clusters):
+            seed = spec.cluster_seed(i)
+            with obs.span(
+                "fleet.synth.cluster",
+                prune=True,
+                attrs={"cluster": spec.cluster_name(i), "seed": seed},
+            ):
+                if use_cache:
+                    campaign, _outcome = cache.get_or_generate(
+                        seed=seed, scale=spec.scale
+                    )
+                else:
+                    campaign = CampaignGenerator(
+                        seed=seed,
+                        scale=spec.scale,
+                        topology=spec.base_topology,
+                    ).generate()
+                write_campaign(
+                    campaign,
+                    fleet.cluster_dir(i),
+                    text_logs=text_logs,
+                    shards=shards,
+                )
+                fleet.n_errors.append(campaign.n_errors)
+            obs.count("fleet.clusters_synthesized")
+            obs.count("fleet.errors_synthesized", campaign.n_errors)
+    fleet.save()
+    return fleet

@@ -4,12 +4,17 @@ Usage::
 
     python -m repro.logs.bench_compare old.json new.json [--tolerance 0.10]
 
-Reads two reports written by ``benchmarks/bench_ingest.py`` and compares
-the fast-gear wall time of every (family, op) present in both.  A new
-time more than the tolerance above the old one is a regression; any
-regression exits 1 so CI can gate on it.  Ops present in only one
-report are listed but never fail the comparison (families and measured
-ops may legitimately change between baselines).
+Reads two reports written by ``benchmarks/bench_ingest.py`` (or any
+report sharing its ``results.<family>.<op>.fast_s`` shape, e.g.
+``benchmarks/bench_fleet.py``) and compares the fast-gear wall time of
+every (family, op) present in both.  A new time more than the tolerance
+above the old one is a regression; only true regressions exit 1 so CI
+can gate on them.  A family or op present in one side only is reported
+as ``new`` (candidate only) or ``removed`` (baseline only) and never
+fails the comparison -- an old baseline legitimately predates newly
+added families, and retired ops legitimately disappear.  Entries that
+are not measurement dicts (annotations, malformed hand edits) are
+skipped rather than crashing the diff.
 
 The tolerance defaults to ``$ASTRA_MEMREPRO_BENCH_TOLERANCE`` if set,
 else 0.10; ``--threshold`` is accepted as a legacy alias of
@@ -37,13 +42,30 @@ def default_tolerance() -> float:
 
 
 def load_times(path: Path) -> dict:
-    """{(family, op): fast seconds} from a bench_ingest report."""
+    """{(family, op): fast seconds} from a bench report.
+
+    Tolerant by design: a family whose value is not a dict of ops, an
+    op that is not a measurement dict, or a ``fast_s`` that is not a
+    finite number is skipped -- comparing against an older or
+    hand-annotated baseline must degrade to "fewer comparable ops",
+    never crash.
+    """
     report = json.loads(path.read_text())
+    results = report.get("results", {})
+    if not isinstance(results, dict):
+        return {}
     out = {}
-    for family, ops in report.get("results", {}).items():
+    for family, ops in results.items():
+        if not isinstance(ops, dict):
+            continue
         for op, r in ops.items():
-            if isinstance(r, dict) and "fast_s" in r:
-                out[(family, op)] = float(r["fast_s"])
+            if not isinstance(r, dict):
+                continue
+            try:
+                fast_s = float(r["fast_s"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            out[(family, op)] = fast_s
     return out
 
 
@@ -52,7 +74,11 @@ def compare(old: dict, new: dict, threshold: float) -> tuple[list, list, list]:
     regressions, improvements, uncompared = [], [], []
     for key in sorted(old.keys() | new.keys()):
         if key not in old or key not in new:
-            uncompared.append((key, "old only" if key in old else "new only"))
+            # One-sided ops are informational, never failures: "removed"
+            # means the baseline measured something the candidate no
+            # longer does; "new" means the candidate added a family or
+            # op the baseline predates.
+            uncompared.append((key, "removed" if key in old else "new"))
             continue
         o, n = old[key], new[key]
         ratio = n / o if o > 0 else float("inf")
@@ -88,7 +114,7 @@ def main(argv=None) -> int:
         print(f"improved    {family}/{op}: {o:.4f}s -> {n:.4f}s "
               f"({(ratio - 1) * 100:+.1f}%)")
     for (family, op), side in uncompared:
-        print(f"uncompared  {family}/{op} ({side})")
+        print(f"{side:<11} {family}/{op} (not compared)")
     if regressions:
         print(f"{len(regressions)} regression(s) beyond "
               f"{tolerance:.0%}", file=sys.stderr)

@@ -289,6 +289,14 @@ def _merge_ordered(fast_out, fast_pos, slow_out, slow_pos):
     """Interleave fast-parsed and fallback rows back into file order."""
     if not len(slow_out):
         return fast_out
+    merge = getattr(fast_out, "merge_ordered", None)
+    if merge is not None:
+        # Containers with a bulk-insertion layout (e.g. the inventory
+        # family's run structure) splice the few fallback rows in
+        # without materialising a tuple per fast row -- degrading every
+        # row to the generic sorted-pairs path was the two-gear tax
+        # that made corrupted inventory ingest slower than per-line.
+        return merge(fast_pos, slow_out, slow_pos)
     if isinstance(fast_out, np.ndarray):
         if not len(fast_out):
             return slow_out

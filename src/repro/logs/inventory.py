@@ -217,6 +217,9 @@ def _parse_snapshot_line(line: str) -> tuple:
 
 _COMP_NAMES = tuple(_KIND_BY_NAME)
 _COMP_VOCAB = [name.encode() for name in _COMP_NAMES]
+#: Object-dtype mirror of ``_COMP_NAMES`` so the fast gear can expand
+#: match indices to interned name strings with one C-level take.
+_COMP_NAME_ARR = np.array(_COMP_NAMES, dtype=object)
 
 
 class _SnapshotBatch:
@@ -253,6 +256,51 @@ class _SnapshotBatch:
                 zip(self.keys[a:b], self.serials[a:b])
             )
 
+    def merge_ordered(self, fast_pos, slow_rows, slow_pos):
+        """Splice fallback rows back into file order, keeping the runs.
+
+        Fallback rows are rare even on heavily corrupted files, so each
+        joins as its own length-1 run between the split fast runs; the
+        consumer keeps the bulk :meth:`apply` path instead of degrading
+        the whole chunk to per-row tuples (C-level slice extends do the
+        copying, ``searchsorted`` finds the splice points).
+        """
+        ins = np.searchsorted(
+            np.asarray(fast_pos), np.asarray(slow_pos)
+        ).tolist()
+        keys, serials = self.keys, self.serials
+        out_runs: list[tuple[str, int, int]] = []
+        out_keys: list = []
+        out_serials: list = []
+
+        def copy_fast(date, a, b):
+            if a >= b:
+                return
+            start = len(out_keys)
+            out_keys.extend(keys[a:b])
+            out_serials.extend(serials[a:b])
+            out_runs.append((date, start, len(out_keys)))
+
+        def copy_slow(row):
+            date, key, serial = row
+            start = len(out_keys)
+            out_keys.append(key)
+            out_serials.append(serial)
+            out_runs.append((date, start, start + 1))
+
+        j = 0
+        for date, a, b in self.runs:
+            cursor = a
+            while j < len(ins) and ins[j] < b:
+                copy_fast(date, cursor, ins[j])
+                copy_slow(slow_rows[j])
+                cursor = ins[j]
+                j += 1
+            copy_fast(date, cursor, b)
+        for row in slow_rows[j:]:
+            copy_slow(row)
+        return _SnapshotBatch(out_runs, out_keys, out_serials)
+
 
 def _fast_snapshot_chunk(chunk):
     """Column-validate snapshot lines; returns ``(batch, ok)``.
@@ -278,8 +326,8 @@ def _fast_snapshot_chunk(chunk):
         return _SnapshotBatch([], [], []), ok
     s = data.tobytes().decode("ascii")
     sel = np.flatnonzero(ok)
-    runs = _date_runs(data, ts[sel, 0], te[sel, 0], s)
-    comps = [_COMP_NAMES[c] for c in comp[sel].tolist()]
+    runs = _date_runs(data, ts[sel, 0], te[sel, 0])
+    comps = _COMP_NAME_ARR[comp[sel]].tolist()
     serials = [
         s[u:v] for u, v in zip(ts[sel, 4].tolist(), te[sel, 4].tolist())
     ]
@@ -287,34 +335,36 @@ def _fast_snapshot_chunk(chunk):
     return _SnapshotBatch(runs, keys, serials), ok
 
 
-def _date_runs(data, d0, d1, s: str) -> list[tuple[str, int, int]]:
+def _date_runs(data, d0, d1) -> list[tuple[str, int, int]]:
     """Runs of equal date tokens, decoding each run's string once.
 
     Snapshot files hold one scan per day, so the date column is constant
     for tens of thousands of consecutive rows; a chunk yields a handful
-    of runs instead of one string slice per row.
+    of runs instead of one string slice per row.  Mixed token widths
+    (corrupted-but-parseable rows) segment the chunk into maximal
+    equal-width spans first: equal tokens have equal widths, so no run
+    can span a segment boundary and every segment keeps the vectorised
+    matrix compare -- one odd-width token no longer demotes the whole
+    chunk to a per-row Python loop.
     """
     if d0.size == 0:
         return []
     w = d1 - d0
-    if np.any(w != w[0]):
-        # Irregular token widths: slice per row, then group neighbours.
-        toks = [s[a:b] for a, b in zip(d0.tolist(), d1.tolist())]
-        runs = []
-        prev, start = toks[0], 0
-        for i in range(1, len(toks)):
-            if toks[i] != prev:
-                runs.append((prev, start, i))
-                prev, start = toks[i], i
-        runs.append((prev, start, len(toks)))
-        return runs
-    mat = data[d0[:, None] + np.arange(int(w[0]))[None, :]]
-    diff = np.any(mat[1:] != mat[:-1], axis=1)
-    starts = np.concatenate(([0], np.flatnonzero(diff) + 1, [mat.shape[0]]))
-    return [
-        (mat[a].tobytes().decode("ascii"), a, b)
-        for a, b in zip(starts[:-1].tolist(), starts[1:].tolist())
-    ]
+    bounds = np.flatnonzero(np.concatenate(([True], w[1:] != w[:-1])))
+    bounds = np.append(bounds, w.size)
+    runs: list[tuple[str, int, int]] = []
+    for a, b in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+        width = int(w[a])
+        mat = data[d0[a:b, None] + np.arange(width)[None, :]]
+        diff = np.any(mat[1:] != mat[:-1], axis=1)
+        starts = np.concatenate(
+            ([a], np.flatnonzero(diff) + 1 + a, [b])
+        )
+        runs.extend(
+            (mat[i - a].tobytes().decode("ascii"), i, j)
+            for i, j in zip(starts[:-1].tolist(), starts[1:].tolist())
+        )
+    return runs
 
 
 def ingest_inventory_snapshots(

@@ -1,10 +1,24 @@
-"""Binary record store with per-rack sharding.
+"""Binary record store with per-rack sharding and memory-mapped reads.
 
 Text logs are the interchange format; repeated analysis runs want
 something faster.  ``save_records``/``load_records`` wrap ``.npy`` files
 with dtype checking, and :func:`shard_by_rack` splits an error stream
 into one file per rack -- the unit of work for the shard-parallel engine
-(:mod:`repro.parallel`).
+(:mod:`repro.parallel`) and the fleet engine (:mod:`repro.fleet`).
+
+Loading supports two modes:
+
+- eager (default): the whole array is read into memory;
+- memory-mapped (``mmap=True``): ``np.load(mmap_mode="r")`` returns a
+  read-only view backed by the page cache, so fleet-scale aggregation
+  can stream per-shard slices without rehydrating 100M+ rows at once.
+  :func:`iter_shards` yields those zero-copy views one shard at a time.
+
+Zero-row shards are legal everywhere: an empty rack's file loads back
+as an empty array of the stored dtype (numpy cannot always map a
+zero-length buffer, so those fall back to an eager load), and
+``shard_by_rack(..., include_empty=True)`` writes one shard per rack so
+even an empty stream round-trips its dtype through the shard set.
 """
 
 from __future__ import annotations
@@ -24,9 +38,24 @@ def save_records(path: str | os.PathLike, records: np.ndarray) -> None:
     np.save(path, records, allow_pickle=False)
 
 
-def load_records(path: str | os.PathLike, expected_dtype=None) -> np.ndarray:
-    """Load a structured record array, optionally checking its dtype."""
-    out = np.load(path, allow_pickle=False)
+def load_records(
+    path: str | os.PathLike, expected_dtype=None, mmap: bool = False
+) -> np.ndarray:
+    """Load a structured record array, optionally checking its dtype.
+
+    ``mmap`` opens the file memory-mapped read-only -- a zero-copy view
+    whose pages are faulted in on access, the unit the fleet engine
+    aggregates over.  Zero-row files (an empty rack's shard) cannot be
+    mapped on every platform and are loaded eagerly instead; they are
+    header-only, so the fallback costs nothing.
+    """
+    if mmap:
+        try:
+            out = np.load(path, mmap_mode="r", allow_pickle=False)
+        except ValueError:
+            out = np.load(path, allow_pickle=False)
+    else:
+        out = np.load(path, allow_pickle=False)
     if out.dtype.names is None:
         raise ValueError(f"{path}: not a structured record file")
     if expected_dtype is not None and out.dtype != expected_dtype:
@@ -41,12 +70,15 @@ def shard_by_rack(
     directory: str | os.PathLike,
     topology: AstraTopology | None = None,
     prefix: str = "errors-rack",
+    include_empty: bool = False,
 ) -> list[Path]:
     """Split an error stream into one npy shard per rack.
 
-    Only racks that actually contain records get a shard.  Returns the
-    shard paths in rack order; shards concatenate back (after a time
-    sort) to the original stream.
+    By default only racks that actually contain records get a shard;
+    ``include_empty`` writes a (zero-row) shard for every rack, so a
+    shard set always round-trips the stream's dtype -- including the
+    degenerate empty stream.  Returns the shard paths in rack order;
+    shards concatenate back (after a time sort) to the original stream.
     """
     topo = topology or AstraTopology()
     directory = Path(directory)
@@ -58,7 +90,7 @@ def shard_by_rack(
     paths = []
     for rack in range(topo.n_racks):
         shard = errors[racks == rack]
-        if shard.size == 0:
+        if shard.size == 0 and not include_empty:
             continue
         path = directory / f"{prefix}{rack:0{width}d}.npy"
         save_records(path, shard)
@@ -66,14 +98,29 @@ def shard_by_rack(
     return paths
 
 
-def load_shards(paths, expected_dtype=None) -> np.ndarray:
+def iter_shards(paths, expected_dtype=None, mmap: bool = True):
+    """Yield one (memory-mapped) view per shard, in the given order.
+
+    The streaming complement of :func:`load_shards`: per-shard
+    aggregation touches one shard's pages at a time instead of
+    materialising the concatenated stream.
+    """
+    for path in paths:
+        yield load_records(path, expected_dtype, mmap=mmap)
+
+
+def load_shards(paths, expected_dtype=None, mmap: bool = False) -> np.ndarray:
     """Concatenate shards back into one stream.
 
     Streams with a ``"time"`` field come back time-ordered; structured
     arrays without one (e.g. derived or aggregate records) concatenate
-    in shard order.
+    in shard order.  ``mmap`` reads each shard as a view (the
+    concatenation itself still materialises; use :func:`iter_shards`
+    when the whole stream should never exist in memory).  A shard set
+    whose files hold zero rows total returns an empty array of the
+    stored dtype instead of raising.
     """
-    parts = [load_records(p, expected_dtype) for p in paths]
+    parts = [load_records(p, expected_dtype, mmap=mmap) for p in paths]
     if not parts:
         if expected_dtype is None:
             raise ValueError("no shards and no dtype to build an empty array")

@@ -314,6 +314,56 @@ def ingest_ce_log(
     return ParseResult(errors=out, stats=stats)
 
 
+def stream_ce_batches(
+    path: str | os.PathLike,
+    policy: IngestPolicy | str = IngestPolicy.REPAIR,
+    quarantine: bool = True,
+    fast: bool = True,
+    stats: IngestStats | None = None,
+    chunk_records: int = 100_000,
+):
+    """Stream a CE log as ERROR_DTYPE batches under an ingest policy.
+
+    The block-granular two-gear reader of :func:`ingest_ce_log` without
+    materialising the whole stream: each yielded batch is ready for
+    online aggregation (e.g. ``OnlineCoalescer.add``, whose result is
+    batching-insensitive).  ``stats`` -- an :class:`IngestStats`,
+    created when ``None`` -- accumulates the same per-line accounting as
+    :func:`ingest_ce_log`, minus the cross-stream time re-sort: like
+    :func:`iter_ce_log`, repair applies per line only, so out-of-order
+    timestamps are not reclassified as repairs.
+    """
+    policy = IngestPolicy.coerce(policy)
+    if stats is None:
+        stats = IngestStats(family="errors", source="text")
+    sidecar = Quarantine(path) if quarantine else None
+    repair = _repair_line if policy is IngestPolicy.REPAIR else None
+    try:
+        if fastpath_enabled(fast):
+            with open(path, "rb") as fh:
+                yield from ingest_stream_fast(
+                    fh, _parse_line, stats, policy, sidecar, repair,
+                    fast_chunk=_fast_ce_chunk,
+                    rows_to_records=_rows_to_array,
+                )
+        else:
+            rows: list[dict] = []
+            with open(path) as fh:
+                for row in ingest_lines(
+                    fh, _parse_line, stats, policy, sidecar, repair
+                ):
+                    rows.append(row)
+                    if len(rows) >= chunk_records:
+                        yield _rows_to_array(rows)
+                        rows = []
+            if rows:
+                yield _rows_to_array(rows)
+        stats.check_invariant()
+    finally:
+        if sidecar is not None:
+            sidecar.flush()
+
+
 def read_ce_log(path: str | os.PathLike, strict: bool = False) -> ParseResult:
     """Parse a CE syslog file back into an ERROR_DTYPE array.
 

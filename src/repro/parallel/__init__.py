@@ -13,12 +13,13 @@ aggregation is a sum of per-rack partials).  This subpackage provides:
 """
 
 from repro.parallel.sharding import shard_errors, merge_counts, merge_fault_arrays
-from repro.parallel.executor import ShardMapReduce, parallel_coalesce
+from repro.parallel.executor import ShardMapReduce, map_tasks, parallel_coalesce
 
 __all__ = [
     "shard_errors",
     "merge_counts",
     "merge_fault_arrays",
     "ShardMapReduce",
+    "map_tasks",
     "parallel_coalesce",
 ]

@@ -10,14 +10,15 @@ baseline and the fallback for restricted environments.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
-from repro.faults.coalesce import CoalesceOptions, coalesce
+from repro.faults.coalesce import CoalesceOptions, coalesce, merge_shard_faults
 from repro.machine.topology import AstraTopology
-from repro.parallel.sharding import merge_fault_arrays, shard_errors
+from repro.parallel.sharding import shard_errors
 
 
 @dataclass
@@ -33,12 +34,32 @@ class ShardMapReduce:
         shards = shard_errors(errors, topology)
         if not shards:
             return self.reduce_fn([])
-        if self.n_workers <= 0 or len(shards) == 1:
-            partials = [self.map_fn(s) for s in shards]
-        else:
-            with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
-                partials = list(pool.map(self.map_fn, shards))
-        return self.reduce_fn(partials)
+        return self.reduce_fn(map_tasks(self.map_fn, shards, self.n_workers))
+
+
+def map_tasks(map_fn: Callable, tasks: list, n_workers: int = 0) -> list:
+    """Map a module-level callable over tasks, ``n_workers``-way parallel.
+
+    The generic scheduler under :class:`ShardMapReduce` and the fleet
+    engine: results come back in task order regardless of completion
+    order (determinism is what makes parallel answers byte-identical to
+    serial ones), and a pool that cannot come up or breaks mid-run
+    (restricted environments, OOM-killed workers) degrades to finishing
+    the remaining tasks serially in the parent rather than failing.
+    """
+    if n_workers <= 1 or len(tasks) <= 1:
+        return [map_fn(t) for t in tasks]
+    results: dict[int, object] = {}
+    try:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = {i: pool.submit(map_fn, t) for i, t in enumerate(tasks)}
+            for i, future in futures.items():
+                results[i] = future.result()
+    except (BrokenProcessPool, OSError):
+        pass
+    return [
+        results[i] if i in results else map_fn(t) for i, t in enumerate(tasks)
+    ]
 
 
 def _coalesce_shard(shard: np.ndarray) -> np.ndarray:
@@ -54,23 +75,11 @@ def parallel_coalesce(
 
     Exactness follows from the coalescing key never spanning racks; the
     merged fault array is re-sorted to the serial (node, slot, rank,
-    bank) order.
+    bank) order by :func:`repro.faults.coalesce.merge_shard_faults`.
     """
     engine = ShardMapReduce(
-        map_fn=_coalesce_shard, reduce_fn=_merge_sorted, n_workers=n_workers
+        map_fn=_coalesce_shard,
+        reduce_fn=merge_shard_faults,
+        n_workers=n_workers,
     )
     return engine.run(errors, topology)
-
-
-def _merge_sorted(partials: list[np.ndarray]) -> np.ndarray:
-    from repro.faults.types import empty_faults
-
-    if not partials:
-        return empty_faults(0)
-    merged = merge_fault_arrays(partials)
-    order = np.lexsort(
-        (merged["bank"], merged["rank"], merged["slot"], merged["node"])
-    )
-    out = merged[order]
-    out["fault_id"] = np.arange(out.size)
-    return out

@@ -51,6 +51,12 @@ class Campaign:
     #: campaign was loaded from stored telemetry; empty for campaigns
     #: generated in memory (perfect coverage).
     ingest: dict = field(default_factory=dict, repr=False)
+    #: Number of Astra-sized machines the topology spans (1 for the
+    #: paper's single system; > 1 for fleet campaigns).  ``scale`` stays
+    #: per machine, so intensive checks (fractions, per-DIMM rates,
+    #: per-fault extremes) compare against the paper unchanged while
+    #: extensive totals multiply by ``machines``.
+    machines: int = 1
     _faults_cache: np.ndarray | None = field(default=None, repr=False)
 
     @property

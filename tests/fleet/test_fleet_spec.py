@@ -1,0 +1,128 @@
+"""Fleet layout and manifest round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.fleet import (
+    Fleet,
+    FleetFormatError,
+    FleetSpec,
+    MANIFEST_NAME,
+    synth_fleet,
+)
+from repro.machine.topology import AstraTopology
+
+
+class TestFleetSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetSpec(n_clusters=0)
+        with pytest.raises(ValueError):
+            FleetSpec(n_clusters=2, scale=0.0)
+
+    def test_cluster_names_pad_and_sort(self):
+        spec = FleetSpec(n_clusters=120)
+        names = [spec.cluster_name(i) for i in (0, 5, 99, 119)]
+        assert names == [
+            "cluster-000", "cluster-005", "cluster-099", "cluster-119",
+        ]
+        assert sorted(names) == names
+        assert FleetSpec(n_clusters=2).cluster_name(1) == "cluster-01"
+
+    def test_node_offsets_are_rack_major_contiguous(self):
+        spec = FleetSpec(n_clusters=3)
+        per = spec.base_topology.n_nodes
+        assert [spec.node_offset(i) for i in range(3)] == [0, per, 2 * per]
+        fleet_topo = spec.fleet_topology()
+        assert fleet_topo.n_racks == 3 * spec.base_topology.n_racks
+        assert fleet_topo.n_nodes == 3 * per
+
+    def test_cluster_seeds_distinct_and_deterministic(self):
+        spec = FleetSpec(n_clusters=8, seed=42)
+        seeds = [spec.cluster_seed(i) for i in range(8)]
+        assert len(set(seeds)) == 8
+        assert seeds == [FleetSpec(n_clusters=8, seed=42).cluster_seed(i)
+                         for i in range(8)]
+
+    def test_index_bounds(self):
+        spec = FleetSpec(n_clusters=2)
+        with pytest.raises(IndexError):
+            spec.cluster_name(2)
+        with pytest.raises(IndexError):
+            spec.node_offset(-1)
+
+
+class TestManifest:
+    def test_roundtrip(self, tmp_path):
+        spec = FleetSpec(n_clusters=3, seed=9, scale=0.25)
+        Fleet(spec=spec, directory=tmp_path, n_errors=[1, 2, 3]).save()
+        loaded = Fleet.load(tmp_path)
+        assert loaded.spec == spec
+        assert loaded.n_errors == [1, 2, 3]
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(FleetFormatError, match="fleet.json missing"):
+            Fleet.load(tmp_path)
+
+    def test_garbage_manifest(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(FleetFormatError, match="unreadable"):
+            Fleet.load(tmp_path)
+
+    def test_wrong_kind_and_version(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps({"kind": "other"}))
+        with pytest.raises(FleetFormatError, match="not an astra-memrepro"):
+            Fleet.load(tmp_path)
+        doc = Fleet(
+            spec=FleetSpec(n_clusters=1), directory=tmp_path
+        ).to_dict()
+        doc["schema_version"] = 99
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(doc))
+        with pytest.raises(FleetFormatError, match="schema_version"):
+            Fleet.load(tmp_path)
+
+    def test_custom_topology_survives_roundtrip(self, tmp_path):
+        spec = FleetSpec(
+            n_clusters=2, base_topology=AstraTopology(n_racks=6)
+        )
+        Fleet(spec=spec, directory=tmp_path).save()
+        assert Fleet.load(tmp_path).spec.base_topology.n_racks == 6
+
+
+class TestSynth:
+    def test_synth_writes_valid_clusters_and_reuses(self, tmp_path):
+        spec = FleetSpec(n_clusters=2, seed=3, scale=0.002)
+        fleet = synth_fleet(spec, tmp_path / "f")
+        assert (tmp_path / "f" / MANIFEST_NAME).exists()
+        for cdir in fleet.cluster_dirs:
+            assert (cdir / "manifest.txt").exists()
+            assert (cdir / "errors.npy").exists()
+            assert sorted((cdir / "shards").glob("errors-rack*.npy"))
+        mtime = (fleet.cluster_dir(0) / "errors.npy").stat().st_mtime_ns
+        again = synth_fleet(spec, tmp_path / "f")
+        assert again.spec == spec
+        assert (
+            again.cluster_dir(0) / "errors.npy"
+        ).stat().st_mtime_ns == mtime  # reused, not regenerated
+
+    def test_text_log_backfill_on_reuse(self, tmp_path):
+        spec = FleetSpec(n_clusters=1, seed=3, scale=0.002)
+        fleet = synth_fleet(spec, tmp_path / "f")  # binary-only
+        assert not (fleet.cluster_dir(0) / "ce.log").exists()
+        fleet = synth_fleet(spec, tmp_path / "f", text_logs=True)
+        assert (fleet.cluster_dir(0) / "ce.log").exists()
+        assert (fleet.cluster_dir(0) / "het.log").exists()
+
+    def test_clusters_differ(self, tmp_path):
+        import numpy as np
+
+        from repro.faults.types import ERROR_DTYPE
+        from repro.logs.store import load_records
+
+        fleet = synth_fleet(
+            FleetSpec(n_clusters=2, seed=3, scale=0.002), tmp_path / "f"
+        )
+        a = load_records(fleet.cluster_dir(0) / "errors.npy", ERROR_DTYPE)
+        b = load_records(fleet.cluster_dir(1) / "errors.npy", ERROR_DTYPE)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,64 @@
+"""Regression tests for the benchmark report differ (PR 6 bugfix)."""
+
+import json
+
+from repro.logs.bench_compare import compare, load_times, main
+
+
+def _write_report(path, results):
+    path.write_text(json.dumps({"schema": 1, "results": results}))
+    return path
+
+
+class TestOneSidedFamilies:
+    def test_new_and_removed_labels(self):
+        old = {("ce", "emit"): 1.0, ("legacy", "ingest-clean"): 2.0}
+        new = {("ce", "emit"): 1.0, ("fleet", "aggregate"): 3.0}
+        regressions, improvements, uncompared = compare(old, new, 0.10)
+        assert regressions == [] and improvements == []
+        assert (("fleet", "aggregate"), "new") in uncompared
+        assert (("legacy", "ingest-clean"), "removed") in uncompared
+
+    def test_one_sided_family_does_not_fail_exit_code(self, tmp_path, capsys):
+        old = _write_report(
+            tmp_path / "old.json",
+            {"ce": {"emit": {"fast_s": 1.0}}},
+        )
+        new = _write_report(
+            tmp_path / "new.json",
+            {"ce": {"emit": {"fast_s": 1.0}},
+             "fleet": {"aggregate": {"fast_s": 9.9}}},
+        )
+        assert main([str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "new" in out and "fleet/aggregate" in out
+
+    def test_true_regression_still_exits_one(self, tmp_path):
+        old = _write_report(
+            tmp_path / "old.json", {"ce": {"emit": {"fast_s": 1.0}}}
+        )
+        new = _write_report(
+            tmp_path / "new.json",
+            {"ce": {"emit": {"fast_s": 2.0}},
+             "only-new": {"op": {"fast_s": 1.0}}},
+        )
+        assert main([str(old), str(new)]) == 1
+
+
+class TestMalformedEntries:
+    def test_non_dict_and_null_entries_are_skipped(self, tmp_path):
+        path = _write_report(
+            tmp_path / "r.json",
+            {
+                "ce": {"emit": {"fast_s": 1.5}, "note": "hand annotation"},
+                "comment": "not an ops dict",
+                "het": {"ingest-clean": {"fast_s": None}},
+                "bmc": {"ingest-clean": {"slow_s": 2.0}},
+            },
+        )
+        assert load_times(path) == {("ce", "emit"): 1.5}
+
+    def test_results_not_a_dict(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text(json.dumps({"results": ["oops"]}))
+        assert load_times(path) == {}

@@ -3,7 +3,13 @@
 import numpy as np
 
 from repro.faults.types import ERROR_DTYPE, empty_errors
-from repro.logs.store import load_shards, save_records, shard_by_rack
+from repro.logs.store import (
+    iter_shards,
+    load_records,
+    load_shards,
+    save_records,
+    shard_by_rack,
+)
 from repro.machine.topology import AstraTopology
 
 #: A structured layout with no "time" field (like aggregate records).
@@ -71,3 +77,61 @@ class TestShardFilenamePadding:
         out = load_shards(paths, expected_dtype=ERROR_DTYPE)
         assert out.size == errors.size
         np.testing.assert_array_equal(np.sort(out["node"]), np.sort(errors["node"]))
+
+
+class TestEmptyShards:
+    """Zero-row shard files must round-trip, not raise (PR 6 bugfix)."""
+
+    def test_zero_row_shard_loads_to_expected_dtype(self, tmp_path):
+        save_records(tmp_path / "empty.npy", empty_errors(0))
+        for mmap in (False, True):
+            out = load_records(tmp_path / "empty.npy", ERROR_DTYPE, mmap=mmap)
+            assert out.size == 0 and out.dtype == ERROR_DTYPE
+
+    def test_shard_set_with_empty_rack_roundtrips(self, tmp_path):
+        topo = AstraTopology(n_racks=4)
+        errors = empty_errors(3)
+        errors["node"] = [topo.node_id(0, 0, 0), topo.node_id(0, 0, 1),
+                          topo.node_id(2, 0, 0)]
+        errors["time"] = [1.0, 2.0, 3.0]
+        paths = shard_by_rack(errors, tmp_path, topo, include_empty=True)
+        assert len(paths) == topo.n_racks  # racks 1 and 3 are zero-row
+        for mmap in (False, True):
+            out = load_shards(paths, expected_dtype=ERROR_DTYPE, mmap=mmap)
+            assert out.size == errors.size
+            assert out["time"].tolist() == [1.0, 2.0, 3.0]
+
+    def test_empty_stream_roundtrips_through_include_empty(self, tmp_path):
+        topo = AstraTopology(n_racks=3)
+        paths = shard_by_rack(empty_errors(0), tmp_path, topo,
+                              include_empty=True)
+        assert len(paths) == 3
+        out = load_shards(paths)  # dtype recovered from the files
+        assert out.size == 0 and out.dtype == ERROR_DTYPE
+
+    def test_empty_stream_without_include_empty_writes_nothing(self, tmp_path):
+        paths = shard_by_rack(empty_errors(0), tmp_path, AstraTopology())
+        assert paths == []
+
+
+class TestMmapViews:
+    def test_mmap_load_is_a_readonly_view(self, tmp_path):
+        errors = empty_errors(5)
+        errors["node"] = np.arange(5)
+        save_records(tmp_path / "e.npy", errors)
+        view = load_records(tmp_path / "e.npy", ERROR_DTYPE, mmap=True)
+        assert isinstance(view, np.memmap)
+        assert not view.flags.writeable
+        np.testing.assert_array_equal(view["node"], errors["node"])
+
+    def test_iter_shards_yields_per_shard_views(self, tmp_path):
+        topo = AstraTopology(n_racks=2)
+        errors = empty_errors(4)
+        errors["node"] = [0, 1, topo.nodes_per_rack, topo.nodes_per_rack + 1]
+        errors["time"] = np.arange(4, dtype=np.float64)
+        paths = shard_by_rack(errors, tmp_path, topo)
+        views = list(iter_shards(paths, ERROR_DTYPE))
+        assert [v.size for v in views] == [2, 2]
+        np.testing.assert_array_equal(
+            np.concatenate(views)["node"], errors["node"]
+        )
