@@ -9,6 +9,8 @@ vectorisable, seedable.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 #: Seconds per day; the study's natural reporting granularity.
@@ -51,6 +53,47 @@ def day_index(times, t0: float) -> np.ndarray:
     t = np.asarray(times, dtype=np.float64)
     out = np.floor((t - t0) / DAY_S).astype(np.int64)
     return out if out.ndim else int(out)
+
+
+def full_jitter_backoff(
+    attempt: int, base_s: float, max_s: float, rng
+) -> float:
+    """Full-jitter exponential backoff delay for retry ``attempt`` (1-based).
+
+    The classic AWS "full jitter" scheme: sample uniformly from
+    ``[0, min(max_s, base_s * 2**(attempt-1))]``.  Jitter decorrelates
+    retries that failed together (a broken pool re-queues several tasks
+    at once; unjittered backoff would stampede them back in lock-step),
+    and the cap keeps the worst-case sleep bounded no matter how many
+    attempts a caller allows.  ``rng`` is a ``random.Random`` (seeded by
+    the caller, so retry schedules are reproducible in tests).
+    """
+    cap = min(float(max_s), float(base_s) * (2.0 ** (max(attempt, 1) - 1)))
+    return rng.uniform(0.0, cap)
+
+
+def fsync_dir(directory) -> None:
+    """fsync a directory so a rename/create inside it survives power loss.
+
+    ``os.replace`` makes a rename atomic with respect to *crashes of the
+    process*, but the new directory entry itself lives in the directory
+    inode -- until that is flushed, a power cut can roll the rename back
+    (or lose a freshly created file entirely).  POSIX requires opening
+    the directory read-only and fsyncing the fd.  Platforms whose
+    directory handles refuse fsync (some network filesystems, Windows)
+    are skipped silently -- the data fsync still happened, this is
+    best-effort hardening of the metadata.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
 
 
 _GAMMA = np.uint64(0x9E3779B97F4A7C15)

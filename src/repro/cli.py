@@ -334,6 +334,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="bypass the campaign cache during synthesis",
     )
+    p_fleet.add_argument(
+        "--resume", action="store_true",
+        help="resume from the fleet ledger: shards committed by an "
+        "interrupted run load from the shard cache instead of re-running "
+        "(the re-reduction is byte-identical to an uninterrupted run)",
+    )
+    p_fleet.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="abandon and retry a shard whose worker exceeds this wall "
+        "time (parallel mode; default: no limit)",
+    )
+    p_fleet.add_argument(
+        "--shard-retries", type=int, default=2, metavar="N",
+        help="re-attempts per shard (full-jitter backoff) before it is "
+        "quarantined and the result degrades (default 2)",
+    )
+    p_fleet.add_argument(
+        "--no-ledger", action="store_true",
+        help="skip the fleet-ledger.jsonl journal and shard cache "
+        "(disables --resume for this run)",
+    )
+    p_fleet.add_argument(
+        "--chaos", choices=("light", "moderate", "hostile"), default=None,
+        help="inject planned process/IO faults: light kills and wedges "
+        "workers (retries absorb everything), moderate adds torn shards "
+        "and ENOSPC, hostile adds bit rot -- see chaos-manifest.json",
+    )
+    p_fleet.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="N",
+        help="seed of the chaos plan (same profile+seed = same faults)",
+    )
+    p_fleet.add_argument(
+        "--faults-out", metavar="PATH", default=None,
+        help="write the fleet-wide coalesced fault array to PATH (.npy)",
+    )
 
     p_mit = sub.add_parser(
         "mitigate", help="run the mitigation simulators on a campaign"
@@ -556,6 +591,7 @@ def _run_stream(args, trace_out, metrics_out) -> int:
     from repro.stream import StreamPipeline
     from repro.stream.alerts import AlertRules
     from repro.stream.checkpoint import CheckpointError
+    from repro.stream.tailer import TailError
 
     for path in (args.alerts_out, args.faults_out):
         _validate_json_report(path)
@@ -590,12 +626,18 @@ def _run_stream(args, trace_out, metrics_out) -> int:
             line += f"; {len(summary['alerts'])} alert(s)"
         print(line)
 
-    run_info = pipeline.run(
-        max_batches=args.max_batches,
-        follow=args.follow,
-        poll_interval=args.poll_interval,
-        progress=progress,
-    )
+    try:
+        run_info = pipeline.run(
+            max_batches=args.max_batches,
+            follow=args.follow,
+            poll_interval=args.poll_interval,
+            progress=progress,
+        )
+    except TailError as exc:
+        # Mid-stream rotation/truncation carries its own recovery hint;
+        # surface it as a clean operational error, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     summary = pipeline.finalize()
     print(
         f"streamed {run_info['steps']} batch(es): "
@@ -624,27 +666,41 @@ def _run_stream(args, trace_out, metrics_out) -> int:
     return 0
 
 
-def _fleet_reference_faults(fleet, source: str, policy: str):
+def _fleet_reference_faults(fleet, result, source: str, policy: str):
     """The single-process whole-stream answer the shard engine must match.
 
     Binary sources compare against coalescing the concatenated binary
     mirrors; the text source compares against serially re-parsing every
     cluster's ``ce.log`` (text timestamps carry second resolution, so the
     binary mirrors are not its ground truth).
+
+    Degraded results stay checkable: the reference excludes the records
+    of quarantined shards (via :func:`repro.fleet.drop_quarantined`), so
+    a ``pass-degraded`` run is verified exact *over the shards that
+    survived* rather than reported as a spurious mismatch.
     """
     import numpy as np
 
     from repro.faults.coalesce import coalesce
-    from repro.fleet import fleet_errors
+    from repro.fleet import drop_quarantined, fleet_errors
     from repro.logs.syslog import ingest_ce_log
 
     if source != "text":
-        return coalesce(fleet_errors(fleet))
+        return coalesce(drop_quarantined(fleet, result, fleet_errors(fleet)))
     parts = []
+    quarantined_clusters = {
+        q["cluster"] for q in getattr(result, "quarantined", ())
+    }
     for i, cdir in enumerate(fleet.cluster_dirs):
+        if fleet.spec.cluster_name(i) in quarantined_clusters:
+            continue
         errors = ingest_ce_log(cdir / "ce.log", policy=policy).errors.copy()
         errors["node"] += fleet.spec.node_offset(i)
         parts.append(errors)
+    if not parts:
+        from repro.faults.types import ERROR_DTYPE
+
+        return coalesce(np.zeros(0, dtype=ERROR_DTYPE))
     merged = np.concatenate(parts)
     return coalesce(merged[np.argsort(merged["time"], kind="stable")])
 
@@ -711,6 +767,12 @@ def _run_fleet(args, trace_out, metrics_out) -> int:
         result = process_fleet(
             fleet, jobs=args.jobs, source=args.source,
             policy=args.ingest_policy,
+            task_timeout_s=args.task_timeout,
+            shard_retries=args.shard_retries,
+            resume=args.resume,
+            ledger=not args.no_ledger,
+            chaos=args.chaos,
+            chaos_seed=args.chaos_seed,
         )
     except FleetFormatError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -726,11 +788,35 @@ def _run_fleet(args, trace_out, metrics_out) -> int:
     )
     if modes:
         print(f"  modes: {modes}")
+    status_line = f"  status: {result.status}"
+    if result.coverage is not None:
+        status_line += f", coverage={result.coverage:.4f}"
+    if result.retries:
+        status_line += f", retries={result.retries}"
+    if result.resumed_shards:
+        status_line += f", resumed={len(result.resumed_shards)}"
+    if result.integrity_failures:
+        status_line += f", integrity_failures={result.integrity_failures}"
+    print(status_line)
+    for entry in result.quarantined:
+        print(
+            f"  quarantined {entry['cluster']}/{entry['shard']} "
+            f"after {entry['attempts']} attempt(s): {entry['reason']}",
+            file=sys.stderr,
+        )
+    if result.status == "fail":
+        print(
+            "error: every shard was quarantined; no fleet result survived",
+            file=sys.stderr,
+        )
+        return 1
 
     check = None
     exit_code = 0
     if args.check:
-        reference = _fleet_reference_faults(fleet, args.source, args.ingest_policy)
+        reference = _fleet_reference_faults(
+            fleet, result, args.source, args.ingest_policy
+        )
         identical = (
             result.faults.dtype == reference.dtype
             and result.faults.tobytes() == reference.tobytes()
@@ -739,9 +825,14 @@ def _run_fleet(args, trace_out, metrics_out) -> int:
             "identical": bool(identical),
             "reference": "text" if args.source == "text" else "binary",
             "n_faults_reference": int(reference.size),
+            "degraded": bool(result.quarantined),
         }
         if identical:
-            print(f"check: sharded result identical to whole-stream path "
+            scope = (
+                "whole-stream path over surviving shards"
+                if result.quarantined else "whole-stream path"
+            )
+            print(f"check: sharded result identical to {scope} "
                   f"({reference.size} faults)")
         else:
             print(
@@ -767,6 +858,10 @@ def _run_fleet(args, trace_out, metrics_out) -> int:
         }
         Path(args.fleet_report).write_text(json.dumps(doc, indent=2) + "\n")
         print(f"wrote fleet report to {args.fleet_report}")
+
+    if args.faults_out:
+        np.save(args.faults_out, result.faults)
+        print(f"wrote faults to {args.faults_out}")
 
     if args.exp is not None:
         campaign = fleet_campaign(fleet, result=result)

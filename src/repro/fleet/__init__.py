@@ -9,6 +9,10 @@ experiments) to dozens of Astra-sized clusters analysed as one system:
   directories (cache-aware);
 - :mod:`repro.fleet.engine` -- the process-parallel shard scheduler
   with memory-mapped shards and exact cross-shard reduction;
+- :mod:`repro.fleet.supervisor` -- crash-safe execution on top of the
+  engine: the fsynced attempt ledger, bounded full-jitter retry,
+  quarantine with coverage accounting, and ``--resume`` from the
+  digest-verified shard cache (:mod:`repro.fleet.ledger`);
 - :mod:`repro.fleet.handle` -- the fleet as a single analysable
   :class:`~repro.synth.campaign.Campaign`, so every registered
   experiment runs unchanged.
@@ -28,19 +32,40 @@ from repro.fleet.engine import (
     process_fleet,
     shard_tasks,
 )
-from repro.fleet.handle import fleet_campaign, fleet_errors
+from repro.fleet.handle import drop_quarantined, fleet_campaign, fleet_errors
+from repro.fleet.ledger import (
+    CACHE_DIR_NAME,
+    LEDGER_NAME,
+    FleetLedger,
+    ShardResultCache,
+    task_key,
+)
+from repro.fleet.supervisor import (
+    ShardSupervisor,
+    SuperviseConfig,
+    SuperviseOutcome,
+)
 
 __all__ = [
+    "CACHE_DIR_NAME",
     "FLEET_SCHEMA_VERSION",
+    "LEDGER_NAME",
     "MANIFEST_NAME",
     "Fleet",
     "FleetFormatError",
+    "FleetLedger",
     "FleetSpec",
     "FleetResult",
+    "ShardResultCache",
+    "ShardSupervisor",
+    "SuperviseConfig",
+    "SuperviseOutcome",
+    "drop_quarantined",
     "fleet_campaign",
     "fleet_errors",
     "merge_ingest_stats",
     "process_fleet",
     "shard_tasks",
     "synth_fleet",
+    "task_key",
 ]

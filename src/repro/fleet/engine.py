@@ -20,6 +20,7 @@ count merging reproduces the whole-stream answer byte for byte.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -31,7 +32,6 @@ from repro.faults.types import ERROR_DTYPE, FaultMode
 from repro.fleet.spec import Fleet, FleetFormatError
 from repro.logs.ingest import IngestPolicy, IngestStats
 from repro.logs.store import load_records
-from repro.parallel.executor import map_tasks
 from repro.parallel.sharding import merge_counts
 
 #: ``source`` values accepted by :func:`process_fleet`.
@@ -67,6 +67,7 @@ def _process_shard(task: dict) -> dict:
     the parent merges deterministically (never mutating forked state).
     """
     from repro import obs
+    from repro.inject.chaos import worker_fault
     from repro.logs.syslog import stream_ce_batches
     from repro.stream.online_coalesce import OnlineCoalescer
 
@@ -76,8 +77,25 @@ def _process_shard(task: dict) -> dict:
             "fleet.shard",
             attrs={"cluster": task["cluster"], "shard": task["shard"]},
         ):
+            # Chaos (when armed by the supervisor): SIGKILL/wedge this
+            # worker before it does any work, like a real mid-task death.
+            worker_fault(task)
+            # Test/CI knob: slow every shard down so an external
+            # kill -9 lands mid-run deterministically.
+            try:
+                delay = float(os.environ.get("ASTRA_MEMREPRO_SHARD_DELAY_S", 0))
+            except ValueError:
+                delay = 0.0
+            if delay > 0:
+                time.sleep(delay)
             if task["kind"] == "binary":
-                records = load_records(task["path"], ERROR_DTYPE, mmap=True)
+                # verify=True checks the CRC-32C sidecar before the mmap
+                # is trusted; a torn/bit-flipped shard raises
+                # ShardIntegrityError into the supervisor's quarantine
+                # path instead of poisoning the reduction.
+                records = load_records(
+                    task["path"], ERROR_DTYPE, mmap=True, verify=True
+                )
                 n_errors = int(records.size)
                 faults = coalesce(records)
                 del records  # drop the mmap view before pickling results
@@ -134,10 +152,29 @@ class FleetResult:
     source: str = "auto"
     jobs: int = 0
     wall_s: float = 0.0
+    #: ``pass`` (every shard reduced), ``pass-degraded`` (some shards
+    #: quarantined; the reduction covers the survivors and ``coverage``
+    #: accounts for the rest), or ``fail`` (nothing survived).
+    status: str = "pass"
+    #: One dict per quarantined shard (task, reason, attempts,
+    #: est_records); empty on a clean run.
+    quarantined: list = field(default_factory=list)
+    #: Shard attempts that were retried (worker death, wedge, ENOSPC).
+    retries: int = 0
+    #: Task keys whose committed results were loaded from the shard
+    #: cache instead of re-run (``--resume``).
+    resumed_shards: list = field(default_factory=list)
+    #: Shards that failed their CRC-32C content check.
+    integrity_failures: int = 0
 
     @property
     def n_faults(self) -> int:
         return int(self.faults.size)
+
+    @property
+    def coverage(self) -> float:
+        """Usable fraction of the error records the fleet holds."""
+        return self.ingest.coverage
 
     def mode_histogram(self) -> dict:
         """``{mode name: fault count}`` over the fleet."""
@@ -154,6 +191,12 @@ class FleetResult:
             "source": self.source,
             "jobs": int(self.jobs),
             "wall_s": float(self.wall_s),
+            "status": self.status,
+            "coverage": float(self.coverage),
+            "retries": int(self.retries),
+            "integrity_failures": int(self.integrity_failures),
+            "quarantined": [dict(row) for row in self.quarantined],
+            "resumed_shards": list(self.resumed_shards),
             "mode_counts": self.mode_histogram(),
             "ingest": self.ingest.to_dict(),
             "per_shard": [dict(row) for row in self.per_shard],
@@ -231,15 +274,38 @@ def process_fleet(
     source: str = "auto",
     policy: IngestPolicy | str = IngestPolicy.REPAIR,
     quarantine: bool = False,
+    task_timeout_s: float | None = None,
+    shard_retries: int = 2,
+    backoff_s: float = 0.25,
+    max_backoff_s: float = 5.0,
+    resume: bool = False,
+    ledger: bool = True,
+    chaos=None,
+    chaos_seed: int = 0,
 ) -> FleetResult:
-    """Ingest and coalesce every shard of ``fleet``, ``jobs``-way parallel.
+    """Ingest and coalesce every shard of ``fleet``, supervised.
 
     The reduction is exact: the returned fault stream and per-mode
     counts equal what a single process would compute over the
     concatenated (node-offset) error stream, byte for byte, for any
-    ``jobs`` and any shard granularity.
+    ``jobs`` and any shard granularity.  Execution is supervised
+    (:mod:`repro.fleet.supervisor`): failing shards are retried up to
+    ``shard_retries`` times with full-jitter backoff, wedged workers
+    are abandoned after ``task_timeout_s``, and shards that cannot be
+    reduced are quarantined -- the result then degrades to
+    ``status="pass-degraded"`` with the missing records accounted in
+    its coverage rather than silently vanishing.
+
+    ``ledger`` journals every attempt/commit to ``fleet-ledger.jsonl``
+    and caches per-shard results, which is what makes ``resume=True``
+    able to skip committed shards after a crash and still produce a
+    byte-identical reduction.  ``chaos`` (a profile name or
+    :class:`~repro.inject.chaos.ChaosProfile`) injects planned process
+    and IO faults for self-testing; the plan is seeded by
+    ``chaos_seed`` and recorded in ``chaos-manifest.json``.
     """
     from repro import obs
+    from repro.fleet.supervisor import ShardSupervisor, SuperviseConfig
     from repro.obs.trace import attach_tree
 
     t0 = time.perf_counter()
@@ -253,8 +319,37 @@ def process_fleet(
     ) as sp:
         tasks = shard_tasks(fleet, source, policy, quarantine)
         sp.set("n_shards", len(tasks))
+
+        plan = None
+        if chaos is not None:
+            from repro.inject.chaos import ChaosPlan, coerce_profile
+
+            plan = ChaosPlan(coerce_profile(chaos), chaos_seed, tasks)
+            _apply_chaos_once(plan, fleet)
+
+        outcome = ShardSupervisor(
+            fleet,
+            tasks,
+            SuperviseConfig(
+                jobs=jobs,
+                task_timeout_s=task_timeout_s,
+                shard_retries=shard_retries,
+                backoff_s=backoff_s,
+                max_backoff_s=max_backoff_s,
+                retry_seed=chaos_seed,
+                resume=resume,
+                ledger=ledger,
+                chaos=plan,
+            ),
+        ).run()
+
+        # Reduce in plan order: merge_shard_faults re-canonicalises, so
+        # the answer is order-independent, but keeping plan order makes
+        # per_shard rows stable across resume/retry scheduling noise.
         results = [
-            r for r in map_tasks(_process_shard, tasks, jobs) if r is not None
+            outcome.results[key]
+            for key in outcome.order
+            if key in outcome.results
         ]
         for r in results:
             for root in obs.merge_payload(r.pop("obs", None)):
@@ -264,11 +359,34 @@ def process_fleet(
             mode_counts = merge_counts([r["mode_counts"] for r in results])
         else:
             mode_counts = np.zeros(len(FaultMode), dtype=np.int64)
+
+        ingest = merge_ingest_stats([r["stats"] for r in results])
+        est_missing = sum(q["est_records"] for q in outcome.quarantined)
+        if outcome.quarantined:
+            # Coverage accounting for what the quarantined shards would
+            # have contributed: the records were "seen" by the fleet (they
+            # exist on disk) but none survived to the reduction, which is
+            # exactly the seen/quarantined split IngestStats models.  The
+            # experiment layer's min-coverage gate then downgrades
+            # verdicts instead of trusting a partial answer.
+            if results:
+                ingest.seen += est_missing
+                ingest.quarantined += est_missing
+                ingest.check_invariant()
+                status = "pass-degraded"
+            else:
+                ingest = IngestStats(
+                    family="errors", missing=True, source="missing"
+                )
+                status = "fail"
+        else:
+            status = "pass"
+
         result = FleetResult(
             faults=faults,
             mode_counts=mode_counts,
             n_errors=sum(r["n_errors"] for r in results),
-            ingest=merge_ingest_stats([r["stats"] for r in results]),
+            ingest=ingest,
             per_shard=[
                 {
                     "cluster": r["cluster"],
@@ -282,9 +400,41 @@ def process_fleet(
             source=source,
             jobs=jobs,
             wall_s=time.perf_counter() - t0,
+            status=status,
+            quarantined=list(outcome.quarantined),
+            retries=outcome.retries,
+            resumed_shards=list(outcome.resumed),
+            integrity_failures=outcome.integrity_failures,
         )
         obs.count("fleet.shards_processed", len(results))
         obs.count("fleet.errors_processed", result.n_errors)
         obs.count("fleet.faults_merged", result.n_faults)
         sp.add(errors=result.n_errors, faults=result.n_faults)
+        sp.set("status", result.status)
     return result
+
+
+def _apply_chaos_once(plan, fleet: Fleet) -> None:
+    """Apply the plan's file faults unless an identical run already did.
+
+    Re-applying is not idempotent (a second bit flip flips the bit
+    *back*), so a resume of a chaos run -- same profile, same seed --
+    must not damage the files twice.  The chaos manifest written by the
+    first application is the marker.
+    """
+    import json
+
+    from repro.inject.chaos import CHAOS_MANIFEST_NAME, apply_file_faults
+
+    marker = Path(fleet.directory) / CHAOS_MANIFEST_NAME
+    try:
+        doc = json.loads(marker.read_text())
+    except (OSError, ValueError):
+        doc = None
+    if (
+        isinstance(doc, dict)
+        and doc.get("profile") == plan.profile.name
+        and doc.get("seed") == plan.seed
+    ):
+        return
+    apply_file_faults(plan, fleet.directory)

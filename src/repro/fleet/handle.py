@@ -18,6 +18,8 @@ two.
 
 from __future__ import annotations
 
+import re
+
 import numpy as np
 
 from repro.faults.types import ERROR_DTYPE
@@ -53,6 +55,40 @@ def fleet_errors(fleet: Fleet, mmap: bool = True) -> np.ndarray:
     return _concat_offset(fleet, "errors.npy", ERROR_DTYPE, mmap=mmap)
 
 
+def drop_quarantined(fleet: Fleet, result, errors: np.ndarray) -> np.ndarray:
+    """Remove error records belonging to a result's quarantined shards.
+
+    A degraded :class:`~repro.fleet.engine.FleetResult` excludes
+    quarantined shards from its fault stream; any whole-fleet view built
+    beside it (the campaign handle, a ``--check`` reference) must
+    exclude the same records or the two disagree by construction.  A
+    per-rack shard maps to its global rack; a whole-cluster task
+    (``errors.npy`` / ``ce.log``) maps to the cluster's full rack span.
+    """
+    quarantined = getattr(result, "quarantined", None) if result else None
+    if not quarantined or errors.size == 0:
+        return errors
+    topo = fleet.spec.fleet_topology()
+    racks = topo.rack_of(errors["node"])
+    per_cluster = fleet.spec.base_topology.n_racks
+    index_of = {
+        fleet.spec.cluster_name(i): i for i in range(fleet.spec.n_clusters)
+    }
+    drop = np.zeros(errors.size, dtype=bool)
+    for entry in quarantined:
+        ci = index_of.get(entry["cluster"])
+        if ci is None:
+            continue
+        match = re.search(r"rack(\d+)", entry["shard"])
+        if match:
+            drop |= racks == ci * per_cluster + int(match.group(1))
+        else:
+            drop |= (racks >= ci * per_cluster) & (
+                racks < (ci + 1) * per_cluster
+            )
+    return errors[~drop] if drop.any() else errors
+
+
 def _binary_stats(family: str, size: int) -> IngestStats:
     return IngestStats(
         family=family, seen=int(size), parsed=int(size), source="binary"
@@ -79,7 +115,9 @@ def fleet_campaign(fleet: Fleet, result=None, mmap: bool = True):
     from repro.synth.config import PaperCalibration
     from repro.synth.sensors import SensorFieldModel
 
-    errors = _concat_offset(fleet, "errors.npy", ERROR_DTYPE, mmap=mmap)
+    errors = drop_quarantined(
+        fleet, result, _concat_offset(fleet, "errors.npy", ERROR_DTYPE, mmap=mmap)
+    )
     replacements = _concat_offset(
         fleet, "replacements.npy", REPLACEMENT_DTYPE, mmap=mmap
     )

@@ -13,13 +13,22 @@ This package provides the dirt:
   mirror faults (corrupt, delete) to a campaign directory;
 - :mod:`repro.inject.manifest` -- the :class:`InjectionManifest`
   recording exactly what was injected, written alongside the corrupted
-  data for auditability.
+  data for auditability;
+- :mod:`repro.inject.chaos` -- process-level chaos for the fleet
+  supervisor (:class:`ChaosPlan`): killed and wedged workers, torn and
+  bit-flipped shard files, ``ENOSPC`` on the ledger, torn cache writes.
 
-The CLI exposes it as ``--inject PROFILE --inject-seed N`` for harness
-self-tests: generate, corrupt, re-ingest under a policy, and check the
-experiments degrade instead of crash.
+The CLI exposes it as ``--inject PROFILE --inject-seed N`` (data
+faults) and ``repro fleet --chaos PROFILE --chaos-seed N`` (process
+faults) for harness self-tests: generate, corrupt, re-ingest under a
+policy, and check the experiments degrade instead of crash.
 """
 
+from repro.inject.chaos import (
+    CHAOS_PROFILES,
+    ChaosPlan,
+    ChaosProfile,
+)
 from repro.inject.corruptor import LogCorruptor
 from repro.inject.manifest import MANIFEST_NAME, InjectionEvent, InjectionManifest
 from repro.inject.profiles import PROFILES, InjectionProfile, get_profile
@@ -32,4 +41,7 @@ __all__ = [
     "InjectionProfile",
     "PROFILES",
     "get_profile",
+    "ChaosPlan",
+    "ChaosProfile",
+    "CHAOS_PROFILES",
 ]

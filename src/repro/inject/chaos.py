@@ -1,0 +1,279 @@
+"""Process-level chaos for the fleet engine: planned, seeded, recorded.
+
+:mod:`repro.inject.corruptor` attacks the *data* (log lines, record
+bytes); this module attacks the *run*: workers that die mid-task,
+workers that wedge, shard files torn or bit-flipped on disk, the ledger
+append that hits a full disk, the cache write that tears.  Every fault
+the supervisor must survive in production is injectable here, under a
+named profile and a seed, so a chaos run is exactly reproducible and
+the applied faults are written to ``chaos-manifest.json`` beside the
+fleet ledger.
+
+The faults fall into two families:
+
+- **process faults** (``kill``, ``wedge``) are attached to specific
+  shard tasks and fire only on attempt 1 -- a retry of the same shard
+  runs clean, so a healthy supervisor absorbs every process fault and
+  still produces the byte-identical clean answer.  In parallel mode a
+  kill is a real ``SIGKILL`` of the worker (surfacing as
+  ``BrokenProcessPool`` in the parent, exactly like an OOM-killed
+  worker) and a wedge is a sleep past the task timeout; in serial mode
+  both degrade to typed exceptions the supervisor treats identically.
+
+- **file / IO faults** (``torn-shard``, ``bitflip-shard``, ``enospc``,
+  ``checkpoint-tear``) damage state: a torn or bit-flipped shard fails
+  its CRC-32C sidecar on every attempt and ends in quarantine (the run
+  degrades, it does not lie), an ``ENOSPC`` on a ledger append is
+  retried like any transient ``OSError``, and a torn cache write is
+  caught by the resume digest check and simply re-runs that shard.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+#: Manifest filename written into the fleet directory by a chaos run.
+CHAOS_MANIFEST_NAME = "chaos-manifest.json"
+
+#: npy payloads start after a 128-byte header on this dtype family;
+#: bit flips land past it so the damage is CRC-detectable data damage,
+#: not a header parse error (both are handled, but payload damage is
+#: the harder case -- only the sidecar can see it).
+_NPY_HEADER_GUESS = 128
+
+
+class ChaosKill(RuntimeError):
+    """Serial-mode stand-in for a worker killed mid-task."""
+
+
+class ChaosWedge(RuntimeError):
+    """Serial-mode stand-in for a worker that stopped making progress."""
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """How much of each fault family a chaos run injects."""
+
+    name: str
+    #: Workers SIGKILLed (or :class:`ChaosKill` in serial) on attempt 1.
+    kills: int = 0
+    #: Workers wedged past the task timeout on attempt 1.
+    wedges: int = 0
+    #: Binary shards truncated on disk (fails CRC on every attempt).
+    torn_shards: int = 0
+    #: Binary shards with one payload bit flipped (fails CRC likewise).
+    bitflips: int = 0
+    #: Ledger appends that raise ``ENOSPC`` once.
+    enospc: int = 0
+    #: Shard-cache writes torn to a prefix (caught by the resume digest).
+    tears: int = 0
+
+
+#: ``light`` is process-only (retries absorb everything; the result
+#: stays byte-identical to a clean run).  ``moderate`` adds recoverable
+#: IO faults plus one torn shard; ``hostile`` adds bit rot and a second
+#: kill.  Data-damage faults quarantine shards, so moderate/hostile runs
+#: are expected to end ``pass-degraded``.
+CHAOS_PROFILES = {
+    "light": ChaosProfile("light", kills=1, wedges=1),
+    "moderate": ChaosProfile(
+        "moderate", kills=1, wedges=1, torn_shards=1, enospc=1, tears=1
+    ),
+    "hostile": ChaosProfile(
+        "hostile", kills=2, wedges=1, torn_shards=1, bitflips=1,
+        enospc=1, tears=1,
+    ),
+}
+
+
+class ChaosPlan:
+    """A seeded assignment of faults to one fleet run's task list.
+
+    Built once by the supervisor from ``(profile, seed, tasks)``: the
+    same inputs always plan the same faults against the same shards, so
+    a chaos failure reproduces from its manifest.
+    """
+
+    def __init__(self, profile: ChaosProfile, seed: int, tasks: list):
+        from repro.fleet.ledger import task_key
+
+        self.profile = profile
+        self.seed = int(seed)
+        keys = [task_key(t) for t in tasks]
+        rng = np.random.default_rng([self.seed, *profile.name.encode()])
+
+        # Process faults: distinct victim tasks, kills before wedges.
+        n_proc = min(profile.kills + profile.wedges, len(keys))
+        victims = (
+            rng.choice(len(keys), size=n_proc, replace=False) if n_proc else []
+        )
+        self.kill_keys = {keys[i] for i in victims[: profile.kills]}
+        self.wedge_keys = {keys[i] for i in victims[profile.kills :]}
+
+        # File faults: distinct binary shard files (text logs have their
+        # own corruptor; chaos targets the CRC-guarded payloads).
+        binary = [
+            (task_key(t), t["path"]) for t in tasks if t["kind"] == "binary"
+        ]
+        n_file = min(profile.torn_shards + profile.bitflips, len(binary))
+        picks = (
+            rng.choice(len(binary), size=n_file, replace=False) if n_file else []
+        )
+        #: ``[(task key, path, fault)]`` -- applied on disk before the run.
+        self.file_faults = [
+            (*binary[i], "torn-shard")
+            for i in picks[: min(profile.torn_shards, n_file)]
+        ] + [
+            (*binary[i], "bitflip-shard")
+            for i in picks[min(profile.torn_shards, n_file) :]
+        ]
+
+        # IO faults: fire once at a planned call index.  Append 0 is the
+        # plan line; ENOSPC lands on some later append so the run is
+        # already underway when the disk "fills".
+        self._enospc_at = (
+            int(rng.integers(1, max(2, len(keys) + 1)))
+            if profile.enospc else None
+        )
+        self._enospc_left = profile.enospc
+        self._tear_at = (
+            int(rng.integers(0, max(1, len(keys)))) if profile.tears else None
+        )
+        self._tear_left = profile.tears
+
+    # -- worker-side process faults ------------------------------------
+    def task_fault(self, key: str) -> str | None:
+        """The process fault planned for task ``key``, if any."""
+        if key in self.kill_keys:
+            return "kill"
+        if key in self.wedge_keys:
+            return "wedge"
+        return None
+
+    # -- IO fault hooks ------------------------------------------------
+    def on_ledger_append(self, n: int) -> None:
+        """Raise the planned ``ENOSPC`` on append number ``n`` (once)."""
+        if self._enospc_left and self._enospc_at is not None and n >= self._enospc_at:
+            self._enospc_left -= 1
+            raise OSError(
+                errno.ENOSPC, "chaos: no space left on device (injected)"
+            )
+
+    def on_cache_save(self, n: int) -> bool:
+        """True when cache save number ``n`` should tear (fires once)."""
+        if self._tear_left and self._tear_at is not None and n >= self._tear_at:
+            self._tear_left -= 1
+            return True
+        return False
+
+    # -- bookkeeping ---------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "profile": self.profile.name,
+            "seed": self.seed,
+            "kills": sorted(self.kill_keys),
+            "wedges": sorted(self.wedge_keys),
+            "file_faults": [
+                {"task": key, "path": path, "fault": fault}
+                for key, path, fault in self.file_faults
+            ],
+            "enospc_at_append": self._enospc_at,
+            "tear_at_save": self._tear_at,
+        }
+
+
+def coerce_profile(profile) -> ChaosProfile:
+    """Accept a profile name or a :class:`ChaosProfile` instance."""
+    if isinstance(profile, ChaosProfile):
+        return profile
+    try:
+        return CHAOS_PROFILES[str(profile)]
+    except KeyError:
+        raise ValueError(
+            f"unknown chaos profile {profile!r} "
+            f"(choose from {sorted(CHAOS_PROFILES)})"
+        ) from None
+
+
+def apply_file_faults(plan: ChaosPlan, fleet_dir: str | os.PathLike) -> Path:
+    """Damage the planned shard files on disk; write the chaos manifest.
+
+    ``torn-shard`` truncates the file to ~60% (a crash mid-copy);
+    ``bitflip-shard`` flips one payload bit in place (bit rot the npy
+    header cannot reveal).  The CRC-32C sidecars are left untouched --
+    they now *disagree* with the file, which is the whole point.
+    Damage is deterministic per (plan seed, file name).
+    """
+    events = []
+    for key, path, fault in plan.file_faults:
+        path = Path(path)
+        size = path.stat().st_size
+        rng = np.random.default_rng([plan.seed, *path.name.encode()])
+        if fault == "torn-shard":
+            keep = max(1, int(size * 0.6))
+            with open(path, "r+b") as fh:
+                fh.truncate(keep)
+            events.append(
+                {"task": key, "file": path.name, "fault": fault,
+                 "detail": {"size": size, "kept": keep}}
+            )
+        else:  # bitflip-shard
+            lo = _NPY_HEADER_GUESS if size > _NPY_HEADER_GUESS + 1 else 0
+            offset = int(rng.integers(lo, size))
+            bit = int(rng.integers(0, 8))
+            with open(path, "r+b") as fh:
+                fh.seek(offset)
+                byte = fh.read(1)[0]
+                fh.seek(offset)
+                fh.write(bytes([byte ^ (1 << bit)]))
+            events.append(
+                {"task": key, "file": path.name, "fault": fault,
+                 "detail": {"offset": offset, "bit": bit}}
+            )
+    manifest = {
+        "profile": plan.profile.name,
+        "seed": plan.seed,
+        "plan": plan.to_dict(),
+        "events": events,
+    }
+    out = Path(fleet_dir) / CHAOS_MANIFEST_NAME
+    with open(out, "w") as fh:
+        json.dump(manifest, fh, indent=2)
+        fh.write("\n")
+    return out
+
+
+def worker_fault(task: dict) -> None:
+    """Execute the process fault embedded in ``task``, if any.
+
+    Called at the top of the shard worker.  The supervisor embeds
+    ``chaos_fault`` only on attempt 1, so retries of the victim task run
+    clean.  ``chaos_parallel`` distinguishes a real worker process
+    (SIGKILL / sleep) from serial in-process execution (typed
+    exceptions the supervisor maps to the same retry path).
+    """
+    fault = task.get("chaos_fault")
+    if not fault:
+        return
+    where = f"{task['cluster']}/{task['shard']}"
+    if fault == "kill":
+        if task.get("chaos_parallel"):
+            # Die the way the OOM killer kills: no cleanup, no exception
+            # -- the parent sees BrokenProcessPool.
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise ChaosKill(f"chaos: worker killed on {where}")
+    if fault == "wedge":
+        if task.get("chaos_parallel"):
+            # Outlive the task timeout so the supervisor abandons us;
+            # clamped so an unsupervised run cannot hang forever.
+            time.sleep(min(float(task.get("chaos_wedge_s", 5.0)), 30.0))
+        raise ChaosWedge(f"chaos: worker wedged on {where}")
+    raise ValueError(f"unknown chaos fault {fault!r}")

@@ -153,7 +153,10 @@ def _load_family(
     mirror_problem = None
     with obs.span(f"ingest.{family}") as sp:
         try:
-            records = load_records(npy_path, dtype)
+            # verify=True checks the .crc32c sidecar first, so payload
+            # damage the npy header cannot reveal (torn tail, flipped
+            # bit) also routes into the text fallback below.
+            records = load_records(npy_path, dtype, verify=True)
         except (OSError, ValueError, EOFError) as exc:
             mirror_problem = f"{type(exc).__name__}: {exc}"
             sp.set("error", mirror_problem)

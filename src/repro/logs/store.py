@@ -28,18 +28,40 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.logs.integrity import (
+    ShardIntegrityError,
+    verify_checksum,
+    write_checksum,
+)
 from repro.machine.topology import AstraTopology
 
 
-def save_records(path: str | os.PathLike, records: np.ndarray) -> None:
-    """Save a structured record array to ``.npy``."""
+def save_records(
+    path: str | os.PathLike, records: np.ndarray, checksum: bool = True
+) -> None:
+    """Save a structured record array to ``.npy``.
+
+    ``checksum`` (the default) also writes a ``.crc32c`` content-checksum
+    sidecar beside the file, so later loads can detect torn, truncated or
+    bit-flipped payloads (see :mod:`repro.logs.integrity`).
+    """
     if records.dtype.names is None:
         raise ValueError("save_records expects a structured array")
     np.save(path, records, allow_pickle=False)
+    if checksum:
+        # np.save appends ".npy" when the suffix is missing; checksum the
+        # file that actually landed on disk.
+        path = Path(path)
+        if path.suffix != ".npy":
+            path = path.with_name(path.name + ".npy")
+        write_checksum(path)
 
 
 def load_records(
-    path: str | os.PathLike, expected_dtype=None, mmap: bool = False
+    path: str | os.PathLike,
+    expected_dtype=None,
+    mmap: bool = False,
+    verify: bool = False,
 ) -> np.ndarray:
     """Load a structured record array, optionally checking its dtype.
 
@@ -48,7 +70,15 @@ def load_records(
     aggregates over.  Zero-row files (an empty rack's shard) cannot be
     mapped on every platform and are loaded eagerly instead; they are
     header-only, so the fallback costs nothing.
+
+    ``verify`` checks the file against its ``.crc32c`` sidecar (when one
+    exists) *before* the payload is trusted, raising
+    :class:`~repro.logs.integrity.ShardIntegrityError` on a torn,
+    truncated or bit-damaged file; files without a sidecar (legacy
+    data, hand-written fixtures) load unverified.
     """
+    if verify:
+        verify_checksum(path)
     if mmap:
         try:
             out = np.load(path, mmap_mode="r", allow_pickle=False)
@@ -98,18 +128,21 @@ def shard_by_rack(
     return paths
 
 
-def iter_shards(paths, expected_dtype=None, mmap: bool = True):
+def iter_shards(paths, expected_dtype=None, mmap: bool = True, verify: bool = False):
     """Yield one (memory-mapped) view per shard, in the given order.
 
     The streaming complement of :func:`load_shards`: per-shard
     aggregation touches one shard's pages at a time instead of
-    materialising the concatenated stream.
+    materialising the concatenated stream.  ``verify`` checksums each
+    shard against its sidecar before yielding it.
     """
     for path in paths:
-        yield load_records(path, expected_dtype, mmap=mmap)
+        yield load_records(path, expected_dtype, mmap=mmap, verify=verify)
 
 
-def load_shards(paths, expected_dtype=None, mmap: bool = False) -> np.ndarray:
+def load_shards(
+    paths, expected_dtype=None, mmap: bool = False, verify: bool = False
+) -> np.ndarray:
     """Concatenate shards back into one stream.
 
     Streams with a ``"time"`` field come back time-ordered; structured
@@ -120,7 +153,9 @@ def load_shards(paths, expected_dtype=None, mmap: bool = False) -> np.ndarray:
     whose files hold zero rows total returns an empty array of the
     stored dtype instead of raising.
     """
-    parts = [load_records(p, expected_dtype, mmap=mmap) for p in paths]
+    parts = [
+        load_records(p, expected_dtype, mmap=mmap, verify=verify) for p in paths
+    ]
     if not parts:
         if expected_dtype is None:
             raise ValueError("no shards and no dtype to build an empty array")

@@ -9,6 +9,7 @@ baseline and the fallback for restricted environments.
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -55,8 +56,20 @@ def map_tasks(map_fn: Callable, tasks: list, n_workers: int = 0) -> list:
             futures = {i: pool.submit(map_fn, t) for i, t in enumerate(tasks)}
             for i, future in futures.items():
                 results[i] = future.result()
-    except (BrokenProcessPool, OSError):
-        pass
+    except (BrokenProcessPool, OSError) as exc:
+        # The serial re-run below hides the pool failure from callers;
+        # leave an audit trail so a fleet that silently lost its
+        # parallelism (OOM-killed workers, fork limits) is visible.
+        from repro import obs
+
+        obs.count("parallel.pool_broken")
+        warnings.warn(
+            f"process pool broke ({type(exc).__name__}: {exc}); "
+            f"finishing {len(tasks) - len(results)} of {len(tasks)} tasks "
+            "serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return [
         results[i] if i in results else map_fn(t) for i, t in enumerate(tasks)
     ]

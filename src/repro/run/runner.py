@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import random
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -33,6 +34,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro import obs
+from repro._util import full_jitter_backoff
 from repro.obs.trace import attach_tree
 from repro.run.report import ExperimentMetrics, RunReport
 
@@ -100,8 +102,10 @@ class ExperimentRunner:
     ``timeout_s`` bounds each experiment's wall time in the parallel
     path (a wedged worker is abandoned, not waited on); ``retries``
     bounds how often a failing or timed-out experiment is re-attempted,
-    with exponential backoff starting at ``backoff_s`` for in-process
-    retries.  ``min_coverage`` is forwarded to the experiment registry,
+    with full-jitter exponential backoff starting at ``backoff_s`` and
+    capped at ``max_backoff_s`` for in-process retries (the jitter RNG
+    is seeded by ``backoff_seed``, so retry schedules reproduce in
+    tests).  ``min_coverage`` is forwarded to the experiment registry,
     which skips experiments whose input telemetry coverage is below it.
     """
 
@@ -111,7 +115,17 @@ class ExperimentRunner:
     timeout_s: float | None = None
     retries: int = 0
     backoff_s: float = 0.25
+    max_backoff_s: float = 5.0
+    backoff_seed: int = 0
     min_coverage: float = 0.0
+
+    @property
+    def _backoff_rng(self) -> random.Random:
+        rng = getattr(self, "_backoff_rng_cached", None)
+        if rng is None:
+            rng = random.Random(self.backoff_seed)
+            self._backoff_rng_cached = rng
+        return rng
 
     # ------------------------------------------------------------------
     def run(self, campaign, exp_ids=None):
@@ -216,7 +230,18 @@ class ExperimentRunner:
                     failure = None
             if failure is not None:
                 if attempts <= self.retries:
-                    time.sleep(self.backoff_s * (2 ** (attempts - 1)))
+                    # Full jitter (shared with the fleet supervisor):
+                    # decorrelates experiments that failed together and
+                    # caps the worst-case sleep however high the retry
+                    # budget goes.
+                    time.sleep(
+                        full_jitter_backoff(
+                            attempts,
+                            self.backoff_s,
+                            self.max_backoff_s,
+                            self._backoff_rng,
+                        )
+                    )
                     continue
                 obs.observe(f"experiment.wall_s.{exp_id}", sp.wall_s)
                 metrics[exp_id] = ExperimentMetrics.from_error(

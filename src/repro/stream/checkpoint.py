@@ -24,6 +24,8 @@ import json
 import os
 from pathlib import Path
 
+from repro._util import fsync_dir
+
 #: Bump on any change to the checkpoint document layout.
 CHECKPOINT_SCHEMA_VERSION = 1
 
@@ -50,8 +52,14 @@ class CheckpointStore:
     def save(self, state: dict) -> Path:
         """Atomically persist ``state``; returns the checkpoint path.
 
-        The temp file is fsynced before the rename so a crash between
-        the two cannot surface a half-written document as current.
+        Crash-ordering invariant: (1) the temp file's *data* is fsynced
+        before the rename, so the rename can never expose a
+        half-written document; (2) the *directory* is fsynced after the
+        rename, so a power cut cannot roll the rename itself back and
+        resurface the previous checkpoint after the caller was told the
+        new one is durable.  Either order alone leaves a window where
+        resume-after-crash replays records the pipeline already
+        acknowledged.
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         doc = {"schema_version": CHECKPOINT_SCHEMA_VERSION, **state}
@@ -62,6 +70,7 @@ class CheckpointStore:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self.path)
+        fsync_dir(self.directory)
         return self.path
 
     def load(self) -> dict | None:

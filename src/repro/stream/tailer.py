@@ -264,7 +264,10 @@ class LogTailer:
         if size < self.offset:
             raise TailError(
                 f"{self.path}: file shrank below consumed offset "
-                f"({size} < {self.offset}); rotated or truncated?"
+                f"({size} < {self.offset}); rotated or truncated? "
+                "To recover, restore the pre-rotation checkpoint (or "
+                "delete the checkpoint directory to re-ingest from the "
+                "start of the current file)."
             )
         self.stats.missing = False
         if size == self.offset:

@@ -1,0 +1,184 @@
+"""Differential chaos suite: the supervised fleet engine under injected faults.
+
+The contract, per profile and jobs level: either the run is
+byte-identical to a clean run (every fault absorbed by retries), or it
+is ``pass-degraded`` with the quarantined shards listed and the lost
+records accounted in coverage -- never a silently wrong answer.  Serial
+and parallel supervision must agree on what was lost.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.faults.coalesce import coalesce
+from repro.fleet import (
+    LEDGER_NAME,
+    FleetLedger,
+    FleetSpec,
+    drop_quarantined,
+    fleet_errors,
+    process_fleet,
+    synth_fleet,
+)
+from repro.inject.chaos import CHAOS_MANIFEST_NAME, CHAOS_PROFILES
+
+SPEC = FleetSpec(n_clusters=2, seed=11, scale=0.002)
+
+
+@pytest.fixture(scope="module")
+def pristine(tmp_path_factory) -> Path:
+    """One untouched fleet; every scenario works on its own copy."""
+    root = tmp_path_factory.mktemp("chaos-fleets")
+    synth_fleet(SPEC, root / "pristine", shards=True)
+    return root / "pristine"
+
+
+@pytest.fixture(scope="module")
+def clean_faults(pristine):
+    """The clean-run answer all chaos runs are measured against."""
+    fleet = synth_fleet(SPEC, pristine)
+    return process_fleet(fleet, jobs=0, source="shards", ledger=False).faults
+
+
+def _copy(pristine: Path, tmp_path: Path):
+    shutil.copytree(pristine, tmp_path / "f")
+    return synth_fleet(SPEC, tmp_path / "f")
+
+
+@pytest.mark.parametrize("jobs", [0, 4])
+class TestProfiles:
+    def test_light_is_absorbed_byte_identically(
+        self, pristine, clean_faults, tmp_path, jobs
+    ):
+        fleet = _copy(pristine, tmp_path)
+        result = process_fleet(
+            fleet, jobs=jobs, source="shards",
+            task_timeout_s=10.0, chaos="light", chaos_seed=5,
+        )
+        # light is process faults only: kills and wedges hit attempt 1,
+        # the retry runs clean, nothing is lost.
+        assert result.status == "pass"
+        assert not result.quarantined
+        assert result.retries >= 1
+        assert result.faults.tobytes() == clean_faults.tobytes()
+        assert result.coverage == pytest.approx(1.0)
+
+    def test_hostile_degrades_with_accounting(
+        self, pristine, clean_faults, tmp_path, jobs
+    ):
+        fleet = _copy(pristine, tmp_path)
+        result = process_fleet(
+            fleet, jobs=jobs, source="shards",
+            task_timeout_s=10.0, chaos="hostile", chaos_seed=5,
+        )
+        # File damage cannot be retried away: the damaged shards land in
+        # quarantine and the coverage loss is visible, not hidden.
+        assert result.status == "pass-degraded"
+        assert result.quarantined
+        assert 0.0 < result.coverage < 1.0
+        assert result.integrity_failures >= 1
+        for entry in result.quarantined:
+            assert entry["attempts"] >= 1
+            assert entry["reason"]
+        # The surviving answer is still exact: identical to the clean
+        # whole-stream reduction with the quarantined shards' records
+        # masked out.
+        want = coalesce(drop_quarantined(fleet, result, fleet_errors(fleet)))
+        assert result.faults.tobytes() == want.tobytes()
+
+
+class TestSerialParallelAgreement:
+    @pytest.mark.parametrize("profile", ["moderate", "hostile"])
+    def test_same_loss_both_modes(self, pristine, tmp_path, profile):
+        outcomes = {}
+        for jobs in (0, 4):
+            fleet = _copy(pristine, tmp_path / f"j{jobs}")
+            result = process_fleet(
+                fleet, jobs=jobs, source="shards",
+                task_timeout_s=10.0, chaos=profile, chaos_seed=9,
+            )
+            outcomes[jobs] = result
+        a, b = outcomes[0], outcomes[4]
+        assert a.status == b.status
+        assert {q["shard"] for q in a.quarantined} == {
+            q["shard"] for q in b.quarantined
+        }
+        assert a.coverage == pytest.approx(b.coverage)
+        assert a.faults.tobytes() == b.faults.tobytes()
+
+
+class TestResumeAfterChaos:
+    def test_resume_matches_uninterrupted_chaos_run(self, pristine, tmp_path):
+        fleet = _copy(pristine, tmp_path)
+        first = process_fleet(
+            fleet, jobs=0, source="shards",
+            task_timeout_s=10.0, chaos="hostile", chaos_seed=5,
+        )
+        # Resume on the same directory without re-arming chaos: committed
+        # shards load from cache, quarantined shards re-attempt against
+        # the still-damaged files and quarantine again.
+        resumed = process_fleet(fleet, jobs=0, source="shards", resume=True)
+        assert resumed.faults.tobytes() == first.faults.tobytes()
+        assert resumed.status == first.status
+        assert {q["shard"] for q in resumed.quarantined} == {
+            q["shard"] for q in first.quarantined
+        }
+        assert resumed.coverage == pytest.approx(first.coverage)
+        assert resumed.resumed_shards  # cache actually served commits
+
+    def test_chaos_file_faults_apply_once(self, pristine, tmp_path):
+        fleet = _copy(pristine, tmp_path)
+        process_fleet(
+            fleet, jobs=0, source="shards",
+            task_timeout_s=10.0, chaos="hostile", chaos_seed=5,
+        )
+        manifest = fleet.directory / CHAOS_MANIFEST_NAME
+        before = manifest.read_bytes()
+        # Re-invoking with the same profile+seed must not re-corrupt
+        # (a second bitflip would restore the bit and un-degrade the run).
+        process_fleet(
+            fleet, jobs=0, source="shards", resume=True,
+            task_timeout_s=10.0, chaos="hostile", chaos_seed=5,
+        )
+        assert manifest.read_bytes() == before
+
+
+class TestLedgerTrail:
+    def test_run_leaves_auditable_journal(self, pristine, tmp_path):
+        fleet = _copy(pristine, tmp_path)
+        result = process_fleet(
+            fleet, jobs=0, source="shards",
+            task_timeout_s=10.0, chaos="moderate", chaos_seed=3,
+        )
+        events, skipped = FleetLedger.read(fleet.directory / LEDGER_NAME)
+        assert skipped == 0
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "plan"
+        # per_shard lists only the shards that made it into the reduction.
+        assert kinds.count("commit") == len(result.per_shard)
+        assert kinds.count("quarantine") == len(result.quarantined)
+        # Every commit carries the digest --resume verifies against.
+        for event in events:
+            if event["event"] == "commit":
+                assert len(event["digest"]) == 8
+
+    def test_fresh_run_truncates_stale_journal(self, pristine, tmp_path):
+        fleet = _copy(pristine, tmp_path)
+        process_fleet(fleet, jobs=0, source="shards")
+        process_fleet(fleet, jobs=0, source="shards")
+        events, _ = FleetLedger.read(fleet.directory / LEDGER_NAME)
+        assert [e["event"] for e in events].count("plan") == 1
+
+
+class TestProfileCatalog:
+    def test_profiles_are_ordered_by_hostility(self):
+        light = CHAOS_PROFILES["light"]
+        hostile = CHAOS_PROFILES["hostile"]
+        assert light.torn_shards == light.bitflips == 0
+        assert hostile.torn_shards + hostile.bitflips >= 1
+        assert hostile.kills >= light.kills

@@ -91,6 +91,34 @@ class TestFleetVerb:
         doc = json.loads(report.read_text())
         assert [m["exp_id"] for m in doc["experiments"]] == ["fig05"]
 
+    def test_chaos_run_reports_degradation(self, tmp_path, capsys):
+        from repro.obs.schema import validate_jsonl
+
+        report = tmp_path / "fleet-report.json"
+        rc = _fleet(
+            tmp_path, "--jobs", "0", "--check",
+            "--chaos", "moderate", "--chaos-seed", "3",
+            "--fleet-report", str(report),
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "status: pass-degraded" in captured.out
+        assert "quarantined" in captured.err
+        assert "over surviving shards" in captured.out
+        assert validate_file(FLEET_SCHEMA, report) == []
+        doc = json.loads(report.read_text())
+        assert doc["result"]["status"] == "pass-degraded"
+        assert doc["result"]["quarantined"]
+        assert doc["check"]["degraded"] is True
+        # The run's journal validates line by line against its schema.
+        ledger = tmp_path / "fleet" / "fleet-ledger.jsonl"
+        assert ledger.exists()
+        assert validate_jsonl(
+            REPO / "schemas" / "ledger.schema.json", ledger
+        ) == []
+        manifest = tmp_path / "fleet" / "chaos-manifest.json"
+        assert json.loads(manifest.read_text())["profile"] == "moderate"
+
     def test_trace_and_metrics_artifacts(self, tmp_path):
         trace = tmp_path / "trace.json"
         metrics = tmp_path / "metrics.json"

@@ -1,0 +1,137 @@
+"""Fleet ledger append/read semantics and the digest-verified shard cache."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults.coalesce import coalesce
+from repro.faults.types import FaultMode, empty_errors
+from repro.fleet import FleetLedger, ShardResultCache, task_key
+from repro.logs.ingest import IngestStats
+
+
+def _shard_result(n=16):
+    errors = empty_errors(n)
+    errors["time"] = np.arange(n) * 10
+    errors["node"] = np.arange(n) % 3
+    faults = coalesce(errors)
+    return {
+        "faults": faults,
+        "mode_counts": np.bincount(
+            faults["mode"], minlength=len(FaultMode)
+        ).astype(np.int64),
+        "n_errors": n,
+        "stats": IngestStats(family="errors", seen=n, parsed=n, source="shards"),
+        "wall_s": 0.01,
+    }
+
+
+class TestLedger:
+    def test_append_and_read_round_trip(self, tmp_path):
+        path = tmp_path / "fleet-ledger.jsonl"
+        with FleetLedger(path) as ledger:
+            ledger.append("plan", n_tasks=2, jobs=0)
+            ledger.append("attempt", task="c0/s0", attempt=1)
+            ledger.append("commit", task="c0/s0", digest="deadbeef")
+        events, skipped = FleetLedger.read(path)
+        assert skipped == 0
+        assert [e["event"] for e in events] == ["plan", "attempt", "commit"]
+        assert all("t" in e and e["v"] == 1 for e in events)
+
+    def test_unknown_event_rejected(self, tmp_path):
+        with FleetLedger(tmp_path / "l.jsonl") as ledger:
+            with pytest.raises(ValueError, match="unknown ledger event"):
+                ledger.append("explode")
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        with FleetLedger(path) as ledger:
+            ledger.append("plan", n_tasks=1)
+            ledger.append("commit", task="c0/s0", digest="00000000")
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-9])  # kill -9 mid-append tears the tail
+        events, skipped = FleetLedger.read(path)
+        assert skipped == 1
+        assert [e["event"] for e in events] == ["plan"]
+
+    def test_foreign_lines_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        with FleetLedger(path) as ledger:
+            ledger.append("plan", n_tasks=1)
+        with open(path, "a") as fh:
+            fh.write("not json at all\n")
+            fh.write(json.dumps({"v": 99, "event": "commit", "t": 0}) + "\n")
+        events, skipped = FleetLedger.read(path)
+        assert len(events) == 1
+        assert skipped == 2
+
+    def test_missing_ledger_reads_empty(self, tmp_path):
+        assert FleetLedger.read(tmp_path / "absent.jsonl") == ([], 0)
+
+    def test_committed_last_wins(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        with FleetLedger(path) as ledger:
+            ledger.append("commit", task="c0/s0", digest="aaaaaaaa")
+            ledger.append("quarantine", task="c0/s1", reason="torn")
+            ledger.append("commit", task="c0/s0", digest="bbbbbbbb")
+        committed = FleetLedger.committed(path)
+        assert set(committed) == {"c0/s0"}
+        assert committed["c0/s0"]["digest"] == "bbbbbbbb"
+
+    def test_truncate_discards_prior_run(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        with FleetLedger(path) as ledger:
+            ledger.append("commit", task="c0/s0", digest="aaaaaaaa")
+        # A fresh (non-resume) run starts its journal over: stale commits
+        # from an earlier run must never satisfy a later --resume.
+        with FleetLedger(path, truncate=True) as ledger:
+            ledger.append("plan", n_tasks=1)
+        events, _ = FleetLedger.read(path)
+        assert [e["event"] for e in events] == ["plan"]
+        assert FleetLedger.committed(path) == {}
+
+    def test_task_key_shape(self):
+        assert task_key({"cluster": "c-00", "shard": "errors-rack03.npy"}) == (
+            "c-00/errors-rack03.npy"
+        )
+
+
+class TestShardResultCache:
+    def test_save_load_round_trip(self, tmp_path):
+        cache = ShardResultCache(tmp_path / "fleet-cache")
+        result = _shard_result()
+        rel, digest = cache.save("c0/s0.npy", result)
+        assert (tmp_path / "fleet-cache" / rel).exists()
+        loaded = cache.load("c0/s0.npy", digest)
+        assert loaded is not None
+        assert loaded["faults"].tobytes() == result["faults"].tobytes()
+        assert np.array_equal(loaded["mode_counts"], result["mode_counts"])
+        assert loaded["n_errors"] == result["n_errors"]
+        assert loaded["stats"].to_dict() == result["stats"].to_dict()
+
+    def test_wrong_digest_returns_none(self, tmp_path):
+        cache = ShardResultCache(tmp_path / "c")
+        _, digest = cache.save("k", _shard_result())
+        assert cache.load("k", "0" * 8) is None
+        assert cache.load("k", digest) is not None
+
+    def test_torn_cache_file_returns_none(self, tmp_path):
+        cache = ShardResultCache(tmp_path / "c")
+        _, digest = cache.save("k", _shard_result())
+        path = cache.path_for("k")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert cache.load("k", digest) is None
+
+    def test_missing_file_returns_none(self, tmp_path):
+        cache = ShardResultCache(tmp_path / "c")
+        assert cache.load("never-saved", "00000000") is None
+
+    def test_key_with_slash_flattens(self, tmp_path):
+        cache = ShardResultCache(tmp_path / "c")
+        rel, _ = cache.save("cluster-00/errors-rack03.npy", _shard_result(4))
+        assert "/" not in rel
+        assert rel.startswith("cluster-00__errors-rack03")

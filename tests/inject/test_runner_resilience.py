@@ -159,7 +159,7 @@ class TestSerialRetry:
         assert metric.attempts == 2
         assert "permanently broken" in metric.error
 
-    def test_backoff_is_exponential(self, monkeypatch):
+    def test_backoff_is_jittered_exponential(self, monkeypatch):
         sleeps = []
         monkeypatch.setattr(time, "sleep", sleeps.append)
 
@@ -175,4 +175,24 @@ class TestSerialRetry:
         ExperimentRunner(jobs=0, retries=3, backoff_s=0.1).run(
             _DummyCampaign(), ["broken"]
         )
-        assert sleeps == pytest.approx([0.1, 0.2, 0.4])
+        # Full jitter: each delay is uniform in [0, backoff_s * 2**(n-1)],
+        # drawn from the seeded RNG -- bounded by the exponential caps
+        # and reproducible for a given backoff_seed.
+        import random
+
+        from repro._util import full_jitter_backoff
+
+        rng = random.Random(0)
+        expected = [full_jitter_backoff(n, 0.1, 5.0, rng) for n in (1, 2, 3)]
+        assert sleeps == pytest.approx(expected)
+        for sleep, cap in zip(sleeps, [0.1, 0.2, 0.4]):
+            assert 0.0 <= sleep <= cap
+
+    def test_backoff_caps_at_max(self):
+        import random
+
+        from repro._util import full_jitter_backoff
+
+        rng = random.Random(123)
+        for attempt in (10, 20, 60):
+            assert full_jitter_backoff(attempt, 0.25, 5.0, rng) <= 5.0

@@ -93,3 +93,36 @@ class TestMapReduce:
 
 def _slot_counts(shard):
     return counts_by(shard, "slot")[0]
+
+
+def _double(x):
+    return x * 2
+
+
+class TestPoolBrokenFallback:
+    def test_broken_pool_finishes_serially_with_audit_trail(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro import obs
+        from repro.parallel import executor
+
+        class _DoomedPool:
+            def __init__(self, max_workers):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, task):
+                raise BrokenProcessPool("worker exited abruptly")
+
+        monkeypatch.setattr(executor, "ProcessPoolExecutor", _DoomedPool)
+        before = obs.get_metrics().counter_value("parallel.pool_broken")
+        with pytest.warns(RuntimeWarning, match="process pool broke"):
+            out = executor.map_tasks(_double, [1, 2, 3], n_workers=2)
+        assert out == [2, 4, 6]  # serial fallback still answers exactly
+        after = obs.get_metrics().counter_value("parallel.pool_broken")
+        assert after == before + 1

@@ -104,6 +104,34 @@ class TestStreamVerb:
         code = main(["stream", str(tmp_path / "nope")])
         assert code != 0
 
+    def test_truncated_file_exits_2_with_recovery_hint(
+        self, text_campaign, tmp_path, capsys
+    ):
+        # Stream part of the log, then truncate it below the checkpoint
+        # offset -- the classic logrotate-without-copytruncate accident.
+        # The CLI must map the TailError to a clean exit 2 with the
+        # recovery hint, not a traceback.
+        import shutil
+
+        camp = tmp_path / "camp"
+        shutil.copytree(text_campaign, camp)
+        ckpt = tmp_path / "ckpt"
+        base = [
+            "stream", str(camp),
+            "--checkpoint-dir", str(ckpt),
+            "--batch-bytes", str(1 << 18),
+        ]
+        assert main(base + ["--max-batches", "2"]) == 0
+        capsys.readouterr()
+        log = camp / "ce.log"
+        log.write_bytes(log.read_bytes()[: 1 << 10])
+        assert main(base) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "rotated or truncated" in err
+        assert "To recover" in err
+        assert "Traceback" not in err
+
     def test_trace_and_metrics_out(self, text_campaign, tmp_path, capsys):
         trace = tmp_path / "trace.json"
         metrics = tmp_path / "metrics.json"
