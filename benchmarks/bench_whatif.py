@@ -1,0 +1,215 @@
+"""What-if engine benchmark: vectorised scenario replay vs brute force.
+
+Two measurements over one synthesised campaign:
+
+- **full replay** (the headline): the vectorised engine replays the
+  whole campaign under the full default grid -- 4 codes x 4 scrub
+  intervals x 2 retirement thresholds = 32 scenarios -- and must finish
+  inside ``--max-seconds`` (default 10).
+- **speedup** (the honesty check): on a deterministic downsample
+  (``--check-events``, default 20000), both the engine and the
+  brute-force per-event reference (:mod:`repro.mitigation.reference`)
+  replay the same grid.  Their per-event outcome arrays must be
+  element-identical on every scenario (asserted on every run, not just
+  under ``--check``), and the engine must beat the reference by
+  ``--min-speedup`` (default 5.0).  The reference is only ever timed on
+  the downsample -- at full campaign volume it would run for hours,
+  which is precisely why the engine exists.
+
+Writes a JSON report (default ``BENCH_whatif.json``) whose
+``results.<family>.<op>.fast_s`` shape is consumable by
+``python -m repro.logs.bench_compare``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_whatif.py --scale 1.0
+    PYTHONPATH=src python benchmarks/bench_whatif.py --scale 0.02 \
+        --check-events 4000 --check --min-speedup 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.mitigation.reference import reference_replay_events
+from repro.mitigation.whatif import (
+    replay_campaign,
+    replay_events,
+    scenario_grid,
+)
+from repro.synth import CampaignGenerator
+
+GRID_SCRUB_H = (0.0, 1.0, 24.0, 168.0)
+GRID_RETIRE = (0, 2)
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def run(
+    scale: float,
+    seed: int,
+    check_events: int,
+    jobs: int,
+    out_path: Path,
+    check: bool,
+    min_speedup: float,
+    max_seconds: float,
+) -> int:
+    campaign = CampaignGenerator(seed=seed, scale=scale).generate()
+    errors = campaign.errors
+    grid = scenario_grid(
+        scrub_hours=GRID_SCRUB_H, retire_thresholds=GRID_RETIRE
+    )
+    print(
+        f"campaign: {errors.size} CEs (seed={seed}, scale={scale:g}); "
+        f"grid: {len(grid)} scenarios",
+        flush=True,
+    )
+
+    reports, full_s = _timed(
+        lambda: replay_campaign(errors, grid, seed=seed, jobs=jobs)
+    )
+    worst = max(reports, key=lambda r: r.uncorrected)
+    print(
+        f"full replay (jobs={jobs}): {full_s:.3f}s "
+        f"({errors.size * len(grid) / max(full_s, 1e-9):.0f} event-"
+        f"scenarios/s; worst scenario: {worst.scenario.label})",
+        flush=True,
+    )
+
+    take = min(max(int(check_events), 1), int(errors.size))
+    sel = np.unique(np.linspace(0, errors.size - 1, take).astype(np.int64))
+    sub = np.ascontiguousarray(errors[sel])
+
+    fast_outs, fast_sub_s = _timed(
+        lambda: [replay_events(sub, sc, seed=seed) for sc in grid]
+    )
+    slow_outs, slow_sub_s = _timed(
+        lambda: [reference_replay_events(sub, sc, seed=seed) for sc in grid]
+    )
+    mismatches = sum(
+        int((a != b).sum()) for a, b in zip(fast_outs, slow_outs)
+    )
+    identical = mismatches == 0
+    speedup = slow_sub_s / max(fast_sub_s, 1e-9)
+    print(
+        f"downsample ({sub.size} events x {len(grid)} scenarios): "
+        f"engine {fast_sub_s:.3f}s vs reference {slow_sub_s:.3f}s "
+        f"({speedup:.1f}x, identical={identical})",
+        flush=True,
+    )
+
+    results = {
+        "whatif": {
+            "replay-full": {
+                "events": int(errors.size),
+                "scenarios": len(grid),
+                "jobs": jobs,
+                "fast_s": round(full_s, 4),
+                "slow_s": round(
+                    slow_sub_s * (errors.size / max(sub.size, 1)), 2
+                ),
+                "speedup": round(
+                    slow_sub_s * (errors.size / max(sub.size, 1)) / max(full_s, 1e-9),
+                    1,
+                ),
+            },
+            "replay-check": {
+                "events": int(sub.size),
+                "scenarios": len(grid),
+                "jobs": 0,
+                "fast_s": round(fast_sub_s, 4),
+                "slow_s": round(slow_sub_s, 4),
+                "speedup": round(speedup, 2),
+            },
+        }
+    }
+    report = {
+        "schema": 1,
+        "scale": scale,
+        "seed": seed,
+        "events": int(errors.size),
+        "grid": {
+            "codes": [sc.code for sc in grid[: len(set(s.code for s in grid))]],
+            "scrub_h": list(GRID_SCRUB_H),
+            "retire": list(GRID_RETIRE),
+        },
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+        "python": sys.version.split()[0],
+        "identity": bool(identical),
+        "mismatches": int(mismatches),
+        "full_replay_s": round(full_s, 4),
+        "results": results,
+    }
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+
+    failures = []
+    if not identical:
+        failures.append(
+            f"engine-vs-reference identity failed: {mismatches} per-event "
+            "mismatches on the downsampled grid"
+        )
+    if check:
+        if full_s > max_seconds:
+            failures.append(
+                f"full-grid replay took {full_s:.2f}s, over the "
+                f"{max_seconds:g}s ceiling"
+            )
+        if speedup < min_speedup:
+            failures.append(
+                f"engine speedup is {speedup:.1f}x, below the "
+                f"{min_speedup:g}x floor"
+            )
+    if failures:
+        print("WHATIF-BENCH FAILURES:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    if check:
+        print(
+            f"whatif bench OK: identical, full grid in {full_s:.2f}s, "
+            f"{speedup:.1f}x over the reference"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--scale", type=float, default=1.0,
+                    help="campaign volume scale (default 1.0 = 4.37M CEs)")
+    ap.add_argument("--seed", type=int, default=7, help="campaign seed")
+    ap.add_argument("--check-events", type=int, default=20000,
+                    help="downsample size for the reference comparison "
+                         "(default 20000)")
+    ap.add_argument("--jobs", type=int, default=0,
+                    help="worker processes for the full replay (default 0)")
+    ap.add_argument("--out", type=Path, default=Path("BENCH_whatif.json"))
+    ap.add_argument("--check", action="store_true",
+                    help="exit non-zero unless identical, under the time "
+                         "ceiling, and over the speedup floor")
+    ap.add_argument("--min-speedup", type=float, default=5.0,
+                    help="engine-vs-reference speedup floor (default 5.0)")
+    ap.add_argument("--max-seconds", type=float, default=10.0,
+                    help="full-grid replay time ceiling (default 10.0)")
+    args = ap.parse_args(argv)
+    return run(
+        args.scale, args.seed, args.check_events, args.jobs, args.out,
+        args.check, args.min_speedup, args.max_seconds,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,211 +11,46 @@ motivated error patterns through both *real* codecs:
 - :class:`repro.machine.chipkill.ChipkillSsc` -- an SSC-DSD symbol code
   over GF(256), the chipkill-correct class.
 
-Patterns are defined at device granularity (x8 DRAM chips), the level at
-which real faults strike.  Outcomes distinguish *miscorrection* (the
-decoder "fixes" the word into silent corruption) from clean detection,
-because that is the difference between a crashed job and a wrong answer.
+The evaluation machinery now lives in :mod:`repro.mitigation.codes`,
+the code-model layer shared with the counterfactual what-if engine
+(:mod:`repro.mitigation.whatif`); this module re-exports it unchanged
+-- same functions, same RNG draw order, byte-identical results -- and
+keeps the text rendering for the ablation bench and examples.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.machine.chipkill import (
+from repro.machine.chipkill import (  # noqa: F401  (re-exported context)
     CHECK_SYMBOLS,
     CODEWORD_SYMBOLS,
     DATA_SYMBOLS,
     ChipkillSsc,
 )
-from repro.machine.dram import CODEWORD_BITS, DATA_BITS, SecDed72
-
-#: The error patterns studied, in escalating severity.
-PATTERNS = (
-    "single-bit",
-    "double-bit same device",
-    "double-bit cross device",
-    "single device failure",
-    "double device failure",
+from repro.machine.dram import (  # noqa: F401  (re-exported context)
+    CODEWORD_BITS,
+    DATA_BITS,
+    SecDed72,
+)
+from repro.mitigation.codes import (  # noqa: F401
+    PATTERNS,
+    EccOutcomes,
+    _chipkill_pattern_symbols,
+    _secded_pattern_bits,
+    compare_schemes,
+    evaluate_chipkill,
+    evaluate_secded,
 )
 
-
-@dataclass(frozen=True)
-class EccOutcomes:
-    """Monte-Carlo outcome tallies for one (scheme, pattern) pair."""
-
-    corrected: int
-    detected: int
-    miscorrected: int
-    undetected: int
-
-    @property
-    def trials(self) -> int:
-        return self.corrected + self.detected + self.miscorrected + self.undetected
-
-    @property
-    def silent_fraction(self) -> float:
-        """Fraction of trials ending in silent corruption (the worst)."""
-        bad = self.miscorrected + self.undetected
-        return bad / self.trials if self.trials else 0.0
-
-    def summary(self) -> str:
-        n = max(self.trials, 1)
-        return (
-            f"corrected {self.corrected / n:6.1%}  "
-            f"detected {self.detected / n:6.1%}  "
-            f"miscorrected {self.miscorrected / n:6.1%}  "
-            f"undetected {self.undetected / n:6.1%}"
-        )
-
-
-# ----------------------------------------------------------------------
-# SEC-DED evaluation: 72-bit words over nine x8 devices (8 data + check).
-# ----------------------------------------------------------------------
 _SECDED_DEVICES = CODEWORD_BITS // 8  # 9
 
-
-def _secded_pattern_bits(pattern: str, n: int, rng) -> list[np.ndarray]:
-    """Per-trial lists of codeword bit positions to flip."""
-    if pattern == "single-bit":
-        return [rng.integers(0, CODEWORD_BITS, 1) for _ in range(n)]
-    if pattern == "double-bit same device":
-        out = []
-        for _ in range(n):
-            dev = rng.integers(0, _SECDED_DEVICES)
-            bits = dev * 8 + rng.choice(8, 2, replace=False)
-            out.append(bits)
-        return out
-    if pattern == "double-bit cross device":
-        out = []
-        for _ in range(n):
-            devs = rng.choice(_SECDED_DEVICES, 2, replace=False)
-            out.append(devs * 8 + rng.integers(0, 8, 2))
-        return out
-    if pattern == "single device failure":
-        out = []
-        for _ in range(n):
-            dev = int(rng.integers(0, _SECDED_DEVICES))
-            byte = int(rng.integers(1, 256))  # nonzero corruption
-            bits = np.flatnonzero([(byte >> b) & 1 for b in range(8)]) + dev * 8
-            out.append(bits)
-        return out
-    if pattern == "double device failure":
-        out = []
-        for _ in range(n):
-            devs = rng.choice(_SECDED_DEVICES, 2, replace=False)
-            bits = []
-            for dev in devs:
-                byte = int(rng.integers(1, 256))
-                bits.extend(
-                    int(dev) * 8 + b for b in range(8) if (byte >> b) & 1
-                )
-            out.append(np.array(bits))
-        return out
-    raise ValueError(f"unknown pattern: {pattern!r}")
-
-
-def evaluate_secded(pattern: str, trials: int = 2000, seed: int = 0) -> EccOutcomes:
-    """Inject a pattern through the Hsiao SEC-DED codec."""
-    rng = np.random.default_rng(seed)
-    code = SecDed72()
-    corrected = detected = miscorrected = undetected = 0
-    flips = _secded_pattern_bits(pattern, trials, rng)
-    data = rng.integers(0, 2**63, trials, dtype=np.uint64)
-    checks = code.encode(data)
-    for i in range(trials):
-        bad_d, bad_c = data[i], int(checks[i])
-        for pos in np.asarray(flips[i], dtype=np.int64):
-            if pos < DATA_BITS:
-                bad_d = bad_d ^ (np.uint64(1) << np.uint64(pos))
-            else:
-                bad_c ^= 1 << int(pos - DATA_BITS)
-        fixed, status = code.correct(bad_d, np.uint8(bad_c))
-        if status == 0:
-            # Zero syndrome with flips applied: undetected corruption.
-            undetected += 1
-        elif status == 2:
-            detected += 1
-        elif fixed == data[i]:
-            corrected += 1
-        else:
-            miscorrected += 1
-    return EccOutcomes(corrected, detected, miscorrected, undetected)
-
-
-# ----------------------------------------------------------------------
-# Chipkill evaluation: 19-symbol words over x8 devices (one per symbol).
-# ----------------------------------------------------------------------
-def _chipkill_pattern_symbols(pattern: str, n: int, rng):
-    """Per-trial (positions, error_bytes) to XOR into codewords."""
-    if pattern == "single-bit":
-        pos = rng.integers(0, CODEWORD_SYMBOLS, (n, 1))
-        err = (1 << rng.integers(0, 8, (n, 1))).astype(np.uint8)
-        return pos, err
-    if pattern == "double-bit same device":
-        pos = rng.integers(0, CODEWORD_SYMBOLS, (n, 1))
-        err = np.zeros((n, 1), dtype=np.uint8)
-        for i in range(n):
-            bits = rng.choice(8, 2, replace=False)
-            err[i, 0] = (1 << bits[0]) | (1 << bits[1])
-        return pos, err
-    if pattern == "double-bit cross device":
-        pos = np.stack(
-            [rng.choice(CODEWORD_SYMBOLS, 2, replace=False) for _ in range(n)]
-        )
-        err = (1 << rng.integers(0, 8, (n, 2))).astype(np.uint8)
-        return pos, err
-    if pattern == "single device failure":
-        pos = rng.integers(0, CODEWORD_SYMBOLS, (n, 1))
-        err = rng.integers(1, 256, (n, 1)).astype(np.uint8)
-        return pos, err
-    if pattern == "double device failure":
-        pos = np.stack(
-            [rng.choice(CODEWORD_SYMBOLS, 2, replace=False) for _ in range(n)]
-        )
-        err = rng.integers(1, 256, (n, 2)).astype(np.uint8)
-        return pos, err
-    raise ValueError(f"unknown pattern: {pattern!r}")
-
-
-def evaluate_chipkill(pattern: str, trials: int = 2000, seed: int = 0) -> EccOutcomes:
-    """Inject a pattern through the SSC-DSD chipkill codec."""
-    rng = np.random.default_rng(seed)
-    code = ChipkillSsc()
-    data = rng.integers(0, 256, (trials, DATA_SYMBOLS)).astype(np.uint8)
-    clean = code.encode(data)
-    bad = clean.copy()
-    pos, err = _chipkill_pattern_symbols(pattern, trials, rng)
-    rows = np.arange(trials)[:, None]
-    bad[rows, pos] ^= err
-    fixed, status = code.decode(bad)
-
-    corrected = detected = miscorrected = undetected = 0
-    for i in range(trials):
-        if status[i] == 0:
-            undetected += 1
-        elif status[i] == 2:
-            detected += 1
-        elif np.array_equal(fixed[i], clean[i]):
-            corrected += 1
-        else:
-            miscorrected += 1
-    return EccOutcomes(corrected, detected, miscorrected, undetected)
-
-
-def compare_schemes(trials: int = 2000, seed: int = 0) -> dict:
-    """Run every pattern through both codecs.
-
-    Returns ``{pattern: {"secded": EccOutcomes, "chipkill": EccOutcomes}}``.
-    """
-    out = {}
-    for pattern in PATTERNS:
-        out[pattern] = {
-            "secded": evaluate_secded(pattern, trials, seed),
-            "chipkill": evaluate_chipkill(pattern, trials, seed),
-        }
-    return out
+__all__ = [
+    "PATTERNS",
+    "EccOutcomes",
+    "compare_schemes",
+    "evaluate_chipkill",
+    "evaluate_secded",
+    "render_comparison",
+]
 
 
 def render_comparison(results: dict) -> str:

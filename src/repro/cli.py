@@ -153,7 +153,7 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
 #: unknown-command pre-check in :func:`main`.
 _COMMANDS = (
     "synth", "analyze", "experiment", "stream", "fleet", "mitigate",
-    "validate", "release", "list",
+    "whatif", "validate", "release", "list",
 )
 
 
@@ -380,6 +380,76 @@ def _build_parser() -> argparse.ArgumentParser:
     p_mit.add_argument(
         "--exclude-budget", type=int, default=1000, help="exclude-list CE budget"
     )
+
+    p_whatif = sub.add_parser(
+        "whatif",
+        help="counterfactual ECC replay: codes x scrub x retirement grids",
+    )
+    _add_common_gen_args(p_whatif)
+    p_whatif.add_argument(
+        "--codes",
+        default="secded,chipkill,rs-36-32,rs-72-64",
+        help="comma-separated protection codes to replay under "
+        "(default: all four)",
+    )
+    p_whatif.add_argument(
+        "--scrub",
+        default="0,24",
+        help="comma-separated patrol-scrub intervals in hours; 0 = no "
+        "scrubbing (default: 0,24)",
+    )
+    p_whatif.add_argument(
+        "--retire",
+        default="0,2",
+        help="comma-separated page-retirement CE thresholds; 0 = off "
+        "(default: 0,2)",
+    )
+    p_whatif.add_argument(
+        "--exclude-budget",
+        type=int,
+        default=0,
+        help="exclude-list CE budget applied to every scenario; 0 = off",
+    )
+    p_whatif.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="replay policy groups in N parallel workers (0/1 = serial; "
+        "byte-identical to serial)",
+    )
+    p_whatif.add_argument(
+        "--fleet",
+        metavar="DIR",
+        default=None,
+        help="replay a stored fleet campaign directory instead of "
+        "synthesising one from --seed/--scale",
+    )
+    p_whatif.add_argument(
+        "--scenarios-out",
+        metavar="PATH",
+        default=None,
+        help="write the per-scenario report tables as JSON to PATH "
+        "(schemas/whatif.schema.json)",
+    )
+    p_whatif.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the vectorised engine element-for-element against "
+        "the brute-force per-event reference on a downsampled replay "
+        "(exit 1 on any mismatch)",
+    )
+    p_whatif.add_argument(
+        "--check-events",
+        type=int,
+        default=20000,
+        metavar="N",
+        help="downsample size for --check (default 20000)",
+    )
+    for flag, help_text in (
+        ("--trace-out", "enable tracing and write the span tree to PATH"),
+        ("--metrics-out", "write the metrics registry as JSON to PATH"),
+    ):
+        p_whatif.add_argument(flag, metavar="PATH", default=None, help=help_text)
 
     p_val = sub.add_parser(
         "validate", help="check a campaign against the calibration targets"
@@ -885,6 +955,165 @@ def _run_fleet(args, trace_out, metrics_out) -> int:
     return exit_code
 
 
+def _parse_axis(raw: str, kind, flag: str) -> list:
+    """Parse a comma-separated numeric CLI axis with a friendly exit 2."""
+    out = []
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            out.append(kind(part))
+        except ValueError:
+            print(
+                f"error: invalid {flag} value {part!r} (expected "
+                f"{kind.__name__}s, comma-separated)",
+                file=sys.stderr,
+            )
+            raise SystemExit(2) from None
+    if not out:
+        print(f"error: {flag} must name at least one value", file=sys.stderr)
+        raise SystemExit(2)
+    return out
+
+
+def _run_whatif(args, trace_out, metrics_out) -> int:
+    """The ``whatif`` verb: counterfactual scenario replay + self-check."""
+    import json
+    import time
+
+    import numpy as np
+
+    from repro import obs
+    from repro.mitigation.codes import CODES
+    from repro.mitigation.reference import reference_replay_events
+    from repro.mitigation.whatif import (
+        render_table,
+        replay_campaign,
+        replay_events,
+        scenario_grid,
+    )
+
+    _validate_json_report(args.scenarios_out)
+    codes = [c.strip() for c in args.codes.split(",") if c.strip()]
+    unknown = [c for c in codes if c not in CODES]
+    if not codes or unknown:
+        print(
+            f"error: unknown code(s): {', '.join(unknown) or '(none given)'}\n"
+            f"known codes: {', '.join(CODES)}",
+            file=sys.stderr,
+        )
+        return 2
+    scrub_hours = _parse_axis(args.scrub, float, "--scrub")
+    retire = _parse_axis(args.retire, int, "--retire")
+    if min(scrub_hours) < 0 or min(retire) < 0 or args.exclude_budget < 0:
+        print(
+            "error: --scrub/--retire/--exclude-budget values must be >= 0 "
+            "(0 disables the mechanism)",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.fleet:
+        from repro.fleet import Fleet, fleet_errors
+
+        fleet = Fleet.load(args.fleet)
+        errors = np.ascontiguousarray(fleet_errors(fleet))
+        source = f"fleet:{args.fleet}"
+    else:
+        from repro.synth import CampaignGenerator
+
+        campaign = CampaignGenerator(seed=args.seed, scale=args.scale).generate()
+        errors = campaign.errors
+        source = "synth"
+
+    scenarios = scenario_grid(
+        codes=codes,
+        scrub_hours=scrub_hours,
+        retire_thresholds=retire,
+        exclude_budget=args.exclude_budget,
+    )
+    t0 = time.perf_counter()
+    reports = replay_campaign(errors, scenarios, seed=args.seed, jobs=args.jobs)
+    wall = time.perf_counter() - t0
+    print(
+        f"replayed {errors.size} CEs under {len(scenarios)} scenarios "
+        f"in {wall:.2f}s (source={source}, jobs={args.jobs})"
+    )
+    print(render_table(reports))
+
+    check_payload = None
+    exit_code = 0
+    if args.check:
+        n = int(errors.size)
+        take = min(max(int(args.check_events), 1), n) if n else 0
+        sel = np.unique(np.linspace(0, n - 1, take).astype(np.int64)) if n else []
+        sub = errors[sel]
+        mismatches = 0
+        with obs.span("whatif.check", transient=True) as sp:
+            for sc in scenarios:
+                fast = replay_events(sub, sc, seed=args.seed)
+                slow = reference_replay_events(sub, sc, seed=args.seed)
+                mismatches += int((fast != slow).sum())
+            sp.add(events=int(sub.size), scenarios=len(scenarios))
+        check_payload = {
+            "identical": mismatches == 0,
+            "events_compared": int(sub.size),
+            "scenarios_compared": len(scenarios),
+            "mismatches": mismatches,
+        }
+        if mismatches:
+            print(
+                f"check FAILED: {mismatches} per-event mismatches vs the "
+                "brute-force reference",
+                file=sys.stderr,
+            )
+            exit_code = 1
+        else:
+            print(
+                f"check ok: engine identical to brute-force reference on "
+                f"{sub.size} events x {len(scenarios)} scenarios"
+            )
+
+    if args.scenarios_out:
+        now = time.time()
+        payload = {
+            "schema_version": 1,
+            "created": now,
+            "created_iso": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime(now)
+            ),
+            "campaign": {
+                "seed": int(args.seed),
+                "scale": float(args.scale),
+                "n_errors": int(errors.size),
+                "source": source,
+            },
+            "grid": {
+                "codes": codes,
+                "scrub_h": [float(s) for s in scrub_hours],
+                "retire": [int(r) for r in retire],
+                "exclude_budget": int(args.exclude_budget),
+            },
+            "jobs": int(args.jobs),
+            "wall_s": wall,
+            "check": check_payload,
+            "scenarios": [r.to_dict() for r in reports],
+        }
+        from pathlib import Path
+
+        Path(args.scenarios_out).write_text(json.dumps(payload, indent=2))
+        print(f"wrote scenario report to {args.scenarios_out}")
+
+    if trace_out:
+        obs.write_trace(trace_out)
+        print(f"wrote trace to {trace_out}")
+    if metrics_out:
+        obs.write_metrics(metrics_out)
+        print(f"wrote metrics to {metrics_out}")
+    return exit_code
+
+
 def _dispatch(args) -> int:
     from repro import obs
 
@@ -1013,6 +1242,9 @@ def _dispatch(args) -> int:
 
     if args.command == "fleet":
         return _run_fleet(args, trace_out, metrics_out)
+
+    if args.command == "whatif":
+        return _run_whatif(args, trace_out, metrics_out)
 
     if args.command == "mitigate":
         from repro.mitigation import (

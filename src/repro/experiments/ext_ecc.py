@@ -44,9 +44,52 @@ def run(campaign, trials: int = 1500, **_params) -> ExperimentResult:
             comparison[p]["chipkill"].silent_fraction == 0.0 for p in PATTERNS
         ),
     )
+    _scenario_sweep_checks(result, campaign)
     result.note(
         "the paper's section 3.2 remark -- multi-rank/multi-bank faults "
         "'would manifest as uncorrectable memory errors' -- is the "
         "SEC-DED column of this matrix"
     )
     return result
+
+
+def _scenario_sweep_checks(result: ExperimentResult, campaign) -> None:
+    """Replay the campaign through the what-if engine's strength chain.
+
+    The invariants hold at any scale because they are set inclusions
+    over the same replay, not calibrated magnitudes: a stronger code's
+    corrected set contains a weaker code's, the silent-free symbol
+    codes never miscorrect, and outcome accounting is conservative.
+    """
+    from repro.mitigation.codes import STRENGTH_ORDER
+    from repro.mitigation.whatif import Scenario, replay_campaign
+
+    scenarios = [Scenario(code=c, scrub_interval_h=24.0) for c in STRENGTH_ORDER]
+    reports = replay_campaign(campaign.errors, scenarios, seed=campaign.seed)
+    by_code = {r.scenario.code: r for r in reports}
+
+    result.series["whatif sweep (scrub=24h)"] = ", ".join(
+        f"{c}: due={by_code[c].due} silent={by_code[c].silent}"
+        for c in STRENGTH_ORDER
+    )
+    result.check(
+        "what-if accounting is conservative: "
+        "avoided+corrected+due+silent == injected for every code",
+        all(
+            r.avoided + r.corrected + r.due + r.silent == r.injected
+            for r in reports
+        ),
+    )
+    ordered = [by_code[c] for c in STRENGTH_ORDER]
+    result.check(
+        "stronger codes never leave more events uncorrected on the "
+        "same replay",
+        all(
+            a.uncorrected >= b.uncorrected
+            for a, b in zip(ordered, ordered[1:])
+        ),
+    )
+    result.check(
+        "symbol-erasure codes are silent-free on the campaign replay",
+        all(by_code[c].silent == 0 for c in STRENGTH_ORDER if c != "secded"),
+    )

@@ -11,16 +11,26 @@ lightweight mitigations work well on Astra-class systems:
   the handful of storm nodes that carry the bulk of all CEs.
 - :mod:`repro.mitigation.scrub` -- patrol scrubbing and the single-bit
   accumulation path from CEs to DUEs on SEC-DED memory.
+- :mod:`repro.mitigation.codes` -- protection-code models (SEC-DED,
+  SSC-DSD chipkill, RS symbol-erasure) plus real RS erasure algebra
+  over GF(256) and the pattern-level Monte-Carlo codec study.
+- :mod:`repro.mitigation.whatif` -- the counterfactual what-if engine:
+  vectorised replay of a whole campaign under code x scrub x
+  retirement x exclude-list scenario grids.
+- :mod:`repro.mitigation.reference` -- the brute-force per-event oracle
+  the engine is checked against (``repro whatif --check``).
 """
 
 from repro.mitigation.page_retirement import (
     PageRetirementPolicy,
     PageRetirementReport,
+    retirement_avoided_mask,
     simulate_page_retirement,
 )
 from repro.mitigation.exclude_list import (
     ExcludeListPolicy,
     ExcludeListReport,
+    exclude_avoided_mask,
     simulate_exclude_list,
 )
 from repro.mitigation.scrub import (
@@ -29,16 +39,48 @@ from repro.mitigation.scrub import (
     simulate_accumulation,
     upset_rate_from_campaign,
 )
+from repro.mitigation.codes import (
+    CODES,
+    STRENGTH_ORDER,
+    CodeModel,
+    classify_event,
+    get_code,
+)
+from repro.mitigation.whatif import (
+    Scenario,
+    ScenarioReport,
+    effective_bits,
+    render_table,
+    replay_campaign,
+    replay_events,
+    scenario_grid,
+)
+from repro.mitigation.reference import reference_replay_events
 
 __all__ = [
     "PageRetirementPolicy",
     "PageRetirementReport",
+    "retirement_avoided_mask",
     "simulate_page_retirement",
     "ExcludeListPolicy",
     "ExcludeListReport",
+    "exclude_avoided_mask",
     "simulate_exclude_list",
     "expected_alignment_dues",
     "scrub_sensitivity",
     "simulate_accumulation",
     "upset_rate_from_campaign",
+    "CODES",
+    "STRENGTH_ORDER",
+    "CodeModel",
+    "classify_event",
+    "get_code",
+    "Scenario",
+    "ScenarioReport",
+    "effective_bits",
+    "render_table",
+    "replay_campaign",
+    "replay_events",
+    "scenario_grid",
+    "reference_replay_events",
 ]

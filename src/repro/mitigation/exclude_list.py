@@ -5,6 +5,13 @@ paper suggests an exclude list for them as a lightweight mitigation.
 This simulator replays the CE stream through a policy that removes a node
 from scheduling once it exceeds a CE budget within a sliding window, and
 reports the error volume avoided against the node-hours lost.
+
+The stream does not have to be time-sorted: ingest's repair policy
+(``resort_by_time``) re-sorts by time only, so records may arrive
+node-interleaved and may carry duplicate timestamps (batch-reported
+CEs).  The replay lexsorts internally and counts as avoided only the
+errors *strictly after* the trigger instant -- errors logged at the
+exact moment the exclusion triggers cannot be prevented by it.
 """
 
 from __future__ import annotations
@@ -45,24 +52,28 @@ class ExcludeListReport:
         return self.errors_avoided / self.total_errors if self.total_errors else 0.0
 
 
-def simulate_exclude_list(
+def exclude_avoided_mask(
     errors: np.ndarray,
     policy: ExcludeListPolicy | None = None,
     horizon: float | None = None,
-) -> ExcludeListReport:
-    """Replay CE records through the exclude-list policy.
+) -> tuple[np.ndarray, int, float]:
+    """Per-error avoided mask, aligned with ``errors`` in original order.
 
-    A node is excluded permanently at the moment its trailing-window CE
-    count first reaches the budget; all its subsequent errors count as
-    avoided, and its remaining time to ``horizon`` (default: last error
-    time) as capacity lost.
+    Returns ``(mask, nodes_excluded, node_seconds_lost)``.  A node is
+    excluded permanently at the moment its trailing-window CE count
+    first reaches the budget; every error of that node with a timestamp
+    strictly greater than the trigger's counts as avoided.  Errors that
+    share the trigger timestamp are *not* avoided: they occur at the
+    same instant the exclusion takes effect, so the scheduler cannot
+    have drained the node yet.
     """
     if errors.dtype != ERROR_DTYPE:
         raise ValueError("expected ERROR_DTYPE")
     policy = policy or ExcludeListPolicy()
     total = int(errors.size)
+    mask = np.zeros(total, dtype=bool)
     if total == 0:
-        return ExcludeListReport(policy, 0, 0, 0, 0.0)
+        return mask, 0, 0.0
     horizon = float(errors["time"].max()) if horizon is None else float(horizon)
 
     order = np.lexsort((errors["time"], errors["node"]))
@@ -73,7 +84,6 @@ def simulate_exclude_list(
     starts = np.flatnonzero(new_node)
     bounds = np.append(starts, total)
 
-    avoided = 0
     excluded_nodes = 0
     seconds_lost = 0.0
     for a, b in zip(bounds[:-1], bounds[1:]):
@@ -89,12 +99,31 @@ def simulate_exclude_list(
             continue
         trigger = int(hits[0]) + k - 1
         excluded_nodes += 1
-        avoided += times.size - (trigger + 1)
+        mask[order[a:b][times > times[trigger]]] = True
         seconds_lost += max(0.0, horizon - float(times[trigger]))
+    return mask, excluded_nodes, seconds_lost
+
+
+def simulate_exclude_list(
+    errors: np.ndarray,
+    policy: ExcludeListPolicy | None = None,
+    horizon: float | None = None,
+) -> ExcludeListReport:
+    """Replay CE records through the exclude-list policy.
+
+    A node is excluded permanently at the moment its trailing-window CE
+    count first reaches the budget; all its errors strictly after that
+    instant count as avoided, and its remaining time to ``horizon``
+    (default: last error time) as capacity lost.
+    """
+    policy = policy or ExcludeListPolicy()
+    mask, excluded_nodes, seconds_lost = exclude_avoided_mask(
+        errors, policy, horizon
+    )
     return ExcludeListReport(
         policy=policy,
-        total_errors=total,
-        errors_avoided=int(avoided),
+        total_errors=int(errors.size),
+        errors_avoided=int(mask.sum()),
         nodes_excluded=excluded_nodes,
         node_seconds_lost=seconds_lost,
     )

@@ -56,21 +56,23 @@ class PageRetirementReport:
         return self.errors_avoided / self.total_errors if self.total_errors else 0.0
 
 
-def simulate_page_retirement(
+def retirement_avoided_mask(
     errors: np.ndarray, policy: PageRetirementPolicy | None = None
-) -> PageRetirementReport:
-    """Replay CE records through a page-retirement policy.
+) -> tuple[np.ndarray, int, int]:
+    """Per-error avoided mask, aligned with ``errors`` in original order.
 
-    Errors without a usable address (storm records) cannot be attributed
-    to a page and are never avoided -- exactly the operational reality
-    the paper's unattributed records imply.
+    Returns ``(mask, pages_retired, nodes_with_retirements)``.  Errors
+    without a usable address (storm records) cannot be attributed to a
+    page and are never avoided -- exactly the operational reality the
+    paper's unattributed records imply.
     """
     if errors.dtype != ERROR_DTYPE:
         raise ValueError("expected ERROR_DTYPE")
     policy = policy or PageRetirementPolicy()
     total = int(errors.size)
+    mask = np.zeros(total, dtype=bool)
     if total == 0:
-        return PageRetirementReport(policy, 0, 0, 0, 0, 0)
+        return mask, 0, 0
 
     addressable = errors["bank"] >= 0
     sub = errors[addressable]
@@ -108,14 +110,23 @@ def simulate_page_retirement(
         group_retires = budget_ok
         avoided_sorted = avoided_sorted & group_retires[gid]
 
-    errors_avoided = int(avoided_sorted.sum())
+    mask[np.flatnonzero(addressable)[order[avoided_sorted]]] = True
     pages_retired = int(group_retires.sum())
     nodes = np.unique(group_node[group_retires])
+    return mask, pages_retired, int(nodes.size)
+
+
+def simulate_page_retirement(
+    errors: np.ndarray, policy: PageRetirementPolicy | None = None
+) -> PageRetirementReport:
+    """Replay CE records through a page-retirement policy."""
+    policy = policy or PageRetirementPolicy()
+    mask, pages_retired, n_nodes = retirement_avoided_mask(errors, policy)
     return PageRetirementReport(
         policy=policy,
-        total_errors=total,
-        errors_avoided=errors_avoided,
+        total_errors=int(errors.size),
+        errors_avoided=int(mask.sum()),
         pages_retired=pages_retired,
-        nodes_with_retirements=int(nodes.size),
+        nodes_with_retirements=n_nodes,
         retired_bytes=pages_retired * policy.page_bytes,
     )

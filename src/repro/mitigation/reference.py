@@ -1,0 +1,87 @@
+"""Brute-force reference replay for the what-if engine.
+
+A deliberately slow, obviously-correct implementation of the scenario
+semantics in DESIGN.md section 13: plain Python loops over one event at
+a time, dicts and sets for word state, the scalar
+:func:`repro.mitigation.codes.classify_event` for outcomes.  No shared
+code with the vectorised engine beyond the policy mask helpers and the
+scalar code tables -- this is the oracle ``repro whatif --check`` and
+``benchmarks/bench_whatif.py`` hold the engine to, element for element.
+
+(The test suite carries a *second*, fully independent reference in
+``tests/mitigation/_reference.py`` that restates even the outcome
+tables literally; this module is the in-package oracle the CLI can run
+without the test tree.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.types import ERROR_DTYPE
+from repro.mitigation.codes import SYMBOL_BITS, classify_event
+from repro.mitigation.exclude_list import (
+    ExcludeListPolicy,
+    exclude_avoided_mask,
+)
+from repro.mitigation.page_retirement import (
+    PageRetirementPolicy,
+    retirement_avoided_mask,
+)
+from repro.mitigation.whatif import AVOIDED, Scenario, effective_bits
+
+
+def reference_replay_events(
+    errors: np.ndarray, scenario: Scenario, seed: int = 0
+) -> np.ndarray:
+    """Per-event outcomes in stream order, one event at a time."""
+    if errors.dtype != ERROR_DTYPE:
+        raise ValueError("expected ERROR_DTYPE")
+    n = int(errors.size)
+    out = np.full(n, AVOIDED, dtype=np.int8)
+    if n == 0:
+        return out
+
+    bits = effective_bits(errors, seed)
+    avoided = np.zeros(n, dtype=bool)
+    if scenario.retire_threshold:
+        m, _pages, _nodes = retirement_avoided_mask(
+            errors, PageRetirementPolicy(threshold=scenario.retire_threshold)
+        )
+        avoided |= m
+    if scenario.exclude_budget:
+        m, _excl, _lost = exclude_avoided_mask(
+            errors,
+            ExcludeListPolicy(
+                ce_budget=scenario.exclude_budget,
+                window_s=scenario.exclude_window_s,
+            ),
+        )
+        avoided |= m
+
+    scrub_s = scenario.scrub_interval_h * 3600.0
+    order = sorted(range(n), key=lambda i: (errors["time"][i], i))
+    word_bits: dict[tuple, set] = {}
+    word_devs: dict[tuple, set] = {}
+    for i in order:
+        if avoided[i]:
+            continue
+        e = errors[i]
+        if e["bank"] >= 0:
+            word = (
+                int(e["node"]),
+                int(e["slot"]),
+                int(e["rank"]),
+                int(e["bank"]),
+                int(e["address"]),
+            )
+        else:
+            word = ("storm", i)
+        interval = int(float(e["time"]) // scrub_s) if scrub_s else 0
+        key = (word, interval)
+        bset = word_bits.setdefault(key, set())
+        dset = word_devs.setdefault(key, set())
+        bset.add(int(bits[i]))
+        dset.add(int(bits[i]) // SYMBOL_BITS)
+        out[i] = classify_event(scenario.code, len(bset), len(dset))
+    return out

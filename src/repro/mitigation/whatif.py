@@ -1,0 +1,489 @@
+"""Counterfactual ECC what-if engine: replay the campaign under other codes.
+
+The paper reports what Astra's SEC-DED actually did.  This engine
+answers the question the fleet operator asks next: *what would the same
+fault campaign have cost under a different protection stack?*  It
+replays every CE of a campaign (batch, synthesised, or fleet-merged)
+under a grid of protection scenarios -- code x scrub interval x
+page-retirement threshold x exclude-list budget -- and tallies, per
+scenario, how many events a mitigation policy avoided outright, how
+many the code corrected, how many became detected uncorrectable errors,
+how many became silent corruption, and how many DIMMs a
+replace-on-uncorrectable policy would have consumed.
+
+Scenario semantics (DESIGN.md section 13 is the normative spec shared
+with the brute-force references):
+
+1. *Effective bit*: each error's ``bit_pos`` if recorded, else a
+   deterministic per-event draw from ``default_rng(seed)`` over the 72
+   codeword bits.  The device symbol is ``bit // 8`` (x8 parts).
+2. *Policies first*: page retirement and the exclude list each produce
+   an avoided-mask over the raw stream (independently, then OR'd);
+   avoided events never reach the decoder.
+3. *Accumulation*: surviving events accumulate per memory word
+   (node, slot, rank, bank, address).  Patrol scrub clears latent
+   bits at aligned interval boundaries, so the footprint an event
+   presents to the decoder is the set of distinct bits (and devices)
+   its word has collected *within the event's scrub interval*, up to
+   and including the event.  ``scrub_interval_h == 0`` means no
+   scrubbing: faults accumulate forever.  Unattributable events
+   (``bank < 0``) form singleton words.
+4. *Outcome*: the code model maps the (n_bits, n_symbols) footprint to
+   corrected / DUE / silent (:mod:`repro.mitigation.codes`).
+
+Vectorisation layout: per policy subset the engine sorts once into
+canonical (word, time) order plus two scrub-independent orders --
+(word, bit, time) and (word, device, time).  Each scrub interval then
+costs only elementwise interval assignment, first-occurrence flags on
+the presorted orders, and a segmented cumulative sum; each code costs
+one vectorised threshold pass.  A full 4.37M-event campaign across a
+4-code x 4-scrub x 2-retirement grid replays in single-digit seconds
+(``BENCH_whatif.json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.faults.types import ERROR_DTYPE
+from repro.machine.dram import CODEWORD_BITS
+from repro.mitigation.codes import (
+    CORRECTED,
+    DUE,
+    SILENT,
+    SYMBOL_BITS,
+    get_code,
+)
+from repro.mitigation.exclude_list import (
+    ExcludeListPolicy,
+    exclude_avoided_mask,
+)
+from repro.mitigation.page_retirement import (
+    PageRetirementPolicy,
+    retirement_avoided_mask,
+)
+from repro.parallel.executor import map_tasks
+
+#: Outcome code for events a mitigation policy removed pre-decode.
+AVOIDED = 0
+
+#: Default grid axes for `scenario_grid` and the CLI.
+DEFAULT_CODES = ("secded", "chipkill", "rs-36-32", "rs-72-64")
+DEFAULT_SCRUB_HOURS = (0.0, 24.0)
+DEFAULT_RETIRE = (0, 2)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One protection stack to replay the campaign under."""
+
+    code: str = "secded"
+    #: Patrol-scrub interval in hours; 0 disables scrubbing.
+    scrub_interval_h: float = 0.0
+    #: Page-retirement CE threshold; 0 disables retirement.
+    retire_threshold: int = 0
+    #: Exclude-list CE budget; 0 disables the exclude list.
+    exclude_budget: int = 0
+    exclude_window_s: float = 7 * 86400.0
+
+    def __post_init__(self) -> None:
+        get_code(self.code)
+        if self.scrub_interval_h < 0:
+            raise ValueError("scrub_interval_h must be >= 0 (0 = no scrub)")
+        if self.retire_threshold < 0:
+            raise ValueError("retire_threshold must be >= 0 (0 = off)")
+        if self.exclude_budget < 0:
+            raise ValueError("exclude_budget must be >= 0 (0 = off)")
+        if self.exclude_window_s <= 0:
+            raise ValueError("exclude_window_s must be positive")
+
+    @property
+    def policy_key(self) -> tuple:
+        """Scenarios sharing this key share avoided-masks and sorts."""
+        return (
+            self.retire_threshold,
+            self.exclude_budget,
+            self.exclude_window_s,
+        )
+
+    @property
+    def label(self) -> str:
+        scrub = (
+            f"{self.scrub_interval_h:g}h" if self.scrub_interval_h else "off"
+        )
+        return (
+            f"{self.code} scrub={scrub} retire={self.retire_threshold or 'off'}"
+            f" exclude={self.exclude_budget or 'off'}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "scrub_interval_h": float(self.scrub_interval_h),
+            "retire_threshold": int(self.retire_threshold),
+            "exclude_budget": int(self.exclude_budget),
+            "exclude_window_s": float(self.exclude_window_s),
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """Per-scenario outcome tallies over one campaign replay."""
+
+    scenario: Scenario
+    injected: int
+    avoided: int
+    corrected: int
+    due: int
+    silent: int
+    dimms_seen: int
+    dimms_replaced: int
+    pages_retired: int
+    nodes_excluded: int
+
+    @property
+    def uncorrected(self) -> int:
+        """Events the code failed on, detected or not."""
+        return self.due + self.silent
+
+    @property
+    def due_rate(self) -> float:
+        return self.due / self.injected if self.injected else 0.0
+
+    @property
+    def silent_rate(self) -> float:
+        return self.silent / self.injected if self.injected else 0.0
+
+    @property
+    def replacement_rate(self) -> float:
+        """Fraction of error-visible DIMMs a replace-on-UE policy consumes."""
+        return self.dimms_replaced / self.dimms_seen if self.dimms_seen else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "label": self.scenario.label,
+            "injected": self.injected,
+            "avoided": self.avoided,
+            "corrected": self.corrected,
+            "due": self.due,
+            "silent": self.silent,
+            "uncorrected": self.uncorrected,
+            "due_rate": self.due_rate,
+            "silent_rate": self.silent_rate,
+            "dimms_seen": self.dimms_seen,
+            "dimms_replaced": self.dimms_replaced,
+            "replacement_rate": self.replacement_rate,
+            "pages_retired": self.pages_retired,
+            "nodes_excluded": self.nodes_excluded,
+        }
+
+
+def scenario_grid(
+    codes: Sequence[str] = DEFAULT_CODES,
+    scrub_hours: Sequence[float] = DEFAULT_SCRUB_HOURS,
+    retire_thresholds: Sequence[int] = DEFAULT_RETIRE,
+    exclude_budget: int = 0,
+    exclude_window_s: float = 7 * 86400.0,
+) -> list[Scenario]:
+    """Cross the axes into a scenario list, policy-contiguous."""
+    return [
+        Scenario(
+            code=code,
+            scrub_interval_h=float(scrub),
+            retire_threshold=int(retire),
+            exclude_budget=int(exclude_budget),
+            exclude_window_s=float(exclude_window_s),
+        )
+        for retire in retire_thresholds
+        for scrub in scrub_hours
+        for code in codes
+    ]
+
+
+def effective_bits(errors: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Codeword bit per event: recorded ``bit_pos`` or a seeded draw.
+
+    The draw is one full-length vector from ``default_rng(seed)`` so
+    every implementation (engine, references, any ``jobs`` split) sees
+    identical bits for identical (errors, seed).
+    """
+    rng = np.random.default_rng(int(seed))
+    rand = rng.integers(0, CODEWORD_BITS, errors.size)
+    bit = errors["bit_pos"].astype(np.int64)
+    return np.where(bit >= 0, bit, rand)
+
+
+def _dimm_keys(node: np.ndarray, slot: np.ndarray) -> np.ndarray:
+    return node.astype(np.int64) * 256 + slot.astype(np.int64)
+
+
+class _PolicyPrep:
+    """Everything about one policy subset that scrub/code cannot change.
+
+    Built once per (retire, exclude) combination: the avoided mask, the
+    surviving events in canonical (word, time, stream-order) order, and
+    the two presorted orders first-occurrence flagging needs.
+    """
+
+    def __init__(
+        self,
+        errors: np.ndarray,
+        eff_bit: np.ndarray,
+        retire_threshold: int,
+        exclude_budget: int,
+        exclude_window_s: float,
+    ) -> None:
+        n = int(errors.size)
+        mask = np.zeros(n, dtype=bool)
+        self.pages_retired = 0
+        self.nodes_excluded = 0
+        if retire_threshold:
+            m, pages, _nodes = retirement_avoided_mask(
+                errors, PageRetirementPolicy(threshold=retire_threshold)
+            )
+            mask |= m
+            self.pages_retired = pages
+        if exclude_budget:
+            m, n_excl, _lost = exclude_avoided_mask(
+                errors,
+                ExcludeListPolicy(
+                    ce_budget=exclude_budget, window_s=exclude_window_s
+                ),
+            )
+            mask |= m
+            self.nodes_excluded = n_excl
+        idx = np.flatnonzero(~mask)
+        self.injected = n
+        self.avoided = n - int(idx.size)
+
+        sub = errors[idx]
+        bit = eff_bit[idx]
+
+        # Word group ids: (node, slot, rank, bank, address) for
+        # addressable events; singleton groups for storm records.
+        gid = np.empty(sub.size, dtype=np.int64)
+        addr_ok = sub["bank"] >= 0
+        ai = np.flatnonzero(addr_ok)
+        n_groups = 0
+        if ai.size:
+            asub = sub[ai]
+            o = np.lexsort(
+                (
+                    asub["address"],
+                    asub["bank"],
+                    asub["rank"],
+                    asub["slot"],
+                    asub["node"],
+                )
+            )
+            srt = asub[o]
+            boundary = np.ones(ai.size, dtype=bool)
+            boundary[1:] = False
+            for f in ("node", "slot", "rank", "bank", "address"):
+                boundary[1:] |= srt[f][1:] != srt[f][:-1]
+            g_sorted = np.cumsum(boundary) - 1
+            gid[ai[o]] = g_sorted
+            n_groups = int(g_sorted[-1]) + 1
+        ui = np.flatnonzero(~addr_ok)
+        gid[ui] = n_groups + np.arange(ui.size)
+
+        # Canonical in-group order: time, ties by stream position.
+        s = np.lexsort((sub["time"], gid))
+        self.idx_s = idx[s]
+        self.g = gid[s]
+        self.t = sub["time"][s]
+        self.bit = bit[s]
+        self.dev = self.bit // SYMBOL_BITS
+        self.node_s = sub["node"][s]
+        self.slot_s = sub["slot"][s]
+        # Scrub-independent orders for first-occurrence flagging.
+        self.o_bit = np.lexsort((self.t, self.bit, self.g))
+        self.o_dev = np.lexsort((self.t, self.dev, self.g))
+        self.word_bnd = np.ones(self.g.size, dtype=bool)
+        self.word_bnd[1:] = self.g[1:] != self.g[:-1]
+
+    def footprints(self, scrub_interval_h: float) -> tuple[np.ndarray, np.ndarray]:
+        """(n_bits, n_symbols) per surviving event, canonical order."""
+        m = self.g.size
+        if m == 0:
+            z = np.zeros(0, dtype=np.int64)
+            return z, z
+        if scrub_interval_h > 0:
+            iv = np.floor_divide(self.t, scrub_interval_h * 3600.0).astype(
+                np.int64
+            )
+        else:
+            iv = np.zeros(m, dtype=np.int64)
+        nb = self._cum_distinct(self.o_bit, self.bit, iv)
+        ns = self._cum_distinct(self.o_dev, self.dev, iv)
+        return nb, ns
+
+    def _cum_distinct(
+        self, o: np.ndarray, key: np.ndarray, iv: np.ndarray
+    ) -> np.ndarray:
+        """Cumulative count of distinct ``key`` per (word, interval).
+
+        ``o`` orders events by (word, key, time); within a (word, key)
+        run the interval is nondecreasing, so an interval step marks the
+        key's first occurrence in that interval.  The flags are then
+        scattered back to canonical order and summed per
+        (word, interval) segment -- which is contiguous there, because
+        the canonical order is time-sorted within each word.
+        """
+        g_o = self.g[o]
+        k_o = key[o]
+        iv_o = iv[o]
+        new_o = np.ones(o.size, dtype=bool)
+        new_o[1:] = (
+            (g_o[1:] != g_o[:-1])
+            | (k_o[1:] != k_o[:-1])
+            | (iv_o[1:] != iv_o[:-1])
+        )
+        new_s = np.empty(o.size, dtype=bool)
+        new_s[o] = new_o
+        seg = self.word_bnd.copy()
+        seg[1:] |= iv[1:] != iv[:-1]
+        cs = np.cumsum(new_s)
+        starts = np.flatnonzero(seg)
+        counts = np.diff(np.append(starts, o.size))
+        base = cs[starts] - new_s[starts]
+        return cs - np.repeat(base, counts)
+
+    def tally(self, out_s: np.ndarray) -> dict:
+        """Outcome counts + replacement tally for one classified replay."""
+        bad = out_s >= DUE
+        replaced = int(
+            np.unique(_dimm_keys(self.node_s[bad], self.slot_s[bad])).size
+        )
+        return {
+            "injected": self.injected,
+            "avoided": self.avoided,
+            "corrected": int((out_s == CORRECTED).sum()),
+            "due": int((out_s == DUE).sum()),
+            "silent": int((out_s == SILENT).sum()),
+            "dimms_replaced": replaced,
+            "pages_retired": self.pages_retired,
+            "nodes_excluded": self.nodes_excluded,
+        }
+
+
+def replay_events(
+    errors: np.ndarray, scenario: Scenario, seed: int = 0
+) -> np.ndarray:
+    """Per-event outcomes in stream order for one scenario.
+
+    Returns an ``int8`` array aligned with ``errors``: 0 avoided,
+    1 corrected, 2 DUE, 3 silent.  This is the array the differential
+    tests compare element-for-element against the brute-force
+    references.
+    """
+    if errors.dtype != ERROR_DTYPE:
+        raise ValueError("expected ERROR_DTYPE")
+    prep = _PolicyPrep(
+        errors,
+        effective_bits(errors, seed),
+        scenario.retire_threshold,
+        scenario.exclude_budget,
+        scenario.exclude_window_s,
+    )
+    nb, ns = prep.footprints(scenario.scrub_interval_h)
+    out = np.full(errors.size, AVOIDED, dtype=np.int8)
+    out[prep.idx_s] = get_code(scenario.code).classify(nb, ns)
+    return out
+
+
+def _replay_policy_group(task) -> list[dict]:
+    """Worker: replay one policy group's scenarios (module-level for
+    pickling into :func:`repro.parallel.executor.map_tasks`)."""
+    errors, seed, scenarios = task
+    first = scenarios[0]
+    prep = _PolicyPrep(
+        errors,
+        effective_bits(errors, seed),
+        first.retire_threshold,
+        first.exclude_budget,
+        first.exclude_window_s,
+    )
+    footprints: dict[float, tuple[np.ndarray, np.ndarray]] = {}
+    rows = []
+    for sc in scenarios:
+        if sc.scrub_interval_h not in footprints:
+            footprints[sc.scrub_interval_h] = prep.footprints(
+                sc.scrub_interval_h
+            )
+        nb, ns = footprints[sc.scrub_interval_h]
+        rows.append(prep.tally(get_code(sc.code).classify(nb, ns)))
+    return rows
+
+
+def replay_campaign(
+    errors: np.ndarray,
+    scenarios: Sequence[Scenario],
+    seed: int = 0,
+    jobs: int = 0,
+) -> list[ScenarioReport]:
+    """Replay the campaign under every scenario.
+
+    Scenarios sharing a policy key are batched so avoided-masks and the
+    canonical sorts are computed once; scrub footprints are shared
+    across codes.  ``jobs > 1`` fans policy groups out over
+    :func:`repro.parallel.executor.map_tasks` -- results are
+    byte-identical to the serial path because every group is an
+    independent pure function of (errors, seed).
+    """
+    if errors.dtype != ERROR_DTYPE:
+        raise ValueError("expected ERROR_DTYPE")
+    scenarios = list(scenarios)
+    if not scenarios:
+        return []
+    dimms_seen = (
+        int(np.unique(_dimm_keys(errors["node"], errors["slot"])).size)
+        if errors.size
+        else 0
+    )
+    # Group scenario positions by policy key, preserving input order.
+    groups: dict[tuple, list[int]] = {}
+    for i, sc in enumerate(scenarios):
+        groups.setdefault(sc.policy_key, []).append(i)
+    with obs.span("whatif.replay", transient=True) as sp:
+        tasks = [
+            (errors, seed, [scenarios[i] for i in members])
+            for members in groups.values()
+        ]
+        rows_per_group = map_tasks(_replay_policy_group, tasks, jobs)
+        sp.add(
+            events=int(errors.size),
+            scenarios=len(scenarios),
+            policy_groups=len(groups),
+        )
+    obs.count("whatif.scenarios", len(scenarios))
+    obs.count("whatif.events_replayed", int(errors.size) * len(scenarios))
+    obs.gauge("whatif.policy_groups", len(groups))
+
+    reports: list[ScenarioReport | None] = [None] * len(scenarios)
+    for members, rows in zip(groups.values(), rows_per_group):
+        for i, row in zip(members, rows):
+            reports[i] = ScenarioReport(
+                scenario=scenarios[i], dimms_seen=dimms_seen, **row
+            )
+    return reports  # type: ignore[return-value]
+
+
+def render_table(reports: Sequence[ScenarioReport]) -> str:
+    """Text table of a scenario sweep, one row per scenario."""
+    lines = [
+        "scenario                                     avoided  corrected"
+        "        due     silent  dimms",
+        "-" * 96,
+    ]
+    for r in reports:
+        lines.append(
+            f"{r.scenario.label:<44}{r.avoided:>9}{r.corrected:>11}"
+            f"{r.due:>11}{r.silent:>11}{r.dimms_replaced:>7}"
+        )
+    return "\n".join(lines)

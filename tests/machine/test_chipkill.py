@@ -82,6 +82,112 @@ class TestDecode:
         np.testing.assert_array_equal(fixed, clean)
 
 
+class TestKnownAnswerSyndromes:
+    """Hand-computed syndrome vectors for the alpha^(r*j) construction.
+
+    Worked by hand over GF(256)/0x11B: shift-and-reduce doubling chains
+    for the products, XOR for the sums.  These pin the parity-check
+    matrix itself -- a transposed or re-indexed H would still pass
+    every round-trip test, but not these.
+    """
+
+    def test_zero_data_encodes_to_zero_codeword(self, code):
+        cw = code.encode(np.zeros((1, 16), dtype=np.uint8))
+        assert np.all(cw == 0)
+
+    def test_single_error_syndromes_by_hand(self, code):
+        # e = 0x57 at position j=3: S_r = e * alpha^(3r), so
+        # S = (0x57, 0x57*0x0F, 0x57*0x55) = (0x57, 0x30, 0x0B).
+        cw = np.zeros((1, 19), dtype=np.uint8)
+        cw[0, 3] = 0x57
+        s = code.syndromes(cw)[0]
+        assert s.tolist() == [0x57, 0x30, 0x0B]
+
+    def test_single_error_consistency_and_locator(self, code):
+        from repro.machine.gf256 import gf_div, gf_log, gf_mul
+
+        cw = np.zeros((1, 19), dtype=np.uint8)
+        cw[0, 3] = 0x57
+        s0, s1, s2 = (int(x) for x in code.syndromes(cw)[0])
+        # Single-error consistency S1^2 == S0*S2 (= 0x77 by hand) and
+        # locator log(S1/S0) == 3.
+        assert gf_mul(s1, s1) == gf_mul(s0, s2) == 0x77
+        assert gf_log(gf_div(s1, s0)) == 3
+
+    def test_position_zero_error_repeats_magnitude(self, code):
+        # alpha^0 = 1 in every row: e = 0x02 at j=0 gives S = (e, e, e).
+        cw = np.zeros((1, 19), dtype=np.uint8)
+        cw[0, 0] = 0x02
+        assert code.syndromes(cw)[0].tolist() == [0x02, 0x02, 0x02]
+
+    def test_two_unit_errors_inconsistent_syndromes(self, code):
+        # 0x01 at j=0 plus 0x01 at j=1: S = (0, 1^0x03, 1^0x05) =
+        # (0x00, 0x02, 0x04) -- S0 zero with S1 nonzero can never come
+        # from a single symbol, so the decoder must flag it.
+        cw = np.zeros((1, 19), dtype=np.uint8)
+        cw[0, 0] = 0x01
+        cw[0, 1] = 0x01
+        assert code.syndromes(cw)[0].tolist() == [0x00, 0x02, 0x04]
+        _fixed, status = code.decode(cw)
+        assert status[0] == DETECTED_UNCORRECTABLE
+
+
+class TestRsErasure:
+    """The erasure algebra behind the what-if engine's RS models."""
+
+    def test_encode_zero_syndromes(self):
+        from repro.mitigation.codes import rs_encode, rs_syndromes
+
+        data = np.arange(1, 33, dtype=np.uint8)
+        cw = rs_encode(data, 36, 32)
+        assert cw.shape == (36,)
+        assert np.all(rs_syndromes(cw, 36, 32) == 0)
+
+    def test_full_capacity_erasures_recovered(self):
+        from repro.mitigation.codes import rs_encode, rs_erasure_decode
+
+        rng = np.random.default_rng(11)
+        for n, k in ((36, 32), (72, 64)):
+            data = rng.integers(0, 256, k).astype(np.uint8)
+            cw = rs_encode(data, n, k)
+            pos = rng.choice(n, n - k, replace=False)
+            bad = cw.copy()
+            bad[pos] ^= rng.integers(1, 256, n - k).astype(np.uint8)
+            np.testing.assert_array_equal(
+                rs_erasure_decode(bad, pos, n, k), cw
+            )
+
+    def test_beyond_capacity_raises(self):
+        from repro.mitigation.codes import rs_encode, rs_erasure_decode
+
+        cw = rs_encode(np.zeros(32, dtype=np.uint8), 36, 32)
+        with pytest.raises(ValueError, match="exceed"):
+            rs_erasure_decode(cw, [0, 1, 2, 3, 4], 36, 32)
+
+    def test_errors_outside_erasures_detected(self):
+        from repro.mitigation.codes import rs_encode, rs_erasure_decode
+
+        data = np.arange(32, dtype=np.uint8)
+        cw = rs_encode(data, 36, 32)
+        bad = cw.copy()
+        bad[5] ^= 0x21  # corruption at an undeclared position
+        bad[9] ^= 0x40
+        with pytest.raises(ValueError, match="residual"):
+            rs_erasure_decode(bad, [9], 36, 32)
+
+    def test_chipkill_geometry_is_rs_19_16(self):
+        # The SSC-DSD code is the same construction at (19, 16): its
+        # syndromes match the generic RS syndromes symbol for symbol.
+        from repro.mitigation.codes import rs_syndromes
+
+        code = ChipkillSsc()
+        rng = np.random.default_rng(3)
+        cw = code.encode(rng.integers(0, 256, (4, 16)).astype(np.uint8))
+        np.testing.assert_array_equal(
+            code.syndromes(cw), rs_syndromes(cw, 19, 16)
+        )
+
+
 @given(
     seed=st.integers(0, 10_000),
     pos=st.integers(0, CODEWORD_SYMBOLS - 1),

@@ -54,6 +54,53 @@ class TestBasics:
         assert out[0] == 0
 
 
+class TestKnownAnswerVectors:
+    """Pin the field to published truth, not self-consistency.
+
+    The repo's tables are only trustworthy if they match the external
+    literature for the AES polynomial 0x11B with generator 0x03: the
+    FIPS-197 worked multiplication examples, the standard exp/log
+    tables, and Fermat's little theorem for the 255-element group.
+    """
+
+    def test_fips197_multiplication_examples(self):
+        # FIPS-197 section 4.2: {57}x{83} = {c1} and {57}x{13} = {fe}.
+        assert gf_mul(0x57, 0x83) == 0xC1
+        assert gf_mul(0x57, 0x13) == 0xFE
+
+    def test_classic_inverse_pair(self):
+        # The S-box derivation's worked example: {53}x{CA} = {01}.
+        assert gf_mul(0x53, 0xCA) == 0x01
+
+    def test_published_exp_table_prefix(self):
+        # First sixteen powers of the generator 0x03 from the standard
+        # 0x11B exp table.
+        expected = [
+            0x01, 0x03, 0x05, 0x0F, 0x11, 0x33, 0x55, 0xFF,
+            0x1A, 0x2E, 0x72, 0x96, 0xA1, 0xF8, 0x13, 0x35,
+        ]
+        assert alpha(np.arange(16)).tolist() == expected
+
+    def test_published_log_entries(self):
+        # Log-table spot checks for the 0x11B/0x03 pairing.
+        assert gf_log(0x02) == 25
+        assert gf_log(0x03) == 1
+        assert gf_log(0xFF) == 7
+
+    def test_generator_order_is_255(self):
+        # alpha^255 wraps to the identity; no smaller power does.
+        assert alpha(255) == 1
+        assert np.all(alpha(np.arange(1, 255)) != 1)
+
+    def test_fermat_little_theorem(self):
+        for a in (0x02, 0x53, 0xFE):
+            assert gf_pow(a, 255) == 1
+
+    def test_doubling_chain_below_reduction(self):
+        # 0x02^4 = 0x10: pure left shifts, no polynomial reduction yet.
+        assert gf_pow(0x02, 4) == 0x10
+
+
 @given(a=elements, b=elements, c=elements)
 @settings(max_examples=80)
 def test_property_mul_commutative_associative(a, b, c):

@@ -1,0 +1,130 @@
+"""Independent brute-force reference for the what-if engine tests.
+
+Unlike :mod:`repro.mitigation.reference` (the in-package oracle, which
+reuses the policy mask helpers and the scalar code tables), this module
+restates the *entire* DESIGN.md section 13 semantics from scratch --
+outcome tables included, as literal if/else over the spec's words --
+with nothing but dicts, sets, and per-event loops.  If the engine, the
+package reference, and this file all agree, a shared bug would have to
+be written three times independently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Symbol-correction capacity per code; SEC-DED is handled bitwise.
+_SYMBOL_CAPACITY = {"chipkill": 1, "rs-36-32": 4, "rs-72-64": 8}
+
+AVOIDED, CORRECTED, DUE, SILENT = 0, 1, 2, 3
+
+
+def outcome(code: str, n_bits: int, n_devs: int) -> int:
+    """The outcome tables, straight from the spec text."""
+    if code == "secded":
+        if n_bits == 1:
+            return CORRECTED
+        if n_bits % 2 == 0:
+            return DUE  # even-weight errors can never alias one column
+        return SILENT  # odd-weight >= 3 miscorrects
+    cap = _SYMBOL_CAPACITY[code]
+    return CORRECTED if n_devs <= cap else DUE
+
+
+def _effective_bits(errors: np.ndarray, seed: int) -> list[int]:
+    rng = np.random.default_rng(int(seed))
+    rand = rng.integers(0, 72, errors.size)
+    return [
+        int(b) if b >= 0 else int(r)
+        for b, r in zip(errors["bit_pos"], rand)
+    ]
+
+
+def _retirement_avoided(errors: np.ndarray, threshold: int, page_bytes: int = 4096):
+    """Pages retire at their threshold-th CE; later CEs are avoided."""
+    shift = page_bytes.bit_length() - 1
+    order = sorted(range(errors.size), key=lambda i: (errors["time"][i], i))
+    counts: dict[tuple, int] = {}
+    avoided = set()
+    for i in order:
+        e = errors[i]
+        if e["bank"] < 0:
+            continue  # unattributable: no page to retire
+        key = (int(e["node"]), int(e["address"]) >> shift)
+        seen = counts.get(key, 0)
+        if seen >= threshold:
+            avoided.add(i)
+        counts[key] = seen + 1
+    return avoided
+
+
+def _exclusion_avoided(
+    errors: np.ndarray, budget: int, window_s: float
+) -> set:
+    """Strictly-after-trigger exclusion, sliding window per node."""
+    by_node: dict[int, list[tuple[float, int]]] = {}
+    for i in range(errors.size):
+        by_node.setdefault(int(errors["node"][i]), []).append(
+            (float(errors["time"][i]), i)
+        )
+    avoided = set()
+    for events in by_node.values():
+        events.sort()
+        trigger_t = None
+        for j in range(budget - 1, len(events)):
+            if events[j][0] - events[j - budget + 1][0] <= window_s:
+                trigger_t = events[j][0]
+                break
+        if trigger_t is None:
+            continue
+        for t, i in events:
+            if t > trigger_t:
+                avoided.add(i)
+    return avoided
+
+
+def reference_outcomes(
+    errors: np.ndarray,
+    code: str,
+    scrub_interval_h: float = 0.0,
+    retire_threshold: int = 0,
+    exclude_budget: int = 0,
+    exclude_window_s: float = 7 * 86400.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Per-event outcomes in stream order, spelled out event by event."""
+    n = int(errors.size)
+    out = np.full(n, AVOIDED, dtype=np.int8)
+    bits = _effective_bits(errors, seed)
+
+    avoided = set()
+    if retire_threshold:
+        avoided |= _retirement_avoided(errors, retire_threshold)
+    if exclude_budget:
+        avoided |= _exclusion_avoided(errors, exclude_budget, exclude_window_s)
+
+    scrub_s = scrub_interval_h * 3600.0
+    seen_bits: dict[tuple, set] = {}
+    seen_devs: dict[tuple, set] = {}
+    for i in sorted(range(n), key=lambda i: (errors["time"][i], i)):
+        if i in avoided:
+            continue
+        e = errors[i]
+        if e["bank"] >= 0:
+            word = (
+                int(e["node"]),
+                int(e["slot"]),
+                int(e["rank"]),
+                int(e["bank"]),
+                int(e["address"]),
+            )
+        else:
+            word = ("unattributed", i)
+        interval = int(float(e["time"]) // scrub_s) if scrub_s else 0
+        key = (word, interval)
+        bset = seen_bits.setdefault(key, set())
+        dset = seen_devs.setdefault(key, set())
+        bset.add(bits[i])
+        dset.add(bits[i] // 8)
+        out[i] = outcome(code, len(bset), len(dset))
+    return out

@@ -6,6 +6,7 @@ import pytest
 from repro.faults.types import empty_errors
 from repro.mitigation.exclude_list import (
     ExcludeListPolicy,
+    exclude_avoided_mask,
     simulate_exclude_list,
 )
 from util import bit_error, make_errors
@@ -65,6 +66,87 @@ class TestSimulation:
     def test_wrong_dtype(self):
         with pytest.raises(ValueError):
             simulate_exclude_list(np.zeros(2))
+
+
+class TestUnsortedAndDuplicateTimestamps:
+    """Regression battery for resort_by_time-shaped streams.
+
+    Repair-policy ingest (:func:`repro.logs.ingest.resort_by_time`)
+    re-sorts records by time *only*, so the simulator's normal diet is
+    node-interleaved order with batch-reported duplicate timestamps.
+    The bug pinned here: errors sharing the trigger's exact timestamp
+    were counted as avoided, although they land at the same instant
+    the exclusion takes effect and cannot be prevented by it.
+    """
+
+    def test_trigger_timestamp_duplicates_not_avoided(self):
+        # Budget 3 reached at the first t=2.0 record; the other two
+        # t=2.0 records are simultaneous with the exclusion, so only
+        # the t=5.0 record is avoidable.
+        errors = make_errors(
+            [bit_error(node=1, t=t) for t in (1.0, 2.0, 2.0, 2.0, 5.0)]
+        )
+        policy = ExcludeListPolicy(ce_budget=3, window_s=100.0)
+        report = simulate_exclude_list(errors, policy)
+        assert report.nodes_excluded == 1
+        assert report.errors_avoided == 1  # was 2 before the fix
+
+    def test_fully_simultaneous_burst_nothing_avoidable(self):
+        # Every record at the same instant: the exclusion triggers,
+        # but there is nothing after it to avoid.
+        errors = make_errors([bit_error(node=4, t=7.0) for _ in range(20)])
+        policy = ExcludeListPolicy(ce_budget=5, window_s=10.0)
+        report = simulate_exclude_list(errors, policy)
+        assert report.nodes_excluded == 1
+        assert report.errors_avoided == 0  # was 15 before the fix
+
+    def test_permutation_invariant(self):
+        rng = np.random.default_rng(3)
+        rows = [
+            bit_error(node=int(rng.integers(0, 3)), t=float(rng.integers(0, 40)))
+            for _ in range(120)
+        ]
+        errors = make_errors(rows)
+        shuffled = errors[rng.permutation(errors.size)]
+        policy = ExcludeListPolicy(ce_budget=10, window_s=25.0)
+        a = simulate_exclude_list(errors, policy)
+        b = simulate_exclude_list(shuffled, policy)
+        assert (a.errors_avoided, a.nodes_excluded, a.node_seconds_lost) == (
+            b.errors_avoided,
+            b.nodes_excluded,
+            b.node_seconds_lost,
+        )
+
+    def test_mask_aligned_to_original_order(self):
+        # Interleaved nodes, unsorted times: each record's mask entry
+        # must reflect its own node's trigger, in the caller's order.
+        rows = [
+            bit_error(node=1, t=30.0),
+            bit_error(node=2, t=1.0),
+            bit_error(node=1, t=10.0),
+            bit_error(node=1, t=10.0),
+            bit_error(node=2, t=2.0),
+            bit_error(node=1, t=20.0),
+        ]
+        errors = make_errors(rows)
+        policy = ExcludeListPolicy(ce_budget=2, window_s=100.0)
+        mask, nodes, _lost = exclude_avoided_mask(errors, policy)
+        # node 1 triggers at the second t=10.0 record: t=20 and t=30
+        # avoided; node 2 triggers at t=2.0: nothing after it.
+        assert nodes == 2
+        assert mask.tolist() == [True, False, False, False, False, True]
+
+    def test_budget_monotone_with_duplicates(self):
+        times = [1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 9.0, 9.0]
+        errors = make_errors([bit_error(node=0, t=t) for t in times])
+        prev = None
+        for budget in range(1, 8):
+            report = simulate_exclude_list(
+                errors, ExcludeListPolicy(ce_budget=budget, window_s=50.0)
+            )
+            if prev is not None:
+                assert report.errors_avoided <= prev
+            prev = report.errors_avoided
 
 
 class TestCampaignLevel:

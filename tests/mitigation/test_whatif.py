@@ -1,0 +1,263 @@
+"""Unit tests for the counterfactual what-if engine semantics."""
+
+import numpy as np
+import pytest
+
+from repro.faults.types import empty_errors
+from repro.mitigation.codes import (
+    CODES,
+    CORRECTED,
+    DUE,
+    SILENT,
+    STRENGTH_ORDER,
+    classify_event,
+    get_code,
+)
+from repro.mitigation.whatif import (
+    AVOIDED,
+    Scenario,
+    effective_bits,
+    render_table,
+    replay_campaign,
+    replay_events,
+    scenario_grid,
+)
+from util import bit_error, make_errors
+
+
+class TestCodeModels:
+    def test_registry_vocabulary(self):
+        assert set(CODES) == {"secded", "chipkill", "rs-36-32", "rs-72-64"}
+        assert STRENGTH_ORDER == ("secded", "chipkill", "rs-36-32", "rs-72-64")
+
+    def test_unknown_code_friendly_error(self):
+        with pytest.raises(ValueError, match="known codes"):
+            get_code("parity")
+
+    def test_secded_outcome_table(self):
+        # 1 bit corrected; even-weight detected; odd >= 3 silent.
+        assert classify_event("secded", 1, 1) == CORRECTED
+        assert classify_event("secded", 2, 1) == DUE
+        assert classify_event("secded", 2, 2) == DUE
+        assert classify_event("secded", 3, 2) == SILENT
+        assert classify_event("secded", 4, 3) == DUE
+        assert classify_event("secded", 5, 4) == SILENT
+
+    def test_symbol_outcome_tables(self):
+        # Symbol codes care only about distinct devices, and never
+        # miscorrect (no SILENT row at all).
+        assert classify_event("chipkill", 8, 1) == CORRECTED
+        assert classify_event("chipkill", 2, 2) == DUE
+        assert classify_event("rs-36-32", 30, 4) == CORRECTED
+        assert classify_event("rs-36-32", 5, 5) == DUE
+        assert classify_event("rs-72-64", 60, 8) == CORRECTED
+        assert classify_event("rs-72-64", 9, 9) == DUE
+
+    def test_silent_free_flags(self):
+        assert not CODES["secded"].silent_free
+        assert all(CODES[c].silent_free for c in CODES if c != "secded")
+
+
+class TestScenario:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scenario(code="nope")
+        with pytest.raises(ValueError):
+            Scenario(scrub_interval_h=-1.0)
+        with pytest.raises(ValueError):
+            Scenario(retire_threshold=-1)
+        with pytest.raises(ValueError):
+            Scenario(exclude_budget=-1)
+        with pytest.raises(ValueError):
+            Scenario(exclude_window_s=0.0)
+
+    def test_grid_shape_and_policy_contiguity(self):
+        grid = scenario_grid(
+            codes=("secded", "chipkill"),
+            scrub_hours=(0.0, 24.0),
+            retire_thresholds=(0, 2),
+        )
+        assert len(grid) == 8
+        # Scenarios sharing a policy key are adjacent (one prep each).
+        keys = [s.policy_key for s in grid]
+        assert keys == sorted(keys, key=keys.index)
+        assert len(set(keys)) == 2
+
+    def test_label_readable(self):
+        s = Scenario(code="chipkill", scrub_interval_h=24.0, retire_threshold=2)
+        assert "chipkill" in s.label and "24h" in s.label
+
+
+class TestReplayEvents:
+    def test_wrong_dtype(self):
+        with pytest.raises(ValueError):
+            replay_events(np.zeros(3), Scenario())
+
+    def test_empty_stream(self):
+        out = replay_events(empty_errors(0), Scenario())
+        assert out.size == 0
+
+    def test_single_bit_corrected_by_every_code(self):
+        errors = make_errors([bit_error(bit=3, t=1.0)])
+        for code in CODES:
+            assert replay_events(errors, Scenario(code=code)).tolist() == [
+                CORRECTED
+            ]
+
+    def test_same_device_accumulation(self):
+        # Two bits of one device in one word: SEC-DED DUEs on the
+        # second event, the symbol codes ride through.
+        errors = make_errors(
+            [bit_error(bit=3, t=1.0), bit_error(bit=5, t=2.0)]
+        )
+        assert replay_events(errors, Scenario(code="secded")).tolist() == [
+            CORRECTED,
+            DUE,
+        ]
+        for code in ("chipkill", "rs-36-32", "rs-72-64"):
+            assert replay_events(errors, Scenario(code=code)).tolist() == [
+                CORRECTED,
+                CORRECTED,
+            ]
+
+    def test_secded_odd_weight_goes_silent(self):
+        errors = make_errors(
+            [bit_error(bit=b, t=float(i)) for i, b in enumerate((3, 5, 6))]
+        )
+        assert replay_events(errors, Scenario(code="secded")).tolist() == [
+            CORRECTED,
+            DUE,
+            SILENT,
+        ]
+
+    def test_cross_device_defeats_chipkill_not_rs(self):
+        errors = make_errors(
+            [bit_error(bit=3, t=1.0), bit_error(bit=13, t=2.0)]
+        )
+        assert replay_events(errors, Scenario(code="chipkill")).tolist() == [
+            CORRECTED,
+            DUE,
+        ]
+        assert replay_events(errors, Scenario(code="rs-36-32")).tolist() == [
+            CORRECTED,
+            CORRECTED,
+        ]
+
+    def test_rs72_breaks_at_nine_devices(self):
+        # One bit in every x8 device of the 72-bit word: the ninth
+        # distinct device exceeds even RS(72,64)'s 8-erasure budget.
+        errors = make_errors(
+            [bit_error(bit=8 * d, t=float(d)) for d in range(9)]
+        )
+        out = replay_events(errors, Scenario(code="rs-72-64"))
+        assert out[:8].tolist() == [CORRECTED] * 8
+        assert out[8] == DUE
+
+    def test_scrub_clears_accumulation(self):
+        # Same word, same bit pair, 25 hours apart: a 24h scrub puts
+        # them in different intervals, so each arrives alone.
+        errors = make_errors(
+            [bit_error(bit=3, t=0.0), bit_error(bit=5, t=25 * 3600.0)]
+        )
+        no_scrub = replay_events(errors, Scenario(code="secded"))
+        scrubbed = replay_events(
+            errors, Scenario(code="secded", scrub_interval_h=24.0)
+        )
+        assert no_scrub.tolist() == [CORRECTED, DUE]
+        assert scrubbed.tolist() == [CORRECTED, CORRECTED]
+
+    def test_scrub_intervals_are_aligned_not_relative(self):
+        # Both events inside one aligned 24h interval accumulate even
+        # though they are 20h apart; crossing the boundary resets.
+        errors = make_errors(
+            [bit_error(bit=3, t=1 * 3600.0), bit_error(bit=5, t=21 * 3600.0)]
+        )
+        out = replay_events(errors, Scenario(code="secded", scrub_interval_h=24.0))
+        assert out.tolist() == [CORRECTED, DUE]
+
+    def test_retirement_avoids_post_threshold_events(self):
+        errors = make_errors(
+            [bit_error(bit=3, t=float(t)) for t in range(4)]
+        )
+        out = replay_events(
+            errors, Scenario(code="secded", retire_threshold=2)
+        )
+        # Events 0 and 1 reach the decoder; 2 and 3 hit a retired page.
+        assert out[0] == CORRECTED
+        assert out[1] != AVOIDED
+        assert out[2] == AVOIDED and out[3] == AVOIDED
+
+    def test_exclusion_avoids_strictly_after_trigger(self):
+        errors = make_errors(
+            [bit_error(node=1, t=t) for t in (0.0, 1.0, 1.0, 2.0)]
+        )
+        out = replay_events(
+            errors, Scenario(code="secded", exclude_budget=2)
+        )
+        # Trigger at t=1.0: the simultaneous t=1.0 events are not
+        # avoidable, only the strictly later one is.
+        assert out[1] != AVOIDED and out[2] != AVOIDED
+        assert out[3] == AVOIDED
+
+    def test_unattributed_events_never_accumulate(self):
+        rows = [bit_error(bit=3, t=1.0), bit_error(bit=5, t=2.0)]
+        errors = make_errors(rows)
+        errors["bank"] = -1
+        out = replay_events(errors, Scenario(code="secded"))
+        assert out.tolist() == [CORRECTED, CORRECTED]
+
+    def test_missing_bit_pos_draw_is_seed_deterministic(self):
+        rows = [bit_error(t=float(t)) for t in range(50)]
+        errors = make_errors(rows)
+        errors["bit_pos"] = -1
+        a = effective_bits(errors, seed=5)
+        b = effective_bits(errors, seed=5)
+        np.testing.assert_array_equal(a, b)
+        assert np.all((a >= 0) & (a < 72))
+        # Recorded positions are never overridden by the draw.
+        errors["bit_pos"][7] = 33
+        assert effective_bits(errors, seed=5)[7] == 33
+
+
+class TestReplayCampaign:
+    def _stream(self):
+        rows = []
+        for t in range(60):
+            rows.append(bit_error(node=t % 3, bit=(3 * t) % 72, t=float(t)))
+        return make_errors(rows)
+
+    def test_conservation_and_fields(self):
+        errors = self._stream()
+        grid = scenario_grid(scrub_hours=(0.0,), retire_thresholds=(0, 1))
+        reports = replay_campaign(errors, grid, seed=1)
+        assert len(reports) == len(grid)
+        for r in reports:
+            assert r.injected == errors.size
+            assert (
+                r.avoided + r.corrected + r.due + r.silent == r.injected
+            )
+            assert r.uncorrected == r.due + r.silent
+            assert 0 <= r.dimms_replaced <= r.dimms_seen
+            d = r.to_dict()
+            assert d["label"] == r.scenario.label
+            assert d["uncorrected"] == r.uncorrected
+
+    def test_matches_replay_events(self):
+        errors = self._stream()
+        sc = Scenario(code="secded", scrub_interval_h=6.0, retire_threshold=1)
+        out = replay_events(errors, sc, seed=3)
+        (report,) = replay_campaign(errors, [sc], seed=3)
+        assert report.avoided == int((out == AVOIDED).sum())
+        assert report.corrected == int((out == CORRECTED).sum())
+        assert report.due == int((out == DUE).sum())
+        assert report.silent == int((out == SILENT).sum())
+
+    def test_empty_inputs(self):
+        assert replay_campaign(empty_errors(0), [Scenario()])[0].injected == 0
+        assert replay_campaign(self._stream(), []) == []
+
+    def test_render_table(self):
+        reports = replay_campaign(self._stream(), scenario_grid())
+        table = render_table(reports)
+        assert "secded" in table and "rs-72-64" in table
+        assert len(table.splitlines()) == len(reports) + 2

@@ -1,0 +1,115 @@
+"""Differential tests: vectorised engine vs brute-force references.
+
+Two independent oracles (see their docstrings):
+
+- ``repro.mitigation.reference`` -- the in-package per-event loop the
+  CLI ``--check`` runs;
+- ``tests/mitigation/_reference`` -- a from-scratch restatement of the
+  spec, outcome tables included.
+
+Every comparison is element-for-element on the per-event outcome
+array, across codes x scrub x retirement x exclusion, so a mismatch
+pinpoints the exact event and scenario that diverged.
+"""
+
+import numpy as np
+import pytest
+
+from mitigation._reference import reference_outcomes
+from repro.mitigation.reference import reference_replay_events
+from repro.mitigation.whatif import Scenario, replay_events
+from util import bit_error, make_errors
+
+GRID = [
+    dict(code=code, scrub_interval_h=scrub, retire_threshold=retire)
+    for code in ("secded", "chipkill", "rs-36-32", "rs-72-64")
+    for scrub in (0.0, 6.0)
+    for retire in (0, 2)
+]
+
+
+def _assert_all_three_agree(errors, params, seed=0):
+    scenario = Scenario(**params)
+    fast = replay_events(errors, scenario, seed=seed)
+    slow = reference_replay_events(errors, scenario, seed=seed)
+    independent = reference_outcomes(errors, seed=seed, **params)
+    for name, oracle in (("package", slow), ("independent", independent)):
+        diff = np.flatnonzero(fast != oracle)
+        assert diff.size == 0, (
+            f"{name} reference disagrees on {diff.size} events for "
+            f"{scenario.label}; first at index {diff[0]}: "
+            f"engine={fast[diff[0]]} oracle={oracle[diff[0]]}"
+        )
+
+
+def hostile_stream(seed=0, n=1500):
+    """Duplicate timestamps, storm records, missing bits, hot words."""
+    rng = np.random.default_rng(seed)
+    times = np.round(rng.uniform(0, 90 * 86400.0, n), 0)  # many exact ties
+    rows = []
+    for i in range(n):
+        hot = rng.random() < 0.4
+        rows.append(
+            bit_error(
+                node=3 if hot else int(rng.integers(0, 30)),
+                slot=0 if hot else int(rng.integers(0, 2)),
+                rank=int(rng.integers(0, 2)),
+                bank=2 if hot else int(rng.integers(-1, 8)),
+                bit=int(rng.integers(-1, 72)),
+                address=4096 if hot else int(rng.integers(0, 64)) * 64,
+                t=float(times[i]),
+            )
+        )
+    return make_errors(rows)
+
+
+class TestSyntheticStreams:
+    @pytest.mark.parametrize("params", GRID)
+    def test_grid_agreement(self, params):
+        _assert_all_three_agree(hostile_stream(seed=1), params, seed=9)
+
+    def test_exclusion_composed_with_retirement(self):
+        errors = hostile_stream(seed=2, n=800)
+        for code in ("secded", "rs-36-32"):
+            _assert_all_three_agree(
+                errors,
+                dict(
+                    code=code,
+                    scrub_interval_h=24.0,
+                    retire_threshold=2,
+                    exclude_budget=20,
+                ),
+                seed=4,
+            )
+
+    def test_many_seeds_no_drift(self):
+        for seed in range(5):
+            _assert_all_three_agree(
+                hostile_stream(seed=seed, n=400),
+                dict(code="secded", scrub_interval_h=1.0, retire_threshold=1),
+                seed=seed,
+            )
+
+
+class TestDownsampledCampaign:
+    def test_campaign_replay_agreement(self, small_campaign):
+        """The real (downsampled) campaign: the engine must match both
+        oracles on actual synthesised telemetry, not just unit streams."""
+        errors = small_campaign.errors
+        sel = np.unique(
+            np.linspace(0, errors.size - 1, 2500).astype(np.int64)
+        )
+        sub = np.ascontiguousarray(errors[sel])
+        for params in (
+            dict(code="secded", scrub_interval_h=0.0, retire_threshold=0),
+            dict(code="secded", scrub_interval_h=24.0, retire_threshold=2),
+            dict(code="chipkill", scrub_interval_h=0.0, retire_threshold=2),
+            dict(code="rs-36-32", scrub_interval_h=24.0, retire_threshold=0),
+            dict(
+                code="rs-72-64",
+                scrub_interval_h=6.0,
+                retire_threshold=2,
+                exclude_budget=50,
+            ),
+        ):
+            _assert_all_three_agree(sub, params, seed=small_campaign.seed)

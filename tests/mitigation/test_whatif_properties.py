@@ -1,0 +1,142 @@
+"""Property-based tests for the what-if engine.
+
+The streams here are deliberately hostile: interleaved nodes, duplicate
+timestamps, unattributed records (``bank < 0``), missing bit positions,
+and addresses drawn from a tiny pool so words collide and accumulation
+actually happens.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.mitigation.codes import STRENGTH_ORDER
+from repro.mitigation.whatif import (
+    AVOIDED,
+    CORRECTED,
+    DUE,
+    SILENT,
+    Scenario,
+    replay_campaign,
+    replay_events,
+)
+from util import bit_error, make_errors
+
+
+@st.composite
+def whatif_streams(draw):
+    n = draw(st.integers(2, 90))
+    rows = []
+    t = 0.0
+    for _ in range(n):
+        # Sometimes repeat the exact timestamp (batch-reported CEs).
+        if not rows or draw(st.booleans()):
+            t += draw(st.floats(0.1, 40 * 3600.0))
+        rows.append(
+            bit_error(
+                node=draw(st.integers(0, 3)),
+                slot=draw(st.integers(0, 1)),
+                bank=draw(st.sampled_from([-1, 0, 1])),
+                bit=draw(st.sampled_from([-1, 0, 3, 8, 15, 40, 71])),
+                address=draw(st.sampled_from([0x1000, 0x1040, 0x9000])),
+                t=t,
+            )
+        )
+    return make_errors(rows)
+
+
+scenario_params = st.fixed_dictionaries(
+    {
+        "scrub_interval_h": st.sampled_from([0.0, 1.0, 24.0]),
+        "retire_threshold": st.sampled_from([0, 1, 2]),
+        "exclude_budget": st.sampled_from([0, 3]),
+    }
+)
+
+
+@given(whatif_streams(), scenario_params)
+@settings(max_examples=30, deadline=None)
+def test_property_conservation(errors, params):
+    """avoided + corrected + due + silent == injected, every scenario."""
+    for code in STRENGTH_ORDER:
+        (r,) = replay_campaign(errors, [Scenario(code=code, **params)])
+        assert r.avoided + r.corrected + r.due + r.silent == r.injected
+        assert r.injected == errors.size
+
+
+@given(whatif_streams(), scenario_params)
+@settings(max_examples=30, deadline=None)
+def test_property_stronger_code_never_worse(errors, params):
+    """On one replay, each step up the strength chain never leaves
+    more events uncorrected and never corrects fewer."""
+    reports = [
+        replay_campaign(errors, [Scenario(code=c, **params)])[0]
+        for c in STRENGTH_ORDER
+    ]
+    for weak, strong in zip(reports, reports[1:]):
+        assert strong.uncorrected <= weak.uncorrected
+        assert strong.corrected >= weak.corrected
+    # The silent-free symbol chain is DUE-monotone outright (SEC-DED is
+    # excluded: its silent events re-surface as chipkill DUEs).
+    symbol = reports[1:]
+    for weak, strong in zip(symbol, symbol[1:]):
+        assert strong.due <= weak.due
+
+
+@given(
+    whatif_streams(),
+    st.sampled_from(STRENGTH_ORDER),
+    st.sampled_from([0, 2]),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_shorter_scrub_never_worse(errors, code, retire):
+    """Along a nested interval chain (each dividing the next, with
+    'no scrub' as the coarsest), a shorter scrub never increases the
+    uncorrected count -- finer aligned intervals only shrink each
+    event's accumulated footprint."""
+    chain = [1.0, 6.0, 24.0, 168.0, 0.0]
+    reports = [
+        replay_campaign(
+            errors,
+            [Scenario(code=code, scrub_interval_h=h, retire_threshold=retire)],
+        )[0]
+        for h in chain
+    ]
+    for fine, coarse in zip(reports, reports[1:]):
+        assert fine.uncorrected <= coarse.uncorrected
+        if code != "secded":
+            # Symbol codes are silent-free, so DUE monotonicity too.
+            assert fine.due <= coarse.due
+
+
+@given(whatif_streams(), st.integers(0, 2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_property_seed_determinism_across_jobs(errors, seed):
+    """jobs=4 is byte-identical to serial for the same (errors, seed)."""
+    grid = [
+        Scenario(code=c, scrub_interval_h=h, retire_threshold=r)
+        for c in ("secded", "rs-36-32")
+        for h in (0.0, 24.0)
+        for r in (0, 1)
+    ]
+    serial = replay_campaign(errors, grid, seed=seed, jobs=0)
+    parallel = replay_campaign(errors, grid, seed=seed, jobs=4)
+    assert serial == parallel
+
+
+@given(whatif_streams(), scenario_params)
+@settings(max_examples=30, deadline=None)
+def test_property_outcomes_partition_the_stream(errors, params):
+    """Per-event outcomes are a partition: every event gets exactly one
+    outcome, and policy-avoided events are exactly the AVOIDED ones
+    regardless of code."""
+    outs = [
+        replay_events(errors, Scenario(code=c, **params))
+        for c in STRENGTH_ORDER
+    ]
+    for out in outs:
+        assert out.shape == (errors.size,)
+        assert np.isin(out, [AVOIDED, CORRECTED, DUE, SILENT]).all()
+    # The avoided set is a pure policy decision, shared by every code.
+    base = outs[0] == AVOIDED
+    for out in outs[1:]:
+        np.testing.assert_array_equal(out == AVOIDED, base)

@@ -187,6 +187,100 @@ class TestMitigate:
         assert "k=5" in out and "B=50" in out
 
 
+class TestWhatif:
+    def test_sweep_runs_and_prints_table(self, capsys):
+        code = main(["whatif", "--scale", "0.005", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replayed" in out
+        for name in ("secded", "chipkill", "rs-36-32", "rs-72-64"):
+            assert name in out
+
+    def test_check_passes_and_writes_valid_schema(self, tmp_path, capsys):
+        report = tmp_path / "scenarios.json"
+        code = main(
+            [
+                "whatif",
+                "--scale",
+                "0.005",
+                "--seed",
+                "3",
+                "--check",
+                "--check-events",
+                "1500",
+                "--scenarios-out",
+                str(report),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "check ok" in out
+
+        import json
+
+        from repro.obs.schema import schema_dir, validate_file
+
+        payload = json.loads(report.read_text())
+        assert validate_file(schema_dir() / "whatif.schema.json", report) == []
+        assert payload["check"]["identical"] is True
+        assert payload["check"]["mismatches"] == 0
+        assert len(payload["scenarios"]) == 16
+        for row in payload["scenarios"]:
+            assert (
+                row["avoided"]
+                + row["corrected"]
+                + row["due"]
+                + row["silent"]
+                == row["injected"]
+            )
+
+    def test_custom_axes_and_jobs(self, tmp_path, capsys):
+        report = tmp_path / "s.json"
+        code = main(
+            [
+                "whatif",
+                "--scale",
+                "0.005",
+                "--codes",
+                "secded,rs-72-64",
+                "--scrub",
+                "0,6",
+                "--retire",
+                "2",
+                "--exclude-budget",
+                "100",
+                "--jobs",
+                "2",
+                "--scenarios-out",
+                str(report),
+            ]
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["grid"]["codes"] == ["secded", "rs-72-64"]
+        assert len(payload["scenarios"]) == 4
+        assert payload["jobs"] == 2
+
+    def test_unknown_code_exits_2(self, capsys):
+        code = main(["whatif", "--codes", "secded,parity3"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown code" in err and "known codes" in err
+
+    def test_bad_axis_value_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["whatif", "--scrub", "daily"])
+        assert exc.value.code == 2
+        assert "invalid --scrub value" in capsys.readouterr().err
+
+    def test_negative_axis_exits_2(self, capsys):
+        code = main(["whatif", "--retire", "-2"])
+        assert code == 2
+        assert ">= 0" in capsys.readouterr().err
+
+
 class TestValidateAndRelease:
     def test_validate_small_scale(self, capsys):
         code = main(["validate", "--scale", "0.02", "--seed", "7"])
