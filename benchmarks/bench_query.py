@@ -1,0 +1,279 @@
+"""Rollup-cube query latency benchmark vs full log rescan.
+
+Measures, over a synthetic CE stream drawn from a bounded fault
+population (the bench_stream generator):
+
+- ``build``: one-shot :func:`repro.query.engine.build_store` over the
+  whole error array -- the cost of materialising every cube;
+- ``incremental``: the same cubes built by per-batch
+  :meth:`RollupStore.update` calls, the path the streaming pipeline and
+  the fleet shard workers take -- its tax over the one-shot build is
+  the incremental-maintenance overhead;
+- ``query``: a fixed panel of representative queries (group-bys,
+  filters, top-k, every cube family) answered twice per repeat --
+  once from cube slices (:func:`execute`), once by full rescan of the
+  raw arrays (:func:`recompute`) -- reported as p50/p95 latency and
+  the p95 rescan-over-cube speedup;
+- ``stream``: the streaming pipeline run with and without in-memory
+  rollup maintenance over a smaller text log, isolating the per-batch
+  update tax against bench_stream's ``STREAM_TAX_LIMIT`` backstop.
+
+Writes a JSON report (default ``BENCH_query.json``).  ``--check``
+additionally asserts the correctness contract (incremental == one-shot
+cubes; every cube answer element-identical to its rescan answer), the
+``>= 25x`` p95 speedup floor, and the streaming-tax backstop -- which
+is what the CI perf-smoke job runs at a reduced size.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_query.py --events 1000000
+    PYTHONPATH=src python benchmarks/bench_query.py --events 60000 \\
+        --stream-lines 8000 --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.faults.coalesce import coalesce
+from repro.logs.syslog import write_ce_log
+from repro.query.engine import (
+    Query,
+    answers_equal,
+    build_store,
+    execute,
+    recompute,
+)
+from repro.query.rollup import RollupConfig, RollupStore
+from repro.stream import StreamPipeline
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_ingest import T0  # noqa: E402
+from repro._util import DAY_S  # noqa: E402
+from bench_stream import STREAM_TAX_LIMIT, _stream_ce_records  # noqa: E402
+
+#: The committed report must show at least this p95 rescan/cube speedup.
+SPEEDUP_FLOOR = 25.0
+
+#: Records folded per incremental ``update`` call (the streaming
+#: pipeline's effective batch granularity at its default batch_bytes).
+BATCH_EVENTS = 65_536
+
+
+def _query_panel(hot_nodes: list) -> list:
+    """The fixed query panel: every cube family, filters, top-k."""
+    mid = T0 + 15 * DAY_S
+    return [
+        ("errors/rack", Query("errors", ["rack"])),
+        ("errors/rack,slot", Query("errors", ["rack", "slot"])),
+        (
+            "errors/rack+window",
+            Query("errors", ["rack"], where={"since": T0, "until": mid}),
+        ),
+        ("errors/node-top10", Query("errors", ["node"], top_k=10)),
+        ("errors/bitpos", Query("errors", ["bitpos"])),
+        (
+            "errors/bucket@rack",
+            Query("errors", ["bucket"], where={"rack": [0, 1, 2, 3]}),
+        ),
+        ("faults/mode", Query("faults", ["mode"])),
+        ("faults/rack,mode", Query("faults", ["rack", "mode"])),
+        ("mode_errors", Query("mode_errors", ["mode"])),
+        (
+            "ce_windows/hot-top20",
+            Query(
+                "ce_windows",
+                ["node", "window"],
+                where={"node": hot_nodes},
+                top_k=20,
+            ),
+        ),
+    ]
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def _pctl(samples: list, q: float) -> float:
+    return float(np.percentile(np.asarray(samples), q))
+
+
+def run(
+    events: int,
+    stream_lines: int,
+    repeats: int,
+    out_path: Path,
+    check: bool,
+) -> int:
+    failures: list[str] = []
+    config = RollupConfig()
+    errors = _stream_ce_records(events)
+    faults = coalesce(errors)
+
+    # --- build: one-shot cube materialisation ---
+    store, build_s = _timed(
+        lambda: build_store(errors, faults=faults, config=config)
+    )
+
+    # --- incremental: per-batch updates, the stream/fleet path ---
+    def incremental():
+        inc = RollupStore(config)
+        for lo in range(0, errors.size, BATCH_EVENTS):
+            inc.update(errors[lo : lo + BATCH_EVENTS])
+        inc.set_faults(faults)
+        return inc
+
+    inc_store, inc_s = _timed(incremental)
+    if check and not store.equal(inc_store):
+        failures.append("incremental cubes differ from the one-shot build")
+
+    # --- query: cube slices vs full rescan ---
+    node_counts = np.bincount(errors["node"])
+    hot_nodes = np.argsort(node_counts)[-16:].tolist()
+    panel = _query_panel(hot_nodes)
+    cube_lat: list[float] = []
+    rescan_lat: list[float] = []
+    per_query = {}
+    for name, query in panel:
+        c_samples, r_samples = [], []
+        for _ in range(repeats):
+            answer, dt = _timed(lambda: execute(store, query))
+            c_samples.append(dt)
+            ref, dt = _timed(
+                lambda: recompute(query, config, errors=errors, faults=faults)
+            )
+            r_samples.append(dt)
+        if check and not answers_equal(answer, ref):
+            failures.append(f"{name}: cube answer differs from rescan")
+        cube_lat.extend(c_samples)
+        rescan_lat.extend(r_samples)
+        per_query[name] = {
+            "cube_ms": round(_pctl(c_samples, 50) * 1e3, 3),
+            "rescan_ms": round(_pctl(r_samples, 50) * 1e3, 3),
+            "groups": answer["n_groups"],
+        }
+    cube_p50, cube_p95 = _pctl(cube_lat, 50), _pctl(cube_lat, 95)
+    rescan_p50, rescan_p95 = _pctl(rescan_lat, 50), _pctl(rescan_lat, 95)
+    speedup_p95 = rescan_p95 / cube_p95
+    if check and speedup_p95 < SPEEDUP_FLOOR:
+        failures.append(
+            f"p95 speedup {speedup_p95:.1f}x below the "
+            f"{SPEEDUP_FLOOR:.0f}x floor"
+        )
+
+    # --- stream: per-batch rollup maintenance tax ---
+    with tempfile.TemporaryDirectory(prefix="bench-query-") as tmp:
+        ce_path = Path(tmp) / "ce.log"
+        write_ce_log(_stream_ce_records(stream_lines), ce_path)
+
+        def pipeline(rollup_config=None):
+            pipe = StreamPipeline(
+                files=[ce_path],
+                policy="repair",
+                resume=False,
+                rollup_config=rollup_config,
+            )
+            pipe.run()
+            pipe.finalize()
+            return pipe
+
+        _, plain_s = _timed(pipeline)
+        _, rollup_s = _timed(lambda: pipeline(config))
+        from repro.logs.syslog import ingest_ce_log
+
+        def batch():
+            res = ingest_ce_log(ce_path, policy="repair")
+            return coalesce(res.errors)
+
+        _, batch_s = _timed(batch)
+    if check and rollup_s > batch_s * STREAM_TAX_LIMIT:
+        failures.append(
+            f"stream+rollups {rollup_s:.3f}s vs batch {batch_s:.3f}s "
+            f"exceeds the {STREAM_TAX_LIMIT}x backstop"
+        )
+
+    report = {
+        "schema": 1,
+        "events": events,
+        "stream_lines": stream_lines,
+        "repeats": repeats,
+        "numpy": np.__version__,
+        "python": sys.version.split()[0],
+        "results": {
+            "build": {
+                "one_shot_s": round(build_s, 4),
+                "incremental_s": round(inc_s, 4),
+                "incremental_tax": round(inc_s / build_s, 2),
+                "events_per_s": round(events / inc_s, 0),
+            },
+            "query": {
+                "panel": per_query,
+                "cube_p50_ms": round(cube_p50 * 1e3, 3),
+                "cube_p95_ms": round(cube_p95 * 1e3, 3),
+                "rescan_p50_ms": round(rescan_p50 * 1e3, 3),
+                "rescan_p95_ms": round(rescan_p95 * 1e3, 3),
+                "speedup_p95": round(speedup_p95, 1),
+            },
+            "stream": {
+                "plain_s": round(plain_s, 4),
+                "with_rollups_s": round(rollup_s, 4),
+                "rollup_overhead": round(rollup_s / plain_s - 1.0, 3),
+                "tax_vs_batch": round(rollup_s / batch_s, 2),
+            },
+        },
+    }
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    r = report["results"]
+    print(
+        f"query p95 {r['query']['cube_p95_ms']:.2f} ms from cubes vs "
+        f"{r['query']['rescan_p95_ms']:.2f} ms rescan "
+        f"({r['query']['speedup_p95']:.0f}x)   "
+        f"incremental build {r['build']['incremental_tax']:.1f}x one-shot   "
+        f"stream rollup overhead {r['stream']['rollup_overhead']:+.1%}"
+    )
+    print(f"wrote {out_path}")
+
+    if check:
+        if failures:
+            print("QUERY-BENCH FAILURES:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print(
+            "query bench OK: cube answers identical to rescan, "
+            f"p95 speedup {speedup_p95:.0f}x >= {SPEEDUP_FLOOR:.0f}x, "
+            "stream tax within backstop"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--events", type=int, default=1_000_000,
+                    help="CE records in the query/build corpus")
+    ap.add_argument("--stream-lines", type=int, default=50_000,
+                    help="text-log size for the streaming-tax section")
+    ap.add_argument("--repeats", type=int, default=5,
+                    help="timed repetitions per panel query")
+    ap.add_argument("--out", type=Path, default=Path("BENCH_query.json"))
+    ap.add_argument("--check", action="store_true",
+                    help="assert identity, the speedup floor, and the "
+                         "streaming-tax backstop")
+    args = ap.parse_args(argv)
+    return run(
+        args.events, args.stream_lines, args.repeats, args.out, args.check
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,11 +9,18 @@ Subcommands:
   alerts, checkpoint/resume; see DESIGN.md section 10);
 - ``fleet``      synthesise and analyse a fleet of Astra-sized clusters
   through the sharded campaign engine (DESIGN.md section 11);
+- ``query``      answer campaign-history queries from incrementally
+  maintained rollup cubes, with zero log rescan (DESIGN.md section 14);
 - ``list``       list the registered experiments.
 
 Examples::
 
     astra-memrepro synth --scale 0.05 --out /tmp/camp --text-logs
+    astra-memrepro stream /tmp/camp --rollups-dir /tmp/camp/rollups
+    astra-memrepro query /tmp/camp --select errors --group-by rack,bucket
+    astra-memrepro query /tmp/camp --select errors --group-by node --top-k 8
+    astra-memrepro query /tmp/camp --build --select faults --group-by mode \
+        --check --json
     astra-memrepro fleet --shard-dir /tmp/fleet --clusters 4 --scale 0.02 \
         --jobs 4 --check --fleet-report fleet.json
     astra-memrepro fleet --shard-dir /tmp/fleet --exp fig04 fig05
@@ -152,8 +159,8 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
 #: Every registered subcommand, shared by the parser and the friendly
 #: unknown-command pre-check in :func:`main`.
 _COMMANDS = (
-    "synth", "analyze", "experiment", "stream", "fleet", "mitigate",
-    "whatif", "validate", "release", "list",
+    "synth", "analyze", "experiment", "stream", "fleet", "query",
+    "mitigate", "whatif", "validate", "release", "list",
 )
 
 
@@ -183,6 +190,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("directory", help="campaign directory from 'synth'")
     p_analyze.add_argument(
         "--exp", nargs="*", default=None, help="experiment ids (default: all)"
+    )
+    p_analyze.add_argument(
+        "--rollups", metavar="DIR", default=None,
+        help="attach a rollup snapshot directory; figure paths serve "
+        "reads from its cubes when it matches the campaign "
+        "(identity-gated, silent fallback to the rescan path otherwise)",
     )
     _add_run_args(p_analyze)
 
@@ -258,6 +271,16 @@ def _build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument(
         "--metrics-out", metavar="PATH", default=None,
         help="write stream counters/gauges as JSON to PATH",
+    )
+    p_stream.add_argument(
+        "--rollups-dir", default=None, metavar="DIR",
+        help="maintain rollup cubes incrementally and snapshot them here "
+        "(versioned + atomic; query later with 'query --rollups DIR')",
+    )
+    p_stream.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable JSON summary on stdout instead "
+        "of the human-readable report",
     )
 
     p_fleet = sub.add_parser(
@@ -369,6 +392,104 @@ def _build_parser() -> argparse.ArgumentParser:
         "--faults-out", metavar="PATH", default=None,
         help="write the fleet-wide coalesced fault array to PATH (.npy)",
     )
+    p_fleet.add_argument(
+        "--rollups-out", metavar="DIR", default=None,
+        help="have every shard worker maintain rollup cubes, merge them "
+        "exactly during the reduction, and snapshot the fleet-wide "
+        "store here (query later with 'query --rollups DIR')",
+    )
+    p_fleet.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable JSON summary on stdout instead "
+        "of the human-readable report (not combinable with --exp)",
+    )
+
+    p_query = sub.add_parser(
+        "query",
+        help="answer campaign-history queries from rollup cubes with "
+        "zero log rescan",
+    )
+    p_query.add_argument(
+        "directory",
+        help="campaign directory the rollups describe (used by --build "
+        "and --check to reach the raw records)",
+    )
+    p_query.add_argument(
+        "--rollups", metavar="DIR", default=None,
+        help="rollup snapshot directory (default: DIRECTORY/rollups)",
+    )
+    p_query.add_argument(
+        "--build", action="store_true",
+        help="(re)build a rollup snapshot from the campaign's records "
+        "before answering",
+    )
+    p_query.add_argument(
+        "--snapshot-version", type=int, default=None, metavar="N",
+        help="load this snapshot version instead of the manifest's latest",
+    )
+    p_query.add_argument(
+        "--select",
+        choices=("errors", "faults", "mode_errors", "ce_windows", "dropout"),
+        default="errors",
+        help="what to count (default errors)",
+    )
+    p_query.add_argument(
+        "--group-by", default="", metavar="DIMS",
+        help="comma-separated dimensions (errors: rack,slot,bucket or "
+        "node or bitpos or bank; faults: rack,slot,mode,bucket; "
+        "ce_windows: node,window)",
+    )
+    p_query.add_argument(
+        "--racks", default=None, metavar="IDS",
+        help="comma-separated rack-id filter",
+    )
+    p_query.add_argument(
+        "--slots", default=None, metavar="IDS",
+        help="comma-separated DIMM-slot filter",
+    )
+    p_query.add_argument(
+        "--nodes", default=None, metavar="IDS",
+        help="comma-separated node-id filter (per-node cube only)",
+    )
+    p_query.add_argument(
+        "--modes", default=None, metavar="NAMES",
+        help="comma-separated fault-mode filter (e.g. single_bit,row)",
+    )
+    p_query.add_argument(
+        "--since", type=float, default=None, metavar="EPOCH",
+        help="time filter: include the bucket containing this time and "
+        "later (bucket-granular, inclusive)",
+    )
+    p_query.add_argument(
+        "--until", type=float, default=None, metavar="EPOCH",
+        help="time filter: include buckets up to the one containing "
+        "this time (inclusive)",
+    )
+    p_query.add_argument(
+        "--top-k", type=int, default=None, metavar="K",
+        help="keep only the K largest groups (ties break on key)",
+    )
+    p_query.add_argument(
+        "--check", action="store_true",
+        help="differential gate: recompute the answer by a full rescan "
+        "of the raw records and assert element-for-element identity "
+        "(exit 1 on any divergence)",
+    )
+    p_query.add_argument(
+        "--ingest-policy", choices=("strict", "repair", "skip"),
+        default="repair",
+        help="ingest policy for --build, and for --check when the "
+        "snapshot predates policy recording (default repair)",
+    )
+    p_query.add_argument(
+        "--json", action="store_true",
+        help="emit the answer document as JSON on stdout",
+    )
+    for flag, help_text in (
+        ("--trace-out", "enable tracing and write query.* spans to PATH"),
+        ("--metrics-out", "write query counters as JSON to PATH"),
+    ):
+        p_query.add_argument(flag, metavar="PATH", default=None, help=help_text)
 
     p_mit = sub.add_parser(
         "mitigate", help="run the mitigation simulators on a campaign"
@@ -678,13 +799,14 @@ def _run_stream(args, trace_out, metrics_out) -> int:
                 ce_rate_window_s=args.ce_rate_window,
             ),
             resume=not args.no_resume,
+            rollup_dir=args.rollups_dir,
         )
     except (ValueError, CheckpointError) as exc:
         # No tailable files, or an incompatible checkpoint: exit cleanly
         # instead of dumping a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if pipeline.batches:
+    if pipeline.batches and not args.json:
         print(f"resumed from checkpoint at batch {pipeline.batches}")
 
     def progress(p, summary):
@@ -701,7 +823,7 @@ def _run_stream(args, trace_out, metrics_out) -> int:
             max_batches=args.max_batches,
             follow=args.follow,
             poll_interval=args.poll_interval,
-            progress=progress,
+            progress=None if args.json else progress,
         )
     except TailError as exc:
         # Mid-stream rotation/truncation carries its own recovery hint;
@@ -709,31 +831,265 @@ def _run_stream(args, trace_out, metrics_out) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     summary = pipeline.finalize()
-    print(
-        f"streamed {run_info['steps']} batch(es): "
-        f"{summary['faults']} live fault(s), {summary['alerts']} alert(s)"
-    )
-    for family, s in sorted(summary["ingest"].items()):
+    if args.json:
+        import json
+
+        doc = {
+            "schema_version": 1,
+            "steps": int(run_info["steps"]),
+            "summary": summary,
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
         print(
-            f"  {family}: seen={s['seen']} parsed={s['parsed']} "
-            f"repaired={s['repaired']} quarantined={s['quarantined']} "
-            f"coverage={s['coverage']:.3f}"
+            f"streamed {run_info['steps']} batch(es): "
+            f"{summary['faults']} live fault(s), {summary['alerts']} alert(s)"
         )
-    if summary["mode_counts"]:
-        modes = ", ".join(
-            f"{label}={n}" for label, n in sorted(summary["mode_counts"].items())
-        )
-        print(f"  modes: {modes}")
+        for family, s in sorted(summary["ingest"].items()):
+            print(
+                f"  {family}: seen={s['seen']} parsed={s['parsed']} "
+                f"repaired={s['repaired']} quarantined={s['quarantined']} "
+                f"coverage={s['coverage']:.3f}"
+            )
+        if summary["mode_counts"]:
+            modes = ", ".join(
+                f"{label}={n}"
+                for label, n in sorted(summary["mode_counts"].items())
+            )
+            print(f"  modes: {modes}")
+        if summary.get("rollups"):
+            r = summary["rollups"]
+            where = f" v{r['version']} at {r['dir']}" if r.get("dir") else ""
+            print(
+                f"  rollups: {r['errors']} CEs, {r['faults']} fault(s)"
+                f"{where}"
+            )
     if args.faults_out:
         np.save(args.faults_out, pipeline.coalescer.faults())
-        print(f"wrote faults to {args.faults_out}")
+        if not args.json:
+            print(f"wrote faults to {args.faults_out}")
     if trace_out:
         obs.write_trace(trace_out)
-        print(f"wrote trace to {trace_out}")
+        if not args.json:
+            print(f"wrote trace to {trace_out}")
     if metrics_out:
         obs.write_metrics(metrics_out)
-        print(f"wrote metrics to {metrics_out}")
+        if not args.json:
+            print(f"wrote metrics to {metrics_out}")
     return 0
+
+
+def _query_inputs(directory, source: str, policy: str):
+    """Gather ``(errors, faults, sensor_samples)`` the way ``source`` did.
+
+    Symmetry is the point: ``--build`` and ``--check`` both come through
+    here, so the reference a check recomputes from is fed by exactly the
+    ingest path that produced the snapshot under test -- ``stream``
+    snapshots re-parse the text logs under the recorded policy, ``batch``
+    snapshots re-load the binary mirrors, ``fleet`` snapshots re-read
+    the node-offset concatenation of the cluster mirrors.
+    """
+    from pathlib import Path
+
+    from repro.faults.coalesce import coalesce
+
+    directory = Path(directory)
+    if source == "stream":
+        from repro.logs.syslog import ingest_ce_log
+
+        errors = ingest_ce_log(directory / "ce.log", policy=policy).errors
+    elif source == "fleet":
+        from repro.fleet import Fleet, fleet_errors
+
+        errors = fleet_errors(Fleet.load(directory))
+    else:
+        from repro.logs.campaign_io import load_campaign_records
+
+        errors = load_campaign_records(directory, policy=policy).errors
+    samples = None
+    bmc_files = sorted(directory.glob("bmc*.csv"))
+    if bmc_files:
+        import numpy as np
+
+        from repro.logs.bmc import ingest_bmc_log
+
+        parts = [ingest_bmc_log(p, policy=policy)[0] for p in bmc_files]
+        samples = parts[0] if len(parts) == 1 else np.concatenate(parts)
+    return errors, coalesce(errors), samples
+
+
+def _run_query(args, trace_out, metrics_out) -> int:
+    """The ``query`` verb: rollup-served answers plus the --check gate."""
+    import json
+    from pathlib import Path
+
+    from repro import obs
+    from repro.query import (
+        Query,
+        QueryError,
+        RollupError,
+        RollupStore,
+        answers_equal,
+        build_store,
+        execute,
+        recompute,
+    )
+
+    directory = Path(args.directory)
+    rollup_dir = (
+        Path(args.rollups) if args.rollups else directory / "rollups"
+    )
+
+    try:
+        where = {}
+        for key, raw, flag in (
+            ("rack", args.racks, "--racks"),
+            ("slot", args.slots, "--slots"),
+            ("node", args.nodes, "--nodes"),
+        ):
+            if raw is not None:
+                where[key] = _parse_axis(raw, int, flag)
+        if args.modes is not None:
+            where["mode"] = [
+                m.strip() for m in args.modes.split(",") if m.strip()
+            ]
+        if args.since is not None:
+            where["since"] = args.since
+        if args.until is not None:
+            where["until"] = args.until
+        group_by = tuple(
+            d.strip() for d in (args.group_by or "").split(",") if d.strip()
+        )
+        query = Query(
+            args.select, group_by=group_by, where=where, top_k=args.top_k
+        )
+    except QueryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.build:
+            errors, faults, samples = _query_inputs(
+                directory, "batch", args.ingest_policy
+            )
+            store = build_store(
+                errors,
+                faults=faults,
+                sensor_samples=samples,
+                source="batch",
+                policy=args.ingest_policy,
+            )
+            version = store.snapshot(rollup_dir)
+            if not args.json:
+                print(
+                    f"built rollup snapshot v{version} at {rollup_dir} "
+                    f"({store.errors_seen} CEs, {store.n_faults} faults)"
+                )
+        else:
+            store = RollupStore.load(
+                rollup_dir, version=args.snapshot_version
+            )
+            version = (
+                args.snapshot_version
+                if args.snapshot_version is not None
+                else RollupStore.latest_version(rollup_dir)
+            )
+        answer = execute(store, query)
+    except (RollupError, QueryError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    check_doc = None
+    exit_code = 0
+    if args.check:
+        source = store.source if store.source in ("stream", "fleet") else "batch"
+        policy = store.policy or args.ingest_policy
+        try:
+            errors, faults, samples = _query_inputs(directory, source, policy)
+        except OSError as exc:
+            print(f"error: --check cannot re-ingest: {exc}", file=sys.stderr)
+            return 2
+        reference = build_store(
+            errors,
+            faults=faults,
+            config=store.config,
+            sensor_samples=samples,
+            source=store.source,
+            policy=store.policy,
+        )
+        ref_answer = recompute(
+            query,
+            store.config,
+            errors=errors,
+            faults=faults,
+            sensor_times=None if samples is None else samples["time"],
+        )
+        answer_ok = answers_equal(answer, ref_answer)
+        store_ok = store.equal(reference)
+        check_doc = {
+            "identical": bool(answer_ok and store_ok),
+            "answer_identical": bool(answer_ok),
+            "store_identical": bool(store_ok),
+            "source": source,
+            "policy": policy,
+            "n_errors_reference": int(errors.size),
+        }
+        if not (answer_ok and store_ok):
+            what = []
+            if not answer_ok:
+                what.append("answer differs from the full-rescan recompute")
+            if not store_ok:
+                what.append("cubes differ from the from-scratch rebuild")
+            print(f"check FAILED: {'; '.join(what)}", file=sys.stderr)
+            exit_code = 1
+        elif not args.json:
+            print(
+                "check: cube answer element-identical to the full-rescan "
+                f"recompute over {errors.size} records (source={source})"
+            )
+
+    if args.json:
+        doc = {
+            "schema_version": 1,
+            "answer": answer,
+            "rollups": {
+                "dir": str(rollup_dir),
+                "version": version,
+                "source": store.source,
+                "policy": store.policy,
+                "errors_seen": int(store.errors_seen),
+                "n_faults": int(store.n_faults),
+            },
+            "check": check_doc,
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        dims = ",".join(answer["group_by"]) or "-"
+        print(
+            f"query: select={answer['select']} group_by={dims} "
+            f"served_from={answer['served_from']} (snapshot v{version})"
+        )
+        shown = 0
+        for key, value in zip(answer["keys"], answer["values"]):
+            if shown >= 40:
+                print(f"  ... ({answer['n_groups'] - shown} more group(s))")
+                break
+            label = " ".join(
+                f"{d}={k}" for d, k in zip(answer["group_by"], key)
+            )
+            print(f"  {label or 'total'}: {value}")
+            shown += 1
+        print(f"  groups={answer['n_groups']} total={answer['total']}")
+
+    if trace_out:
+        obs.write_trace(trace_out)
+        if not args.json:
+            print(f"wrote trace to {trace_out}")
+    if metrics_out:
+        obs.write_metrics(metrics_out)
+        if not args.json:
+            print(f"wrote metrics to {metrics_out}")
+    return exit_code
 
 
 def _fleet_reference_faults(fleet, result, source: str, policy: str):
@@ -793,6 +1149,13 @@ def _run_fleet(args, trace_out, metrics_out) -> int:
 
     for path in (args.fleet_report, args.json_report):
         _validate_json_report(path)
+    if args.json and args.exp is not None:
+        print(
+            "error: --json cannot be combined with --exp; hint: use "
+            "--json-report for the experiment run report",
+            file=sys.stderr,
+        )
+        return 2
 
     from pathlib import Path
 
@@ -827,11 +1190,12 @@ def _run_fleet(args, trace_out, metrics_out) -> int:
         cache=cache,
         force=args.force_synth,
     )
-    print(
-        f"fleet: {spec.n_clusters} cluster(s), seed={spec.seed}, "
-        f"scale={spec.scale}, {fleet.spec.fleet_topology().n_nodes} nodes "
-        f"at {shard_dir}"
-    )
+    if not args.json:
+        print(
+            f"fleet: {spec.n_clusters} cluster(s), seed={spec.seed}, "
+            f"scale={spec.scale}, {fleet.spec.fleet_topology().n_nodes} "
+            f"nodes at {shard_dir}"
+        )
 
     try:
         result = process_fleet(
@@ -843,31 +1207,36 @@ def _run_fleet(args, trace_out, metrics_out) -> int:
             ledger=not args.no_ledger,
             chaos=args.chaos,
             chaos_seed=args.chaos_seed,
+            rollups=bool(args.rollups_out),
         )
     except FleetFormatError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    modes = ", ".join(
-        f"{label}={n}" for label, n in sorted(result.mode_histogram().items())
-        if n
-    )
-    print(
-        f"processed {len(result.per_shard)} shard(s) with jobs={args.jobs}: "
-        f"{result.n_errors} CEs -> {result.n_faults} fault(s) "
-        f"in {result.wall_s:.2f}s"
-    )
-    if modes:
-        print(f"  modes: {modes}")
-    status_line = f"  status: {result.status}"
-    if result.coverage is not None:
-        status_line += f", coverage={result.coverage:.4f}"
-    if result.retries:
-        status_line += f", retries={result.retries}"
-    if result.resumed_shards:
-        status_line += f", resumed={len(result.resumed_shards)}"
-    if result.integrity_failures:
-        status_line += f", integrity_failures={result.integrity_failures}"
-    print(status_line)
+    if not args.json:
+        modes = ", ".join(
+            f"{label}={n}"
+            for label, n in sorted(result.mode_histogram().items())
+            if n
+        )
+        print(
+            f"processed {len(result.per_shard)} shard(s) with "
+            f"jobs={args.jobs}: {result.n_errors} CEs -> "
+            f"{result.n_faults} fault(s) in {result.wall_s:.2f}s"
+        )
+        if modes:
+            print(f"  modes: {modes}")
+        status_line = f"  status: {result.status}"
+        if result.coverage is not None:
+            status_line += f", coverage={result.coverage:.4f}"
+        if result.retries:
+            status_line += f", retries={result.retries}"
+        if result.resumed_shards:
+            status_line += f", resumed={len(result.resumed_shards)}"
+        if result.integrity_failures:
+            status_line += (
+                f", integrity_failures={result.integrity_failures}"
+            )
+        print(status_line)
     for entry in result.quarantined:
         print(
             f"  quarantined {entry['cluster']}/{entry['shard']} "
@@ -880,6 +1249,21 @@ def _run_fleet(args, trace_out, metrics_out) -> int:
             file=sys.stderr,
         )
         return 1
+
+    rollup_info = None
+    if args.rollups_out and result.rollups is not None:
+        version = result.rollups.snapshot(args.rollups_out)
+        rollup_info = {
+            "dir": str(args.rollups_out),
+            "version": int(version),
+            "errors_seen": int(result.rollups.errors_seen),
+            "n_faults": int(result.rollups.n_faults),
+        }
+        if not args.json:
+            print(
+                f"  rollups: snapshot v{version} at {args.rollups_out} "
+                f"({result.rollups.errors_seen} CEs)"
+            )
 
     check = None
     exit_code = 0
@@ -897,20 +1281,20 @@ def _run_fleet(args, trace_out, metrics_out) -> int:
             "n_faults_reference": int(reference.size),
             "degraded": bool(result.quarantined),
         }
-        if identical:
-            scope = (
-                "whole-stream path over surviving shards"
-                if result.quarantined else "whole-stream path"
-            )
-            print(f"check: sharded result identical to {scope} "
-                  f"({reference.size} faults)")
-        else:
+        if not identical:
             print(
                 f"check FAILED: sharded faults differ from the "
                 f"whole-stream path ({result.n_faults} vs {reference.size})",
                 file=sys.stderr,
             )
             exit_code = 1
+        elif not args.json:
+            scope = (
+                "whole-stream path over surviving shards"
+                if result.quarantined else "whole-stream path"
+            )
+            print(f"check: sharded result identical to {scope} "
+                  f"({reference.size} faults)")
 
     if args.fleet_report:
         import json
@@ -927,11 +1311,30 @@ def _run_fleet(args, trace_out, metrics_out) -> int:
             "check": check,
         }
         Path(args.fleet_report).write_text(json.dumps(doc, indent=2) + "\n")
-        print(f"wrote fleet report to {args.fleet_report}")
+        if not args.json:
+            print(f"wrote fleet report to {args.fleet_report}")
 
     if args.faults_out:
         np.save(args.faults_out, result.faults)
-        print(f"wrote faults to {args.faults_out}")
+        if not args.json:
+            print(f"wrote faults to {args.faults_out}")
+
+    if args.json:
+        import json
+
+        doc = {
+            "schema_version": 1,
+            "fleet": fleet.to_dict(),
+            "result": result.to_dict(),
+            "check": check,
+            "rollups": rollup_info,
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        if trace_out:
+            obs.write_trace(trace_out)
+        if metrics_out:
+            obs.write_metrics(metrics_out)
+        return exit_code
 
     if args.exp is not None:
         campaign = fleet_campaign(fleet, result=result)
@@ -1183,6 +1586,14 @@ def _dispatch(args) -> int:
                 campaign, outcome = _make_cache(args.cache_dir).warm_from_records(
                     records
                 )
+        if args.rollups:
+            from repro.query import RollupError, RollupStore
+
+            try:
+                campaign.rollups = RollupStore.load(args.rollups)
+            except RollupError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
         return _run_experiments(
             campaign,
             exp_ids,
@@ -1242,6 +1653,9 @@ def _dispatch(args) -> int:
 
     if args.command == "fleet":
         return _run_fleet(args, trace_out, metrics_out)
+
+    if args.command == "query":
+        return _run_query(args, trace_out, metrics_out)
 
     if args.command == "whatif":
         return _run_whatif(args, trace_out, metrics_out)

@@ -13,6 +13,7 @@ from repro.analysis.distributions import errors_per_fault_stats
 from repro.analysis.trends import mode_monthly_series, reported_mode_totals
 from repro.experiments.base import ExperimentResult
 from repro.faults.types import REPORTED_MODES, FaultMode
+from repro.query.views import rollup_reported_mode_totals
 
 EXP_ID = "fig04"
 TITLE = "DRAM error/fault modes by month; errors per fault"
@@ -43,6 +44,18 @@ def run(campaign, **_params) -> ExperimentResult:
     ]
 
     totals = reported_mode_totals(series)
+    # Identity gate before a cube serves this figure: a campaign with
+    # attached rollups must reproduce the rescan totals element-for-
+    # element, and only then do the served totals come from the cube.
+    cube_totals = rollup_reported_mode_totals(campaign)
+    if cube_totals is not None:
+        result.check(
+            "rollup cube mode totals identical to the rescan series totals",
+            cube_totals == totals,
+        )
+        if cube_totals == totals:
+            totals = cube_totals
+            result.note("mode totals served from attached rollup cubes")
     scale = campaign.scale
     # Totals are extensive: a fleet of ``machines`` Astra-sized systems
     # at per-machine ``scale`` carries machines-times the paper volume.

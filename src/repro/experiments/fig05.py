@@ -16,6 +16,7 @@ from repro.analysis.distributions import (
 )
 from repro.analysis.powerlaw import fit_discrete_powerlaw
 from repro.experiments.base import ExperimentResult
+from repro.query.views import rollup_per_node_errors
 
 EXP_ID = "fig05"
 TITLE = "Per-node fault counts (power law) and CE concentration ECDF"
@@ -34,7 +35,14 @@ def run(campaign, **_params) -> ExperimentResult:
         zip(values.tolist(), freq.tolist())
     )
 
-    error_counts = per_node_counts(campaign.errors, n_nodes)
+    # Campaigns with attached rollups (stream/fleet runs) serve the
+    # per-node counts from the node cube; the view returns None unless
+    # the cube geometry and error count match this campaign exactly.
+    error_counts = rollup_per_node_errors(campaign)
+    if error_counts is None:
+        error_counts = per_node_counts(campaign.errors, n_nodes)
+    else:
+        result.note("per-node CE counts served from attached rollup cubes")
     curve = concentration_curve(error_counts)
     # The paper's "top 8 nodes" is a per-machine statement; a fleet has
     # one such hot set per machine.  The fraction-based checks are

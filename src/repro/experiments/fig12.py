@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.analysis.positional import counts_by_rack, mean_temperature_by_rack
 from repro.experiments.base import ExperimentResult
+from repro.query.views import rollup_per_rack_errors
 
 EXP_ID = "fig12"
 TITLE = "Errors and faults per rack"
@@ -24,7 +25,14 @@ def run(campaign, **_params) -> ExperimentResult:
     topo = campaign.topology
     faults = campaign.faults()
 
-    e_rack = counts_by_rack(campaign.errors, topo)
+    # Campaigns with attached rollups (stream/fleet runs) serve the
+    # error-side counts from the rack cube; the view returns None unless
+    # the cube geometry and error count match this campaign exactly.
+    e_rack = rollup_per_rack_errors(campaign)
+    if e_rack is None:
+        e_rack = counts_by_rack(campaign.errors, topo)
+    else:
+        result.note("per-rack CE counts served from attached rollup cubes")
     f_rack = counts_by_rack(faults, topo)
     result.series["errors per rack"] = e_rack
     result.series["faults per rack"] = f_rack

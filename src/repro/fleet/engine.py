@@ -88,6 +88,14 @@ def _process_shard(task: dict) -> dict:
                 delay = 0.0
             if delay > 0:
                 time.sleep(delay)
+            offset = int(task["node_offset"])
+            rollup = None
+            if task.get("rollup") is not None:
+                from repro.query.rollup import RollupConfig, RollupStore
+
+                rollup = RollupStore(RollupConfig.from_dict(task["rollup"]))
+                rollup.source = "fleet"
+                rollup.policy = task["policy"]
             if task["kind"] == "binary":
                 # verify=True checks the CRC-32C sidecar before the mmap
                 # is trusted; a torn/bit-flipped shard raises
@@ -98,6 +106,8 @@ def _process_shard(task: dict) -> dict:
                 )
                 n_errors = int(records.size)
                 faults = coalesce(records)
+                if rollup is not None:
+                    rollup.update(records, node_offset=offset)
                 del records  # drop the mmap view before pickling results
                 stats = IngestStats(
                     family="errors", seen=n_errors, parsed=n_errors,
@@ -115,13 +125,19 @@ def _process_shard(task: dict) -> dict:
                 ):
                     n_errors += int(batch.size)
                     coal.add(batch)
+                    if rollup is not None:
+                        rollup.update(batch, node_offset=offset)
                 faults = coal.faults()
-            offset = int(task["node_offset"])
             if offset:
                 faults["node"] += offset
+            if rollup is not None:
+                # Faults already carry fleet-global node ids here, and
+                # this shard's coalescing groups never span a rack, so
+                # per-shard fault cubes merge additively in the parent.
+                rollup.set_faults(faults)
             obs.count("fleet.shard.errors", n_errors)
             obs.count("fleet.shard.faults", int(faults.size))
-    return {
+    result = {
         "cluster": task["cluster"],
         "shard": task["shard"],
         "n_errors": n_errors,
@@ -133,6 +149,9 @@ def _process_shard(task: dict) -> dict:
         "wall_s": time.perf_counter() - t0,
         "obs": cap.payload(),
     }
+    if rollup is not None:
+        result["rollup"] = rollup.to_payload()
+    return result
 
 
 @dataclass
@@ -166,6 +185,10 @@ class FleetResult:
     resumed_shards: list = field(default_factory=list)
     #: Shards that failed their CRC-32C content check.
     integrity_failures: int = 0
+    #: Fleet-wide :class:`~repro.query.rollup.RollupStore` (exact merge
+    #: of the per-shard cubes), or ``None`` when rollups were not
+    #: requested.
+    rollups: object | None = None
 
     @property
     def n_faults(self) -> int:
@@ -200,6 +223,16 @@ class FleetResult:
             "mode_counts": self.mode_histogram(),
             "ingest": self.ingest.to_dict(),
             "per_shard": [dict(row) for row in self.per_shard],
+            "rollups": (
+                None
+                if self.rollups is None
+                else {
+                    "errors_seen": int(self.rollups.errors_seen),
+                    "n_faults": int(self.rollups.n_faults),
+                    "n_racks": int(self.rollups.n_racks),
+                    "n_buckets": int(self.rollups.n_buckets),
+                }
+            ),
         }
 
 
@@ -208,6 +241,7 @@ def shard_tasks(
     source: str = "auto",
     policy: IngestPolicy | str = IngestPolicy.REPAIR,
     quarantine: bool = False,
+    rollup: dict | None = None,
 ) -> list[dict]:
     """Plan the shard task list for ``fleet``.
 
@@ -215,6 +249,10 @@ def shard_tasks(
     granularity), then the whole-cluster binary mirror, then the text
     log.  Forcing ``shards``/``binary``/``text`` raises
     :class:`FleetFormatError` when a cluster lacks that source.
+    ``rollup`` (a :meth:`RollupConfig.to_dict` document) asks every
+    worker to maintain and ship per-shard rollup cubes; task identity
+    (:func:`~repro.fleet.ledger.task_key`) does not include it, so a
+    resume may satisfy rollup-bearing tasks from earlier commits.
     """
     from repro import obs
 
@@ -232,6 +270,8 @@ def shard_tasks(
             quarantine=quarantine,
             trace=want_trace,
         )
+        if rollup is not None:
+            common["rollup"] = dict(rollup)
         shard_paths = sorted((cdir / "shards").glob("errors-rack*.npy"))
         kind = source
         if source == "auto":
@@ -282,6 +322,7 @@ def process_fleet(
     ledger: bool = True,
     chaos=None,
     chaos_seed: int = 0,
+    rollups=None,
 ) -> FleetResult:
     """Ingest and coalesce every shard of ``fleet``, supervised.
 
@@ -303,10 +344,28 @@ def process_fleet(
     :class:`~repro.inject.chaos.ChaosProfile`) injects planned process
     and IO faults for self-testing; the plan is seeded by
     ``chaos_seed`` and recorded in ``chaos-manifest.json``.
+
+    ``rollups`` (``True``, a :class:`~repro.query.rollup.RollupConfig`,
+    or its ``to_dict`` form) additionally has every worker maintain
+    per-shard rollup cubes, merged exactly during the reduction into
+    ``result.rollups`` -- byte-identical to building one store over the
+    concatenated node-offset stream, because the error cubes are pure
+    sums and coalescing groups never span a rack (DESIGN.md section 11).
     """
     from repro import obs
     from repro.fleet.supervisor import ShardSupervisor, SuperviseConfig
     from repro.obs.trace import attach_tree
+
+    rollup_config = None
+    if rollups:
+        from repro.query.rollup import RollupConfig
+
+        if isinstance(rollups, RollupConfig):
+            rollup_config = rollups
+        elif isinstance(rollups, dict):
+            rollup_config = RollupConfig.from_dict(rollups)
+        else:
+            rollup_config = RollupConfig()
 
     t0 = time.perf_counter()
     with obs.span(
@@ -317,7 +376,15 @@ def process_fleet(
             "n_clusters": fleet.spec.n_clusters,
         },
     ) as sp:
-        tasks = shard_tasks(fleet, source, policy, quarantine)
+        tasks = shard_tasks(
+            fleet,
+            source,
+            policy,
+            quarantine,
+            rollup=(
+                None if rollup_config is None else rollup_config.to_dict()
+            ),
+        )
         sp.set("n_shards", len(tasks))
 
         plan = None
@@ -340,6 +407,7 @@ def process_fleet(
                 resume=resume,
                 ledger=ledger,
                 chaos=plan,
+                require_rollups=rollup_config is not None,
             ),
         ).run()
 
@@ -359,6 +427,19 @@ def process_fleet(
             mode_counts = merge_counts([r["mode_counts"] for r in results])
         else:
             mode_counts = np.zeros(len(FaultMode), dtype=np.int64)
+
+        rollup_store = None
+        if rollup_config is not None:
+            from repro.query.rollup import RollupStore
+
+            rollup_store = RollupStore(rollup_config)
+            rollup_store.source = "fleet"
+            rollup_store.policy = IngestPolicy.coerce(policy).value
+            with obs.span(
+                "query.fleet_merge", counts={"shards": len(results)}
+            ):
+                for r in results:
+                    rollup_store.merge_payload(r["rollup"])
 
         ingest = merge_ingest_stats([r["stats"] for r in results])
         est_missing = sum(q["est_records"] for q in outcome.quarantined)
@@ -405,6 +486,7 @@ def process_fleet(
             retries=outcome.retries,
             resumed_shards=list(outcome.resumed),
             integrity_failures=outcome.integrity_failures,
+            rollups=rollup_store,
         )
         obs.count("fleet.shards_processed", len(results))
         obs.count("fleet.errors_processed", result.n_errors)

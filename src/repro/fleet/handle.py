@@ -149,4 +149,10 @@ def fleet_campaign(fleet: Fleet, result=None, mmap: bool = True):
     )
     if result is not None:
         campaign._faults_cache = result.faults
+        rollups = getattr(result, "rollups", None)
+        if rollups is not None:
+            # Figure reads go through repro.query.views, which re-checks
+            # the store against this campaign's topology and error count
+            # before trusting a cube slice.
+            campaign.rollups = rollups
     return campaign

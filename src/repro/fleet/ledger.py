@@ -216,13 +216,20 @@ class ShardResultCache:
             "stats": result["stats"].to_dict(),
             "wall_s": float(result["wall_s"]),
         }
+        arrays = {
+            "faults": result["faults"],
+            "mode_counts": result["mode_counts"],
+        }
+        rollup = result.get("rollup")
+        if rollup is not None:
+            # Rollup payloads ride in the same npz: the cube arrays get
+            # a reserved prefix and the cube meta joins the JSON doc, so
+            # one digest still vouches for the whole committed result.
+            meta["rollup_meta"] = rollup["meta"]
+            for name, arr in rollup["arrays"].items():
+                arrays["rollup__" + name] = arr
         buf = io.BytesIO()
-        np.savez(
-            buf,
-            faults=result["faults"],
-            mode_counts=result["mode_counts"],
-            meta=np.array(json.dumps(meta)),
-        )
+        np.savez(buf, meta=np.array(json.dumps(meta)), **arrays)
         payload = buf.getvalue()
         digest = f"{crc32c(payload):08x}"
         if self.chaos is not None and self.chaos.on_cache_save(self._saves):
@@ -263,15 +270,26 @@ class ShardResultCache:
                 faults = npz["faults"]
                 mode_counts = npz["mode_counts"]
                 meta = json.loads(str(npz["meta"]))
+                rollup_arrays = {
+                    name[len("rollup__"):]: npz[name]
+                    for name in npz.files
+                    if name.startswith("rollup__")
+                }
         except (OSError, ValueError, KeyError, json.JSONDecodeError):
             return None
         stats_doc = dict(meta["stats"])
         stats_doc.pop("coverage", None)
         stats = IngestStats(**stats_doc)
-        return {
+        result = {
             "faults": faults,
             "mode_counts": mode_counts,
             "n_errors": int(meta["n_errors"]),
             "stats": stats,
             "wall_s": float(meta["wall_s"]),
         }
+        if "rollup_meta" in meta:
+            result["rollup"] = {
+                "meta": meta["rollup_meta"],
+                "arrays": rollup_arrays,
+            }
+        return result

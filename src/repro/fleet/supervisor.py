@@ -70,6 +70,11 @@ class SuperviseConfig:
     ledger: bool = True
     #: A planned :class:`~repro.inject.chaos.ChaosPlan`, or ``None``.
     chaos: object | None = None
+    #: This run needs per-shard rollup payloads: cached commits from an
+    #: earlier run *without* rollups are treated as cache misses (the
+    #: shard re-runs and ships its cubes) instead of silently producing
+    #: a fleet result whose rollups cover only some shards.
+    require_rollups: bool = False
 
 
 @dataclass
@@ -182,6 +187,15 @@ class ShardSupervisor:
                 if entry is not None
                 else None
             )
+            if (
+                cached is not None
+                and self.cfg.require_rollups
+                and cached.get("rollup") is None
+            ):
+                # Committed by a run that did not build rollups; this
+                # one needs the shard's cubes, so the cache cannot
+                # satisfy the task.
+                cached = None
             if cached is None:
                 # Never committed, or the cache file does not match its
                 # committed digest (torn write): run it again.

@@ -14,9 +14,14 @@ Usage as a CLI (what CI runs)::
 
     python -m repro.obs.schema schemas/trace.schema.json trace.json
     python -m repro.obs.schema --jsonl schemas/alerts.schema.json alerts.jsonl
+    python -m repro.obs.schema rollup /tmp/camp/rollups/rollup.json
+    python -m repro.obs.schema query answer.json
 
 With ``--jsonl`` the artifact is a JSON-Lines stream and every
-non-empty line is validated independently against the schema.
+non-empty line is validated independently against the schema.  A bare
+schema *name* (no path separator, no ``.json``) resolves to the
+registered ``schemas/<name>.schema.json``; ``--list`` prints the
+registry.
 """
 
 from __future__ import annotations
@@ -129,8 +134,35 @@ def validate_jsonl(schema_path: str | Path, artifact_path: str | Path) -> list[s
     return errors
 
 
+def registered_schemas() -> dict[str, Path]:
+    """``{name: path}`` for every checked-in ``schemas/*.schema.json``."""
+    return {
+        p.name[: -len(".schema.json")]: p
+        for p in sorted(schema_dir().glob("*.schema.json"))
+    }
+
+
+def resolve_schema(arg: str) -> str | Path:
+    """Resolve a bare registered name to its schema path; paths pass through."""
+    if "/" in arg or arg.endswith(".json"):
+        return arg
+    registry = registered_schemas()
+    if arg not in registry:
+        known = ", ".join(registry) or "none found"
+        print(
+            f"error: unknown schema name {arg!r}; known: {known}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return registry[arg]
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "--list":
+        for name, path in registered_schemas().items():
+            print(f"{name:<12} {path}")
+        return 0
     jsonl = False
     if argv and argv[0] == "--jsonl":
         jsonl = True
@@ -138,10 +170,12 @@ def main(argv: list[str] | None = None) -> int:
     if len(argv) != 2:
         print(
             "usage: python -m repro.obs.schema [--jsonl] "
-            "<schema.json> <artifact.json>",
+            "<schema.json | registered name> <artifact.json>\n"
+            "       python -m repro.obs.schema --list",
             file=sys.stderr,
         )
         return 2
+    argv = [str(resolve_schema(argv[0])), argv[1]]
     check = validate_jsonl if jsonl else validate_file
     try:
         errors = check(argv[0], argv[1])

@@ -1,0 +1,55 @@
+"""Rollup cubes and the read-optimized query engine (DESIGN.md §14).
+
+``rollup``
+    :class:`RollupStore` -- incrementally maintained, exactly mergeable
+    NumPy aggregates with versioned atomic snapshots.
+``engine``
+    :class:`Query`, :func:`execute` (cube-served), :func:`recompute`
+    (full-rescan oracle), and :func:`build_store`.
+``views``
+    Figure-facing reads over a campaign's attached rollups.
+"""
+
+from repro.query.engine import (
+    QUERY_SCHEMA_VERSION,
+    SELECTS,
+    Query,
+    QueryError,
+    answers_equal,
+    build_store,
+    execute,
+    recompute,
+)
+from repro.query.rollup import (
+    MANIFEST_NAME,
+    ROLLUP_SCHEMA_VERSION,
+    RollupConfig,
+    RollupError,
+    RollupStore,
+)
+from repro.query.views import (
+    campaign_rollups,
+    rollup_per_node_errors,
+    rollup_per_rack_errors,
+    rollup_reported_mode_totals,
+)
+
+__all__ = [
+    "MANIFEST_NAME",
+    "QUERY_SCHEMA_VERSION",
+    "ROLLUP_SCHEMA_VERSION",
+    "SELECTS",
+    "Query",
+    "QueryError",
+    "RollupConfig",
+    "RollupError",
+    "RollupStore",
+    "answers_equal",
+    "build_store",
+    "campaign_rollups",
+    "execute",
+    "recompute",
+    "rollup_per_node_errors",
+    "rollup_per_rack_errors",
+    "rollup_reported_mode_totals",
+]

@@ -1,0 +1,75 @@
+"""Figure-facing read views over a campaign's attached rollups.
+
+The hot figure paths (fig04 mode totals, fig05 per-node counts, fig12
+per-rack counts) can be served from cube slices instead of rescanning
+``campaign.errors``.  Each helper returns ``None`` when the campaign
+carries no rollups or the cube geometry does not match the campaign's
+topology -- callers fall back to the rescan path, so attaching a stale
+or foreign rollup can never change a figure silently.  fig04 keeps an
+explicit identity check against the monthly-series totals (the gate
+demanded before any figure trusts a cube).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.types import REPORTED_MODES
+from repro.query.rollup import RollupStore
+
+
+def campaign_rollups(campaign) -> RollupStore | None:
+    """The campaign's rollup store, if one compatible with it is attached."""
+    store = getattr(campaign, "rollups", None)
+    if store is None:
+        return None
+    topo = campaign.topology
+    if store.config.nodes_per_rack != topo.nodes_per_rack:
+        return None
+    if store.n_nodes_seen > topo.n_nodes:
+        return None
+    if store.errors_seen != int(campaign.errors.size):
+        return None
+    return store
+
+
+def rollup_per_node_errors(campaign) -> np.ndarray | None:
+    """fig05's per-node CE counts from the node cube, or None."""
+    store = campaign_rollups(campaign)
+    if store is None:
+        return None
+    from repro import obs
+
+    obs.count("query.figure_reads")
+    return store.node_errors_padded(campaign.topology.n_nodes)
+
+
+def rollup_per_rack_errors(campaign) -> np.ndarray | None:
+    """fig12's per-rack CE counts from the rack cube, or None."""
+    store = campaign_rollups(campaign)
+    if store is None:
+        return None
+    from repro import obs
+
+    obs.count("query.figure_reads")
+    return store.rack_error_totals(campaign.topology.n_racks)
+
+
+def rollup_reported_mode_totals(campaign) -> dict | None:
+    """fig04's per-mode attributed error totals from the fault cube.
+
+    Returns ``{mode: count, ..., "total": errors_seen}`` in the shape of
+    :func:`repro.analysis.trends.reported_mode_totals`, or ``None`` when
+    no usable rollup (or no fault refresh) is attached.
+    """
+    store = campaign_rollups(campaign)
+    if store is None or store.n_faults == 0:
+        return None
+    from repro import obs
+
+    obs.count("query.figure_reads")
+    totals = {
+        mode: int(store.mode_error_totals[mode]) for mode in REPORTED_MODES
+    }
+    totals["total"] = int(store.errors_seen)
+    return totals

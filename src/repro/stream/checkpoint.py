@@ -92,7 +92,9 @@ class CheckpointStore:
         version = doc.get("schema_version")
         if version != CHECKPOINT_SCHEMA_VERSION:
             raise CheckpointError(
-                f"{self.path}: checkpoint schema_version {version!r} is not "
-                f"the supported {CHECKPOINT_SCHEMA_VERSION}"
+                f"{self.path}: checkpoint schema_version mismatch: found "
+                f"{version!r}, expected {CHECKPOINT_SCHEMA_VERSION}; hint: "
+                "start over with --no-resume (or delete the checkpoint "
+                "directory) -- checkpoints do not migrate across schemas"
             )
         return doc

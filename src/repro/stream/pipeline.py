@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.faults.coalesce import CoalesceOptions
 from repro.logs.ingest import IngestPolicy
+from repro.query.rollup import RollupConfig, RollupStore
 from repro.stream.alerts import AlertEngine, AlertRules, AlertSink
 from repro.stream.checkpoint import CheckpointError, CheckpointStore
 from repro.stream.online_coalesce import OnlineCoalescer
@@ -80,6 +81,15 @@ class StreamPipeline:
         recorded in -- and validated against -- the checkpoint.
     checkpoint_every:
         Checkpoint after every N consuming steps.
+    rollup_dir:
+        Directory for versioned rollup-cube snapshots (DESIGN.md §14).
+        Every CE batch folds into the cubes as it is consumed; each
+        checkpoint first snapshots the cubes, then records the snapshot
+        version, so a resumed pipeline continues from exactly the cube
+        state its checkpoint describes.
+    rollup_config:
+        Cube geometry; also enables in-memory rollups without a
+        ``rollup_dir`` (nothing is persisted).
     """
 
     def __init__(
@@ -96,6 +106,8 @@ class StreamPipeline:
         quarantine: bool = True,
         fast: bool = True,
         resume: bool = True,
+        rollup_dir: str | Path | None = None,
+        rollup_config: RollupConfig | None = None,
     ):
         if directory is None and not files:
             raise ValueError("need a directory or an explicit file list")
@@ -140,6 +152,13 @@ class StreamPipeline:
             CheckpointStore(checkpoint_dir)
             if checkpoint_dir is not None else None
         )
+        self.rollup_dir = None if rollup_dir is None else Path(rollup_dir)
+        self.rollups: RollupStore | None = None
+        if rollup_dir is not None or rollup_config is not None:
+            self.rollups = RollupStore(rollup_config)
+            self.rollups.source = "stream"
+            self.rollups.policy = self.policy.value
+        self._rollup_version: int | None = None
         #: Live inventory view: {date: {(component, node, pos): serial}}.
         self.snapshots: dict[str, dict] = {}
         self.batches = 0
@@ -196,6 +215,8 @@ class StreamPipeline:
     ) -> int:
         if family == "errors":
             created, touched = self.coalescer.add(records)
+            if self.rollups is not None:
+                self.rollups.update(records)
             alerts.extend(
                 self.engine.observe_errors(records, created, touched, batch_id)
             )
@@ -204,6 +225,8 @@ class StreamPipeline:
             alerts.extend(self.engine.observe_het(records, batch_id))
             return int(records.size)
         if family == "sensors":
+            if self.rollups is not None:
+                self.rollups.observe_sensors(records)
             alerts.extend(self.engine.observe_sensors(records, batch_id))
             return int(records.size)
         # inventory: batches are either _SnapshotBatch (bulk apply) or
@@ -288,19 +311,48 @@ class StreamPipeline:
         ingest = self.final_ingest()
         for stats in ingest.values():
             obs.record_ingest(stats)
+        if self.rollups is not None:
+            self.rollups.set_faults(self.coalescer.faults())
         if self.store is not None:
             self.checkpoint()
+        elif self.rollups is not None and self.rollup_dir is not None:
+            self._rollup_version = self.rollups.snapshot(self.rollup_dir)
         return {
             "batches": self.batches,
             "alerts": self.alerts_total,
             "faults": int(self.coalescer.n_groups),
             "mode_counts": self.coalescer.mode_counts(),
             "ingest": {f: s.to_dict() for f, s in ingest.items()},
+            "rollups": None if self.rollups is None else {
+                "errors": int(self.rollups.errors_seen),
+                "faults": int(self.rollups.n_faults),
+                "version": self._rollup_version,
+                "dir": (
+                    None if self.rollup_dir is None else str(self.rollup_dir)
+                ),
+            },
         }
 
     # -- checkpoint (de)serialisation ----------------------------------
     def checkpoint(self) -> None:
-        self.store.save(self._state())
+        """Snapshot the rollups first, then the checkpoint naming them.
+
+        Ordering is the crash-consistency contract: the cube snapshot
+        version N is durable *before* the checkpoint that references it
+        is written, and snapshot N-1 is retained, so whatever checkpoint
+        survives a crash always names an intact snapshot.
+        """
+        state = self._state()
+        if self.rollups is not None and self.rollup_dir is not None:
+            self.rollups.set_faults(self.coalescer.faults())
+            version = self.rollups.snapshot(self.rollup_dir)
+            self._rollup_version = version
+            state["rollups"] = {
+                "dir": str(self.rollup_dir),
+                "version": version,
+                "errors_seen": int(self.rollups.errors_seen),
+            }
+        self.store.save(state)
 
     def _state(self) -> dict:
         lines_seen = sum(t.stats.seen for t in self.tailers)
@@ -322,18 +374,24 @@ class StreamPipeline:
                 "alerts_emitted": self.alerts_total,
                 "faults_live": int(self.coalescer.n_groups),
             },
+            "rollups": None,
         }
 
     def _restore(self, state: dict) -> None:
         if state["policy"] != self.policy.value:
             raise CheckpointError(
-                f"checkpoint was taken under policy {state['policy']!r}, "
-                f"pipeline is running {self.policy.value!r}"
+                f"checkpoint policy mismatch: found {state['policy']!r}, "
+                f"expected {self.policy.value!r}; hint: rerun with "
+                f"--ingest-policy {state['policy']}, or start over with "
+                "--no-resume"
             )
         if int(state["batch_bytes"]) != self.batch_bytes:
             raise CheckpointError(
-                f"checkpoint batch_bytes {state['batch_bytes']} != "
-                f"{self.batch_bytes}; batch boundaries would diverge"
+                "checkpoint batch_bytes mismatch: found "
+                f"{state['batch_bytes']}, expected {self.batch_bytes} "
+                "(batch boundaries would diverge); hint: rerun with "
+                f"--batch-bytes {state['batch_bytes']}, or start over "
+                "with --no-resume"
             )
         by_path = {str(t.path): t for t in self.tailers}
         for file_state in state["files"]:
@@ -355,6 +413,43 @@ class StreamPipeline:
         }
         self.batches = int(state["batches"])
         self.alerts_total = int(state["alerts_total"])
+        self._restore_rollups(state.get("rollups"))
+
+    def _restore_rollups(self, saved: dict | None) -> None:
+        if self.rollups is None:
+            if saved is not None:
+                raise CheckpointError(
+                    "checkpoint rollup mismatch: found rollup snapshot "
+                    f"version {saved['version']} (dir {saved['dir']!r}), "
+                    "expected none; hint: resume with --rollups-dir "
+                    f"{saved['dir']} or start over with --no-resume"
+                )
+            return
+        if saved is None:
+            raise CheckpointError(
+                "checkpoint rollup mismatch: found no rollup snapshot in "
+                f"the checkpoint, expected one for {self.rollup_dir}; "
+                "hint: resume without --rollups-dir, or start over with "
+                "--no-resume"
+            )
+        directory = self.rollup_dir if self.rollup_dir is not None \
+            else Path(saved["dir"])
+        loaded = RollupStore.load(
+            directory, version=int(saved["version"]),
+            config=self.rollups.config,
+        )
+        if loaded.errors_seen != self.coalescer.errors_seen:
+            raise CheckpointError(
+                "checkpoint rollup mismatch: snapshot version "
+                f"{saved['version']} holds {loaded.errors_seen} errors, "
+                f"expected {self.coalescer.errors_seen} (the coalescer's); "
+                "hint: the rollup directory belongs to a different run -- "
+                "start over with --no-resume"
+            )
+        loaded.source = "stream"
+        loaded.policy = self.policy.value
+        self.rollups = loaded
+        self._rollup_version = int(saved["version"])
 
 
 def faults_snapshot(pipeline: StreamPipeline) -> np.ndarray:

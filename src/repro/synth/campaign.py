@@ -57,6 +57,11 @@ class Campaign:
     #: per-fault extremes) compare against the paper unchanged while
     #: extensive totals multiply by ``machines``.
     machines: int = 1
+    #: Optional attached :class:`~repro.query.rollup.RollupStore` built
+    #: alongside this campaign (stream or fleet run); figure paths may
+    #: serve reads from it via :mod:`repro.query.views`, which gates on
+    #: the store actually matching this campaign's topology and stream.
+    rollups: object | None = field(default=None, repr=False)
     _faults_cache: np.ndarray | None = field(default=None, repr=False)
 
     @property

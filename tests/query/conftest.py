@@ -1,0 +1,78 @@
+"""Shared fixtures for the rollup/query suite.
+
+``corpus`` is a deterministic CE stream drawn from a bounded fault
+population (the same shape the streaming benchmark uses): records
+coalesce into a few dozen faults, positional fields stay within the
+Astra topology, and sentinel values appear at realistic rates so the
+cube update path sees every masking branch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import DAY_S, epoch
+from repro.faults.coalesce import coalesce
+from repro.faults.types import empty_errors
+from repro.query.engine import build_store
+from repro.query.rollup import RollupConfig
+
+T0 = epoch("2019-06-01")
+
+N_FAULTS = 48
+
+
+def synth_errors(n: int, seed: int = 5) -> np.ndarray:
+    """``n`` CE records from ``N_FAULTS`` distinct fault locations."""
+    rng = np.random.default_rng(seed)
+    e = empty_errors(n)
+    e["time"] = T0 + np.sort(rng.integers(0, 20 * DAY_S, n)).astype(float)
+    which = rng.integers(0, N_FAULTS, n)
+    for field, values in (
+        ("node", rng.integers(0, 2592, N_FAULTS)),
+        ("socket", rng.integers(0, 2, N_FAULTS)),
+        ("slot", rng.integers(0, 16, N_FAULTS)),
+        ("rank", rng.integers(0, 2, N_FAULTS)),
+        ("bank", np.where(rng.random(N_FAULTS) < 0.1, -1,
+                          rng.integers(0, 8, N_FAULTS))),
+        ("row", np.where(rng.random(N_FAULTS) < 0.8, -1,
+                         rng.integers(0, 1 << 17, N_FAULTS))),
+        ("column", rng.integers(0, 1024, N_FAULTS)),
+        ("bit_pos", np.where(rng.random(N_FAULTS) < 0.1, -1,
+                             rng.integers(0, 72, N_FAULTS))),
+        ("address", rng.integers(0, 1 << 40, N_FAULTS).astype(np.uint64)),
+    ):
+        e[field] = values[which]
+    return e
+
+
+def synth_sensors(n: int, seed: int = 9) -> np.ndarray:
+    """BMC-like samples with two injected dropout gaps."""
+    rng = np.random.default_rng(seed)
+    times = T0 + np.arange(n) * 60.0 + rng.random(n)
+    times[n // 3 :] += 900.0  # one dropout gap
+    times[2 * n // 3 :] += 1800.0  # and another
+    out = np.zeros(n, dtype=[("time", "f8"), ("node", "i4")])
+    out["time"] = times
+    out["node"] = rng.integers(0, 64, n)
+    return out
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    errors = synth_errors(20_000)
+    return errors, coalesce(errors)
+
+
+@pytest.fixture(scope="session")
+def sensors():
+    return synth_sensors(600)
+
+
+@pytest.fixture()
+def store(corpus, sensors):
+    errors, faults = corpus
+    return build_store(
+        errors, faults=faults, config=RollupConfig(), sensor_samples=sensors
+    )

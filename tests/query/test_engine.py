@@ -1,0 +1,108 @@
+"""Query engine: cube answers vs the full-rescan oracle.
+
+Every answerable query shape must produce an answer element-identical
+to :func:`repro.query.engine.recompute` over the raw arrays -- the same
+contract ``repro query --check`` enforces from the CLI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.engine import (
+    Query,
+    QueryError,
+    answers_equal,
+    execute,
+    recompute,
+)
+
+from .conftest import DAY_S, T0
+
+PANEL = [
+    dict(select="errors", group_by=["rack"]),
+    dict(select="errors", group_by=["rack", "slot"]),
+    dict(select="errors", group_by=["rack", "bucket"],
+         where={"slot": [0, 3, 7]}),
+    dict(select="errors", group_by=["rack"],
+         where={"since": T0 + 2 * DAY_S, "until": T0 + 9 * DAY_S}),
+    dict(select="errors", group_by=["node"], top_k=5),
+    dict(select="errors", group_by=["bitpos"]),
+    dict(select="errors", group_by=["bank"]),
+    dict(select="errors", group_by=[]),
+    dict(select="faults", group_by=["mode"]),
+    dict(select="faults", group_by=["rack", "slot", "mode"]),
+    dict(select="faults", group_by=["mode", "bucket"],
+         where={"mode": ["single-bit", "single-column"]}),
+    dict(select="mode_errors", group_by=["mode"]),
+    dict(select="ce_windows", group_by=["node", "window"], top_k=10),
+    dict(select="ce_windows", group_by=["node", "window"],
+         where={"since": T0, "until": T0 + 5 * DAY_S}),
+    dict(select="dropout", group_by=[]),
+]
+
+
+@pytest.mark.parametrize(
+    "spec", PANEL,
+    ids=lambda s: f"{s['select']}:{','.join(s.get('group_by', [])) or '-'}",
+)
+def test_cube_answer_identical_to_rescan(spec, store, corpus, sensors):
+    errors, faults = corpus
+    query = Query(
+        spec["select"],
+        spec.get("group_by", ()),
+        where=spec.get("where"),
+        top_k=spec.get("top_k"),
+    )
+    answer = execute(store, query)
+    reference = recompute(
+        query,
+        store.config,
+        errors=errors,
+        faults=faults,
+        sensor_times=sensors["time"],
+    )
+    assert answer["served_from"] == "rollup"
+    assert reference["served_from"] == "rescan"
+    assert answers_equal(answer, reference)
+
+
+def test_total_counts_all_groups_before_top_k(store):
+    full = execute(store, Query("errors", ["node"]))
+    topped = execute(store, Query("errors", ["node"], top_k=3))
+    assert topped["n_groups"] == 3
+    assert topped["total"] == full["total"]
+    assert topped["values"] == sorted(topped["values"], reverse=True)
+
+
+def test_empty_group_by_yields_grand_total(store, corpus):
+    errors, _ = corpus
+    answer = execute(store, Query("errors", []))
+    assert answer["keys"] == [[]]
+    assert answer["values"] == [errors.size]
+
+
+class TestValidation:
+    def test_unknown_select_hints_the_choices(self):
+        with pytest.raises(QueryError, match="hint"):
+            Query("bogus", [])
+
+    def test_unknown_where_key_hints_the_choices(self):
+        with pytest.raises(QueryError, match="hint"):
+            Query("errors", ["rack"], where={"dimm": 3})
+
+    def test_faults_reject_node_filter(self):
+        with pytest.raises(QueryError):
+            Query("faults", ["mode"], where={"node": [4]})
+
+    def test_node_histogram_must_stand_alone(self):
+        with pytest.raises(QueryError):
+            Query("errors", ["node", "rack"])
+
+    def test_unknown_mode_label_rejected(self):
+        with pytest.raises(QueryError):
+            Query("faults", ["mode"], where={"mode": "quadruple-bit"})
+
+    def test_nonpositive_top_k_rejected(self):
+        with pytest.raises(QueryError):
+            Query("errors", ["rack"], top_k=0)

@@ -1,0 +1,121 @@
+"""Rollups maintained by the streaming pipeline and the fleet engine.
+
+The differential contract: cubes built per-batch by the stream, or
+per-shard and merged by the fleet reduction, are byte-equal to a
+one-shot build over the concatenated record stream -- and checkpoint
+resume restores them exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.coalesce import coalesce
+from repro.query.engine import build_store
+from repro.query.rollup import RollupConfig, RollupStore
+
+
+@pytest.fixture(scope="module")
+def fleet_and_result(tmp_path_factory):
+    from repro.fleet import FleetSpec, synth_fleet
+    from repro.fleet.engine import process_fleet
+
+    directory = tmp_path_factory.mktemp("rollup-fleet") / "fl"
+    spec = FleetSpec(n_clusters=2, seed=11, scale=0.003)
+    fleet = synth_fleet(spec, directory)
+    result = process_fleet(fleet, jobs=2, rollups=True)
+    return fleet, result
+
+
+class TestFleetRollups:
+    def test_merged_shards_equal_one_shot_build(self, fleet_and_result):
+        from repro.fleet.handle import fleet_errors
+
+        fleet, result = fleet_and_result
+        errors = fleet_errors(fleet)
+        reference = build_store(
+            errors, faults=coalesce(errors), config=RollupConfig()
+        )
+        assert result.rollups is not None
+        assert result.rollups.source == "fleet"
+        assert result.rollups.equal(reference)
+
+    def test_fleet_campaign_attaches_store(self, fleet_and_result):
+        from repro.analysis.distributions import per_node_counts
+        from repro.fleet.handle import fleet_campaign
+        from repro.query.views import rollup_per_node_errors
+
+        fleet, result = fleet_and_result
+        campaign = fleet_campaign(fleet, result)
+        served = rollup_per_node_errors(campaign)
+        assert served is not None
+        assert np.array_equal(
+            served,
+            per_node_counts(campaign.errors, campaign.topology.n_nodes),
+        )
+
+    def test_to_dict_summarises_rollups(self, fleet_and_result):
+        _, result = fleet_and_result
+        doc = result.to_dict()["rollups"]
+        assert doc["errors_seen"] == result.rollups.errors_seen
+        assert doc["n_faults"] == result.rollups.n_faults
+
+    def test_resume_without_rollups_reruns_shards(self, tmp_path):
+        """Cache commits lacking cube payloads must not satisfy a
+        rollup-requiring resume with a silently partial store."""
+        from repro.fleet import FleetSpec, synth_fleet
+        from repro.fleet.engine import process_fleet
+
+        spec = FleetSpec(n_clusters=2, seed=13, scale=0.002)
+        fleet = synth_fleet(spec, tmp_path / "fl")
+        plain = process_fleet(fleet, jobs=1)
+        assert plain.rollups is None
+        resumed = process_fleet(fleet, jobs=1, resume=True, rollups=True)
+        assert not resumed.resumed_shards  # every shard re-ran
+        assert resumed.rollups is not None
+        again = process_fleet(fleet, jobs=1, resume=True, rollups=True)
+        assert again.resumed_shards  # rollup-bearing cache now satisfies
+        assert again.rollups.equal(resumed.rollups)
+
+
+class TestStreamRollups:
+    def test_interrupted_stream_restores_rollups_exactly(
+        self, tmp_path
+    ):
+        from repro.cli import main
+        from repro.stream import StreamPipeline
+
+        directory = tmp_path / "camp"
+        assert main([
+            "synth", "--seed", "5", "--scale", "0.004",
+            "--out", str(directory), "--text-logs",
+        ]) == 0
+
+        # Uninterrupted reference run.
+        ref = StreamPipeline(
+            directory=directory, resume=False,
+            rollup_dir=tmp_path / "ref-rollups",
+        )
+        ref.run()
+        ref.finalize()
+
+        # Interrupted run: stop mid-stream, then resume from the
+        # checkpoint (which snapshots the cubes before every save).
+        ckpt = tmp_path / "ckpt"
+        victim = StreamPipeline(
+            directory=directory, resume=False, checkpoint_dir=ckpt,
+            rollup_dir=tmp_path / "rollups", batch_bytes=1 << 15,
+        )
+        victim.run(max_batches=3)
+        survivor = StreamPipeline(
+            directory=directory, resume=True, checkpoint_dir=ckpt,
+            rollup_dir=tmp_path / "rollups", batch_bytes=1 << 15,
+        )
+        survivor.run()
+        survivor.finalize()
+        assert survivor.rollups.errors_seen > 0
+        assert ref.rollups.equal(survivor.rollups)
+
+        # The persisted snapshot equals the in-memory store.
+        assert RollupStore.load(tmp_path / "rollups").equal(ref.rollups)

@@ -1,0 +1,198 @@
+"""Versioned snapshot durability: atomic replace, prune, torn writes.
+
+Satellite contract: a reader racing a writer sees the old bytes or the
+new bytes, never torn ones -- including when the writer is ``kill -9``ed
+mid-replace.  Every loaded store must be byte-equal to the store a
+clean rebuild of some committed prefix produces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.query.rollup import (
+    KEEP_VERSIONS,
+    MANIFEST_NAME,
+    RollupConfig,
+    RollupError,
+    RollupStore,
+)
+
+from .conftest import synth_errors
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Writer loop used by both the thread race and the kill -9 test:
+#: fold one batch, snapshot, repeat.  Prefix states (by errors_seen)
+#: are the only states a reader may ever observe.
+BATCH = 1_000
+N_BATCHES = 8
+
+
+def _prefix_stores() -> dict:
+    """{errors_seen: store} for every committed prefix of the corpus."""
+    errors = synth_errors(BATCH * N_BATCHES)
+    out = {}
+    store = RollupStore(RollupConfig())
+    for i in range(N_BATCHES):
+        store.update(errors[i * BATCH : (i + 1) * BATCH])
+        clone = RollupStore.from_payload(store.to_payload())
+        out[clone.errors_seen] = clone
+    return out
+
+
+class TestSnapshotBasics:
+    def test_round_trip_and_version_growth(self, store, tmp_path):
+        assert store.snapshot(tmp_path) == 1
+        loaded = RollupStore.load(tmp_path)
+        assert store.equal(loaded)
+        assert loaded.source == store.source
+        assert store.snapshot(tmp_path) == 2
+        assert RollupStore.latest_version(tmp_path) == 2
+
+    def test_prune_keeps_only_recent_versions(self, store, tmp_path):
+        for _ in range(KEEP_VERSIONS + 2):
+            store.snapshot(tmp_path)
+        payloads = sorted(tmp_path.glob("rollup-*.npz"))
+        assert len(payloads) == KEEP_VERSIONS
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert len(manifest["versions"]) == KEEP_VERSIONS
+        # The older retained version is still loadable by number.
+        want = manifest["latest"] - 1
+        assert RollupStore.load(tmp_path, version=want).equal(store)
+
+    def test_corrupt_payload_reports_found_and_expected(self, store, tmp_path):
+        store.snapshot(tmp_path)
+        victim = next(tmp_path.glob("rollup-*.npz"))
+        raw = bytearray(victim.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        with pytest.raises(RollupError, match="found.*expected") as exc:
+            RollupStore.load(tmp_path)
+        assert "hint" in str(exc.value)
+
+    def test_missing_version_names_whats_held(self, store, tmp_path):
+        store.snapshot(tmp_path)
+        with pytest.raises(RollupError, match="found.*hint"):
+            RollupStore.load(tmp_path, version=99)
+
+    def test_absent_directory_hints_build(self, tmp_path):
+        with pytest.raises(RollupError, match="hint"):
+            RollupStore.load(tmp_path / "nowhere")
+
+
+class TestConcurrentReaders:
+    def test_reader_sees_old_or_new_never_torn(self, tmp_path):
+        """Loads racing a snapshotting writer always see a committed state."""
+        prefixes = _prefix_stores()
+        errors = synth_errors(BATCH * N_BATCHES)
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def writer():
+            store = RollupStore(RollupConfig())
+            for i in range(N_BATCHES):
+                store.update(errors[i * BATCH : (i + 1) * BATCH])
+                store.snapshot(tmp_path)
+            stop.set()
+
+        def reader():
+            while not stop.is_set() or not reads:
+                try:
+                    loaded = RollupStore.load(tmp_path)
+                except RollupError as exc:
+                    if "no rollup snapshot found" in str(exc):
+                        continue  # writer has not committed v1 yet
+                    failures.append(f"load raised: {exc}")
+                    return
+                reads.append(loaded.errors_seen)
+                ref = prefixes.get(loaded.errors_seen)
+                if ref is None:
+                    failures.append(
+                        f"non-prefix state {loaded.errors_seen}"
+                    )
+                    return
+                if not loaded.equal(ref):
+                    failures.append(
+                        f"state {loaded.errors_seen} differs from rebuild"
+                    )
+                    return
+
+        reads: list[int] = []
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not failures, failures
+        assert reads, "readers never observed a snapshot"
+
+
+_KILL_WRITER = """
+import sys, time
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {tests!r})
+from query.conftest import synth_errors
+from repro.query.rollup import RollupConfig, RollupStore
+
+errors = synth_errors({total})
+store = RollupStore(RollupConfig())
+for i in range({batches}):
+    store.update(errors[i * {batch} : (i + 1) * {batch}])
+    store.snapshot(sys.argv[1])
+    time.sleep(0.05)
+"""
+
+
+@pytest.mark.slow
+class TestKillMidReplace:
+    def test_sigkill_during_snapshot_loop_leaves_loadable_store(
+        self, tmp_path
+    ):
+        """kill -9 a snapshotting writer; the survivor must load clean."""
+        rollup_dir = tmp_path / "rollups"
+        rollup_dir.mkdir()
+        script = _KILL_WRITER.format(
+            src=REPO_SRC,
+            tests=str(Path(__file__).resolve().parents[1]),
+            total=BATCH * N_BATCHES,
+            batches=N_BATCHES,
+            batch=BATCH,
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, str(rollup_dir)],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if RollupStore.latest_version(rollup_dir) is not None:
+                    break
+                time.sleep(0.01)
+            else:
+                raise AssertionError("writer never committed version 1")
+            # Land the kill at an arbitrary point of a later write cycle.
+            time.sleep(0.08)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        # Any .tmp litter is expected debris; the manifest must point at
+        # an intact payload equal to a committed prefix rebuild.
+        loaded = RollupStore.load(rollup_dir)
+        prefixes = _prefix_stores()
+        assert loaded.errors_seen in prefixes
+        assert loaded.equal(prefixes[loaded.errors_seen])

@@ -1,0 +1,128 @@
+"""Figure reads through rollup views: parity and the safety gates.
+
+fig04/fig05/fig12 may serve from an attached store, but only when the
+cube geometry and error count match the campaign exactly -- a stale or
+foreign store must be ignored, never silently change a figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.query.engine import build_store
+from repro.query.rollup import RollupConfig
+from repro.query.views import (
+    campaign_rollups,
+    rollup_per_node_errors,
+    rollup_per_rack_errors,
+    rollup_reported_mode_totals,
+)
+
+
+@pytest.fixture(scope="module")
+def rollup_campaign(tmp_path_factory):
+    """The small campaign with a matching store attached."""
+    from repro.run import CampaignCache
+
+    campaign, _ = CampaignCache().get_or_generate(seed=7, scale=0.02)
+    campaign.rollups = build_store(
+        campaign.errors, faults=campaign.faults(), config=RollupConfig()
+    )
+    return campaign
+
+
+class TestGates:
+    def test_matching_store_is_served(self, rollup_campaign):
+        assert campaign_rollups(rollup_campaign) is not None
+
+    def test_no_store_returns_none(self, rollup_campaign):
+        bare = rollup_campaign
+        store = bare.rollups
+        try:
+            bare.rollups = None
+            assert campaign_rollups(bare) is None
+            assert rollup_per_node_errors(bare) is None
+        finally:
+            bare.rollups = store
+
+    def test_stale_store_is_rejected(self, rollup_campaign):
+        stale = build_store(
+            rollup_campaign.errors[:-5], config=RollupConfig()
+        )
+        store = rollup_campaign.rollups
+        try:
+            rollup_campaign.rollups = stale
+            assert campaign_rollups(rollup_campaign) is None
+        finally:
+            rollup_campaign.rollups = store
+
+    def test_foreign_geometry_is_rejected(self, rollup_campaign):
+        foreign = build_store(
+            rollup_campaign.errors,
+            config=RollupConfig(nodes_per_rack=64),
+        )
+        store = rollup_campaign.rollups
+        try:
+            rollup_campaign.rollups = foreign
+            assert campaign_rollups(rollup_campaign) is None
+        finally:
+            rollup_campaign.rollups = store
+
+
+class TestParity:
+    def test_per_node_view_matches_rescan(self, rollup_campaign):
+        from repro.analysis.distributions import per_node_counts
+
+        n = rollup_campaign.topology.n_nodes
+        assert np.array_equal(
+            rollup_per_node_errors(rollup_campaign),
+            per_node_counts(rollup_campaign.errors, n),
+        )
+
+    def test_per_rack_view_matches_rescan(self, rollup_campaign):
+        from repro.analysis.positional import counts_by_rack
+
+        assert np.array_equal(
+            rollup_per_rack_errors(rollup_campaign),
+            counts_by_rack(
+                rollup_campaign.errors, rollup_campaign.topology
+            ),
+        )
+
+    def test_mode_totals_view_matches_series(self, rollup_campaign):
+        from repro.analysis.trends import (
+            mode_monthly_series,
+            reported_mode_totals,
+        )
+
+        series = mode_monthly_series(
+            rollup_campaign.errors,
+            rollup_campaign.calibration.error_window,
+        )
+        assert rollup_reported_mode_totals(rollup_campaign) == (
+            reported_mode_totals(series)
+        )
+
+
+class TestFigureParity:
+    @pytest.mark.parametrize("exp_id", ["fig04", "fig05", "fig12"])
+    def test_figure_identical_with_and_without_rollups(
+        self, rollup_campaign, exp_id
+    ):
+        import importlib
+
+        mod = importlib.import_module(f"repro.experiments.{exp_id}")
+        with_store = mod.run(rollup_campaign)
+        store = rollup_campaign.rollups
+        try:
+            rollup_campaign.rollups = None
+            without = mod.run(rollup_campaign)
+        finally:
+            rollup_campaign.rollups = store
+        assert any("rollup" in n for n in with_store.notes)
+        checks = {
+            k: v for k, v in with_store.checks.items() if "rollup" not in k
+        }
+        assert checks == without.checks
+        assert str(with_store.series) == str(without.series)
