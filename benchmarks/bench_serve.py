@@ -1,0 +1,279 @@
+"""Serving front-door latency/throughput benchmark.
+
+Spawns ``repro serve`` as a real subprocess over a freshly synthesised
+campaign (warm risk table, rollup cubes attached), then drives it with
+many concurrent keep-alive HTTP clients on raw asyncio sockets:
+
+- ``startup``: train-to-first-byte -- model fit, campaign fold, port
+  bind (the cost of getting a warm cache);
+- ``load``: a fixed endpoint mix (point risk lookups, top-k, alerts
+  tail, rollup query passthrough, stats) spread over N concurrent
+  connections, reported as sustained RPS and p50/p95/p99 per-request
+  latency measured client-side;
+- every response is required to come back ``200`` with a parseable
+  JSON body -- a mangled or dropped response is a bench failure, not
+  a skipped sample.
+
+Writes a JSON report (default ``BENCH_serve.json``).  ``--check``
+additionally asserts the committed floors -- sustained RPS at or above
+``--min-rps`` (default 500) and p95 latency at or below
+``--max-p95-ms`` (default 50) -- which is what the CI perf-smoke job
+runs at a reduced request count.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --requests 4000 \\
+        --clients 32 --check --min-rps 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+#: Committed floors: the warm cache must sustain this many requests
+#: per second with this p95, across the whole endpoint mix.
+RPS_FLOOR = 500.0
+P95_MS_CEILING = 50.0
+
+#: Endpoint mix one client cycles through (weights via repetition).
+_PATH_MIX = (
+    "/v1/risk?node=1085",
+    "/v1/risk?node=7",
+    "/v1/risk/top?k=10",
+    "/v1/risk?node=1182",
+    "/v1/stats",
+    "/v1/risk?node=919",
+    "/v1/query?select=errors&group_by=rack&top_k=5",
+    "/healthz",
+)
+
+
+def _pctl(samples: list, q: float) -> float:
+    return float(np.percentile(np.asarray(samples), q))
+
+
+def _prepare(workdir: Path, scale: float) -> tuple[Path, Path]:
+    """Train a model and synthesise the campaign the server folds."""
+    from repro.logs.campaign_io import write_campaign
+    from repro.predict import train_and_evaluate
+    from repro.query import build_store
+    from repro.synth import CampaignGenerator
+
+    model, _report = train_and_evaluate(
+        train_seeds=(101,), eval_seeds=(201,), scale=scale, jobs=0
+    )
+    model_path = workdir / "model.json"
+    model.save(model_path)
+
+    campaign = CampaignGenerator(seed=301, scale=scale).generate()
+    camp_dir = workdir / "camp"
+    write_campaign(campaign, camp_dir)
+    store = build_store(campaign.errors, faults=campaign.faults())
+    store.snapshot(camp_dir / "rollups")
+    return model_path, camp_dir
+
+
+def _spawn_server(model_path: Path, camp_dir: Path, workdir: Path):
+    ready = workdir / "ready.json"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--model", str(model_path), str(camp_dir),
+            "--ready-file", str(ready),
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.STDOUT,
+        env=os.environ.copy(),
+    )
+    deadline = time.time() + 60.0
+    while time.time() < deadline:
+        if ready.exists():
+            return proc, json.loads(ready.read_text())
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"server exited with {proc.returncode} before ready"
+            )
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("server did not become ready within 60s")
+
+
+async def _client(
+    host: str, port: int, n_requests: int, offset: int,
+    latencies: list, errors: list,
+) -> None:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for i in range(n_requests):
+            path = _PATH_MIX[(offset + i) % len(_PATH_MIX)]
+            t0 = time.perf_counter()
+            writer.write(
+                f"GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n".encode()
+            )
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            status = int(head.split(b" ", 2)[1])
+            length = 0
+            for line in head.split(b"\r\n"):
+                if line.lower().startswith(b"content-length:"):
+                    length = int(line.split(b":", 1)[1])
+            body = await reader.readexactly(length)
+            latencies.append(time.perf_counter() - t0)
+            if status != 200:
+                errors.append(f"{path}: status {status}")
+            else:
+                json.loads(body)  # a half-written body is a failure
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def _drive(
+    host: str, port: int, clients: int, total_requests: int
+) -> tuple[list, list, float]:
+    latencies: list = []
+    errors: list = []
+    per_client = max(total_requests // clients, 1)
+    t0 = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _client(host, port, per_client, k * 3, latencies, errors)
+            for k in range(clients)
+        )
+    )
+    return latencies, errors, time.perf_counter() - t0
+
+
+def run(
+    clients: int,
+    requests: int,
+    scale: float,
+    out_path: Path,
+    check: bool,
+    min_rps: float,
+    max_p95_ms: float,
+) -> int:
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+        workdir = Path(tmp)
+        t0 = time.perf_counter()
+        model_path, camp_dir = _prepare(workdir, scale)
+        prepare_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        proc, ready = _spawn_server(model_path, camp_dir, workdir)
+        startup_s = time.perf_counter() - t0
+        try:
+            latencies, errs, wall_s = asyncio.run(
+                _drive(ready["host"], ready["port"], clients, requests)
+            )
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    n_ok = len(latencies) - len(errs)
+    rps = len(latencies) / wall_s
+    p50, p95, p99 = (_pctl(latencies, q) * 1e3 for q in (50, 95, 99))
+    if errs:
+        failures.append(
+            f"{len(errs)} non-200/mangled responses (first: {errs[0]})"
+        )
+    if check and rps < min_rps:
+        failures.append(
+            f"sustained {rps:.0f} RPS below the {min_rps:.0f} floor"
+        )
+    if check and p95 > max_p95_ms:
+        failures.append(
+            f"p95 {p95:.2f} ms above the {max_p95_ms:.0f} ms ceiling"
+        )
+
+    report = {
+        "schema": 1,
+        "clients": clients,
+        "requests": len(latencies),
+        "scale": scale,
+        "endpoint_mix": list(_PATH_MIX),
+        "numpy": np.__version__,
+        "python": sys.version.split()[0],
+        "floors": {"min_rps": min_rps, "max_p95_ms": max_p95_ms},
+        "results": {
+            "prepare_s": round(prepare_s, 3),
+            "startup_s": round(startup_s, 3),
+            "wall_s": round(wall_s, 3),
+            "rps": round(rps, 1),
+            "p50_ms": round(p50, 3),
+            "p95_ms": round(p95, 3),
+            "p99_ms": round(p99, 3),
+            "ok": n_ok,
+            "errors": len(errs),
+        },
+    }
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    r = report["results"]
+    print(
+        f"{clients} clients sustained {r['rps']:.0f} RPS, latency "
+        f"p50 {r['p50_ms']:.2f} / p95 {r['p95_ms']:.2f} / "
+        f"p99 {r['p99_ms']:.2f} ms "
+        f"(startup {r['startup_s']:.2f}s over {r['ok']} requests)"
+    )
+    print(f"wrote {out_path}")
+
+    if check:
+        if failures:
+            print("SERVE-BENCH FAILURES:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print(
+            f"serve bench OK: {rps:.0f} RPS >= {min_rps:.0f}, "
+            f"p95 {p95:.2f} ms <= {max_p95_ms:.0f} ms, all responses clean"
+        )
+    elif failures:
+        # Response integrity failures matter even without --check.
+        for f in failures:
+            print(f"warning: {f}", file=sys.stderr)
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--clients", type=int, default=64,
+                    help="concurrent keep-alive connections")
+    ap.add_argument("--requests", type=int, default=20_000,
+                    help="total requests across all clients")
+    ap.add_argument("--scale", type=float, default=0.02,
+                    help="campaign volume scale for the warm table")
+    ap.add_argument("--out", type=Path, default=Path("BENCH_serve.json"))
+    ap.add_argument("--check", action="store_true",
+                    help="assert the RPS floor and the p95 ceiling")
+    ap.add_argument("--min-rps", type=float, default=RPS_FLOOR,
+                    help="sustained-RPS floor for --check")
+    ap.add_argument("--max-p95-ms", type=float, default=P95_MS_CEILING,
+                    help="p95 latency ceiling for --check (ms)")
+    args = ap.parse_args(argv)
+    return run(
+        args.clients, args.requests, args.scale, args.out, args.check,
+        args.min_rps, args.max_p95_ms,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

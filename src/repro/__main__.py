@@ -1,0 +1,13 @@
+"""``python -m repro`` -- the same entry point as the installed CLI.
+
+The serve tests and the bench harness spawn the server as a subprocess
+with ``sys.executable -m repro serve ...`` so they never depend on the
+console script being on PATH.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

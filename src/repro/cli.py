@@ -63,6 +63,23 @@ def _add_common_gen_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_predict_gate_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--min-auc", type=float, default=None, metavar="F",
+        help="gate: exit 1 unless held-out AUC reaches F",
+    )
+    parser.add_argument(
+        "--min-recall", type=float, default=None, metavar="F",
+        help="gate: exit 1 unless held-out recall at the target FPR "
+        "reaches F",
+    )
+    parser.add_argument(
+        "--require-beats-baseline", action="store_true",
+        help="gate: exit 1 unless the model beats the trivial "
+        "rate-threshold baseline on held-out AUC and recall",
+    )
+
+
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -160,7 +177,8 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
 #: unknown-command pre-check in :func:`main`.
 _COMMANDS = (
     "synth", "analyze", "experiment", "stream", "fleet", "query",
-    "mitigate", "whatif", "validate", "release", "list",
+    "mitigate", "whatif", "predict", "serve", "validate", "release",
+    "list",
 )
 
 
@@ -281,6 +299,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit one machine-readable JSON summary on stdout instead "
         "of the human-readable report",
+    )
+    p_stream.add_argument(
+        "--predict", action="store_true",
+        help="mount the online failure predictor: re-score every CE "
+        "batch's nodes and raise predicted_failure alerts through the "
+        "same exactly-once sink (requires --model)",
+    )
+    p_stream.add_argument(
+        "--model", metavar="PATH", default=None,
+        help="trained predictor artifact from 'predict train' "
+        "(CRC-guarded JSON)",
+    )
+    p_stream.add_argument(
+        "--predict-rearm", type=float, default=86400.0, metavar="SECONDS",
+        help="per-node re-arm window for predicted_failure alerts "
+        "(event time; default 1 day)",
     )
 
     p_fleet = sub.add_parser(
@@ -572,6 +606,182 @@ def _build_parser() -> argparse.ArgumentParser:
     ):
         p_whatif.add_argument(flag, metavar="PATH", default=None, help=help_text)
 
+    p_predict = sub.add_parser(
+        "predict",
+        help="train, evaluate and apply the online failure predictor",
+    )
+    predict_sub = p_predict.add_subparsers(dest="predict_command", required=True)
+
+    p_ptrain = predict_sub.add_parser(
+        "train",
+        help="train on hazard-linked campaigns, evaluate held-out, "
+        "write the model artifact",
+    )
+    p_ptrain.add_argument(
+        "--out", required=True, metavar="PATH",
+        help="where to write the model artifact (CRC-guarded JSON)",
+    )
+    p_ptrain.add_argument(
+        "--train-seeds", default=None, metavar="CSV",
+        help="comma-separated training campaign seeds (default 101,102,103)",
+    )
+    p_ptrain.add_argument(
+        "--eval-seeds", default=None, metavar="CSV",
+        help="comma-separated held-out campaign seeds (default 201,202); "
+        "must be disjoint from --train-seeds",
+    )
+    p_ptrain.add_argument(
+        "--scale", type=float, default=0.02,
+        help="campaign volume scale for the train/eval campaigns "
+        "(default 0.02)",
+    )
+    p_ptrain.add_argument(
+        "--target-fpr", type=float, default=0.01, metavar="F",
+        help="false-positive budget the alert threshold is set at "
+        "(default 0.01)",
+    )
+    p_ptrain.add_argument(
+        "--jobs", type=int, default=0,
+        help="build per-seed datasets in N parallel workers (0/1 = "
+        "serial; byte-identical to serial)",
+    )
+    p_ptrain.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the eval report (schemas/predict.schema.json) to PATH",
+    )
+    _add_predict_gate_args(p_ptrain)
+    p_ptrain.add_argument(
+        "--json", action="store_true",
+        help="emit the eval report as JSON on stdout",
+    )
+
+    p_peval = predict_sub.add_parser(
+        "eval",
+        help="re-evaluate a saved model on held-out campaigns and gate",
+    )
+    p_peval.add_argument(
+        "--model", required=True, metavar="PATH",
+        help="model artifact from 'predict train'",
+    )
+    p_peval.add_argument(
+        "--seeds", default=None, metavar="CSV",
+        help="comma-separated held-out campaign seeds (default: the "
+        "eval seeds recorded in the artifact, else 201,202)",
+    )
+    p_peval.add_argument(
+        "--scale", type=float, default=None,
+        help="campaign volume scale (default: recorded in the artifact)",
+    )
+    p_peval.add_argument(
+        "--target-fpr", type=float, default=None, metavar="F",
+        help="false-positive budget (default: recorded in the artifact)",
+    )
+    p_peval.add_argument(
+        "--jobs", type=int, default=0,
+        help="build per-seed datasets in N parallel workers",
+    )
+    p_peval.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the eval report (schemas/predict.schema.json) to PATH",
+    )
+    _add_predict_gate_args(p_peval)
+    p_peval.add_argument(
+        "--json", action="store_true",
+        help="emit the eval report as JSON on stdout",
+    )
+
+    p_pscore = predict_sub.add_parser(
+        "score",
+        help="score every CE-active node of a stored campaign",
+    )
+    p_pscore.add_argument(
+        "directory", help="campaign directory from 'synth'"
+    )
+    p_pscore.add_argument(
+        "--model", required=True, metavar="PATH",
+        help="model artifact from 'predict train'",
+    )
+    p_pscore.add_argument(
+        "--at", type=float, default=None, metavar="EPOCH",
+        help="score using only records at or before this time "
+        "(default: the whole campaign)",
+    )
+    p_pscore.add_argument(
+        "--top", type=int, default=10, metavar="K",
+        help="print the K highest-risk nodes (default 10)",
+    )
+    p_pscore.add_argument(
+        "--jobs", type=int, default=0,
+        help="extract features in N parallel workers (0/1 = serial; "
+        "byte-identical to serial)",
+    )
+    p_pscore.add_argument(
+        "--scores-out", metavar="PATH", default=None,
+        help="write the full (node, score) table as JSON to PATH",
+    )
+    p_pscore.add_argument(
+        "--ingest-policy", choices=("strict", "repair", "skip"),
+        default="repair",
+        help="how to treat unparseable telemetry (default repair)",
+    )
+    p_pscore.add_argument(
+        "--json", action="store_true",
+        help="emit the score table as JSON on stdout",
+    )
+    for p in (p_ptrain, p_peval, p_pscore):
+        for flag, help_text in (
+            ("--trace-out", "enable tracing and write predict.* spans to PATH"),
+            ("--metrics-out", "write predict counters as JSON to PATH"),
+        ):
+            p.add_argument(flag, metavar="PATH", default=None, help=help_text)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve warm predictions, alerts and rollup queries over "
+        "HTTP (asyncio, stdlib only)",
+    )
+    p_serve.add_argument(
+        "--model", required=True, metavar="PATH",
+        help="model artifact from 'predict train' (CRC-guarded; a "
+        "damaged file is refused before the port binds)",
+    )
+    p_serve.add_argument(
+        "directory", nargs="?", default=None,
+        help="campaign directory to fold into the warm risk table "
+        "(omit for an empty table)",
+    )
+    p_serve.add_argument(
+        "--rollups", metavar="DIR", default=None,
+        help="rollup snapshot directory for /v1/query "
+        "(default: DIRECTORY/rollups when present)",
+    )
+    p_serve.add_argument(
+        "--alerts", metavar="PATH", default=None,
+        help="alerts JSONL (e.g. from stream --alerts-out) to tail "
+        "incrementally for /v1/alerts",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port; 0 binds an ephemeral port (default)",
+    )
+    p_serve.add_argument(
+        "--ready-file", metavar="PATH", default=None,
+        help="write {host, port, pid, model_id} as JSON once accepting "
+        "(how tests and the bench discover an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--ingest-policy", choices=("strict", "repair", "skip"),
+        default="repair",
+        help="how to treat unparseable telemetry (default repair)",
+    )
+    p_serve.add_argument(
+        "--jobs", type=int, default=0,
+        help="fold the campaign in N parallel workers at startup",
+    )
+
     p_val = sub.add_parser(
         "validate", help="check a campaign against the calibration targets"
     )
@@ -779,6 +989,7 @@ def _run_stream(args, trace_out, metrics_out) -> int:
     import numpy as np
 
     from repro import obs
+    from repro.predict.errors import PredictError
     from repro.stream import StreamPipeline
     from repro.stream.alerts import AlertRules
     from repro.stream.checkpoint import CheckpointError
@@ -786,6 +997,30 @@ def _run_stream(args, trace_out, metrics_out) -> int:
 
     for path in (args.alerts_out, args.faults_out):
         _validate_json_report(path)
+    model = None
+    if args.predict:
+        from repro.predict.model import Model
+
+        if not args.model:
+            print(
+                "error: --predict needs --model pointing at a trained "
+                "artifact; hint: 'predict train --out model.json' "
+                "produces one",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            model = Model.load(args.model)
+        except PredictError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    elif args.model:
+        print(
+            "error: --model does nothing without --predict; hint: add "
+            "--predict to mount the online scorer",
+            file=sys.stderr,
+        )
+        return 2
     try:
         pipeline = StreamPipeline(
             directory=args.directory,
@@ -800,6 +1035,8 @@ def _run_stream(args, trace_out, metrics_out) -> int:
             ),
             resume=not args.no_resume,
             rollup_dir=args.rollups_dir,
+            predict_model=model,
+            predict_rearm_s=args.predict_rearm,
         )
     except (ValueError, CheckpointError) as exc:
         # No tailable files, or an incompatible checkpoint: exit cleanly
@@ -825,9 +1062,10 @@ def _run_stream(args, trace_out, metrics_out) -> int:
             poll_interval=args.poll_interval,
             progress=None if args.json else progress,
         )
-    except TailError as exc:
-        # Mid-stream rotation/truncation carries its own recovery hint;
-        # surface it as a clean operational error, not a traceback.
+    except (TailError, PredictError) as exc:
+        # Mid-stream rotation/truncation (and a predictor refusing
+        # foreign fleet geometry) carry their own recovery hints;
+        # surface them as clean operational errors, not tracebacks.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     summary = pipeline.finalize()
@@ -864,6 +1102,12 @@ def _run_stream(args, trace_out, metrics_out) -> int:
                 f"  rollups: {r['errors']} CEs, {r['faults']} fault(s)"
                 f"{where}"
             )
+        if summary.get("predictor"):
+            p = summary["predictor"]
+            print(
+                f"  predictor: model {p['model_id']}, "
+                f"{p['scored_batches']} batch(es) scored"
+            )
     if args.faults_out:
         np.save(args.faults_out, pipeline.coalescer.faults())
         if not args.json:
@@ -876,6 +1120,257 @@ def _run_stream(args, trace_out, metrics_out) -> int:
         obs.write_metrics(metrics_out)
         if not args.json:
             print(f"wrote metrics to {metrics_out}")
+    return 0
+
+
+def _predict_gates(report: dict, args) -> list[str]:
+    """Evaluate the CI gate flags against an eval report."""
+    failures = []
+    model = report["model"]
+    base = report["baseline"]
+    if args.min_auc is not None and model["auc"] < args.min_auc:
+        failures.append(
+            f"held-out AUC {model['auc']:.4f} below --min-auc {args.min_auc}"
+        )
+    if args.min_recall is not None and model["recall_at_fpr"] < args.min_recall:
+        failures.append(
+            f"recall@{report['target_fpr']:g}FPR {model['recall_at_fpr']:.4f} "
+            f"below --min-recall {args.min_recall}"
+        )
+    if args.require_beats_baseline:
+        if model["auc"] <= base["auc"]:
+            failures.append(
+                f"model AUC {model['auc']:.4f} does not beat the rate-"
+                f"threshold baseline {base['auc']:.4f}"
+            )
+        if model["recall_at_fpr"] < base["recall_at_fpr"]:
+            failures.append(
+                f"model recall@FPR {model['recall_at_fpr']:.4f} below the "
+                f"baseline's {base['recall_at_fpr']:.4f}"
+            )
+    return failures
+
+
+def _emit_predict_report(report: dict, args, extra_lines=()) -> int:
+    """Shared report rendering + gates for train/eval; returns exit code."""
+    import json
+
+    failures = _predict_gates(report, args)
+    if args.report:
+        from pathlib import Path
+
+        Path(args.report).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        m, b = report["model"], report["baseline"]
+        print(
+            f"held-out: AUC {m['auc']:.4f} (baseline {b['auc']:.4f}), "
+            f"recall@{report['target_fpr']:g}FPR {m['recall_at_fpr']:.4f} "
+            f"(baseline {b['recall_at_fpr']:.4f})"
+        )
+        print(
+            f"operating point: precision {m['precision_at_threshold']:.4f}, "
+            f"recall {m['recall_at_threshold']:.4f}"
+        )
+        lead = ", ".join(
+            f"{e['lead_h']}h={e['recall']:.3f}" for e in m["lead_curve"]
+        )
+        print(f"lead-time recall: {lead}")
+        for line in extra_lines:
+            print(line)
+        if args.report:
+            print(f"wrote eval report to {args.report}")
+    for failure in failures:
+        print(f"gate FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _run_predict(args, trace_out, metrics_out) -> int:
+    """The ``predict`` verb: train / eval / score."""
+    from repro import obs
+    from repro.predict import PredictError
+
+    try:
+        if args.predict_command == "train":
+            code = _predict_train(args)
+        elif args.predict_command == "eval":
+            code = _predict_eval(args)
+        else:
+            code = _predict_score(args)
+    except PredictError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if trace_out:
+        obs.write_trace(trace_out)
+        if not args.json:
+            print(f"wrote trace to {trace_out}")
+    if metrics_out:
+        obs.write_metrics(metrics_out)
+        if not args.json:
+            print(f"wrote metrics to {metrics_out}")
+    return code
+
+
+def _predict_train(args) -> int:
+    from repro.predict import EVAL_SEEDS, TRAIN_SEEDS, train_and_evaluate
+
+    train_seeds = (
+        tuple(_parse_axis(args.train_seeds, int, "--train-seeds"))
+        if args.train_seeds else TRAIN_SEEDS
+    )
+    eval_seeds = (
+        tuple(_parse_axis(args.eval_seeds, int, "--eval-seeds"))
+        if args.eval_seeds else EVAL_SEEDS
+    )
+    _validate_json_report(args.report)
+    model, report = train_and_evaluate(
+        train_seeds=train_seeds,
+        eval_seeds=eval_seeds,
+        scale=args.scale,
+        jobs=args.jobs,
+        target_fpr=args.target_fpr,
+    )
+    model_id = model.save(args.out)
+    extra = [
+        f"wrote model {model_id} to {args.out} "
+        f"(train seeds {list(train_seeds)}, eval seeds {list(eval_seeds)})"
+    ]
+    return _emit_predict_report(report, args, extra)
+
+
+def _predict_eval(args) -> int:
+    from repro.predict import (
+        DatasetConfig,
+        build_seed_datasets,
+        evaluate,
+    )
+    from repro.predict.errors import PredictError
+    from repro.predict.model import Model
+    from repro.predict.train import (
+        EVAL_SEEDS,
+        REPORT_SCHEMA_VERSION,
+        _split_stats,
+    )
+
+    _validate_json_report(args.report)
+    model = Model.load(args.model)
+    trained = model.trained
+    seeds = (
+        tuple(_parse_axis(args.seeds, int, "--seeds"))
+        if args.seeds
+        else tuple(trained.get("eval_seeds", EVAL_SEEDS))
+    )
+    train_seeds = set(map(int, trained.get("train_seeds", ())))
+    overlap = train_seeds & set(map(int, seeds))
+    if overlap:
+        raise PredictError(
+            f"eval seeds {sorted(overlap)} were in the model's training "
+            f"set; hint: pick --seeds the model never saw"
+        )
+    scale = args.scale if args.scale is not None else float(
+        trained.get("scale", 0.02)
+    )
+    target_fpr = args.target_fpr if args.target_fpr is not None else float(
+        trained.get("target_fpr", 0.01)
+    )
+    config = (
+        DatasetConfig.from_dict(trained["dataset"])
+        if "dataset" in trained else DatasetConfig()
+    )
+    ds = build_seed_datasets(seeds, scale, config, args.jobs)
+    results = evaluate(model, ds, target_fpr)
+    report = {
+        "schema": REPORT_SCHEMA_VERSION,
+        "kind": "predict-eval",
+        "model_id": model.model_id,
+        "target_fpr": float(target_fpr),
+        "scale": float(scale),
+        "config": config.to_dict(),
+        "train": {
+            "seeds": sorted(train_seeds),
+            "rows": int(trained.get("rows", 0)),
+            "positives": int(trained.get("positives", 0)),
+            "unseeable": 0,
+        },
+        "eval": _split_stats(ds, seeds),
+        **results,
+    }
+    return _emit_predict_report(report, args)
+
+
+def _predict_score(args) -> int:
+    import json
+
+    from repro.logs.campaign_io import load_campaign_records
+    from repro.predict import score_records
+    from repro.predict.model import Model
+
+    _validate_json_report(args.scores_out)
+    model = Model.load(args.model)
+    records = load_campaign_records(
+        args.directory, policy=args.ingest_policy
+    )
+    nodes, scores = score_records(
+        records.errors, records.het, model, at=args.at, jobs=args.jobs
+    )
+    doc = {
+        "schema_version": 1,
+        "kind": "predict-scores",
+        "model_id": model.model_id,
+        "threshold": float(model.threshold),
+        "at": args.at,
+        "directory": str(args.directory),
+        "nodes": nodes.tolist(),
+        "scores": scores.tolist(),
+    }
+    if args.scores_out:
+        from pathlib import Path
+
+        Path(args.scores_out).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    import numpy as np
+
+    order = np.lexsort((nodes, -scores))[: max(args.top, 0)]
+    print(
+        f"scored {nodes.size} node(s) with model {model.model_id} "
+        f"(threshold {model.threshold:.4f})"
+    )
+    for rank, i in enumerate(order.tolist(), 1):
+        flag = " AT RISK" if scores[i] >= model.threshold else ""
+        print(f"  #{rank}: node {int(nodes[i])} score {scores[i]:.4f}{flag}")
+    if args.scores_out:
+        print(f"wrote scores to {args.scores_out}")
+    return 0
+
+
+def _run_serve(args, trace_out, metrics_out) -> int:
+    """The ``serve`` verb: warm state + the asyncio HTTP front door."""
+    from repro.predict import PredictError
+    from repro.query import RollupError
+    from repro.serve import ServeState, run as serve_run
+
+    try:
+        state = ServeState.build(
+            args.model,
+            directory=args.directory,
+            rollups_dir=args.rollups,
+            alerts_path=args.alerts,
+            policy=args.ingest_policy,
+            jobs=args.jobs,
+        )
+    except (PredictError, RollupError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    serve_run(
+        state, host=args.host, port=args.port, ready_file=args.ready_file
+    )
     return 0
 
 
@@ -1659,6 +2154,12 @@ def _dispatch(args) -> int:
 
     if args.command == "whatif":
         return _run_whatif(args, trace_out, metrics_out)
+
+    if args.command == "predict":
+        return _run_predict(args, trace_out, metrics_out)
+
+    if args.command == "serve":
+        return _run_serve(args, trace_out, metrics_out)
 
     if args.command == "mitigate":
         from repro.mitigation import (

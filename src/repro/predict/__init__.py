@@ -1,0 +1,65 @@
+"""Online failure prediction (DESIGN.md section 15).
+
+Feature extraction over the live stream state, a calibrated zero-dep
+logistic scorer, the lead-time-aware labeling protocol, and the online
+scorer the stream pipeline mounts behind ``repro stream --predict``.
+"""
+
+from repro.predict.dataset import (
+    Dataset,
+    DatasetConfig,
+    build_dataset,
+    build_seed_datasets,
+    make_training_campaign,
+    training_calibration,
+)
+from repro.predict.errors import PredictError
+from repro.predict.features import (
+    FEATURE_NAMES,
+    FEATURE_SCHEMA_VERSION,
+    FeatureConfig,
+    FeatureState,
+)
+from repro.predict.metrics import (
+    auc,
+    lead_time_curve,
+    precision_recall,
+    recall_at_fpr,
+    threshold_at_fpr,
+)
+from repro.predict.model import MODEL_SCHEMA_VERSION, Model, fit
+from repro.predict.score import OnlineScorer, score_records
+from repro.predict.train import (
+    EVAL_SEEDS,
+    TRAIN_SEEDS,
+    evaluate,
+    train_and_evaluate,
+)
+
+__all__ = [
+    "Dataset",
+    "DatasetConfig",
+    "EVAL_SEEDS",
+    "FEATURE_NAMES",
+    "FEATURE_SCHEMA_VERSION",
+    "FeatureConfig",
+    "FeatureState",
+    "MODEL_SCHEMA_VERSION",
+    "Model",
+    "OnlineScorer",
+    "PredictError",
+    "TRAIN_SEEDS",
+    "auc",
+    "build_dataset",
+    "build_seed_datasets",
+    "evaluate",
+    "fit",
+    "lead_time_curve",
+    "make_training_campaign",
+    "precision_recall",
+    "recall_at_fpr",
+    "score_records",
+    "threshold_at_fpr",
+    "train_and_evaluate",
+    "training_calibration",
+]

@@ -1,0 +1,135 @@
+"""Evaluation metrics with brute-force-checkable definitions.
+
+Every function here has a deliberately simple contract so the test
+suite can re-derive it with an O(n^2) reference on a downsampled
+campaign and demand exact equality:
+
+- :func:`auc` is the rank-sum (Mann-Whitney) statistic with average
+  ranks over ties -- the probability a random positive outscores a
+  random negative, ties counting half;
+- :func:`threshold_at_fpr` picks the smallest observed score value
+  whose false-positive rate (``neg >= t``) stays within the budget,
+  so "recall at 1% FPR" never silently overspends the budget on ties;
+- :func:`lead_time_curve` reports, per required lead, the fraction of
+  positives that were flagged *and* whose failure was at least that far
+  away -- the operator's "how much warning do I actually get" curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.predict.errors import PredictError
+
+
+def _check(y: np.ndarray, scores: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y = np.asarray(y, dtype=bool)
+    scores = np.asarray(scores, dtype=np.float64)
+    if y.shape != scores.shape or y.ndim != 1:
+        raise PredictError(
+            f"labels {y.shape} and scores {scores.shape} must be equal "
+            f"1-D shapes; hint: score the same rows you labeled"
+        )
+    return y, scores
+
+
+def auc(y, scores) -> float:
+    """Area under the ROC curve (rank statistic, average-tie ranks)."""
+    y, scores = _check(y, scores)
+    n_pos = int(y.sum())
+    n_neg = y.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise PredictError(
+            f"AUC undefined: {n_pos} positives / {n_neg} negatives; "
+            f"hint: widen the eval campaigns or the label horizon"
+        )
+    order = np.argsort(scores, kind="stable")
+    sorted_scores = scores[order]
+    ranks = np.empty(y.size, dtype=np.float64)
+    i = 0
+    while i < y.size:
+        j = i
+        while j < y.size and sorted_scores[j] == sorted_scores[i]:
+            j += 1
+        ranks[order[i:j]] = 0.5 * (i + j + 1)  # average of ranks i+1..j
+        i = j
+    rank_sum = float(ranks[y].sum())
+    return (rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+
+
+def threshold_at_fpr(y, scores, fpr: float) -> float:
+    """Smallest observed score keeping ``mean(neg >= t) <= fpr``.
+
+    Falls back to just above the maximum score when even the strictest
+    observed threshold overspends (e.g. heavy negative ties).
+    """
+    y, scores = _check(y, scores)
+    neg = scores[~y]
+    if neg.size == 0:
+        raise PredictError(
+            "FPR threshold undefined without negatives; hint: check the "
+            "label protocol"
+        )
+    candidates = np.unique(scores)[::-1]  # descending
+    best = None
+    for t in candidates.tolist():
+        if float(np.mean(neg >= t)) <= fpr:
+            best = t
+        else:
+            break  # FPR only grows as the threshold drops
+    if best is None:
+        return float(np.nextafter(candidates[0], np.inf))
+    return float(best)
+
+
+def recall_at_fpr(y, scores, fpr: float = 0.01) -> float:
+    """Recall at :func:`threshold_at_fpr`'s operating point."""
+    y, scores = _check(y, scores)
+    t = threshold_at_fpr(y, scores, fpr)
+    pos = scores[y]
+    if pos.size == 0:
+        raise PredictError(
+            "recall undefined without positives; hint: widen the eval "
+            "campaigns or the label horizon"
+        )
+    return float(np.mean(pos >= t))
+
+
+def precision_recall(y, scores, threshold: float) -> tuple[float, float]:
+    """(precision, recall) of ``scores >= threshold``.
+
+    Precision is 1.0 when nothing is flagged (no false alarms were
+    raised), keeping the value defined at maximally strict thresholds.
+    """
+    y, scores = _check(y, scores)
+    pred = scores >= threshold
+    flagged = int(pred.sum())
+    hits = int((pred & y).sum())
+    precision = 1.0 if flagged == 0 else hits / flagged
+    n_pos = int(y.sum())
+    recall = 0.0 if n_pos == 0 else hits / n_pos
+    return float(precision), float(recall)
+
+
+def lead_time_curve(
+    y, scores, lead_available, threshold: float, grid_hours=(1, 6, 24, 72, 168)
+) -> list[dict]:
+    """Fraction of failures flagged with at least each required lead.
+
+    ``lead_available`` is seconds from the feature cut to the failure
+    (-1 on negatives, as the dataset builder emits).  Each entry is
+    ``{"lead_h": L, "recall": caught-with->=L-lead / all positives}``.
+    """
+    y, scores = _check(y, scores)
+    lead_available = np.asarray(lead_available, dtype=np.float64)
+    pred = scores >= threshold
+    n_pos = int(y.sum())
+    out = []
+    for lead_h in grid_hours:
+        if n_pos == 0:
+            recall = 0.0
+        else:
+            caught = pred & y & (lead_available >= lead_h * 3600.0)
+            recall = float(caught.sum()) / n_pos
+        out.append({"lead_h": int(lead_h), "recall": recall})
+    return out

@@ -1,0 +1,27 @@
+"""The async serving front door (DESIGN.md section 15).
+
+``state``
+    :class:`ServeState` -- the warm, fold-once request cache: CRC-
+    guarded model load, one-time campaign scoring, incremental alert
+    tail, rollup query passthrough.
+``server``
+    :class:`Server` / :func:`run` -- the stdlib asyncio HTTP/1.1
+    keep-alive server behind ``repro serve``.
+"""
+
+from repro.serve.server import Server, run
+from repro.serve.state import (
+    SERVE_SCHEMA_VERSION,
+    NotFound,
+    ServeError,
+    ServeState,
+)
+
+__all__ = [
+    "SERVE_SCHEMA_VERSION",
+    "NotFound",
+    "Server",
+    "ServeError",
+    "ServeState",
+    "run",
+]

@@ -46,10 +46,13 @@ from repro.faults.types import FaultMode
 from repro.stream.online_coalesce import OnlineCoalescer
 from repro.synth.het import EVENT_TYPES
 
-#: Rule names, in the order they are documented.
+#: Rule names, in the order they are documented.  ``predicted_failure``
+#: is raised by the optional :class:`~repro.predict.score.OnlineScorer`
+#: (``repro stream --predict``), not by the rule engine below; it rides
+#: the same sink and envelope.
 RULES = (
     "new_fault", "mode_transition", "ce_rate", "uncorrectable",
-    "sensor_dropout",
+    "sensor_dropout", "predicted_failure",
 )
 
 

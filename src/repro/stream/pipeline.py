@@ -22,6 +22,7 @@ and lag gauges, and per-rule alert counters.
 
 from __future__ import annotations
 
+import os
 import time
 from pathlib import Path
 
@@ -90,6 +91,16 @@ class StreamPipeline:
     rollup_config:
         Cube geometry; also enables in-memory rollups without a
         ``rollup_dir`` (nothing is persisted).
+    predict_model:
+        A loaded :class:`~repro.predict.model.Model`; mounts an
+        :class:`~repro.predict.score.OnlineScorer` that re-scores every
+        CE batch's nodes and raises ``predicted_failure`` alerts
+        through the same exactly-once sink as the rule engine.  Its
+        full feature state rides in the checkpoint, so kill/resume
+        reproduces scores byte-identically.
+    predict_rearm_s:
+        Per-node re-arm window for ``predicted_failure`` alerts
+        (event-time seconds).
     """
 
     def __init__(
@@ -108,6 +119,8 @@ class StreamPipeline:
         resume: bool = True,
         rollup_dir: str | Path | None = None,
         rollup_config: RollupConfig | None = None,
+        predict_model=None,
+        predict_rearm_s: float | None = None,
     ):
         if directory is None and not files:
             raise ValueError("need a directory or an explicit file list")
@@ -159,6 +172,14 @@ class StreamPipeline:
             self.rollups.source = "stream"
             self.rollups.policy = self.policy.value
         self._rollup_version: int | None = None
+        self.scorer = None
+        if predict_model is not None:
+            from repro.predict.score import OnlineScorer
+
+            kwargs = {}
+            if predict_rearm_s is not None:
+                kwargs["rearm_s"] = predict_rearm_s
+            self.scorer = OnlineScorer(predict_model, **kwargs)
         #: Live inventory view: {date: {(component, node, pos): serial}}.
         self.snapshots: dict[str, dict] = {}
         self.batches = 0
@@ -180,6 +201,15 @@ class StreamPipeline:
         which case nothing changed (no batch counted, no checkpoint).
         """
         from repro import obs
+
+        # Test/CI knob: slow every batch down so an external kill -9
+        # lands mid-stream deterministically (fleet has the same knob).
+        try:
+            delay = float(os.environ.get("ASTRA_MEMREPRO_STREAM_DELAY_S", 0))
+        except ValueError:
+            delay = 0.0
+        if delay > 0:
+            time.sleep(delay)
 
         alerts: list[dict] = []
         consumed: dict[str, int] = {}
@@ -220,14 +250,22 @@ class StreamPipeline:
             alerts.extend(
                 self.engine.observe_errors(records, created, touched, batch_id)
             )
+            if self.scorer is not None:
+                alerts.extend(
+                    self.scorer.observe_errors(records, self.coalescer, batch_id)
+                )
             return int(records.size)
         if family == "het":
             alerts.extend(self.engine.observe_het(records, batch_id))
+            if self.scorer is not None:
+                self.scorer.observe_het(records)
             return int(records.size)
         if family == "sensors":
             if self.rollups is not None:
                 self.rollups.observe_sensors(records)
             alerts.extend(self.engine.observe_sensors(records, batch_id))
+            if self.scorer is not None:
+                self.scorer.observe_sensors(records)
             return int(records.size)
         # inventory: batches are either _SnapshotBatch (bulk apply) or
         # plain row lists, exactly as batch ingest consumes them.
@@ -331,6 +369,10 @@ class StreamPipeline:
                     None if self.rollup_dir is None else str(self.rollup_dir)
                 ),
             },
+            "predictor": None if self.scorer is None else {
+                "model_id": self.scorer.model.model_id,
+                "scored_batches": int(self.scorer.scored_batches),
+            },
         }
 
     # -- checkpoint (de)serialisation ----------------------------------
@@ -375,6 +417,9 @@ class StreamPipeline:
                 "faults_live": int(self.coalescer.n_groups),
             },
             "rollups": None,
+            "predictor": (
+                None if self.scorer is None else self.scorer.to_state()
+            ),
         }
 
     def _restore(self, state: dict) -> None:
@@ -414,6 +459,7 @@ class StreamPipeline:
         self.batches = int(state["batches"])
         self.alerts_total = int(state["alerts_total"])
         self._restore_rollups(state.get("rollups"))
+        self._restore_predictor(state.get("predictor"))
 
     def _restore_rollups(self, saved: dict | None) -> None:
         if self.rollups is None:
@@ -450,6 +496,32 @@ class StreamPipeline:
         loaded.policy = self.policy.value
         self.rollups = loaded
         self._rollup_version = int(saved["version"])
+
+    def _restore_predictor(self, saved: dict | None) -> None:
+        if self.scorer is None:
+            if saved is not None:
+                raise CheckpointError(
+                    "checkpoint predictor mismatch: found scorer state for "
+                    f"model {saved['model_id']}, expected none; hint: "
+                    "resume with --predict and the same --model, or start "
+                    "over with --no-resume"
+                )
+            return
+        if saved is None:
+            raise CheckpointError(
+                "checkpoint predictor mismatch: found no scorer state in "
+                f"the checkpoint, expected model "
+                f"{self.scorer.model.model_id}; hint: resume without "
+                "--predict, or start over with --no-resume"
+            )
+        from repro.predict.errors import PredictError
+
+        try:
+            self.scorer.restore(saved)
+        except PredictError as exc:
+            # Same found/expected + hint text, surfaced through the
+            # checkpoint error type every resume caller already handles.
+            raise CheckpointError(str(exc)) from exc
 
 
 def faults_snapshot(pipeline: StreamPipeline) -> np.ndarray:

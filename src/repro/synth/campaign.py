@@ -103,12 +103,17 @@ class CampaignGenerator:
         topology: AstraTopology | None = None,
         node_config: NodeConfig | None = None,
         row_fault_fraction: float = 0.0,
+        due_hazard: float = 0.0,
     ) -> None:
+        """``due_hazard`` links that fraction of DUE placements to the
+        fault population (see :class:`~repro.synth.het.HetGenerator`);
+        the default keeps the legacy uniform DUE stream byte-identical."""
         if scale <= 0:
             raise ValueError("scale must be positive")
         self.seed = seed
         self.scale = scale
         self.row_fault_fraction = row_fault_fraction
+        self.due_hazard = due_hazard
         self.calibration = calibration or PaperCalibration()
         self.topology = topology or AstraTopology()
         self.node_config = node_config or NodeConfig()
@@ -147,6 +152,8 @@ class CampaignGenerator:
             calibration=self.calibration,
             topology=self.topology,
             node_config=self.node_config,
+            due_hazard=self.due_hazard,
+            population=population if self.due_hazard > 0.0 else None,
         ).generate()
         sensors = SensorFieldModel(
             seed=self.seed,

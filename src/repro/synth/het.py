@@ -64,7 +64,17 @@ _RECOVERABLE_RATES = {
 
 
 class HetGenerator:
-    """Seeded generator for the HET record stream."""
+    """Seeded generator for the HET record stream.
+
+    ``due_hazard`` optionally links that fraction of DUE placements to
+    the campaign's fault ``population`` instead of drawing nodes
+    uniformly: a linked DUE lands on a faulty node (weighted toward
+    heavy and non-single-bit faults, the structure the prediction
+    literature reports as most predictive) at a time after the fault has
+    been producing CEs.  The default ``0.0`` reproduces the legacy
+    uniform stream byte-for-byte; the predictor's training campaigns opt
+    in because uniform DUEs carry no learnable signal.
+    """
 
     def __init__(
         self,
@@ -73,14 +83,22 @@ class HetGenerator:
         calibration: PaperCalibration | None = None,
         topology: AstraTopology | None = None,
         node_config: NodeConfig | None = None,
+        due_hazard: float = 0.0,
+        population=None,
     ) -> None:
         if scale <= 0:
             raise ValueError("scale must be positive")
+        if not 0.0 <= due_hazard <= 1.0:
+            raise ValueError("due_hazard must be in [0, 1]")
+        if due_hazard > 0.0 and population is None:
+            raise ValueError("due_hazard > 0 requires a fault population")
         self.seed = seed
         self.scale = scale
         self.calibration = calibration or PaperCalibration()
         self.topology = topology or AstraTopology()
         self.node_config = node_config or NodeConfig()
+        self.due_hazard = due_hazard
+        self.population = population
 
     @property
     def recording_window(self) -> tuple[float, float]:
@@ -129,4 +147,38 @@ class HetGenerator:
             pos += n
         out["time"] = rng.uniform(t0, t1, size=total)
         out["node"] = rng.integers(0, self.topology.n_nodes, size=total)
+        if self.due_hazard > 0.0:
+            self._link_dues(out)
         return out[np.argsort(out["time"], kind="stable")]
+
+    def _link_dues(self, out: np.ndarray) -> None:
+        """Re-place a hazard-linked share of the DUEs onto faulty nodes.
+
+        Runs on a *separate* RNG stream after the base draw so the
+        ``due_hazard=0`` stream is untouched and linkage is itself
+        deterministic per seed.  A linked DUE copies a fault's node
+        (sampled with weight ``log1p(n_errors)``, boosted 6x for
+        non-single-bit modes) and fires no earlier than 30% into the
+        fault's active period -- so its CE history is visible *before*
+        the failure, which is what makes lead-time prediction possible.
+        """
+        from repro.faults.types import FaultMode
+
+        rng = np.random.default_rng(self.seed + 203)
+        t0, t1 = self.recording_window
+        faults = self.population.faults
+        due_idx = np.flatnonzero(out["non_recoverable"])
+        linked = due_idx[rng.random(due_idx.size) < self.due_hazard]
+        if linked.size == 0 or faults.size == 0:
+            return
+        multibit = (faults["mode"] != FaultMode.SINGLE_BIT) & (
+            faults["mode"] != FaultMode.UNATTRIBUTED
+        )
+        w = np.log1p(faults["n_errors"].astype(np.float64))
+        w *= np.where(multibit, 6.0, 1.0)
+        pick = rng.choice(faults.size, size=linked.size, p=w / w.sum())
+        start = faults["start_time"][pick]
+        dur = faults["duration"][pick]
+        lo = np.minimum(np.maximum(t0, start + 0.3 * dur), t1 - 3600.0)
+        out["node"][linked] = faults["node"][pick]
+        out["time"][linked] = rng.uniform(lo, t1)

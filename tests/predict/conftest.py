@@ -1,0 +1,47 @@
+"""Shared fixtures for the prediction suite.
+
+Everything is tiny-scale: one training seed, one held-out seed, 0.01
+fleet scale.  The full-protocol metrics gates live in CI's
+predict-smoke job at 0.02 scale; here the campaigns only have to be
+big enough to exercise the mechanics.
+"""
+
+import pytest
+
+from repro.predict import train_and_evaluate
+from repro.predict.dataset import (
+    DatasetConfig,
+    build_dataset,
+    make_training_campaign,
+)
+
+TINY_SCALE = 0.01
+TINY_TRAIN = (101,)
+TINY_EVAL = (201,)
+
+
+@pytest.fixture(scope="session")
+def tiny_model_report():
+    """(model, eval report) from the smallest honest protocol run."""
+    return train_and_evaluate(
+        train_seeds=TINY_TRAIN,
+        eval_seeds=TINY_EVAL,
+        scale=TINY_SCALE,
+        jobs=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_model_report):
+    return tiny_model_report[0]
+
+
+@pytest.fixture(scope="session")
+def train_campaign():
+    """One hazard-linked training-distribution campaign."""
+    return make_training_campaign(TINY_TRAIN[0], TINY_SCALE)
+
+
+@pytest.fixture(scope="session")
+def train_dataset(train_campaign):
+    return build_dataset(train_campaign, DatasetConfig())

@@ -1,0 +1,161 @@
+"""The predict verb end to end: train, eval, score, gates, exits."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.schema import schema_dir, validate_file
+
+SCALE = "0.01"
+SPLIT = ["--train-seeds", "101", "--eval-seeds", "201", "--scale", SCALE]
+
+
+@pytest.fixture(scope="module")
+def trained(tmp_path_factory):
+    """One CLI training run shared by the whole module."""
+    out = tmp_path_factory.mktemp("cli-predict")
+    model = out / "model.json"
+    report = out / "report.json"
+    assert main(
+        ["predict", "train", "--out", str(model), "--report", str(report),
+         *SPLIT]
+    ) == 0
+    return model, report
+
+
+@pytest.fixture(scope="module")
+def scored_campaign(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli-predict-camp") / "camp"
+    assert main(
+        ["synth", "--seed", "301", "--scale", SCALE, "--out", str(out),
+         "--text-logs"]
+    ) == 0
+    return out
+
+
+class TestTrain:
+    def test_artifacts_written_and_valid(self, trained):
+        model, report = trained
+        assert validate_file(
+            schema_dir() / "predict.schema.json", report
+        ) == []
+        doc = json.loads(model.read_text())
+        assert doc["kind"] == "predict-model"
+        assert doc["trained"]["train_seeds"] == [101]
+
+    def test_human_summary(self, trained, capsys):
+        model, _ = trained
+        assert main(
+            ["predict", "eval", "--model", str(model)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "held-out: AUC" in out
+        assert "baseline" in out
+        assert "lead-time recall" in out
+
+    def test_impossible_gate_fails_with_exit_1(self, tmp_path, capsys):
+        model = tmp_path / "model.json"
+        assert main(
+            ["predict", "train", "--out", str(model), *SPLIT,
+             "--min-recall", "1.1"]
+        ) == 1
+        assert "gate FAILED" in capsys.readouterr().err
+
+    def test_overlapping_seeds_exit_2(self, tmp_path, capsys):
+        assert main(
+            ["predict", "train", "--out", str(tmp_path / "m.json"),
+             "--train-seeds", "101", "--eval-seeds", "101",
+             "--scale", SCALE]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "overlap" in err and "hint" in err
+
+
+class TestEval:
+    def test_eval_reproduces_training_metrics(self, trained, tmp_path):
+        model, train_report = trained
+        report2 = tmp_path / "report2.json"
+        assert main(
+            ["predict", "eval", "--model", str(model), "--report",
+             str(report2)]
+        ) == 0
+        a = json.loads(train_report.read_text())
+        b = json.loads(report2.read_text())
+        assert b["model"] == a["model"]
+        assert b["baseline"] == a["baseline"]
+        assert b["model_id"] == a["model_id"]
+
+    def test_eval_refuses_train_seeds(self, trained, capsys):
+        model, _ = trained
+        assert main(
+            ["predict", "eval", "--model", str(model), "--seeds", "101"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "training set" in err and "hint" in err
+
+    def test_missing_model_exit_2(self, tmp_path, capsys):
+        assert main(
+            ["predict", "eval", "--model", str(tmp_path / "nope.json")]
+        ) == 2
+        assert "hint" in capsys.readouterr().err
+
+
+class TestScore:
+    def test_score_writes_table(self, trained, scored_campaign, tmp_path,
+                                capsys):
+        model, _ = trained
+        scores = tmp_path / "scores.json"
+        assert main(
+            ["predict", "score", str(scored_campaign), "--model",
+             str(model), "--scores-out", str(scores)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "node" in out
+        doc = json.loads(scores.read_text())
+        assert doc["kind"] == "predict-scores"
+        assert len(doc["nodes"]) == len(doc["scores"]) > 0
+
+    def test_score_jobs_identity(self, trained, scored_campaign, tmp_path):
+        model, _ = trained
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for path, jobs in ((a, "0"), (b, "4")):
+            assert main(
+                ["predict", "score", str(scored_campaign), "--model",
+                 str(model), "--jobs", jobs, "--scores-out", str(path)]
+            ) == 0
+        da, db = json.loads(a.read_text()), json.loads(b.read_text())
+        assert da["scores"] == db["scores"]
+        assert da["nodes"] == db["nodes"]
+
+    def test_corrupt_model_exit_2(self, trained, scored_campaign, tmp_path,
+                                  capsys):
+        model, _ = trained
+        bad = tmp_path / "bad.json"
+        doc = json.loads(model.read_text())
+        doc["threshold"] = 0.0
+        bad.write_text(json.dumps(doc))
+        assert main(
+            ["predict", "score", str(scored_campaign), "--model", str(bad)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "integrity" in err and "hint" in err
+
+    def test_foreign_geometry_exit_2(self, trained, scored_campaign,
+                                     tmp_path, capsys):
+        """Satellite contract: a model trained on a different fleet is
+        refused with found/expected + recovery hint, exit 2."""
+        from repro.predict.model import Model
+
+        model_path, _ = trained
+        model = Model.load(model_path)
+        model.geometry = dict(model.geometry, n_nodes=2)
+        shrunken = tmp_path / "shrunken.json"
+        model.save(shrunken)
+        assert main(
+            ["predict", "score", str(scored_campaign), "--model",
+             str(shrunken)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "fleet geometry" in err
+        assert "expected" in err and "hint" in err

@@ -1,0 +1,160 @@
+"""Metrics vs brute-force references, exact equality demanded.
+
+Each metric has an O(n^2)-or-worse reference implementation here whose
+correctness is obvious from the definition; hypothesis feeds both
+hostile score vectors (ties everywhere, infinities of agreement) and
+the campaign-shaped case feeds realistic ones.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.predict.errors import PredictError
+from repro.predict.metrics import (
+    auc,
+    lead_time_curve,
+    precision_recall,
+    recall_at_fpr,
+    threshold_at_fpr,
+)
+
+
+def _auc_brute(y, scores):
+    """P(random positive outscores random negative), ties count half."""
+    pos = scores[y]
+    neg = scores[~y]
+    wins = 0.0
+    for p in pos:
+        for q in neg:
+            if p > q:
+                wins += 1.0
+            elif p == q:
+                wins += 0.5
+    return wins / (pos.size * neg.size)
+
+
+def _threshold_brute(y, scores, fpr):
+    neg = scores[~y]
+    best = None
+    for t in np.unique(scores):
+        if np.mean(neg >= t) <= fpr:
+            if best is None or t < best:
+                best = float(t)
+    if best is None:
+        return float(np.nextafter(scores.max(), np.inf))
+    return best
+
+
+@st.composite
+def labeled_scores(draw):
+    n = draw(st.integers(4, 60))
+    # A tiny score alphabet forces heavy ties -- the hard case for
+    # both the rank statistic and the FPR threshold walk.
+    alphabet = draw(
+        st.sampled_from([(0.0, 1.0), (0.0, 0.25, 0.5, 1.0),
+                         (0.1, 0.2, 0.3, 0.7, 0.9)])
+    )
+    scores = np.array(
+        [draw(st.sampled_from(alphabet)) for _ in range(n)], dtype=float
+    )
+    y = np.array([draw(st.booleans()) for _ in range(n)], dtype=bool)
+    # Guarantee both classes exist.
+    y[0] = True
+    y[1] = False
+    return y, scores
+
+
+class TestAUC:
+    @settings(max_examples=200, deadline=None)
+    @given(labeled_scores())
+    def test_matches_pairwise_reference(self, case):
+        y, scores = case
+        assert auc(y, scores) == pytest.approx(
+            _auc_brute(y, scores), abs=1e-12
+        )
+
+    def test_perfect_and_inverted(self):
+        y = np.array([False, False, True, True])
+        assert auc(y, np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+        assert auc(y, np.array([0.9, 0.8, 0.2, 0.1])) == 0.0
+        assert auc(y, np.ones(4)) == 0.5
+
+    def test_single_class_raises(self):
+        with pytest.raises(PredictError, match="AUC undefined"):
+            auc(np.ones(4, dtype=bool), np.arange(4.0))
+
+
+class TestFprOperatingPoint:
+    @settings(max_examples=200, deadline=None)
+    @given(labeled_scores(), st.sampled_from([0.0, 0.01, 0.1, 0.5]))
+    def test_threshold_matches_brute_force(self, case, fpr):
+        y, scores = case
+        assert threshold_at_fpr(y, scores, fpr) == _threshold_brute(
+            y, scores, fpr
+        )
+
+    @settings(max_examples=200, deadline=None)
+    @given(labeled_scores(), st.sampled_from([0.0, 0.01, 0.1, 0.5]))
+    def test_budget_is_never_overspent(self, case, fpr):
+        y, scores = case
+        t = threshold_at_fpr(y, scores, fpr)
+        assert float(np.mean(scores[~y] >= t)) <= fpr
+
+    @settings(max_examples=100, deadline=None)
+    @given(labeled_scores())
+    def test_recall_at_fpr_is_recall_at_that_threshold(self, case):
+        y, scores = case
+        t = threshold_at_fpr(y, scores, 0.1)
+        assert recall_at_fpr(y, scores, 0.1) == pytest.approx(
+            float(np.mean(scores[y] >= t))
+        )
+
+
+class TestPrecisionRecall:
+    @settings(max_examples=100, deadline=None)
+    @given(labeled_scores(), st.sampled_from([0.0, 0.3, 0.8, 2.0]))
+    def test_matches_confusion_counts(self, case, threshold):
+        y, scores = case
+        precision, recall = precision_recall(y, scores, threshold)
+        pred = scores >= threshold
+        tp = int((pred & y).sum())
+        assert precision == (1.0 if pred.sum() == 0 else tp / pred.sum())
+        assert recall == tp / y.sum()
+
+
+class TestLeadTimeCurve:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(9)
+        n = 50
+        y = rng.random(n) < 0.4
+        y[:2] = (True, False)
+        scores = rng.random(n).round(1)
+        lead = np.where(y, rng.uniform(0, 200 * 3600.0, n), -1.0)
+        threshold = 0.5
+        curve = lead_time_curve(y, scores, lead, threshold)
+        for entry in curve:
+            need = entry["lead_h"] * 3600.0
+            caught = sum(
+                1
+                for i in range(n)
+                if y[i] and scores[i] >= threshold and lead[i] >= need
+            )
+            assert entry["recall"] == caught / y.sum()
+
+    def test_monotone_nonincreasing_in_lead(self):
+        rng = np.random.default_rng(10)
+        n = 80
+        y = rng.random(n) < 0.5
+        y[:2] = (True, False)
+        scores = rng.random(n)
+        lead = np.where(y, rng.uniform(0, 300 * 3600.0, n), -1.0)
+        curve = lead_time_curve(y, scores, lead, 0.4)
+        recalls = [e["recall"] for e in curve]
+        assert recalls == sorted(recalls, reverse=True)
+
+
+class TestShapes:
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(PredictError, match="equal"):
+            auc(np.array([True, False]), np.arange(3.0))

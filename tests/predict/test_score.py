@@ -1,0 +1,132 @@
+"""Scoring: online == batch differential, jobs identity, rearm logic."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.predict.errors import PredictError
+from repro.predict.score import OnlineScorer, score_records
+from repro.stream.online_coalesce import OnlineCoalescer
+
+
+class TestScoreRecords:
+    def test_jobs_identity(self, train_campaign, tiny_model):
+        """--jobs {0,4} byte-identity on one-shot scoring."""
+        seq_nodes, seq_scores = score_records(
+            train_campaign.errors, train_campaign.het, tiny_model, jobs=0
+        )
+        par_nodes, par_scores = score_records(
+            train_campaign.errors, train_campaign.het, tiny_model, jobs=4
+        )
+        assert seq_nodes.tobytes() == par_nodes.tobytes()
+        assert seq_scores.tobytes() == par_scores.tobytes()
+
+    def test_at_cut_filters_events(self, train_campaign, tiny_model):
+        cut = float(np.median(train_campaign.errors["time"]))
+        nodes, scores = score_records(
+            train_campaign.errors, train_campaign.het, tiny_model, at=cut
+        )
+        pre = train_campaign.errors[train_campaign.errors["time"] <= cut]
+        assert nodes.tolist() == sorted(np.unique(pre["node"]).tolist())
+        again_nodes, again_scores = score_records(
+            pre, train_campaign.het[train_campaign.het["time"] <= cut],
+            tiny_model, at=cut,
+        )
+        assert again_scores.tobytes() == scores.tobytes()
+
+    def test_empty_records(self, tiny_model):
+        nodes, scores = score_records(np.zeros(0), np.zeros(0), tiny_model)
+        assert nodes.size == 0 and scores.size == 0
+
+
+class TestOnlineScorer:
+    def _drive(self, scorer, errors, het, n_batches):
+        """Feed interleaved CE/HET batches in time order, like the
+        stream pipeline does, collecting all alerts."""
+        coalescer = OnlineCoalescer()
+        bounds = np.linspace(
+            0, max(float(errors["time"].max()), float(het["time"].max()))
+            + 1.0, n_batches + 1,
+        )
+        alerts = []
+        for b in range(n_batches):
+            lo, hi = bounds[b], bounds[b + 1]
+            e = errors[(errors["time"] > lo) & (errors["time"] <= hi)]
+            h = het[(het["time"] > lo) & (het["time"] <= hi)]
+            if h.size:
+                scorer.observe_het(h)
+            if e.size:
+                coalescer.add(e)
+                alerts.extend(scorer.observe_errors(e, coalescer, batch=b))
+        return alerts
+
+    def test_online_final_scores_equal_batch(self, train_campaign,
+                                             tiny_model):
+        """After the full stream is folded, the online state scores any
+        node identically to the one-shot batch fold."""
+        scorer = OnlineScorer(tiny_model)
+        self._drive(
+            scorer, train_campaign.errors, train_campaign.het, n_batches=11
+        )
+        batch_nodes, batch_scores = score_records(
+            train_campaign.errors, train_campaign.het, tiny_model
+        )
+        coalescer = OnlineCoalescer()
+        coalescer.add(train_campaign.errors)
+        online = tiny_model.score(
+            scorer.state.extract(
+                batch_nodes.tolist(), coalescer, at=scorer.state.watermark
+            )
+        )
+        assert online.tobytes() == batch_scores.tobytes()
+
+    def test_batching_does_not_change_alerts(self, train_campaign,
+                                             tiny_model):
+        a = self._drive(
+            OnlineScorer(tiny_model), train_campaign.errors,
+            train_campaign.het, n_batches=7,
+        )
+        b = self._drive(
+            OnlineScorer(tiny_model), train_campaign.errors,
+            train_campaign.het, n_batches=7,
+        )
+        assert a == b  # determinism at equal batching
+
+    def test_rearm_suppresses_repeat_alerts(self, tiny_model):
+        """A node over threshold fires once per re-arm bucket."""
+        scorer = OnlineScorer(tiny_model, rearm_s=3600.0)
+        scorer._fired[5] = 12  # pretend node 5 fired in bucket 12
+        state = json.loads(json.dumps(scorer.to_state()))
+        assert state["fired"] == [[5, 12]]
+        back = OnlineScorer(tiny_model, rearm_s=3600.0)
+        back.restore(state)
+        assert back._fired == {5: 12}
+        assert back.rearm_s == 3600.0
+
+    def test_state_round_trip_is_exact(self, train_campaign, tiny_model):
+        scorer = OnlineScorer(tiny_model)
+        self._drive(
+            scorer, train_campaign.errors, train_campaign.het, n_batches=5
+        )
+        wire = json.dumps(scorer.to_state())
+        back = OnlineScorer(tiny_model)
+        back.restore(json.loads(wire))
+        nodes = scorer.state.nodes_seen
+        at = scorer.state.watermark
+        assert back.state.watermark == at
+        assert scorer.state.extract(nodes, at=at).tobytes() == \
+            back.state.extract(nodes, at=at).tobytes()
+        assert back.scored_batches == scorer.scored_batches
+
+    def test_restore_foreign_model_refused(self, tiny_model):
+        scorer = OnlineScorer(tiny_model)
+        state = scorer.to_state()
+        state["model_id"] = "deadbeef"
+        fresh = OnlineScorer(tiny_model)
+        with pytest.raises(PredictError) as exc:
+            fresh.restore(state)
+        msg = str(exc.value)
+        assert "predictor model" in msg
+        assert "'deadbeef'" in msg
+        assert "hint" in msg

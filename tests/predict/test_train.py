@@ -1,0 +1,67 @@
+"""Train/evaluate protocol: report shape, split honesty, determinism."""
+
+import json
+
+import pytest
+
+from repro.obs.schema import schema_dir, validate_file
+from repro.predict import train_and_evaluate
+from repro.predict.errors import PredictError
+from repro.predict.train import baseline_scores, evaluate
+
+
+class TestProtocol:
+    def test_report_validates_against_schema(self, tiny_model_report,
+                                             tmp_path):
+        _, report = tiny_model_report
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(report))
+        assert validate_file(
+            schema_dir() / "predict.schema.json", path
+        ) == []
+
+    def test_report_carries_the_split(self, tiny_model_report):
+        model, report = tiny_model_report
+        assert report["train"]["seeds"] == [101]
+        assert report["eval"]["seeds"] == [201]
+        assert report["train"]["positives"] > 0
+        assert report["eval"]["positives"] > 0
+        assert report["model_id"] == model.model_id
+        assert 0.0 <= report["model"]["auc"] <= 1.0
+        assert 0.0 <= report["baseline"]["auc"] <= 1.0
+
+    def test_model_records_its_provenance(self, tiny_model):
+        assert tiny_model.trained["train_seeds"] == [101]
+        assert tiny_model.trained["eval_seeds"] == [201]
+        assert tiny_model.trained["scale"] == 0.01
+
+    def test_overlapping_seeds_refused(self):
+        with pytest.raises(PredictError, match="overlap"):
+            train_and_evaluate(
+                train_seeds=(101, 102), eval_seeds=(102,), scale=0.005
+            )
+
+    def test_training_is_deterministic(self, tiny_model_report):
+        model, report = tiny_model_report
+        again_model, again_report = train_and_evaluate(
+            train_seeds=(101,), eval_seeds=(201,), scale=0.01, jobs=0
+        )
+        assert again_model.model_id == model.model_id
+        assert again_report == report
+
+
+class TestBaseline:
+    def test_baseline_is_the_24h_rate_column(self, train_dataset):
+        from repro.predict.features import FEATURE_INDEX
+
+        base = baseline_scores(train_dataset.X)
+        assert base.tolist() == train_dataset.X[
+            :, FEATURE_INDEX["ce_w24"]
+        ].tolist()
+
+    def test_evaluate_reports_both_contenders(self, tiny_model,
+                                              train_dataset):
+        results = evaluate(tiny_model, train_dataset, target_fpr=0.01)
+        assert set(results) == {"model", "baseline"}
+        assert {e["lead_h"] for e in results["model"]["lead_curve"]} == \
+            {1, 6, 24, 72, 168}

@@ -1,0 +1,52 @@
+"""Fixtures for the serving suite: a model, a campaign, warm state."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.predict import train_and_evaluate
+from repro.serve import ServeState
+
+SCALE = 0.01
+
+
+@pytest.fixture(scope="session")
+def serve_model_path(tmp_path_factory):
+    model, _ = train_and_evaluate(
+        train_seeds=(101,), eval_seeds=(201,), scale=SCALE, jobs=0
+    )
+    path = tmp_path_factory.mktemp("serve-model") / "model.json"
+    model.save(path)
+    return path
+
+
+@pytest.fixture(scope="session")
+def serve_campaign_dir(tmp_path_factory):
+    """Campaign with text logs and a rollup snapshot next to them."""
+    out = tmp_path_factory.mktemp("serve-camp") / "camp"
+    assert main(
+        ["synth", "--seed", "301", "--scale", str(SCALE), "--out",
+         str(out), "--text-logs"]
+    ) == 0
+    assert main(["query", str(out), "--build"]) == 0
+    return out
+
+
+@pytest.fixture(scope="session")
+def alerts_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve-alerts") / "alerts.jsonl"
+    with open(path, "w") as fh:
+        for seq in range(5):
+            fh.write(json.dumps({
+                "seq": seq, "rule": "ce_rate", "time": 1e9 + seq,
+                "batch": seq, "node": seq % 3, "detail": {"count": seq},
+            }) + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def warm_state(serve_model_path, serve_campaign_dir, alerts_file):
+    return ServeState.build(
+        serve_model_path, serve_campaign_dir, alerts_path=alerts_file
+    )

@@ -1,0 +1,148 @@
+"""Chaos: kill the server mid-load, corrupt the model artifact.
+
+Both scenarios run the real CLI as a subprocess.  The contract: a
+killed server never leaves a client hanging on a half-open socket
+(connections die with a clean OS error, retries against a restarted
+server succeed and serve the identical warm table), and a damaged
+model artifact is refused by the CRC guard before the port ever binds.
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _cli_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _spawn(model, directory, ready, timeout_s=60.0):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--model", str(model), str(directory),
+         "--ready-file", str(ready)],
+        env=_cli_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if ready.exists():
+            return proc, json.loads(ready.read_text())
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"server died with {proc.returncode} before ready"
+            )
+        time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("server not ready in time")
+
+
+def _get(host, port, path):
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read())
+    finally:
+        conn.close()
+
+
+@pytest.mark.slow
+class TestKillRestartMidLoad:
+    def test_clients_fail_clean_and_retries_succeed(
+        self, serve_model_path, serve_campaign_dir, tmp_path
+    ):
+        ready = tmp_path / "ready.json"
+        proc, info = _spawn(serve_model_path, serve_campaign_dir, ready)
+        host, port = info["host"], info["port"]
+
+        # Steady client load from threads while the server dies.
+        stop = threading.Event()
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    status, _ = _get(host, port, "/healthz")
+                    result = f"http-{status}"
+                except (ConnectionError, http.client.HTTPException,
+                        OSError):
+                    result = "refused"  # clean OS error, never a hang
+                with lock:
+                    outcomes.append(result)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            time.sleep(0.3)
+            baseline = _get(host, port, "/v1/risk/top?k=5")
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+            time.sleep(0.3)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+        assert "http-200" in outcomes       # load was real before the kill
+        assert "refused" in outcomes        # and failed clean after it
+        assert not any(o.startswith("http-5") for o in outcomes)
+
+        # Restart on a fresh port: same model, same campaign, so the
+        # warm table must come back identical.
+        ready2 = tmp_path / "ready2.json"
+        proc2, info2 = _spawn(serve_model_path, serve_campaign_dir, ready2)
+        try:
+            assert info2["model_id"] == info["model_id"]
+            status, doc = _get(
+                info2["host"], info2["port"], "/v1/risk/top?k=5"
+            )
+            assert status == 200
+            assert doc == baseline[1]
+        finally:
+            proc2.send_signal(signal.SIGTERM)
+            proc2.wait(timeout=30)
+
+
+class TestCorruptModel:
+    def test_damaged_artifact_refused_before_binding(
+        self, serve_model_path, tmp_path
+    ):
+        bad = tmp_path / "bad.json"
+        doc = json.loads(Path(serve_model_path).read_text())
+        doc["w"][0] = doc["w"][0] + 1.0  # tamper one weight
+        bad.write_text(json.dumps(doc))
+        ready = tmp_path / "ready.json"
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--model", str(bad), "--ready-file", str(ready)],
+            env=_cli_env(), capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 2
+        assert "integrity" in result.stderr
+        assert "hint" in result.stderr
+        assert not ready.exists()
+
+    def test_missing_model_refused_with_hint(self, tmp_path):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--model", str(tmp_path / "absent.json")],
+            env=_cli_env(), capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 2
+        assert "hint" in result.stderr

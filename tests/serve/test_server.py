@@ -1,0 +1,203 @@
+"""The HTTP front door: routing, status codes, framing, keep-alive.
+
+Routing-table tests hit ``Server.handle`` directly; the socket-level
+tests run the real asyncio server on an ephemeral port and speak
+HTTP/1.1 to it with raw reader/writer pairs.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs.schema import schema_dir, validate
+from repro.serve import SERVE_SCHEMA_VERSION, Server
+
+
+@pytest.fixture(scope="module")
+def server(warm_state):
+    return Server(warm_state)
+
+
+def _body(raw: bytes) -> dict:
+    return json.loads(raw)
+
+
+def _schema():
+    return json.loads(
+        (schema_dir() / "serve.schema.json").read_text()
+    )
+
+
+class TestRouting:
+    def test_every_route_validates_against_the_schema(self, server):
+        schema = _schema()
+        node = int(server.state.nodes[0])
+        for target in (
+            "/healthz",
+            f"/v1/risk?node={node}",
+            "/v1/risk/top?k=3",
+            "/v1/alerts?since=-1&limit=2",
+            "/v1/query?select=errors&group_by=rack&top_k=5",
+            "/v1/stats",
+        ):
+            status, _, body = server.handle("GET", target)
+            assert status == 200, target
+            assert validate(_body(body), schema) == [], target
+
+    def test_error_bodies_share_the_envelope(self, server):
+        schema = _schema()
+        for method, target, want in (
+            ("POST", "/healthz", 405),
+            ("GET", "/nope", 404),
+            ("GET", "/v1/risk", 400),
+            ("GET", "/v1/risk?node=notanumber", 400),
+            ("GET", "/v1/risk/top?k=0", 400),
+            ("GET", "/v1/query?select=errors&bogus=1", 400),
+        ):
+            status, _, body = server.handle(method, target)
+            assert status == want, target
+            doc = _body(body)
+            assert validate(doc, schema) == [], target
+            assert doc["schema_version"] == SERVE_SCHEMA_VERSION
+            assert doc["error"]["status"] == want
+            assert doc["error"]["message"]
+
+    def test_unknown_path_lists_routes(self, server):
+        _, _, body = server.handle("GET", "/v2/everything")
+        assert "/v1/risk/top" in _body(body)["error"]["message"]
+
+    def test_foreign_node_is_a_400_not_a_500(self, server):
+        n = server.state.model.geometry["n_nodes"] + 5
+        status, _, body = server.handle("GET", f"/v1/risk?node={n}")
+        assert status == 400
+        assert "fleet geometry" in _body(body)["error"]["message"]
+
+    def test_handler_crash_is_a_clean_500(self, server, monkeypatch):
+        def boom():
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr(server.state, "health", boom)
+        status, _, body = server.handle("GET", "/healthz")
+        assert status == 500
+        doc = _body(body)
+        assert validate(doc, _schema()) == []
+        assert "RuntimeError: kaboom" in doc["error"]["message"]
+
+    def test_requests_counter_advances(self, server):
+        before = server.state.requests
+        server.handle("GET", "/healthz")
+        assert server.state.requests == before + 1
+
+
+async def _request(reader, writer, target, headers=""):
+    writer.write(
+        f"GET {target} HTTP/1.1\r\nHost: t\r\n{headers}\r\n".encode()
+    )
+    await writer.drain()
+    head = await reader.readuntil(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    body = await reader.readexactly(length)
+    return status, head, json.loads(body)
+
+
+class TestSocketLevel:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_keep_alive_serves_many_requests_per_socket(self, warm_state,
+                                                        tmp_path):
+        ready = tmp_path / "ready.json"
+
+        async def scenario():
+            server = Server(warm_state, ready_file=ready)
+            host, port = await server.start()
+            assert json.loads(ready.read_text())["port"] == port
+            reader, writer = await asyncio.open_connection(host, port)
+            for _ in range(5):
+                status, head, doc = await _request(reader, writer, "/healthz")
+                assert status == 200
+                assert b"Connection: keep-alive" in head
+                assert doc["status"] == "ok"
+            writer.close()
+            await writer.wait_closed()
+            await server.close()
+
+        self._run(scenario())
+
+    def test_connection_close_is_honoured(self, warm_state):
+        async def scenario():
+            server = Server(warm_state)
+            host, port = await server.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            status, head, _ = await _request(
+                reader, writer, "/healthz", headers="Connection: close\r\n"
+            )
+            assert status == 200
+            assert b"Connection: close" in head
+            assert await reader.read() == b""  # server closed its side
+            writer.close()
+            await writer.wait_closed()
+            await server.close()
+
+        self._run(scenario())
+
+    def test_malformed_request_line_gets_400(self, warm_state):
+        async def scenario():
+            server = Server(warm_state)
+            host, port = await server.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"COMPLETE NONSENSE\r\n\r\n")
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            assert b" 400 " in head.split(b"\r\n")[0]
+            writer.close()
+            await writer.wait_closed()
+            await server.close()
+
+        self._run(scenario())
+
+    def test_oversized_head_gets_431(self, warm_state):
+        async def scenario():
+            server = Server(warm_state)
+            host, port = await server.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                b"GET /healthz HTTP/1.1\r\nX-Pad: " + b"x" * 40_000
+                + b"\r\n\r\n"
+            )
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            assert b" 431 " in head.split(b"\r\n")[0]
+            writer.close()
+            await writer.wait_closed()
+            await server.close()
+
+        self._run(scenario())
+
+    def test_concurrent_connections_all_answered(self, warm_state):
+        async def one(host, port, node):
+            reader, writer = await asyncio.open_connection(host, port)
+            status, _, doc = await _request(
+                reader, writer, f"/v1/risk?node={node}"
+            )
+            writer.close()
+            await writer.wait_closed()
+            return status, doc["node"]
+
+        async def scenario():
+            server = Server(warm_state)
+            host, port = await server.start()
+            nodes = [int(n) for n in warm_state.nodes[:20]]
+            results = await asyncio.gather(
+                *(one(host, port, n) for n in nodes)
+            )
+            assert [r[0] for r in results] == [200] * len(nodes)
+            assert [r[1] for r in results] == nodes
+            await server.close()
+
+        self._run(scenario())

@@ -1,0 +1,195 @@
+"""ServeState: warm tables, incremental alert tail, query passthrough."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.predict.errors import PredictError
+from repro.predict.model import Model
+from repro.predict.score import score_records
+from repro.serve import SERVE_SCHEMA_VERSION, NotFound, ServeError, ServeState
+from repro.serve.state import _AlertTail
+
+
+class TestBuild:
+    def test_scores_match_one_shot_fold(self, warm_state, serve_model_path,
+                                        serve_campaign_dir):
+        from repro.logs.campaign_io import load_campaign_records
+
+        model = Model.load(serve_model_path)
+        records = load_campaign_records(serve_campaign_dir, policy="repair")
+        nodes, scores = score_records(records.errors, records.het, model)
+        assert warm_state.nodes.tolist() == nodes.tolist()
+        assert warm_state.scores.tobytes() == scores.tobytes()
+
+    def test_rollups_auto_detected(self, warm_state):
+        assert warm_state.rollups is not None
+        assert "rollups" in warm_state.source
+
+    def test_model_only_state(self, serve_model_path):
+        state = ServeState.build(serve_model_path)
+        assert state.nodes.size == 0
+        assert state.health()["nodes_scored"] == 0
+        with pytest.raises(NotFound):
+            state.query({"select": "errors"})
+        with pytest.raises(NotFound):
+            state.alerts_since()
+
+
+class TestRisk:
+    def test_observed_node(self, warm_state):
+        node = int(warm_state.nodes[0])
+        doc = warm_state.risk(node)
+        assert doc["schema_version"] == SERVE_SCHEMA_VERSION
+        assert doc["node"] == node
+        assert doc["observed"] is True
+        assert doc["score"] == float(warm_state.scores[0])
+        assert doc["at_risk"] == (
+            doc["score"] >= warm_state.model.threshold
+        )
+
+    def test_unobserved_node_floors_to_zero(self, warm_state):
+        quiet = next(
+            n for n in range(warm_state.model.geometry["n_nodes"])
+            if n not in warm_state._row
+        )
+        doc = warm_state.risk(quiet)
+        assert doc["observed"] is False
+        assert doc["score"] == 0.0
+        assert doc["at_risk"] is False
+
+    def test_foreign_node_refused(self, warm_state):
+        with pytest.raises(PredictError, match="fleet geometry"):
+            warm_state.risk(warm_state.model.geometry["n_nodes"] + 1)
+
+
+class TestTop:
+    def test_order_is_score_desc_then_node(self, warm_state):
+        doc = warm_state.top(k=10)
+        rows = doc["nodes"]
+        assert len(rows) == min(10, warm_state.nodes.size)
+        keys = [(-r["score"], r["node"]) for r in rows]
+        assert keys == sorted(keys)
+        # And it really is the global top, not just sorted output.
+        floor = min(r["score"] for r in rows)
+        others = [
+            float(s) for n, s in zip(warm_state.nodes, warm_state.scores)
+            if int(n) not in {r["node"] for r in rows}
+        ]
+        assert all(s <= floor for s in others)
+
+    def test_k_beyond_fleet_is_clamped(self, warm_state):
+        doc = warm_state.top(k=10_000)
+        assert len(doc["nodes"]) == warm_state.nodes.size
+
+    def test_bad_k_refused(self, warm_state):
+        with pytest.raises(ServeError, match="positive"):
+            warm_state.top(k=0)
+
+
+class TestAlertTail:
+    def test_since_pagination(self, warm_state):
+        doc = warm_state.alerts_since(since=-1, limit=2)
+        assert [a["seq"] for a in doc["alerts"]] == [0, 1]
+        assert doc["total"] == 5
+        doc = warm_state.alerts_since(since=1, limit=100)
+        assert [a["seq"] for a in doc["alerts"]] == [2, 3, 4]
+        doc = warm_state.alerts_since(since=99, limit=10)
+        assert doc["alerts"] == []
+
+    def test_incremental_refresh_reads_only_appended(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        path.write_text('{"seq": 0}\n')
+        tail = _AlertTail(path)
+        tail.refresh()
+        assert [a["seq"] for a in tail.alerts] == [0]
+        offset = tail.offset
+        with open(path, "a") as fh:
+            fh.write('{"seq": 1}\n')
+        tail.refresh()
+        assert [a["seq"] for a in tail.alerts] == [0, 1]
+        assert tail.offset > offset
+
+    def test_partial_line_is_buffered_not_parsed(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        path.write_text('{"seq": 0}\n{"seq"')
+        tail = _AlertTail(path)
+        tail.refresh()
+        assert [a["seq"] for a in tail.alerts] == [0]
+        with open(path, "a") as fh:
+            fh.write(': 1}\n')
+        tail.refresh()
+        assert [a["seq"] for a in tail.alerts] == [0, 1]
+
+    def test_truncation_resets_the_tail(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        path.write_text('{"seq": 0}\n{"seq": 1}\n')
+        tail = _AlertTail(path)
+        tail.refresh()
+        assert len(tail.alerts) == 2
+        # Exactly-once resume rewound the sink: shorter file, new run.
+        path.write_text('{"seq": 0}\n')
+        tail.refresh()
+        assert [a["seq"] for a in tail.alerts] == [0]
+
+    def test_missing_file_is_quietly_empty(self, tmp_path):
+        tail = _AlertTail(tmp_path / "nope.jsonl")
+        tail.refresh()
+        assert tail.alerts == []
+
+
+class TestQuery:
+    def test_passthrough_equals_direct_execute(self, warm_state):
+        from repro.query import Query, execute
+
+        doc = warm_state.query(
+            {"select": "errors", "group_by": "rack", "top_k": "5"}
+        )
+        want = execute(
+            warm_state.rollups,
+            Query("errors", group_by=("rack",), top_k=5),
+        )
+        assert doc["answer"] == want
+
+    def test_repeat_query_is_served_from_cache(self, warm_state):
+        params = {"select": "errors", "group_by": "rack"}
+        a = warm_state.query(dict(params))
+        b = warm_state.query(dict(params))
+        assert a is b  # the cached envelope object itself
+
+    def test_where_filters_parse(self, warm_state):
+        doc = warm_state.query(
+            {"select": "errors", "group_by": "rack", "rack": "0,1"}
+        )
+        assert doc["answer"]["n_groups"] <= 2
+
+    def test_unknown_param_refused_with_hint(self, warm_state):
+        with pytest.raises(ServeError, match="unknown query params"):
+            warm_state.query({"select": "errors", "frobnicate": "1"})
+
+    def test_missing_select_refused(self, warm_state):
+        with pytest.raises(ServeError, match="select"):
+            warm_state.query({})
+
+    def test_engine_error_becomes_serve_error(self, warm_state):
+        with pytest.raises(ServeError):
+            warm_state.query({"select": "nonsense"})
+
+
+class TestStatsAndHealth:
+    def test_health(self, warm_state):
+        doc = warm_state.health()
+        assert doc["status"] == "ok"
+        assert doc["model_id"] == warm_state.model.model_id
+        assert doc["nodes_scored"] == warm_state.nodes.size
+
+    def test_stats(self, warm_state):
+        doc = warm_state.stats()
+        assert doc["nodes_scored"] == warm_state.nodes.size
+        assert doc["nodes_at_risk"] == int(
+            np.sum(warm_state.scores >= warm_state.model.threshold)
+        )
+        assert doc["rollups"] is True
+        assert doc["alerts_cached"] == 5
+        assert doc["source"]["directory"]

@@ -1,0 +1,234 @@
+"""stream --predict: online alerts, checkpointing, kill -9 /resume.
+
+The regression at the heart of this file: SIGKILL a live predicting
+stream mid-run, resume it, and demand the byte-identical alerts file
+an uninterrupted run produces -- scores, seq numbers, rearm state and
+all.  The predictor's full feature state rides in the checkpoint, so
+nothing may depend on surviving process memory.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs.schema import schema_dir, validate_file, validate_jsonl
+from repro.predict import train_and_evaluate
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture(scope="module")
+def model_path(tmp_path_factory):
+    model, _ = train_and_evaluate(
+        train_seeds=(101,), eval_seeds=(201,), scale=0.01, jobs=0
+    )
+    path = tmp_path_factory.mktemp("stream-predict") / "model.json"
+    model.save(path)
+    return path
+
+
+def _stream_cmd(directory, ckpt, alerts, model, *extra):
+    return [
+        "stream", str(directory),
+        "--checkpoint-dir", str(ckpt),
+        "--alerts-out", str(alerts),
+        "--batch-bytes", str(1 << 16),
+        "--predict", "--model", str(model),
+        *extra,
+    ]
+
+
+def _cli_env(delay_s=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if delay_s is not None:
+        env["ASTRA_MEMREPRO_STREAM_DELAY_S"] = str(delay_s)
+    return env
+
+
+class TestStreamPredict:
+    def test_end_to_end_and_artifacts_validate(
+        self, stream_campaign_dir, model_path, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        alerts = tmp_path / "alerts.jsonl"
+        assert main(_stream_cmd(
+            stream_campaign_dir, ckpt, alerts, model_path
+        )) == 0
+        out = capsys.readouterr().out
+        assert "predictor: model" in out
+        assert "batch(es) scored" in out
+        assert validate_jsonl(
+            schema_dir() / "alerts.schema.json", alerts
+        ) == []
+        assert validate_file(
+            schema_dir() / "checkpoint.schema.json",
+            ckpt / "checkpoint.json",
+        ) == []
+        state = json.loads((ckpt / "checkpoint.json").read_text())
+        assert state["predictor"] is not None
+        assert state["predictor"]["scored_batches"] > 0
+        assert state["predictor"]["features"]["watermark"] is not None
+
+    def test_clean_stop_resume_matches_uninterrupted(
+        self, stream_campaign_dir, model_path, tmp_path, capsys
+    ):
+        clean_alerts = tmp_path / "clean.jsonl"
+        assert main(_stream_cmd(
+            stream_campaign_dir, tmp_path / "clean-ckpt", clean_alerts,
+            model_path,
+        )) == 0
+
+        split_alerts = tmp_path / "split.jsonl"
+        split_ckpt = tmp_path / "split-ckpt"
+        base = _stream_cmd(
+            stream_campaign_dir, split_ckpt, split_alerts, model_path
+        )
+        assert main(base + ["--max-batches", "3"]) == 0
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint" in out
+        assert split_alerts.read_bytes() == clean_alerts.read_bytes()
+
+
+class TestMismatchExits:
+    def test_predict_without_model_exit_2(self, stream_campaign_dir,
+                                          tmp_path, capsys):
+        assert main(
+            ["stream", str(stream_campaign_dir), "--predict"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--model" in err and "hint" in err
+
+    def test_model_without_predict_exit_2(self, stream_campaign_dir,
+                                          model_path, capsys):
+        assert main(
+            ["stream", str(stream_campaign_dir), "--model",
+             str(model_path)]
+        ) == 2
+        assert "--predict" in capsys.readouterr().err
+
+    def test_corrupt_model_exit_2(self, stream_campaign_dir, model_path,
+                                  tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        doc = json.loads(Path(model_path).read_text())
+        doc["b"] = doc["b"] + 1.0
+        bad.write_text(json.dumps(doc))
+        assert main(
+            ["stream", str(stream_campaign_dir), "--predict", "--model",
+             str(bad)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "integrity" in err and "hint" in err
+
+    def test_resume_without_predict_refused(self, stream_campaign_dir,
+                                            model_path, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        base = _stream_cmd(
+            stream_campaign_dir, ckpt, tmp_path / "a.jsonl", model_path
+        )
+        assert main(base + ["--max-batches", "2"]) == 0
+        assert main(
+            ["stream", str(stream_campaign_dir), "--checkpoint-dir",
+             str(ckpt), "--batch-bytes", str(1 << 16)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "predictor mismatch" in err
+        assert "hint" in err
+
+    def test_resume_with_predict_against_plain_checkpoint_refused(
+        self, stream_campaign_dir, model_path, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        assert main(
+            ["stream", str(stream_campaign_dir), "--checkpoint-dir",
+             str(ckpt), "--batch-bytes", str(1 << 16),
+             "--max-batches", "2"]
+        ) == 0
+        assert main(_stream_cmd(
+            stream_campaign_dir, ckpt, tmp_path / "a.jsonl", model_path
+        )) == 2
+        err = capsys.readouterr().err
+        assert "predictor mismatch" in err
+
+    def test_resume_with_different_model_refused(
+        self, stream_campaign_dir, model_path, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        base = _stream_cmd(
+            stream_campaign_dir, ckpt, tmp_path / "a.jsonl", model_path
+        )
+        assert main(base + ["--max-batches", "2"]) == 0
+        # Retrain on a different split: valid artifact, different id.
+        other_model, _ = train_and_evaluate(
+            train_seeds=(102,), eval_seeds=(202,), scale=0.01, jobs=0
+        )
+        other = tmp_path / "other.json"
+        other_model.save(other)
+        assert main(_stream_cmd(
+            stream_campaign_dir, ckpt, tmp_path / "a.jsonl", other
+        )) == 2
+        err = capsys.readouterr().err
+        assert "predictor model" in err and "hint" in err
+
+
+@pytest.mark.slow
+class TestSigkillResume:
+    def test_sigkill_then_resume_is_byte_identical(
+        self, stream_campaign_dir, model_path, tmp_path
+    ):
+        """The satellite regression: kill -9 mid-stream, resume, and the
+        alerts file (predicted_failure scores included) must equal an
+        uninterrupted run byte for byte."""
+        clean_alerts = tmp_path / "clean.jsonl"
+        subprocess.run(
+            [sys.executable, "-m", "repro.cli"] + _stream_cmd(
+                stream_campaign_dir, tmp_path / "clean-ckpt",
+                clean_alerts, model_path,
+            ),
+            env=_cli_env(), check=True, capture_output=True, timeout=300,
+        )
+
+        victim_alerts = tmp_path / "victim.jsonl"
+        victim_ckpt = tmp_path / "victim-ckpt"
+        cmd = [sys.executable, "-m", "repro.cli"] + _stream_cmd(
+            stream_campaign_dir, victim_ckpt, victim_alerts, model_path
+        )
+        proc = subprocess.Popen(
+            cmd, env=_cli_env(delay_s=0.4),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        ckpt_file = victim_ckpt / "checkpoint.json"
+        deadline = time.monotonic() + 120.0
+        try:
+            while time.monotonic() < deadline:
+                if ckpt_file.exists():
+                    break
+                assert proc.poll() is None, "stream finished before kill"
+                time.sleep(0.02)
+            else:
+                raise AssertionError("no checkpoint before the deadline")
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+
+        killed_at = json.loads(ckpt_file.read_text())
+        assert killed_at["predictor"] is not None
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli"] + _stream_cmd(
+                stream_campaign_dir, victim_ckpt, victim_alerts, model_path
+            ),
+            env=_cli_env(), check=True, capture_output=True, text=True,
+            timeout=300,
+        )
+        assert "resumed from checkpoint" in result.stdout
+        assert victim_alerts.read_bytes() == clean_alerts.read_bytes()
